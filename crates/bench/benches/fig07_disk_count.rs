@@ -1,0 +1,49 @@
+//! Fig. 7 — "Power consumptions of a RAID with increasing number of disks".
+//!
+//! The paper measures the idle disk array as the disk count grows from zero
+//! to six, observing (1) power linear in the number of disks and (2) disks
+//! dominating the non-disk components once more than three are installed.
+
+use tracer_bench::{banner, f, json_result, row, timed};
+use tracer_core::prelude::*;
+
+fn main() {
+    banner("Fig. 7", "idle array power vs number of disks");
+    let mut host = EvaluationHost::new();
+    let mut watts = Vec::new();
+    timed("fig07", || {
+        row(&["disks".into(), "total W".into(), "disks W".into(), "chassis W".into()]);
+        let mut chassis = 0.0;
+        for disks in 0..=6usize {
+            let mut sim = presets::hdd_array_idle(disks);
+            let total = host.measure_idle(&mut sim, SimDuration::from_secs(60), "fig07");
+            if disks == 0 {
+                chassis = total;
+            }
+            row(&[disks.to_string(), f(total), f(total - chassis), f(chassis)]);
+            watts.push(total);
+        }
+    });
+
+    // Shape checks from the paper's §VI-A.
+    let increments: Vec<f64> = watts.windows(2).map(|w| w[1] - w[0]).collect();
+    let per_disk = increments[0];
+    let linear = increments.iter().all(|d| (d - per_disk).abs() < 0.05 * per_disk.max(0.1));
+    let dominates_after_3 = watts[4] - watts[0] > watts[0] && watts[3] - watts[0] <= watts[0] + 1.0;
+    println!("linear in disk count ............ {}", if linear { "yes" } else { "NO" });
+    println!(
+        "disks dominate once count > 3 ... {}",
+        if dominates_after_3 { "yes" } else { "NO" }
+    );
+    json_result(
+        "fig07",
+        &serde_json::json!({
+            "watts": watts,
+            "per_disk_watts": per_disk,
+            "linear": linear,
+            "disks_dominate_beyond_3": dominates_after_3,
+        }),
+    );
+    assert!(linear, "Fig. 7 linearity violated");
+    assert!(dominates_after_3, "Fig. 7 dominance crossover violated");
+}

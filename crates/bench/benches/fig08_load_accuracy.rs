@@ -1,0 +1,67 @@
+//! Fig. 8 — throughput as a function of configured load proportion, with the
+//! load-control accuracy curve.
+//!
+//! Paper setup: request size 4 KB, random ratio 50 %, read ratio 0 %; a
+//! collected peak trace replayed at 10 %…100 %. The paper reports error rates
+//! below 0.5 % for this fixed-request-size trace.
+
+use tracer_bench::{banner, f, json_result, row, timed};
+use tracer_core::prelude::*;
+use tracer_workload::iometer::run_peak_workload;
+
+fn main() {
+    banner("Fig. 8", "IOPS/MBPS and control accuracy vs load proportion (4K, rnd 50%, rd 0%)");
+    let mode = WorkloadMode::peak(4096, 50, 0);
+    let trace = timed("collect", || {
+        let mut sim = presets::hdd_raid5(6);
+        run_peak_workload(
+            &mut sim,
+            &IometerConfig {
+                duration: SimDuration::from_secs(30),
+                ..IometerConfig::two_minutes(mode, 8)
+            },
+        )
+        .trace
+    });
+    println!("trace: {} bunches / {} IOs", trace.bunch_count(), trace.io_count());
+
+    let mut host = EvaluationHost::new();
+    let result = timed("sweep", || {
+        load_sweep(&mut host, || presets::hdd_raid5(6), &trace, mode, &sweep::LOAD_PCTS, "fig08")
+    });
+
+    row(&[
+        "config %".into(),
+        "IOPS".into(),
+        "MBPS".into(),
+        "acc IOPS".into(),
+        "acc MBPS".into(),
+    ]);
+    for r in &result.rows {
+        row(&[
+            r.configured_pct.to_string(),
+            f(r.iops),
+            f(r.mbps),
+            f(r.accuracy_iops),
+            f(r.accuracy_mbps),
+        ]);
+    }
+    let max_err = result.max_error();
+    println!("max control error: {:.3} % (paper: < 0.5 % on hardware)", max_err * 100.0);
+
+    // Shape: throughput roughly linear in configured load.
+    let iops_10 = result.rows[0].iops;
+    let iops_100 = result.rows.last().unwrap().iops;
+    let linear = (iops_100 / iops_10 / 10.0 - 1.0).abs() < 0.08;
+    println!("IOPS linear in load ............. {}", if linear { "yes" } else { "NO" });
+    json_result(
+        "fig08",
+        &serde_json::json!({
+            "rows": result.rows,
+            "max_error": max_err,
+            "linear": linear,
+        }),
+    );
+    assert!(max_err < 0.03, "fixed-size control error too large: {max_err}");
+    assert!(linear, "throughput must scale linearly with load proportion");
+}

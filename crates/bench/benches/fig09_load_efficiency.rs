@@ -1,0 +1,104 @@
+//! Fig. 9 — impacts of I/O load on energy efficiency.
+//!
+//! Panel (a): IOPS/Watt vs load proportion, request sizes 512 B…1 MB,
+//! read 25 %, random 25 %. Panel (b): MBPS/Kilowatt vs load, sizes
+//! 512 B…64 KB, read ratios 0…75 %, random 25 %. The paper observes
+//! efficiency linearly proportional to load, with small requests earning the
+//! higher IOPS/Watt.
+
+use tracer_bench::{banner, f, json_result, row, size_label, timed};
+use tracer_core::prelude::*;
+use tracer_workload::iometer::run_peak_workload;
+
+const LOADS: [u32; 10] = [10, 20, 30, 40, 50, 60, 70, 80, 90, 100];
+
+fn collect(mode: WorkloadMode, seed: u64) -> Trace {
+    let mut sim = presets::hdd_raid5(6);
+    run_peak_workload(
+        &mut sim,
+        &IometerConfig { duration: SimDuration::from_secs(10), ..IometerConfig::two_minutes(mode, seed) },
+    )
+    .trace
+}
+
+fn sweep_metric(
+    host: &mut EvaluationHost,
+    mode: WorkloadMode,
+    metric: impl Fn(&EfficiencyMetrics) -> f64,
+) -> Vec<f64> {
+    let trace = collect(mode, 9);
+    LOADS
+        .iter()
+        .map(|&load| {
+            let mut sim = presets::hdd_raid5(6);
+            let m = host
+                .run_test(&mut sim, &trace, mode.at_load(load), 100, "fig09")
+                .metrics;
+            metric(&m)
+        })
+        .collect()
+}
+
+fn main() {
+    let mut host = EvaluationHost::new();
+
+    banner("Fig. 9a", "IOPS/Watt vs load (sizes 512B–1M; rd 25%, rnd 25%)");
+    let sizes_a: [u32; 5] = [512, 4096, 65536, 262_144, 1 << 20];
+    let mut panel_a = Vec::new();
+    timed("fig09a", || {
+        let mut header = vec!["load %".to_string()];
+        header.extend(sizes_a.iter().map(|&s| size_label(s)));
+        row(&header);
+        let series: Vec<Vec<f64>> = sizes_a
+            .iter()
+            .map(|&s| sweep_metric(&mut host, WorkloadMode::peak(s, 25, 25), |m| m.iops_per_watt))
+            .collect();
+        for (i, &load) in LOADS.iter().enumerate() {
+            let mut cells = vec![load.to_string()];
+            cells.extend(series.iter().map(|v| f(v[i])));
+            row(&cells);
+        }
+        panel_a = series;
+    });
+
+    banner("Fig. 9b", "MBPS/Kilowatt vs load (sizes 512B–64K; rd 0–75%, rnd 25%)");
+    let cfgs_b: [(u32, u8); 4] = [(512, 0), (4096, 25), (16384, 50), (65536, 75)];
+    let mut panel_b = Vec::new();
+    timed("fig09b", || {
+        let mut header = vec!["load %".to_string()];
+        header.extend(cfgs_b.iter().map(|&(s, rd)| format!("{} rd{rd}", size_label(s))));
+        row(&header);
+        let series: Vec<Vec<f64>> = cfgs_b
+            .iter()
+            .map(|&(s, rd)| {
+                sweep_metric(&mut host, WorkloadMode::peak(s, 25, rd), |m| m.mbps_per_kilowatt)
+            })
+            .collect();
+        for (i, &load) in LOADS.iter().enumerate() {
+            let mut cells = vec![load.to_string()];
+            cells.extend(series.iter().map(|v| f(v[i])));
+            row(&cells);
+        }
+        panel_b = series;
+    });
+
+    // Shape checks: every series grows ~linearly with load; small requests
+    // earn more IOPS/Watt than large ones at every load level.
+    let monotone = panel_a.iter().chain(&panel_b).all(|s| s.windows(2).all(|w| w[1] > w[0] * 0.98));
+    let small_beats_large =
+        panel_a[0].iter().zip(&panel_a[4]).all(|(small, large)| small > large);
+    println!("\nefficiency grows with load ...... {}", if monotone { "yes" } else { "NO" });
+    println!("small req wins IOPS/Watt ........ {}", if small_beats_large { "yes" } else { "NO" });
+    json_result(
+        "fig09",
+        &serde_json::json!({
+            "loads": LOADS,
+            "panel_a_iops_per_watt": panel_a,
+            "panel_b_mbps_per_kw": panel_b,
+            "monotone": monotone,
+            "small_beats_large": small_beats_large,
+        }),
+    );
+    assert!(monotone, "efficiency must grow with load");
+    assert!(small_beats_large, "small requests must win IOPS/Watt");
+}

@@ -1,0 +1,92 @@
+//! Fig. 11 — impacts of read ratio on throughput and energy efficiency.
+//!
+//! Paper setup: request size 16 KB; random ratios 0 %, 50 %, 100 %; read
+//! ratio swept 0…100 %. Observations: at random 50/100 % the curves are flat
+//! (throughput and efficiency insensitive to read ratio); at random 0 % there
+//! is a pronounced U-shape — pure-read and pure-write streams beat mixed
+//! ones.
+
+use tracer_bench::{banner, f, json_result, row, timed};
+use tracer_core::prelude::*;
+use tracer_workload::iometer::run_peak_workload;
+
+const READS: [u8; 5] = [0, 25, 50, 75, 100];
+const RANDOMS: [u8; 3] = [0, 50, 100];
+
+fn measure(host: &mut EvaluationHost, mode: WorkloadMode) -> EfficiencyMetrics {
+    let mut sim = presets::hdd_raid5(6);
+    let trace = run_peak_workload(
+        &mut sim,
+        &IometerConfig { duration: SimDuration::from_secs(10), ..IometerConfig::two_minutes(mode, 11) },
+    )
+    .trace;
+    let mut sim = presets::hdd_raid5(6);
+    host.run_test(&mut sim, &trace, mode, 100, "fig11").metrics
+}
+
+fn main() {
+    banner("Fig. 11", "throughput and efficiency vs read ratio (16K; rnd 0/50/100%)");
+    let mut host = EvaluationHost::new();
+    let mut mbps = Vec::new();
+    let mut eff = Vec::new();
+    timed("fig11", || {
+        for &rnd in &RANDOMS {
+            let series: Vec<EfficiencyMetrics> = READS
+                .iter()
+                .map(|&rd| measure(&mut host, WorkloadMode::peak(16 * 1024, rnd, rd)))
+                .collect();
+            mbps.push(series.iter().map(|m| m.mbps).collect::<Vec<_>>());
+            eff.push(series.iter().map(|m| m.mbps_per_kilowatt).collect::<Vec<_>>());
+        }
+    });
+
+    println!("(a) MBPS");
+    let mut header = vec!["read %".to_string()];
+    header.extend(RANDOMS.iter().map(|r| format!("rnd {r}%")));
+    row(&header);
+    for (i, &rd) in READS.iter().enumerate() {
+        let mut cells = vec![rd.to_string()];
+        cells.extend(mbps.iter().map(|s| f(s[i])));
+        row(&cells);
+    }
+    println!("(b) MBPS/Kilowatt");
+    row(&header);
+    for (i, &rd) in READS.iter().enumerate() {
+        let mut cells = vec![rd.to_string()];
+        cells.extend(eff.iter().map(|s| f(s[i])));
+        row(&cells);
+    }
+
+    // Shape checks. U-shape at random 0 %: the mixed middle is below both
+    // pure ends for throughput and efficiency.
+    let u_shape = |s: &Vec<f64>| {
+        let mid = s[1].min(s[2]).min(s[3]);
+        mid < s[0] && mid < s[4]
+    };
+    let sequential_u = u_shape(&mbps[0]) && u_shape(&eff[0]);
+    // Flat at high random ratios: spread within a small multiple of the mean.
+    let flatness = |s: &Vec<f64>| {
+        let mean: f64 = s.iter().sum::<f64>() / s.len() as f64;
+        let spread = s.iter().cloned().fold(0.0f64, f64::max) - s.iter().cloned().fold(f64::INFINITY, f64::min);
+        spread / mean
+    };
+    let flat_random = flatness(&mbps[2]) < flatness(&mbps[0]);
+    println!("\nU-shape at random 0% ............ {}", if sequential_u { "yes" } else { "NO" });
+    println!(
+        "flatter at random 100% than 0% .. {}",
+        if flat_random { "yes" } else { "NO" }
+    );
+    json_result(
+        "fig11",
+        &serde_json::json!({
+            "reads": READS,
+            "randoms": RANDOMS,
+            "mbps": mbps,
+            "mbps_per_kw": eff,
+            "sequential_u_shape": sequential_u,
+            "flatter_at_high_random": flat_random,
+        }),
+    );
+    assert!(sequential_u, "sequential read-ratio curve must be U-shaped");
+    assert!(flat_random, "high-random curves must be flatter than sequential");
+}

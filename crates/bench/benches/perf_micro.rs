@@ -1,0 +1,124 @@
+//! Criterion micro-benchmarks of the framework's hot paths: the proportional
+//! filter, trace (de)serialisation, RAID-5 planning, the DES engine, and the
+//! closed-loop generator.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+use tracer_replay::{replay_prepared, AddressPolicy, ProportionalFilter};
+use tracer_sim::{presets, Geometry};
+use tracer_trace::{replay_format, Bunch, IoPackage, OpKind, Trace};
+use tracer_sim::SimDuration;
+use tracer_trace::WorkloadMode;
+use tracer_workload::iometer::{run_peak_workload, IometerConfig};
+
+fn big_trace(bunches: usize) -> Trace {
+    Trace::from_bunches(
+        "bench",
+        (0..bunches as u64)
+            .map(|i| {
+                Bunch::new(
+                    i * 1_000_000,
+                    (0..4)
+                        .map(|j| IoPackage::read((i * 4 + j) * 128 % 10_000_000, 8192))
+                        .collect(),
+                )
+            })
+            .collect(),
+    )
+}
+
+fn bench_filter(c: &mut Criterion) {
+    let trace = big_trace(100_000);
+    let filter = ProportionalFilter::default();
+    let mut g = c.benchmark_group("filter");
+    g.throughput(Throughput::Elements(trace.bunch_count() as u64));
+    g.bench_function("proportional_30pct_100k_bunches", |b| {
+        b.iter(|| black_box(filter.filter(black_box(&trace), 30)))
+    });
+    g.finish();
+}
+
+fn bench_serialization(c: &mut Criterion) {
+    let trace = big_trace(50_000);
+    let bytes = replay_format::to_bytes(&trace);
+    let mut g = c.benchmark_group("replay_format");
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.bench_function("encode_v1_50k_bunches", |b| {
+        b.iter(|| black_box(replay_format::to_bytes(black_box(&trace))))
+    });
+    g.bench_function("decode_v1_50k_bunches", |b| {
+        b.iter(|| black_box(replay_format::from_bytes(black_box(&bytes)).unwrap()))
+    });
+    g.finish();
+
+    let v2 = tracer_trace::compact::to_bytes(&trace);
+    let mut g = c.benchmark_group("compact_v2");
+    g.throughput(Throughput::Bytes(v2.len() as u64));
+    g.bench_function("encode_v2_50k_bunches", |b| {
+        b.iter(|| black_box(tracer_trace::compact::to_bytes(black_box(&trace))))
+    });
+    g.bench_function("decode_v2_50k_bunches", |b| {
+        b.iter(|| black_box(replay_format::from_bytes(black_box(&v2)).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_raid_planning(c: &mut Criterion) {
+    let geom = Geometry::raid5(6);
+    let mut g = c.benchmark_group("raid5");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("plan_small_write", |b| {
+        let mut sector = 0u64;
+        b.iter(|| {
+            sector = (sector + 8_191) % 10_000_000;
+            black_box(geom.plan(black_box(sector), 8, OpKind::Write))
+        })
+    });
+    g.bench_function("plan_large_read", |b| {
+        let mut sector = 0u64;
+        b.iter(|| {
+            sector = (sector + 131_071) % 10_000_000;
+            black_box(geom.plan(black_box(sector), 4096, OpKind::Read))
+        })
+    });
+    g.finish();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let trace = big_trace(2_000);
+    let mut g = c.benchmark_group("engine");
+    g.throughput(Throughput::Elements(trace.io_count() as u64));
+    g.bench_function("replay_8k_ios_raid5_hdd6", |b| {
+        b.iter_batched(
+            || presets::hdd_raid5(6),
+            |mut sim| black_box(replay_prepared(&mut sim, &trace, AddressPolicy::Wrap)),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_generator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("generator");
+    g.bench_function("closed_loop_1s_peak_4k_random", |b| {
+        b.iter_batched(
+            || presets::hdd_raid5(4),
+            |mut sim| {
+                let cfg = IometerConfig {
+                    duration: SimDuration::from_secs(1),
+                    ..IometerConfig::two_minutes(WorkloadMode::peak(4096, 100, 100), 3)
+                };
+                black_box(run_peak_workload(&mut sim, &cfg))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_filter, bench_serialization, bench_raid_planning, bench_engine, bench_generator
+}
+criterion_main!(benches);

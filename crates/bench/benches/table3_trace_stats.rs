@@ -1,0 +1,48 @@
+//! Table III — characteristics of the web server trace.
+//!
+//! Paper values: file-system size 169.54 GB, dataset 23.31 GB, read ratio
+//! 90.39 %, average request size 21.5 KB. The synthesiser targets those
+//! statistics; this bench generates a coverage-scale trace and reports the
+//! measured values next to the paper's.
+
+use tracer_bench::{banner, json_result, row, timed};
+use tracer_core::prelude::*;
+
+fn main() {
+    banner("Table III", "characteristics of the (synthesised) web server trace");
+    let trace = timed("synthesize", || WebServerTraceBuilder::table_iii_scale().build());
+    let stats = timed("stats", || TraceStats::compute(&trace));
+
+    row(&["metric".into(), "paper".into(), "measured".into()]);
+    row(&["fs size (GB)".into(), "169.54".into(), format!("{:.2}", stats.span_gib())]);
+    row(&["dataset (GB)".into(), "23.31".into(), format!("{:.2}", stats.footprint_gib())]);
+    row(&["read ratio (%)".into(), "90.39".into(), format!("{:.2}", stats.read_ratio * 100.0)]);
+    row(&["avg req (KB)".into(), "21.5".into(), format!("{:.1}", stats.avg_request_kib())]);
+    println!("requests: {} over {:.0} min", stats.ios, stats.duration_ns as f64 / 6e10);
+
+    let span_ok = (stats.span_gib() - 169.54).abs() / 169.54 < 0.05;
+    let dataset_ok = (stats.footprint_gib() - 23.31).abs() / 23.31 < 0.25;
+    let read_ok = (stats.read_ratio - 0.9039).abs() < 0.02;
+    let size_ok = (stats.avg_request_kib() - 21.5).abs() / 21.5 < 0.20;
+    for (name, ok) in [
+        ("fs span within 5%", span_ok),
+        ("dataset within 25%", dataset_ok),
+        ("read ratio within 2pp", read_ok),
+        ("avg request within 20%", size_ok),
+    ] {
+        println!("{name:<24} {}", if ok { "yes" } else { "NO" });
+    }
+    json_result(
+        "table3",
+        &serde_json::json!({
+            "span_gib": stats.span_gib(),
+            "footprint_gib": stats.footprint_gib(),
+            "read_ratio": stats.read_ratio,
+            "avg_request_kib": stats.avg_request_kib(),
+            "ios": stats.ios,
+            "all_ok": span_ok && dataset_ok && read_ok && size_ok,
+        }),
+    );
+    assert!(span_ok && read_ok && size_ok, "Table III statistics out of tolerance");
+    assert!(dataset_ok, "dataset footprint out of tolerance");
+}

@@ -1,0 +1,108 @@
+//! Shared helpers for the TRACER benchmark harness.
+//!
+//! Every bench target regenerates one table or figure from the paper's
+//! evaluation section (see DESIGN.md's experiment index). These helpers keep
+//! the output format consistent: a header naming the paper artefact, aligned
+//! columns, and a machine-readable JSON line so EXPERIMENTS.md can be kept in
+//! sync by scripts.
+
+use std::time::Instant;
+
+/// Print the banner for one experiment.
+pub fn banner(id: &str, title: &str) {
+    println!("\n=== {id}: {title} ===");
+}
+
+/// Print an aligned row of cells.
+pub fn row(cells: &[String]) {
+    let line: Vec<String> = cells.iter().map(|c| format!("{c:>14}")).collect();
+    println!("{}", line.join(" "));
+}
+
+/// Format a float cell.
+pub fn f(v: f64) -> String {
+    if v.abs() >= 1000.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// Emit the machine-readable result line.
+pub fn json_result(id: &str, value: &serde_json::Value) {
+    println!("RESULT {id} {value}");
+}
+
+/// Human-readable byte size for labels (512B, 4K, 1M…).
+pub fn size_label(bytes: u32) -> String {
+    if bytes >= 1 << 20 {
+        format!("{}M", bytes >> 20)
+    } else if bytes >= 1 << 10 {
+        format!("{}K", bytes >> 10)
+    } else {
+        format!("{bytes}B")
+    }
+}
+
+/// Unicode sparkline of a series (8 block levels), for at-a-glance trends in
+/// bench output.
+pub fn spark(series: &[f64]) -> String {
+    const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = series.iter().cloned().fold(f64::MIN, f64::max);
+    let min = series.iter().cloned().fold(f64::MAX, f64::min);
+    if series.is_empty() {
+        return String::new();
+    }
+    let range = (max - min).max(f64::MIN_POSITIVE);
+    series
+        .iter()
+        .map(|v| {
+            let idx = (((v - min) / range) * 7.0).round() as usize;
+            BLOCKS[idx.min(7)]
+        })
+        .collect()
+}
+
+/// Run a closure, printing its wall-clock time (bench targets report how long
+/// each experiment regeneration takes).
+pub fn timed<T>(label: &str, body: impl FnOnce() -> T) -> T {
+    let t0 = Instant::now();
+    let out = body();
+    println!("[{label}: {:.2}s]", t0.elapsed().as_secs_f64());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_labels() {
+        assert_eq!(size_label(512), "512B");
+        assert_eq!(size_label(4096), "4K");
+        assert_eq!(size_label(65536), "64K");
+        assert_eq!(size_label(1 << 20), "1M");
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(0.99266), "0.9927");
+        assert_eq!(f(12345.6), "12345.6");
+    }
+
+    #[test]
+    fn timed_passes_value_through() {
+        assert_eq!(timed("t", || 42), 42);
+    }
+
+    #[test]
+    fn sparklines() {
+        assert_eq!(spark(&[]), "");
+        assert_eq!(spark(&[1.0]), "▁");
+        let s = spark(&[0.0, 0.5, 1.0]);
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.starts_with('▁') && s.ends_with('█'));
+        // Flat series stays at the floor.
+        assert_eq!(spark(&[5.0, 5.0, 5.0]), "▁▁▁");
+    }
+}

@@ -1,0 +1,197 @@
+//! Statistical helpers for experiment post-processing.
+//!
+//! The evaluation section of the paper reasons about linearity (Fig. 9),
+//! trend preservation (Fig. 12), and spread/flatness (Fig. 11). These small,
+//! well-tested routines back those judgements in the bench harness and are
+//! part of the public toolkit so downstream evaluations can make the same
+//! calls.
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population variance; 0 for an empty slice.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64
+}
+
+/// Coefficient of variation (stddev over mean); 0 when the mean is 0.
+pub fn coefficient_of_variation(xs: &[f64]) -> f64 {
+    let m = mean(xs);
+    if m.abs() < f64::EPSILON {
+        0.0
+    } else {
+        variance(xs).sqrt() / m
+    }
+}
+
+/// Pearson correlation of the paired prefixes of `a` and `b`; 0 when either
+/// side is constant.
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len().min(b.len());
+    if n == 0 {
+        return 0.0;
+    }
+    let (ma, mb) = (mean(&a[..n]), mean(&b[..n]));
+    let (mut num, mut da, mut db) = (0.0, 0.0, 0.0);
+    for i in 0..n {
+        num += (a[i] - ma) * (b[i] - mb);
+        da += (a[i] - ma).powi(2);
+        db += (b[i] - mb).powi(2);
+    }
+    if da > 0.0 && db > 0.0 {
+        num / (da * db).sqrt()
+    } else {
+        0.0
+    }
+}
+
+/// Least-squares line through `(x, y)` pairs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Slope of the fitted line.
+    pub slope: f64,
+    /// Intercept of the fitted line.
+    pub intercept: f64,
+    /// Coefficient of determination (1.0 = perfectly linear).
+    pub r2: f64,
+}
+
+/// Fit a line to the paired prefixes of `xs` and `ys`.
+///
+/// Returns `None` for fewer than two points or a degenerate (constant-x)
+/// input.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Option<LinearFit> {
+    let n = xs.len().min(ys.len());
+    if n < 2 {
+        return None;
+    }
+    let (mx, my) = (mean(&xs[..n]), mean(&ys[..n]));
+    let (mut sxx, mut sxy, mut syy) = (0.0, 0.0, 0.0);
+    for i in 0..n {
+        sxx += (xs[i] - mx).powi(2);
+        sxy += (xs[i] - mx) * (ys[i] - my);
+        syy += (ys[i] - my).powi(2);
+    }
+    if sxx <= 0.0 {
+        return None;
+    }
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let r2 = if syy > 0.0 { (sxy * sxy) / (sxx * syy) } else { 1.0 };
+    Some(LinearFit { slope, intercept, r2 })
+}
+
+/// Relative spread `(max − min) / max`; 0 for empty or all-zero input. The
+/// "flatness" measure used for Fig. 11's high-random curves.
+pub fn relative_spread(xs: &[f64]) -> f64 {
+    let max = xs.iter().cloned().fold(f64::MIN, f64::max);
+    let min = xs.iter().cloned().fold(f64::MAX, f64::min);
+    if xs.is_empty() || max <= 0.0 {
+        0.0
+    } else {
+        (max - min) / max
+    }
+}
+
+/// `true` when the series never falls by more than `tolerance` (relative)
+/// from one point to the next — the "grows with load" check of Fig. 9.
+pub fn is_non_decreasing(xs: &[f64], tolerance: f64) -> bool {
+    xs.windows(2).all(|w| w[1] >= w[0] * (1.0 - tolerance))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mean_variance_cv() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(variance(&[5.0, 5.0, 5.0]), 0.0);
+        assert!((variance(&[1.0, 3.0]) - 1.0).abs() < 1e-12);
+        assert!((coefficient_of_variation(&[1.0, 3.0]) - 0.5).abs() < 1e-12);
+        assert_eq!(coefficient_of_variation(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn pearson_known_cases() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let up = [10.0, 20.0, 30.0, 40.0];
+        let down = [4.0, 3.0, 2.0, 1.0];
+        assert!((pearson(&a, &up) - 1.0).abs() < 1e-12);
+        assert!((pearson(&a, &down) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&a, &[5.0, 5.0, 5.0, 5.0]), 0.0);
+        assert_eq!(pearson(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn linear_fit_exact_line() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        let ys = [25.0, 45.0, 65.0, 85.0]; // y = 2x + 5
+        let fit = linear_fit(&xs, &ys).unwrap();
+        assert!((fit.slope - 2.0).abs() < 1e-12);
+        assert!((fit.intercept - 5.0).abs() < 1e-12);
+        assert!((fit.r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_fit_degenerate_inputs() {
+        assert!(linear_fit(&[1.0], &[2.0]).is_none());
+        assert!(linear_fit(&[3.0, 3.0], &[1.0, 2.0]).is_none());
+        // Constant y: slope 0, r2 defined as 1 (perfectly explained).
+        let fit = linear_fit(&[1.0, 2.0, 3.0], &[7.0, 7.0, 7.0]).unwrap();
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.r2, 1.0);
+    }
+
+    #[test]
+    fn spread_and_monotonicity() {
+        assert!((relative_spread(&[50.0, 100.0, 75.0]) - 0.5).abs() < 1e-12);
+        assert_eq!(relative_spread(&[]), 0.0);
+        assert!(is_non_decreasing(&[1.0, 2.0, 3.0], 0.0));
+        assert!(!is_non_decreasing(&[1.0, 0.5], 0.1));
+        assert!(is_non_decreasing(&[1.0, 0.99], 0.02), "within tolerance");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_pearson_is_symmetric_and_bounded(
+            pairs in proptest::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 2..50)
+        ) {
+            let a: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let b: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            let r = pearson(&a, &b);
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+            prop_assert!((r - pearson(&b, &a)).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_fit_residual_orthogonality(
+            pts in proptest::collection::vec((0.0f64..100.0, -50.0f64..50.0), 3..40)
+        ) {
+            let xs: Vec<f64> = pts.iter().map(|p| p.0).collect();
+            let ys: Vec<f64> = pts.iter().map(|p| p.1).collect();
+            prop_assume!(variance(&xs) > 1e-6);
+            let fit = linear_fit(&xs, &ys).unwrap();
+            // Residuals sum to ~0 for least squares.
+            let resid_sum: f64 = xs
+                .iter()
+                .zip(&ys)
+                .map(|(x, y)| y - (fit.slope * x + fit.intercept))
+                .sum();
+            prop_assert!(resid_sum.abs() < 1e-6 * xs.len() as f64 * 100.0);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&fit.r2));
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! The `tracer` command-line tool: headless front-end of the TRACER
+//! framework. See `tracer help` or [`tracer_core::cli`] for the command set.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match tracer_core::cli::parse(&args) {
+        Ok(cmd) => cmd,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", tracer_core::cli::USAGE);
+            return ExitCode::FAILURE;
+        }
+    };
+    match tracer_core::cli::run(cmd) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

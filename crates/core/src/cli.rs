@@ -1,0 +1,588 @@
+//! Command-line interface of the TRACER toolkit.
+//!
+//! The paper drives TRACER through a GUI; the headless equivalent is the
+//! `tracer` binary built from this module. Parsing is hand-rolled (the
+//! dependency set carries no argument parser) and lives here so it can be
+//! unit-tested apart from the binary entry point.
+//!
+//! ```text
+//! tracer idle      --disks N [--seconds S]
+//! tracer collect   --rs BYTES --rn PCT --rd PCT --repo DIR [--seconds S] [--array NAME]
+//! tracer replay    --repo DIR --rs BYTES --rn PCT --rd PCT --load PCT
+//!                  [--intensity PCT] [--array NAME]
+//! tracer convert   --srt FILE --name NAME --repo DIR
+//! tracer stats     --name NAME --repo DIR
+//! tracer policies  [--seconds S]
+//! ```
+//!
+//! `--array` selects the testbed: `hdd4`, `hdd6` (default), or `ssd4`.
+
+use crate::host::EvaluationHost;
+use crate::techniques::{compare_policies, ConservationPolicy};
+use std::collections::HashMap;
+use std::fmt;
+use std::path::PathBuf;
+use tracer_sim::{presets, ArrayConfig, ArraySim, Device, SimDuration};
+use tracer_trace::{srt, TraceRepository, TraceStats, WorkloadMode};
+use tracer_workload::iometer::{run_peak_workload, IometerConfig};
+use tracer_workload::WebServerTraceBuilder;
+
+/// Which testbed preset to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrayChoice {
+    /// RAID-5 over 4 HDDs.
+    Hdd4,
+    /// RAID-5 over 6 HDDs (the paper's main testbed).
+    Hdd6,
+    /// RAID-5 over 4 SSDs.
+    Ssd4,
+}
+
+impl ArrayChoice {
+    fn parse(s: &str) -> Result<Self, CliError> {
+        match s {
+            "hdd4" => Ok(ArrayChoice::Hdd4),
+            "hdd6" => Ok(ArrayChoice::Hdd6),
+            "ssd4" => Ok(ArrayChoice::Ssd4),
+            other => Err(CliError(format!("unknown array {other:?} (hdd4|hdd6|ssd4)"))),
+        }
+    }
+
+    /// Build the simulator.
+    pub fn build(self) -> ArraySim {
+        match self {
+            ArrayChoice::Hdd4 => presets::hdd_raid5(4),
+            ArrayChoice::Hdd6 => presets::hdd_raid5(6),
+            ArrayChoice::Ssd4 => presets::ssd_raid5(4),
+        }
+    }
+
+    /// Configuration + members, for policy application.
+    pub fn parts(self) -> (ArrayConfig, Vec<Device>) {
+        match self {
+            ArrayChoice::Hdd4 => presets::hdd_raid5_parts(4),
+            ArrayChoice::Hdd6 => presets::hdd_raid5_parts(6),
+            ArrayChoice::Ssd4 => presets::ssd_raid5_parts(4),
+        }
+    }
+}
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Measure idle power versus disk count (Fig. 7 style).
+    Idle {
+        /// Number of disks.
+        disks: usize,
+        /// Measurement window, seconds.
+        seconds: u64,
+    },
+    /// Collect a peak trace into a repository.
+    Collect {
+        /// Workload mode (load = 100).
+        mode: WorkloadMode,
+        /// Collection window, seconds.
+        seconds: u64,
+        /// Repository directory.
+        repo: PathBuf,
+        /// Testbed.
+        array: ArrayChoice,
+    },
+    /// Replay a collected trace under load control.
+    Replay {
+        /// Workload mode including the load proportion.
+        mode: WorkloadMode,
+        /// Inter-arrival intensity, percent.
+        intensity: u32,
+        /// Repository directory.
+        repo: PathBuf,
+        /// Testbed.
+        array: ArrayChoice,
+        /// Results-database file to append the record to.
+        db: Option<PathBuf>,
+        /// When set, ignore timestamps and replay closed-loop at this queue
+        /// depth (as-fast-as-possible peak measurement).
+        afap_depth: Option<usize>,
+    },
+    /// Convert an `.srt` file into the repository.
+    Convert {
+        /// Source `.srt` path.
+        srt: PathBuf,
+        /// Name to store the converted trace under.
+        name: String,
+        /// Repository directory.
+        repo: PathBuf,
+    },
+    /// Print statistics of a stored trace (Table III style).
+    Stats {
+        /// Stored trace name.
+        name: String,
+        /// Repository directory.
+        repo: PathBuf,
+    },
+    /// Compare energy-conservation policies on a web-server workload.
+    Policies {
+        /// Trace length, seconds.
+        seconds: u64,
+        /// Results-database file to append the records to.
+        db: Option<PathBuf>,
+    },
+    /// Render a markdown report from a results database.
+    Report {
+        /// Results-database file.
+        db: PathBuf,
+    },
+    /// Serve as a workload-generator machine over TCP (§III-C deployment).
+    Serve {
+        /// Repository directory holding the collected traces.
+        repo: PathBuf,
+        /// Testbed this machine drives.
+        array: ArrayChoice,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// CLI error with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Usage text.
+pub const USAGE: &str = "\
+tracer — load-controllable energy-efficiency evaluation for storage systems
+
+USAGE:
+  tracer idle     --disks N [--seconds S]
+  tracer collect  --rs BYTES --rn PCT --rd PCT --repo DIR [--seconds S] [--array hdd4|hdd6|ssd4]
+  tracer replay   --rs BYTES --rn PCT --rd PCT --load PCT --repo DIR
+                  [--intensity PCT] [--array ...] [--db FILE] [--afap DEPTH]
+  tracer convert  --srt FILE --name NAME --repo DIR
+  tracer stats    --name NAME --repo DIR
+  tracer policies [--seconds S] [--db FILE]
+  tracer report   --db FILE
+  tracer serve    --repo DIR [--array hdd4|hdd6|ssd4]
+  tracer help
+
+Replay accepts --db FILE to append its record to a results database.
+";
+
+/// Parse an argument vector (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, CliError> {
+    let Some((verb, rest)) = args.split_first() else {
+        return Ok(Command::Help);
+    };
+    let mut flags: HashMap<String, String> = HashMap::new();
+    let mut iter = rest.iter();
+    while let Some(flag) = iter.next() {
+        let Some(key) = flag.strip_prefix("--") else {
+            return Err(CliError(format!("expected --flag, got {flag:?}")));
+        };
+        let value =
+            iter.next().ok_or_else(|| CliError(format!("flag --{key} needs a value")))?;
+        if flags.insert(key.to_string(), value.clone()).is_some() {
+            return Err(CliError(format!("duplicate flag --{key}")));
+        }
+    }
+    let get = |k: &str| {
+        flags.get(k).cloned().ok_or_else(|| CliError(format!("missing required flag --{k}")))
+    };
+    let num = |k: &str| -> Result<u64, CliError> {
+        get(k)?.parse().map_err(|_| CliError(format!("--{k} must be a number")))
+    };
+    let num_or = |k: &str, default: u64| -> Result<u64, CliError> {
+        match flags.get(k) {
+            Some(v) => v.parse().map_err(|_| CliError(format!("--{k} must be a number"))),
+            None => Ok(default),
+        }
+    };
+    let array = || -> Result<ArrayChoice, CliError> {
+        match flags.get("array") {
+            Some(v) => ArrayChoice::parse(v),
+            None => Ok(ArrayChoice::Hdd6),
+        }
+    };
+    let mode = |with_load: bool| -> Result<WorkloadMode, CliError> {
+        let rn = num("rn")?;
+        let rd = num("rd")?;
+        if rn > 100 || rd > 100 {
+            return Err(CliError("--rn/--rd must be 0-100".into()));
+        }
+        let load = if with_load { num("load")? } else { 100 };
+        Ok(WorkloadMode {
+            request_bytes: num("rs")? as u32,
+            random_pct: rn as u8,
+            read_pct: rd as u8,
+            load_pct: load as u32,
+        })
+    };
+
+    match verb.as_str() {
+        "idle" => Ok(Command::Idle { disks: num("disks")? as usize, seconds: num_or("seconds", 60)? }),
+        "collect" => Ok(Command::Collect {
+            mode: mode(false)?,
+            seconds: num_or("seconds", 120)?,
+            repo: PathBuf::from(get("repo")?),
+            array: array()?,
+        }),
+        "replay" => Ok(Command::Replay {
+            mode: mode(true)?,
+            intensity: num_or("intensity", 100)? as u32,
+            repo: PathBuf::from(get("repo")?),
+            array: array()?,
+            db: flags.get("db").map(PathBuf::from),
+            afap_depth: match flags.get("afap") {
+                Some(v) => Some(
+                    v.parse().map_err(|_| CliError("--afap must be a queue depth".into()))?,
+                ),
+                None => None,
+            },
+        }),
+        "convert" => Ok(Command::Convert {
+            srt: PathBuf::from(get("srt")?),
+            name: get("name")?,
+            repo: PathBuf::from(get("repo")?),
+        }),
+        "stats" => Ok(Command::Stats { name: get("name")?, repo: PathBuf::from(get("repo")?) }),
+        "policies" => Ok(Command::Policies {
+            seconds: num_or("seconds", 120)?,
+            db: flags.get("db").map(PathBuf::from),
+        }),
+        "report" => Ok(Command::Report { db: PathBuf::from(get("db")?) }),
+        "serve" => Ok(Command::Serve { repo: PathBuf::from(get("repo")?), array: array()? }),
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        other => Err(CliError(format!("unknown command {other:?}; try `tracer help`"))),
+    }
+}
+
+/// Execute a parsed command, writing human-readable output to stdout.
+pub fn run(cmd: Command) -> Result<(), CliError> {
+    let io_err = |e: tracer_trace::TraceError| CliError(e.to_string());
+    match cmd {
+        Command::Help => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Command::Idle { disks, seconds } => {
+            let mut host = EvaluationHost::new();
+            let mut sim = presets::hdd_array_idle(disks);
+            let watts =
+                host.measure_idle(&mut sim, SimDuration::from_secs(seconds), "cli-idle");
+            println!("idle power with {disks} disks over {seconds}s: {watts:.2} W");
+            Ok(())
+        }
+        Command::Collect { mode, seconds, repo, array } => {
+            let repo = TraceRepository::open(&repo).map_err(io_err)?;
+            let mut sim = array.build();
+            let out = run_peak_workload(
+                &mut sim,
+                &IometerConfig {
+                    duration: SimDuration::from_secs(seconds),
+                    ..IometerConfig::two_minutes(mode, 0x7ace)
+                },
+            );
+            let path = repo.store(&mode, &out.trace).map_err(io_err)?;
+            println!(
+                "collected {} IOs at peak {:.1} IOPS / {:.2} MBPS -> {}",
+                out.trace.io_count(),
+                out.peak_iops,
+                out.peak_mbps,
+                path.display()
+            );
+            Ok(())
+        }
+        Command::Replay { mode, intensity, repo, array, db, afap_depth } => {
+            let repo = TraceRepository::open(&repo).map_err(io_err)?;
+            let device = array.build().config().name.clone();
+            let trace = repo.load(&device, &mode).map_err(io_err)?;
+            if let Some(depth) = afap_depth {
+                let mut sim = array.build();
+                let report = tracer_replay::replay_afap(
+                    &mut sim,
+                    &trace,
+                    depth,
+                    tracer_replay::AddressPolicy::Wrap,
+                );
+                println!(
+                    "afap depth {depth}: {:.1} IOPS, {:.2} MBPS, avg {:.2} ms, p95 {:.2} ms                      over {:.2}s",
+                    report.summary.iops,
+                    report.summary.mbps,
+                    report.summary.avg_response_ms,
+                    report.summary.p95_response_ms,
+                    report.span().as_secs_f64()
+                );
+                return Ok(());
+            }
+            let mut host = EvaluationHost::new();
+            if let Some(path) = &db {
+                if path.exists() {
+                    host.db = crate::db::Database::load(path).map_err(|e| CliError(e.to_string()))?;
+                }
+            }
+            let mut sim = array.build();
+            let outcome = host.run_test(&mut sim, &trace, mode, intensity, "cli-replay");
+            let m = outcome.metrics;
+            println!(
+                "load {}% intensity {intensity}%: {:.1} IOPS, {:.2} MBPS, {:.2} ms avg, \
+                 {:.2} W, {:.3} IOPS/Watt, {:.1} MBPS/Kilowatt",
+                mode.load_pct, m.iops, m.mbps, m.avg_response_ms, m.avg_watts,
+                m.iops_per_watt, m.mbps_per_kilowatt
+            );
+            if let Some(path) = db {
+                host.db.save(&path).map_err(|e| CliError(e.to_string()))?;
+                println!("record appended to {}", path.display());
+            }
+            Ok(())
+        }
+        Command::Convert { srt: srt_path, name, repo } => {
+            let repo = TraceRepository::open(&repo).map_err(io_err)?;
+            let trace = srt::convert_file(&srt_path, &name, srt::ConvertOptions::default())
+                .map_err(io_err)?;
+            let path = repo.store_named(&name, &trace).map_err(io_err)?;
+            println!("converted {} IOs -> {}", trace.io_count(), path.display());
+            Ok(())
+        }
+        Command::Stats { name, repo } => {
+            let repo = TraceRepository::open(&repo).map_err(io_err)?;
+            let trace = repo.load_named(&name).map_err(io_err)?;
+            let s = TraceStats::compute(&trace);
+            println!("trace {name}:");
+            println!("  ios            {:>12}", s.ios);
+            println!("  bunches        {:>12}", s.bunches);
+            println!("  duration       {:>12.1} s", s.duration_ns as f64 / 1e9);
+            println!("  read ratio     {:>12.2} %", s.read_ratio * 100.0);
+            println!("  avg request    {:>12.1} KB", s.avg_request_kib());
+            println!("  fs span        {:>12.2} GB", s.span_gib());
+            println!("  dataset        {:>12.2} GB", s.footprint_gib());
+            println!("  sequentiality  {:>12.2} %", s.sequential_ratio * 100.0);
+            println!("  avg rate       {:>9.1} IOPS / {:.2} MBPS", s.avg_iops, s.avg_mbps);
+            Ok(())
+        }
+        Command::Report { db } => {
+            let db = crate::db::Database::load(&db).map_err(|e| CliError(e.to_string()))?;
+            print!("{}", crate::report::markdown(&db));
+            Ok(())
+        }
+        Command::Serve { repo, array } => {
+            let repo = TraceRepository::open(&repo).map_err(io_err)?;
+            let device = array.build().config().name.clone();
+            let server = crate::net::GeneratorServer::spawn(
+                move |requested: &str| (requested == device).then(|| array.build()),
+                move |dev: &str, mode: &WorkloadMode| repo.load(dev, mode).ok(),
+            )
+            .map_err(|e| CliError(e.to_string()))?;
+            println!("workload generator listening on {}", server.addr());
+            println!("send the line protocol (see `tracer help`); `quit` stops the server");
+            // Serve until the peer sends quit; the spawn thread owns the loop.
+            match server.shutdown_on_quit() {
+                Ok(()) => Ok(()),
+                Err(e) => Err(CliError(e.to_string())),
+            }
+        }
+        Command::Policies { seconds, db } => {
+            let trace = WebServerTraceBuilder {
+                duration_s: seconds as f64,
+                mean_iops: 150.0,
+                ..Default::default()
+            }
+            .build();
+            let mut host = EvaluationHost::new();
+            let outcomes = compare_policies(
+                &mut host,
+                || presets::hdd_raid5_parts(6),
+                &trace,
+                WorkloadMode::peak(22 * 1024, 50, 90),
+                &[
+                    ConservationPolicy::SpinDown { idle_timeout: SimDuration::from_secs(10) },
+                    ConservationPolicy::DegradedParity { parked_disk: 0 },
+                    ConservationPolicy::WriteBackCache,
+                ],
+                "cli-policies",
+            );
+            println!(
+                "{:<28} {:>10} {:>9} {:>9} {:>10} {:>10}",
+                "policy", "energy J", "watts", "avg ms", "saving %", "penalty %"
+            );
+            for o in &outcomes {
+                println!(
+                    "{:<28} {:>10.1} {:>9.2} {:>9.2} {:>10.2} {:>10.2}",
+                    o.policy, o.energy_joules, o.avg_watts, o.avg_response_ms,
+                    o.energy_saving_pct, o.response_penalty_pct
+                );
+            }
+            if let Some(path) = db {
+                host.db.save(&path).map_err(|e| CliError(e.to_string()))?;
+                println!("records saved to {}", path.display());
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parses_idle() {
+        let cmd = parse(&argv("idle --disks 6")).unwrap();
+        assert_eq!(cmd, Command::Idle { disks: 6, seconds: 60 });
+        let cmd = parse(&argv("idle --disks 0 --seconds 5")).unwrap();
+        assert_eq!(cmd, Command::Idle { disks: 0, seconds: 5 });
+    }
+
+    #[test]
+    fn parses_collect_and_replay() {
+        let cmd = parse(&argv("collect --rs 4096 --rn 50 --rd 0 --repo /tmp/r")).unwrap();
+        match cmd {
+            Command::Collect { mode, seconds, array, .. } => {
+                assert_eq!(mode, WorkloadMode::peak(4096, 50, 0));
+                assert_eq!(seconds, 120);
+                assert_eq!(array, ArrayChoice::Hdd6);
+            }
+            other => panic!("{other:?}"),
+        }
+        let cmd = parse(&argv(
+            "replay --rs 4096 --rn 50 --rd 0 --load 30 --intensity 200 --repo /tmp/r --array ssd4",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Replay { mode, intensity, array, afap_depth, .. } => {
+                assert_eq!(mode.load_pct, 30);
+                assert_eq!(intensity, 200);
+                assert_eq!(array, ArrayChoice::Ssd4);
+                assert_eq!(afap_depth, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        let cmd = parse(&argv(
+            "replay --rs 4096 --rn 50 --rd 0 --load 100 --repo /tmp/r --afap 32",
+        ))
+        .unwrap();
+        assert!(matches!(cmd, Command::Replay { afap_depth: Some(32), .. }));
+    }
+
+    #[test]
+    fn parses_convert_stats_policies_help() {
+        assert!(matches!(
+            parse(&argv("convert --srt a.srt --name cello --repo /tmp/r")).unwrap(),
+            Command::Convert { .. }
+        ));
+        assert!(matches!(
+            parse(&argv("stats --name cello --repo /tmp/r")).unwrap(),
+            Command::Stats { .. }
+        ));
+        assert_eq!(
+            parse(&argv("policies")).unwrap(),
+            Command::Policies { seconds: 120, db: None }
+        );
+        assert!(matches!(
+            parse(&argv("report --db /tmp/x.json")).unwrap(),
+            Command::Report { .. }
+        ));
+        assert!(parse(&argv("report")).is_err(), "report needs --db");
+        assert!(matches!(
+            parse(&argv("serve --repo /tmp/r --array ssd4")).unwrap(),
+            Command::Serve { array: ArrayChoice::Ssd4, .. }
+        ));
+        assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "dance",
+            "idle",                                  // missing --disks
+            "idle --disks",                          // missing value
+            "idle --disks six",                      // non-numeric
+            "idle disks 6",                          // not a flag
+            "idle --disks 6 --disks 7",              // duplicate
+            "collect --rs 512 --rn 200 --rd 0 --repo /tmp/r", // ratio > 100
+            "replay --rs 512 --rn 0 --rd 0 --repo /tmp/r",    // missing --load
+            "collect --rs 512 --rn 0 --rd 0 --repo /tmp/r --array floppy",
+        ] {
+            assert!(parse(&argv(bad)).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn run_idle_and_collect_replay_round_trip() {
+        run(Command::Idle { disks: 2, seconds: 1 }).unwrap();
+        let repo = std::env::temp_dir().join(format!("tracer_cli_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&repo);
+        let mode = WorkloadMode::peak(8192, 50, 100);
+        run(Command::Collect {
+            mode,
+            seconds: 1,
+            repo: repo.clone(),
+            array: ArrayChoice::Hdd4,
+        })
+        .unwrap();
+        let db_path = repo.join("cli_db.json");
+        run(Command::Replay {
+            mode: mode.at_load(50),
+            intensity: 100,
+            repo: repo.clone(),
+            array: ArrayChoice::Hdd4,
+            db: Some(db_path.clone()),
+            afap_depth: None,
+        })
+        .unwrap();
+        // A second replay appends to the same database.
+        run(Command::Replay {
+            mode: mode.at_load(100),
+            intensity: 100,
+            repo: repo.clone(),
+            array: ArrayChoice::Hdd4,
+            db: Some(db_path.clone()),
+            afap_depth: None,
+        })
+        .unwrap();
+        // AFAP mode runs against the same stored trace.
+        run(Command::Replay {
+            mode,
+            intensity: 100,
+            repo: repo.clone(),
+            array: ArrayChoice::Hdd4,
+            db: None,
+            afap_depth: Some(16),
+        })
+        .unwrap();
+        let stored = crate::db::Database::load(&db_path).unwrap();
+        assert_eq!(stored.len(), 2);
+        run(Command::Report { db: db_path.clone() }).unwrap();
+        // Replaying a never-collected mode errors cleanly.
+        let missing = run(Command::Replay {
+            mode: WorkloadMode::peak(512, 0, 0),
+            intensity: 100,
+            repo: repo.clone(),
+            array: ArrayChoice::Hdd4,
+            db: None,
+            afap_depth: None,
+        });
+        assert!(missing.is_err());
+        assert!(run(Command::Report { db: repo.join("nope.json") }).is_err());
+        std::fs::remove_dir_all(&repo).unwrap();
+    }
+
+    #[test]
+    fn usage_mentions_every_command() {
+        for verb in
+            ["idle", "collect", "replay", "convert", "stats", "policies", "report", "serve"]
+        {
+            assert!(USAGE.contains(verb), "usage missing {verb}");
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Distributed evaluation: multiple arrays measured in parallel.
+//!
+//! §III-C of the paper deploys TRACER across an FC-SAN: several workload
+//! generators drive several storage systems while "multi-channel power
+//! analyzers … monitor power dissipation in multiple storage devices in
+//! parallel". Here each job (array + trace + mode) runs on its own thread;
+//! when all finish, one multi-channel [`PowerAnalyzer`] produces the
+//! per-system energy reports and everything is merged into the shared
+//! database.
+
+use crate::db::{PowerData, TestRecord};
+use crate::host::EvaluationHost;
+use crate::metrics::EfficiencyMetrics;
+use tracer_power::{Channel, PowerAnalyzer};
+use tracer_replay::{replay, LoadControl, ReplayConfig, PerfSummary};
+use tracer_sim::{ArrayPowerLog, ArraySim, SimTime};
+use tracer_trace::{Trace, WorkloadMode};
+
+/// One evaluation job: a storage system plus the workload to replay on it.
+pub struct EvaluationJob {
+    /// Job name (becomes the record label).
+    pub name: String,
+    /// Builds the array under test (runs on the worker thread).
+    pub build: Box<dyn FnOnce() -> ArraySim + Send>,
+    /// The trace to replay.
+    pub trace: Trace,
+    /// Workload mode (its load proportion applies).
+    pub mode: WorkloadMode,
+    /// Inter-arrival intensity, percent.
+    pub intensity_pct: u32,
+}
+
+impl EvaluationJob {
+    /// Job at original pacing.
+    pub fn new(
+        name: impl Into<String>,
+        build: impl FnOnce() -> ArraySim + Send + 'static,
+        trace: Trace,
+        mode: WorkloadMode,
+    ) -> Self {
+        Self { name: name.into(), build: Box::new(build), trace, mode, intensity_pct: 100 }
+    }
+}
+
+struct JobResult {
+    name: String,
+    device: String,
+    mode: WorkloadMode,
+    perf: PerfSummary,
+    log: ArrayPowerLog,
+    window: (SimTime, SimTime),
+}
+
+/// Run all jobs in parallel, measure each on its own analyzer channel, and
+/// store one record per job in `host`'s database. Returns the record ids in
+/// job order.
+pub fn run_parallel(host: &mut EvaluationHost, jobs: Vec<EvaluationJob>) -> Vec<u64> {
+    if jobs.is_empty() {
+        return Vec::new();
+    }
+    // Simulated time is per-array, so every job replays over its own clock;
+    // the analyzer channels share the measurement window [0, max_end).
+    let results: Vec<JobResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = jobs
+            .into_iter()
+            .map(|job| {
+                scope.spawn(move || {
+                    let mut sim = (job.build)();
+                    let cfg = ReplayConfig {
+                        load: LoadControl {
+                            proportion_pct: job.mode.load_pct,
+                            intensity_pct: job.intensity_pct,
+                        },
+                        ..Default::default()
+                    };
+                    let report = replay(&mut sim, &job.trace, &cfg);
+                    JobResult {
+                        name: job.name,
+                        device: sim.config().name.clone(),
+                        mode: job.mode,
+                        perf: report.summary,
+                        window: (report.started, report.finished),
+                        log: sim.power_log().clone(),
+                    }
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("evaluation job panicked")).collect()
+    });
+
+    // One multi-channel analyzer finalizes every system at once.
+    let mut analyzer = PowerAnalyzer::new();
+    for r in &results {
+        analyzer.add_channel(Channel::ac_220v(r.device.clone()));
+    }
+    analyzer.start(SimTime::ZERO);
+    let max_end = results
+        .iter()
+        .map(|r| r.window.1)
+        .max()
+        .filter(|t| *t > SimTime::ZERO)
+        .unwrap_or(SimTime::from_secs(1));
+    let logs: Vec<&ArrayPowerLog> = results.iter().map(|r| &r.log).collect();
+    let energy_reports = analyzer.finalize(max_end, &logs);
+
+    results
+        .into_iter()
+        .zip(energy_reports)
+        .map(|(r, energy)| {
+            // Efficiency uses each job's own replay window for power, so jobs
+            // of different lengths are not diluted by the shared window.
+            let own = tracer_power::PowerAnalyzer::measure_window(&r.log, r.window.0, r.window.1.max(r.window.0 + tracer_sim::SimDuration::from_nanos(1)));
+            let metrics = EfficiencyMetrics::from_parts(&r.perf, &own);
+            let record = TestRecord {
+                id: 0,
+                label: r.name,
+                device: r.device,
+                mode: r.mode,
+                power: PowerData {
+                    volts: 220.0,
+                    avg_amps: metrics.avg_watts / 220.0,
+                    avg_watts: metrics.avg_watts,
+                    energy_joules: energy.exact_joules,
+                },
+                perf: r.perf,
+                efficiency: metrics,
+            };
+            host.db.insert(record)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracer_sim::presets;
+    use tracer_trace::{Bunch, IoPackage};
+
+    fn trace(n: usize) -> Trace {
+        Trace::from_bunches(
+            "t",
+            (0..n)
+                .map(|i| {
+                    Bunch::new(
+                        i as u64 * 10_000_000,
+                        vec![IoPackage::read((i as u64 * 997) % 100_000, 8192)],
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn parallel_jobs_store_one_record_each() {
+        let mut host = EvaluationHost::new();
+        let jobs = vec![
+            EvaluationJob::new("hdd-job", || presets::hdd_raid5(4), trace(50), WorkloadMode::peak(8192, 50, 100)),
+            EvaluationJob::new("ssd-job", || presets::ssd_raid5(4), trace(50), WorkloadMode::peak(8192, 50, 100)),
+            EvaluationJob::new(
+                "hdd-half",
+                || presets::hdd_raid5(4),
+                trace(50),
+                WorkloadMode::peak(8192, 50, 100).at_load(50),
+            ),
+        ];
+        let ids = run_parallel(&mut host, jobs);
+        assert_eq!(ids.len(), 3);
+        assert_eq!(host.db.len(), 3);
+        let hdd = host.db.get(ids[0]).unwrap();
+        let ssd = host.db.get(ids[1]).unwrap();
+        let half = host.db.get(ids[2]).unwrap();
+        assert_eq!(hdd.perf.total_ios, 50);
+        assert_eq!(ssd.perf.total_ios, 50);
+        assert_eq!(half.perf.total_ios, 25);
+        // The SSD array idles lower than the HDD array.
+        assert!(ssd.efficiency.avg_watts < hdd.efficiency.avg_watts);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_results() {
+        // Determinism: the same job run on a thread or inline must agree.
+        let mut host = EvaluationHost::new();
+        let ids = run_parallel(
+            &mut host,
+            vec![EvaluationJob::new(
+                "par",
+                || presets::hdd_raid5(4),
+                trace(30),
+                WorkloadMode::peak(8192, 50, 100),
+            )],
+        );
+        let par = host.db.get(ids[0]).unwrap().clone();
+
+        let mut host2 = EvaluationHost::new();
+        let mut sim = presets::hdd_raid5(4);
+        let seq = host2.run_test(&mut sim, &trace(30), WorkloadMode::peak(8192, 50, 100), 100, "seq");
+        assert_eq!(par.perf.total_ios, seq.report.summary.total_ios);
+        assert!((par.efficiency.iops - seq.metrics.iops).abs() < 1e-9);
+        assert!((par.efficiency.avg_watts - seq.metrics.avg_watts).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_job_list() {
+        let mut host = EvaluationHost::new();
+        assert!(run_parallel(&mut host, vec![]).is_empty());
+        assert!(host.db.is_empty());
+    }
+}

@@ -1,0 +1,160 @@
+//! CSV export of measurement series.
+//!
+//! The bench harness prints paper-style tables and JSON result lines; for
+//! plotting with external tools (gnuplot, pandas, spreadsheets) the same
+//! series export as plain CSV. Fields that may contain commas (labels) are
+//! quoted; numbers use full precision so plots reproduce exactly.
+
+use crate::db::Database;
+use crate::metrics::AccuracyRow;
+use std::fmt::Write as _;
+use tracer_power::PowerSample;
+use tracer_replay::PerfSample;
+
+fn quote(field: &str) -> String {
+    if field.contains([',', '"', '\n']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Per-cycle performance samples as CSV (`t_s,ios,iops,mbps,avg_ms`).
+pub fn perf_samples_csv(samples: &[PerfSample]) -> String {
+    let mut out = String::from("t_s,ios,iops,mbps,avg_response_ms\n");
+    for s in samples {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{}",
+            s.at.as_secs_f64(),
+            s.ios,
+            s.iops,
+            s.mbps,
+            s.avg_response_ms
+        );
+    }
+    out
+}
+
+/// Power-meter records as CSV (`t_s,volts,amps,watts`).
+pub fn power_samples_csv(samples: &[PowerSample]) -> String {
+    let mut out = String::from("t_s,volts,amps,watts\n");
+    for s in samples {
+        let _ = writeln!(out, "{},{},{},{}", s.at.as_secs_f64(), s.volts, s.amps, s.watts);
+    }
+    out
+}
+
+/// Load-control accuracy rows as CSV (Tables IV/V shape).
+pub fn accuracy_rows_csv(rows: &[AccuracyRow]) -> String {
+    let mut out = String::from(
+        "configured_pct,iops,mbps,measured_iops_pct,measured_mbps_pct,accuracy_iops,accuracy_mbps\n",
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{}",
+            r.configured_pct,
+            r.iops,
+            r.mbps,
+            r.measured_iops_pct,
+            r.measured_mbps_pct,
+            r.accuracy_iops,
+            r.accuracy_mbps
+        );
+    }
+    out
+}
+
+/// The whole results database as CSV, one row per test record.
+pub fn database_csv(db: &Database) -> String {
+    let mut out = String::from(
+        "id,label,device,request_bytes,random_pct,read_pct,load_pct,\
+         iops,mbps,avg_response_ms,p95_response_ms,avg_watts,energy_joules,\
+         iops_per_watt,mbps_per_kilowatt\n",
+    );
+    for r in db.records() {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            r.id,
+            quote(&r.label),
+            quote(&r.device),
+            r.mode.request_bytes,
+            r.mode.random_pct,
+            r.mode.read_pct,
+            r.mode.load_pct,
+            r.efficiency.iops,
+            r.efficiency.mbps,
+            r.perf.avg_response_ms,
+            r.perf.p95_response_ms,
+            r.efficiency.avg_watts,
+            r.efficiency.energy_joules,
+            r.efficiency.iops_per_watt,
+            r.efficiency.mbps_per_kilowatt
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::{PowerData, TestRecord};
+    use tracer_sim::{SimDuration, SimTime};
+    use tracer_trace::WorkloadMode;
+
+    #[test]
+    fn perf_csv_round_numbers() {
+        let samples = vec![PerfSample {
+            at: SimTime::from_millis(1500),
+            cycle: SimDuration::from_secs(1),
+            ios: 7,
+            bytes: 7 * 4096,
+            iops: 7.0,
+            mbps: 0.028672,
+            avg_response_ms: 3.25,
+        }];
+        let csv = perf_samples_csv(&samples);
+        let mut lines = csv.lines();
+        assert_eq!(lines.next().unwrap(), "t_s,ios,iops,mbps,avg_response_ms");
+        assert_eq!(lines.next().unwrap(), "1.5,7,7,0.028672,3.25");
+        assert!(lines.next().is_none());
+    }
+
+    #[test]
+    fn power_csv_shape() {
+        let log = tracer_sim::ArrayPowerLog::new(20.0, &[5.0]);
+        let samples =
+            tracer_power::PowerMeter::default().sample(&log, SimTime::ZERO, SimTime::from_secs(3));
+        let csv = power_samples_csv(&samples);
+        assert_eq!(csv.lines().count(), 4);
+        assert!(csv.lines().nth(1).unwrap().ends_with(",25"));
+    }
+
+    #[test]
+    fn accuracy_csv_shape() {
+        let rows = vec![AccuracyRow::new(20, 200.0, 2.0, 1000.0, 10.0)];
+        let csv = accuracy_rows_csv(&rows);
+        assert!(csv.contains("configured_pct"));
+        assert!(csv.contains("20,200,2,"));
+    }
+
+    #[test]
+    fn database_csv_quotes_labels() {
+        let mut db = Database::new();
+        db.insert(TestRecord {
+            id: 0,
+            label: "hello, \"world\"".into(),
+            device: "raid5".into(),
+            mode: WorkloadMode::peak(4096, 50, 0).at_load(30),
+            power: PowerData::default(),
+            perf: Default::default(),
+            efficiency: Default::default(),
+        });
+        let csv = database_csv(&db);
+        assert!(csv.contains("\"hello, \"\"world\"\"\""), "{csv}");
+        assert_eq!(csv.lines().count(), 2);
+        assert!(csv.contains(",4096,50,0,30,"));
+    }
+}

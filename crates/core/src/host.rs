@@ -1,0 +1,341 @@
+//! The evaluation host: test orchestration and the command session.
+//!
+//! The evaluation host is "a kernel control part of the entire system"
+//! (§III-A1): it configures the workload generator, arms the power analyzer,
+//! runs the test, and stores an energy-efficiency record in the database.
+//! [`EvaluationHost::run_test`] is that sequence against a simulated array;
+//! [`CommandSession`] drives it through the GUI text protocol (parser →
+//! messenger), which is how the paper's GUI front-end reaches the machinery.
+
+use crate::db::{Database, PowerData, TestRecord};
+use crate::messages::{parse_command, HostCommand, ParseError};
+use crate::metrics::EfficiencyMetrics;
+use tracer_power::{Channel, PowerAnalyzer};
+use tracer_replay::{replay, LoadControl, ReplayConfig, ReplayReport};
+use tracer_sim::{ArraySim, SimDuration};
+use tracer_trace::{Trace, WorkloadMode};
+
+/// Orchestrates tests and owns the results database.
+#[derive(Debug, Default)]
+pub struct EvaluationHost {
+    /// The results database.
+    pub db: Database,
+    /// Power-analyzer sampling cycle in milliseconds (paper default: 1000).
+    pub meter_cycle_ms: u64,
+}
+
+/// The outcome of one test run (besides the stored record).
+#[derive(Debug, Clone)]
+pub struct TestOutcome {
+    /// Id of the record stored in the database.
+    pub record_id: u64,
+    /// The replay report (completions, per-cycle samples).
+    pub report: ReplayReport,
+    /// The computed efficiency metrics.
+    pub metrics: EfficiencyMetrics,
+}
+
+impl EvaluationHost {
+    /// Host with the paper's defaults.
+    pub fn new() -> Self {
+        Self { db: Database::new(), meter_cycle_ms: 1000 }
+    }
+
+    /// Run one test: apply the mode's load proportion (and `intensity_pct`
+    /// pacing) to `trace`, replay it into `sim`, measure power over the replay
+    /// window, and store a [`TestRecord`].
+    pub fn run_test(
+        &mut self,
+        sim: &mut ArraySim,
+        trace: &Trace,
+        mode: WorkloadMode,
+        intensity_pct: u32,
+        label: &str,
+    ) -> TestOutcome {
+        let cfg = ReplayConfig {
+            load: LoadControl { proportion_pct: mode.load_pct, intensity_pct },
+            ..Default::default()
+        };
+        let report = replay(sim, trace, &cfg);
+
+        // Arm and finalize the analyzer over the replay window, like the
+        // host's init/finalize commands around a physical run.
+        let mut analyzer = PowerAnalyzer::new();
+        let mut channel = Channel::ac_220v(sim.config().name.clone());
+        channel.meter.cycle = SimDuration::from_millis(self.meter_cycle_ms.max(1));
+        analyzer.add_channel(channel);
+        analyzer.start(report.started);
+        let window_end = if report.finished > report.started {
+            report.finished
+        } else {
+            report.started + SimDuration::from_nanos(1)
+        };
+        let energy = analyzer
+            .finalize(window_end, &[sim.power_log()])
+            .pop()
+            .expect("one channel configured");
+
+        let metrics = EfficiencyMetrics::from_parts(&report.summary, &energy);
+        let record = TestRecord {
+            id: 0,
+            label: label.to_string(),
+            device: sim.config().name.clone(),
+            mode,
+            power: PowerData {
+                volts: 220.0,
+                avg_amps: metrics.avg_watts / 220.0,
+                avg_watts: metrics.avg_watts,
+                energy_joules: metrics.energy_joules,
+            },
+            perf: report.summary,
+            efficiency: metrics,
+        };
+        let record_id = self.db.insert(record);
+        TestOutcome { record_id, report, metrics }
+    }
+
+    /// Measure the array's idle power over `window` without any workload
+    /// (the Fig. 7 experiment).
+    pub fn measure_idle(&mut self, sim: &mut ArraySim, window: SimDuration, label: &str) -> f64 {
+        let from = sim.now();
+        sim.run_until(from + window);
+        let report = PowerAnalyzer::measure_window(sim.power_log(), from, from + window);
+        let record = TestRecord {
+            id: 0,
+            label: label.to_string(),
+            device: sim.config().name.clone(),
+            mode: WorkloadMode::peak(0, 0, 0).at_load(0),
+            power: PowerData {
+                volts: 220.0,
+                avg_amps: report.avg_watts / 220.0,
+                avg_watts: report.avg_watts,
+                energy_joules: report.exact_joules,
+            },
+            perf: Default::default(),
+            efficiency: EfficiencyMetrics {
+                avg_watts: report.avg_watts,
+                energy_joules: report.exact_joules,
+                ..Default::default()
+            },
+        };
+        self.db.insert(record);
+        report.avg_watts
+    }
+}
+
+/// Errors from the command session.
+#[derive(Debug)]
+pub enum SessionError {
+    /// The line failed to parse.
+    Parse(ParseError),
+    /// The command is invalid in the current state.
+    State(String),
+    /// No trace exists for the requested device/mode.
+    NoTrace(String),
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::Parse(e) => write!(f, "{e}"),
+            SessionError::State(s) => write!(f, "invalid command sequence: {s}"),
+            SessionError::NoTrace(s) => write!(f, "no trace available: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// A GUI-protocol session: text lines in, text responses out.
+///
+/// `build_array` constructs the device under test per run; `load_trace`
+/// resolves `(device, mode)` to the trace to replay (typically backed by a
+/// [`tracer_trace::TraceRepository`]).
+pub struct CommandSession<B, L>
+where
+    B: FnMut(&str) -> Option<ArraySim>,
+    L: FnMut(&str, &WorkloadMode) -> Option<Trace>,
+{
+    host: EvaluationHost,
+    build_array: B,
+    load_trace: L,
+    pending: Option<(String, WorkloadMode, u32)>,
+    tests_run: u64,
+}
+
+impl<B, L> CommandSession<B, L>
+where
+    B: FnMut(&str) -> Option<ArraySim>,
+    L: FnMut(&str, &WorkloadMode) -> Option<Trace>,
+{
+    /// New session around fresh host state.
+    pub fn new(build_array: B, load_trace: L) -> Self {
+        Self {
+            host: EvaluationHost::new(),
+            build_array,
+            load_trace,
+            pending: None,
+            tests_run: 0,
+        }
+    }
+
+    /// Access the results accumulated by this session.
+    pub fn host(&self) -> &EvaluationHost {
+        &self.host
+    }
+
+    /// Handle one protocol line, returning the textual response.
+    pub fn handle_line(&mut self, line: &str) -> Result<String, SessionError> {
+        let cmd = parse_command(line).map_err(SessionError::Parse)?;
+        match cmd {
+            HostCommand::Configure { device, mode, intensity_pct } => {
+                self.pending = Some((device.clone(), mode, intensity_pct));
+                Ok(format!("ok configured device={device} {mode}"))
+            }
+            HostCommand::Start => {
+                let (device, mode, intensity) = self
+                    .pending
+                    .clone()
+                    .ok_or_else(|| SessionError::State("start before configure".into()))?;
+                let mut sim = (self.build_array)(&device)
+                    .ok_or_else(|| SessionError::NoTrace(format!("unknown device {device}")))?;
+                let trace = (self.load_trace)(&device, &mode)
+                    .ok_or_else(|| SessionError::NoTrace(format!("{device}/{mode}")))?;
+                self.tests_run += 1;
+                let label = format!("session-test-{}", self.tests_run);
+                let outcome = self.host.run_test(&mut sim, &trace, mode, intensity, &label);
+                Ok(format!(
+                    "ok test id={} iops={:.2} mbps={:.3} watts={:.2} iops_per_watt={:.3}",
+                    outcome.record_id,
+                    outcome.metrics.iops,
+                    outcome.metrics.mbps,
+                    outcome.metrics.avg_watts,
+                    outcome.metrics.iops_per_watt
+                ))
+            }
+            HostCommand::Abort => {
+                self.pending = None;
+                Ok("ok aborted".to_string())
+            }
+            HostCommand::InitAnalyzer { cycle_ms } => {
+                if cycle_ms == 0 {
+                    return Err(SessionError::State("cycle must be positive".into()));
+                }
+                self.host.meter_cycle_ms = cycle_ms;
+                Ok(format!("ok analyzer cycle={cycle_ms}ms"))
+            }
+            HostCommand::FinalizeAnalyzer => Ok("ok analyzer finalized".to_string()),
+            HostCommand::Query { device } => {
+                let n = self.host.db.query(|r| r.device == device).len();
+                Ok(format!("ok records device={device} count={n}"))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracer_sim::presets;
+    use tracer_trace::{Bunch, IoPackage};
+
+    fn test_trace(n: usize) -> Trace {
+        Trace::from_bunches(
+            "raid5-hdd4",
+            (0..n)
+                .map(|i| {
+                    Bunch::new(
+                        i as u64 * 10_000_000,
+                        vec![IoPackage::read((i as u64 * 997) % 100_000, 4096)],
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn run_test_stores_record_with_metrics() {
+        let mut host = EvaluationHost::new();
+        let mut sim = presets::hdd_raid5(4);
+        let mode = WorkloadMode::peak(4096, 50, 100).at_load(50);
+        let outcome = host.run_test(&mut sim, &test_trace(100), mode, 100, "unit");
+        assert_eq!(outcome.report.issued_ios, 50);
+        assert!(outcome.metrics.avg_watts > 30.0, "watts {}", outcome.metrics.avg_watts);
+        assert!(outcome.metrics.iops_per_watt > 0.0);
+        let rec = host.db.get(outcome.record_id).unwrap();
+        assert_eq!(rec.device, "raid5-hdd4");
+        assert_eq!(rec.mode.load_pct, 50);
+        assert!((rec.power.avg_amps - rec.power.avg_watts / 220.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_measurement_matches_configuration() {
+        let mut host = EvaluationHost::new();
+        let mut sim = presets::hdd_array_idle(6);
+        let w = host.measure_idle(&mut sim, SimDuration::from_secs(30), "idle6");
+        assert!((w - (16.0 + 6.0 * 5.0)).abs() < 1e-9);
+        assert_eq!(host.db.len(), 1);
+    }
+
+    #[test]
+    fn empty_trace_test_does_not_divide_by_zero() {
+        let mut host = EvaluationHost::new();
+        let mut sim = presets::hdd_raid5(4);
+        let mode = WorkloadMode::peak(4096, 0, 0);
+        let outcome = host.run_test(&mut sim, &Trace::new("empty"), mode, 100, "empty");
+        assert_eq!(outcome.metrics.iops, 0.0);
+        assert!(outcome.metrics.iops_per_watt.is_finite());
+    }
+
+    #[test]
+    fn session_full_flow() {
+        let mut session = CommandSession::new(
+            |device| (device == "raid5-hdd4").then(|| presets::hdd_raid5(4)),
+            |_, _| Some(test_trace(50)),
+        );
+        let r = session
+            .handle_line("init-analyzer cycle=500")
+            .unwrap();
+        assert!(r.contains("500ms"));
+        let r = session
+            .handle_line("configure device=raid5-hdd4 rs=4096 rn=50 rd=100 load=20")
+            .unwrap();
+        assert!(r.contains("configured"));
+        let r = session.handle_line("start").unwrap();
+        assert!(r.contains("iops="), "{r}");
+        let r = session.handle_line("query device=raid5-hdd4").unwrap();
+        assert!(r.contains("count=1"));
+        let r = session.handle_line("finalize-analyzer").unwrap();
+        assert!(r.contains("finalized"));
+        assert_eq!(session.host().db.len(), 1);
+    }
+
+    #[test]
+    fn session_rejects_bad_sequences() {
+        let mut session = CommandSession::new(
+            |_| Some(presets::hdd_raid5(4)),
+            |_, _| Some(test_trace(10)),
+        );
+        assert!(matches!(session.handle_line("start"), Err(SessionError::State(_))));
+        assert!(matches!(session.handle_line("nonsense"), Err(SessionError::Parse(_))));
+        assert!(matches!(
+            session.handle_line("init-analyzer cycle=0"),
+            Err(SessionError::State(_))
+        ));
+        session
+            .handle_line("configure device=ghost rs=512 rn=0 rd=0 load=10")
+            .unwrap();
+        // Unknown device surfaces as NoTrace.
+        let mut ghost_session = CommandSession::new(
+            |_: &str| None::<ArraySim>,
+            |_, _| Some(test_trace(10)),
+        );
+        ghost_session
+            .handle_line("configure device=ghost rs=512 rn=0 rd=0 load=10")
+            .unwrap();
+        assert!(matches!(ghost_session.handle_line("start"), Err(SessionError::NoTrace(_))));
+        // Abort clears pending config.
+        session.handle_line("abort").unwrap();
+        assert!(matches!(session.handle_line("start"), Err(SessionError::State(_))));
+    }
+}

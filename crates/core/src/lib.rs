@@ -1,0 +1,94 @@
+//! TRACER: an integrated framework for evaluating the energy efficiency of
+//! mass storage systems.
+//!
+//! This crate is the top of the TRACER reproduction stack ("TRACER: A Trace
+//! Replay Tool to Evaluate Energy-Efficiency of Mass Storage Systems",
+//! CLUSTER 2010). It ties the substrates together the way the paper's
+//! evaluation host does:
+//!
+//! * [`metrics`] — the paper's headline metrics (IOPS/Watt, MBPS/Kilowatt)
+//!   and the load-proportion / accuracy equations (Eqs. 1–2);
+//! * [`db`] — the results database: one record per test with workload mode,
+//!   energy-dissipation data, performance, and efficiency;
+//! * [`messages`] — the typed host↔generator↔analyzer protocol plus the GUI
+//!   text-protocol parser;
+//! * [`host`] — test orchestration ([`host::EvaluationHost::run_test`]) and
+//!   the protocol-driven [`host::CommandSession`];
+//! * [`orchestrate`] — load sweeps, the 125-mode synthetic sweep, accuracy
+//!   tables;
+//! * [`distributed`] — parallel evaluation of multiple arrays with a
+//!   multi-channel power analyzer (§III-C).
+//!
+//! Re-exports cover the full public surface of the lower crates so examples
+//! and downstream users need a single dependency.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use tracer_core::prelude::*;
+//!
+//! // Build the paper's testbed: RAID-5 over four HDDs.
+//! let mut sim = presets::hdd_raid5(4);
+//!
+//! // A small synthetic trace (4 KiB random reads every 10 ms).
+//! let trace = Trace::from_bunches(
+//!     "demo",
+//!     (0..50)
+//!         .map(|i| Bunch::at_micros(i * 10_000, vec![IoPackage::read(i * 8191 % 65_536, 4096)]))
+//!         .collect(),
+//! );
+//!
+//! // Replay at a 50 % load proportion and record energy efficiency.
+//! let mut host = EvaluationHost::new();
+//! let mode = WorkloadMode::peak(4096, 100, 100).at_load(50);
+//! let outcome = host.run_test(&mut sim, &trace, mode, 100, "quickstart");
+//! assert!(outcome.metrics.iops_per_watt > 0.0);
+//! ```
+
+pub mod analysis;
+pub mod cli;
+pub mod db;
+pub mod distributed;
+pub mod export;
+pub mod host;
+pub mod messages;
+pub mod metrics;
+pub mod net;
+pub mod orchestrate;
+pub mod report;
+pub mod techniques;
+
+pub use analysis::{coefficient_of_variation, linear_fit, mean, pearson, relative_spread, LinearFit};
+pub use db::{Database, DbError, PowerData, TestRecord};
+pub use distributed::{run_parallel, EvaluationJob};
+pub use host::{CommandSession, EvaluationHost, SessionError, TestOutcome};
+pub use messages::{format_command, parse_command, HostCommand, ParseError, Report};
+pub use metrics::{load_accuracy, load_proportion, AccuracyRow, EfficiencyMetrics};
+pub use net::{GeneratorServer, HostClient};
+pub use orchestrate::{load_sweep, repeated_trials, run_sweep, LoadSweepResult, SweepConfig, TrialStat, TrialSummary};
+pub use techniques::{compare_policies, ConservationPolicy, PolicyOutcome};
+
+/// Everything an application typically needs, including the lower layers.
+pub mod prelude {
+    pub use crate::{
+        load_accuracy, load_proportion, load_sweep, run_parallel, run_sweep, AccuracyRow,
+        CommandSession, Database, EfficiencyMetrics, EvaluationHost, EvaluationJob,
+        LoadSweepResult, SweepConfig, TestRecord,
+    };
+    pub use crate::techniques::{compare_policies, ConservationPolicy, PolicyOutcome};
+    pub use tracer_power::{Channel, EnergyReport, NoiseModel, PowerAnalyzer, PowerMeter};
+    pub use tracer_replay::{
+        replay, scale_intensity, AddressPolicy, LoadControl, PerformanceMonitor,
+        ProportionalFilter, RealTimeReplayer, ReplayConfig,
+    };
+    pub use tracer_sim::{
+        presets, ArrayConfig, ArrayRequest, ArraySim, Completion, Geometry, QueueDiscipline,
+        SimDuration, SimTime,
+    };
+    pub use tracer_trace::{
+        sweep, Bunch, IoPackage, OpKind, Trace, TraceRepository, TraceStats, WorkloadMode,
+    };
+    pub use tracer_workload::{
+        collect_sweep, CelloTraceBuilder, IometerConfig, TraceCollector, WebServerTraceBuilder,
+    };
+}

@@ -1,0 +1,163 @@
+//! Energy-efficiency metrics: IOPS/Watt and MBPS/Kilowatt.
+//!
+//! §V-B of the paper introduces the two integrated metrics TRACER reports —
+//! "IOPS/Watt can be utilized to decide, within one second, how many IO
+//! requests can be processed per Watt. Similarly, MBPS/Kilowatt represents,
+//! within one second, the amount of data processed per Kilowatt" — plus the
+//! load-proportion (Eq. 1) and accuracy (Eq. 2) definitions used to validate
+//! the load-control scheme.
+
+use serde::{Deserialize, Serialize};
+use tracer_power::EnergyReport;
+use tracer_replay::PerfSummary;
+
+/// Combined performance + energy-efficiency figures of one test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct EfficiencyMetrics {
+    /// Mean request rate, IO/s.
+    pub iops: f64,
+    /// Mean data rate, MB/s.
+    pub mbps: f64,
+    /// Mean response time, milliseconds.
+    pub avg_response_ms: f64,
+    /// Mean power over the measurement window, watts.
+    pub avg_watts: f64,
+    /// Total energy over the window, joules.
+    pub energy_joules: f64,
+    /// The paper's first headline metric: IOPS per watt.
+    pub iops_per_watt: f64,
+    /// The paper's second headline metric: MBPS per kilowatt.
+    pub mbps_per_kilowatt: f64,
+}
+
+impl EfficiencyMetrics {
+    /// Combine a performance summary with an energy report.
+    pub fn from_parts(perf: &PerfSummary, energy: &EnergyReport) -> Self {
+        let avg_watts = energy.avg_watts;
+        Self {
+            iops: perf.iops,
+            mbps: perf.mbps,
+            avg_response_ms: perf.avg_response_ms,
+            avg_watts,
+            energy_joules: energy.exact_joules,
+            iops_per_watt: if avg_watts > 0.0 { perf.iops / avg_watts } else { 0.0 },
+            mbps_per_kilowatt: if avg_watts > 0.0 { perf.mbps / (avg_watts / 1000.0) } else { 0.0 },
+        }
+    }
+}
+
+/// Eq. 1: the measured load proportion `LP(f, f') = T(f') / T(f)` — the
+/// throughput of the manipulated trace over the throughput of the original,
+/// in IOPS or MBPS.
+pub fn load_proportion(manipulated_throughput: f64, original_throughput: f64) -> f64 {
+    if original_throughput > 0.0 {
+        manipulated_throughput / original_throughput
+    } else {
+        0.0
+    }
+}
+
+/// Eq. 2: load-control accuracy `A(f, f') = LP(f, f') / LP_config`, where the
+/// configured proportion is given in percent. Perfect control yields 1.0.
+pub fn load_accuracy(measured_lp: f64, configured_pct: u32) -> f64 {
+    let config = f64::from(configured_pct) / 100.0;
+    if config > 0.0 {
+        measured_lp / config
+    } else {
+        0.0
+    }
+}
+
+/// One row of a load-control accuracy table (Tables IV/V, Fig. 8 curves).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AccuracyRow {
+    /// Configured load proportion, percent.
+    pub configured_pct: u32,
+    /// Measured IOPS at this level.
+    pub iops: f64,
+    /// Measured MBPS at this level.
+    pub mbps: f64,
+    /// Measured load % of IOPS (Eq. 1 × 100).
+    pub measured_iops_pct: f64,
+    /// Measured load % of MBPS (Eq. 1 × 100).
+    pub measured_mbps_pct: f64,
+    /// Accuracy of IOPS (Eq. 2).
+    pub accuracy_iops: f64,
+    /// Accuracy of MBPS (Eq. 2).
+    pub accuracy_mbps: f64,
+}
+
+impl AccuracyRow {
+    /// Build a row from the measured throughputs at this level and at 100 %.
+    pub fn new(configured_pct: u32, iops: f64, mbps: f64, full_iops: f64, full_mbps: f64) -> Self {
+        let lp_iops = load_proportion(iops, full_iops);
+        let lp_mbps = load_proportion(mbps, full_mbps);
+        Self {
+            configured_pct,
+            iops,
+            mbps,
+            measured_iops_pct: lp_iops * 100.0,
+            measured_mbps_pct: lp_mbps * 100.0,
+            accuracy_iops: load_accuracy(lp_iops, configured_pct),
+            accuracy_mbps: load_accuracy(lp_mbps, configured_pct),
+        }
+    }
+
+    /// Worst-case relative control error of the row (|accuracy − 1|).
+    pub fn max_error(&self) -> f64 {
+        (self.accuracy_iops - 1.0).abs().max((self.accuracy_mbps - 1.0).abs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracer_power::PowerAnalyzer;
+    use tracer_sim::{ArrayPowerLog, SimTime};
+
+    fn perf(iops: f64, mbps: f64) -> PerfSummary {
+        PerfSummary { iops, mbps, window_s: 10.0, avg_response_ms: 5.0, ..Default::default() }
+    }
+
+    #[test]
+    fn metrics_combine_perf_and_power() {
+        let log = ArrayPowerLog::new(40.0, &[5.0, 5.0]); // 50 W flat
+        let report = PowerAnalyzer::measure_window(&log, SimTime::ZERO, SimTime::from_secs(10));
+        let m = EfficiencyMetrics::from_parts(&perf(500.0, 20.0), &report);
+        assert!((m.avg_watts - 50.0).abs() < 1e-9);
+        assert!((m.energy_joules - 500.0).abs() < 1e-9);
+        assert!((m.iops_per_watt - 10.0).abs() < 1e-9);
+        assert!((m.mbps_per_kilowatt - 400.0).abs() < 1e-9);
+        assert!((m.avg_response_ms - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_power_yields_zero_efficiency() {
+        let log = ArrayPowerLog::new(0.0, &[]);
+        let report = PowerAnalyzer::measure_window(&log, SimTime::ZERO, SimTime::from_secs(1));
+        let m = EfficiencyMetrics::from_parts(&perf(100.0, 1.0), &report);
+        assert_eq!(m.iops_per_watt, 0.0);
+        assert_eq!(m.mbps_per_kilowatt, 0.0);
+    }
+
+    #[test]
+    fn equations_one_and_two() {
+        // Table IV's first column: configured 10 %, measured 9.9266 %.
+        let lp = load_proportion(9.9266, 100.0);
+        assert!((lp - 0.099266).abs() < 1e-9);
+        let acc = load_accuracy(lp, 10);
+        assert!((acc - 0.99266).abs() < 1e-9);
+        assert_eq!(load_proportion(5.0, 0.0), 0.0);
+        assert_eq!(load_accuracy(0.5, 0), 0.0);
+    }
+
+    #[test]
+    fn accuracy_row() {
+        let row = AccuracyRow::new(20, 201.0, 2.05, 1000.0, 10.0);
+        assert!((row.measured_iops_pct - 20.1).abs() < 1e-9);
+        assert!((row.measured_mbps_pct - 20.5).abs() < 1e-9);
+        assert!((row.accuracy_iops - 1.005).abs() < 1e-9);
+        assert!((row.accuracy_mbps - 1.025).abs() < 1e-9);
+        assert!((row.max_error() - 0.025).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,266 @@
+//! The communicator: evaluation host ↔ workload generator over TCP.
+//!
+//! In the paper's architecture "the communicator in the evaluation host
+//! interacts with the communicator in the workload generator through the TCP
+//! socket channel" (§III-A1) — the host and the generator are separate
+//! machines. This module reproduces that split faithfully: a
+//! [`GeneratorServer`] listens on a socket, parses the line protocol of
+//! [`crate::messages`] with the same [`CommandSession`] the in-process path
+//! uses, runs tests, and streams responses back; a [`HostClient`] is the
+//! evaluation-host side.
+//!
+//! The wire format is the GUI text protocol, one command per line; responses
+//! are `ok …` or `err …` lines. The extra verb `quit` (wire-only; not part of
+//! the command grammar) ends the server's accept loop.
+
+use crate::host::{CommandSession, SessionError};
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use tracer_sim::ArraySim;
+use tracer_trace::{Trace, WorkloadMode};
+
+/// The workload-generator machine: accepts one evaluation host at a time and
+/// executes its commands.
+pub struct GeneratorServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<io::Result<()>>>,
+}
+
+impl GeneratorServer {
+    /// Bind to an ephemeral localhost port and serve in a background thread.
+    /// `build_array` constructs the device under test per run; `load_trace`
+    /// resolves `(device, mode)` to the trace to replay.
+    pub fn spawn<B, L>(build_array: B, load_trace: L) -> io::Result<Self>
+    where
+        B: FnMut(&str) -> Option<ArraySim> + Send + 'static,
+        L: FnMut(&str, &WorkloadMode) -> Option<Trace> + Send + 'static,
+    {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let handle =
+            std::thread::spawn(move || serve(listener, flag, build_array, load_trace));
+        Ok(Self { addr, stop, handle: Some(handle) })
+    }
+
+    /// The address the host connects to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Block until a client ends the server with the `quit` verb (the
+    /// foreground deployment of `tracer serve`).
+    pub fn shutdown_on_quit(mut self) -> io::Result<()> {
+        match self.handle.take() {
+            Some(h) => h.join().map_err(|_| io::Error::other("server thread panicked"))?,
+            None => Ok(()),
+        }
+    }
+
+    /// Stop the server (even mid-connection) and join its thread.
+    pub fn shutdown(mut self) -> io::Result<()> {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock a parked accept; a busy server notices the flag on its
+        // read timeout instead.
+        if let Ok(mut stream) = TcpStream::connect(self.addr) {
+            let _ = stream.write_all(b"quit\n");
+        }
+        match self.handle.take() {
+            Some(h) => h.join().map_err(|_| io::Error::other("server thread panicked"))?,
+            None => Ok(()),
+        }
+    }
+}
+
+fn serve<B, L>(
+    listener: TcpListener,
+    stop: Arc<AtomicBool>,
+    build_array: B,
+    load_trace: L,
+) -> io::Result<()>
+where
+    B: FnMut(&str) -> Option<ArraySim>,
+    L: FnMut(&str, &WorkloadMode) -> Option<Trace>,
+{
+    // One long-lived session: results accumulate across connections, like the
+    // generator machine's process does.
+    let mut session = CommandSession::new(build_array, load_trace);
+    'accept: for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = stream?;
+        // A finite read timeout lets the server notice a shutdown request
+        // even while a client connection sits idle.
+        stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+        let mut reader = BufReader::new(stream.try_clone()?);
+        let mut writer = BufWriter::new(stream);
+        loop {
+            let mut line = String::new();
+            match reader.read_line(&mut line) {
+                Ok(0) => continue 'accept, // client hung up cleanly
+                Ok(_) => {}
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    if stop.load(Ordering::SeqCst) {
+                        break 'accept;
+                    }
+                    continue;
+                }
+                Err(_) => continue 'accept, // client vanished mid-line
+            }
+            let body = line.trim();
+            if body.is_empty() {
+                continue;
+            }
+            if body == "quit" || stop.load(Ordering::SeqCst) {
+                break 'accept;
+            }
+            let reply = match session.handle_line(body) {
+                Ok(ok) => ok,
+                Err(SessionError::Parse(e)) => format!("err {e}"),
+                Err(e) => format!("err {e}"),
+            };
+            writer.write_all(reply.as_bytes())?;
+            writer.write_all(b"\n")?;
+            writer.flush()?;
+        }
+    }
+    Ok(())
+}
+
+/// The evaluation-host side of the communicator.
+pub struct HostClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl HostClient {
+    /// Connect to a generator.
+    pub fn connect(addr: SocketAddr) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Self { reader, writer: BufWriter::new(stream) })
+    }
+
+    /// Send one protocol line and wait for the response line.
+    pub fn send_line(&mut self, line: &str) -> io::Result<String> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut reply = String::new();
+        let n = self.reader.read_line(&mut reply)?;
+        if n == 0 {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "generator closed"));
+        }
+        Ok(reply.trim_end().to_string())
+    }
+
+    /// Send a typed command (formatted onto the wire protocol).
+    pub fn send(&mut self, cmd: &crate::messages::HostCommand) -> io::Result<String> {
+        self.send_line(&crate::messages::format_command(cmd))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::messages::HostCommand;
+    use tracer_sim::presets;
+    use tracer_trace::{Bunch, IoPackage};
+
+    fn test_trace() -> Trace {
+        Trace::from_bunches(
+            "t",
+            (0..40u64)
+                .map(|i| {
+                    Bunch::new(i * 10_000_000, vec![IoPackage::read((i * 997) % 50_000, 4096)])
+                })
+                .collect(),
+        )
+    }
+
+    fn spawn_server() -> GeneratorServer {
+        GeneratorServer::spawn(
+            |device| (device == "raid5-hdd4").then(|| presets::hdd_raid5(4)),
+            |_, _| Some(test_trace()),
+        )
+        .expect("bind localhost")
+    }
+
+    #[test]
+    fn full_session_over_tcp() {
+        let server = spawn_server();
+        let mut client = HostClient::connect(server.addr()).unwrap();
+
+        let r = client.send_line("init-analyzer cycle=1000").unwrap();
+        assert!(r.starts_with("ok"), "{r}");
+        let r = client
+            .send_line("configure device=raid5-hdd4 rs=4096 rn=50 rd=100 load=50")
+            .unwrap();
+        assert!(r.contains("configured"), "{r}");
+        let r = client.send_line("start").unwrap();
+        assert!(r.contains("iops="), "{r}");
+        let r = client.send_line("query device=raid5-hdd4").unwrap();
+        assert!(r.contains("count=1"), "{r}");
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn typed_commands_cross_the_wire() {
+        let server = spawn_server();
+        let mut client = HostClient::connect(server.addr()).unwrap();
+        let mode = WorkloadMode::peak(4096, 0, 100).at_load(20);
+        let r = client
+            .send(&HostCommand::Configure {
+                device: "raid5-hdd4".into(),
+                mode,
+                intensity_pct: 100,
+            })
+            .unwrap();
+        assert!(r.contains("configured"));
+        let r = client.send(&HostCommand::Start).unwrap();
+        assert!(r.contains("iops="), "{r}");
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn errors_are_reported_not_fatal() {
+        let server = spawn_server();
+        let mut client = HostClient::connect(server.addr()).unwrap();
+        let r = client.send_line("gibberish").unwrap();
+        assert!(r.starts_with("err"), "{r}");
+        let r = client.send_line("start").unwrap();
+        assert!(r.starts_with("err"), "start before configure: {r}");
+        // The session survives errors.
+        let r = client
+            .send_line("configure device=raid5-hdd4 rs=4096 rn=0 rd=0 load=100")
+            .unwrap();
+        assert!(r.starts_with("ok"));
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn session_state_survives_reconnection() {
+        let server = spawn_server();
+        {
+            let mut c1 = HostClient::connect(server.addr()).unwrap();
+            c1.send_line("configure device=raid5-hdd4 rs=4096 rn=0 rd=100 load=100")
+                .unwrap();
+            let r = c1.send_line("start").unwrap();
+            assert!(r.contains("iops="), "{r}");
+        } // c1 disconnects
+        let mut c2 = HostClient::connect(server.addr()).unwrap();
+        let r = c2.send_line("query device=raid5-hdd4").unwrap();
+        assert!(r.contains("count=1"), "results persisted across connections: {r}");
+        server.shutdown().unwrap();
+    }
+}

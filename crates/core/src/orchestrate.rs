@@ -1,0 +1,340 @@
+//! Experiment orchestration: load sweeps and accuracy tables.
+//!
+//! The paper's evaluation replays every trace "ten times with load proportions
+//! varied from 10 % to 100 %" and derives accuracy tables (Tables IV/V) and
+//! efficiency curves (Figs. 8–11) from the records. This module packages those
+//! loops: a load sweep over one trace, a full mode × load sweep, and the
+//! accuracy-table computation against the 100 % baseline.
+
+use crate::host::EvaluationHost;
+use crate::metrics::AccuracyRow;
+use serde::{Deserialize, Serialize};
+use tracer_sim::ArraySim;
+use tracer_trace::{sweep, Trace, WorkloadMode};
+
+/// Result of a load sweep over one trace: a record per load level plus the
+/// derived accuracy rows.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LoadSweepResult {
+    /// The swept load levels, percent.
+    pub loads: Vec<u32>,
+    /// Database record id per level.
+    pub record_ids: Vec<u64>,
+    /// Accuracy rows (Eq. 1/2 against the 100 % run).
+    pub rows: Vec<AccuracyRow>,
+}
+
+impl LoadSweepResult {
+    /// Largest control error across all levels.
+    pub fn max_error(&self) -> f64 {
+        self.rows.iter().map(AccuracyRow::max_error).fold(0.0, f64::max)
+    }
+}
+
+/// Replay `trace` on fresh arrays at each load level and build the accuracy
+/// table. `loads` need not include 100 — the baseline run is added
+/// automatically (and reported as the final row, like the paper's tables).
+pub fn load_sweep<F>(
+    host: &mut EvaluationHost,
+    mut build_array: F,
+    trace: &Trace,
+    mode: WorkloadMode,
+    loads: &[u32],
+    label: &str,
+) -> LoadSweepResult
+where
+    F: FnMut() -> ArraySim,
+{
+    let mut levels: Vec<u32> = loads.to_vec();
+    if !levels.contains(&100) {
+        levels.push(100);
+    }
+    levels.sort_unstable();
+    levels.dedup();
+
+    let mut record_ids = Vec::with_capacity(levels.len());
+    let mut measured: Vec<(u32, f64, f64)> = Vec::with_capacity(levels.len());
+    for &pct in &levels {
+        let mut sim = build_array();
+        let outcome = host.run_test(
+            &mut sim,
+            trace,
+            mode.at_load(pct),
+            100,
+            &format!("{label}-load{pct}"),
+        );
+        record_ids.push(outcome.record_id);
+        measured.push((pct, outcome.metrics.iops, outcome.metrics.mbps));
+    }
+    let (_, full_iops, full_mbps) =
+        *measured.last().expect("levels always contain the 100% baseline");
+    let rows = measured
+        .iter()
+        .map(|&(pct, iops, mbps)| AccuracyRow::new(pct, iops, mbps, full_iops, full_mbps))
+        .collect();
+    LoadSweepResult { loads: levels, record_ids, rows }
+}
+
+/// Configuration of a synthetic mode × load sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepConfig {
+    /// Workload modes to run (defaults to the paper's 125).
+    pub modes: Vec<WorkloadMode>,
+    /// Load levels per mode (defaults to the paper's ten).
+    pub loads: Vec<u32>,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        Self { modes: sweep::all_modes(), loads: sweep::LOAD_PCTS.to_vec() }
+    }
+}
+
+impl SweepConfig {
+    /// Total number of test runs the sweep performs.
+    pub fn run_count(&self) -> usize {
+        self.modes.len() * self.loads.len()
+    }
+}
+
+/// Run a full synthetic sweep: for each mode, resolve its trace, then run
+/// every load level on a fresh array. `progress` is invoked after each mode
+/// with (modes done, total modes).
+pub fn run_sweep<F, T>(
+    host: &mut EvaluationHost,
+    mut build_array: F,
+    mut trace_for_mode: T,
+    cfg: &SweepConfig,
+    mut progress: impl FnMut(usize, usize),
+) -> Vec<LoadSweepResult>
+where
+    F: FnMut() -> ArraySim,
+    T: FnMut(&WorkloadMode) -> Trace,
+{
+    let total = cfg.modes.len();
+    let mut results = Vec::with_capacity(total);
+    for (i, &mode) in cfg.modes.iter().enumerate() {
+        let trace = trace_for_mode(&mode);
+        let label = format!("sweep-rs{}-rn{}-rd{}", mode.request_bytes, mode.random_pct, mode.read_pct);
+        results.push(load_sweep(host, &mut build_array, &trace, mode, &cfg.loads, &label));
+        progress(i + 1, total);
+    }
+    results
+}
+
+/// Mean ± standard deviation of a repeated measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrialStat {
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for a single trial).
+    pub stddev: f64,
+}
+
+impl TrialStat {
+    fn from_samples(xs: &[f64]) -> Self {
+        let n = xs.len().max(1) as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let stddev = if xs.len() > 1 {
+            (xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0)).sqrt()
+        } else {
+            0.0
+        };
+        Self { mean, stddev }
+    }
+
+    /// Relative spread (stddev over mean); 0 when the mean is 0.
+    pub fn rel(&self) -> f64 {
+        if self.mean.abs() < f64::EPSILON {
+            0.0
+        } else {
+            self.stddev / self.mean
+        }
+    }
+}
+
+/// Aggregated outcome of repeated trials of one workload mode.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrialSummary {
+    /// Number of trials run.
+    pub trials: usize,
+    /// IOPS across trials.
+    pub iops: TrialStat,
+    /// MBPS across trials.
+    pub mbps: TrialStat,
+    /// Mean watts across trials.
+    pub avg_watts: TrialStat,
+    /// IOPS/Watt across trials.
+    pub iops_per_watt: TrialStat,
+}
+
+/// Run `mode` `trials` times, each with a freshly generated trace (seeded
+/// `base_seed + trial`) on a fresh array, and aggregate the metrics. The
+/// per-trial seeds vary the workload realisation, so the spread measures how
+/// sensitive the result is to trace sampling — the simulator itself is
+/// deterministic.
+pub fn repeated_trials<F, T>(
+    host: &mut EvaluationHost,
+    mut build_array: F,
+    mut trace_for_seed: T,
+    mode: WorkloadMode,
+    trials: usize,
+    label: &str,
+) -> TrialSummary
+where
+    F: FnMut() -> ArraySim,
+    T: FnMut(u64) -> Trace,
+{
+    assert!(trials >= 1, "at least one trial required");
+    let mut iops = Vec::with_capacity(trials);
+    let mut mbps = Vec::with_capacity(trials);
+    let mut watts = Vec::with_capacity(trials);
+    let mut ipw = Vec::with_capacity(trials);
+    for trial in 0..trials {
+        let trace = trace_for_seed(trial as u64);
+        let mut sim = build_array();
+        let m = host
+            .run_test(&mut sim, &trace, mode, 100, &format!("{label}-trial{trial}"))
+            .metrics;
+        iops.push(m.iops);
+        mbps.push(m.mbps);
+        watts.push(m.avg_watts);
+        ipw.push(m.iops_per_watt);
+    }
+    TrialSummary {
+        trials,
+        iops: TrialStat::from_samples(&iops),
+        mbps: TrialStat::from_samples(&mbps),
+        avg_watts: TrialStat::from_samples(&watts),
+        iops_per_watt: TrialStat::from_samples(&ipw),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracer_sim::presets;
+    use tracer_trace::{Bunch, IoPackage};
+
+    fn fixed_trace(n: usize, bytes: u32) -> Trace {
+        Trace::from_bunches(
+            "t",
+            (0..n)
+                .map(|i| {
+                    Bunch::new(
+                        i as u64 * 5_000_000,
+                        vec![IoPackage::read((i as u64 * 131) % 50_000, bytes)],
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn load_sweep_produces_accurate_rows_for_fixed_sizes() {
+        let mut host = EvaluationHost::new();
+        let trace = fixed_trace(200, 4096);
+        let mode = WorkloadMode::peak(4096, 50, 100);
+        let result = load_sweep(
+            &mut host,
+            || presets::hdd_raid5(4),
+            &trace,
+            mode,
+            &[20, 50, 80],
+            "unit",
+        );
+        assert_eq!(result.loads, vec![20, 50, 80, 100]);
+        assert_eq!(result.record_ids.len(), 4);
+        assert_eq!(host.db.len(), 4);
+        // Fixed-size requests: the paper reports errors below 0.5 %; the
+        // simulated replay window adds a little tail noise, keep it under 5 %.
+        assert!(result.max_error() < 0.05, "max error {}", result.max_error());
+        // The 100 % row is exact by construction.
+        let last = result.rows.last().unwrap();
+        assert!((last.accuracy_iops - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn baseline_is_added_when_missing() {
+        let mut host = EvaluationHost::new();
+        let result = load_sweep(
+            &mut host,
+            || presets::hdd_raid5(4),
+            &fixed_trace(50, 4096),
+            WorkloadMode::peak(4096, 0, 100),
+            &[50],
+            "unit",
+        );
+        assert_eq!(result.loads, vec![50, 100]);
+    }
+
+    #[test]
+    fn mini_sweep_runs_every_mode_and_load() {
+        let mut host = EvaluationHost::new();
+        let cfg = SweepConfig {
+            modes: vec![WorkloadMode::peak(4096, 0, 100), WorkloadMode::peak(65536, 100, 0)],
+            loads: vec![50, 100],
+        };
+        assert_eq!(cfg.run_count(), 4);
+        let mut calls = Vec::new();
+        let results = run_sweep(
+            &mut host,
+            || presets::hdd_raid5(3),
+            |_| fixed_trace(30, 4096),
+            &cfg,
+            |done, total| calls.push((done, total)),
+        );
+        assert_eq!(results.len(), 2);
+        assert_eq!(calls, vec![(1, 2), (2, 2)]);
+        assert_eq!(host.db.len(), 4);
+    }
+
+    #[test]
+    fn repeated_trials_aggregate_and_bound_variance() {
+        use tracer_workload::iometer::{run_peak_workload, IometerConfig};
+        let mut host = EvaluationHost::new();
+        let mode = WorkloadMode::peak(8192, 50, 50);
+        let summary = repeated_trials(
+            &mut host,
+            || presets::hdd_raid5(4),
+            |seed| {
+                let mut sim = presets::hdd_raid5(4);
+                run_peak_workload(
+                    &mut sim,
+                    &IometerConfig {
+                        duration: tracer_sim::SimDuration::from_secs(2),
+                        ..IometerConfig::two_minutes(mode, seed)
+                    },
+                )
+                .trace
+            },
+            mode,
+            4,
+            "trials",
+        );
+        assert_eq!(summary.trials, 4);
+        assert_eq!(host.db.len(), 4);
+        assert!(summary.iops.mean > 0.0);
+        assert!(summary.iops.stddev > 0.0, "different seeds must vary");
+        // Peak workloads of the same mode are statistically stable.
+        assert!(summary.iops.rel() < 0.10, "rel spread {}", summary.iops.rel());
+        assert!(summary.avg_watts.rel() < 0.05);
+    }
+
+    #[test]
+    fn single_trial_has_zero_stddev() {
+        let stat = TrialStat::from_samples(&[42.0]);
+        assert_eq!(stat.mean, 42.0);
+        assert_eq!(stat.stddev, 0.0);
+        assert_eq!(stat.rel(), 0.0);
+        assert_eq!(TrialStat::from_samples(&[0.0, 0.0]).rel(), 0.0);
+    }
+
+    #[test]
+    fn default_sweep_matches_paper_scale() {
+        let cfg = SweepConfig::default();
+        assert_eq!(cfg.modes.len(), 125);
+        assert_eq!(cfg.loads.len(), 10);
+        assert_eq!(cfg.run_count(), 1250);
+    }
+}

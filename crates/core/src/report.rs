@@ -1,0 +1,144 @@
+//! Human-readable reports over the results database.
+//!
+//! The paper's users "send queries to the database to access results after
+//! the testing processes are done" (§III-A1); this module renders those
+//! queries as markdown — a per-device efficiency table grouped by workload
+//! mode and sorted by load proportion, plus a cross-device summary — for
+//! lab notebooks, CI artifacts, and the `tracer report` command.
+
+use crate::db::{Database, TestRecord};
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// Markdown efficiency table for one device: one row per record, grouped by
+/// workload mode, ordered by (mode, load proportion).
+pub fn device_table(db: &Database, device: &str) -> String {
+    let mut records: Vec<&TestRecord> = db.query(|r| r.device == device);
+    records.sort_by_key(|r| {
+        (r.mode.request_bytes, r.mode.random_pct, r.mode.read_pct, r.mode.load_pct)
+    });
+    let mut out = String::new();
+    let _ = writeln!(out, "### {device}\n");
+    let _ = writeln!(
+        out,
+        "| size B | rnd % | rd % | load % | IOPS | MBPS | avg ms | watts | IOPS/W | MBPS/kW |"
+    );
+    let _ = writeln!(out, "|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|");
+    for r in records {
+        let e = &r.efficiency;
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} | {:.1} | {:.2} | {:.2} | {:.2} | {:.3} | {:.1} |",
+            r.mode.request_bytes,
+            r.mode.random_pct,
+            r.mode.read_pct,
+            r.mode.load_pct,
+            e.iops,
+            e.mbps,
+            e.avg_response_ms,
+            e.avg_watts,
+            e.iops_per_watt,
+            e.mbps_per_kilowatt,
+        );
+    }
+    out
+}
+
+/// Cross-device summary: record counts and each device's best efficiency.
+pub fn summary(db: &Database) -> String {
+    let devices: BTreeSet<&str> = db.records().iter().map(|r| r.device.as_str()).collect();
+    let mut out = String::new();
+    let _ = writeln!(out, "## TRACER results — {} records\n", db.len());
+    let _ = writeln!(out, "| device | records | best IOPS/W | best MBPS/kW | max watts |");
+    let _ = writeln!(out, "|---|---:|---:|---:|---:|");
+    for device in devices {
+        let recs = db.query(|r| r.device == device);
+        let best_ipw = recs.iter().map(|r| r.efficiency.iops_per_watt).fold(0.0, f64::max);
+        let best_mpk =
+            recs.iter().map(|r| r.efficiency.mbps_per_kilowatt).fold(0.0, f64::max);
+        let max_w = recs.iter().map(|r| r.efficiency.avg_watts).fold(0.0, f64::max);
+        let _ = writeln!(
+            out,
+            "| {device} | {} | {best_ipw:.3} | {best_mpk:.1} | {max_w:.2} |",
+            recs.len()
+        );
+    }
+    out
+}
+
+/// The full markdown report: summary plus one table per device.
+pub fn markdown(db: &Database) -> String {
+    let mut out = summary(db);
+    out.push('\n');
+    let devices: BTreeSet<String> =
+        db.records().iter().map(|r| r.device.clone()).collect();
+    for device in devices {
+        out.push_str(&device_table(db, &device));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::PowerData;
+    use crate::metrics::EfficiencyMetrics;
+    use tracer_trace::WorkloadMode;
+
+    fn db_with(entries: &[(&str, u32, f64)]) -> Database {
+        let mut db = Database::new();
+        for &(device, load, iops) in entries {
+            db.insert(TestRecord {
+                id: 0,
+                label: "t".into(),
+                device: device.into(),
+                mode: WorkloadMode::peak(4096, 50, 0).at_load(load),
+                power: PowerData { volts: 220.0, avg_amps: 0.2, avg_watts: 44.0, energy_joules: 1.0 },
+                perf: Default::default(),
+                efficiency: EfficiencyMetrics {
+                    iops,
+                    mbps: iops / 100.0,
+                    avg_watts: 44.0,
+                    iops_per_watt: iops / 44.0,
+                    mbps_per_kilowatt: iops / 4.4,
+                    ..Default::default()
+                },
+            });
+        }
+        db
+    }
+
+    #[test]
+    fn device_table_sorts_by_load() {
+        let db = db_with(&[("raid5", 80, 400.0), ("raid5", 20, 100.0), ("ssd", 50, 900.0)]);
+        let table = device_table(&db, "raid5");
+        let p20 = table.find("| 20 |").expect("20% row");
+        let p80 = table.find("| 80 |").expect("80% row");
+        assert!(p20 < p80, "rows ordered by load");
+        assert!(!table.contains("900"), "other devices excluded");
+        assert!(table.contains("### raid5"));
+    }
+
+    #[test]
+    fn summary_covers_all_devices() {
+        let db = db_with(&[("a", 100, 10.0), ("b", 100, 20.0)]);
+        let s = summary(&db);
+        assert!(s.contains("2 records"));
+        assert!(s.contains("| a | 1 |"));
+        assert!(s.contains("| b | 1 |"));
+    }
+
+    #[test]
+    fn markdown_combines_everything() {
+        let db = db_with(&[("a", 100, 10.0), ("b", 50, 20.0)]);
+        let md = markdown(&db);
+        assert!(md.contains("## TRACER results"));
+        assert!(md.contains("### a"));
+        assert!(md.contains("### b"));
+        // Empty database renders a header and nothing else.
+        let empty = markdown(&Database::new());
+        assert!(empty.contains("0 records"));
+        assert!(!empty.contains("###"));
+    }
+}

@@ -1,0 +1,5 @@
+//! Shim crate anchoring the workspace-level integration tests.
+//!
+//! The test sources live in the repository's top-level `tests/` directory and
+//! are wired in via explicit `[[test]]` path entries in this crate's
+//! manifest. The crate itself exports nothing.

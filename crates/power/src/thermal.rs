@@ -1,0 +1,222 @@
+//! Temperature as an evaluation metric — the paper's stated future work.
+//!
+//! §VII: "We intend to bring in temperature as new metric of TRACER
+//! evaluation framework, as temperature has obvious influences on energy,
+//! performance and reliability of storage systems." This module implements
+//! that extension with a first-order thermal RC model per device: dissipated
+//! power heats a thermal mass through a thermal resistance,
+//!
+//! ```text
+//! T(t+dt) = T_amb + P·R + (T(t) − T_amb − P·R) · e^(−dt/τ)
+//! ```
+//!
+//! Because the simulator's power signal is piecewise constant, the solution
+//! is evaluated exactly per segment — no numerical integration error.
+
+use serde::{Deserialize, Serialize};
+use tracer_sim::{PowerTimeline, SimDuration, SimTime};
+
+/// First-order thermal parameters of a device in its enclosure slot.
+///
+/// ```
+/// use tracer_power::ThermalModel;
+/// use tracer_sim::{PowerTimeline, SimTime};
+///
+/// let model = ThermalModel::default();
+/// let signal = PowerTimeline::new(8.0); // constant 8 W
+/// // After many time constants the device sits at ambient + P·R.
+/// let t = model.temperature_at(&signal, SimTime::from_secs(10_000));
+/// assert!((t - model.steady_state_c(8.0)).abs() < 0.1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalModel {
+    /// Ambient (inlet) temperature, °C.
+    pub ambient_c: f64,
+    /// Thermal resistance junction→ambient, °C per watt. Steady-state
+    /// temperature is `ambient + P·R`.
+    pub c_per_watt: f64,
+    /// Thermal time constant, seconds (drive + airflow; tens of minutes for
+    /// a 3.5" drive in a fanned enclosure).
+    pub tau_s: f64,
+}
+
+impl Default for ThermalModel {
+    fn default() -> Self {
+        // A 3.5" drive in a fan-cooled enclosure: ~25 °C inlet, ~2.2 °C/W,
+        // ~8-minute time constant.
+        Self { ambient_c: 25.0, c_per_watt: 2.2, tau_s: 480.0 }
+    }
+}
+
+/// One temperature sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TempSample {
+    /// Sample instant.
+    pub at: SimTime,
+    /// Device temperature, °C.
+    pub celsius: f64,
+}
+
+/// Summary of a thermal trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalReport {
+    /// Temperature at the end of the window, °C.
+    pub final_c: f64,
+    /// Peak temperature over the window, °C.
+    pub peak_c: f64,
+    /// Time-weighted mean temperature, °C.
+    pub avg_c: f64,
+}
+
+impl ThermalModel {
+    /// Steady-state temperature under constant `watts`.
+    pub fn steady_state_c(&self, watts: f64) -> f64 {
+        self.ambient_c + watts * self.c_per_watt
+    }
+
+    /// Evaluate the device temperature at `t`, starting from ambient at
+    /// time 0 and following the power signal exactly.
+    pub fn temperature_at(&self, power: &PowerTimeline, t: SimTime) -> f64 {
+        self.trace(power, t, SimDuration::from_nanos(t.as_nanos().max(1)))
+            .last()
+            .map_or(self.ambient_c, |s| s.celsius)
+    }
+
+    /// Temperature samples over `[0, to]` at the given cadence (the final
+    /// sample lands exactly on `to`). Segment boundaries of the power signal
+    /// are handled exactly; samples interpolate the closed-form solution.
+    pub fn trace(&self, power: &PowerTimeline, to: SimTime, cadence: SimDuration) -> Vec<TempSample> {
+        assert!(!cadence.is_zero(), "cadence must be positive");
+        let mut samples = Vec::new();
+        let mut temp = self.ambient_c;
+        let mut cursor = SimTime::ZERO;
+        let mut next_sample = SimTime::ZERO;
+        let points = power.points();
+        let mut seg = 0usize;
+        while cursor <= to {
+            let seg_end = points.get(seg + 1).map_or(to, |p| p.0.min(to));
+            let watts = points[seg].1;
+            let target = self.steady_state_c(watts);
+            // Emit samples inside this segment.
+            while next_sample <= seg_end && next_sample <= to {
+                let dt = (next_sample - cursor).as_secs_f64();
+                let value = target + (temp - target) * (-dt / self.tau_s).exp();
+                samples.push(TempSample { at: next_sample, celsius: value });
+                next_sample += cadence;
+            }
+            // Advance the state to the segment end.
+            let dt = (seg_end - cursor).as_secs_f64();
+            temp = target + (temp - target) * (-dt / self.tau_s).exp();
+            if seg_end >= to {
+                break;
+            }
+            cursor = seg_end;
+            seg += 1;
+        }
+        // Guarantee a final sample exactly at `to`.
+        if samples.last().map(|s| s.at) != Some(to) {
+            samples.push(TempSample { at: to, celsius: temp });
+        }
+        samples
+    }
+
+    /// Summarise the thermal behaviour over `[0, to]`.
+    pub fn report(&self, power: &PowerTimeline, to: SimTime) -> ThermalReport {
+        let cadence = SimDuration::from_nanos((to.as_nanos() / 512).max(1_000_000));
+        let samples = self.trace(power, to, cadence);
+        let peak_c = samples.iter().map(|s| s.celsius).fold(f64::MIN, f64::max);
+        let avg_c = samples.iter().map(|s| s.celsius).sum::<f64>() / samples.len() as f64;
+        ThermalReport { final_c: samples.last().expect("non-empty").celsius, peak_c, avg_c }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn model() -> ThermalModel {
+        ThermalModel { ambient_c: 25.0, c_per_watt: 2.0, tau_s: 100.0 }
+    }
+
+    #[test]
+    fn starts_at_ambient_and_converges_to_steady_state() {
+        let m = model();
+        let power = PowerTimeline::new(10.0); // steady 10 W -> 45 °C
+        assert!((m.temperature_at(&power, SimTime::from_nanos(1)) - 25.0).abs() < 0.01);
+        let t = m.temperature_at(&power, SimTime::from_secs(2_000)); // 20 τ
+        assert!((t - 45.0).abs() < 0.01, "converged to {t}");
+        assert!((m.steady_state_c(10.0) - 45.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_time_constant_covers_63_percent() {
+        let m = model();
+        let power = PowerTimeline::new(10.0);
+        let t = m.temperature_at(&power, SimTime::from_secs(100));
+        let expect = 25.0 + 20.0 * (1.0 - (-1.0f64).exp());
+        assert!((t - expect).abs() < 0.01, "{t} vs {expect}");
+    }
+
+    #[test]
+    fn cooling_after_load_drop() {
+        let m = model();
+        let mut power = PowerTimeline::new(20.0);
+        power.set(SimTime::from_secs(1_000), 0.0);
+        // Hot by 1000 s (steady 65 °C), then cooling toward 25 °C.
+        let hot = m.temperature_at(&power, SimTime::from_secs(1_000));
+        assert!((hot - 65.0).abs() < 0.1);
+        let later = m.temperature_at(&power, SimTime::from_secs(1_100));
+        let cold = m.temperature_at(&power, SimTime::from_secs(3_000));
+        assert!(later < hot && cold < later);
+        assert!((cold - 25.0).abs() < 0.1, "cooled to {cold}");
+    }
+
+    #[test]
+    fn report_tracks_peak_and_average() {
+        let m = model();
+        let mut power = PowerTimeline::new(20.0);
+        power.set(SimTime::from_secs(2_000), 0.0);
+        let report = m.report(&power, SimTime::from_secs(4_000));
+        assert!((report.peak_c - 65.0).abs() < 0.5);
+        assert!(report.final_c < 30.0);
+        assert!(report.avg_c > report.final_c && report.avg_c < report.peak_c);
+    }
+
+    #[test]
+    fn trace_samples_are_ordered_and_end_at_to() {
+        let m = model();
+        let power = PowerTimeline::new(5.0);
+        let to = SimTime::from_secs(10);
+        let samples = m.trace(&power, to, SimDuration::from_secs(3));
+        assert!(samples.windows(2).all(|w| w[0].at < w[1].at));
+        assert_eq!(samples.last().unwrap().at, to);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_temperature_bounded_by_extremes(
+            levels in proptest::collection::vec(0.0f64..30.0, 1..10),
+            secs in 1u64..5_000,
+        ) {
+            let m = model();
+            let mut power = PowerTimeline::new(levels[0]);
+            for (i, &w) in levels.iter().enumerate().skip(1) {
+                power.set(SimTime::from_secs(i as u64 * 200), w);
+            }
+            let max_w = levels.iter().cloned().fold(0.0, f64::max);
+            let t = m.temperature_at(&power, SimTime::from_secs(secs));
+            prop_assert!(t >= m.ambient_c - 1e-9);
+            prop_assert!(t <= m.steady_state_c(max_w) + 1e-9);
+        }
+
+        #[test]
+        fn prop_hotter_power_hotter_device(w1 in 1.0f64..20.0, extra in 0.5f64..20.0) {
+            let m = model();
+            let cool = PowerTimeline::new(w1);
+            let hot = PowerTimeline::new(w1 + extra);
+            let at = SimTime::from_secs(500);
+            prop_assert!(m.temperature_at(&hot, at) > m.temperature_at(&cool, at));
+        }
+    }
+}

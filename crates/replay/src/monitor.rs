@@ -1,0 +1,259 @@
+//! Performance monitoring: per-cycle throughput and response-time tracking.
+//!
+//! "If one replays a trace file under a certain load level, he or she needs to
+//! launch the trace replay tool in TRACER that monitors and tracks performance
+//! information like I/O throughput (measured in MBPS and IOPS) and average
+//! response time" (§III-A2). The monitor bins completions into sampling cycles
+//! (default one second, matching the power meter) and computes the summary
+//! figures every experiment reports.
+
+use serde::{Deserialize, Serialize};
+use tracer_sim::{Completion, SimDuration, SimTime};
+
+/// Throughput/latency figures for one sampling cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PerfSample {
+    /// Cycle start.
+    pub at: SimTime,
+    /// Cycle length.
+    pub cycle: SimDuration,
+    /// Requests completed in the cycle.
+    pub ios: u64,
+    /// Bytes completed in the cycle.
+    pub bytes: u64,
+    /// IO/s over the cycle.
+    pub iops: f64,
+    /// MB/s over the cycle.
+    pub mbps: f64,
+    /// Mean response time of the cycle's completions, milliseconds (0 when
+    /// the cycle is empty).
+    pub avg_response_ms: f64,
+}
+
+/// Whole-run performance summary.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct PerfSummary {
+    /// Measurement window length, seconds.
+    pub window_s: f64,
+    /// Total completed requests.
+    pub total_ios: u64,
+    /// Total completed bytes.
+    pub total_bytes: u64,
+    /// Mean IO/s.
+    pub iops: f64,
+    /// Mean MB/s (decimal megabytes, as the paper's MBPS).
+    pub mbps: f64,
+    /// Mean response time, milliseconds.
+    pub avg_response_ms: f64,
+    /// Maximum response time, milliseconds.
+    pub max_response_ms: f64,
+    /// Median response time, milliseconds.
+    pub p50_response_ms: f64,
+    /// 95th-percentile response time, milliseconds.
+    pub p95_response_ms: f64,
+    /// 99th-percentile response time, milliseconds.
+    pub p99_response_ms: f64,
+    /// Requests that were reads.
+    pub read_ios: u64,
+}
+
+/// Bins completions into fixed sampling cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PerformanceMonitor {
+    /// Sampling cycle; the paper's default is one second and is configurable.
+    pub cycle: SimDuration,
+}
+
+impl Default for PerformanceMonitor {
+    fn default() -> Self {
+        Self { cycle: SimDuration::from_secs(1) }
+    }
+}
+
+impl PerformanceMonitor {
+    /// Monitor with a custom cycle.
+    pub fn with_cycle(cycle: SimDuration) -> Self {
+        Self { cycle }
+    }
+
+    /// Bin `completions` over `[from, to)`. Completions outside the window
+    /// are ignored; the final cycle may be shorter.
+    pub fn bin(&self, completions: &[Completion], from: SimTime, to: SimTime) -> Vec<PerfSample> {
+        assert!(!self.cycle.is_zero(), "cycle must be positive");
+        let mut out = Vec::new();
+        let mut cursor = from;
+        while cursor < to {
+            let end = (cursor + self.cycle).min(to);
+            out.push(PerfSample {
+                at: cursor,
+                cycle: end - cursor,
+                ios: 0,
+                bytes: 0,
+                iops: 0.0,
+                mbps: 0.0,
+                avg_response_ms: 0.0,
+            });
+            cursor = end;
+        }
+        let mut resp_sums = vec![0.0f64; out.len()];
+        for c in completions {
+            if c.completed < from || c.completed >= to {
+                continue;
+            }
+            let idx = ((c.completed - from).as_nanos() / self.cycle.as_nanos()) as usize;
+            let idx = idx.min(out.len() - 1);
+            out[idx].ios += 1;
+            out[idx].bytes += u64::from(c.bytes);
+            resp_sums[idx] += c.latency().as_millis_f64();
+        }
+        for (s, resp) in out.iter_mut().zip(resp_sums) {
+            let secs = s.cycle.as_secs_f64();
+            s.iops = s.ios as f64 / secs;
+            s.mbps = s.bytes as f64 / 1e6 / secs;
+            s.avg_response_ms = if s.ios > 0 { resp / s.ios as f64 } else { 0.0 };
+        }
+        out
+    }
+
+    /// Summarise completions over `[from, to)`, including latency
+    /// percentiles (nearest-rank).
+    pub fn summarize(completions: &[Completion], from: SimTime, to: SimTime) -> PerfSummary {
+        let window_s = to.saturating_since(from).as_secs_f64();
+        let mut s = PerfSummary { window_s, ..Default::default() };
+        let mut latencies = Vec::new();
+        for c in completions {
+            if c.completed < from || c.completed >= to {
+                continue;
+            }
+            s.total_ios += 1;
+            s.total_bytes += u64::from(c.bytes);
+            let ms = c.latency().as_millis_f64();
+            latencies.push(ms);
+            if ms > s.max_response_ms {
+                s.max_response_ms = ms;
+            }
+            if c.kind.is_read() {
+                s.read_ios += 1;
+            }
+        }
+        if window_s > 0.0 {
+            s.iops = s.total_ios as f64 / window_s;
+            s.mbps = s.total_bytes as f64 / 1e6 / window_s;
+        }
+        if !latencies.is_empty() {
+            s.avg_response_ms = latencies.iter().sum::<f64>() / latencies.len() as f64;
+            latencies.sort_by(f64::total_cmp);
+            s.p50_response_ms = percentile(&latencies, 50.0);
+            s.p95_response_ms = percentile(&latencies, 95.0);
+            s.p99_response_ms = percentile(&latencies, 99.0);
+        }
+        s
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice.
+fn percentile(sorted: &[f64], pct: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let rank = ((pct / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracer_trace::OpKind;
+
+    fn completion(at_ms: u64, latency_ms: u64, bytes: u32, kind: OpKind) -> Completion {
+        Completion {
+            id: 0,
+            submitted: SimTime::from_millis(at_ms - latency_ms),
+            completed: SimTime::from_millis(at_ms),
+            bytes,
+            kind,
+        }
+    }
+
+    #[test]
+    fn bins_count_and_rates() {
+        let completions = vec![
+            completion(100, 10, 4096, OpKind::Read),
+            completion(900, 20, 4096, OpKind::Write),
+            completion(1500, 30, 8192, OpKind::Read),
+        ];
+        let m = PerformanceMonitor::default();
+        let bins = m.bin(&completions, SimTime::ZERO, SimTime::from_secs(2));
+        assert_eq!(bins.len(), 2);
+        assert_eq!(bins[0].ios, 2);
+        assert_eq!(bins[0].bytes, 8192);
+        assert!((bins[0].iops - 2.0).abs() < 1e-12);
+        assert!((bins[0].avg_response_ms - 15.0).abs() < 1e-9);
+        assert_eq!(bins[1].ios, 1);
+        assert!((bins[1].mbps - 8192.0 / 1e6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn completions_outside_window_ignored() {
+        let completions = vec![
+            completion(100, 1, 512, OpKind::Read),
+            completion(5_000, 1, 512, OpKind::Read),
+        ];
+        let m = PerformanceMonitor::default();
+        let bins = m.bin(&completions, SimTime::ZERO, SimTime::from_secs(1));
+        assert_eq!(bins.iter().map(|b| b.ios).sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn partial_final_cycle_rates_are_correct() {
+        let completions = vec![completion(1_250, 5, 1_000_000, OpKind::Read)];
+        let m = PerformanceMonitor::default();
+        let bins = m.bin(&completions, SimTime::ZERO, SimTime::from_millis(1_500));
+        assert_eq!(bins.len(), 2);
+        assert_eq!(bins[1].cycle, SimDuration::from_millis(500));
+        assert!((bins[1].iops - 2.0).abs() < 1e-12, "1 io in 0.5s = 2 IOPS");
+        assert!((bins[1].mbps - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let completions = vec![
+            completion(100, 10, 4096, OpKind::Read),
+            completion(200, 30, 4096, OpKind::Write),
+            completion(300, 20, 8192, OpKind::Read),
+        ];
+        let s = PerformanceMonitor::summarize(&completions, SimTime::ZERO, SimTime::from_secs(2));
+        assert_eq!(s.total_ios, 3);
+        assert_eq!(s.read_ios, 2);
+        assert_eq!(s.total_bytes, 16384);
+        assert!((s.iops - 1.5).abs() < 1e-12);
+        assert!((s.avg_response_ms - 20.0).abs() < 1e-9);
+        assert!((s.max_response_ms - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let completions: Vec<Completion> = (1..=100u64)
+            .map(|i| completion(i * 10, i, 512, OpKind::Read))
+            .collect();
+        let s = PerformanceMonitor::summarize(&completions, SimTime::ZERO, SimTime::from_secs(2));
+        assert!((s.p50_response_ms - 50.0).abs() < 1e-9);
+        assert!((s.p95_response_ms - 95.0).abs() < 1e-9);
+        assert!((s.p99_response_ms - 99.0).abs() < 1e-9);
+        assert!((s.max_response_ms - 100.0).abs() < 1e-9);
+        // Single sample: every percentile is that sample.
+        let one = vec![completion(10, 7, 512, OpKind::Read)];
+        let s = PerformanceMonitor::summarize(&one, SimTime::ZERO, SimTime::from_secs(1));
+        assert_eq!(s.p50_response_ms, s.p99_response_ms);
+        assert!((s.p50_response_ms - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let s = PerformanceMonitor::summarize(&[], SimTime::ZERO, SimTime::from_secs(1));
+        assert_eq!(s.total_ios, 0);
+        assert_eq!(s.iops, 0.0);
+        let m = PerformanceMonitor::default();
+        assert!(m.bin(&[], SimTime::ZERO, SimTime::ZERO).is_empty());
+        let s = PerformanceMonitor::summarize(&[], SimTime::from_secs(1), SimTime::from_secs(1));
+        assert_eq!(s.window_s, 0.0);
+    }
+}

@@ -1,0 +1,1426 @@
+//! The array simulator: a discrete-event model of a disk array behind a
+//! fibre-channel link.
+//!
+//! The engine owns the member devices, one queue per device, a shared host
+//! link, and the event heap. Logical requests ([`ArrayRequest`]) are
+//! decomposed by the [`Geometry`] into per-disk extents (two phases for RAID-5
+//! writes), dispatched to devices, and reported back as [`Completion`]s. Every
+//! device appends its power phases to the [`ArrayPowerLog`], which the power
+//! analyzer samples.
+//!
+//! Determinism: events at equal timestamps are processed in submission order
+//! (a monotonically increasing sequence number breaks ties), so simulations
+//! are bit-for-bit reproducible.
+
+use crate::cache::{CacheConfig, ControllerCache};
+use crate::device::{Device, DeviceModel, DiskOp, ServicePlan};
+use crate::error::SimError;
+use crate::powerlog::ArrayPowerLog;
+use crate::raid::{DiskExtent, Geometry};
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use tracer_trace::OpKind;
+
+/// Identifier of a submitted request, unique within one simulator.
+pub type RequestId = u64;
+
+/// A logical request against the array's data address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArrayRequest {
+    /// Starting logical sector.
+    pub sector: u64,
+    /// Length in bytes (sub-sector requests are rounded up to one sector).
+    pub bytes: u32,
+    /// Read or write.
+    pub kind: OpKind,
+}
+
+impl ArrayRequest {
+    /// Construct a request.
+    pub fn new(sector: u64, bytes: u32, kind: OpKind) -> Self {
+        Self { sector, bytes, kind }
+    }
+
+    /// Length in whole sectors.
+    pub fn sectors(&self) -> u64 {
+        u64::from(self.bytes).div_ceil(tracer_trace::SECTOR_BYTES)
+    }
+}
+
+/// A finished request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Completion {
+    /// Request id returned by `submit`.
+    pub id: RequestId,
+    /// Instant the request arrived at the array.
+    pub submitted: SimTime,
+    /// Instant the request finished (data at the host for reads, ack for
+    /// writes).
+    pub completed: SimTime,
+    /// Payload bytes.
+    pub bytes: u32,
+    /// Read or write.
+    pub kind: OpKind,
+}
+
+impl Completion {
+    /// Response time of the request.
+    pub fn latency(&self) -> SimDuration {
+        self.completed - self.submitted
+    }
+}
+
+/// Order in which a device's queue is served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum QueueDiscipline {
+    /// First-come, first-served.
+    #[default]
+    Fifo,
+    /// C-LOOK elevator: ascending sector order, wrapping to the lowest
+    /// pending sector at the end of a sweep.
+    Elevator,
+}
+
+/// Configuration of a background rebuild pass.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RebuildConfig {
+    /// Throttle between stripe-reconstruction jobs (foreground I/O runs in
+    /// the gaps).
+    pub delay_between: SimDuration,
+    /// Rebuild at most this many stripes (callers evaluating short windows
+    /// bound the pass; `u64::MAX` rebuilds the whole array).
+    pub max_stripes: u64,
+}
+
+impl Default for RebuildConfig {
+    fn default() -> Self {
+        Self { delay_between: SimDuration::from_millis(10), max_stripes: u64::MAX }
+    }
+}
+
+/// Progress of a rebuild pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RebuildStatus {
+    /// Member being reconstructed.
+    pub disk: usize,
+    /// Stripes already reconstructed (the clean frontier).
+    pub stripes_done: u64,
+    /// Stripes the pass will reconstruct in total.
+    pub stripes_total: u64,
+    /// When the pass started.
+    pub started: SimTime,
+}
+
+impl RebuildStatus {
+    /// Completed fraction, 0.0–1.0.
+    pub fn progress(&self) -> f64 {
+        if self.stripes_total == 0 {
+            1.0
+        } else {
+            self.stripes_done as f64 / self.stripes_total as f64
+        }
+    }
+}
+
+/// Static configuration of the simulated array.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArrayConfig {
+    /// Array name for reports.
+    pub name: String,
+    /// Striping / parity geometry.
+    pub geometry: Geometry,
+    /// Constant non-disk power (controller, fan, backplane), watts.
+    pub chassis_watts: f64,
+    /// Host link rate, MB/s (4 Gbps FC ≈ 400 MB/s of payload).
+    pub link_mbps: f64,
+    /// Controller per-request command overhead, microseconds.
+    pub controller_overhead_us: f64,
+    /// Controller XOR engine rate for parity computation, MB/s.
+    pub xor_mbps: f64,
+    /// Per-device queue service order.
+    pub queue_discipline: QueueDiscipline,
+    /// When set, idle devices are sent to standby after this long (for
+    /// evaluating MAID-style conservation policies). `None` = always on.
+    pub spin_down_after: Option<SimDuration>,
+    /// Controller cache; `None` reproduces the paper's disabled-cache testbed.
+    pub cache: Option<CacheConfig>,
+}
+
+/// One dispatched device operation, recorded when the op log is enabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpRecord {
+    /// Owning logical request.
+    pub request: RequestId,
+    /// Member disk that served the op.
+    pub disk: usize,
+    /// Dispatch instant.
+    pub started: SimTime,
+    /// Completion instant.
+    pub finished: SimTime,
+    /// Starting disk-local sector.
+    pub sector: u64,
+    /// Length in sectors.
+    pub sectors: u64,
+    /// Direction.
+    pub kind: OpKind,
+}
+
+/// Aggregate counters maintained by the engine.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ArrayStats {
+    /// Logical requests completed.
+    pub requests_completed: u64,
+    /// Logical bytes transferred (host view).
+    pub logical_bytes: u64,
+    /// Physical device operations dispatched.
+    pub disk_ops: u64,
+    /// Physical bytes moved at the devices (includes parity / RMW traffic).
+    pub physical_bytes: u64,
+    /// Reads answered entirely from the controller cache.
+    pub cache_hits: u64,
+    /// Per-device busy time, nanoseconds.
+    pub busy_ns: Vec<u64>,
+}
+
+impl ArrayStats {
+    /// Write amplification: physical bytes over logical bytes.
+    pub fn write_amplification(&self) -> f64 {
+        if self.logical_bytes == 0 {
+            0.0
+        } else {
+            self.physical_bytes as f64 / self.logical_bytes as f64
+        }
+    }
+
+    /// Mean device utilisation over `span`.
+    pub fn utilisation(&self, span: SimDuration) -> f64 {
+        if span.is_zero() || self.busy_ns.is_empty() {
+            return 0.0;
+        }
+        let busy: u64 = self.busy_ns.iter().sum();
+        busy as f64 / (span.as_nanos() as f64 * self.busy_ns.len() as f64)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    /// A request reaches the controller.
+    Arrival(RequestId),
+    /// A phase's disk extents become eligible for dispatch.
+    PhaseReady(RequestId),
+    /// The op at the head of `disk`'s service slot finishes.
+    DiskFree { disk: usize, req: RequestId },
+    /// The request's final byte reaches the host / is acknowledged.
+    RequestDone(RequestId),
+    /// Check whether `disk`, idle since `since`, should spin down.
+    SpinDownCheck { disk: usize, since: SimTime },
+    /// Launch the next stripe-reconstruction job of a rebuild pass.
+    RebuildNext,
+}
+
+#[derive(Debug)]
+struct ReqState {
+    req: ArrayRequest,
+    submitted: SimTime,
+    /// Remaining phases, front first. Each phase is a set of extents that may
+    /// run concurrently; the next phase starts when the current one drains.
+    phases: VecDeque<Vec<DiskExtent>>,
+    /// Outstanding extents of the current phase.
+    outstanding: usize,
+    /// XOR time not yet charged: spent at the phase boundary when there is
+    /// one (RMW), otherwise on the completion path (degraded reads).
+    xor_pending: SimDuration,
+    /// Completion already reported (write-back ack); remaining phases are
+    /// background destage work.
+    completed_early: bool,
+    /// Internal traffic (rebuild jobs): no host link, no completion record.
+    internal: bool,
+}
+
+/// The discrete-event array simulator.
+pub struct ArraySim {
+    cfg: ArrayConfig,
+    devices: Vec<Device>,
+    queues: Vec<VecDeque<(RequestId, DiskOp)>>,
+    background_queues: Vec<VecDeque<(RequestId, DiskOp)>>,
+    busy: Vec<bool>,
+    idle_since: Vec<SimTime>,
+    last_sector: Vec<u64>,
+    events: BinaryHeap<Reverse<(SimTime, u64, EventSlot)>>,
+    seq: u64,
+    requests: HashMap<RequestId, ReqState>,
+    next_id: RequestId,
+    now: SimTime,
+    link_busy_until: SimTime,
+    power: ArrayPowerLog,
+    completions: Vec<Completion>,
+    stats: ArrayStats,
+    failed_disk: Option<usize>,
+    cache: Option<ControllerCache>,
+    rebuild: Option<RebuildState>,
+    op_log: Option<Vec<OpRecord>>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RebuildState {
+    status: RebuildStatus,
+    cfg: RebuildConfig,
+    /// Request id of the in-flight stripe job, if any.
+    inflight: Option<RequestId>,
+}
+
+/// `Event` wrapped for heap ordering (events compare only by time and seq).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct EventSlot(Event);
+
+impl PartialOrd for EventSlot {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for EventSlot {
+    fn cmp(&self, _other: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl ArraySim {
+    /// Build a simulator from a config and its member devices. Panics if the
+    /// device count does not match the geometry.
+    pub fn new(cfg: ArrayConfig, devices: Vec<Device>) -> Self {
+        assert_eq!(
+            devices.len(),
+            cfg.geometry.disks,
+            "device count must match geometry ({} vs {})",
+            devices.len(),
+            cfg.geometry.disks
+        );
+        let idle: Vec<f64> = devices.iter().map(|d| d.idle_watts()).collect();
+        let n = devices.len();
+        let mut sim = Self {
+            power: ArrayPowerLog::new(cfg.chassis_watts, &idle),
+            cache: cfg.cache.map(ControllerCache::new),
+            cfg,
+            devices,
+            queues: (0..n).map(|_| VecDeque::new()).collect(),
+            background_queues: (0..n).map(|_| VecDeque::new()).collect(),
+            busy: vec![false; n],
+            idle_since: vec![SimTime::ZERO; n],
+            last_sector: vec![0; n],
+            events: BinaryHeap::new(),
+            seq: 0,
+            requests: HashMap::new(),
+            next_id: 0,
+            now: SimTime::ZERO,
+            link_busy_until: SimTime::ZERO,
+            completions: Vec::new(),
+            stats: ArrayStats { busy_ns: vec![0; n], ..Default::default() },
+            failed_disk: None,
+            rebuild: None,
+            op_log: None,
+        };
+        // Under a spin-down policy even never-accessed members time out.
+        if let Some(after) = sim.cfg.spin_down_after {
+            for disk in 0..n {
+                sim.schedule(SimTime::ZERO + after, Event::SpinDownCheck { disk, since: SimTime::ZERO });
+            }
+        }
+        sim
+    }
+
+    /// Controller-cache view (hit/miss counters), when a cache is configured.
+    pub fn cache(&self) -> Option<&ControllerCache> {
+        self.cache.as_ref()
+    }
+
+    /// Start recording every dispatched device op (diagnostics; unbounded
+    /// memory over long runs — enable for short analyses only).
+    pub fn enable_op_log(&mut self) {
+        self.op_log.get_or_insert_with(Vec::new);
+    }
+
+    /// The recorded device ops, when [`ArraySim::enable_op_log`] was called.
+    pub fn op_log(&self) -> Option<&[OpRecord]> {
+        self.op_log.as_deref()
+    }
+
+    /// Take member `disk` out of service (eRAID-style degraded operation):
+    /// the device enters standby and all subsequent requests are planned
+    /// around it through parity. Only valid on an idle RAID-5 array with no
+    /// member already down.
+    ///
+    /// # Panics
+    /// Panics on RAID-0 geometries, with a member already failed, on an
+    /// out-of-range index, or while any request is in flight.
+    pub fn fail_disk(&mut self, disk: usize) {
+        assert_ne!(
+            self.cfg.geometry.redundancy,
+            crate::raid::Redundancy::Raid0,
+            "degraded operation needs redundancy (RAID-5 or RAID-10)"
+        );
+        assert!(disk < self.devices.len(), "disk index out of range");
+        assert!(self.failed_disk.is_none(), "a member is already failed");
+        assert!(self.rebuild.is_none(), "cannot fail a member during a rebuild");
+        assert!(
+            self.requests.is_empty()
+                && self.queues.iter().all(VecDeque::is_empty)
+                && self.background_queues.iter().all(VecDeque::is_empty),
+            "fail_disk requires an idle array"
+        );
+        self.failed_disk = Some(disk);
+        self.devices[disk].enter_standby();
+        let w = self.devices[disk].standby_watts();
+        self.power.devices[disk].set(self.now, w);
+    }
+
+    /// Return the failed member to service *instantly* (re-attaching a
+    /// healthy drive whose contents are current — e.g. a transient cabling
+    /// failure). For the realistic replacement-drive path, which regenerates
+    /// the member's contents stripe by stripe, use
+    /// [`ArraySim::start_rebuild`]. The device stays in standby until its
+    /// next op pays the spin-up cost. Requires an idle array.
+    ///
+    /// # Panics
+    /// Panics if no member is failed or requests are in flight.
+    pub fn repair_disk(&mut self) {
+        assert!(self.failed_disk.is_some(), "no member is failed");
+        assert!(
+            self.requests.is_empty()
+                && self.queues.iter().all(VecDeque::is_empty)
+                && self.background_queues.iter().all(VecDeque::is_empty),
+            "repair_disk requires an idle array"
+        );
+        self.failed_disk = None;
+    }
+
+    /// Index of the failed member, if the array runs degraded.
+    pub fn failed_disk(&self) -> Option<usize> {
+        self.failed_disk
+    }
+
+    /// Replace the failed member with a blank drive and start reconstructing
+    /// its contents stripe by stripe. Foreground I/O keeps running: requests
+    /// touching stripes beyond the rebuild frontier are still served through
+    /// parity; reconstructed stripes are served normally. The pass runs in
+    /// the background, throttled by [`RebuildConfig::delay_between`].
+    ///
+    /// # Panics
+    /// Panics if no member is failed or a rebuild is already running.
+    pub fn start_rebuild(&mut self, cfg: RebuildConfig) -> RebuildStatus {
+        let disk = self.failed_disk.take().expect("start_rebuild needs a failed member");
+        assert!(self.rebuild.is_none(), "a rebuild is already running");
+        let strips_per_disk = self
+            .devices
+            .iter()
+            .map(|d| d.capacity_sectors() / self.cfg.geometry.strip_sectors)
+            .min()
+            .unwrap_or(0);
+        let status = RebuildStatus {
+            disk,
+            stripes_done: 0,
+            stripes_total: strips_per_disk.min(cfg.max_stripes),
+            started: self.now,
+        };
+        self.rebuild = Some(RebuildState { status, cfg, inflight: None });
+        self.schedule(self.now, Event::RebuildNext);
+        status
+    }
+
+    /// Progress of the running rebuild pass, if any.
+    pub fn rebuild_status(&self) -> Option<RebuildStatus> {
+        self.rebuild.map(|r| r.status)
+    }
+
+    /// The member a request must be planned around: the failed disk, or the
+    /// rebuilding disk when the request reaches past the clean frontier.
+    fn effective_failure(&self, sector: u64, sectors: u64) -> Option<usize> {
+        if self.failed_disk.is_some() {
+            return self.failed_disk;
+        }
+        let rb = self.rebuild.as_ref()?;
+        let stripe_sectors =
+            self.cfg.geometry.strip_sectors * self.cfg.geometry.data_disks().max(1) as u64;
+        let last_stripe = (sector + sectors.max(1) - 1) / stripe_sectors;
+        (last_stripe >= rb.status.stripes_done).then_some(rb.status.disk)
+    }
+
+    fn on_rebuild_next(&mut self) {
+        let Some(rb) = self.rebuild.as_mut() else { return };
+        if rb.inflight.is_some() {
+            return;
+        }
+        if rb.status.stripes_done >= rb.status.stripes_total {
+            self.rebuild = None;
+            return;
+        }
+        let stripe = rb.status.stripes_done;
+        let disk = rb.status.disk;
+        let strip = self.cfg.geometry.strip_sectors;
+        let disks = self.cfg.geometry.disks;
+        let id = self.next_id;
+        self.next_id += 1;
+        rb.inflight = Some(id);
+
+        // Reconstruct: read the stripe's rows from every survivor, XOR, then
+        // write the regenerated strip onto the replacement.
+        let reads: Vec<DiskExtent> = (0..disks)
+            .filter(|&d| d != disk)
+            .map(|d| DiskExtent {
+                disk: d,
+                sector: stripe * strip,
+                sectors: strip,
+                kind: OpKind::Read,
+            })
+            .collect();
+        let writes = vec![DiskExtent {
+            disk,
+            sector: stripe * strip,
+            sectors: strip,
+            kind: OpKind::Write,
+        }];
+        let xor_bytes = (disks as u64 - 1) * strip * tracer_trace::SECTOR_BYTES;
+        let xor_pending = if self.cfg.xor_mbps > 0.0 {
+            SimDuration::from_secs_f64(xor_bytes as f64 / (self.cfg.xor_mbps * 1e6))
+        } else {
+            SimDuration::ZERO
+        };
+        let mut phases = VecDeque::with_capacity(2);
+        phases.push_back(reads);
+        phases.push_back(writes);
+        self.requests.insert(
+            id,
+            ReqState {
+                req: ArrayRequest::new(0, tracer_trace::SECTOR_BYTES as u32, OpKind::Write),
+                submitted: self.now,
+                phases,
+                outstanding: 0,
+                xor_pending,
+                completed_early: false,
+                internal: true,
+            },
+        );
+        self.schedule(self.now, Event::PhaseReady(id));
+    }
+
+    /// The array configuration.
+    pub fn config(&self) -> &ArrayConfig {
+        &self.cfg
+    }
+
+    /// Usable data capacity in sectors.
+    pub fn data_capacity_sectors(&self) -> u64 {
+        let per_disk = self.devices.iter().map(|d| d.capacity_sectors()).min().unwrap_or(0);
+        self.cfg.geometry.data_capacity_sectors(per_disk)
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The power log (chassis + per-device timelines).
+    pub fn power_log(&self) -> &ArrayPowerLog {
+        &self.power
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> &ArrayStats {
+        &self.stats
+    }
+
+    /// Member devices (for diagnostics such as seek / GC counters).
+    pub fn devices(&self) -> &[Device] {
+        &self.devices
+    }
+
+    /// Submit `req` to arrive at time `at`.
+    pub fn submit(&mut self, at: SimTime, req: ArrayRequest) -> Result<RequestId, SimError> {
+        if req.bytes == 0 {
+            return Err(SimError::EmptyRequest);
+        }
+        if at < self.now {
+            return Err(SimError::SubmitInPast { at, now: self.now });
+        }
+        let capacity = self.data_capacity_sectors();
+        if req.sector + req.sectors() > capacity {
+            return Err(SimError::OutOfRange { sector: req.sector, sectors: req.sectors(), capacity });
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.requests.insert(
+            id,
+            ReqState {
+                req,
+                submitted: at,
+                phases: VecDeque::new(),
+                outstanding: 0,
+                xor_pending: SimDuration::ZERO,
+                completed_early: false,
+                internal: false,
+            },
+        );
+        self.schedule(at, Event::Arrival(id));
+        Ok(id)
+    }
+
+    /// Instant of the next pending event, if any.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.events.peek().map(|Reverse((t, _, _))| *t)
+    }
+
+    /// Process a single event. Returns `false` when no events remain.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse((t, _, EventSlot(ev)))) = self.events.pop() else {
+            return false;
+        };
+        debug_assert!(t >= self.now, "event heap went backwards");
+        self.now = t;
+        self.handle(ev);
+        true
+    }
+
+    /// Process every event up to and including `t`, then set the clock to `t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        while let Some(next) = self.next_event_time() {
+            if next > t {
+                break;
+            }
+            self.step();
+        }
+        if t > self.now {
+            self.now = t;
+        }
+    }
+
+    /// Run until the event heap drains (all submitted work finished).
+    pub fn run_to_idle(&mut self) {
+        while self.step() {}
+    }
+
+    /// Take the completions recorded so far (in completion-time order).
+    pub fn drain_completions(&mut self) -> Vec<Completion> {
+        std::mem::take(&mut self.completions)
+    }
+
+    /// Completions recorded so far without draining them.
+    pub fn completions(&self) -> &[Completion] {
+        &self.completions
+    }
+
+    fn schedule(&mut self, at: SimTime, ev: Event) {
+        self.seq += 1;
+        self.events.push(Reverse((at, self.seq, EventSlot(ev))));
+    }
+
+    fn handle(&mut self, ev: Event) {
+        match ev {
+            Event::Arrival(id) => self.on_arrival(id),
+            Event::PhaseReady(id) => self.on_phase_ready(id),
+            Event::DiskFree { disk, req } => self.on_disk_free(disk, req),
+            Event::RequestDone(id) => self.on_request_done(id),
+            Event::SpinDownCheck { disk, since } => self.on_spin_down_check(disk, since),
+            Event::RebuildNext => self.on_rebuild_next(),
+        }
+    }
+
+    fn on_arrival(&mut self, id: RequestId) {
+        let req = self.requests.get(&id).expect("arrival for unknown request").req;
+
+        // Controller cache lookup first: full read hits never reach disks;
+        // write-back writes are acknowledged at the end of the link transfer
+        // while destaging continues in the background.
+        let mut cache_read_hit = false;
+        let mut write_back_ack = false;
+        if let Some(cache) = self.cache.as_mut() {
+            if req.kind.is_read() {
+                cache_read_hit = cache.read(req.sector, req.sectors());
+            } else {
+                cache.write(req.sector, req.sectors());
+                write_back_ack = cache.config().write_back;
+            }
+        }
+
+        // Controller command overhead, plus inbound link transfer for writes
+        // (the payload must reach the controller before disks can be written).
+        let mut ready = self.now + SimDuration::from_micros_f64(self.cfg.controller_overhead_us);
+        if !req.kind.is_read() {
+            ready = self.reserve_link(ready, u64::from(req.bytes));
+        }
+
+        if cache_read_hit {
+            self.stats.cache_hits += 1;
+            // Serve from cache RAM: outbound link transfer only.
+            let done = self.reserve_link(ready, u64::from(req.bytes));
+            self.schedule(done, Event::RequestDone(id));
+            return;
+        }
+
+        let plan = self.cfg.geometry.plan_with_failure(
+            req.sector,
+            req.sectors(),
+            req.kind,
+            self.effective_failure(req.sector, req.sectors()),
+        );
+        let xor_time = if plan.parity_xor_bytes > 0 && self.cfg.xor_mbps > 0.0 {
+            SimDuration::from_secs_f64(plan.parity_xor_bytes as f64 / (self.cfg.xor_mbps * 1e6))
+        } else {
+            SimDuration::ZERO
+        };
+        let mut phases = VecDeque::with_capacity(2);
+        if !plan.pre_reads.is_empty() {
+            phases.push_back(plan.pre_reads);
+        }
+        phases.push_back(plan.ops);
+
+        let state = self.requests.get_mut(&id).expect("arrival for unknown request");
+        state.phases = phases;
+        state.xor_pending = xor_time;
+        self.schedule(ready, Event::PhaseReady(id));
+        if write_back_ack {
+            // The host sees the write complete once the payload is in cache.
+            self.schedule(ready, Event::RequestDone(id));
+        }
+    }
+
+    fn on_phase_ready(&mut self, id: RequestId) {
+        let state = self.requests.get_mut(&id).expect("phase for unknown request");
+        let phase = state.phases.pop_front().expect("phase ready with no phases");
+        state.outstanding = phase.len();
+        debug_assert!(state.outstanding > 0, "empty phase");
+        // Internal (rebuild) work queues behind foreground traffic.
+        let background = state.internal;
+        let mut disks_touched = Vec::with_capacity(phase.len());
+        for ext in phase {
+            let op = DiskOp::new(ext.sector, ext.sectors, ext.kind);
+            if background {
+                self.background_queues[ext.disk].push_back((id, op));
+            } else {
+                self.queues[ext.disk].push_back((id, op));
+            }
+            disks_touched.push(ext.disk);
+        }
+        for disk in disks_touched {
+            self.try_dispatch(disk);
+        }
+    }
+
+    fn try_dispatch(&mut self, disk: usize) {
+        if self.busy[disk] {
+            return;
+        }
+        let (id, op) = if !self.queues[disk].is_empty() {
+            self.pick_next(disk)
+        } else if let Some(job) = self.background_queues[disk].pop_front() {
+            job
+        } else {
+            return;
+        };
+        self.busy[disk] = true;
+        let plan = self.devices[disk].service(&op);
+        self.log_plan(disk, &plan);
+        let dur = plan.total_duration();
+        self.stats.disk_ops += 1;
+        self.stats.physical_bytes += op.bytes();
+        self.stats.busy_ns[disk] += dur.as_nanos();
+        self.last_sector[disk] = op.sector + op.sectors;
+        if let Some(log) = self.op_log.as_mut() {
+            log.push(OpRecord {
+                request: id,
+                disk,
+                started: self.now,
+                finished: self.now + dur,
+                sector: op.sector,
+                sectors: op.sectors,
+                kind: op.kind,
+            });
+        }
+        self.schedule(self.now + dur, Event::DiskFree { disk, req: id });
+    }
+
+    /// Pop the next queued op for `disk` according to the discipline.
+    fn pick_next(&mut self, disk: usize) -> (RequestId, DiskOp) {
+        match self.cfg.queue_discipline {
+            QueueDiscipline::Fifo => {
+                self.queues[disk].pop_front().expect("dispatch from empty queue")
+            }
+            QueueDiscipline::Elevator => {
+                let q = &mut self.queues[disk];
+                let head = self.last_sector[disk];
+                // C-LOOK: nearest sector at/after the head, else the lowest.
+                let mut best: Option<(usize, u64)> = None;
+                let mut lowest: Option<(usize, u64)> = None;
+                for (i, (_, op)) in q.iter().enumerate() {
+                    if op.sector >= head && best.is_none_or(|(_, s)| op.sector < s) {
+                        best = Some((i, op.sector));
+                    }
+                    if lowest.is_none_or(|(_, s)| op.sector < s) {
+                        lowest = Some((i, op.sector));
+                    }
+                }
+                let (idx, _) = best.or(lowest).expect("dispatch from empty queue");
+                q.remove(idx).expect("index in range")
+            }
+        }
+    }
+
+    /// Append a service plan's power phases to `disk`'s timeline and restore
+    /// idle power at the end.
+    fn log_plan(&mut self, disk: usize, plan: &ServicePlan) {
+        let mut t = self.now;
+        let tl = &mut self.power.devices[disk];
+        for phase in &plan.phases {
+            if phase.duration.is_zero() {
+                continue;
+            }
+            tl.set(t, phase.watts);
+            t += phase.duration;
+        }
+        tl.set(t, self.devices[disk].idle_watts());
+    }
+
+    fn on_disk_free(&mut self, disk: usize, req: RequestId) {
+        self.busy[disk] = false;
+        self.idle_since[disk] = self.now;
+        self.try_dispatch(disk);
+        if !self.busy[disk] {
+            if let Some(after) = self.cfg.spin_down_after {
+                self.schedule(self.now + after, Event::SpinDownCheck { disk, since: self.now });
+            }
+        }
+
+        let state = self.requests.get_mut(&req).expect("completion for unknown request");
+        debug_assert!(state.outstanding > 0);
+        state.outstanding -= 1;
+        if state.outstanding > 0 {
+            return;
+        }
+        if state.phases.is_empty() {
+            if state.completed_early {
+                // Write-back destage finished; the host was acked earlier.
+                self.requests.remove(&req);
+                return;
+            }
+            // Final phase done. Any uncharged XOR time (degraded-read
+            // reconstruction) is spent now; reads then stream back over the
+            // link.
+            let after_xor = self.now + std::mem::take(&mut state.xor_pending);
+            let done = if state.req.kind.is_read() && !state.internal {
+                let bytes = u64::from(state.req.bytes);
+                self.reserve_link(after_xor, bytes)
+            } else {
+                after_xor
+            };
+            self.schedule(done, Event::RequestDone(req));
+        } else {
+            // Parity computation separates the RMW read and write phases.
+            let at = self.now + std::mem::take(&mut state.xor_pending);
+            self.schedule(at, Event::PhaseReady(req));
+        }
+    }
+
+    fn on_request_done(&mut self, id: RequestId) {
+        if self.requests.get(&id).is_some_and(|s| s.internal) {
+            self.requests.remove(&id);
+            let Some(rb) = self.rebuild.as_mut() else { return };
+            debug_assert_eq!(rb.inflight, Some(id));
+            rb.inflight = None;
+            rb.status.stripes_done += 1;
+            if rb.status.stripes_done >= rb.status.stripes_total {
+                self.rebuild = None;
+            } else {
+                let delay = rb.cfg.delay_between;
+                self.schedule(self.now + delay, Event::RebuildNext);
+            }
+            return;
+        }
+        let state = self.requests.get_mut(&id).expect("done for unknown request");
+        let record = Completion {
+            id,
+            submitted: state.submitted,
+            completed: self.now,
+            bytes: state.req.bytes,
+            kind: state.req.kind,
+        };
+        // A write-back ack fires while destage phases are still pending: keep
+        // the state so the background work can drain, but report completion
+        // now.
+        if state.outstanding > 0 || !state.phases.is_empty() {
+            state.completed_early = true;
+        } else {
+            self.requests.remove(&id);
+        }
+        self.stats.requests_completed += 1;
+        self.stats.logical_bytes += u64::from(record.bytes);
+        self.completions.push(record);
+    }
+
+    fn on_spin_down_check(&mut self, disk: usize, since: SimTime) {
+        if self.busy[disk] || self.idle_since[disk] != since || self.devices[disk].in_standby() {
+            return;
+        }
+        self.devices[disk].enter_standby();
+        let w = self.devices[disk].standby_watts();
+        self.power.devices[disk].set(self.now, w);
+    }
+
+    /// Reserve the host link for `bytes` starting no earlier than `from`;
+    /// returns the completion instant of the transfer.
+    fn reserve_link(&mut self, from: SimTime, bytes: u64) -> SimTime {
+        let start = if self.link_busy_until > from { self.link_busy_until } else { from };
+        let dur = SimDuration::from_secs_f64(bytes as f64 / (self.cfg.link_mbps * 1e6));
+        self.link_busy_until = start + dur;
+        self.link_busy_until
+    }
+}
+
+impl std::fmt::Debug for ArraySim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArraySim")
+            .field("name", &self.cfg.name)
+            .field("now", &self.now)
+            .field("pending_events", &self.events.len())
+            .field("inflight_requests", &self.requests.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hdd::{HddModel, HddParams};
+    use crate::presets;
+
+    fn small_hdd_array(disks: usize) -> ArraySim {
+        let cfg = ArrayConfig {
+            name: "test-raid5".into(),
+            geometry: Geometry::raid5(disks),
+            chassis_watts: 16.0,
+            link_mbps: 400.0,
+            controller_overhead_us: 100.0,
+            xor_mbps: 1500.0,
+            queue_discipline: QueueDiscipline::Fifo,
+            spin_down_after: None,
+            cache: None,
+        };
+        let devices = (0..disks)
+            .map(|_| Device::Hdd(HddModel::new(HddParams::seagate_7200_12_500gb())))
+            .collect();
+        ArraySim::new(cfg, devices)
+    }
+
+    #[test]
+    fn read_completes_with_positive_latency() {
+        let mut sim = small_hdd_array(4);
+        let id = sim.submit(SimTime::ZERO, ArrayRequest::new(0, 4096, OpKind::Read)).unwrap();
+        sim.run_to_idle();
+        let done = sim.drain_completions();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].id, id);
+        let ms = done[0].latency().as_millis_f64();
+        assert!(ms > 0.05 && ms < 30.0, "4K read latency = {ms}ms");
+        assert_eq!(sim.stats().requests_completed, 1);
+        assert_eq!(sim.stats().logical_bytes, 4096);
+    }
+
+    #[test]
+    fn raid5_write_amplifies() {
+        let mut sim = small_hdd_array(6);
+        sim.submit(SimTime::ZERO, ArrayRequest::new(0, 4096, OpKind::Write)).unwrap();
+        sim.run_to_idle();
+        // Small write: 2 reads + 2 writes of 4 KiB = 16 KiB physical.
+        assert_eq!(sim.stats().physical_bytes, 4 * 4096);
+        assert!((sim.stats().write_amplification() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn write_latency_exceeds_read_latency_for_small_random_ops() {
+        let mut sim = small_hdd_array(6);
+        let _ = sim.submit(SimTime::ZERO, ArrayRequest::new(1_000_000, 4096, OpKind::Read));
+        sim.run_to_idle();
+        let read = sim.drain_completions()[0].latency();
+        let mut sim = small_hdd_array(6);
+        let _ = sim.submit(SimTime::ZERO, ArrayRequest::new(1_000_000, 4096, OpKind::Write));
+        sim.run_to_idle();
+        let write = sim.drain_completions()[0].latency();
+        assert!(write > read, "RMW write {write} must exceed read {read}");
+    }
+
+    #[test]
+    fn submit_validation() {
+        let mut sim = small_hdd_array(4);
+        assert!(matches!(
+            sim.submit(SimTime::ZERO, ArrayRequest::new(0, 0, OpKind::Read)),
+            Err(SimError::EmptyRequest)
+        ));
+        let cap = sim.data_capacity_sectors();
+        assert!(matches!(
+            sim.submit(SimTime::ZERO, ArrayRequest::new(cap, 4096, OpKind::Read)),
+            Err(SimError::OutOfRange { .. })
+        ));
+        sim.run_until(SimTime::from_secs(1));
+        assert!(matches!(
+            sim.submit(SimTime::ZERO, ArrayRequest::new(0, 512, OpKind::Read)),
+            Err(SimError::SubmitInPast { .. })
+        ));
+    }
+
+    #[test]
+    fn idle_array_draws_chassis_plus_idle_disks() {
+        let sim = small_hdd_array(6);
+        let w = sim.power_log().total_watts_at(SimTime::from_secs(10));
+        assert!((w - (16.0 + 6.0 * 5.0)).abs() < 1e-9, "idle power = {w}");
+    }
+
+    #[test]
+    fn active_power_exceeds_idle_power() {
+        let mut sim = small_hdd_array(4);
+        for i in 0..50 {
+            let sector = (i * 7_919_113) % 1_000_000;
+            sim.submit(
+                SimTime::from_millis(i * 2),
+                ArrayRequest::new(sector, 4096, OpKind::Read),
+            )
+            .unwrap();
+        }
+        sim.run_to_idle();
+        let span_end = sim.now();
+        let avg = sim.power_log().avg_watts(SimTime::ZERO, span_end);
+        let idle = 16.0 + 4.0 * 5.0;
+        assert!(avg > idle + 0.1, "active avg {avg} vs idle {idle}");
+    }
+
+    #[test]
+    fn sequential_stream_is_faster_than_random() {
+        let run = |random: bool| {
+            let mut sim = small_hdd_array(4);
+            let mut sector = 0u64;
+            for i in 0..100u64 {
+                let s = if random { (i * 104_729_573) % 100_000_000 } else { sector };
+                sim.submit(SimTime::ZERO, ArrayRequest::new(s, 65536, OpKind::Read)).unwrap();
+                sector += 128;
+            }
+            sim.run_to_idle();
+            sim.now().as_secs_f64()
+        };
+        let seq = run(false);
+        let rnd = run(true);
+        assert!(rnd > seq * 2.0, "random {rnd}s vs sequential {seq}s");
+    }
+
+    #[test]
+    fn completions_are_time_ordered() {
+        let mut sim = small_hdd_array(4);
+        for i in 0..20u64 {
+            sim.submit(
+                SimTime::from_millis(i * 5),
+                ArrayRequest::new((i * 3_331_999) % 1_000_000, 8192, OpKind::Read),
+            )
+            .unwrap();
+        }
+        sim.run_to_idle();
+        let done = sim.drain_completions();
+        assert_eq!(done.len(), 20);
+        assert!(done.windows(2).all(|w| w[0].completed <= w[1].completed));
+    }
+
+    #[test]
+    fn run_until_advances_clock_without_events() {
+        let mut sim = small_hdd_array(4);
+        sim.run_until(SimTime::from_secs(5));
+        assert_eq!(sim.now(), SimTime::from_secs(5));
+        assert!(sim.next_event_time().is_none());
+    }
+
+    #[test]
+    fn spin_down_reduces_idle_power() {
+        let mut cfg_sim = small_hdd_array(4);
+        cfg_sim.cfg.spin_down_after = Some(SimDuration::from_secs(2));
+        cfg_sim.submit(SimTime::ZERO, ArrayRequest::new(0, 4096, OpKind::Read)).unwrap();
+        cfg_sim.run_to_idle();
+        // Fire the spin-down checks.
+        cfg_sim.run_until(cfg_sim.now() + SimDuration::from_secs(10));
+        let late = cfg_sim.now();
+        let w = cfg_sim.power_log().total_watts_at(late);
+        // Disk 0 (and only it) served the op; after time-out it stands by.
+        // All disks without traffic never got a check scheduled (they were
+        // never dispatched), so only the active one spun down.
+        let expect = 16.0 + 3.0 * 5.0 + 0.8;
+        assert!((w - expect).abs() < 1e-9, "power after spin-down = {w}, expect {expect}");
+    }
+
+    #[test]
+    fn spin_up_penalty_applies_after_standby() {
+        let mut sim = small_hdd_array(4);
+        sim.cfg.spin_down_after = Some(SimDuration::from_millis(100));
+        sim.submit(SimTime::ZERO, ArrayRequest::new(0, 4096, OpKind::Read)).unwrap();
+        sim.run_to_idle();
+        sim.run_until(sim.now() + SimDuration::from_secs(1));
+        let t0 = sim.now();
+        sim.submit(t0, ArrayRequest::new(0, 4096, OpKind::Read)).unwrap();
+        sim.run_to_idle();
+        let done = sim.drain_completions();
+        let lat = done.last().unwrap().latency();
+        assert!(lat.as_secs_f64() > 6.0, "spin-up must add ~6s, got {lat}");
+    }
+
+    #[test]
+    fn elevator_reduces_seek_time_under_backlog() {
+        let run = |disc: QueueDiscipline| {
+            let mut sim = small_hdd_array(3);
+            sim.cfg.queue_discipline = disc;
+            // A deep backlog of scattered single-sector reads.
+            for i in 0..200u64 {
+                let sector = (i * 48_271) % 500_000 * 256; // scattered strips
+                sim.submit(SimTime::ZERO, ArrayRequest::new(sector, 512, OpKind::Read)).unwrap();
+            }
+            sim.run_to_idle();
+            sim.now().as_secs_f64()
+        };
+        let fifo = run(QueueDiscipline::Fifo);
+        let elevator = run(QueueDiscipline::Elevator);
+        assert!(elevator < fifo, "elevator {elevator}s must beat fifo {fifo}s");
+    }
+
+    #[test]
+    fn link_caps_throughput_of_huge_reads() {
+        let mut sim = small_hdd_array(6);
+        // 64 MiB of 1 MiB sequential reads: disks can stream ~125 MB/s each
+        // in parallel, so the 400 MB/s link is the bottleneck.
+        for i in 0..64u64 {
+            sim.submit(SimTime::ZERO, ArrayRequest::new(i * 2048, 1 << 20, OpKind::Read))
+                .unwrap();
+        }
+        sim.run_to_idle();
+        let secs = sim.drain_completions().last().unwrap().completed.as_secs_f64();
+        let mbps = 64.0 / secs;
+        assert!(mbps < 410.0, "link must cap at ~400 MB/s, got {mbps:.0}");
+        assert!(mbps > 250.0, "sequential streaming should approach the link cap, got {mbps:.0}");
+    }
+
+    #[test]
+    fn degraded_array_serves_reads_slower_but_correctly() {
+        let run = |fail: bool| {
+            let mut sim = small_hdd_array(4);
+            if fail {
+                sim.fail_disk(0);
+            }
+            for i in 0..40u64 {
+                sim.submit(
+                    SimTime::from_millis(i * 30),
+                    ArrayRequest::new((i * 1_048_573) % 10_000_000, 8192, OpKind::Read),
+                )
+                .unwrap();
+            }
+            sim.run_to_idle();
+            let done = sim.drain_completions();
+            assert_eq!(done.len(), 40);
+            let avg: f64 =
+                done.iter().map(|c| c.latency().as_millis_f64()).sum::<f64>() / done.len() as f64;
+            (avg, sim.stats().disk_ops)
+        };
+        let (healthy_ms, healthy_ops) = run(false);
+        let (degraded_ms, degraded_ops) = run(true);
+        assert!(degraded_ms > healthy_ms, "reconstruction must cost latency");
+        assert!(degraded_ops > healthy_ops, "reconstruction reads extra strips");
+    }
+
+    #[test]
+    fn degraded_array_saves_idle_power() {
+        let mut sim = small_hdd_array(4);
+        let healthy = sim.power_log().total_watts_at(sim.now());
+        sim.fail_disk(1);
+        sim.run_until(SimTime::from_secs(10));
+        let degraded = sim.power_log().total_watts_at(sim.now());
+        // The spun-down member idles at standby power.
+        assert!((healthy - degraded - (5.0 - 0.8)).abs() < 1e-9);
+        assert_eq!(sim.failed_disk(), Some(1));
+    }
+
+    #[test]
+    fn repair_restores_service_with_spinup() {
+        let mut sim = small_hdd_array(4);
+        sim.fail_disk(0);
+        sim.submit(SimTime::ZERO, ArrayRequest::new(0, 4096, OpKind::Read)).unwrap();
+        sim.run_to_idle();
+        sim.repair_disk();
+        assert_eq!(sim.failed_disk(), None);
+        // Next request hitting disk 0 pays the spin-up.
+        let t0 = sim.now();
+        sim.submit(t0, ArrayRequest::new(0, 4096, OpKind::Read)).unwrap();
+        sim.run_to_idle();
+        let lat = sim.drain_completions().last().unwrap().latency();
+        assert!(lat.as_secs_f64() > 5.9, "spin-up expected, got {lat}");
+    }
+
+    #[test]
+    #[should_panic(expected = "idle array")]
+    fn fail_disk_rejects_inflight_requests() {
+        let mut sim = small_hdd_array(4);
+        sim.submit(SimTime::ZERO, ArrayRequest::new(0, 4096, OpKind::Read)).unwrap();
+        // Request still queued (no stepping): failing now must panic.
+        sim.fail_disk(0);
+    }
+
+    #[test]
+    fn degraded_writes_complete_without_touching_failed_member() {
+        let mut sim = small_hdd_array(4);
+        sim.fail_disk(2);
+        for i in 0..30u64 {
+            sim.submit(
+                SimTime::from_millis(i * 40),
+                ArrayRequest::new((i * 524_287) % 5_000_000, 16384, OpKind::Write),
+            )
+            .unwrap();
+        }
+        sim.run_to_idle();
+        assert_eq!(sim.drain_completions().len(), 30);
+        assert_eq!(sim.stats().busy_ns[2], 0, "failed member must never be dispatched");
+    }
+
+    fn cached_array(write_back: bool) -> ArraySim {
+        let mut sim = small_hdd_array(4);
+        sim.cfg.cache = Some(crate::cache::CacheConfig {
+            size_bytes: 64 * 1024 * 1024,
+            line_bytes: 64 * 1024,
+            write_back,
+        });
+        let cfg = sim.cfg.clone();
+        let devices = (0..4)
+            .map(|_| Device::Hdd(HddModel::new(HddParams::seagate_7200_12_500gb())))
+            .collect();
+        ArraySim::new(cfg, devices)
+    }
+
+    #[test]
+    fn cache_hits_skip_the_disks() {
+        let mut sim = cached_array(true);
+        // First pass warms the cache; second pass must be served from RAM.
+        for pass in 0..2u64 {
+            for i in 0..10u64 {
+                let at = sim.now().max(SimTime::from_millis(pass * 2000 + i * 50));
+                sim.submit(at, ArrayRequest::new(i * 128, 4096, OpKind::Read)).unwrap();
+            }
+            sim.run_to_idle();
+        }
+        let done = sim.drain_completions();
+        assert_eq!(done.len(), 20);
+        assert_eq!(sim.stats().cache_hits, 10);
+        let cold: f64 = done[..10].iter().map(|c| c.latency().as_millis_f64()).sum();
+        let warm: f64 = done[10..].iter().map(|c| c.latency().as_millis_f64()).sum();
+        assert!(warm < cold / 10.0, "warm {warm}ms vs cold {cold}ms");
+        assert!(sim.cache().unwrap().hit_ratio() > 0.49);
+    }
+
+    #[test]
+    fn write_back_acks_before_destage() {
+        let mut wb = cached_array(true);
+        wb.submit(SimTime::ZERO, ArrayRequest::new(1_000_000, 4096, OpKind::Write)).unwrap();
+        wb.run_to_idle();
+        let ack = wb.drain_completions()[0].latency();
+        let mut wt = cached_array(false);
+        wt.submit(SimTime::ZERO, ArrayRequest::new(1_000_000, 4096, OpKind::Write)).unwrap();
+        wt.run_to_idle();
+        let through = wt.drain_completions()[0].latency();
+        assert!(
+            ack.as_millis_f64() < through.as_millis_f64() / 5.0,
+            "write-back ack {ack} vs write-through {through}"
+        );
+        // Destage still happened: the disks moved the RMW traffic.
+        assert_eq!(wb.stats().physical_bytes, wt.stats().physical_bytes);
+        assert_eq!(wb.stats().requests_completed, 1);
+    }
+
+    #[test]
+    fn disabled_cache_matches_paper_testbed() {
+        // The presets reproduce the paper's cache-disabled configuration.
+        let sim = presets::hdd_raid5(4);
+        assert!(sim.cache().is_none());
+    }
+
+    #[test]
+    fn rebuild_reconstructs_and_finishes() {
+        let mut sim = small_hdd_array(4);
+        sim.fail_disk(1);
+        // Serve some degraded traffic first.
+        sim.submit(SimTime::ZERO, ArrayRequest::new(0, 4096, OpKind::Read)).unwrap();
+        sim.run_to_idle();
+        let status = sim.start_rebuild(RebuildConfig {
+            delay_between: SimDuration::from_millis(1),
+            max_stripes: 50,
+        });
+        assert_eq!(status.disk, 1);
+        assert_eq!(status.stripes_total, 50);
+        assert_eq!(sim.failed_disk(), None, "replacement drive is in the slot");
+        assert!(sim.rebuild_status().is_some());
+        sim.run_to_idle();
+        assert!(sim.rebuild_status().is_none(), "rebuild completed");
+        // 50 stripes x (3 reads + 1 write) of a 128 KiB strip, plus the
+        // earlier degraded read's reconstruction traffic.
+        assert!(sim.stats().disk_ops >= 200);
+        // The replacement disk received 50 strip writes.
+        assert!(sim.stats().busy_ns[1] > 0);
+    }
+
+    #[test]
+    fn foreground_io_runs_during_rebuild_with_correct_planning() {
+        let mut sim = small_hdd_array(4);
+        sim.fail_disk(0);
+        sim.start_rebuild(RebuildConfig {
+            delay_between: SimDuration::from_millis(5),
+            max_stripes: 200,
+        });
+        // Requests far beyond the frontier must still reconstruct (no read
+        // lands on disk 0 for dirty stripes); requests complete regardless.
+        for i in 0..20u64 {
+            let at = sim.now().max(SimTime::from_millis(i * 10));
+            sim.submit(at, ArrayRequest::new(500_000 + i * 64, 8192, OpKind::Read)).unwrap();
+            sim.run_until(at);
+        }
+        sim.run_to_idle();
+        let done = sim.drain_completions();
+        assert_eq!(done.len(), 20, "foreground requests complete during rebuild");
+        assert!(sim.rebuild_status().is_none());
+    }
+
+    #[test]
+    fn dirty_stripes_reconstruct_while_clean_stripes_read_directly() {
+        let mut sim = small_hdd_array(4);
+        sim.fail_disk(0);
+        // One stripe job, then a long pause before the next.
+        sim.start_rebuild(RebuildConfig {
+            delay_between: SimDuration::from_secs(3600),
+            max_stripes: 10,
+        });
+        sim.run_until(SimTime::from_secs(60));
+        assert_eq!(sim.rebuild_status().unwrap().stripes_done, 1, "one stripe rebuilt");
+
+        // A read inside the clean stripe 0, targeting the rebuilt disk 0
+        // (logical sector 0 maps to disk 0), is a single direct disk read.
+        let ops_before = sim.stats().disk_ops;
+        let t = sim.now();
+        sim.submit(t, ArrayRequest::new(0, 4096, OpKind::Read)).unwrap();
+        // Run until the request completes (ignore the pending rebuild tick).
+        while sim.completions().is_empty() {
+            assert!(sim.step());
+        }
+        let direct_ops = sim.stats().disk_ops - ops_before;
+        assert_eq!(direct_ops, 1, "clean stripe reads directly");
+
+        // A read in a dirty stripe whose data sits on disk 0 must
+        // reconstruct from the three survivors. Stripe 4 rotates parity back
+        // to disk 3, so its data index 0 is on disk 0; logical sector =
+        // 4 stripes * 3 data strips * 256 sectors.
+        let ops_before = sim.stats().disk_ops;
+        let t = sim.now();
+        sim.submit(t, ArrayRequest::new(4 * 3 * 256, 4096, OpKind::Read)).unwrap();
+        while sim.completions().len() < 2 {
+            assert!(sim.step());
+        }
+        let degraded_ops = sim.stats().disk_ops - ops_before;
+        assert_eq!(degraded_ops, 3, "dirty stripe reconstructs from survivors");
+    }
+
+    #[test]
+    fn rebuild_progress_is_monotone_and_throttled() {
+        let mut sim = small_hdd_array(4);
+        sim.fail_disk(2);
+        sim.start_rebuild(RebuildConfig {
+            delay_between: SimDuration::from_millis(50),
+            max_stripes: 20,
+        });
+        let mut last = 0;
+        while let Some(st) = sim.rebuild_status() {
+            assert!(st.stripes_done >= last);
+            last = st.stripes_done;
+            if !sim.step() {
+                break;
+            }
+        }
+        assert_eq!(sim.rebuild_status(), None);
+        // Throttling: 20 stripes at >=50ms spacing -> at least ~0.95s.
+        assert!(sim.now().as_secs_f64() > 0.9, "rebuild too fast: {}", sim.now());
+    }
+
+    #[test]
+    fn foreground_preempts_rebuild_in_the_queue() {
+        // With a rebuild saturating the disks, a foreground read should still
+        // complete in ~one service time because it jumps the background queue.
+        let mut sim = small_hdd_array(4);
+        sim.fail_disk(0);
+        sim.start_rebuild(RebuildConfig {
+            delay_between: SimDuration::ZERO, // back-to-back stripe jobs
+            max_stripes: 1_000,
+        });
+        // Let the rebuild get going.
+        sim.run_until(SimTime::from_millis(200));
+        let t0 = sim.now();
+        sim.submit(t0, ArrayRequest::new(5_000_000, 4096, OpKind::Read)).unwrap();
+        let id_done = loop {
+            if let Some(c) = sim.completions().last() {
+                break c.completed;
+            }
+            assert!(sim.step(), "drained without completing the foreground read");
+        };
+        let latency_ms = (id_done - t0).as_millis_f64();
+        // It waits at most for the in-flight strip op (~2-14ms) plus its own
+        // reconstruction (~3 disks), not for hundreds of queued stripe jobs.
+        assert!(latency_ms < 120.0, "foreground starved behind rebuild: {latency_ms}ms");
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a failed member")]
+    fn rebuild_requires_failure() {
+        let mut sim = small_hdd_array(4);
+        sim.start_rebuild(RebuildConfig::default());
+    }
+
+    #[test]
+    fn op_log_reveals_rmw_phase_ordering() {
+        let mut sim = small_hdd_array(6);
+        sim.enable_op_log();
+        let id = sim.submit(SimTime::ZERO, ArrayRequest::new(0, 4096, OpKind::Write)).unwrap();
+        sim.run_to_idle();
+        let ops: Vec<_> = sim
+            .op_log()
+            .unwrap()
+            .iter()
+            .filter(|o| o.request == id)
+            .copied()
+            .collect();
+        assert_eq!(ops.len(), 4, "RMW small write: 2 reads + 2 writes");
+        let last_read_end =
+            ops.iter().filter(|o| o.kind == OpKind::Read).map(|o| o.finished).max().unwrap();
+        let first_write_start =
+            ops.iter().filter(|o| o.kind == OpKind::Write).map(|o| o.started).min().unwrap();
+        assert!(
+            first_write_start >= last_read_end,
+            "RMW writes must wait for the parity reads"
+        );
+        // Intervals are well-formed and on distinct disks per phase.
+        for o in &ops {
+            assert!(o.finished > o.started);
+            assert!(o.disk < 6);
+        }
+    }
+
+    #[test]
+    fn op_log_disabled_by_default() {
+        let mut sim = small_hdd_array(4);
+        sim.submit(SimTime::ZERO, ArrayRequest::new(0, 4096, OpKind::Read)).unwrap();
+        sim.run_to_idle();
+        assert!(sim.op_log().is_none());
+    }
+
+    #[test]
+    fn presets_build() {
+        let sim = presets::hdd_raid5(6);
+        assert_eq!(sim.devices().len(), 6);
+        let sim = presets::ssd_raid5(4);
+        assert_eq!(sim.devices().len(), 4);
+        let sim = presets::hdd_array_idle(0);
+        assert_eq!(sim.devices().len(), 0);
+    }
+}

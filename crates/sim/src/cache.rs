@@ -1,0 +1,221 @@
+//! Controller cache model.
+//!
+//! The paper's testbed carries a 300 MB controller cache that is *disabled*
+//! "to assure direct access to disks" (§V-A). This module models that cache
+//! so the choice can be evaluated instead of assumed: an LRU of fixed-size
+//! lines over the array's logical address space, optionally write-back
+//! (writes acknowledged once the payload is in cache RAM, destaged to disks
+//! asynchronously) or write-through.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+
+/// Static cache configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total cache capacity in bytes (the paper's controller has 300 MB).
+    pub size_bytes: u64,
+    /// Cache-line size in bytes.
+    pub line_bytes: u32,
+    /// `true`: write-back (fast ack, async destage); `false`: write-through.
+    pub write_back: bool,
+}
+
+impl CacheConfig {
+    /// The paper's controller cache, as it would run when enabled:
+    /// 300 MB, 64 KiB lines, write-back.
+    pub fn paper_300mb() -> Self {
+        Self { size_bytes: 300 * 1_000_000, line_bytes: 64 * 1024, write_back: true }
+    }
+}
+
+/// LRU line cache over logical sectors.
+#[derive(Debug, Clone)]
+pub struct ControllerCache {
+    cfg: CacheConfig,
+    capacity_lines: usize,
+    /// line id → validity tick. A line is resident iff its entry matches the
+    /// newest tick recorded in `order` (lazy LRU).
+    lines: HashMap<u64, u64>,
+    order: VecDeque<(u64, u64)>,
+    tick: u64,
+    /// Read lookups fully answered from cache.
+    pub hits: u64,
+    /// Read lookups that had to go to the disks.
+    pub misses: u64,
+}
+
+impl ControllerCache {
+    /// Build a cache; capacity must hold at least one line.
+    pub fn new(cfg: CacheConfig) -> Self {
+        let capacity_lines = (cfg.size_bytes / u64::from(cfg.line_bytes.max(512))).max(1) as usize;
+        Self {
+            cfg,
+            capacity_lines,
+            lines: HashMap::with_capacity(capacity_lines.min(1 << 20)),
+            order: VecDeque::new(),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Number of resident lines.
+    pub fn resident_lines(&self) -> usize {
+        self.lines.len()
+    }
+
+    fn line_sectors(&self) -> u64 {
+        u64::from(self.cfg.line_bytes.max(512)) / tracer_trace::SECTOR_BYTES
+    }
+
+    fn lines_of(&self, sector: u64, sectors: u64) -> (u64, u64) {
+        let ls = self.line_sectors();
+        let first = sector / ls;
+        let last = (sector + sectors.max(1) - 1) / ls;
+        (first, last)
+    }
+
+    fn touch(&mut self, line: u64) {
+        self.tick += 1;
+        self.lines.insert(line, self.tick);
+        self.order.push_back((line, self.tick));
+        self.evict_lazily();
+    }
+
+    fn evict_lazily(&mut self) {
+        while self.lines.len() > self.capacity_lines {
+            // Pop stale order entries until a live LRU victim surfaces.
+            while let Some(&(line, tick)) = self.order.front() {
+                self.order.pop_front();
+                if self.lines.get(&line) == Some(&tick) {
+                    self.lines.remove(&line);
+                    break;
+                }
+            }
+        }
+        // Bound the lazy queue so long runs cannot grow it without limit.
+        if self.order.len() > self.capacity_lines * 4 + 64 {
+            let live: Vec<(u64, u64)> = self
+                .order
+                .iter()
+                .copied()
+                .filter(|(line, tick)| self.lines.get(line) == Some(tick))
+                .collect();
+            self.order = live.into();
+        }
+    }
+
+    /// Look up a read: `true` when every covered line is resident (the whole
+    /// request is served from cache RAM). Misses fill the lines.
+    pub fn read(&mut self, sector: u64, sectors: u64) -> bool {
+        let (first, last) = self.lines_of(sector, sectors);
+        let all_resident = (first..=last).all(|l| self.lines.contains_key(&l));
+        for l in first..=last {
+            self.touch(l);
+        }
+        if all_resident {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+        all_resident
+    }
+
+    /// Record a write filling the covered lines.
+    pub fn write(&mut self, sector: u64, sectors: u64) {
+        let (first, last) = self.lines_of(sector, sectors);
+        for l in first..=last {
+            self.touch(l);
+        }
+    }
+
+    /// Hit fraction of read lookups so far.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total > 0 {
+            self.hits as f64 / total as f64
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> ControllerCache {
+        // 4 lines of 64 KiB.
+        ControllerCache::new(CacheConfig {
+            size_bytes: 4 * 64 * 1024,
+            line_bytes: 64 * 1024,
+            write_back: true,
+        })
+    }
+
+    #[test]
+    fn cold_read_misses_then_hits() {
+        let mut c = small();
+        assert!(!c.read(0, 8));
+        assert!(c.read(0, 8));
+        assert!(c.read(4, 4), "sub-line overlap hits");
+        assert_eq!(c.hits, 2);
+        assert_eq!(c.misses, 1);
+        assert!((c.hit_ratio() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn writes_fill_lines_for_later_reads() {
+        let mut c = small();
+        c.write(0, 128); // one line
+        assert!(c.read(0, 8));
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = small();
+        let line_sectors = c.line_sectors();
+        for i in 0..4 {
+            c.write(i * line_sectors, 1);
+        }
+        assert_eq!(c.resident_lines(), 4);
+        // Touch line 0 to refresh it, then insert a fifth: line 1 evicts.
+        assert!(c.read(0, 1));
+        c.write(4 * line_sectors, 1);
+        assert_eq!(c.resident_lines(), 4);
+        assert!(c.read(0, 1), "refreshed line survives");
+        assert!(!c.read(line_sectors, 1), "LRU victim evicted");
+    }
+
+    #[test]
+    fn multi_line_requests_need_every_line() {
+        let mut c = small();
+        let ls = c.line_sectors();
+        c.write(0, ls); // line 0 only
+        assert!(!c.read(0, ls + 1), "second line missing");
+        assert!(c.read(0, ls + 1), "now both resident");
+    }
+
+    #[test]
+    fn lazy_queue_stays_bounded() {
+        let mut c = small();
+        for i in 0..100_000u64 {
+            c.write((i % 3) * c.line_sectors(), 1);
+        }
+        assert!(c.order.len() <= c.capacity_lines * 4 + 64 + 3);
+        assert_eq!(c.resident_lines(), 3);
+    }
+
+    #[test]
+    fn paper_preset() {
+        let c = ControllerCache::new(CacheConfig::paper_300mb());
+        assert_eq!(c.capacity_lines, 300 * 1_000_000 / (64 * 1024));
+        assert!(c.config().write_back);
+    }
+}

@@ -1,0 +1,193 @@
+//! Device-model calibration: measure a simulated drive like a lab would.
+//!
+//! The related work the paper builds on validates its models by measurement —
+//! Dempsey "model\[s\] the power consumption of hard disks" by fitting observed
+//! behaviour; Hylick et al. analyse drive energy "through measurements rather
+//! than simulations". This module plays the measuring instrument against our
+//! own device models: standard microbenchmarks (random-read latency,
+//! sequential streaming, queue-depth scaling, idle/active power) run on a
+//! single-device array, producing a [`CalibrationReport`] that the test suite
+//! compares with spec-sheet expectations. When a device model is edited, the
+//! calibration tests are the guard rail.
+
+use crate::array::{ArrayConfig, ArrayRequest, ArraySim, QueueDiscipline};
+use crate::device::Device;
+use crate::raid::Geometry;
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+use tracer_trace::OpKind;
+
+/// Measured characteristics of one device model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CalibrationReport {
+    /// Mean service time of scattered 4 KiB reads, milliseconds.
+    pub random_read_4k_ms: f64,
+    /// Sequential large-read streaming rate, MB/s.
+    pub sequential_read_mbps: f64,
+    /// Sequential large-write streaming rate, MB/s.
+    pub sequential_write_mbps: f64,
+    /// Random 4 KiB read rate at queue depth 1, IO/s.
+    pub random_read_iops_qd1: f64,
+    /// Idle power, watts.
+    pub idle_watts: f64,
+    /// Mean power during the random-read phase, watts.
+    pub active_random_watts: f64,
+}
+
+/// Wrap a single device in a pass-through array for measurement.
+fn single(device: Device) -> ArraySim {
+    let cfg = ArrayConfig {
+        name: "calibration".to_string(),
+        geometry: Geometry::raid0(1),
+        chassis_watts: 0.0, // measure the bare device
+        link_mbps: 100_000.0, // link out of the way
+        controller_overhead_us: 0.0,
+        xor_mbps: 0.0,
+        queue_discipline: QueueDiscipline::Fifo,
+        spin_down_after: None,
+        cache: None,
+    };
+    ArraySim::new(cfg, vec![device])
+}
+
+/// Run the calibration suite against a device model.
+pub fn calibrate(device: Device) -> CalibrationReport {
+    // Idle power: read the fresh timeline.
+    let sim = single(device.clone_for_calibration());
+    let idle_watts = sim.power_log().total_watts_at(SimTime::ZERO);
+
+    // Random 4 KiB reads at queue depth 1 over a wide span.
+    let mut sim = single(device.clone_for_calibration());
+    let span = sim.data_capacity_sectors().saturating_sub(8).max(1);
+    let n_random = 300u64;
+    let random_start = sim.now();
+    let mut t = sim.now();
+    for i in 0..n_random {
+        // Scatter deterministically over the span.
+        let sector = (i.wrapping_mul(0x9E37_79B9_7F4A_7C15)) % span;
+        sim.submit(t, ArrayRequest::new(sector, 4096, OpKind::Read)).unwrap();
+        sim.run_to_idle();
+        t = sim.now();
+    }
+    let random_span = sim.now() - random_start;
+    let completions = sim.drain_completions();
+    let random_read_4k_ms = completions
+        .iter()
+        .map(|c| c.latency().as_millis_f64())
+        .sum::<f64>()
+        / completions.len().max(1) as f64;
+    let random_read_iops_qd1 = n_random as f64 / random_span.as_secs_f64();
+    let active_random_watts = sim.power_log().avg_watts(random_start, sim.now());
+
+    // Sequential streaming, 1 MiB requests back to back.
+    let stream = |kind: OpKind| -> f64 {
+        let mut sim = single(device.clone_for_calibration());
+        let mut sector = 0u64;
+        let started = sim.now();
+        for _ in 0..64 {
+            sim.submit(sim.now(), ArrayRequest::new(sector, 1 << 20, kind)).unwrap();
+            sim.run_to_idle();
+            sector += 2048;
+        }
+        64.0 * (1u64 << 20) as f64 / 1e6 / (sim.now() - started).as_secs_f64()
+    };
+
+    CalibrationReport {
+        random_read_4k_ms,
+        sequential_read_mbps: stream(OpKind::Read),
+        sequential_write_mbps: stream(OpKind::Write),
+        random_read_iops_qd1,
+        idle_watts,
+        active_random_watts,
+    }
+}
+
+impl Device {
+    /// A fresh copy with reset dynamic state, for repeatable measurement
+    /// phases.
+    fn clone_for_calibration(&self) -> Device {
+        match self {
+            Device::Hdd(h) => Device::Hdd(crate::hdd::HddModel::new(h.params().clone())),
+            Device::Ssd(s) => Device::Ssd(crate::ssd::SsdModel::new(s.params().clone())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hdd::{HddModel, HddParams};
+    use crate::ssd::{SsdModel, SsdParams};
+
+    fn hdd(params: HddParams) -> Device {
+        Device::Hdd(HddModel::new(params))
+    }
+
+    #[test]
+    fn desktop_drive_matches_its_spec_sheet() {
+        let report = calibrate(hdd(HddParams::seagate_7200_12_500gb()));
+        // Random 4K read on a 7200 rpm desktop drive: ~12-17 ms.
+        assert!(
+            (10.0..20.0).contains(&report.random_read_4k_ms),
+            "random 4K {} ms",
+            report.random_read_4k_ms
+        );
+        // QD1 IOPS is the reciprocal.
+        assert!(
+            (report.random_read_iops_qd1 - 1000.0 / report.random_read_4k_ms).abs() < 5.0,
+            "IOPS {} vs latency {}",
+            report.random_read_iops_qd1,
+            report.random_read_4k_ms
+        );
+        // Sequential streaming approaches the outer-zone media rate.
+        assert!(
+            (100.0..126.0).contains(&report.sequential_read_mbps),
+            "seq read {} MB/s",
+            report.sequential_read_mbps
+        );
+        assert!(report.sequential_write_mbps <= report.sequential_read_mbps);
+        // Power: 5 W idle; random I/O pulls the seek power in.
+        assert!((report.idle_watts - 5.0).abs() < 1e-9);
+        assert!(
+            report.active_random_watts > 7.0 && report.active_random_watts < 11.5,
+            "active {} W",
+            report.active_random_watts
+        );
+    }
+
+    #[test]
+    fn enterprise_beats_desktop_beats_eco_on_latency() {
+        let fast = calibrate(hdd(HddParams::enterprise_15k_600gb()));
+        let mid = calibrate(hdd(HddParams::seagate_7200_12_500gb()));
+        let slow = calibrate(hdd(HddParams::eco_5400_2tb()));
+        assert!(fast.random_read_4k_ms < mid.random_read_4k_ms);
+        assert!(mid.random_read_4k_ms < slow.random_read_4k_ms);
+        assert!(fast.idle_watts > mid.idle_watts && mid.idle_watts > slow.idle_watts);
+        assert!(fast.sequential_read_mbps > mid.sequential_read_mbps);
+    }
+
+    #[test]
+    fn ssd_models_have_no_mechanical_latency() {
+        let slc = calibrate(Device::Ssd(SsdModel::new(SsdParams::memoright_slc_32gb())));
+        assert!(slc.random_read_4k_ms < 0.5, "SLC random 4K {} ms", slc.random_read_4k_ms);
+        assert!(
+            (100.0..125.0).contains(&slc.sequential_read_mbps),
+            "SLC seq {} MB/s",
+            slc.sequential_read_mbps
+        );
+        // The paper's SLC writes stream faster than its reads.
+        assert!(slc.sequential_write_mbps > slc.sequential_read_mbps);
+        let mlc = calibrate(Device::Ssd(SsdModel::new(SsdParams::mlc_consumer_128gb())));
+        assert!(mlc.sequential_read_mbps > slc.sequential_read_mbps);
+        assert!(mlc.idle_watts < slc.idle_watts);
+    }
+
+    #[test]
+    fn derated_drive_calibrates_between_standby_and_nominal() {
+        let nominal = calibrate(hdd(HddParams::seagate_7200_12_500gb()));
+        let half = calibrate(hdd(HddParams::seagate_7200_12_500gb().derated(0.5)));
+        assert!(half.idle_watts < nominal.idle_watts * 0.25);
+        assert!(half.sequential_read_mbps < nominal.sequential_read_mbps * 0.55);
+        assert!(half.random_read_4k_ms > nominal.random_read_4k_ms);
+    }
+}

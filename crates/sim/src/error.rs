@@ -1,0 +1,60 @@
+//! Simulator error type.
+
+use crate::time::SimTime;
+use std::fmt;
+
+/// Errors raised by the array simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A request extends beyond the array's data capacity.
+    OutOfRange {
+        /// Requested starting sector.
+        sector: u64,
+        /// Requested length in sectors.
+        sectors: u64,
+        /// Array data capacity in sectors.
+        capacity: u64,
+    },
+    /// A request was submitted with a timestamp earlier than the current
+    /// simulation time.
+    SubmitInPast {
+        /// Requested submission instant.
+        at: SimTime,
+        /// Current simulation time.
+        now: SimTime,
+    },
+    /// A zero-length request.
+    EmptyRequest,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::OutOfRange { sector, sectors, capacity } => write!(
+                f,
+                "request [{sector}, {}) exceeds array capacity {capacity}",
+                sector + sectors
+            ),
+            SimError::SubmitInPast { at, now } => {
+                write!(f, "submission at {at} is in the past (now {now})")
+            }
+            SimError::EmptyRequest => write!(f, "request has zero length"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = SimError::OutOfRange { sector: 10, sectors: 5, capacity: 12 };
+        assert!(e.to_string().contains("[10, 15)"));
+        let e = SimError::SubmitInPast { at: SimTime::from_secs(1), now: SimTime::from_secs(2) };
+        assert!(e.to_string().contains("past"));
+        assert!(SimError::EmptyRequest.to_string().contains("zero"));
+    }
+}

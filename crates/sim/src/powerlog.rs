@@ -1,0 +1,277 @@
+//! Piecewise-constant power timelines and exact energy integration.
+//!
+//! Every simulated device appends `(instant, watts)` breakpoints to its
+//! [`PowerTimeline`] as its power state changes; the timeline is the ground
+//! truth the power-analyzer emulation (crate `tracer-power`) samples and
+//! integrates. Because the timeline is exact, measured energy is free of
+//! sampling error — the sampled meter view adds that error back on purpose.
+
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A piecewise-constant power signal: breakpoints of `(time, watts)`.
+///
+/// The signal holds `points[i].1` watts from `points[i].0` until
+/// `points[i+1].0`. Timelines always start at `t = 0`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerTimeline {
+    points: Vec<(SimTime, f64)>,
+}
+
+impl PowerTimeline {
+    /// New timeline holding `initial_watts` from t = 0.
+    pub fn new(initial_watts: f64) -> Self {
+        Self { points: vec![(SimTime::ZERO, initial_watts)] }
+    }
+
+    /// Record that the signal changes to `watts` at `at`. Breakpoints must be
+    /// appended in non-decreasing time order; a breakpoint at the same instant
+    /// as the previous one replaces it.
+    pub fn set(&mut self, at: SimTime, watts: f64) {
+        let last = self.points.last_mut().expect("timeline is never empty");
+        debug_assert!(at >= last.0, "power breakpoints must be time-ordered");
+        if last.0 == at {
+            last.1 = watts;
+            // Collapse with the segment before if the level did not change.
+            if self.points.len() >= 2 {
+                let prev = self.points[self.points.len() - 2].1;
+                if (prev - watts).abs() < f64::EPSILON {
+                    self.points.pop();
+                }
+            }
+        } else if (last.1 - watts).abs() >= f64::EPSILON {
+            self.points.push((at, watts));
+        }
+    }
+
+    /// Power level at instant `t` (the signal is right-continuous).
+    pub fn watts_at(&self, t: SimTime) -> f64 {
+        match self.points.binary_search_by(|p| p.0.cmp(&t)) {
+            Ok(i) => self.points[i].1,
+            Err(0) => self.points[0].1,
+            Err(i) => self.points[i - 1].1,
+        }
+    }
+
+    /// Exact energy in joules over `[from, to)`.
+    pub fn energy_joules(&self, from: SimTime, to: SimTime) -> f64 {
+        if to <= from {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        // Index of the segment containing `from`.
+        let mut i = match self.points.binary_search_by(|p| p.0.cmp(&from)) {
+            Ok(i) => i,
+            Err(0) => 0,
+            Err(i) => i - 1,
+        };
+        let mut cursor = from;
+        while cursor < to {
+            let seg_end = self.points.get(i + 1).map_or(to, |p| p.0.min(to));
+            if seg_end > cursor {
+                total += self.points[i].1 * (seg_end - cursor).as_secs_f64();
+                cursor = seg_end;
+            }
+            i += 1;
+            if i >= self.points.len() && cursor < to {
+                // Signal extends at its last level.
+                total += self.points[self.points.len() - 1].1 * (to - cursor).as_secs_f64();
+                break;
+            }
+        }
+        total
+    }
+
+    /// Mean power in watts over `[from, to)`; zero-length windows yield the
+    /// instantaneous level.
+    pub fn avg_watts(&self, from: SimTime, to: SimTime) -> f64 {
+        if to <= from {
+            return self.watts_at(from);
+        }
+        self.energy_joules(from, to) / (to - from).as_secs_f64()
+    }
+
+    /// Number of breakpoints (for memory accounting).
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Timelines are never empty, but the standard pairing is provided.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Raw breakpoints.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+}
+
+/// The power view of a whole array: a constant chassis draw (controller, fan,
+/// motherboard — the paper's "non-disk components", §VI-A) plus one timeline
+/// per device.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ArrayPowerLog {
+    /// Constant non-disk power in watts.
+    pub chassis_watts: f64,
+    /// Per-device power timelines.
+    pub devices: Vec<PowerTimeline>,
+}
+
+impl ArrayPowerLog {
+    /// New log for `n` devices, each starting at its idle level.
+    pub fn new(chassis_watts: f64, device_idle_watts: &[f64]) -> Self {
+        Self {
+            chassis_watts,
+            devices: device_idle_watts.iter().map(|&w| PowerTimeline::new(w)).collect(),
+        }
+    }
+
+    /// Total array power at instant `t`.
+    pub fn total_watts_at(&self, t: SimTime) -> f64 {
+        self.chassis_watts + self.devices.iter().map(|d| d.watts_at(t)).sum::<f64>()
+    }
+
+    /// Exact total energy in joules over `[from, to)`.
+    pub fn energy_joules(&self, from: SimTime, to: SimTime) -> f64 {
+        if to <= from {
+            return 0.0;
+        }
+        let span = (to - from).as_secs_f64();
+        self.chassis_watts * span
+            + self.devices.iter().map(|d| d.energy_joules(from, to)).sum::<f64>()
+    }
+
+    /// Mean total power over `[from, to)`.
+    pub fn avg_watts(&self, from: SimTime, to: SimTime) -> f64 {
+        if to <= from {
+            return self.total_watts_at(from);
+        }
+        self.energy_joules(from, to) / (to - from).as_secs_f64()
+    }
+
+    /// Duration-weighted breakdown: (chassis joules, per-device joules).
+    pub fn energy_breakdown(&self, from: SimTime, to: SimTime) -> (f64, Vec<f64>) {
+        let span = (to.saturating_since(from)).as_secs_f64();
+        (
+            self.chassis_watts * span,
+            self.devices.iter().map(|d| d.energy_joules(from, to)).collect(),
+        )
+    }
+}
+
+/// Convenience: watts → joules over a duration.
+pub fn joules(watts: f64, dur: SimDuration) -> f64 {
+    watts * dur.as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn constant_signal_integrates_linearly() {
+        let tl = PowerTimeline::new(5.0);
+        assert_eq!(tl.watts_at(SimTime::from_secs(100)), 5.0);
+        let e = tl.energy_joules(SimTime::ZERO, SimTime::from_secs(10));
+        assert!((e - 50.0).abs() < 1e-9);
+        assert!((tl.avg_watts(SimTime::ZERO, SimTime::from_secs(10)) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn step_signal_integration() {
+        let mut tl = PowerTimeline::new(5.0);
+        tl.set(SimTime::from_secs(1), 10.0);
+        tl.set(SimTime::from_secs(2), 5.0);
+        // [0,1): 5W, [1,2): 10W, [2,3): 5W
+        let e = tl.energy_joules(SimTime::ZERO, SimTime::from_secs(3));
+        assert!((e - 20.0).abs() < 1e-9);
+        // Partial windows.
+        let e = tl.energy_joules(SimTime::from_millis(500), SimTime::from_millis(1500));
+        assert!((e - (0.5 * 5.0 + 0.5 * 10.0)).abs() < 1e-9);
+        assert_eq!(tl.watts_at(SimTime::from_millis(999)), 5.0);
+        assert_eq!(tl.watts_at(SimTime::from_secs(1)), 10.0);
+        assert_eq!(tl.watts_at(SimTime::from_millis(2500)), 5.0);
+    }
+
+    #[test]
+    fn same_instant_set_replaces_and_collapses() {
+        let mut tl = PowerTimeline::new(5.0);
+        tl.set(SimTime::from_secs(1), 10.0);
+        tl.set(SimTime::from_secs(1), 5.0); // back to previous level -> collapse
+        assert_eq!(tl.len(), 1);
+        tl.set(SimTime::from_secs(2), 5.0); // no-op: same level
+        assert_eq!(tl.len(), 1);
+    }
+
+    #[test]
+    fn window_outside_breakpoints_extends_last_level() {
+        let mut tl = PowerTimeline::new(1.0);
+        tl.set(SimTime::from_secs(1), 3.0);
+        let e = tl.energy_joules(SimTime::from_secs(5), SimTime::from_secs(7));
+        assert!((e - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_or_inverted_window() {
+        let tl = PowerTimeline::new(2.0);
+        assert_eq!(tl.energy_joules(SimTime::from_secs(3), SimTime::from_secs(3)), 0.0);
+        assert_eq!(tl.energy_joules(SimTime::from_secs(4), SimTime::from_secs(3)), 0.0);
+        assert_eq!(tl.avg_watts(SimTime::from_secs(3), SimTime::from_secs(3)), 2.0);
+    }
+
+    #[test]
+    fn array_log_totals() {
+        let mut log = ArrayPowerLog::new(16.0, &[5.0, 5.0]);
+        log.devices[0].set(SimTime::from_secs(1), 11.0);
+        log.devices[0].set(SimTime::from_secs(2), 5.0);
+        assert!((log.total_watts_at(SimTime::ZERO) - 26.0).abs() < 1e-12);
+        assert!((log.total_watts_at(SimTime::from_millis(1500)) - 32.0).abs() < 1e-12);
+        let e = log.energy_joules(SimTime::ZERO, SimTime::from_secs(3));
+        // chassis 48 + dev0 (5+11+5) + dev1 15
+        assert!((e - (48.0 + 21.0 + 15.0)).abs() < 1e-9);
+        let (chassis, devs) = log.energy_breakdown(SimTime::ZERO, SimTime::from_secs(3));
+        assert!((chassis - 48.0).abs() < 1e-9);
+        assert!((devs[0] - 21.0).abs() < 1e-9);
+        assert!((log.avg_watts(SimTime::ZERO, SimTime::from_secs(3)) - 28.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn joules_helper() {
+        assert!((joules(10.0, SimDuration::from_millis(500)) - 5.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_energy_is_additive(
+            levels in proptest::collection::vec(0.0f64..100.0, 1..20),
+            split_ms in 1u64..10_000,
+        ) {
+            let mut tl = PowerTimeline::new(levels[0]);
+            for (i, &w) in levels.iter().enumerate().skip(1) {
+                tl.set(SimTime::from_millis(i as u64 * 700), w);
+            }
+            let end = SimTime::from_millis(20_000);
+            let mid = SimTime::from_millis(split_ms.min(19_999));
+            let whole = tl.energy_joules(SimTime::ZERO, end);
+            let parts = tl.energy_joules(SimTime::ZERO, mid) + tl.energy_joules(mid, end);
+            prop_assert!((whole - parts).abs() < 1e-6);
+        }
+
+        #[test]
+        fn prop_energy_bounded_by_extremes(
+            levels in proptest::collection::vec(0.0f64..100.0, 1..20),
+        ) {
+            let mut tl = PowerTimeline::new(levels[0]);
+            for (i, &w) in levels.iter().enumerate().skip(1) {
+                tl.set(SimTime::from_millis(i as u64 * 100), w);
+            }
+            let end = SimTime::from_millis(levels.len() as u64 * 100);
+            let min = levels.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = levels.iter().cloned().fold(0.0, f64::max);
+            let avg = tl.avg_watts(SimTime::ZERO, end);
+            prop_assert!(avg >= min - 1e-9 && avg <= max + 1e-9);
+        }
+    }
+}

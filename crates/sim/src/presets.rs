@@ -1,0 +1,174 @@
+//! Ready-made array configurations matching the paper's testbed (Table II).
+//!
+//! * HDD array: RAID-5 over up to six Seagate 7200.12 500 GB drives,
+//!   128 KB strip, controller cache disabled, 4 Gbps fibre channel.
+//! * SSD array: RAID-5 over four Memoright 32 GB SLC drives, 128 KB strip.
+//!
+//! Chassis power is a spec-derived constant (controller + fan + backplane);
+//! see DESIGN.md for the calibration notes, including the deliberate deviation
+//! from the paper's reported 195.8 W SSD-array idle figure.
+
+use crate::array::{ArrayConfig, ArraySim, QueueDiscipline};
+use crate::device::Device;
+use crate::hdd::{HddModel, HddParams};
+use crate::raid::Geometry;
+use crate::ssd::{SsdModel, SsdParams};
+
+/// Non-disk ("chassis") power of the simulated enclosure, watts. Chosen so
+/// that disk power overtakes chassis power once the array holds more than
+/// three drives, as the paper observes in §VI-A.
+pub const CHASSIS_WATTS: f64 = 16.0;
+
+/// Payload rate of the 4 Gbps fibre-channel host link, MB/s.
+pub const FC_LINK_MBPS: f64 = 400.0;
+
+/// Controller command overhead per request, microseconds.
+pub const CONTROLLER_OVERHEAD_US: f64 = 120.0;
+
+/// Controller XOR engine rate, MB/s.
+pub const XOR_MBPS: f64 = 1500.0;
+
+fn base_config(name: &str, geometry: Geometry) -> ArrayConfig {
+    ArrayConfig {
+        name: name.to_string(),
+        geometry,
+        chassis_watts: CHASSIS_WATTS,
+        link_mbps: FC_LINK_MBPS,
+        controller_overhead_us: CONTROLLER_OVERHEAD_US,
+        xor_mbps: XOR_MBPS,
+        queue_discipline: QueueDiscipline::Fifo,
+        spin_down_after: None,
+        cache: None,
+    }
+}
+
+/// Configuration and members of the HDD testbed, for callers that mutate the
+/// config (policies, ablations) before building the simulator.
+pub fn hdd_raid5_parts(disks: usize) -> (ArrayConfig, Vec<Device>) {
+    let devices =
+        (0..disks).map(|_| Device::Hdd(HddModel::new(HddParams::seagate_7200_12_500gb()))).collect();
+    (base_config(&format!("raid5-hdd{disks}"), Geometry::raid5(disks)), devices)
+}
+
+/// The paper's HDD testbed: RAID-5 over `disks` Seagate 7200.12 drives.
+pub fn hdd_raid5(disks: usize) -> ArraySim {
+    let (cfg, devices) = hdd_raid5_parts(disks);
+    ArraySim::new(cfg, devices)
+}
+
+/// Configuration and members of the SSD testbed (see [`hdd_raid5_parts`]).
+pub fn ssd_raid5_parts(disks: usize) -> (ArrayConfig, Vec<Device>) {
+    let devices =
+        (0..disks).map(|_| Device::Ssd(SsdModel::new(SsdParams::memoright_slc_32gb()))).collect();
+    (base_config(&format!("raid5-ssd{disks}"), Geometry::raid5(disks)), devices)
+}
+
+/// The paper's SSD testbed: RAID-5 over `disks` Memoright 32 GB SLC drives.
+pub fn ssd_raid5(disks: usize) -> ArraySim {
+    let (cfg, devices) = ssd_raid5_parts(disks);
+    ArraySim::new(cfg, devices)
+}
+
+/// An enclosure populated with `disks` idle HDDs and no redundancy scheme —
+/// used for the idle-power-versus-disk-count experiment (Fig. 7), including
+/// the zero-disk chassis-only case.
+pub fn hdd_array_idle(disks: usize) -> ArraySim {
+    let devices =
+        (0..disks).map(|_| Device::Hdd(HddModel::new(HddParams::seagate_7200_12_500gb()))).collect();
+    ArraySim::new(base_config(&format!("idle-hdd{disks}"), Geometry::raid0(disks)), devices)
+}
+
+/// RAID-10 (mirrored striping) over `disks` desktop HDDs.
+pub fn hdd_raid10(disks: usize) -> ArraySim {
+    let devices =
+        (0..disks).map(|_| Device::Hdd(HddModel::new(HddParams::seagate_7200_12_500gb()))).collect();
+    ArraySim::new(base_config(&format!("raid10-hdd{disks}"), Geometry::raid10(disks)), devices)
+}
+
+/// RAID-0 (no redundancy) over `disks` desktop HDDs — the throughput
+/// baseline redundancy costs are measured against.
+pub fn hdd_raid0(disks: usize) -> ArraySim {
+    let devices =
+        (0..disks).map(|_| Device::Hdd(HddModel::new(HddParams::seagate_7200_12_500gb()))).collect();
+    ArraySim::new(base_config(&format!("raid0-hdd{disks}"), Geometry::raid0(disks)), devices)
+}
+
+/// RAID-5 over `disks` 15 000 rpm enterprise SAS drives.
+pub fn enterprise15k_raid5(disks: usize) -> ArraySim {
+    let devices = (0..disks)
+        .map(|_| Device::Hdd(HddModel::new(HddParams::enterprise_15k_600gb())))
+        .collect();
+    ArraySim::new(base_config(&format!("raid5-15k{disks}"), Geometry::raid5(disks)), devices)
+}
+
+/// RAID-5 over `disks` 5 400 rpm power-economy drives.
+pub fn eco_raid5(disks: usize) -> ArraySim {
+    let devices =
+        (0..disks).map(|_| Device::Hdd(HddModel::new(HddParams::eco_5400_2tb()))).collect();
+    ArraySim::new(base_config(&format!("raid5-eco{disks}"), Geometry::raid5(disks)), devices)
+}
+
+/// RAID-5 over `disks` consumer MLC SSDs.
+pub fn mlc_raid5(disks: usize) -> ArraySim {
+    let devices =
+        (0..disks).map(|_| Device::Ssd(SsdModel::new(SsdParams::mlc_consumer_128gb()))).collect();
+    ArraySim::new(base_config(&format!("raid5-mlc{disks}"), Geometry::raid5(disks)), devices)
+}
+
+/// A single-HDD pass-through target (for baselines and unit experiments).
+pub fn single_hdd() -> ArraySim {
+    let devices = vec![Device::Hdd(HddModel::new(HddParams::seagate_7200_12_500gb()))];
+    ArraySim::new(base_config("single-hdd", Geometry::raid0(1)), devices)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceModel;
+    use crate::time::SimTime;
+
+    #[test]
+    fn idle_power_grows_linearly_with_disks() {
+        let mut previous = 0.0;
+        for n in 0..=6 {
+            let sim = hdd_array_idle(n);
+            let w = sim.power_log().total_watts_at(SimTime::from_secs(1));
+            assert!((w - (CHASSIS_WATTS + n as f64 * 5.0)).abs() < 1e-9);
+            assert!(w > previous);
+            previous = w;
+        }
+    }
+
+    #[test]
+    fn disks_dominate_beyond_three() {
+        // The paper: "when the number of disks exceeds three, power
+        // consumption of disks dominates the total power dissipation".
+        let disk_w = |n: usize| n as f64 * 5.0;
+        assert!(disk_w(3) < CHASSIS_WATTS);
+        assert!(disk_w(4) > CHASSIS_WATTS);
+    }
+
+    #[test]
+    fn ssd_array_idle_power() {
+        let sim = ssd_raid5(4);
+        let w = sim.power_log().total_watts_at(SimTime::ZERO);
+        assert!((w - (CHASSIS_WATTS + 4.0 * 3.5)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn generation_presets_build_and_idle_in_order() {
+        let eco = eco_raid5(4).power_log().total_watts_at(SimTime::ZERO);
+        let desktop = hdd_raid5(4).power_log().total_watts_at(SimTime::ZERO);
+        let fast = enterprise15k_raid5(4).power_log().total_watts_at(SimTime::ZERO);
+        let mlc = mlc_raid5(4).power_log().total_watts_at(SimTime::ZERO);
+        assert!(mlc < eco && eco < desktop && desktop < fast);
+    }
+
+    #[test]
+    fn single_hdd_capacity() {
+        let sim = single_hdd();
+        assert_eq!(sim.devices().len(), 1);
+        assert!(sim.data_capacity_sectors() <= sim.devices()[0].capacity_sectors());
+        assert!(sim.data_capacity_sectors() > 900_000_000);
+    }
+}

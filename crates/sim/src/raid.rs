@@ -1,0 +1,782 @@
+//! Array geometry: striping and RAID-5 parity placement.
+//!
+//! The paper's testbed is a RAID-5 array with a 128 KB strip (§VI); writes on
+//! such an array pay the classic small-write penalty (read-modify-write)
+//! unless they cover a full stripe. The geometry module is pure address
+//! arithmetic: it turns a logical request into per-disk extents and, for
+//! writes, into a two-phase plan (old-data/parity reads, then data/parity
+//! writes) choosing between read-modify-write and reconstruct-write by which
+//! needs fewer disk reads.
+
+use serde::{Deserialize, Serialize};
+use tracer_trace::OpKind;
+
+/// Redundancy scheme of the array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Redundancy {
+    /// Plain striping (RAID-0); a single-disk "array" is RAID-0 with 1 disk.
+    Raid0,
+    /// Left-symmetric rotating parity (RAID-5).
+    Raid5,
+    /// Mirrored striping (RAID-10): strips round-robin over mirror pairs;
+    /// reads alternate between the two copies, writes go to both.
+    Raid10,
+}
+
+/// Striping geometry of an array.
+///
+/// ```
+/// use tracer_sim::Geometry;
+/// use tracer_sim::device::OpKind;
+///
+/// // The paper's testbed: RAID-5 over six disks, 128 KB strip.
+/// let g = Geometry::raid5(6);
+/// // A 4 KiB write is a small write: read old data + parity, write both.
+/// let plan = g.plan(0, 8, OpKind::Write);
+/// assert_eq!(plan.pre_reads.len(), 2);
+/// assert_eq!(plan.ops.len(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Geometry {
+    /// Number of member disks.
+    pub disks: usize,
+    /// Strip (chunk) size in sectors. The paper uses 128 KB = 256 sectors.
+    pub strip_sectors: u64,
+    /// Redundancy scheme.
+    pub redundancy: Redundancy,
+}
+
+/// A contiguous operation on one member disk, in disk-local sectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DiskExtent {
+    /// Member disk index.
+    pub disk: usize,
+    /// Starting disk-local sector.
+    pub sector: u64,
+    /// Length in sectors.
+    pub sectors: u64,
+    /// Read or write.
+    pub kind: OpKind,
+}
+
+/// A request decomposed into disk operations.
+///
+/// `pre_reads` must complete before `ops` may issue (the RAID-5 write
+/// two-phase); for reads `pre_reads` is empty.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IoPlan {
+    /// Phase 1: old data / parity / peer reads needed to compute parity.
+    pub pre_reads: Vec<DiskExtent>,
+    /// Phase 2: the data transfers (plus parity writes for RAID-5 writes).
+    pub ops: Vec<DiskExtent>,
+    /// Bytes passed through the controller's XOR engine for this request.
+    pub parity_xor_bytes: u64,
+}
+
+impl IoPlan {
+    /// Total disk operations across both phases.
+    pub fn op_count(&self) -> usize {
+        self.pre_reads.len() + self.ops.len()
+    }
+}
+
+impl Geometry {
+    /// RAID-5 geometry with the paper's 128 KB strip.
+    pub fn raid5(disks: usize) -> Self {
+        assert!(disks >= 3, "RAID-5 needs at least 3 disks");
+        Self { disks, strip_sectors: 256, redundancy: Redundancy::Raid5 }
+    }
+
+    /// RAID-0 geometry with the paper's 128 KB strip. A zero-disk geometry is
+    /// permitted so that the chassis-only idle measurement of the paper's
+    /// Fig. 7 can be expressed; such an array cannot serve requests.
+    pub fn raid0(disks: usize) -> Self {
+        Self { disks, strip_sectors: 256, redundancy: Redundancy::Raid0 }
+    }
+
+    /// A single-disk pass-through geometry.
+    pub fn single() -> Self {
+        Self::raid0(1)
+    }
+
+    /// RAID-10 geometry (mirrored striping) with the paper's 128 KB strip.
+    pub fn raid10(disks: usize) -> Self {
+        assert!(disks >= 2 && disks % 2 == 0, "RAID-10 needs an even disk count >= 2");
+        Self { disks, strip_sectors: 256, redundancy: Redundancy::Raid10 }
+    }
+
+    /// Number of data strips per stripe.
+    pub fn data_disks(&self) -> usize {
+        match self.redundancy {
+            Redundancy::Raid0 => self.disks,
+            Redundancy::Raid5 => self.disks - 1,
+            Redundancy::Raid10 => self.disks / 2,
+        }
+    }
+
+    /// Usable data capacity given the per-disk capacity.
+    pub fn data_capacity_sectors(&self, disk_capacity: u64) -> u64 {
+        (disk_capacity / self.strip_sectors) * self.strip_sectors * self.data_disks() as u64
+    }
+
+    /// Parity disk for `stripe` (left-symmetric): parity starts on the last
+    /// disk and rotates backwards.
+    pub fn parity_disk(&self, stripe: u64) -> Option<usize> {
+        match self.redundancy {
+            Redundancy::Raid0 | Redundancy::Raid10 => None,
+            Redundancy::Raid5 => {
+                Some(self.disks - 1 - (stripe % self.disks as u64) as usize)
+            }
+        }
+    }
+
+    /// RAID-10: the two member disks holding copies of logical strip `l`.
+    fn mirror_pair(&self, logical_strip: u64) -> (usize, usize) {
+        let pair = (logical_strip % self.data_disks() as u64) as usize;
+        (pair * 2, pair * 2 + 1)
+    }
+
+    /// Map a logical sector to `(stripe, data-strip index, disk, disk sector)`.
+    pub fn locate(&self, logical_sector: u64) -> StripLocation {
+        let strip = self.strip_sectors;
+        let logical_strip = logical_sector / strip;
+        let offset = logical_sector % strip;
+        let data = self.data_disks() as u64;
+        let stripe = logical_strip / data;
+        let index = (logical_strip % data) as usize;
+        let disk = match self.redundancy {
+            Redundancy::Raid0 => index,
+            Redundancy::Raid5 => {
+                let parity = self.parity_disk(stripe).expect("raid5 has parity");
+                (parity + 1 + index) % self.disks
+            }
+            Redundancy::Raid10 => {
+                // Primary copy: alternate mirror halves by stripe so reads
+                // spread over both members.
+                let (a, b) = self.mirror_pair(logical_strip);
+                if stripe % 2 == 0 {
+                    a
+                } else {
+                    b
+                }
+            }
+        };
+        StripLocation { stripe, index, disk, disk_sector: stripe * strip + offset }
+    }
+
+    /// Decompose a logical request into a per-disk plan.
+    ///
+    /// Reads simply fan out. RAID-5 writes are planned per stripe:
+    /// full-stripe writes compute parity from the new data (no reads); partial
+    /// writes choose read-modify-write (read touched strips + parity) or
+    /// reconstruct-write (read untouched strips), whichever reads less.
+    pub fn plan(&self, logical_sector: u64, sectors: u64, kind: OpKind) -> IoPlan {
+        self.plan_with_failure(logical_sector, sectors, kind, None)
+    }
+
+    /// [`Geometry::plan`] with an optional failed member (degraded RAID-5).
+    ///
+    /// Degraded operation is the mechanism behind redundancy-based energy
+    /// conservation (eRAID spins a disk down and serves through parity):
+    /// reads on the failed disk reconstruct from all surviving strips; writes
+    /// touching the failed disk fold the lost data into the parity; stripes
+    /// whose parity lives on the failed disk simply skip the parity update.
+    ///
+    /// # Panics
+    /// Panics if a failure is given for a RAID-0 geometry (no redundancy) or
+    /// the failed index is out of range.
+    pub fn plan_with_failure(
+        &self,
+        logical_sector: u64,
+        sectors: u64,
+        kind: OpKind,
+        failed: Option<usize>,
+    ) -> IoPlan {
+        assert!(sectors > 0, "zero-length request");
+        if let Some(f) = failed {
+            assert!(f < self.disks, "failed disk index out of range");
+            assert_ne!(
+                self.redundancy,
+                Redundancy::Raid0,
+                "RAID-0 has no redundancy to run degraded on"
+            );
+        }
+        match (self.redundancy, kind, failed) {
+            (_, OpKind::Read, None) | (Redundancy::Raid0, OpKind::Write, None) => IoPlan {
+                pre_reads: Vec::new(),
+                ops: merge_extents(self.map_extent(logical_sector, sectors, kind)),
+                parity_xor_bytes: 0,
+            },
+            (Redundancy::Raid5, OpKind::Read, Some(f)) => {
+                self.plan_degraded_read(logical_sector, sectors, f)
+            }
+            (Redundancy::Raid5, OpKind::Write, failed) => {
+                self.plan_raid5_write(logical_sector, sectors, failed)
+            }
+            (Redundancy::Raid10, OpKind::Read, Some(f)) => {
+                // Reads on the failed member hop to its mirror — no
+                // reconstruction math, just redirection.
+                let ops = self
+                    .map_extent(logical_sector, sectors, OpKind::Read)
+                    .into_iter()
+                    .map(|mut e| {
+                        if e.disk == f {
+                            e.disk = f ^ 1;
+                        }
+                        e
+                    })
+                    .collect();
+                IoPlan { pre_reads: Vec::new(), ops: merge_extents(ops), parity_xor_bytes: 0 }
+            }
+            (Redundancy::Raid10, OpKind::Write, failed) => {
+                // Write both copies; a failed member just drops its copy.
+                let mut ops = Vec::new();
+                for e in self.map_extent(logical_sector, sectors, OpKind::Write) {
+                    let mirror = e.disk ^ 1;
+                    if failed != Some(e.disk) {
+                        ops.push(e);
+                    }
+                    if failed != Some(mirror) {
+                        ops.push(DiskExtent { disk: mirror, ..e });
+                    }
+                }
+                IoPlan { pre_reads: Vec::new(), ops: merge_extents(ops), parity_xor_bytes: 0 }
+            }
+            (Redundancy::Raid0, _, Some(_)) => unreachable!("checked above"),
+        }
+    }
+
+    fn plan_degraded_read(&self, logical_sector: u64, sectors: u64, failed: usize) -> IoPlan {
+        let strip = self.strip_sectors;
+        let mut ops = Vec::new();
+        let mut xor_bytes = 0u64;
+        for ext in self.map_extent(logical_sector, sectors, OpKind::Read) {
+            if ext.disk != failed {
+                ops.push(ext);
+                continue;
+            }
+            // Reconstruct the lost rows from every surviving member (peer
+            // data strips plus parity).
+            let stripe = ext.sector / strip;
+            let rows = ext.sectors;
+            for disk in 0..self.disks {
+                if disk == failed {
+                    continue;
+                }
+                ops.push(DiskExtent { disk, sector: ext.sector, sectors: rows, kind: OpKind::Read });
+            }
+            xor_bytes += rows * (self.disks as u64 - 1) * tracer_trace::SECTOR_BYTES;
+            let _ = stripe;
+        }
+        IoPlan { pre_reads: Vec::new(), ops: merge_extents(ops), parity_xor_bytes: xor_bytes }
+    }
+
+    /// Fan a logical extent out to per-disk extents (no parity handling).
+    fn map_extent(&self, logical_sector: u64, sectors: u64, kind: OpKind) -> Vec<DiskExtent> {
+        let strip = self.strip_sectors;
+        let mut out = Vec::new();
+        let mut cur = logical_sector;
+        let end = logical_sector + sectors;
+        while cur < end {
+            let loc = self.locate(cur);
+            let within = strip - (cur % strip);
+            let take = within.min(end - cur);
+            out.push(DiskExtent { disk: loc.disk, sector: loc.disk_sector, sectors: take, kind });
+            cur += take;
+        }
+        out
+    }
+
+    fn plan_raid5_write(&self, logical_sector: u64, sectors: u64, failed: Option<usize>) -> IoPlan {
+        let strip = self.strip_sectors;
+        let data = self.data_disks() as u64;
+        let stripe_sectors = strip * data;
+        let mut pre_reads = Vec::new();
+        let mut ops = Vec::new();
+        let mut xor_bytes = 0u64;
+
+        let mut cur = logical_sector;
+        let end = logical_sector + sectors;
+        while cur < end {
+            let stripe = cur / stripe_sectors;
+            let stripe_start = stripe * stripe_sectors;
+            let stripe_end = stripe_start + stripe_sectors;
+            let seg_end = end.min(stripe_end);
+            let parity = self.parity_disk(stripe).expect("raid5 has parity");
+
+            // Data extents written in this stripe, and the union row range
+            // (strip-relative) the parity update must cover.
+            let mut writes = Vec::new();
+            let mut row_min = u64::MAX;
+            let mut row_max = 0u64;
+            let mut c = cur;
+            while c < seg_end {
+                let loc = self.locate(c);
+                let within = strip - (c % strip);
+                let take = within.min(seg_end - c);
+                let row0 = loc.disk_sector % strip;
+                row_min = row_min.min(row0);
+                row_max = row_max.max(row0 + take);
+                writes.push(DiskExtent {
+                    disk: loc.disk,
+                    sector: loc.disk_sector,
+                    sectors: take,
+                    kind: OpKind::Write,
+                });
+                c += take;
+            }
+            let rows = row_max - row_min;
+            let parity_sector = stripe * strip + row_min;
+            let touched = writes.len() as u64;
+            let full_stripe = touched == data && rows == strip && writes.iter().all(|w| w.sectors == strip);
+
+            if let Some(f) = failed {
+                if parity == f {
+                    // Parity member is down: plain data writes, no parity
+                    // maintenance possible for this stripe.
+                    ops.extend(writes);
+                    cur = seg_end;
+                    continue;
+                }
+                let lost: Vec<&DiskExtent> = writes.iter().filter(|w| w.disk == f).collect();
+                if lost.is_empty() {
+                    // RMW is always valid here (touched strips and parity are
+                    // all healthy); reconstruct-write would need the failed
+                    // untouched strip.
+                    for w in &writes {
+                        pre_reads.push(DiskExtent { kind: OpKind::Read, ..*w });
+                    }
+                    pre_reads.push(DiskExtent {
+                        disk: parity,
+                        sector: parity_sector,
+                        sectors: rows,
+                        kind: OpKind::Read,
+                    });
+                    xor_bytes += (2 * touched + 2) * rows * tracer_trace::SECTOR_BYTES;
+                } else {
+                    // The lost strip's new data is folded into the parity:
+                    // read the untouched healthy strips, then write the
+                    // surviving data strips and the parity.
+                    for idx in 0..data as usize {
+                        let disk = (parity + 1 + idx) % self.disks;
+                        if disk == f || writes.iter().any(|w| w.disk == disk) {
+                            continue;
+                        }
+                        pre_reads.push(DiskExtent {
+                            disk,
+                            sector: parity_sector,
+                            sectors: rows,
+                            kind: OpKind::Read,
+                        });
+                    }
+                    xor_bytes += (data + 1) * rows * tracer_trace::SECTOR_BYTES;
+                    writes.retain(|w| w.disk != f);
+                }
+                ops.extend(writes);
+                ops.push(DiskExtent {
+                    disk: parity,
+                    sector: parity_sector,
+                    sectors: rows,
+                    kind: OpKind::Write,
+                });
+                cur = seg_end;
+                continue;
+            }
+
+            if full_stripe {
+                // Parity computed from the new data alone.
+                xor_bytes += stripe_sectors * tracer_trace::SECTOR_BYTES;
+            } else {
+                // Small write: RMW reads touched strips + parity; reconstruct
+                // reads the untouched strips. Choose fewer disk reads.
+                let rmw_reads = touched + 1;
+                let reconstruct_reads = data - touched;
+                if rmw_reads <= reconstruct_reads {
+                    for w in &writes {
+                        pre_reads.push(DiskExtent { kind: OpKind::Read, ..*w });
+                    }
+                    pre_reads.push(DiskExtent {
+                        disk: parity,
+                        sector: parity_sector,
+                        sectors: rows,
+                        kind: OpKind::Read,
+                    });
+                    xor_bytes += (2 * touched + 2) * rows * tracer_trace::SECTOR_BYTES;
+                } else {
+                    let touched_disks: Vec<usize> = writes.iter().map(|w| w.disk).collect();
+                    for idx in 0..data as usize {
+                        let disk = (parity + 1 + idx) % self.disks;
+                        if touched_disks.contains(&disk) {
+                            continue;
+                        }
+                        pre_reads.push(DiskExtent {
+                            disk,
+                            sector: parity_sector,
+                            sectors: rows,
+                            kind: OpKind::Read,
+                        });
+                    }
+                    xor_bytes += (data + 1) * rows * tracer_trace::SECTOR_BYTES;
+                }
+            }
+
+            ops.extend(writes);
+            ops.push(DiskExtent {
+                disk: parity,
+                sector: parity_sector,
+                sectors: rows,
+                kind: OpKind::Write,
+            });
+            cur = seg_end;
+        }
+
+        IoPlan { pre_reads: merge_extents(pre_reads), ops: merge_extents(ops), parity_xor_bytes: xor_bytes }
+    }
+}
+
+/// Result of [`Geometry::locate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StripLocation {
+    /// Stripe number.
+    pub stripe: u64,
+    /// Data-strip index within the stripe (0-based, parity excluded).
+    pub index: usize,
+    /// Member disk holding the sector.
+    pub disk: usize,
+    /// Disk-local sector.
+    pub disk_sector: u64,
+}
+
+/// Merge extents that are contiguous on the same disk with the same kind.
+fn merge_extents(mut extents: Vec<DiskExtent>) -> Vec<DiskExtent> {
+    extents.sort_by_key(|e| (e.disk, e.sector));
+    let mut out: Vec<DiskExtent> = Vec::with_capacity(extents.len());
+    for e in extents {
+        match out.last_mut() {
+            Some(last)
+                if last.disk == e.disk
+                    && last.kind == e.kind
+                    && last.sector + last.sectors == e.sector =>
+            {
+                last.sectors += e.sectors;
+            }
+            _ => out.push(e),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn parity_rotates_over_all_disks() {
+        let g = Geometry::raid5(5);
+        let seen: HashSet<_> = (0..5).map(|s| g.parity_disk(s).unwrap()).collect();
+        assert_eq!(seen.len(), 5);
+        assert_eq!(g.parity_disk(0), Some(4));
+        assert_eq!(g.parity_disk(1), Some(3));
+        assert_eq!(g.parity_disk(5), Some(4)); // period = disks
+    }
+
+    #[test]
+    fn locate_never_hits_parity() {
+        let g = Geometry::raid5(4);
+        for ls in (0..40_000).step_by(64) {
+            let loc = g.locate(ls);
+            assert_ne!(Some(loc.disk), g.parity_disk(loc.stripe), "sector {ls}");
+        }
+    }
+
+    #[test]
+    fn raid0_round_robin() {
+        let g = Geometry::raid0(3);
+        assert_eq!(g.locate(0).disk, 0);
+        assert_eq!(g.locate(256).disk, 1);
+        assert_eq!(g.locate(512).disk, 2);
+        assert_eq!(g.locate(768).disk, 0);
+        assert_eq!(g.locate(768).disk_sector, 256);
+        assert!(g.parity_disk(0).is_none());
+    }
+
+    #[test]
+    fn data_capacity() {
+        let g = Geometry::raid5(6);
+        assert_eq!(g.data_disks(), 5);
+        // 1000 strips per disk, 5 data disks.
+        assert_eq!(g.data_capacity_sectors(256_000), 256_000 * 5);
+        // Trailing partial strip on each disk is unusable.
+        assert_eq!(g.data_capacity_sectors(256_100), 256_000 * 5);
+    }
+
+    #[test]
+    fn read_fans_out_and_merges() {
+        let g = Geometry::raid5(4);
+        // 3 data disks; read 2 full stripes = 6 strips.
+        let plan = g.plan(0, 256 * 6, OpKind::Read);
+        assert!(plan.pre_reads.is_empty());
+        assert_eq!(plan.parity_xor_bytes, 0);
+        let total: u64 = plan.ops.iter().map(|e| e.sectors).sum();
+        assert_eq!(total, 256 * 6);
+        // Stripe 0 parity on disk 3, stripe 1 on disk 2: data extents land on
+        // disks {0,1,2} then {3,0,1}; merging keeps disk count <= 4.
+        assert!(plan.ops.len() <= 6);
+        assert!(plan.ops.iter().all(|e| e.kind == OpKind::Read));
+    }
+
+    #[test]
+    fn small_write_is_rmw() {
+        let g = Geometry::raid5(6);
+        // 4 KiB write: one data strip touched -> RMW (2 reads, 2 writes).
+        let plan = g.plan(0, 8, OpKind::Write);
+        assert_eq!(plan.pre_reads.len(), 2);
+        assert_eq!(plan.ops.len(), 2);
+        let parity = g.parity_disk(0).unwrap();
+        assert!(plan.pre_reads.iter().any(|e| e.disk == parity));
+        assert!(plan.ops.iter().any(|e| e.disk == parity && e.kind == OpKind::Write));
+        // Parity extent covers exactly the written rows.
+        let pw = plan.ops.iter().find(|e| e.disk == parity).unwrap();
+        assert_eq!(pw.sectors, 8);
+        assert!(plan.parity_xor_bytes > 0);
+    }
+
+    #[test]
+    fn full_stripe_write_needs_no_reads() {
+        let g = Geometry::raid5(4);
+        let stripe_sectors = 256 * 3;
+        let plan = g.plan(0, stripe_sectors, OpKind::Write);
+        assert!(plan.pre_reads.is_empty());
+        // 3 data strips + parity.
+        let total: u64 = plan.ops.iter().map(|e| e.sectors).sum();
+        assert_eq!(total, 256 * 4);
+        assert!(plan.ops.iter().all(|e| e.kind == OpKind::Write));
+    }
+
+    #[test]
+    fn wide_partial_write_uses_reconstruct() {
+        let g = Geometry::raid5(6);
+        // Touch 4 of 5 data strips fully: RMW needs 5 reads, reconstruct 1.
+        let plan = g.plan(0, 256 * 4, OpKind::Write);
+        assert_eq!(plan.pre_reads.len(), 1);
+        let untouched_reads = &plan.pre_reads[0];
+        assert_eq!(untouched_reads.sectors, 256);
+        assert_eq!(plan.ops.iter().map(|e| e.sectors).sum::<u64>(), 256 * 5);
+    }
+
+    #[test]
+    fn multi_stripe_write_plans_each_stripe() {
+        let g = Geometry::raid5(4);
+        let stripe_sectors = 256 * 3;
+        // Half of stripe 0's last strip + all of stripe 1.
+        let plan = g.plan(stripe_sectors - 128, 128 + stripe_sectors, OpKind::Write);
+        // Stripe 0: small write (RMW: 2 reads). Stripe 1: full stripe.
+        assert_eq!(plan.pre_reads.len(), 2);
+        let writes: u64 = plan.ops.iter().map(|e| e.sectors).sum();
+        assert_eq!(writes, 128 + 128 /*stripe0 parity rows*/ + 256 * 4);
+    }
+
+    #[test]
+    fn degraded_read_on_surviving_disk_is_unchanged() {
+        let g = Geometry::raid5(4);
+        let healthy = g.plan(0, 8, OpKind::Read);
+        // Sector 0 lives on disk 0 (stripe 0, parity on disk 3).
+        let degraded = g.plan_with_failure(0, 8, OpKind::Read, Some(2));
+        assert_eq!(healthy, degraded, "failure elsewhere must not change the plan");
+    }
+
+    #[test]
+    fn degraded_read_reconstructs_from_all_survivors() {
+        let g = Geometry::raid5(4);
+        // Sector 0 -> disk 0. Fail disk 0: read must touch disks 1, 2, 3.
+        let plan = g.plan_with_failure(0, 8, OpKind::Read, Some(0));
+        let disks: std::collections::HashSet<usize> = plan.ops.iter().map(|e| e.disk).collect();
+        assert_eq!(disks, [1usize, 2, 3].into_iter().collect());
+        assert!(plan.ops.iter().all(|e| e.sectors == 8 && e.kind == OpKind::Read));
+        assert!(plan.parity_xor_bytes > 0, "reconstruction must charge XOR time");
+        assert!(plan.pre_reads.is_empty());
+    }
+
+    #[test]
+    fn degraded_write_to_lost_strip_folds_into_parity() {
+        let g = Geometry::raid5(4);
+        // Write to disk 0's strip with disk 0 failed: read the untouched
+        // healthy strips (disks 1 and 2... minus parity), write parity only.
+        let plan = g.plan_with_failure(0, 8, OpKind::Write, Some(0));
+        let parity = g.parity_disk(0).unwrap();
+        assert_eq!(parity, 3);
+        // Untouched healthy data strips: disks 1, 2.
+        let read_disks: std::collections::HashSet<usize> =
+            plan.pre_reads.iter().map(|e| e.disk).collect();
+        assert_eq!(read_disks, [1usize, 2].into_iter().collect());
+        // No write can land on the failed disk.
+        assert!(plan.ops.iter().all(|e| e.disk != 0));
+        assert!(plan.ops.iter().any(|e| e.disk == parity && e.kind == OpKind::Write));
+    }
+
+    #[test]
+    fn degraded_write_with_failed_parity_skips_parity() {
+        let g = Geometry::raid5(4);
+        // Stripe 0's parity is disk 3; fail it.
+        let plan = g.plan_with_failure(0, 8, OpKind::Write, Some(3));
+        assert!(plan.pre_reads.is_empty());
+        assert_eq!(plan.ops.len(), 1);
+        assert_eq!(plan.ops[0].disk, 0);
+        assert_eq!(plan.parity_xor_bytes, 0);
+    }
+
+    #[test]
+    fn degraded_write_on_healthy_strips_uses_rmw() {
+        let g = Geometry::raid5(5);
+        // Write to disk 0's strip; fail disk 2 (an untouched data member):
+        // reconstruct-write is impossible, RMW must be chosen.
+        let plan = g.plan_with_failure(0, 8, OpKind::Write, Some(2));
+        assert!(plan.ops.iter().chain(&plan.pre_reads).all(|e| e.disk != 2));
+        assert_eq!(plan.pre_reads.len(), 2, "RMW: old data + old parity");
+    }
+
+    #[test]
+    #[should_panic(expected = "no redundancy")]
+    fn degraded_raid0_panics() {
+        Geometry::raid0(3).plan_with_failure(0, 8, OpKind::Read, Some(0));
+    }
+
+    #[test]
+    fn raid10_mapping_and_plans() {
+        let g = Geometry::raid10(6); // 3 mirror pairs
+        assert_eq!(g.data_disks(), 3);
+        assert_eq!(g.data_capacity_sectors(256_000), 256_000 * 3);
+        // Reads alternate primary halves across stripes.
+        let even = g.locate(0); // stripe 0
+        let odd = g.locate(3 * 256); // stripe 1, same pair 0
+        assert_eq!(even.disk & !1, odd.disk & !1, "same mirror pair");
+        assert_ne!(even.disk, odd.disk, "alternating halves");
+        // A write lands on both members of the pair, same disk sector.
+        let plan = g.plan(0, 8, OpKind::Write);
+        assert!(plan.pre_reads.is_empty());
+        assert_eq!(plan.ops.len(), 2);
+        assert_eq!(plan.ops[0].sector, plan.ops[1].sector);
+        assert_eq!(plan.ops[0].disk ^ 1, plan.ops[1].disk);
+        assert_eq!(plan.parity_xor_bytes, 0);
+        // A read is a single op.
+        assert_eq!(g.plan(0, 8, OpKind::Read).ops.len(), 1);
+    }
+
+    #[test]
+    fn raid10_degraded_redirects_to_the_mirror() {
+        let g = Geometry::raid10(4);
+        // Find the primary for sector 0 and fail it.
+        let primary = g.locate(0).disk;
+        let plan = g.plan_with_failure(0, 8, OpKind::Read, Some(primary));
+        assert_eq!(plan.ops.len(), 1);
+        assert_eq!(plan.ops[0].disk, primary ^ 1, "read hops to the mirror");
+        // Degraded write: single copy written.
+        let plan = g.plan_with_failure(0, 8, OpKind::Write, Some(primary));
+        assert_eq!(plan.ops.len(), 1);
+        assert_eq!(plan.ops[0].disk, primary ^ 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "even disk count")]
+    fn raid10_rejects_odd_disks() {
+        Geometry::raid10(5);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_degraded_plans_never_touch_failed_disk(
+            disks in 3usize..7,
+            failed in 0usize..7,
+            start in 0u64..50_000,
+            len in 1u64..1_500,
+            write in proptest::bool::ANY,
+        ) {
+            prop_assume!(failed < disks);
+            let g = Geometry::raid5(disks);
+            let kind = if write { OpKind::Write } else { OpKind::Read };
+            let plan = g.plan_with_failure(start, len, kind, Some(failed));
+            for e in plan.ops.iter().chain(&plan.pre_reads) {
+                prop_assert_ne!(e.disk, failed, "plan touched the failed disk");
+            }
+            if !write {
+                // Every requested sector is still served: survivors carry at
+                // least the requested volume.
+                let total: u64 = plan.ops.iter().map(|e| e.sectors).sum();
+                prop_assert!(total >= len);
+            }
+        }
+
+        #[test]
+        fn prop_locate_is_injective(
+            disks in 3usize..8,
+            sectors in proptest::collection::hash_set(0u64..1_000_000, 1..200),
+        ) {
+            let g = Geometry::raid5(disks);
+            let mut seen = HashSet::new();
+            for &s in &sectors {
+                let loc = g.locate(s);
+                prop_assert!(loc.disk < disks);
+                prop_assert!(seen.insert((loc.disk, loc.disk_sector)),
+                    "two logical sectors mapped to the same place");
+                prop_assert_ne!(Some(loc.disk), g.parity_disk(loc.stripe));
+            }
+        }
+
+        #[test]
+        fn prop_read_plan_covers_request(
+            disks in 3usize..8,
+            start in 0u64..100_000,
+            len in 1u64..2_000,
+        ) {
+            let g = Geometry::raid5(disks);
+            let plan = g.plan(start, len, OpKind::Read);
+            let total: u64 = plan.ops.iter().map(|e| e.sectors).sum();
+            prop_assert_eq!(total, len);
+            prop_assert!(plan.pre_reads.is_empty());
+        }
+
+        #[test]
+        fn prop_write_plan_writes_at_least_data_plus_parity(
+            disks in 3usize..8,
+            start in 0u64..100_000,
+            len in 1u64..2_000,
+        ) {
+            let g = Geometry::raid5(disks);
+            let plan = g.plan(start, len, OpKind::Write);
+            let writes: u64 = plan
+                .ops
+                .iter()
+                .filter(|e| e.kind == OpKind::Write)
+                .map(|e| e.sectors)
+                .sum();
+            prop_assert!(writes >= len, "data fully written");
+            // Every touched stripe gets exactly one parity write; total write
+            // volume is bounded by data + one strip per stripe touched.
+            let stripe_sectors = g.strip_sectors * g.data_disks() as u64;
+            let stripes = (start + len - 1) / stripe_sectors - start / stripe_sectors + 1;
+            prop_assert!(writes <= len + stripes * g.strip_sectors);
+            // Phase-1 reads never write.
+            prop_assert!(plan.pre_reads.iter().all(|e| e.kind == OpKind::Read));
+        }
+
+        #[test]
+        fn prop_merge_preserves_volume(
+            extents in proptest::collection::vec((0usize..4, 0u64..10_000u64, 1u64..64), 0..50)
+        ) {
+            let exts: Vec<DiskExtent> = extents
+                .into_iter()
+                .map(|(d, s, n)| DiskExtent { disk: d, sector: s, sectors: n, kind: OpKind::Read })
+                .collect();
+            let before: u64 = exts.iter().map(|e| e.sectors).sum();
+            let merged = merge_extents(exts);
+            let after: u64 = merged.iter().map(|e| e.sectors).sum();
+            prop_assert_eq!(before, after);
+            // No two adjacent mergeable extents remain.
+            for w in merged.windows(2) {
+                prop_assert!(!(w[0].disk == w[1].disk && w[0].sector + w[0].sectors == w[1].sector));
+            }
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! Compact `.replay` encoding (format version 2).
+//!
+//! The paper's 2-minute collections already hold ~400 000 IO packages; a
+//! repository covering the 125-mode sweep multiplies that. Version 2 keeps
+//! the version-1 header but encodes the body with LEB128 varints and delta
+//! compression, exploiting the structure of block traces:
+//!
+//! * bunch timestamps are non-decreasing → store deltas;
+//! * consecutive sectors are near each other (sequential runs!) → store
+//!   zig-zag deltas from the previous package's end sector;
+//! * sizes repeat heavily → varints shrink the common small sizes;
+//! * the op kind rides in the low bit of the size field.
+//!
+//! On the synthetic and real-world traces in this repository v2 is typically
+//! 3–5× smaller than v1. [`crate::replay_format::from_bytes`] auto-detects
+//! the version, so readers handle both transparently.
+
+use crate::error::TraceError;
+use crate::model::{Bunch, IoPackage, OpKind, Trace};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Format version tag for the compact encoding.
+pub const VERSION: u16 = 2;
+
+fn put_varint(buf: &mut BytesMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+fn get_varint(data: &mut &[u8]) -> Result<u64, TraceError> {
+    let mut out = 0u64;
+    let mut shift = 0u32;
+    loop {
+        if !data.has_remaining() {
+            return Err(TraceError::Corrupt("truncated varint".into()));
+        }
+        let byte = data.get_u8();
+        if shift >= 64 || (shift == 63 && byte > 1) {
+            return Err(TraceError::Corrupt("varint overflows u64".into()));
+        }
+        out |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(out);
+        }
+        shift += 7;
+    }
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Encode the body (after the shared header) of a v2 trace.
+pub fn encode_body(trace: &Trace, buf: &mut BytesMut) {
+    put_varint(buf, trace.bunch_count() as u64);
+    let mut last_ts = 0u64;
+    let mut last_end: i64 = 0;
+    for bunch in &trace.bunches {
+        put_varint(buf, bunch.timestamp - last_ts);
+        last_ts = bunch.timestamp;
+        put_varint(buf, bunch.ios.len() as u64);
+        for io in &bunch.ios {
+            put_varint(buf, zigzag(io.sector as i64 - last_end));
+            last_end = io.end_sector() as i64;
+            let size_kind =
+                (u64::from(io.bytes) << 1) | u64::from(matches!(io.kind, OpKind::Write));
+            put_varint(buf, size_kind);
+        }
+    }
+}
+
+/// Decode the body of a v2 trace; `device` comes from the shared header.
+pub fn decode_body(mut data: &[u8], device: String) -> Result<Trace, TraceError> {
+    let nbunch = get_varint(&mut data)?;
+    // Each bunch costs ≥3 bytes (ts delta, count, ≥1 io of ≥2 bytes is 3).
+    if nbunch > data.remaining() as u64 {
+        return Err(TraceError::Corrupt("bunch count exceeds stream size".into()));
+    }
+    let mut bunches = Vec::with_capacity(nbunch as usize);
+    let mut last_ts = 0u64;
+    let mut last_end: i64 = 0;
+    for _ in 0..nbunch {
+        let dt = get_varint(&mut data)?;
+        last_ts = last_ts
+            .checked_add(dt)
+            .ok_or_else(|| TraceError::Corrupt("timestamp overflow".into()))?;
+        let nio = get_varint(&mut data)?;
+        if nio > data.remaining() as u64 {
+            return Err(TraceError::Corrupt("io count exceeds stream size".into()));
+        }
+        let mut ios = Vec::with_capacity(nio as usize);
+        for _ in 0..nio {
+            let delta = unzigzag(get_varint(&mut data)?);
+            let sector = last_end
+                .checked_add(delta)
+                .filter(|s| *s >= 0)
+                .ok_or_else(|| TraceError::Corrupt("sector delta out of range".into()))?
+                as u64;
+            let size_kind = get_varint(&mut data)?;
+            let bytes = u32::try_from(size_kind >> 1)
+                .map_err(|_| TraceError::Corrupt("size exceeds u32".into()))?;
+            let kind = if size_kind & 1 == 1 { OpKind::Write } else { OpKind::Read };
+            let io = IoPackage::new(sector, bytes, kind);
+            last_end = io.end_sector() as i64;
+            ios.push(io);
+        }
+        bunches.push(Bunch::new(last_ts, ios));
+    }
+    Ok(Trace { device, bunches })
+}
+
+/// Serialize with the compact encoding (shared magic + version-2 header).
+pub fn to_bytes(trace: &Trace) -> Bytes {
+    let mut buf = BytesMut::with_capacity(32 + trace.io_count() * 4);
+    buf.put_slice(&crate::replay_format::MAGIC);
+    buf.put_u16_le(VERSION);
+    let dev = trace.device.as_bytes();
+    let dev_len = dev.len().min(u16::MAX as usize);
+    buf.put_u16_le(dev_len as u16);
+    buf.put_slice(&dev[..dev_len]);
+    encode_body(trace, &mut buf);
+    buf.freeze()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replay_format;
+    use proptest::prelude::*;
+
+    fn sequentialish_trace(n: u64) -> Trace {
+        Trace::from_bunches(
+            "seq",
+            (0..n)
+                .map(|i| {
+                    Bunch::new(
+                        i * 1_000_000,
+                        vec![
+                            IoPackage::read(i * 128, 65536),
+                            IoPackage::write(i * 128 + 128, 4096),
+                        ],
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn varint_round_trip() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = BytesMut::new();
+            put_varint(&mut buf, v);
+            let mut slice: &[u8] = &buf;
+            assert_eq!(get_varint(&mut slice).unwrap(), v);
+            assert!(slice.is_empty());
+        }
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn v2_round_trips_through_the_common_reader() {
+        let t = sequentialish_trace(500);
+        let bytes = to_bytes(&t);
+        let back = replay_format::from_bytes(&bytes).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn v2_is_much_smaller_on_sequential_traces() {
+        let t = sequentialish_trace(10_000);
+        let v1 = replay_format::to_bytes(&t).len();
+        let v2 = to_bytes(&t).len();
+        assert!(
+            v2 * 3 < v1,
+            "compact encoding should be ≥3x smaller: v1 {v1} vs v2 {v2}"
+        );
+    }
+
+    #[test]
+    fn truncation_is_rejected_everywhere() {
+        let bytes = to_bytes(&sequentialish_trace(5));
+        for cut in 1..bytes.len() {
+            assert!(replay_format::from_bytes(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn hostile_varints_rejected() {
+        // 10 continuation bytes overflow u64.
+        let mut data: Vec<u8> = vec![0xFF; 10];
+        data.push(0x7F);
+        let mut slice: &[u8] = &data;
+        assert!(get_varint(&mut slice).is_err());
+        // Negative absolute sector.
+        let t = Trace::from_bunches("d", vec![Bunch::new(0, vec![IoPackage::read(0, 512)])]);
+        let mut bytes = to_bytes(&t).to_vec();
+        // Body starts after magic+ver+len+dev(1): flip the sector delta to -1e9-ish
+        // by corrupting; easier: construct body by hand.
+        bytes.truncate(9); // header for device "d"
+        let mut body = BytesMut::new();
+        put_varint(&mut body, 1); // one bunch
+        put_varint(&mut body, 0); // dt
+        put_varint(&mut body, 1); // one io
+        put_varint(&mut body, zigzag(-5)); // sector -5: invalid from last_end 0
+        put_varint(&mut body, 512 << 1); // read kind bit = 0
+        bytes.extend_from_slice(&body);
+        assert!(replay_format::from_bytes(&bytes).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_v2_round_trip(
+            bunches in proptest::collection::vec(
+                (0u64..1_000_000_000, proptest::collection::vec(
+                    (0u64..1 << 40, 1u32..1 << 22, proptest::bool::ANY), 1..6)),
+                0..48)
+        ) {
+            let bunches: Vec<Bunch> = bunches
+                .into_iter()
+                .map(|(ts, ios)| Bunch::new(
+                    ts,
+                    ios.into_iter()
+                        .map(|(s, b, w)| IoPackage::new(s, b, if w { OpKind::Write } else { OpKind::Read }))
+                        .collect(),
+                ))
+                .collect();
+            let t = Trace::from_bunches("prop", bunches);
+            let back = replay_format::from_bytes(&to_bytes(&t)).unwrap();
+            prop_assert_eq!(back, t);
+        }
+
+        #[test]
+        fn prop_arbitrary_bytes_never_panic(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let mut framed = crate::replay_format::MAGIC.to_vec();
+            framed.extend_from_slice(&VERSION.to_le_bytes());
+            framed.extend_from_slice(&1u16.to_le_bytes());
+            framed.push(b'd');
+            framed.extend_from_slice(&data);
+            let _ = replay_format::from_bytes(&framed);
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Trace surgery: slicing, shifting, concatenation, merging, splitting.
+//!
+//! The paper's workflow treats trace files as immutable inputs, but a working
+//! evaluation practice needs to cut warm-up periods off, splice collection
+//! sessions together, overlay workloads from different clients, or study the
+//! read and write halves separately. These operations preserve the structural
+//! invariants of [`Trace`] (sorted timestamps, non-empty bunches) by
+//! construction.
+
+use crate::model::{Bunch, Nanos, Trace};
+
+/// The bunches of `trace` whose timestamps fall in `[from, to)`, rebased so
+/// the window starts at zero.
+pub fn slice(trace: &Trace, from: Nanos, to: Nanos) -> Trace {
+    let bunches = trace
+        .bunches
+        .iter()
+        .filter(|b| b.timestamp >= from && b.timestamp < to)
+        .map(|b| Bunch::new(b.timestamp - from, b.ios.clone()))
+        .collect();
+    Trace { device: trace.device.clone(), bunches }
+}
+
+/// `trace` with every timestamp moved `offset` later.
+pub fn shift(trace: &Trace, offset: Nanos) -> Trace {
+    let bunches = trace
+        .bunches
+        .iter()
+        .map(|b| Bunch::new(b.timestamp + offset, b.ios.clone()))
+        .collect();
+    Trace { device: trace.device.clone(), bunches }
+}
+
+/// Play `parts` back to back: each part starts `gap` after the previous
+/// part's last bunch. The result carries the first part's device name.
+pub fn concat(parts: &[Trace], gap: Nanos) -> Trace {
+    let device = parts.first().map_or_else(String::new, |t| t.device.clone());
+    let mut bunches = Vec::with_capacity(parts.iter().map(Trace::bunch_count).sum());
+    let mut offset = 0;
+    for part in parts {
+        for b in &part.bunches {
+            bunches.push(Bunch::new(offset + b.timestamp, b.ios.clone()));
+        }
+        if !part.is_empty() {
+            offset += part.duration() + gap;
+        }
+    }
+    Trace { device, bunches }
+}
+
+/// Overlay two traces on a shared timeline (two clients driving one array).
+/// Bunches landing on the same instant are combined into one bunch.
+pub fn merge(a: &Trace, b: &Trace) -> Trace {
+    let mut out: Vec<Bunch> = Vec::with_capacity(a.bunch_count() + b.bunch_count());
+    let (mut i, mut j) = (0, 0);
+    while i < a.bunches.len() || j < b.bunches.len() {
+        let next = match (a.bunches.get(i), b.bunches.get(j)) {
+            (Some(x), Some(y)) => {
+                if x.timestamp <= y.timestamp {
+                    i += 1;
+                    x
+                } else {
+                    j += 1;
+                    y
+                }
+            }
+            (Some(x), None) => {
+                i += 1;
+                x
+            }
+            (None, Some(y)) => {
+                j += 1;
+                y
+            }
+            (None, None) => unreachable!("loop condition"),
+        };
+        match out.last_mut() {
+            Some(last) if last.timestamp == next.timestamp => {
+                last.ios.extend(next.ios.iter().copied());
+            }
+            _ => out.push(next.clone()),
+        }
+    }
+    Trace { device: format!("{}+{}", a.device, b.device), bunches: out }
+}
+
+/// Split a trace into its read-only and write-only halves. Bunches that end
+/// up empty on one side are dropped there; timestamps are preserved.
+pub fn split_by_kind(trace: &Trace) -> (Trace, Trace) {
+    let mut reads = Trace::new(format!("{}-reads", trace.device));
+    let mut writes = Trace::new(format!("{}-writes", trace.device));
+    for b in &trace.bunches {
+        let r: Vec<_> = b.ios.iter().copied().filter(|io| io.kind.is_read()).collect();
+        let w: Vec<_> = b.ios.iter().copied().filter(|io| !io.kind.is_read()).collect();
+        if !r.is_empty() {
+            reads.push_bunch(Bunch::new(b.timestamp, r));
+        }
+        if !w.is_empty() {
+            writes.push_bunch(Bunch::new(b.timestamp, w));
+        }
+    }
+    (reads, writes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::IoPackage;
+    use proptest::prelude::*;
+
+    fn sample(n: u64, step: Nanos) -> Trace {
+        Trace::from_bunches(
+            "s",
+            (0..n)
+                .map(|i| {
+                    let io = if i % 3 == 0 {
+                        IoPackage::write(i * 8, 4096)
+                    } else {
+                        IoPackage::read(i * 8, 4096)
+                    };
+                    Bunch::new(i * step, vec![io])
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn slice_window_rebases() {
+        let t = sample(10, 1_000);
+        let s = slice(&t, 3_000, 7_000);
+        assert_eq!(s.bunch_count(), 4);
+        assert_eq!(s.bunches[0].timestamp, 0);
+        assert_eq!(s.duration(), 3_000);
+        assert!(s.validate().is_ok());
+        assert!(slice(&t, 50_000, 60_000).is_empty());
+    }
+
+    #[test]
+    fn shift_moves_everything() {
+        let t = sample(3, 1_000);
+        let s = shift(&t, 500);
+        assert_eq!(s.bunches[0].timestamp, 500);
+        assert_eq!(s.duration(), t.duration() + 500);
+        assert_eq!(s.io_count(), t.io_count());
+    }
+
+    #[test]
+    fn concat_sequences_parts() {
+        let a = sample(3, 1_000); // duration 2000
+        let b = sample(2, 1_000); // duration 1000
+        let c = concat(&[a.clone(), b.clone()], 500);
+        assert_eq!(c.io_count(), 5);
+        // Part b starts at 2000 + 500.
+        assert_eq!(c.bunches[3].timestamp, 2_500);
+        assert_eq!(c.duration(), 2_500 + 1_000);
+        assert!(c.validate().is_ok());
+        assert!(concat(&[], 10).is_empty());
+        let solo = concat(std::slice::from_ref(&a), 999);
+        assert_eq!(solo.bunches, a.bunches);
+    }
+
+    #[test]
+    fn merge_interleaves_and_combines() {
+        let a = sample(3, 2_000); // 0, 2000, 4000
+        let b = shift(&sample(3, 2_000), 1_000); // 1000, 3000, 5000
+        let m = merge(&a, &b);
+        assert_eq!(m.bunch_count(), 6);
+        assert!(m.validate().is_ok());
+        assert_eq!(m.device, "s+s");
+        // Same-instant bunches combine.
+        let m2 = merge(&a, &a);
+        assert_eq!(m2.bunch_count(), 3);
+        assert_eq!(m2.io_count(), 6);
+        assert_eq!(m2.bunches[0].len(), 2);
+    }
+
+    #[test]
+    fn split_partitions_by_kind() {
+        let t = sample(9, 1_000);
+        let (r, w) = split_by_kind(&t);
+        assert_eq!(r.io_count() + w.io_count(), t.io_count());
+        assert!(r.iter_ios().all(|(_, io)| io.kind.is_read()));
+        assert!(w.iter_ios().all(|(_, io)| !io.kind.is_read()));
+        assert!(r.device.ends_with("-reads"));
+        assert!(r.validate().is_ok() && w.validate().is_ok());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_merge_preserves_volume(
+            an in 0u64..50, bn in 0u64..50, astep in 1u64..5_000, bstep in 1u64..5_000
+        ) {
+            let a = sample(an, astep);
+            let b = sample(bn, bstep);
+            let m = merge(&a, &b);
+            prop_assert_eq!(m.io_count(), a.io_count() + b.io_count());
+            prop_assert_eq!(m.total_bytes(), a.total_bytes() + b.total_bytes());
+            prop_assert!(m.validate().is_ok());
+        }
+
+        #[test]
+        fn prop_slice_then_concat_covers_original(
+            n in 1u64..80, step in 1u64..2_000, cut in 1u64..160_000
+        ) {
+            let t = sample(n, step);
+            let cut = cut.min(t.duration());
+            let head = slice(&t, 0, cut);
+            let tail = slice(&t, cut, t.duration() + 1);
+            prop_assert_eq!(head.io_count() + tail.io_count(), t.io_count());
+        }
+
+        #[test]
+        fn prop_split_halves_recombine(n in 0u64..60, step in 1u64..3_000) {
+            let t = sample(n, step);
+            let (r, w) = split_by_kind(&t);
+            let m = merge(&r, &w);
+            prop_assert_eq!(m.io_count(), t.io_count());
+            prop_assert_eq!(m.total_bytes(), t.total_bytes());
+        }
+    }
+}

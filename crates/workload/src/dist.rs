@@ -1,0 +1,149 @@
+//! Seeded sampling helpers.
+//!
+//! The allowed dependency set contains `rand` but no distribution crate, so
+//! the handful of distributions the synthesisers need are implemented here:
+//! standard gaussian (Box–Muller), lognormal, Pareto, exponential
+//! inter-arrivals, and a power-law index skew used for hot-spot placement.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Standard-normal deviate (Box–Muller).
+pub fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Lognormal deviate with the given log-space mean and deviation.
+pub fn lognormal(rng: &mut StdRng, mu: f64, sigma: f64) -> f64 {
+    (mu + sigma * gaussian(rng)).exp()
+}
+
+/// Log-space `mu` so that `lognormal(mu, sigma)` has arithmetic mean `mean`.
+pub fn lognormal_mu_for_mean(mean: f64, sigma: f64) -> f64 {
+    mean.ln() - sigma * sigma / 2.0
+}
+
+/// Pareto deviate with scale `xm > 0` and shape `alpha > 0` (heavy-tailed for
+/// small `alpha`).
+pub fn pareto(rng: &mut StdRng, xm: f64, alpha: f64) -> f64 {
+    let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+    xm / u.powf(1.0 / alpha)
+}
+
+/// Exponential deviate with the given mean (Poisson inter-arrival).
+pub fn exponential(rng: &mut StdRng, mean: f64) -> f64 {
+    let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+    -mean * u.ln()
+}
+
+/// A skewed index in `0..n`: `theta = 1` is uniform, larger values
+/// concentrate probability near index 0 (a cheap stand-in for Zipfian
+/// popularity).
+pub fn skewed_index(rng: &mut StdRng, n: u64, theta: f64) -> u64 {
+    debug_assert!(theta >= 1.0);
+    let u: f64 = rng.random();
+    let idx = (n as f64 * u.powf(theta)) as u64;
+    idx.min(n.saturating_sub(1))
+}
+
+/// Round `bytes` to a positive multiple of the 512-byte sector, clamped to
+/// `[512, max]`.
+pub fn clamp_to_sectors(bytes: f64, max: u32) -> u32 {
+    let b = bytes.max(512.0).min(f64::from(max)) as u32;
+    (b / 512).max(1) * 512
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut r = rng(1);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_mean_calibration() {
+        let mut r = rng(2);
+        let sigma = 0.8;
+        let mu = lognormal_mu_for_mean(22_016.0, sigma);
+        let n = 50_000;
+        let mean = (0..n).map(|_| lognormal(&mut r, mu, sigma)).sum::<f64>() / n as f64;
+        assert!((mean - 22_016.0).abs() / 22_016.0 < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn pareto_respects_scale() {
+        let mut r = rng(3);
+        for _ in 0..1_000 {
+            assert!(pareto(&mut r, 2.0, 1.5) >= 2.0);
+        }
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut r = rng(4);
+        let n = 50_000;
+        let mean = (0..n).map(|_| exponential(&mut r, 5.0)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.2, "mean {mean}");
+    }
+
+    #[test]
+    fn skewed_index_bounds_and_skew() {
+        let mut r = rng(5);
+        let n = 1000u64;
+        let mut low_half = 0;
+        for _ in 0..10_000 {
+            let i = skewed_index(&mut r, n, 3.0);
+            assert!(i < n);
+            if i < n / 2 {
+                low_half += 1;
+            }
+        }
+        // theta=3: P(idx < n/2) = (1/2)^(1/3) ≈ 0.794.
+        assert!(low_half > 7_500, "skew too weak: {low_half}");
+        // theta=1 is uniform.
+        let mut low_half = 0;
+        for _ in 0..10_000 {
+            if skewed_index(&mut r, n, 1.0) < n / 2 {
+                low_half += 1;
+            }
+        }
+        assert!((4_500..5_500).contains(&low_half), "uniform off: {low_half}");
+    }
+
+    #[test]
+    fn clamp_to_sectors_rounds() {
+        assert_eq!(clamp_to_sectors(0.0, 1 << 20), 512);
+        assert_eq!(clamp_to_sectors(513.0, 1 << 20), 512);
+        assert_eq!(clamp_to_sectors(1024.0, 1 << 20), 1024);
+        assert_eq!(clamp_to_sectors(5e9, 1 << 20), 1 << 20);
+        assert_eq!(clamp_to_sectors(700.0, 512), 512);
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let a: Vec<f64> = {
+            let mut r = rng(9);
+            (0..10).map(|_| gaussian(&mut r)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut r = rng(9);
+            (0..10).map(|_| gaussian(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

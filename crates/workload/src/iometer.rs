@@ -1,0 +1,414 @@
+//! IOmeter-style closed-loop peak-workload generator.
+//!
+//! "We leveraged the IOmeter tool to generate peak synthetic workloads with
+//! specified request sizes, random/sequential ratios, and read/write ratios"
+//! (§III-A2). IOmeter keeps a fixed number of I/Os outstanding against the
+//! device — a closed loop — which drives the device at its peak rate for the
+//! given workload mode. This module reproduces that loop against the array
+//! simulator and records what blktrace would capture: the arrival times and
+//! parameters of every issued request.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+use tracer_sim::{ArrayRequest, ArraySim, Completion, SimDuration, SimTime};
+use tracer_trace::{Bunch, IoPackage, OpKind, Trace, WorkloadMode};
+
+/// Configuration of one IOmeter-style run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IometerConfig {
+    /// The workload mode (request size, random %, read %); the mode's load
+    /// proportion is ignored — a closed loop always runs at peak.
+    pub mode: WorkloadMode,
+    /// Number of requests kept outstanding (IOmeter's "# of Outstanding I/Os").
+    pub outstanding: usize,
+    /// How long to keep issuing (the paper runs ~2 minutes per trace).
+    pub duration: SimDuration,
+    /// Target span in sectors; requests stay within `[0, span_sectors)`.
+    pub span_sectors: u64,
+    /// RNG seed for the random/read coin flips and placements.
+    pub seed: u64,
+}
+
+impl IometerConfig {
+    /// A two-minute run with IOmeter-ish defaults (depth 16) over an 8 GiB
+    /// span.
+    pub fn two_minutes(mode: WorkloadMode, seed: u64) -> Self {
+        Self {
+            mode,
+            outstanding: 16,
+            duration: SimDuration::from_secs(120),
+            span_sectors: 16 * 1024 * 1024, // 8 GiB
+            seed,
+        }
+    }
+}
+
+/// Outcome of a generator run: the recorded trace and the measured peak rates.
+#[derive(Debug, Clone)]
+pub struct GeneratedWorkload {
+    /// The trace a block-level tracer would have recorded (arrival times of
+    /// issued requests, grouped into bunches by arrival instant).
+    pub trace: Trace,
+    /// Completions observed during the run (including drain).
+    pub completions: Vec<Completion>,
+    /// Requests completed per second within the issue window.
+    pub peak_iops: f64,
+    /// Megabytes per second within the issue window.
+    pub peak_mbps: f64,
+}
+
+/// Stateful request factory implementing IOmeter's parameter semantics.
+#[derive(Debug)]
+pub struct RequestFactory {
+    mode: WorkloadMode,
+    span_sectors: u64,
+    align_sectors: u64,
+    next_sequential: u64,
+    rng: StdRng,
+}
+
+impl RequestFactory {
+    /// New factory over `[0, span_sectors)`.
+    pub fn new(mode: WorkloadMode, span_sectors: u64, seed: u64) -> Self {
+        let align_sectors = (u64::from(mode.request_bytes) / tracer_trace::SECTOR_BYTES).max(1);
+        assert!(span_sectors >= align_sectors, "span smaller than one request");
+        Self { mode, span_sectors, align_sectors, next_sequential: 0, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Produce the next request.
+    pub fn next_request(&mut self) -> ArrayRequest {
+        let bytes = self.mode.request_bytes.max(512);
+        let sectors = self.align_sectors;
+        let slots = self.span_sectors / sectors;
+        let random = self.rng.random_bool(self.mode.random_ratio());
+        let sector = if random {
+            self.rng.random_range(0..slots) * sectors
+        } else {
+            let s = self.next_sequential;
+            if s + sectors > self.span_sectors {
+                self.next_sequential = sectors;
+                0
+            } else {
+                self.next_sequential = s + sectors;
+                s
+            }
+        };
+        // Sequential runs continue from wherever the last request (random or
+        // not) ended, like an IOmeter worker's file pointer.
+        if random {
+            self.next_sequential = (sector + sectors) % (slots * sectors).max(1);
+        }
+        let kind =
+            if self.rng.random_bool(self.mode.read_ratio()) { OpKind::Read } else { OpKind::Write };
+        ArrayRequest::new(sector, bytes, kind)
+    }
+}
+
+/// A weighted mixture of workload modes — IOmeter's "access specification"
+/// list, where e.g. 80 % of requests are 4 KiB random reads and 20 % are
+/// 64 KiB sequential writes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MixedSpec {
+    /// `(weight, mode)` entries; weights are relative and must be positive.
+    pub entries: Vec<(u32, WorkloadMode)>,
+}
+
+impl MixedSpec {
+    /// Build a spec; panics on empty input or zero weights.
+    pub fn new(entries: Vec<(u32, WorkloadMode)>) -> Self {
+        assert!(!entries.is_empty(), "a mixed spec needs at least one entry");
+        assert!(entries.iter().all(|(w, _)| *w > 0), "weights must be positive");
+        Self { entries }
+    }
+}
+
+/// Request factory over a [`MixedSpec`]: each request draws a spec entry by
+/// weight, then uses that entry's per-mode factory (so each mode keeps its
+/// own sequential pointer, exactly like parallel IOmeter workers).
+#[derive(Debug)]
+pub struct MixedRequestFactory {
+    factories: Vec<RequestFactory>,
+    cumulative: Vec<u32>,
+    total: u32,
+    rng: StdRng,
+}
+
+impl MixedRequestFactory {
+    /// New factory over `[0, span_sectors)`.
+    pub fn new(spec: &MixedSpec, span_sectors: u64, seed: u64) -> Self {
+        let mut cumulative = Vec::with_capacity(spec.entries.len());
+        let mut total = 0u32;
+        let mut factories = Vec::with_capacity(spec.entries.len());
+        for (i, (w, mode)) in spec.entries.iter().enumerate() {
+            total += w;
+            cumulative.push(total);
+            factories.push(RequestFactory::new(*mode, span_sectors, seed ^ (i as u64) << 32));
+        }
+        Self { factories, cumulative, total, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Produce the next request.
+    pub fn next_request(&mut self) -> ArrayRequest {
+        let roll = self.rng.random_range(0..self.total);
+        let idx = self.cumulative.partition_point(|&c| c <= roll);
+        self.factories[idx].next_request()
+    }
+}
+
+/// Drive `sim` with a closed-loop workload from an arbitrary request source.
+/// This is the generic engine behind [`run_peak_workload`] and
+/// [`run_peak_workload_mixed`].
+pub fn run_closed_loop(
+    sim: &mut ArraySim,
+    next_request: &mut dyn FnMut() -> ArrayRequest,
+    outstanding: usize,
+    duration: SimDuration,
+) -> GeneratedWorkload {
+    let base = sim.now();
+    let deadline = base + duration;
+
+    let mut arrivals: Vec<(SimTime, IoPackage)> = Vec::new();
+    let mut issue = |sim: &mut ArraySim, at: SimTime, arrivals: &mut Vec<(SimTime, IoPackage)>| {
+        let req = next_request();
+        sim.submit(at, req).expect("generated request must be in range");
+        arrivals.push((at, IoPackage::new(req.sector, req.bytes, req.kind)));
+    };
+
+    for _ in 0..outstanding.max(1) {
+        issue(sim, base, &mut arrivals);
+    }
+
+    let mut consumed = 0;
+    loop {
+        while sim.completions().len() == consumed {
+            if !sim.step() {
+                break;
+            }
+        }
+        if sim.completions().len() == consumed {
+            break; // drained
+        }
+        let done_at = sim.completions()[consumed].completed;
+        consumed += 1;
+        if done_at < deadline {
+            issue(sim, done_at, &mut arrivals);
+        }
+    }
+
+    let completions = sim.drain_completions();
+    // Peak rates measured over the issue window only (the drain tail would
+    // otherwise dilute them).
+    let window = duration.as_secs_f64();
+    let in_window: Vec<&Completion> =
+        completions.iter().filter(|c| c.completed < deadline).collect();
+    let peak_iops = in_window.len() as f64 / window;
+    let peak_mbps = in_window.iter().map(|c| f64::from(c.bytes)).sum::<f64>() / 1e6 / window;
+
+    GeneratedWorkload {
+        trace: bunch_arrivals(&sim.config().name.clone(), base, arrivals),
+        completions,
+        peak_iops,
+        peak_mbps,
+    }
+}
+
+/// Closed-loop peak workload over a weighted spec mixture.
+pub fn run_peak_workload_mixed(
+    sim: &mut ArraySim,
+    spec: &MixedSpec,
+    outstanding: usize,
+    duration: SimDuration,
+    span_sectors: u64,
+    seed: u64,
+) -> GeneratedWorkload {
+    let span = span_sectors.min(sim.data_capacity_sectors());
+    let mut factory = MixedRequestFactory::new(spec, span, seed);
+    run_closed_loop(sim, &mut || factory.next_request(), outstanding, duration)
+}
+
+/// Drive `sim` with a closed-loop peak workload and record the issued trace.
+///
+/// The simulator should be freshly constructed; issuing begins at its current
+/// clock. After `cfg.duration` no further requests are issued and the
+/// remaining outstanding requests drain.
+pub fn run_peak_workload(sim: &mut ArraySim, cfg: &IometerConfig) -> GeneratedWorkload {
+    let span = cfg.span_sectors.min(sim.data_capacity_sectors());
+    let mut factory = RequestFactory::new(cfg.mode, span, cfg.seed);
+    run_closed_loop(sim, &mut || factory.next_request(), cfg.outstanding, cfg.duration)
+}
+
+/// Group `(arrival, io)` pairs into bunches of identical (rebased) arrival
+/// instants.
+fn bunch_arrivals(device: &str, base: SimTime, arrivals: Vec<(SimTime, IoPackage)>) -> Trace {
+    let mut trace = Trace::new(device);
+    let mut current: Option<(u64, Vec<IoPackage>)> = None;
+    for (at, io) in arrivals {
+        let ts = (at - base).as_nanos();
+        match current.as_mut() {
+            Some((t, ios)) if *t == ts => ios.push(io),
+            Some(_) => {
+                let (t, ios) = current.take().expect("checked above");
+                trace.push_bunch(Bunch::new(t, ios));
+                current = Some((ts, vec![io]));
+            }
+            None => current = Some((ts, vec![io])),
+        }
+    }
+    if let Some((t, ios)) = current {
+        trace.push_bunch(Bunch::new(t, ios));
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracer_sim::presets;
+    use tracer_trace::TraceStats;
+
+    fn quick_cfg(mode: WorkloadMode, secs: u64) -> IometerConfig {
+        IometerConfig {
+            mode,
+            outstanding: 8,
+            duration: SimDuration::from_secs(secs),
+            span_sectors: 4 * 1024 * 1024,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn factory_respects_mode_ratios() {
+        let mode = WorkloadMode::peak(4096, 50, 75);
+        let mut f = RequestFactory::new(mode, 1 << 22, 1);
+        let n = 20_000;
+        let mut reads = 0;
+        for _ in 0..n {
+            let r = f.next_request();
+            assert_eq!(r.bytes, 4096);
+            assert_eq!(r.sector % 8, 0, "aligned to request size");
+            assert!(r.sector + r.sectors() <= 1 << 22);
+            if r.kind.is_read() {
+                reads += 1;
+            }
+        }
+        let ratio = reads as f64 / n as f64;
+        assert!((ratio - 0.75).abs() < 0.02, "read ratio {ratio}");
+    }
+
+    #[test]
+    fn fully_sequential_mode_is_sequential() {
+        let mode = WorkloadMode::peak(8192, 0, 100);
+        let mut f = RequestFactory::new(mode, 1 << 20, 2);
+        let mut prev_end = None;
+        for _ in 0..100 {
+            let r = f.next_request();
+            if let Some(e) = prev_end {
+                assert_eq!(r.sector, e, "strictly sequential");
+            }
+            prev_end = Some(r.sector + r.sectors());
+        }
+    }
+
+    #[test]
+    fn fully_random_mode_is_scattered() {
+        let mode = WorkloadMode::peak(4096, 100, 100);
+        let mut f = RequestFactory::new(mode, 1 << 22, 3);
+        let mut sequential = 0;
+        let mut prev_end = None;
+        for _ in 0..1000 {
+            let r = f.next_request();
+            if prev_end == Some(r.sector) {
+                sequential += 1;
+            }
+            prev_end = Some(r.sector + r.sectors());
+        }
+        assert!(sequential < 20, "random placement produced {sequential} sequential pairs");
+    }
+
+    #[test]
+    fn closed_loop_generates_peak_trace() {
+        let mut sim = presets::hdd_raid5(4);
+        let cfg = quick_cfg(WorkloadMode::peak(65536, 0, 100), 2);
+        let out = run_peak_workload(&mut sim, &cfg);
+        assert!(!out.trace.is_empty());
+        assert!(out.peak_iops > 100.0, "sequential 64K peak IOPS = {}", out.peak_iops);
+        assert!(out.peak_mbps > 10.0, "peak MBPS = {}", out.peak_mbps);
+        // The trace records every issued request.
+        assert_eq!(out.trace.io_count(), out.completions.len());
+        let stats = TraceStats::compute(&out.trace);
+        assert!((stats.read_ratio - 1.0).abs() < 1e-9);
+        assert!((stats.avg_request_bytes - 65536.0).abs() < 1.0);
+        assert!(out.trace.validate().is_ok());
+    }
+
+    #[test]
+    fn random_peak_is_much_lower_than_sequential_peak() {
+        let mut sim = presets::hdd_raid5(4);
+        let seq = run_peak_workload(&mut sim, &quick_cfg(WorkloadMode::peak(4096, 0, 100), 2));
+        let mut sim = presets::hdd_raid5(4);
+        let rnd = run_peak_workload(&mut sim, &quick_cfg(WorkloadMode::peak(4096, 100, 100), 2));
+        assert!(
+            seq.peak_iops > rnd.peak_iops * 3.0,
+            "seq {} vs random {}",
+            seq.peak_iops,
+            rnd.peak_iops
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let run = || {
+            let mut sim = presets::hdd_raid5(4);
+            run_peak_workload(&mut sim, &quick_cfg(WorkloadMode::peak(16384, 50, 50), 1)).trace
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mixed_spec_honours_weights_and_modes() {
+        use super::{run_peak_workload_mixed, MixedSpec};
+        let spec = MixedSpec::new(vec![
+            (8, WorkloadMode::peak(4096, 100, 100)),  // 80 %: 4K random read
+            (2, WorkloadMode::peak(65536, 0, 0)),     // 20 %: 64K sequential write
+        ]);
+        let mut sim = presets::hdd_raid5(4);
+        let out = run_peak_workload_mixed(
+            &mut sim,
+            &spec,
+            8,
+            SimDuration::from_secs(3),
+            4 * 1024 * 1024,
+            9,
+        );
+        let total = out.trace.io_count() as f64;
+        assert!(total > 200.0, "mixed run produced {total} IOs");
+        let small = out.trace.iter_ios().filter(|(_, io)| io.bytes == 4096).count() as f64;
+        let large = out.trace.iter_ios().filter(|(_, io)| io.bytes == 65536).count() as f64;
+        assert!((small + large - total).abs() < 0.5, "only the two spec sizes appear");
+        let small_frac = small / total;
+        assert!((small_frac - 0.8).abs() < 0.06, "weight split {small_frac}");
+        // All 4K requests are reads, all 64K are writes.
+        assert!(out
+            .trace
+            .iter_ios()
+            .all(|(_, io)| (io.bytes == 4096) == io.kind.is_read()));
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must be positive")]
+    fn mixed_spec_rejects_zero_weight() {
+        super::MixedSpec::new(vec![(0, WorkloadMode::peak(512, 0, 0))]);
+    }
+
+    #[test]
+    fn initial_bunch_holds_outstanding_ios() {
+        let mut sim = presets::hdd_raid5(4);
+        let cfg = quick_cfg(WorkloadMode::peak(4096, 100, 50), 1);
+        let out = run_peak_workload(&mut sim, &cfg);
+        assert_eq!(out.trace.bunches[0].len(), cfg.outstanding);
+        assert_eq!(out.trace.bunches[0].timestamp, 0);
+    }
+}

@@ -1,0 +1,130 @@
+//! Integration: the full degraded-operation lifecycle — fail, serve through
+//! parity, rebuild onto a replacement, return to healthy service — driven by
+//! the replay engine, with power accounted throughout.
+
+use tracer_core::prelude::*;
+use tracer_sim::RebuildConfig;
+
+fn workload(n: u64) -> Trace {
+    Trace::from_bunches(
+        "w",
+        (0..n)
+            .map(|i| {
+                let kind = if i % 4 == 0 { OpKind::Write } else { OpKind::Read };
+                Bunch::new(
+                    i * 20_000_000,
+                    vec![IoPackage::new((i * 524_287) % 2_000_000, 16384, kind)],
+                )
+            })
+            .collect(),
+    )
+}
+
+#[test]
+fn degraded_lifecycle_end_to_end() {
+    let mut sim = presets::hdd_raid5(4);
+
+    // Phase 1: healthy service.
+    let healthy = replay(&mut sim, &workload(100), &ReplayConfig::default());
+    assert_eq!(healthy.summary.total_ios, 100);
+
+    // Phase 2: a member fails; the same workload replays degraded.
+    sim.fail_disk(2);
+    let degraded = replay(&mut sim, &workload(100), &ReplayConfig::default());
+    assert_eq!(degraded.summary.total_ios, 100, "no request may be lost degraded");
+    assert!(
+        degraded.summary.avg_response_ms > healthy.summary.avg_response_ms,
+        "reconstruction costs latency: {} vs {}",
+        degraded.summary.avg_response_ms,
+        healthy.summary.avg_response_ms
+    );
+
+    // Phase 3: replacement + rebuild while a third workload replays.
+    let status = sim.start_rebuild(RebuildConfig {
+        delay_between: SimDuration::from_millis(2),
+        max_stripes: 300,
+    });
+    assert_eq!(status.disk, 2);
+    let during = replay(&mut sim, &workload(100), &ReplayConfig::default());
+    assert_eq!(during.summary.total_ios, 100, "foreground survives the rebuild");
+    sim.run_to_idle();
+    assert!(sim.rebuild_status().is_none(), "rebuild finished");
+
+    // Phase 4: healthy again — latency returns to (near) the healthy level.
+    let after = replay(&mut sim, &workload(100), &ReplayConfig::default());
+    assert!(
+        after.summary.avg_response_ms < degraded.summary.avg_response_ms,
+        "post-rebuild {} must beat degraded {}",
+        after.summary.avg_response_ms,
+        degraded.summary.avg_response_ms
+    );
+}
+
+#[test]
+fn degraded_array_draws_less_power_than_healthy() {
+    let trace = workload(200);
+    let run = |fail: Option<usize>| {
+        let mut sim = presets::hdd_raid5(4);
+        if let Some(d) = fail {
+            sim.fail_disk(d);
+        }
+        let report = replay(&mut sim, &trace, &ReplayConfig::default());
+        sim.power_log().avg_watts(report.started, report.finished)
+    };
+    let healthy_w = run(None);
+    let degraded_w = run(Some(0));
+    // The parked member idles at standby power; reconstruction adds some
+    // survivor activity but cannot make up a whole spindle.
+    assert!(
+        degraded_w < healthy_w - 2.0,
+        "degraded {degraded_w} W must undercut healthy {healthy_w} W"
+    );
+}
+
+#[test]
+fn rebuild_consumes_energy_and_disk_time() {
+    let mut idle_sim = presets::hdd_raid5(4);
+    idle_sim.run_until(SimTime::from_secs(30));
+    let idle_joules = idle_sim.power_log().energy_joules(SimTime::ZERO, SimTime::from_secs(30));
+
+    let mut sim = presets::hdd_raid5(4);
+    sim.fail_disk(1);
+    sim.start_rebuild(RebuildConfig {
+        delay_between: SimDuration::from_millis(1),
+        max_stripes: 500,
+    });
+    sim.run_to_idle();
+    let span = sim.now();
+    sim.run_until(SimTime::from_secs(30).max(span));
+    let rebuild_joules = sim.power_log().energy_joules(SimTime::ZERO, SimTime::from_secs(30));
+    // Rebuild reads three survivors and writes the replacement; spin-up of
+    // the replacement plus transfers must exceed the all-idle baseline over
+    // the same wall window... except the parked standby time offsets it, so
+    // compare per-phase: survivors must have been busy.
+    let busy: u64 = sim.stats().busy_ns.iter().sum();
+    assert!(busy > 0);
+    assert!(sim.stats().physical_bytes >= 500 * 4 * 128 * 1024, "stripe traffic moved");
+    // Energy sanity: both are positive and the same order of magnitude.
+    assert!(rebuild_joules > idle_joules * 0.5);
+}
+
+#[test]
+fn eraid_policy_uses_degraded_machinery_consistently() {
+    // The policy harness and the raw engine must agree on what degraded
+    // operation costs.
+    let trace = workload(150);
+    let mut host = EvaluationHost::new();
+    let outcomes = compare_policies(
+        &mut host,
+        || tracer_sim::presets::hdd_raid5_parts(4),
+        &trace,
+        WorkloadMode::peak(16384, 50, 75),
+        &[ConservationPolicy::DegradedParity { parked_disk: 1 }],
+        "consistency",
+    );
+    let mut sim = presets::hdd_raid5(4);
+    sim.fail_disk(1);
+    let raw = replay(&mut sim, &trace, &ReplayConfig::default());
+    assert!((outcomes[1].avg_response_ms - raw.summary.avg_response_ms).abs() < 1e-9);
+    assert!((outcomes[1].iops - raw.summary.iops).abs() < 1e-9);
+}
