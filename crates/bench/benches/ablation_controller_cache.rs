@@ -63,7 +63,13 @@ fn main() {
                 f(hit_pct),
                 sim.stats().disk_ops.to_string(),
             ]);
-            rows.push((name, report.summary.avg_response_ms, joules, hit_pct, sim.stats().disk_ops));
+            rows.push((
+                name,
+                report.summary.avg_response_ms,
+                joules,
+                hit_pct,
+                sim.stats().disk_ops,
+            ));
         }
     });
 

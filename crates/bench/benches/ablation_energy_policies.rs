@@ -75,8 +75,8 @@ fn main() {
     print_outcomes(&archival);
 
     println!("\n[busy web-server workload]");
-    let web = WebServerTraceBuilder { duration_s: 300.0, mean_iops: 200.0, ..Default::default() }
-        .build();
+    let web =
+        WebServerTraceBuilder { duration_s: 300.0, mean_iops: 200.0, ..Default::default() }.build();
     let busy = timed("web", || {
         compare_policies(
             &mut host,

@@ -18,11 +18,8 @@ use tracer_replay::RandomFilter;
 
 /// Coefficient of variation of the bunch inter-arrival gaps.
 fn gap_cv(trace: &Trace) -> f64 {
-    let gaps: Vec<f64> = trace
-        .bunches
-        .windows(2)
-        .map(|w| (w[1].timestamp - w[0].timestamp) as f64)
-        .collect();
+    let gaps: Vec<f64> =
+        trace.bunches.windows(2).map(|w| (w[1].timestamp - w[0].timestamp) as f64).collect();
     let mean = gaps.iter().sum::<f64>() / gaps.len().max(1) as f64;
     let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len().max(1) as f64;
     if mean > 0.0 {
@@ -55,8 +52,8 @@ fn main() {
             .map(|i| Bunch::new(i * 10_000_000, vec![IoPackage::read((i * 131) % 1_000_000, 8192)]))
             .collect(),
     );
-    let web = WebServerTraceBuilder { duration_s: 300.0, mean_iops: 200.0, ..Default::default() }
-        .build();
+    let web =
+        WebServerTraceBuilder { duration_s: 300.0, mean_iops: 200.0, ..Default::default() }.build();
 
     let mut results = Vec::new();
     let mut rand_noisier = 0;
@@ -81,14 +78,7 @@ fn main() {
                     r_cv += gap_cv(&random) / seeds as f64;
                     r_var += short_window_variance(&random) / seeds as f64;
                 }
-                row(&[
-                    name.to_string(),
-                    pct.to_string(),
-                    f(u_cv),
-                    f(r_cv),
-                    f(u_var),
-                    f(r_var),
-                ]);
+                row(&[name.to_string(), pct.to_string(), f(u_cv), f(r_cv), f(u_var), f(r_var)]);
                 if r_cv > u_cv && r_var >= u_var * 0.99 {
                     rand_noisier += 1;
                 }

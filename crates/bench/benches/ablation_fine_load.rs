@@ -43,9 +43,7 @@ fn main() {
             let exact = total * u64::from(pct) / 100;
             assert_eq!(filtered.bunch_count() as u64, exact, "Bresenham count at {pct}%");
             let mut sim = presets::hdd_raid5(6);
-            let m = host
-                .run_test(&mut sim, &trace, mode.at_load(pct), 100, "fine")
-                .metrics;
+            let m = host.run_test(&mut sim, &trace, mode.at_load(pct), 100, "fine").metrics;
             let measured = m.iops / baseline.iops * 100.0;
             let acc = measured / f64::from(pct);
             worst = worst.max((acc - 1.0).abs());

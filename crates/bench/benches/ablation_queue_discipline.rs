@@ -39,7 +39,8 @@ fn main() {
             "p95 ms".into(),
             "joules".into(),
         ]);
-        for (name, disc) in [("fifo", QueueDiscipline::Fifo), ("elevator", QueueDiscipline::Elevator)]
+        for (name, disc) in
+            [("fifo", QueueDiscipline::Fifo), ("elevator", QueueDiscipline::Elevator)]
         {
             let mut sim = build(disc);
             let report = replay(&mut sim, &trace, &ReplayConfig::default());
@@ -51,12 +52,7 @@ fn main() {
                 f(report.summary.p95_response_ms),
                 f(joules),
             ]);
-            rows.push((
-                name,
-                report.span().as_secs_f64(),
-                report.summary.avg_response_ms,
-                joules,
-            ));
+            rows.push((name, report.span().as_secs_f64(), report.summary.avg_response_ms, joules));
         }
     });
 

@@ -31,10 +31,7 @@ fn main() {
     let linear = increments.iter().all(|d| (d - per_disk).abs() < 0.05 * per_disk.max(0.1));
     let dominates_after_3 = watts[4] - watts[0] > watts[0] && watts[3] - watts[0] <= watts[0] + 1.0;
     println!("linear in disk count ............ {}", if linear { "yes" } else { "NO" });
-    println!(
-        "disks dominate once count > 3 ... {}",
-        if dominates_after_3 { "yes" } else { "NO" }
-    );
+    println!("disks dominate once count > 3 ... {}", if dominates_after_3 { "yes" } else { "NO" });
     json_result(
         "fig07",
         &serde_json::json!({

@@ -30,13 +30,7 @@ fn main() {
         load_sweep(&mut host, || presets::hdd_raid5(6), &trace, mode, &sweep::LOAD_PCTS, "fig08")
     });
 
-    row(&[
-        "config %".into(),
-        "IOPS".into(),
-        "MBPS".into(),
-        "acc IOPS".into(),
-        "acc MBPS".into(),
-    ]);
+    row(&["config %".into(), "IOPS".into(), "MBPS".into(), "acc IOPS".into(), "acc MBPS".into()]);
     for r in &result.rows {
         row(&[
             r.configured_pct.to_string(),

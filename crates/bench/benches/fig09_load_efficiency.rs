@@ -16,7 +16,10 @@ fn collect(mode: WorkloadMode, seed: u64) -> Trace {
     let mut sim = presets::hdd_raid5(6);
     run_peak_workload(
         &mut sim,
-        &IometerConfig { duration: SimDuration::from_secs(10), ..IometerConfig::two_minutes(mode, seed) },
+        &IometerConfig {
+            duration: SimDuration::from_secs(10),
+            ..IometerConfig::two_minutes(mode, seed)
+        },
     )
     .trace
 }
@@ -31,9 +34,7 @@ fn sweep_metric(
         .iter()
         .map(|&load| {
             let mut sim = presets::hdd_raid5(6);
-            let m = host
-                .run_test(&mut sim, &trace, mode.at_load(load), 100, "fig09")
-                .metrics;
+            let m = host.run_test(&mut sim, &trace, mode.at_load(load), 100, "fig09").metrics;
             metric(&m)
         })
         .collect()
@@ -85,8 +86,7 @@ fn main() {
     // Shape checks: every series grows ~linearly with load; small requests
     // earn more IOPS/Watt than large ones at every load level.
     let monotone = panel_a.iter().chain(&panel_b).all(|s| s.windows(2).all(|w| w[1] > w[0] * 0.98));
-    let small_beats_large =
-        panel_a[0].iter().zip(&panel_a[4]).all(|(small, large)| small > large);
+    let small_beats_large = panel_a[0].iter().zip(&panel_a[4]).all(|(small, large)| small > large);
     println!("\nefficiency grows with load ...... {}", if monotone { "yes" } else { "NO" });
     println!("small req wins IOPS/Watt ........ {}", if small_beats_large { "yes" } else { "NO" });
     json_result(

@@ -16,7 +16,10 @@ fn efficiency(host: &mut EvaluationHost, mode: WorkloadMode) -> EfficiencyMetric
     let mut sim = presets::hdd_raid5(6);
     let trace = run_peak_workload(
         &mut sim,
-        &IometerConfig { duration: SimDuration::from_secs(10), ..IometerConfig::two_minutes(mode, 10) },
+        &IometerConfig {
+            duration: SimDuration::from_secs(10),
+            ..IometerConfig::two_minutes(mode, 10)
+        },
     )
     .trace;
     let mut sim = presets::hdd_raid5(6);
@@ -75,13 +78,9 @@ fn main() {
     // Shape checks: efficiency falls with random ratio for the sizes where
     // seeks dominate (≤64 KiB), and the 0→25 % drop exceeds the 50→100 % one
     // ("less sensitive … when the random ratio is larger than 30%").
-    let falling = panel_a
-        .iter()
-        .chain(panel_b.iter().take(2))
-        .all(|s| s[0] > s[2] && s[2] >= s[4] * 0.85);
-    let front_loaded = panel_a
-        .iter()
-        .all(|s| (s[0] - s[1]) >= (s[2] - s[4]).max(0.0) * 0.8);
+    let falling =
+        panel_a.iter().chain(panel_b.iter().take(2)).all(|s| s[0] > s[2] && s[2] >= s[4] * 0.85);
+    let front_loaded = panel_a.iter().all(|s| (s[0] - s[1]) >= (s[2] - s[4]).max(0.0) * 0.8);
     println!("\nefficiency falls with random .... {}", if falling { "yes" } else { "NO" });
     println!("sensitivity concentrated <30% ... {}", if front_loaded { "yes" } else { "NO" });
     json_result(

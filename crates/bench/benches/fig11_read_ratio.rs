@@ -17,7 +17,10 @@ fn measure(host: &mut EvaluationHost, mode: WorkloadMode) -> EfficiencyMetrics {
     let mut sim = presets::hdd_raid5(6);
     let trace = run_peak_workload(
         &mut sim,
-        &IometerConfig { duration: SimDuration::from_secs(10), ..IometerConfig::two_minutes(mode, 11) },
+        &IometerConfig {
+            duration: SimDuration::from_secs(10),
+            ..IometerConfig::two_minutes(mode, 11)
+        },
     )
     .trace;
     let mut sim = presets::hdd_raid5(6);
@@ -67,15 +70,13 @@ fn main() {
     // Flat at high random ratios: spread within a small multiple of the mean.
     let flatness = |s: &Vec<f64>| {
         let mean: f64 = s.iter().sum::<f64>() / s.len() as f64;
-        let spread = s.iter().cloned().fold(0.0f64, f64::max) - s.iter().cloned().fold(f64::INFINITY, f64::min);
+        let spread = s.iter().cloned().fold(0.0f64, f64::max)
+            - s.iter().cloned().fold(f64::INFINITY, f64::min);
         spread / mean
     };
     let flat_random = flatness(&mbps[2]) < flatness(&mbps[0]);
     println!("\nU-shape at random 0% ............ {}", if sequential_u { "yes" } else { "NO" });
-    println!(
-        "flatter at random 100% than 0% .. {}",
-        if flat_random { "yes" } else { "NO" }
-    );
+    println!("flatter at random 100% than 0% .. {}", if flat_random { "yes" } else { "NO" });
     json_result(
         "fig11",
         &serde_json::json!({

@@ -11,10 +11,8 @@ use tracer_core::prelude::*;
 const LOADS: [u32; 5] = [20, 40, 60, 80, 100];
 
 fn main() {
-    let minutes: u64 = std::env::var("TRACER_FIG12_MINUTES")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(30);
+    let minutes: u64 =
+        std::env::var("TRACER_FIG12_MINUTES").ok().and_then(|v| v.parse().ok()).unwrap_or(30);
     banner("Fig. 12", &format!("web-server trace, {minutes}-minute replay, per-minute series"));
 
     let trace = timed("synthesize", || {

@@ -5,10 +5,10 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use std::hint::black_box;
 use tracer_replay::{replay_prepared, AddressPolicy, ProportionalFilter};
-use tracer_sim::{presets, Geometry};
-use tracer_trace::{replay_format, Bunch, IoPackage, OpKind, Trace};
 use tracer_sim::SimDuration;
+use tracer_sim::{presets, Geometry};
 use tracer_trace::WorkloadMode;
+use tracer_trace::{replay_format, Bunch, IoPackage, OpKind, Trace};
 use tracer_workload::iometer::{run_peak_workload, IometerConfig};
 
 fn big_trace(bunches: usize) -> Trace {
@@ -18,9 +18,7 @@ fn big_trace(bunches: usize) -> Trace {
             .map(|i| {
                 Bunch::new(
                     i * 1_000_000,
-                    (0..4)
-                        .map(|j| IoPackage::read((i * 4 + j) * 128 % 10_000_000, 8192))
-                        .collect(),
+                    (0..4).map(|j| IoPackage::read((i * 4 + j) * 128 % 10_000_000, 8192)).collect(),
                 )
             })
             .collect(),

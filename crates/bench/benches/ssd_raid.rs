@@ -9,11 +9,18 @@ use tracer_bench::{banner, f, json_result, row, timed};
 use tracer_core::prelude::*;
 use tracer_workload::iometer::run_peak_workload;
 
-fn measure(host: &mut EvaluationHost, build: fn() -> ArraySim, mode: WorkloadMode) -> EfficiencyMetrics {
+fn measure(
+    host: &mut EvaluationHost,
+    build: fn() -> ArraySim,
+    mode: WorkloadMode,
+) -> EfficiencyMetrics {
     let mut sim = build();
     let trace = run_peak_workload(
         &mut sim,
-        &IometerConfig { duration: SimDuration::from_secs(10), ..IometerConfig::two_minutes(mode, 12) },
+        &IometerConfig {
+            duration: SimDuration::from_secs(10),
+            ..IometerConfig::two_minutes(mode, 12)
+        },
     )
     .trace;
     let mut sim = build();
@@ -26,7 +33,9 @@ fn main() {
 
     let ssd_idle = presets::ssd_raid5(4).power_log().total_watts_at(SimTime::ZERO);
     let hdd_idle = presets::hdd_raid5(6).power_log().total_watts_at(SimTime::ZERO);
-    println!("idle: ssd array {ssd_idle:.1} W (4 x 3.5 W SSDs + chassis), hdd array {hdd_idle:.1} W");
+    println!(
+        "idle: ssd array {ssd_idle:.1} W (4 x 3.5 W SSDs + chassis), hdd array {hdd_idle:.1} W"
+    );
 
     banner("random-ratio sweep", "16K, 50% read — MBPS/Kilowatt");
     row(&["rand %".into(), "hdd".into(), "ssd".into(), "ssd/hdd".into()]);

@@ -72,7 +72,14 @@ fn main() {
     let mut worst_err = 0.0f64;
     let mut worst_mixed_err = 0.0f64;
     let mut monotone_modes = 0;
-    row(&["size".into(), "rnd%".into(), "rd%".into(), "IOPS@100".into(), "IOPS/W@100".into(), "maxErr%".into()]);
+    row(&[
+        "size".into(),
+        "rnd%".into(),
+        "rd%".into(),
+        "IOPS@100".into(),
+        "IOPS/W@100".into(),
+        "maxErr%".into(),
+    ]);
     for (mode, res) in cfg.modes.iter().zip(&results) {
         worst_err = worst_err.max(res.max_error());
         if mode.random_pct > 0 {
@@ -122,10 +129,7 @@ fn main() {
             "total_modes": cfg.modes.len(),
         }),
     );
-    assert!(
-        worst_mixed_err < 0.06,
-        "campaign-wide control error too large: {worst_mixed_err}"
-    );
+    assert!(worst_mixed_err < 0.06, "campaign-wide control error too large: {worst_mixed_err}");
     assert!(
         monotone_modes * 10 >= cfg.modes.len() * 9,
         "efficiency should grow with load for (nearly) every mode"

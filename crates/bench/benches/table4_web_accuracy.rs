@@ -21,13 +21,15 @@ fn main() {
     });
 
     // Paper's row layout.
-    let configured: Vec<String> = result.rows.iter().map(|r| r.configured_pct.to_string()).collect();
+    let configured: Vec<String> =
+        result.rows.iter().map(|r| r.configured_pct.to_string()).collect();
     let head: Vec<String> =
         std::iter::once("Configured Load %".to_string()).chain(configured).collect();
     row(&head);
     let line = |name: &str, get: &dyn Fn(&AccuracyRow) -> f64| {
-        let cells: Vec<String> =
-            std::iter::once(name.to_string()).chain(result.rows.iter().map(|r| f(get(r)))).collect();
+        let cells: Vec<String> = std::iter::once(name.to_string())
+            .chain(result.rows.iter().map(|r| f(get(r))))
+            .collect();
         row(&cells);
     };
     line("Measured IOPS %", &|r| r.measured_iops_pct);
@@ -42,9 +44,6 @@ fn main() {
     let _ = std::fs::create_dir_all("target");
     std::fs::write(&out, csv).expect("write csv");
     println!("rows exported to {}", out.display());
-    json_result(
-        "table4",
-        &serde_json::json!({ "rows": result.rows, "max_error": max_err }),
-    );
+    json_result("table4", &serde_json::json!({ "rows": result.rows, "max_error": max_err }));
     assert!(max_err < 0.08, "web-trace control error exceeds Table IV bound: {max_err}");
 }

@@ -43,12 +43,11 @@ fn main() {
         .collect();
     row(&cells);
 
-    let mbps_err = result
-        .rows
-        .iter()
-        .map(|r| (r.accuracy_mbps - 1.0).abs())
-        .fold(0.0f64, f64::max);
-    println!("max MBPS error: {:.1} % (paper: up to ~32 %, cause: uneven request sizes)", mbps_err * 100.0);
+    let mbps_err = result.rows.iter().map(|r| (r.accuracy_mbps - 1.0).abs()).fold(0.0f64, f64::max);
+    println!(
+        "max MBPS error: {:.1} % (paper: up to ~32 %, cause: uneven request sizes)",
+        mbps_err * 100.0
+    );
 
     // Shape: cello's MBPS error exceeds a fixed-size baseline replayed the
     // same way.
@@ -61,11 +60,8 @@ fn main() {
     let fixed_result = timed("fixed-baseline", || {
         load_sweep(&mut host, || presets::hdd_raid5(6), &fixed, mode, &sweep::LOAD_PCTS, "table5f")
     });
-    let fixed_err = fixed_result
-        .rows
-        .iter()
-        .map(|r| (r.accuracy_mbps - 1.0).abs())
-        .fold(0.0f64, f64::max);
+    let fixed_err =
+        fixed_result.rows.iter().map(|r| (r.accuracy_mbps - 1.0).abs()).fold(0.0f64, f64::max);
     println!("fixed-size baseline error: {:.2} %", fixed_err * 100.0);
     let ordering_ok = mbps_err > fixed_err;
     println!("uneven sizes degrade accuracy ... {}", if ordering_ok { "yes" } else { "NO" });

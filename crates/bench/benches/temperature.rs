@@ -14,11 +14,7 @@ use tracer_power::ThermalModel;
 use tracer_workload::iometer::run_peak_workload;
 
 fn hottest_disk_c(sim: &tracer_sim::ArraySim, to: SimTime, model: &ThermalModel) -> f64 {
-    sim.power_log()
-        .devices
-        .iter()
-        .map(|tl| model.report(tl, to).peak_c)
-        .fold(f64::MIN, f64::max)
+    sim.power_log().devices.iter().map(|tl| model.report(tl, to).peak_c).fold(f64::MIN, f64::max)
 }
 
 fn main() {

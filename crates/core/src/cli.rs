@@ -138,6 +138,12 @@ pub enum Command {
         repo: PathBuf,
         /// Testbed this machine drives.
         array: ArrayChoice,
+        /// Evaluation workers. 1 (default) = the classic single-session
+        /// generator; >1 selects the concurrent job service, which lives in
+        /// the `tracer-serve` binary.
+        workers: usize,
+        /// Bounded job-queue capacity; 0 = 2 × workers.
+        queue: usize,
     },
     /// Print usage.
     Help,
@@ -168,10 +174,12 @@ USAGE:
   tracer stats    --name NAME --repo DIR
   tracer policies [--seconds S] [--db FILE]
   tracer report   --db FILE
-  tracer serve    --repo DIR [--array hdd4|hdd6|ssd4]
+  tracer serve    --repo DIR [--array hdd4|hdd6|ssd4] [--workers N] [--queue N]
   tracer help
 
 Replay accepts --db FILE to append its record to a results database.
+Serve with --workers > 1 is the concurrent job service (bounded queue,
+admission control); it is provided by the `tracer-serve` binary.
 ";
 
 /// Parse an argument vector (without the program name).
@@ -185,8 +193,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         let Some(key) = flag.strip_prefix("--") else {
             return Err(CliError(format!("expected --flag, got {flag:?}")));
         };
-        let value =
-            iter.next().ok_or_else(|| CliError(format!("flag --{key} needs a value")))?;
+        let value = iter.next().ok_or_else(|| CliError(format!("flag --{key} needs a value")))?;
         if flags.insert(key.to_string(), value.clone()).is_some() {
             return Err(CliError(format!("duplicate flag --{key}")));
         }
@@ -225,7 +232,9 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
     };
 
     match verb.as_str() {
-        "idle" => Ok(Command::Idle { disks: num("disks")? as usize, seconds: num_or("seconds", 60)? }),
+        "idle" => {
+            Ok(Command::Idle { disks: num("disks")? as usize, seconds: num_or("seconds", 60)? })
+        }
         "collect" => Ok(Command::Collect {
             mode: mode(false)?,
             seconds: num_or("seconds", 120)?,
@@ -239,9 +248,9 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             array: array()?,
             db: flags.get("db").map(PathBuf::from),
             afap_depth: match flags.get("afap") {
-                Some(v) => Some(
-                    v.parse().map_err(|_| CliError("--afap must be a queue depth".into()))?,
-                ),
+                Some(v) => {
+                    Some(v.parse().map_err(|_| CliError("--afap must be a queue depth".into()))?)
+                }
                 None => None,
             },
         }),
@@ -256,7 +265,18 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             db: flags.get("db").map(PathBuf::from),
         }),
         "report" => Ok(Command::Report { db: PathBuf::from(get("db")?) }),
-        "serve" => Ok(Command::Serve { repo: PathBuf::from(get("repo")?), array: array()? }),
+        "serve" => {
+            let workers = num_or("workers", 1)? as usize;
+            if workers == 0 {
+                return Err(CliError("--workers must be at least 1".into()));
+            }
+            Ok(Command::Serve {
+                repo: PathBuf::from(get("repo")?),
+                array: array()?,
+                workers,
+                queue: num_or("queue", 0)? as usize,
+            })
+        }
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(CliError(format!("unknown command {other:?}; try `tracer help`"))),
     }
@@ -273,8 +293,7 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
         Command::Idle { disks, seconds } => {
             let mut host = EvaluationHost::new();
             let mut sim = presets::hdd_array_idle(disks);
-            let watts =
-                host.measure_idle(&mut sim, SimDuration::from_secs(seconds), "cli-idle");
+            let watts = host.measure_idle(&mut sim, SimDuration::from_secs(seconds), "cli-idle");
             println!("idle power with {disks} disks over {seconds}s: {watts:.2} W");
             Ok(())
         }
@@ -323,7 +342,8 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
             let mut host = EvaluationHost::new();
             if let Some(path) = &db {
                 if path.exists() {
-                    host.db = crate::db::Database::load(path).map_err(|e| CliError(e.to_string()))?;
+                    host.db =
+                        crate::db::Database::load(path).map_err(|e| CliError(e.to_string()))?;
                 }
             }
             let mut sim = array.build();
@@ -332,8 +352,13 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
             println!(
                 "load {}% intensity {intensity}%: {:.1} IOPS, {:.2} MBPS, {:.2} ms avg, \
                  {:.2} W, {:.3} IOPS/Watt, {:.1} MBPS/Kilowatt",
-                mode.load_pct, m.iops, m.mbps, m.avg_response_ms, m.avg_watts,
-                m.iops_per_watt, m.mbps_per_kilowatt
+                mode.load_pct,
+                m.iops,
+                m.mbps,
+                m.avg_response_ms,
+                m.avg_watts,
+                m.iops_per_watt,
+                m.mbps_per_kilowatt
             );
             if let Some(path) = db {
                 host.db.save(&path).map_err(|e| CliError(e.to_string()))?;
@@ -370,7 +395,20 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
             print!("{}", crate::report::markdown(&db));
             Ok(())
         }
-        Command::Serve { repo, array } => {
+        Command::Serve { repo, array, workers, queue } => {
+            if workers > 1 {
+                return Err(CliError(format!(
+                    "the concurrent job service is the `tracer-serve` binary; run: \
+                     tracer-serve --repo {} --array {} --workers {workers}{}",
+                    repo.display(),
+                    match array {
+                        ArrayChoice::Hdd4 => "hdd4",
+                        ArrayChoice::Hdd6 => "hdd6",
+                        ArrayChoice::Ssd4 => "ssd4",
+                    },
+                    if queue > 0 { format!(" --queue {queue}") } else { String::new() }
+                )));
+            }
             let repo = TraceRepository::open(&repo).map_err(io_err)?;
             let device = array.build().config().name.clone();
             let server = crate::net::GeneratorServer::spawn(
@@ -413,8 +451,12 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
             for o in &outcomes {
                 println!(
                     "{:<28} {:>10.1} {:>9.2} {:>9.2} {:>10.2} {:>10.2}",
-                    o.policy, o.energy_joules, o.avg_watts, o.avg_response_ms,
-                    o.energy_saving_pct, o.response_penalty_pct
+                    o.policy,
+                    o.energy_joules,
+                    o.avg_watts,
+                    o.avg_response_ms,
+                    o.energy_saving_pct,
+                    o.response_penalty_pct
                 );
             }
             if let Some(path) = db {
@@ -466,10 +508,9 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
-        let cmd = parse(&argv(
-            "replay --rs 4096 --rn 50 --rd 0 --load 100 --repo /tmp/r --afap 32",
-        ))
-        .unwrap();
+        let cmd =
+            parse(&argv("replay --rs 4096 --rn 50 --rd 0 --load 100 --repo /tmp/r --afap 32"))
+                .unwrap();
         assert!(matches!(cmd, Command::Replay { afap_depth: Some(32), .. }));
     }
 
@@ -483,19 +524,21 @@ mod tests {
             parse(&argv("stats --name cello --repo /tmp/r")).unwrap(),
             Command::Stats { .. }
         ));
-        assert_eq!(
-            parse(&argv("policies")).unwrap(),
-            Command::Policies { seconds: 120, db: None }
-        );
-        assert!(matches!(
-            parse(&argv("report --db /tmp/x.json")).unwrap(),
-            Command::Report { .. }
-        ));
+        assert_eq!(parse(&argv("policies")).unwrap(), Command::Policies { seconds: 120, db: None });
+        assert!(matches!(parse(&argv("report --db /tmp/x.json")).unwrap(), Command::Report { .. }));
         assert!(parse(&argv("report")).is_err(), "report needs --db");
         assert!(matches!(
             parse(&argv("serve --repo /tmp/r --array ssd4")).unwrap(),
-            Command::Serve { array: ArrayChoice::Ssd4, .. }
+            Command::Serve { array: ArrayChoice::Ssd4, workers: 1, queue: 0, .. }
         ));
+        assert!(matches!(
+            parse(&argv("serve --repo /tmp/r --workers 4 --queue 8")).unwrap(),
+            Command::Serve { workers: 4, queue: 8, .. }
+        ));
+        assert!(parse(&argv("serve --repo /tmp/r --workers 0")).is_err());
+        // Multi-worker serve is routed to the tracer-serve binary.
+        let err = run(parse(&argv("serve --repo /tmp/r --workers 4")).unwrap()).unwrap_err();
+        assert!(err.0.contains("tracer-serve"), "{err}");
         assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
         assert_eq!(parse(&[]).unwrap(), Command::Help);
     }
@@ -504,11 +547,11 @@ mod tests {
     fn rejects_malformed_input() {
         for bad in [
             "dance",
-            "idle",                                  // missing --disks
-            "idle --disks",                          // missing value
-            "idle --disks six",                      // non-numeric
-            "idle disks 6",                          // not a flag
-            "idle --disks 6 --disks 7",              // duplicate
+            "idle",                                           // missing --disks
+            "idle --disks",                                   // missing value
+            "idle --disks six",                               // non-numeric
+            "idle disks 6",                                   // not a flag
+            "idle --disks 6 --disks 7",                       // duplicate
             "collect --rs 512 --rn 200 --rd 0 --repo /tmp/r", // ratio > 100
             "replay --rs 512 --rn 0 --rd 0 --repo /tmp/r",    // missing --load
             "collect --rs 512 --rn 0 --rd 0 --repo /tmp/r --array floppy",
@@ -523,13 +566,8 @@ mod tests {
         let repo = std::env::temp_dir().join(format!("tracer_cli_{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&repo);
         let mode = WorkloadMode::peak(8192, 50, 100);
-        run(Command::Collect {
-            mode,
-            seconds: 1,
-            repo: repo.clone(),
-            array: ArrayChoice::Hdd4,
-        })
-        .unwrap();
+        run(Command::Collect { mode, seconds: 1, repo: repo.clone(), array: ArrayChoice::Hdd4 })
+            .unwrap();
         let db_path = repo.join("cli_db.json");
         run(Command::Replay {
             mode: mode.at_load(50),
@@ -579,8 +617,7 @@ mod tests {
 
     #[test]
     fn usage_mentions_every_command() {
-        for verb in
-            ["idle", "collect", "replay", "convert", "stats", "policies", "report", "serve"]
+        for verb in ["idle", "collect", "replay", "convert", "stats", "policies", "report", "serve"]
         {
             assert!(USAGE.contains(verb), "usage missing {verb}");
         }

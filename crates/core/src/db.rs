@@ -136,8 +136,8 @@ impl Database {
 
     /// Persist as pretty JSON.
     pub fn save(&self, path: &Path) -> Result<(), DbError> {
-        let json = serde_json::to_string_pretty(self)
-            .map_err(|e| DbError::Decode(e.to_string()))?;
+        let json =
+            serde_json::to_string_pretty(self).map_err(|e| DbError::Decode(e.to_string()))?;
         fs::write(path, json)?;
         Ok(())
     }
@@ -161,7 +161,11 @@ mod tests {
             mode,
             power: PowerData { volts: 220.0, avg_amps: 0.2, avg_watts: 44.0, energy_joules: 440.0 },
             perf: PerfSummary { iops, ..Default::default() },
-            efficiency: EfficiencyMetrics { iops, iops_per_watt: iops / 44.0, ..Default::default() },
+            efficiency: EfficiencyMetrics {
+                iops,
+                iops_per_watt: iops / 44.0,
+                ..Default::default()
+            },
         }
     }
 

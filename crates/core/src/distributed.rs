@@ -12,7 +12,7 @@ use crate::db::{PowerData, TestRecord};
 use crate::host::EvaluationHost;
 use crate::metrics::EfficiencyMetrics;
 use tracer_power::{Channel, PowerAnalyzer};
-use tracer_replay::{replay, LoadControl, ReplayConfig, PerfSummary};
+use tracer_replay::{replay, LoadControl, PerfSummary, ReplayConfig};
 use tracer_sim::{ArrayPowerLog, ArraySim, SimTime};
 use tracer_trace::{Trace, WorkloadMode};
 
@@ -109,7 +109,11 @@ pub fn run_parallel(host: &mut EvaluationHost, jobs: Vec<EvaluationJob>) -> Vec<
         .map(|(r, energy)| {
             // Efficiency uses each job's own replay window for power, so jobs
             // of different lengths are not diluted by the shared window.
-            let own = tracer_power::PowerAnalyzer::measure_window(&r.log, r.window.0, r.window.1.max(r.window.0 + tracer_sim::SimDuration::from_nanos(1)));
+            let own = tracer_power::PowerAnalyzer::measure_window(
+                &r.log,
+                r.window.0,
+                r.window.1.max(r.window.0 + tracer_sim::SimDuration::from_nanos(1)),
+            );
             let metrics = EfficiencyMetrics::from_parts(&r.perf, &own);
             let record = TestRecord {
                 id: 0,
@@ -154,8 +158,18 @@ mod tests {
     fn parallel_jobs_store_one_record_each() {
         let mut host = EvaluationHost::new();
         let jobs = vec![
-            EvaluationJob::new("hdd-job", || presets::hdd_raid5(4), trace(50), WorkloadMode::peak(8192, 50, 100)),
-            EvaluationJob::new("ssd-job", || presets::ssd_raid5(4), trace(50), WorkloadMode::peak(8192, 50, 100)),
+            EvaluationJob::new(
+                "hdd-job",
+                || presets::hdd_raid5(4),
+                trace(50),
+                WorkloadMode::peak(8192, 50, 100),
+            ),
+            EvaluationJob::new(
+                "ssd-job",
+                || presets::ssd_raid5(4),
+                trace(50),
+                WorkloadMode::peak(8192, 50, 100),
+            ),
             EvaluationJob::new(
                 "hdd-half",
                 || presets::hdd_raid5(4),
@@ -193,7 +207,8 @@ mod tests {
 
         let mut host2 = EvaluationHost::new();
         let mut sim = presets::hdd_raid5(4);
-        let seq = host2.run_test(&mut sim, &trace(30), WorkloadMode::peak(8192, 50, 100), 100, "seq");
+        let seq =
+            host2.run_test(&mut sim, &trace(30), WorkloadMode::peak(8192, 50, 100), 100, "seq");
         assert_eq!(par.perf.total_ios, seq.report.summary.total_ios);
         assert!((par.efficiency.iops - seq.metrics.iops).abs() < 1e-9);
         assert!((par.efficiency.avg_watts - seq.metrics.avg_watts).abs() < 1e-9);

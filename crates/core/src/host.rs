@@ -170,13 +170,7 @@ where
 {
     /// New session around fresh host state.
     pub fn new(build_array: B, load_trace: L) -> Self {
-        Self {
-            host: EvaluationHost::new(),
-            build_array,
-            load_trace,
-            pending: None,
-            tests_run: 0,
-        }
+        Self { host: EvaluationHost::new(), build_array, load_trace, pending: None, tests_run: 0 }
     }
 
     /// Access the results accumulated by this session.
@@ -293,9 +287,7 @@ mod tests {
             |device| (device == "raid5-hdd4").then(|| presets::hdd_raid5(4)),
             |_, _| Some(test_trace(50)),
         );
-        let r = session
-            .handle_line("init-analyzer cycle=500")
-            .unwrap();
+        let r = session.handle_line("init-analyzer cycle=500").unwrap();
         assert!(r.contains("500ms"));
         let r = session
             .handle_line("configure device=raid5-hdd4 rs=4096 rn=50 rd=100 load=20")
@@ -312,27 +304,19 @@ mod tests {
 
     #[test]
     fn session_rejects_bad_sequences() {
-        let mut session = CommandSession::new(
-            |_| Some(presets::hdd_raid5(4)),
-            |_, _| Some(test_trace(10)),
-        );
+        let mut session =
+            CommandSession::new(|_| Some(presets::hdd_raid5(4)), |_, _| Some(test_trace(10)));
         assert!(matches!(session.handle_line("start"), Err(SessionError::State(_))));
         assert!(matches!(session.handle_line("nonsense"), Err(SessionError::Parse(_))));
         assert!(matches!(
             session.handle_line("init-analyzer cycle=0"),
             Err(SessionError::State(_))
         ));
-        session
-            .handle_line("configure device=ghost rs=512 rn=0 rd=0 load=10")
-            .unwrap();
+        session.handle_line("configure device=ghost rs=512 rn=0 rd=0 load=10").unwrap();
         // Unknown device surfaces as NoTrace.
-        let mut ghost_session = CommandSession::new(
-            |_: &str| None::<ArraySim>,
-            |_, _| Some(test_trace(10)),
-        );
-        ghost_session
-            .handle_line("configure device=ghost rs=512 rn=0 rd=0 load=10")
-            .unwrap();
+        let mut ghost_session =
+            CommandSession::new(|_: &str| None::<ArraySim>, |_, _| Some(test_trace(10)));
+        ghost_session.handle_line("configure device=ghost rs=512 rn=0 rd=0 load=10").unwrap();
         assert!(matches!(ghost_session.handle_line("start"), Err(SessionError::NoTrace(_))));
         // Abort clears pending config.
         session.handle_line("abort").unwrap();

@@ -58,24 +58,28 @@ pub mod orchestrate;
 pub mod report;
 pub mod techniques;
 
-pub use analysis::{coefficient_of_variation, linear_fit, mean, pearson, relative_spread, LinearFit};
+pub use analysis::{
+    coefficient_of_variation, linear_fit, mean, pearson, relative_spread, LinearFit,
+};
 pub use db::{Database, DbError, PowerData, TestRecord};
 pub use distributed::{run_parallel, EvaluationJob};
 pub use host::{CommandSession, EvaluationHost, SessionError, TestOutcome};
 pub use messages::{format_command, parse_command, HostCommand, ParseError, Report};
 pub use metrics::{load_accuracy, load_proportion, AccuracyRow, EfficiencyMetrics};
 pub use net::{GeneratorServer, HostClient};
-pub use orchestrate::{load_sweep, repeated_trials, run_sweep, LoadSweepResult, SweepConfig, TrialStat, TrialSummary};
+pub use orchestrate::{
+    load_sweep, repeated_trials, run_sweep, LoadSweepResult, SweepConfig, TrialStat, TrialSummary,
+};
 pub use techniques::{compare_policies, ConservationPolicy, PolicyOutcome};
 
 /// Everything an application typically needs, including the lower layers.
 pub mod prelude {
+    pub use crate::techniques::{compare_policies, ConservationPolicy, PolicyOutcome};
     pub use crate::{
         load_accuracy, load_proportion, load_sweep, run_parallel, run_sweep, AccuracyRow,
         CommandSession, Database, EfficiencyMetrics, EvaluationHost, EvaluationJob,
         LoadSweepResult, SweepConfig, TestRecord,
     };
-    pub use crate::techniques::{compare_policies, ConservationPolicy, PolicyOutcome};
     pub use tracer_power::{Channel, EnergyReport, NoiseModel, PowerAnalyzer, PowerMeter};
     pub use tracer_replay::{
         replay, scale_intensity, AddressPolicy, LoadControl, PerformanceMonitor,

@@ -12,8 +12,15 @@
 //! The wire format is the GUI text protocol, one command per line; responses
 //! are `ok …` or `err …` lines. The extra verb `quit` (wire-only; not part of
 //! the command grammar) ends the server's accept loop.
+//!
+//! A generator drives one array and therefore serves **one host at a time**:
+//! while a connection is active, any further connection is answered with a
+//! single `err busy` line and closed immediately rather than silently queued
+//! behind the active session. Hosts that need concurrency use the job service
+//! in the `tracer-serve` crate instead.
 
 use crate::host::{CommandSession, SessionError};
+use crate::messages::{format_job_command, parse_reply, JobCommand, Reply};
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -35,6 +42,9 @@ impl GeneratorServer {
     /// Bind to an ephemeral localhost port and serve in a background thread.
     /// `build_array` constructs the device under test per run; `load_trace`
     /// resolves `(device, mode)` to the trace to replay.
+    ///
+    /// One connection is served at a time; a second concurrent connection
+    /// receives `err busy` and is closed.
     pub fn spawn<B, L>(build_array: B, load_trace: L) -> io::Result<Self>
     where
         B: FnMut(&str) -> Option<ArraySim> + Send + 'static,
@@ -44,8 +54,7 @@ impl GeneratorServer {
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let flag = Arc::clone(&stop);
-        let handle =
-            std::thread::spawn(move || serve(listener, flag, build_array, load_trace));
+        let handle = std::thread::spawn(move || serve(listener, flag, build_array, load_trace));
         Ok(Self { addr, stop, handle: Some(handle) })
     }
 
@@ -89,49 +98,79 @@ where
     L: FnMut(&str, &WorkloadMode) -> Option<Trace>,
 {
     // One long-lived session: results accumulate across connections, like the
-    // generator machine's process does.
+    // generator machine's process does. The listener is non-blocking so the
+    // loop can interleave admission control (rejecting extra connections with
+    // `err busy`) with serving the active one.
+    listener.set_nonblocking(true)?;
     let mut session = CommandSession::new(build_array, load_trace);
-    'accept: for stream in listener.incoming() {
+    let mut active: Option<(BufReader<TcpStream>, BufWriter<TcpStream>)> = None;
+    loop {
         if stop.load(Ordering::SeqCst) {
             break;
         }
-        let stream = stream?;
-        // A finite read timeout lets the server notice a shutdown request
-        // even while a client connection sits idle.
-        stream.set_read_timeout(Some(Duration::from_millis(100)))?;
-        let mut reader = BufReader::new(stream.try_clone()?);
-        let mut writer = BufWriter::new(stream);
-        loop {
-            let mut line = String::new();
-            match reader.read_line(&mut line) {
-                Ok(0) => continue 'accept, // client hung up cleanly
-                Ok(_) => {}
-                Err(e)
-                    if e.kind() == io::ErrorKind::WouldBlock
-                        || e.kind() == io::ErrorKind::TimedOut =>
-                {
-                    if stop.load(Ordering::SeqCst) {
-                        break 'accept;
-                    }
-                    continue;
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if active.is_some() {
+                    // Documented single-session contract: tell the extra host
+                    // it lost the race instead of queueing it silently.
+                    let mut writer = BufWriter::new(stream);
+                    let _ = writer.write_all(b"err busy\n");
+                    let _ = writer.flush();
+                } else {
+                    // A finite read timeout lets the server notice a shutdown
+                    // request and waiting clients while this one sits idle.
+                    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+                    let reader = BufReader::new(stream.try_clone()?);
+                    active = Some((reader, BufWriter::new(stream)));
                 }
-                Err(_) => continue 'accept, // client vanished mid-line
             }
-            let body = line.trim();
-            if body.is_empty() {
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+        let Some((reader, writer)) = active.as_mut() else {
+            std::thread::sleep(Duration::from_millis(5));
+            continue;
+        };
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) => {
+                active = None; // client hung up cleanly
                 continue;
             }
-            if body == "quit" || stop.load(Ordering::SeqCst) {
-                break 'accept;
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue;
             }
-            let reply = match session.handle_line(body) {
-                Ok(ok) => ok,
-                Err(SessionError::Parse(e)) => format!("err {e}"),
-                Err(e) => format!("err {e}"),
-            };
-            writer.write_all(reply.as_bytes())?;
-            writer.write_all(b"\n")?;
-            writer.flush()?;
+            Err(_) => {
+                active = None; // client vanished mid-line
+                continue;
+            }
+        }
+        let body = line.trim();
+        if body.is_empty() {
+            continue;
+        }
+        if body == "quit" {
+            break;
+        }
+        let reply = match session.handle_line(body) {
+            Ok(ok) => ok,
+            Err(SessionError::Parse(e)) => format!("err {e}"),
+            Err(e) => format!("err {e}"),
+        };
+        // A failed write means the client disconnected between command and
+        // response (e.g. abruptly mid-exchange); drop the connection and keep
+        // serving — the generator process must outlive any one host.
+        let sent = writer
+            .write_all(reply.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush());
+        if sent.is_err() {
+            active = None;
         }
     }
     Ok(())
@@ -168,6 +207,65 @@ impl HostClient {
     pub fn send(&mut self, cmd: &crate::messages::HostCommand) -> io::Result<String> {
         self.send_line(&crate::messages::format_command(cmd))
     }
+
+    /// Send a typed job command (the `tracer-serve` protocol) and parse the
+    /// response line. Malformed responses map to [`io::ErrorKind::InvalidData`].
+    pub fn send_job(&mut self, cmd: &JobCommand) -> io::Result<Reply> {
+        let line = self.send_line(&format_job_command(cmd))?;
+        parse_reply(&line).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Submit a job; `Ok(Ok(id))` on acceptance, `Ok(Err(reply))` on a
+    /// protocol-level rejection such as `err busy`.
+    pub fn submit_job(
+        &mut self,
+        device: &str,
+        mode: WorkloadMode,
+        intensity_pct: u32,
+        name: Option<&str>,
+    ) -> io::Result<Result<u64, Reply>> {
+        let reply = self.send_job(&JobCommand::Submit {
+            device: device.to_string(),
+            mode,
+            intensity_pct,
+            name: name.map(str::to_string),
+        })?;
+        match reply.id() {
+            Some(id) if reply.ok => Ok(Ok(id)),
+            _ => Ok(Err(reply)),
+        }
+    }
+
+    /// Query a job's lifecycle state (`queued`, `running`, `done`, `failed`,
+    /// `cancelled`); `Ok(Err(reply))` when the id is unknown.
+    pub fn job_status(&mut self, id: u64) -> io::Result<Result<String, Reply>> {
+        let reply = self.send_job(&JobCommand::Status { id })?;
+        match reply.field("state") {
+            Some(state) if reply.ok => Ok(Ok(state.to_string())),
+            _ => Ok(Err(reply)),
+        }
+    }
+
+    /// Fetch a finished job's metrics; `Ok(Err(reply))` while it is still
+    /// pending or if it failed / was cancelled.
+    pub fn job_result(&mut self, id: u64) -> io::Result<Result<Reply, Reply>> {
+        let reply = self.send_job(&JobCommand::Result { id })?;
+        if reply.ok {
+            Ok(Ok(reply))
+        } else {
+            Ok(Err(reply))
+        }
+    }
+
+    /// Cancel a queued job; `Ok(Err(reply))` when it already ran or finished.
+    pub fn cancel_job(&mut self, id: u64) -> io::Result<Result<(), Reply>> {
+        let reply = self.send_job(&JobCommand::Cancel { id })?;
+        if reply.ok {
+            Ok(Ok(()))
+        } else {
+            Ok(Err(reply))
+        }
+    }
 }
 
 #[cfg(test)]
@@ -203,9 +301,8 @@ mod tests {
 
         let r = client.send_line("init-analyzer cycle=1000").unwrap();
         assert!(r.starts_with("ok"), "{r}");
-        let r = client
-            .send_line("configure device=raid5-hdd4 rs=4096 rn=50 rd=100 load=50")
-            .unwrap();
+        let r =
+            client.send_line("configure device=raid5-hdd4 rs=4096 rn=50 rd=100 load=50").unwrap();
         assert!(r.contains("configured"), "{r}");
         let r = client.send_line("start").unwrap();
         assert!(r.contains("iops="), "{r}");
@@ -220,11 +317,7 @@ mod tests {
         let mut client = HostClient::connect(server.addr()).unwrap();
         let mode = WorkloadMode::peak(4096, 0, 100).at_load(20);
         let r = client
-            .send(&HostCommand::Configure {
-                device: "raid5-hdd4".into(),
-                mode,
-                intensity_pct: 100,
-            })
+            .send(&HostCommand::Configure { device: "raid5-hdd4".into(), mode, intensity_pct: 100 })
             .unwrap();
         assert!(r.contains("configured"));
         let r = client.send(&HostCommand::Start).unwrap();
@@ -241,10 +334,67 @@ mod tests {
         let r = client.send_line("start").unwrap();
         assert!(r.starts_with("err"), "start before configure: {r}");
         // The session survives errors.
-        let r = client
-            .send_line("configure device=raid5-hdd4 rs=4096 rn=0 rd=0 load=100")
-            .unwrap();
+        let r = client.send_line("configure device=raid5-hdd4 rs=4096 rn=0 rd=0 load=100").unwrap();
         assert!(r.starts_with("ok"));
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn second_concurrent_connection_is_rejected_busy() {
+        let server = spawn_server();
+        let mut first = HostClient::connect(server.addr()).unwrap();
+        let r = first.send_line("init-analyzer cycle=1000").unwrap();
+        assert!(r.starts_with("ok"), "{r}");
+
+        // While the first session is active, a second host is turned away
+        // with a single busy line rather than queued.
+        let mut second = HostClient::connect(server.addr()).unwrap();
+        let r = second.send_line("finalize-analyzer").unwrap();
+        assert_eq!(r, "err busy");
+
+        // The first session is unaffected.
+        let r = first.send_line("finalize-analyzer").unwrap();
+        assert!(r.starts_with("ok"), "{r}");
+
+        // Once the first host hangs up, a fresh connection is admitted.
+        drop(first);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            let mut next = HostClient::connect(server.addr()).unwrap();
+            match next.send_line("init-analyzer cycle=500") {
+                Ok(r) if r.starts_with("ok") => break,
+                Ok(r) => assert_eq!(r, "err busy", "unexpected reply {r}"),
+                Err(_) => {} // rejected connection already closed
+            }
+            assert!(std::time::Instant::now() < deadline, "server never freed the slot");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn abrupt_disconnect_mid_command_keeps_server_alive() {
+        let server = spawn_server();
+        {
+            // Write half a command with no newline, then vanish.
+            let mut raw = TcpStream::connect(server.addr()).unwrap();
+            raw.write_all(b"configure device=raid5-hdd4 rs=4096").unwrap();
+            raw.flush().unwrap();
+            std::thread::sleep(Duration::from_millis(30));
+        } // dropped: TCP reset/EOF mid-line
+
+        // The server must shrug it off and admit the next host.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            let mut next = HostClient::connect(server.addr()).unwrap();
+            match next.send_line("init-analyzer cycle=1000") {
+                Ok(r) if r.starts_with("ok") => break,
+                Ok(r) => assert_eq!(r, "err busy", "unexpected reply {r}"),
+                Err(_) => {}
+            }
+            assert!(std::time::Instant::now() < deadline, "server wedged after abrupt disconnect");
+            std::thread::sleep(Duration::from_millis(20));
+        }
         server.shutdown().unwrap();
     }
 
@@ -253,14 +403,25 @@ mod tests {
         let server = spawn_server();
         {
             let mut c1 = HostClient::connect(server.addr()).unwrap();
-            c1.send_line("configure device=raid5-hdd4 rs=4096 rn=0 rd=100 load=100")
-                .unwrap();
+            c1.send_line("configure device=raid5-hdd4 rs=4096 rn=0 rd=100 load=100").unwrap();
             let r = c1.send_line("start").unwrap();
             assert!(r.contains("iops="), "{r}");
         } // c1 disconnects
-        let mut c2 = HostClient::connect(server.addr()).unwrap();
-        let r = c2.send_line("query device=raid5-hdd4").unwrap();
-        assert!(r.contains("count=1"), "results persisted across connections: {r}");
+          // The server may reject with `err busy` until it reaps c1's EOF.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            let mut c2 = HostClient::connect(server.addr()).unwrap();
+            match c2.send_line("query device=raid5-hdd4") {
+                Ok(r) if r.starts_with("ok") => {
+                    assert!(r.contains("count=1"), "results persisted across connections: {r}");
+                    break;
+                }
+                Ok(r) => assert_eq!(r, "err busy", "unexpected reply {r}"),
+                Err(_) => {}
+            }
+            assert!(std::time::Instant::now() < deadline, "server never freed the slot");
+            std::thread::sleep(Duration::from_millis(20));
+        }
         server.shutdown().unwrap();
     }
 }

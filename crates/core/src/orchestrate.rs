@@ -56,13 +56,8 @@ where
     let mut measured: Vec<(u32, f64, f64)> = Vec::with_capacity(levels.len());
     for &pct in &levels {
         let mut sim = build_array();
-        let outcome = host.run_test(
-            &mut sim,
-            trace,
-            mode.at_load(pct),
-            100,
-            &format!("{label}-load{pct}"),
-        );
+        let outcome =
+            host.run_test(&mut sim, trace, mode.at_load(pct), 100, &format!("{label}-load{pct}"));
         record_ids.push(outcome.record_id);
         measured.push((pct, outcome.metrics.iops, outcome.metrics.mbps));
     }
@@ -115,7 +110,8 @@ where
     let mut results = Vec::with_capacity(total);
     for (i, &mode) in cfg.modes.iter().enumerate() {
         let trace = trace_for_mode(&mode);
-        let label = format!("sweep-rs{}-rn{}-rd{}", mode.request_bytes, mode.random_pct, mode.read_pct);
+        let label =
+            format!("sweep-rs{}-rn{}-rd{}", mode.request_bytes, mode.random_pct, mode.read_pct);
         results.push(load_sweep(host, &mut build_array, &trace, mode, &cfg.loads, &label));
         progress(i + 1, total);
     }
@@ -193,9 +189,8 @@ where
     for trial in 0..trials {
         let trace = trace_for_seed(trial as u64);
         let mut sim = build_array();
-        let m = host
-            .run_test(&mut sim, &trace, mode, 100, &format!("{label}-trial{trial}"))
-            .metrics;
+        let m =
+            host.run_test(&mut sim, &trace, mode, 100, &format!("{label}-trial{trial}")).metrics;
         iops.push(m.iops);
         mbps.push(m.mbps);
         watts.push(m.avg_watts);
@@ -235,14 +230,8 @@ mod tests {
         let mut host = EvaluationHost::new();
         let trace = fixed_trace(200, 4096);
         let mode = WorkloadMode::peak(4096, 50, 100);
-        let result = load_sweep(
-            &mut host,
-            || presets::hdd_raid5(4),
-            &trace,
-            mode,
-            &[20, 50, 80],
-            "unit",
-        );
+        let result =
+            load_sweep(&mut host, || presets::hdd_raid5(4), &trace, mode, &[20, 50, 80], "unit");
         assert_eq!(result.loads, vec![20, 50, 80, 100]);
         assert_eq!(result.record_ids.len(), 4);
         assert_eq!(host.db.len(), 4);

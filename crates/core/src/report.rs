@@ -54,8 +54,7 @@ pub fn summary(db: &Database) -> String {
     for device in devices {
         let recs = db.query(|r| r.device == device);
         let best_ipw = recs.iter().map(|r| r.efficiency.iops_per_watt).fold(0.0, f64::max);
-        let best_mpk =
-            recs.iter().map(|r| r.efficiency.mbps_per_kilowatt).fold(0.0, f64::max);
+        let best_mpk = recs.iter().map(|r| r.efficiency.mbps_per_kilowatt).fold(0.0, f64::max);
         let max_w = recs.iter().map(|r| r.efficiency.avg_watts).fold(0.0, f64::max);
         let _ = writeln!(
             out,
@@ -70,8 +69,7 @@ pub fn summary(db: &Database) -> String {
 pub fn markdown(db: &Database) -> String {
     let mut out = summary(db);
     out.push('\n');
-    let devices: BTreeSet<String> =
-        db.records().iter().map(|r| r.device.clone()).collect();
+    let devices: BTreeSet<String> = db.records().iter().map(|r| r.device.clone()).collect();
     for device in devices {
         out.push_str(&device_table(db, &device));
         out.push('\n');
@@ -94,7 +92,12 @@ mod tests {
                 label: "t".into(),
                 device: device.into(),
                 mode: WorkloadMode::peak(4096, 50, 0).at_load(load),
-                power: PowerData { volts: 220.0, avg_amps: 0.2, avg_watts: 44.0, energy_joules: 1.0 },
+                power: PowerData {
+                    volts: 220.0,
+                    avg_amps: 0.2,
+                    avg_watts: 44.0,
+                    energy_joules: 1.0,
+                },
                 perf: Default::default(),
                 efficiency: EfficiencyMetrics {
                     iops,

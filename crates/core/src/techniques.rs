@@ -89,9 +89,9 @@ impl ConservationPolicy {
                 let devices = devices
                     .into_iter()
                     .map(|d| match d {
-                        Device::Hdd(h) => Device::Hdd(tracer_sim::hdd::HddModel::new(
-                            h.params().derated(factor),
-                        )),
+                        Device::Hdd(h) => {
+                            Device::Hdd(tracer_sim::hdd::HddModel::new(h.params().derated(factor)))
+                        }
                         ssd => ssd,
                     })
                     .collect();
@@ -151,8 +151,7 @@ where
     for policy in &all {
         let (cfg, devices) = build_parts();
         let mut sim = policy.build(cfg, devices);
-        let outcome =
-            host.run_test(&mut sim, trace, mode, 100, &format!("{label}/{policy}"));
+        let outcome = host.run_test(&mut sim, trace, mode, 100, &format!("{label}/{policy}"));
         let m = outcome.metrics;
         let (baseline_energy, baseline_resp) = outcomes
             .first()
@@ -192,9 +191,7 @@ mod tests {
         Trace::from_bunches(
             "sparse",
             (0..8u64)
-                .map(|i| {
-                    Bunch::new(i * 30_000_000_000, vec![IoPackage::read(i * 4096, 8192)])
-                })
+                .map(|i| Bunch::new(i * 30_000_000_000, vec![IoPackage::read(i * 4096, 8192)]))
                 .collect(),
         )
     }
@@ -204,12 +201,7 @@ mod tests {
         Trace::from_bunches(
             "hot",
             (0..300u64)
-                .map(|i| {
-                    Bunch::new(
-                        i * 20_000_000,
-                        vec![IoPackage::read((i % 16) * 128, 16384)],
-                    )
-                })
+                .map(|i| Bunch::new(i * 20_000_000, vec![IoPackage::read((i % 16) * 128, 16384)]))
                 .collect(),
         )
     }
@@ -311,9 +303,6 @@ mod tests {
             .to_string()
             .contains("disk 2"));
         assert_eq!(ConservationPolicy::WriteBackCache.to_string(), "write-back-cache");
-        assert_eq!(
-            ConservationPolicy::LowRpm { factor_pct: 50 }.to_string(),
-            "low-rpm(50%)"
-        );
+        assert_eq!(ConservationPolicy::LowRpm { factor_pct: 50 }.to_string(), "low-rpm(50%)");
     }
 }

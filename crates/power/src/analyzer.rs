@@ -241,7 +241,8 @@ mod tests {
     #[test]
     fn zero_length_window() {
         let l = log(10.0);
-        let report = PowerAnalyzer::measure_window(&l, SimTime::from_secs(2), SimTime::from_secs(2));
+        let report =
+            PowerAnalyzer::measure_window(&l, SimTime::from_secs(2), SimTime::from_secs(2));
         assert!(report.samples.is_empty());
         assert_eq!(report.exact_joules, 0.0);
         assert_eq!(report.avg_watts, 0.0);

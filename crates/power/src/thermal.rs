@@ -85,7 +85,12 @@ impl ThermalModel {
     /// Temperature samples over `[0, to]` at the given cadence (the final
     /// sample lands exactly on `to`). Segment boundaries of the power signal
     /// are handled exactly; samples interpolate the closed-form solution.
-    pub fn trace(&self, power: &PowerTimeline, to: SimTime, cadence: SimDuration) -> Vec<TempSample> {
+    pub fn trace(
+        &self,
+        power: &PowerTimeline,
+        to: SimTime,
+        cadence: SimDuration,
+    ) -> Vec<TempSample> {
         assert!(!cadence.is_zero(), "cadence must be positive");
         let mut samples = Vec::new();
         let mut temp = self.ambient_c;

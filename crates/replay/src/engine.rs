@@ -142,8 +142,7 @@ pub fn replay_prepared_with_warmup(
     let measured_from = (started + warmup).min(bump(finished));
 
     let summary = PerformanceMonitor::summarize(&completions, measured_from, bump(finished));
-    let samples =
-        PerformanceMonitor::default().bin(&completions, measured_from, bump(finished));
+    let samples = PerformanceMonitor::default().bin(&completions, measured_from, bump(finished));
 
     ReplayReport {
         started,
@@ -177,8 +176,7 @@ pub fn replay_afap(
     let mut issued_bytes = 0u64;
 
     // Flatten the trace into issue order.
-    let ios: Vec<tracer_trace::IoPackage> =
-        trace.iter_ios().map(|(_, io)| *io).collect();
+    let ios: Vec<tracer_trace::IoPackage> = trace.iter_ios().map(|(_, io)| *io).collect();
     let mut next = 0usize;
     let mut issue = |sim: &mut ArraySim, at: SimTime, next: &mut usize| -> bool {
         while *next < ios.len() {
@@ -379,8 +377,7 @@ mod tests {
         let report = replay(&mut sim, &t, &ReplayConfig::default());
         let serial_estimate: f64 =
             report.completions.iter().map(|c| c.latency().as_millis_f64()).sum();
-        let makespan =
-            report.completions.last().unwrap().completed.as_secs_f64() * 1e3;
+        let makespan = report.completions.last().unwrap().completed.as_secs_f64() * 1e3;
         assert!(
             makespan < serial_estimate * 0.8,
             "concurrent bunch: makespan {makespan}ms vs serial {serial_estimate}ms"

@@ -143,7 +143,9 @@ mod tests {
         Trace::from_bunches(
             "t",
             (0..n)
-                .map(|i| Bunch::new(i as u64 * 1_000_000, vec![IoPackage::read(i as u64 * 8, 4096)]))
+                .map(|i| {
+                    Bunch::new(i as u64 * 1_000_000, vec![IoPackage::read(i as u64 * 8, 4096)])
+                })
                 .collect(),
         )
     }
@@ -221,10 +223,7 @@ mod tests {
         for pct in [10u32, 30, 50, 70, 90] {
             let kept = f.filter(&t, pct).total_bytes() as f64;
             let ratio = kept / full_bytes;
-            assert!(
-                (ratio - f64::from(pct) / 100.0).abs() < 0.005,
-                "pct {pct}: kept {ratio}"
-            );
+            assert!((ratio - f64::from(pct) / 100.0).abs() < 0.005, "pct {pct}: kept {ratio}");
         }
     }
 
@@ -261,11 +260,7 @@ mod tests {
         // differ by at most one slot.
         let t = trace_of(5_000);
         let gaps = |trace: &Trace| -> Vec<i64> {
-            trace
-                .bunches
-                .windows(2)
-                .map(|w| (w[1].timestamp - w[0].timestamp) as i64)
-                .collect()
+            trace.bunches.windows(2).map(|w| (w[1].timestamp - w[0].timestamp) as i64).collect()
         };
         let variance = |v: &[i64]| -> f64 {
             let mean = v.iter().sum::<i64>() as f64 / v.len() as f64;

@@ -193,10 +193,8 @@ mod tests {
 
     #[test]
     fn completions_outside_window_ignored() {
-        let completions = vec![
-            completion(100, 1, 512, OpKind::Read),
-            completion(5_000, 1, 512, OpKind::Read),
-        ];
+        let completions =
+            vec![completion(100, 1, 512, OpKind::Read), completion(5_000, 1, 512, OpKind::Read)];
         let m = PerformanceMonitor::default();
         let bins = m.bin(&completions, SimTime::ZERO, SimTime::from_secs(1));
         assert_eq!(bins.iter().map(|b| b.ios).sum::<u64>(), 1);
@@ -231,9 +229,8 @@ mod tests {
 
     #[test]
     fn percentiles_nearest_rank() {
-        let completions: Vec<Completion> = (1..=100u64)
-            .map(|i| completion(i * 10, i, 512, OpKind::Read))
-            .collect();
+        let completions: Vec<Completion> =
+            (1..=100u64).map(|i| completion(i * 10, i, 512, OpKind::Read)).collect();
         let s = PerformanceMonitor::summarize(&completions, SimTime::ZERO, SimTime::from_secs(2));
         assert!((s.p50_response_ms - 50.0).abs() < 1e-9);
         assert!((s.p95_response_ms - 95.0).abs() < 1e-9);

@@ -265,7 +265,9 @@ mod tests {
                 .map(|i| {
                     Bunch::new(
                         i as u64 * gap_ms * 1_000_000,
-                        (0..per_bunch).map(|j| IoPackage::read((i * 64 + j * 8) as u64, 4096)).collect(),
+                        (0..per_bunch)
+                            .map(|j| IoPackage::read((i * 64 + j * 8) as u64, 4096))
+                            .collect(),
                     )
                 })
                 .collect(),

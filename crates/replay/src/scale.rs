@@ -63,7 +63,8 @@ impl LoadControl {
 
     /// Apply both controls to a trace.
     pub fn apply(&self, trace: &Trace) -> Trace {
-        let filtered = crate::filter::ProportionalFilter::default().filter(trace, self.proportion_pct);
+        let filtered =
+            crate::filter::ProportionalFilter::default().filter(trace, self.proportion_pct);
         if self.intensity_pct == 100 {
             filtered
         } else {
@@ -129,8 +130,14 @@ mod tests {
 
     #[test]
     fn load_control_constructors() {
-        assert_eq!(LoadControl::proportion(40), LoadControl { proportion_pct: 40, intensity_pct: 100 });
-        assert_eq!(LoadControl::intensity(500), LoadControl { proportion_pct: 100, intensity_pct: 500 });
+        assert_eq!(
+            LoadControl::proportion(40),
+            LoadControl { proportion_pct: 40, intensity_pct: 100 }
+        );
+        assert_eq!(
+            LoadControl::intensity(500),
+            LoadControl { proportion_pct: 100, intensity_pct: 500 }
+        );
         assert_eq!(LoadControl::default().apply(&trace_of(3)), trace_of(3));
     }
 

@@ -1,0 +1,78 @@
+//! `tracer-serve` — the concurrent evaluation service as a deployable binary.
+//!
+//! Flags are the `tracer serve` flags (`--repo`, `--array`, `--workers`,
+//! `--queue`); parsing is delegated to the core CLI so both front-ends stay
+//! in sync. The process serves until a client sends the `shutdown` verb.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use tracer_core::cli::{self, ArrayChoice, Command};
+use tracer_serve::server::JobServer;
+use tracer_serve::ServiceConfig;
+use tracer_trace::{TraceRepository, WorkloadMode};
+
+fn main() -> ExitCode {
+    // Reuse the core parser by prepending the verb it expects.
+    let mut args = vec!["serve".to_string()];
+    args.extend(std::env::args().skip(1));
+    if args.iter().any(|a| a == "help" || a == "--help" || a == "-h") {
+        print_usage();
+        return ExitCode::SUCCESS;
+    }
+    let (repo, array, workers, queue) = match cli::parse(&args) {
+        Ok(Command::Serve { repo, array, workers, queue }) => (repo, array, workers, queue),
+        Ok(_) => unreachable!("the serve verb parses to Command::Serve"),
+        Err(e) => {
+            eprintln!("tracer-serve: {e}");
+            print_usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    match serve(repo, array, workers, queue) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("tracer-serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn serve(
+    repo: std::path::PathBuf,
+    array: ArrayChoice,
+    workers: usize,
+    queue: usize,
+) -> Result<(), String> {
+    let repo = TraceRepository::open(&repo).map_err(|e| e.to_string())?;
+    let device = array.build().config().name.clone();
+    let build: tracer_serve::server::BuildArray =
+        Arc::new(move |requested: &str| (requested == device).then(|| array.build()));
+    let load: tracer_serve::server::LoadTrace =
+        Arc::new(move |dev: &str, mode: &WorkloadMode| repo.load(dev, mode).ok());
+    let config = ServiceConfig {
+        workers: workers.max(1),
+        queue_capacity: ServiceConfig::resolved_capacity(workers.max(1), queue),
+    };
+    let server = JobServer::spawn(config, build, load).map_err(|e| e.to_string())?;
+    println!(
+        "evaluation service on {} ({} workers, queue capacity {})",
+        server.addr(),
+        config.workers,
+        config.queue_capacity
+    );
+    println!("verbs: submit status result cancel quit shutdown");
+    server.wait().map_err(|e| e.to_string())
+}
+
+fn print_usage() {
+    println!(
+        "tracer-serve — concurrent evaluation service (bounded queue + worker pool)
+
+USAGE:
+  tracer-serve --repo DIR [--array hdd4|hdd6|ssd4] [--workers N] [--queue N]
+
+Jobs arrive over TCP as `submit device=... rs=... rn=... rd=... load=...`
+lines; `status`/`result`/`cancel` manage them, `shutdown` drains and stops.
+A full queue answers `err busy`."
+    );
+}

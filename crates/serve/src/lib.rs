@@ -1,0 +1,505 @@
+//! `tracer-serve`: a multi-client concurrent evaluation service.
+//!
+//! The paper's deployment pairs one evaluation host with one workload
+//! generator (§III-A1); the generator in [`tracer_core::net`] therefore
+//! serves a single session and turns extra hosts away with `err busy`. This
+//! crate scales that deployment up: many hosts submit evaluation jobs over
+//! TCP, a **bounded queue** admits or rejects them (no unbounded buffering),
+//! and a **worker pool** — each worker owning its own [`ArraySim`] factory and
+//! [`EvaluationHost`] — drains the queue and persists every result in one
+//! shared results [`Database`].
+//!
+//! Lifecycle of a job: `submit` → *queued* → *running* → *done* / *failed*,
+//! with *cancelled* reachable from *queued* only (the simulator runs a test
+//! to completion once started, exactly like the serial path, so results are
+//! bit-identical to a serial baseline). Admission control is the `try_send`
+//! on the bounded channel: a full queue answers `err busy` immediately.
+//!
+//! Graceful shutdown refuses new submissions, lets the workers drain every
+//! queued job, then joins them — in-flight work is never dropped.
+//!
+//! The module split mirrors the core crate: [`EvalService`] here is the
+//! engine (queue + workers + registry), [`server::JobServer`] puts it behind
+//! the line protocol of [`tracer_core::messages`].
+
+pub mod server;
+
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use tracer_core::db::Database;
+use tracer_core::distributed::EvaluationJob;
+use tracer_core::host::EvaluationHost;
+use tracer_core::metrics::EfficiencyMetrics;
+
+/// Tuning knobs of the service.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Worker threads, each with its own [`EvaluationHost`].
+    pub workers: usize,
+    /// Bounded queue capacity; submissions beyond it are rejected busy.
+    pub queue_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self { workers: 4, queue_capacity: 8 }
+    }
+}
+
+impl ServiceConfig {
+    /// Capacity defaulting rule shared with the CLI: 0 means 2 × workers.
+    pub fn resolved_capacity(workers: usize, queue_capacity: usize) -> usize {
+        if queue_capacity == 0 {
+            workers.max(1) * 2
+        } else {
+            queue_capacity
+        }
+    }
+}
+
+/// Lifecycle state of one job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted, waiting for a worker.
+    Queued,
+    /// A worker is replaying it.
+    Running,
+    /// Finished; metrics and a database record exist.
+    Done,
+    /// The evaluation panicked; the error text is kept.
+    Failed,
+    /// Cancelled while still queued; never ran.
+    Cancelled,
+}
+
+impl fmt::Display for JobState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+        })
+    }
+}
+
+/// Point-in-time view of a job.
+#[derive(Debug, Clone)]
+pub struct JobSnapshot {
+    /// Job id assigned at submission.
+    pub id: u64,
+    /// Label stored with the result.
+    pub name: String,
+    /// Current lifecycle state.
+    pub state: JobState,
+    /// Record id in the shared database once done.
+    pub record_id: Option<u64>,
+    /// Efficiency metrics once done.
+    pub metrics: Option<EfficiencyMetrics>,
+    /// Panic message when failed.
+    pub error: Option<String>,
+}
+
+struct JobEntry {
+    name: String,
+    state: JobState,
+    record_id: Option<u64>,
+    metrics: Option<EfficiencyMetrics>,
+    error: Option<String>,
+}
+
+/// Why a submission was not accepted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is full; retry later.
+    Busy {
+        /// The configured queue capacity (for the busy reply).
+        capacity: usize,
+    },
+    /// Shutdown has begun; no new jobs.
+    ShuttingDown,
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::Busy { capacity } => write!(f, "busy (queue capacity {capacity})"),
+            SubmitError::ShuttingDown => f.write_str("shutting down"),
+        }
+    }
+}
+
+/// Why a cancellation was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CancelError {
+    /// No job with that id.
+    Unknown,
+    /// The job already left the queue; its state is attached.
+    NotCancellable(JobState),
+}
+
+/// The evaluation engine: bounded queue + worker pool + job registry +
+/// shared results database.
+pub struct EvalService {
+    shared: Arc<Shared>,
+    tx: Mutex<Option<Sender<(u64, EvaluationJob)>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    queue_capacity: usize,
+}
+
+struct Shared {
+    accepting: AtomicBool,
+    next_id: AtomicU64,
+    jobs: Mutex<HashMap<u64, JobEntry>>,
+    db: Mutex<Database>,
+}
+
+impl EvalService {
+    /// Start the worker pool.
+    pub fn start(config: ServiceConfig) -> Self {
+        let workers = config.workers.max(1);
+        let capacity = ServiceConfig::resolved_capacity(workers, config.queue_capacity);
+        let (tx, rx) = bounded::<(u64, EvaluationJob)>(capacity);
+        let shared = Arc::new(Shared {
+            accepting: AtomicBool::new(true),
+            next_id: AtomicU64::new(1),
+            jobs: Mutex::new(HashMap::new()),
+            db: Mutex::new(Database::new()),
+        });
+        let handles = (0..workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let rx = rx.clone();
+                std::thread::spawn(move || worker_loop(&shared, &rx))
+            })
+            .collect();
+        Self {
+            shared,
+            tx: Mutex::new(Some(tx)),
+            workers: Mutex::new(handles),
+            queue_capacity: capacity,
+        }
+    }
+
+    /// The resolved bounded-queue capacity.
+    pub fn queue_capacity(&self) -> usize {
+        self.queue_capacity
+    }
+
+    /// Whether submissions are still admitted.
+    pub fn accepting(&self) -> bool {
+        self.shared.accepting.load(Ordering::SeqCst)
+    }
+
+    /// Admit one job, or reject it without buffering. An empty `job.name` is
+    /// replaced by `job-<id>`.
+    pub fn submit(&self, mut job: EvaluationJob) -> Result<u64, SubmitError> {
+        if !self.accepting() {
+            return Err(SubmitError::ShuttingDown);
+        }
+        let id = self.shared.next_id.fetch_add(1, Ordering::SeqCst);
+        if job.name.is_empty() {
+            job.name = format!("job-{id}");
+        }
+        let name = job.name.clone();
+        // Register before enqueueing so a worker can never pop an id that is
+        // not yet in the registry.
+        self.shared.jobs.lock().insert(
+            id,
+            JobEntry { name, state: JobState::Queued, record_id: None, metrics: None, error: None },
+        );
+        let result = match &*self.tx.lock() {
+            Some(tx) => tx.try_send((id, job)).map_err(|e| match e {
+                TrySendError::Full(_) => SubmitError::Busy { capacity: self.queue_capacity },
+                TrySendError::Disconnected(_) => SubmitError::ShuttingDown,
+            }),
+            None => Err(SubmitError::ShuttingDown),
+        };
+        match result {
+            Ok(()) => Ok(id),
+            Err(e) => {
+                self.shared.jobs.lock().remove(&id);
+                Err(e)
+            }
+        }
+    }
+
+    /// Look up a job.
+    pub fn status(&self, id: u64) -> Option<JobSnapshot> {
+        self.shared.jobs.lock().get(&id).map(|e| JobSnapshot {
+            id,
+            name: e.name.clone(),
+            state: e.state,
+            record_id: e.record_id,
+            metrics: e.metrics,
+            error: e.error.clone(),
+        })
+    }
+
+    /// Cancel a job that has not started; running or finished jobs are left
+    /// alone.
+    pub fn cancel(&self, id: u64) -> Result<(), CancelError> {
+        match self.shared.jobs.lock().get_mut(&id) {
+            None => Err(CancelError::Unknown),
+            Some(entry) if entry.state == JobState::Queued => {
+                entry.state = JobState::Cancelled;
+                Ok(())
+            }
+            Some(entry) => Err(CancelError::NotCancellable(entry.state)),
+        }
+    }
+
+    /// Jobs admitted but not yet in a terminal state.
+    pub fn outstanding(&self) -> usize {
+        self.shared
+            .jobs
+            .lock()
+            .values()
+            .filter(|e| matches!(e.state, JobState::Queued | JobState::Running))
+            .count()
+    }
+
+    /// Snapshot of every job, ordered by id.
+    pub fn snapshot(&self) -> Vec<JobSnapshot> {
+        let jobs = self.shared.jobs.lock();
+        let mut ids: Vec<u64> = jobs.keys().copied().collect();
+        ids.sort_unstable();
+        ids.iter()
+            .map(|&id| {
+                let e = &jobs[&id];
+                JobSnapshot {
+                    id,
+                    name: e.name.clone(),
+                    state: e.state,
+                    record_id: e.record_id,
+                    metrics: e.metrics,
+                    error: e.error.clone(),
+                }
+            })
+            .collect()
+    }
+
+    /// Run a closure against the shared results database.
+    pub fn with_db<R>(&self, f: impl FnOnce(&Database) -> R) -> R {
+        f(&self.shared.db.lock())
+    }
+
+    /// Stop admitting jobs and close the queue; workers keep draining what is
+    /// already queued.
+    pub fn begin_shutdown(&self) {
+        self.shared.accepting.store(false, Ordering::SeqCst);
+        // Dropping the only sender disconnects the channel once drained.
+        self.tx.lock().take();
+    }
+
+    /// Wait for the workers to finish every remaining job and exit.
+    pub fn await_drain(&self) {
+        let handles: Vec<_> = self.workers.lock().drain(..).collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+
+    /// Graceful shutdown: refuse new jobs, drain in-flight ones, join the
+    /// pool.
+    pub fn shutdown(&self) {
+        self.begin_shutdown();
+        self.await_drain();
+    }
+}
+
+impl Drop for EvalService {
+    fn drop(&mut self) {
+        self.begin_shutdown();
+        self.await_drain();
+    }
+}
+
+fn worker_loop(shared: &Shared, rx: &Receiver<(u64, EvaluationJob)>) {
+    // Each worker is a generator machine in miniature: its own host, its own
+    // analyzer per test (inside run_test), results copied into the shared db.
+    let mut host = EvaluationHost::new();
+    while let Ok((id, job)) = rx.recv() {
+        {
+            let mut jobs = shared.jobs.lock();
+            let entry = jobs.get_mut(&id).expect("registered before enqueue");
+            if entry.state == JobState::Cancelled {
+                continue;
+            }
+            entry.state = JobState::Running;
+        }
+        let EvaluationJob { name, build, trace, mode, intensity_pct } = job;
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let mut sim = build();
+            host.run_test(&mut sim, &trace, mode, intensity_pct, &name)
+        }));
+        let mut jobs = shared.jobs.lock();
+        let entry = jobs.get_mut(&id).expect("entry outlives the run");
+        match outcome {
+            Ok(out) => {
+                let record =
+                    host.db.get(out.record_id).cloned().expect("run_test stored the record");
+                let shared_record = shared.db.lock().insert(record);
+                entry.state = JobState::Done;
+                entry.record_id = Some(shared_record);
+                entry.metrics = Some(out.metrics);
+            }
+            Err(panic) => {
+                entry.state = JobState::Failed;
+                // `&*` reborrows the payload itself; a plain `&panic` would
+                // coerce the Box into `dyn Any` and defeat the downcasts.
+                entry.error = Some(panic_message(&*panic));
+            }
+        }
+    }
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "job panicked".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracer_sim::presets;
+    use tracer_trace::{Bunch, IoPackage, Trace, WorkloadMode};
+
+    fn small_trace(bunches: u64) -> Trace {
+        Trace::from_bunches(
+            "t",
+            (0..bunches)
+                .map(|i| {
+                    Bunch::new(i * 5_000_000, vec![IoPackage::read((i * 997) % 100_000, 4096)])
+                })
+                .collect(),
+        )
+    }
+
+    fn job(name: &str, bunches: u64, load: u32) -> EvaluationJob {
+        EvaluationJob::new(
+            name,
+            || presets::hdd_raid5(4),
+            small_trace(bunches),
+            WorkloadMode::peak(4096, 50, 100).at_load(load),
+        )
+    }
+
+    #[test]
+    fn jobs_run_to_done_and_results_land_in_the_shared_db() {
+        let service = EvalService::start(ServiceConfig { workers: 2, queue_capacity: 8 });
+        let a = service.submit(job("a", 50, 100)).unwrap();
+        let b = service.submit(job("b", 50, 50)).unwrap();
+        service.shutdown();
+        for id in [a, b] {
+            let snap = service.status(id).unwrap();
+            assert_eq!(snap.state, JobState::Done, "job {id}");
+            assert!(snap.metrics.unwrap().iops > 0.0);
+            let record = snap.record_id.unwrap();
+            assert!(service.with_db(|db| db.get(record).is_some()));
+        }
+        assert_eq!(service.with_db(Database::len), 2);
+    }
+
+    #[test]
+    fn empty_names_default_to_the_job_id() {
+        let service = EvalService::start(ServiceConfig { workers: 1, queue_capacity: 4 });
+        let id = service.submit(job("", 10, 100)).unwrap();
+        assert_eq!(service.status(id).unwrap().name, format!("job-{id}"));
+        service.shutdown();
+    }
+
+    #[test]
+    fn full_queue_rejects_without_buffering() {
+        // No workers draining yet: saturate the queue deterministically by
+        // occupying the only worker with jobs that cannot finish instantly.
+        let service = EvalService::start(ServiceConfig { workers: 1, queue_capacity: 2 });
+        // Occupy the worker long enough to keep the queue full.
+        service.submit(job("long", 4000, 100)).unwrap();
+        // These two sit in the queue...
+        let mut accepted = 1;
+        let mut rejected = 0;
+        for i in 0..8 {
+            match service.submit(job(&format!("j{i}"), 4000, 100)) {
+                Ok(_) => accepted += 1,
+                Err(SubmitError::Busy { capacity }) => {
+                    assert_eq!(capacity, 2);
+                    rejected += 1;
+                }
+                Err(other) => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(rejected >= 1, "bounded queue must reject ({accepted} accepted)");
+        assert!(accepted <= 4, "1 running + 2 queued + race headroom");
+        service.shutdown();
+        // Everything accepted still ran to completion during the drain.
+        assert!(service.snapshot().iter().all(|s| s.state == JobState::Done));
+    }
+
+    #[test]
+    fn queued_jobs_cancel_but_finished_jobs_do_not() {
+        let service = EvalService::start(ServiceConfig { workers: 1, queue_capacity: 4 });
+        let blocker = service.submit(job("blocker", 4000, 100)).unwrap();
+        let victim = service.submit(job("victim", 4000, 100)).unwrap();
+        // `victim` sits behind `blocker` on the single worker.
+        service.cancel(victim).expect("still queued");
+        assert_eq!(service.status(victim).unwrap().state, JobState::Cancelled);
+        assert_eq!(service.cancel(9999), Err(CancelError::Unknown));
+        service.shutdown();
+        assert_eq!(service.status(blocker).unwrap().state, JobState::Done);
+        // Terminal states refuse cancellation.
+        assert!(matches!(service.cancel(blocker), Err(CancelError::NotCancellable(_))));
+        assert_eq!(
+            service.status(victim).unwrap().state,
+            JobState::Cancelled,
+            "cancelled job must never run"
+        );
+        assert_eq!(service.with_db(Database::len), 1);
+    }
+
+    #[test]
+    fn panicking_jobs_fail_without_killing_the_worker() {
+        let service = EvalService::start(ServiceConfig { workers: 1, queue_capacity: 4 });
+        let bad = service
+            .submit(EvaluationJob::new(
+                "bad",
+                || panic!("device exploded"),
+                small_trace(5),
+                WorkloadMode::peak(4096, 0, 100),
+            ))
+            .unwrap();
+        let good = service.submit(job("good", 20, 100)).unwrap();
+        service.shutdown();
+        let snap = service.status(bad).unwrap();
+        assert_eq!(snap.state, JobState::Failed);
+        assert!(snap.error.unwrap().contains("device exploded"));
+        assert_eq!(service.status(good).unwrap().state, JobState::Done, "worker survived");
+    }
+
+    #[test]
+    fn shutdown_refuses_new_jobs_and_drains_queued_ones() {
+        let service = EvalService::start(ServiceConfig { workers: 2, queue_capacity: 8 });
+        let ids: Vec<u64> =
+            (0..6).map(|i| service.submit(job(&format!("d{i}"), 500, 100)).unwrap()).collect();
+        service.begin_shutdown();
+        assert!(!service.accepting());
+        assert_eq!(service.submit(job("late", 10, 100)), Err(SubmitError::ShuttingDown));
+        service.await_drain();
+        for id in ids {
+            assert_eq!(service.status(id).unwrap().state, JobState::Done, "drained job {id}");
+        }
+        assert_eq!(service.outstanding(), 0);
+    }
+}

@@ -1,0 +1,249 @@
+//! TCP front-end of the evaluation service.
+//!
+//! Clients speak the job protocol of [`tracer_core::messages`] — `submit`,
+//! `status`, `result`, `cancel`, one line per command — plus two wire-only
+//! verbs: `quit` closes the client's own connection, `shutdown` begins the
+//! graceful server shutdown (refuse new jobs, drain the queue, reply once
+//! everything finished, stop accepting).
+//!
+//! Unlike the single-session [`tracer_core::net::GeneratorServer`], every
+//! client gets its own connection thread; concurrency control happens at the
+//! job queue (`err busy`), not at the accept loop.
+
+use crate::{CancelError, EvalService, JobState, ServiceConfig, SubmitError};
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use tracer_core::distributed::EvaluationJob;
+use tracer_core::messages::{parse_job_command, JobCommand};
+use tracer_sim::ArraySim;
+use tracer_trace::{Trace, WorkloadMode};
+
+/// Resolves a device name to a fresh simulator instance.
+pub type BuildArray = Arc<dyn Fn(&str) -> Option<ArraySim> + Send + Sync>;
+/// Resolves `(device, mode)` to the trace to replay.
+pub type LoadTrace = Arc<dyn Fn(&str, &WorkloadMode) -> Option<Trace> + Send + Sync>;
+
+/// The multi-client job server.
+pub struct JobServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    service: Arc<EvalService>,
+    accept_handle: Option<JoinHandle<()>>,
+}
+
+impl JobServer {
+    /// Bind an ephemeral localhost port and serve in background threads.
+    pub fn spawn(config: ServiceConfig, build: BuildArray, load: LoadTrace) -> io::Result<Self> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let service = Arc::new(EvalService::start(config));
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_handle = {
+            let service = Arc::clone(&service);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || accept_loop(&listener, &stop, &service, &build, &load))
+        };
+        Ok(Self { addr, stop, service, accept_handle: Some(accept_handle) })
+    }
+
+    /// The address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shared handle to the underlying service (status, database access).
+    pub fn service(&self) -> Arc<EvalService> {
+        Arc::clone(&self.service)
+    }
+
+    /// Block until a client issues `shutdown` (or [`JobServer::shutdown`] is
+    /// called from another thread), then join the worker pool.
+    pub fn wait(mut self) -> io::Result<()> {
+        if let Some(handle) = self.accept_handle.take() {
+            handle.join().map_err(|_| io::Error::other("accept loop panicked"))?;
+        }
+        self.service.await_drain();
+        Ok(())
+    }
+
+    /// Programmatic graceful shutdown: refuse new jobs, drain the queue, stop
+    /// accepting connections, join everything.
+    pub fn shutdown(mut self) -> io::Result<()> {
+        self.service.begin_shutdown();
+        self.service.await_drain();
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept_handle.take() {
+            handle.join().map_err(|_| io::Error::other("accept loop panicked"))?;
+        }
+        Ok(())
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    stop: &Arc<AtomicBool>,
+    service: &Arc<EvalService>,
+    build: &BuildArray,
+    load: &LoadTrace,
+) {
+    let mut connections: Vec<JoinHandle<()>> = Vec::new();
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let service = Arc::clone(service);
+                let build = Arc::clone(build);
+                let load = Arc::clone(load);
+                let stop = Arc::clone(stop);
+                connections.push(std::thread::spawn(move || {
+                    let _ = handle_client(stream, &service, &build, &load, &stop);
+                }));
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::Interrupted =>
+            {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => break,
+        }
+        connections.retain(|h| !h.is_finished());
+    }
+    for handle in connections {
+        let _ = handle.join();
+    }
+}
+
+fn handle_client(
+    stream: TcpStream,
+    service: &Arc<EvalService>,
+    build: &BuildArray,
+    load: &LoadTrace,
+    stop: &Arc<AtomicBool>,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) => return Ok(()), // client hung up
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if stop.load(Ordering::SeqCst) {
+                    return Ok(());
+                }
+                continue;
+            }
+            Err(_) => return Ok(()), // client vanished mid-line
+        }
+        let body = line.trim();
+        if body.is_empty() {
+            continue;
+        }
+        if body == "quit" {
+            return Ok(());
+        }
+        if body == "shutdown" {
+            service.begin_shutdown();
+            while service.outstanding() > 0 {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            let done =
+                service.snapshot().iter().filter(|s| s.state == crate::JobState::Done).count();
+            writer.write_all(format!("ok stopped done={done}\n").as_bytes())?;
+            writer.flush()?;
+            stop.store(true, Ordering::SeqCst);
+            return Ok(());
+        }
+        let reply = dispatch(body, service, build, load);
+        let sent = writer
+            .write_all(reply.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush());
+        if sent.is_err() {
+            return Ok(()); // client gone between command and reply
+        }
+    }
+}
+
+fn dispatch(
+    line: &str,
+    service: &Arc<EvalService>,
+    build: &BuildArray,
+    load: &LoadTrace,
+) -> String {
+    let cmd = match parse_job_command(line) {
+        Ok(cmd) => cmd,
+        Err(e) => return format!("err {e}"),
+    };
+    match cmd {
+        JobCommand::Submit { device, mode, intensity_pct, name } => {
+            // Validate up front so a bad device or missing trace fails at the
+            // protocol boundary, not inside a worker.
+            if build(&device).is_none() {
+                return format!("err unknown device={device}");
+            }
+            let Some(trace) = load(&device, &mode) else {
+                return format!("err no-trace device={device}");
+            };
+            let builder = Arc::clone(build);
+            let job = EvaluationJob {
+                name: name.unwrap_or_default(),
+                build: Box::new(move || builder(&device).expect("device validated at submission")),
+                trace,
+                mode,
+                intensity_pct,
+            };
+            match service.submit(job) {
+                Ok(id) => format!("ok submitted id={id}"),
+                Err(SubmitError::Busy { capacity }) => format!("err busy queue={capacity}"),
+                Err(SubmitError::ShuttingDown) => "err shutting-down".to_string(),
+            }
+        }
+        JobCommand::Status { id } => match service.status(id) {
+            Some(snap) => format!("ok status id={id} state={}", snap.state),
+            None => format!("err unknown id={id}"),
+        },
+        JobCommand::Result { id } => match service.status(id) {
+            None => format!("err unknown id={id}"),
+            Some(snap) => match snap.state {
+                JobState::Done => {
+                    let m = snap.metrics.expect("done jobs carry metrics");
+                    // `{}` prints the shortest exact round-trip form, so the
+                    // client recovers bit-identical f64 values.
+                    format!(
+                        "ok result id={id} record={} iops={} mbps={} avg_response_ms={} \
+                         watts={} energy_j={} iops_per_watt={} mbps_per_kilowatt={}",
+                        snap.record_id.expect("done jobs carry a record"),
+                        m.iops,
+                        m.mbps,
+                        m.avg_response_ms,
+                        m.avg_watts,
+                        m.energy_joules,
+                        m.iops_per_watt,
+                        m.mbps_per_kilowatt
+                    )
+                }
+                JobState::Failed => {
+                    format!("err failed id={id} reason: {}", snap.error.unwrap_or_default())
+                }
+                JobState::Cancelled => format!("err cancelled id={id}"),
+                pending => format!("err pending id={id} state={pending}"),
+            },
+        },
+        JobCommand::Cancel { id } => match service.cancel(id) {
+            Ok(()) => format!("ok cancelled id={id}"),
+            Err(CancelError::Unknown) => format!("err unknown id={id}"),
+            Err(CancelError::NotCancellable(state)) => {
+                format!("err not-cancellable id={id} state={state}")
+            }
+        },
+    }
+}

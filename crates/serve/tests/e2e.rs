@@ -1,0 +1,237 @@
+//! End-to-end acceptance test of the concurrent evaluation service.
+//!
+//! Starts a 4-worker `JobServer` over TCP, drives it from two concurrent
+//! client threads submitting a dozen jobs against a deliberately tiny queue,
+//! and checks the service contract: at least one `err busy` admission
+//! rejection, one queued job cancelled, and every completed job's efficiency
+//! metrics bit-identical to a serial baseline run of the same
+//! (trace, mode, load) job.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tracer_core::host::EvaluationHost;
+use tracer_core::net::HostClient;
+use tracer_serve::server::{BuildArray, JobServer, LoadTrace};
+use tracer_serve::ServiceConfig;
+use tracer_sim::presets;
+use tracer_trace::{Bunch, IoPackage, Trace, WorkloadMode};
+
+const DEVICE: &str = "raid5-hdd4";
+
+/// A trace big enough that a job occupies a worker for many milliseconds —
+/// long enough for a burst of submissions to find the queue full.
+fn busy_trace() -> Trace {
+    Trace::from_bunches(
+        DEVICE,
+        (0..15_000u64)
+            .map(|i| Bunch::new(i * 2_000_000, vec![IoPackage::read((i * 8191) % 2_000_000, 8192)]))
+            .collect(),
+    )
+}
+
+fn spawn_server(workers: usize, queue: usize) -> JobServer {
+    let trace = busy_trace();
+    let build: BuildArray = Arc::new(|device| (device == DEVICE).then(|| presets::hdd_raid5(4)));
+    let load: LoadTrace = Arc::new(move |device, _mode| (device == DEVICE).then(|| trace.clone()));
+    JobServer::spawn(ServiceConfig { workers, queue_capacity: queue }, build, load)
+        .expect("bind localhost")
+}
+
+fn mode_at(load: u32) -> WorkloadMode {
+    WorkloadMode::peak(8192, 50, 100).at_load(load)
+}
+
+/// Submit with retry-on-busy, counting the rejections.
+fn submit_with_retry(client: &mut HostClient, load: u32, name: &str) -> (u64, u32) {
+    let mut busy = 0u32;
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        match client.submit_job(DEVICE, mode_at(load), 100, Some(name)).expect("io") {
+            Ok(id) => return (id, busy),
+            Err(reply) => {
+                assert_eq!(reply.head, "busy", "only busy rejections expected: {reply:?}");
+                busy += 1;
+                assert!(Instant::now() < deadline, "queue never freed for {name}");
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+#[test]
+fn concurrent_clients_fill_the_queue_and_match_the_serial_baseline() {
+    let server = spawn_server(4, 2);
+    let addr = server.addr();
+
+    // Two concurrent clients submit 6 jobs each — 12 jobs against 4 workers
+    // and a 2-slot queue, so some submissions must bounce with `err busy`.
+    let client_loads: [&[u32]; 2] = [&[100, 80, 60, 40, 20, 10], &[90, 70, 50, 30, 15, 5]];
+    let outcome: Vec<(Vec<(u64, u32)>, u32)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..2)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut client = HostClient::connect(addr).expect("connect");
+                    let mut busy_total = 0;
+                    let mut ids = Vec::new();
+                    for &load in client_loads[c] {
+                        let (id, busy) =
+                            submit_with_retry(&mut client, load, &format!("c{c}-load{load}"));
+                        busy_total += busy;
+                        ids.push((id, load));
+                    }
+                    (ids, busy_total)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
+    let busy_rejections: u32 = outcome.iter().map(|(_, busy)| busy).sum();
+    let mut submitted: Vec<(u64, u32)> = outcome.into_iter().flat_map(|(ids, _)| ids).collect();
+    assert_eq!(submitted.len(), 12);
+    assert!(
+        busy_rejections >= 1,
+        "12 rapid submissions against 4 workers + 2 queue slots must hit a full queue"
+    );
+
+    // With all workers occupied, one more submission parks in the queue —
+    // cancel it before a worker can pick it up.
+    let mut control = HostClient::connect(addr).expect("connect control");
+    let (extra, _) = submit_with_retry(&mut control, 25, "cancel-me");
+    let cancelled: Option<u64> = match control.cancel_job(extra).expect("io") {
+        Ok(()) => Some(extra),
+        // A worker won the race for the extra job; take any still-queued one.
+        Err(_) => submitted.iter().map(|&(id, _)| id).find(|&id| {
+            matches!(control.job_status(id).expect("io"), Ok(ref s) if s == "queued")
+                && control.cancel_job(id).expect("io").is_ok()
+        }),
+    };
+    let cancelled = cancelled.expect("one queued job must be cancellable");
+    if cancelled == extra {
+        assert_eq!(control.job_status(extra).expect("io").unwrap(), "cancelled");
+    } else {
+        submitted.retain(|&(id, _)| id != cancelled);
+        submitted.push((extra, 25));
+    }
+
+    // Wait for every remaining job to finish.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    for &(id, _) in &submitted {
+        loop {
+            let state = control.job_status(id).expect("io").expect("known id");
+            match state.as_str() {
+                "done" => break,
+                "queued" | "running" => {
+                    assert!(Instant::now() < deadline, "job {id} never finished");
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                other => panic!("job {id} ended as {other}"),
+            }
+        }
+    }
+    // The cancelled job stayed cancelled and has no result.
+    let r = control.job_result(cancelled).expect("io");
+    assert!(r.is_err(), "cancelled job must not produce metrics: {r:?}");
+
+    // Serial baseline: the identical (trace, mode, load) jobs run one by one
+    // on a fresh host must give bit-identical efficiency metrics — the
+    // concurrent service changes scheduling, never results.
+    let trace = busy_trace();
+    let mut baseline_host = EvaluationHost::new();
+    for &(id, load) in &submitted {
+        let reply = control.job_result(id).expect("io").expect("finished job");
+        let mut sim = presets::hdd_raid5(4);
+        let baseline =
+            baseline_host.run_test(&mut sim, &trace, mode_at(load), 100, "baseline").metrics;
+        let close = |key: &str, want: f64| {
+            let got = reply.num(key).unwrap_or_else(|| panic!("missing {key} in {reply:?}"));
+            assert!(
+                (got - want).abs() <= 1e-9 * want.abs().max(1.0),
+                "job {id} (load {load}%): {key} {got} != baseline {want}"
+            );
+        };
+        close("iops", baseline.iops);
+        close("mbps", baseline.mbps);
+        close("avg_response_ms", baseline.avg_response_ms);
+        close("watts", baseline.avg_watts);
+        close("energy_j", baseline.energy_joules);
+        close("iops_per_watt", baseline.iops_per_watt);
+        close("mbps_per_kilowatt", baseline.mbps_per_kilowatt);
+    }
+
+    // Every completed job also persisted a record in the shared database.
+    let service = server.service();
+    assert_eq!(service.with_db(|db| db.len()), submitted.len());
+    server.shutdown().expect("graceful shutdown");
+}
+
+#[test]
+fn protocol_errors_are_reported_and_survivable() {
+    let server = spawn_server(1, 2);
+    let addr = server.addr();
+    let mut client = HostClient::connect(addr).expect("connect");
+
+    // Unknown verb.
+    let r = client.send_line("launch id=1").expect("io");
+    assert!(r.starts_with("err") && r.contains("unknown verb"), "{r}");
+    // Malformed submit: missing the mode keys.
+    let r = client.send_line("submit device=raid5-hdd4").expect("io");
+    assert!(r.starts_with("err"), "{r}");
+    // Bare words instead of key=value.
+    let r = client.send_line("status 4").expect("io");
+    assert!(r.starts_with("err"), "{r}");
+    // Unknown device and unknown ids are protocol errors, not crashes.
+    let r = client.send_line("submit device=floppy rs=512 rn=0 rd=100 load=50").expect("io");
+    assert!(r.starts_with("err unknown device"), "{r}");
+    assert!(client.job_status(424242).expect("io").is_err());
+    assert!(client.cancel_job(424242).expect("io").is_err());
+    assert!(client.job_result(424242).expect("io").is_err());
+
+    // An abrupt disconnect mid-command must not wound the server.
+    {
+        let mut raw = TcpStream::connect(addr).expect("connect raw");
+        raw.write_all(b"submit device=raid5-hdd4 rs=8192").expect("partial write");
+        raw.flush().expect("flush");
+        std::thread::sleep(Duration::from_millis(30));
+    } // dropped mid-line
+
+    // The original client still works end to end afterwards.
+    let id = client.submit_job(DEVICE, mode_at(50), 100, None).expect("io").expect("accepted");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        match client.job_status(id).expect("io").expect("known").as_str() {
+            "done" => break,
+            "failed" | "cancelled" => panic!("job should succeed"),
+            _ => {
+                assert!(Instant::now() < deadline, "job never finished");
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+    assert!(client.job_result(id).expect("io").is_ok());
+    server.shutdown().expect("graceful shutdown");
+}
+
+#[test]
+fn wire_shutdown_drains_and_stops() {
+    let server = spawn_server(2, 4);
+    let addr = server.addr();
+    let mut client = HostClient::connect(addr).expect("connect");
+    let a = client.submit_job(DEVICE, mode_at(60), 100, Some("a")).expect("io").expect("ok");
+    let b = client.submit_job(DEVICE, mode_at(30), 100, Some("b")).expect("io").expect("ok");
+
+    // `shutdown` refuses new work, drains the two jobs, then replies.
+    let r = client.send_line("shutdown").expect("io");
+    assert!(r.starts_with("ok stopped"), "{r}");
+    let service = server.service();
+    for id in [a, b] {
+        assert_eq!(
+            service.status(id).expect("known").state,
+            tracer_serve::JobState::Done,
+            "job {id} must drain before the shutdown reply"
+        );
+    }
+    assert!(!service.accepting());
+    server.wait().expect("accept loop exits after wire shutdown");
+}

@@ -325,7 +325,10 @@ impl ArraySim {
         // Under a spin-down policy even never-accessed members time out.
         if let Some(after) = sim.cfg.spin_down_after {
             for disk in 0..n {
-                sim.schedule(SimTime::ZERO + after, Event::SpinDownCheck { disk, since: SimTime::ZERO });
+                sim.schedule(
+                    SimTime::ZERO + after,
+                    Event::SpinDownCheck { disk, since: SimTime::ZERO },
+                );
             }
         }
         sim
@@ -475,12 +478,8 @@ impl ArraySim {
                 kind: OpKind::Read,
             })
             .collect();
-        let writes = vec![DiskExtent {
-            disk,
-            sector: stripe * strip,
-            sectors: strip,
-            kind: OpKind::Write,
-        }];
+        let writes =
+            vec![DiskExtent { disk, sector: stripe * strip, sectors: strip, kind: OpKind::Write }];
         let xor_bytes = (disks as u64 - 1) * strip * tracer_trace::SECTOR_BYTES;
         let xor_pending = if self.cfg.xor_mbps > 0.0 {
             SimDuration::from_secs_f64(xor_bytes as f64 / (self.cfg.xor_mbps * 1e6))
@@ -546,7 +545,11 @@ impl ArraySim {
         }
         let capacity = self.data_capacity_sectors();
         if req.sector + req.sectors() > capacity {
-            return Err(SimError::OutOfRange { sector: req.sector, sectors: req.sectors(), capacity });
+            return Err(SimError::OutOfRange {
+                sector: req.sector,
+                sectors: req.sectors(),
+                capacity,
+            });
         }
         let id = self.next_id;
         self.next_id += 1;
@@ -979,11 +982,8 @@ mod tests {
         let mut sim = small_hdd_array(4);
         for i in 0..50 {
             let sector = (i * 7_919_113) % 1_000_000;
-            sim.submit(
-                SimTime::from_millis(i * 2),
-                ArrayRequest::new(sector, 4096, OpKind::Read),
-            )
-            .unwrap();
+            sim.submit(SimTime::from_millis(i * 2), ArrayRequest::new(sector, 4096, OpKind::Read))
+                .unwrap();
         }
         sim.run_to_idle();
         let span_end = sim.now();
@@ -1090,8 +1090,7 @@ mod tests {
         // 64 MiB of 1 MiB sequential reads: disks can stream ~125 MB/s each
         // in parallel, so the 400 MB/s link is the bottleneck.
         for i in 0..64u64 {
-            sim.submit(SimTime::ZERO, ArrayRequest::new(i * 2048, 1 << 20, OpKind::Read))
-                .unwrap();
+            sim.submit(SimTime::ZERO, ArrayRequest::new(i * 2048, 1 << 20, OpKind::Read)).unwrap();
         }
         sim.run_to_idle();
         let secs = sim.drain_completions().last().unwrap().completed.as_secs_f64();
@@ -1383,22 +1382,14 @@ mod tests {
         sim.enable_op_log();
         let id = sim.submit(SimTime::ZERO, ArrayRequest::new(0, 4096, OpKind::Write)).unwrap();
         sim.run_to_idle();
-        let ops: Vec<_> = sim
-            .op_log()
-            .unwrap()
-            .iter()
-            .filter(|o| o.request == id)
-            .copied()
-            .collect();
+        let ops: Vec<_> =
+            sim.op_log().unwrap().iter().filter(|o| o.request == id).copied().collect();
         assert_eq!(ops.len(), 4, "RMW small write: 2 reads + 2 writes");
         let last_read_end =
             ops.iter().filter(|o| o.kind == OpKind::Read).map(|o| o.finished).max().unwrap();
         let first_write_start =
             ops.iter().filter(|o| o.kind == OpKind::Write).map(|o| o.started).min().unwrap();
-        assert!(
-            first_write_start >= last_read_end,
-            "RMW writes must wait for the parity reads"
-        );
+        assert!(first_write_start >= last_read_end, "RMW writes must wait for the parity reads");
         // Intervals are well-formed and on distinct disks per phase.
         for o in &ops {
             assert!(o.finished > o.started);

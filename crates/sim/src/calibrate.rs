@@ -39,7 +39,7 @@ fn single(device: Device) -> ArraySim {
     let cfg = ArrayConfig {
         name: "calibration".to_string(),
         geometry: Geometry::raid0(1),
-        chassis_watts: 0.0, // measure the bare device
+        chassis_watts: 0.0,   // measure the bare device
         link_mbps: 100_000.0, // link out of the way
         controller_overhead_us: 0.0,
         xor_mbps: 0.0,
@@ -71,10 +71,7 @@ pub fn calibrate(device: Device) -> CalibrationReport {
     }
     let random_span = sim.now() - random_start;
     let completions = sim.drain_completions();
-    let random_read_4k_ms = completions
-        .iter()
-        .map(|c| c.latency().as_millis_f64())
-        .sum::<f64>()
+    let random_read_4k_ms = completions.iter().map(|c| c.latency().as_millis_f64()).sum::<f64>()
         / completions.len().max(1) as f64;
     let random_read_iops_qd1 = n_random as f64 / random_span.as_secs_f64();
     let active_random_watts = sim.power_log().avg_watts(random_start, sim.now());

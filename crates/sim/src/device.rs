@@ -186,9 +186,21 @@ mod tests {
     fn plan_accounting() {
         let plan = ServicePlan {
             phases: vec![
-                Phase { duration: SimDuration::from_millis(2), watts: 11.0, label: PhaseLabel::Seek },
-                Phase { duration: SimDuration::from_millis(4), watts: 4.0, label: PhaseLabel::Rotation },
-                Phase { duration: SimDuration::from_millis(4), watts: 8.0, label: PhaseLabel::Transfer },
+                Phase {
+                    duration: SimDuration::from_millis(2),
+                    watts: 11.0,
+                    label: PhaseLabel::Seek,
+                },
+                Phase {
+                    duration: SimDuration::from_millis(4),
+                    watts: 4.0,
+                    label: PhaseLabel::Rotation,
+                },
+                Phase {
+                    duration: SimDuration::from_millis(4),
+                    watts: 8.0,
+                    label: PhaseLabel::Transfer,
+                },
             ],
         };
         assert_eq!(plan.total_duration(), SimDuration::from_millis(10));

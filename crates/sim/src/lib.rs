@@ -47,12 +47,12 @@ pub mod raid;
 pub mod ssd;
 pub mod time;
 
-pub use cache::{CacheConfig, ControllerCache};
-pub use calibrate::{calibrate, CalibrationReport};
 pub use array::{
     ArrayConfig, ArrayRequest, ArraySim, ArrayStats, Completion, OpRecord, QueueDiscipline,
     RebuildConfig, RebuildStatus, RequestId,
 };
+pub use cache::{CacheConfig, ControllerCache};
+pub use calibrate::{calibrate, CalibrationReport};
 pub use device::{Device, DeviceModel, DiskOp, Phase, PhaseLabel, ServicePlan};
 pub use error::SimError;
 pub use powerlog::{ArrayPowerLog, PowerTimeline};

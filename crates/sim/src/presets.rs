@@ -45,8 +45,9 @@ fn base_config(name: &str, geometry: Geometry) -> ArrayConfig {
 /// Configuration and members of the HDD testbed, for callers that mutate the
 /// config (policies, ablations) before building the simulator.
 pub fn hdd_raid5_parts(disks: usize) -> (ArrayConfig, Vec<Device>) {
-    let devices =
-        (0..disks).map(|_| Device::Hdd(HddModel::new(HddParams::seagate_7200_12_500gb()))).collect();
+    let devices = (0..disks)
+        .map(|_| Device::Hdd(HddModel::new(HddParams::seagate_7200_12_500gb())))
+        .collect();
     (base_config(&format!("raid5-hdd{disks}"), Geometry::raid5(disks)), devices)
 }
 
@@ -73,31 +74,33 @@ pub fn ssd_raid5(disks: usize) -> ArraySim {
 /// used for the idle-power-versus-disk-count experiment (Fig. 7), including
 /// the zero-disk chassis-only case.
 pub fn hdd_array_idle(disks: usize) -> ArraySim {
-    let devices =
-        (0..disks).map(|_| Device::Hdd(HddModel::new(HddParams::seagate_7200_12_500gb()))).collect();
+    let devices = (0..disks)
+        .map(|_| Device::Hdd(HddModel::new(HddParams::seagate_7200_12_500gb())))
+        .collect();
     ArraySim::new(base_config(&format!("idle-hdd{disks}"), Geometry::raid0(disks)), devices)
 }
 
 /// RAID-10 (mirrored striping) over `disks` desktop HDDs.
 pub fn hdd_raid10(disks: usize) -> ArraySim {
-    let devices =
-        (0..disks).map(|_| Device::Hdd(HddModel::new(HddParams::seagate_7200_12_500gb()))).collect();
+    let devices = (0..disks)
+        .map(|_| Device::Hdd(HddModel::new(HddParams::seagate_7200_12_500gb())))
+        .collect();
     ArraySim::new(base_config(&format!("raid10-hdd{disks}"), Geometry::raid10(disks)), devices)
 }
 
 /// RAID-0 (no redundancy) over `disks` desktop HDDs — the throughput
 /// baseline redundancy costs are measured against.
 pub fn hdd_raid0(disks: usize) -> ArraySim {
-    let devices =
-        (0..disks).map(|_| Device::Hdd(HddModel::new(HddParams::seagate_7200_12_500gb()))).collect();
+    let devices = (0..disks)
+        .map(|_| Device::Hdd(HddModel::new(HddParams::seagate_7200_12_500gb())))
+        .collect();
     ArraySim::new(base_config(&format!("raid0-hdd{disks}"), Geometry::raid0(disks)), devices)
 }
 
 /// RAID-5 over `disks` 15 000 rpm enterprise SAS drives.
 pub fn enterprise15k_raid5(disks: usize) -> ArraySim {
-    let devices = (0..disks)
-        .map(|_| Device::Hdd(HddModel::new(HddParams::enterprise_15k_600gb())))
-        .collect();
+    let devices =
+        (0..disks).map(|_| Device::Hdd(HddModel::new(HddParams::enterprise_15k_600gb()))).collect();
     ArraySim::new(base_config(&format!("raid5-15k{disks}"), Geometry::raid5(disks)), devices)
 }
 

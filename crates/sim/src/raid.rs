@@ -124,9 +124,7 @@ impl Geometry {
     pub fn parity_disk(&self, stripe: u64) -> Option<usize> {
         match self.redundancy {
             Redundancy::Raid0 | Redundancy::Raid10 => None,
-            Redundancy::Raid5 => {
-                Some(self.disks - 1 - (stripe % self.disks as u64) as usize)
-            }
+            Redundancy::Raid5 => Some(self.disks - 1 - (stripe % self.disks as u64) as usize),
         }
     }
 
@@ -263,7 +261,12 @@ impl Geometry {
                 if disk == failed {
                     continue;
                 }
-                ops.push(DiskExtent { disk, sector: ext.sector, sectors: rows, kind: OpKind::Read });
+                ops.push(DiskExtent {
+                    disk,
+                    sector: ext.sector,
+                    sectors: rows,
+                    kind: OpKind::Read,
+                });
             }
             xor_bytes += rows * (self.disks as u64 - 1) * tracer_trace::SECTOR_BYTES;
             let _ = stripe;
@@ -328,7 +331,8 @@ impl Geometry {
             let rows = row_max - row_min;
             let parity_sector = stripe * strip + row_min;
             let touched = writes.len() as u64;
-            let full_stripe = touched == data && rows == strip && writes.iter().all(|w| w.sectors == strip);
+            let full_stripe =
+                touched == data && rows == strip && writes.iter().all(|w| w.sectors == strip);
 
             if let Some(f) = failed {
                 if parity == f {
@@ -430,7 +434,11 @@ impl Geometry {
             cur = seg_end;
         }
 
-        IoPlan { pre_reads: merge_extents(pre_reads), ops: merge_extents(ops), parity_xor_bytes: xor_bytes }
+        IoPlan {
+            pre_reads: merge_extents(pre_reads),
+            ops: merge_extents(ops),
+            parity_xor_bytes: xor_bytes,
+        }
     }
 }
 

@@ -208,7 +208,10 @@ mod tests {
         assert_eq!(SimTime::from_millis(3).as_nanos(), 3_000_000);
         assert_eq!(SimTime::from_micros(5).as_nanos(), 5_000);
         assert!((SimTime::from_secs(1).as_secs_f64() - 1.0).abs() < 1e-12);
-        assert_eq!(SimDuration::from_secs(1) + SimDuration::from_millis(500), SimDuration(1_500_000_000));
+        assert_eq!(
+            SimDuration::from_secs(1) + SimDuration::from_millis(500),
+            SimDuration(1_500_000_000)
+        );
         assert!((SimDuration::from_millis(2).as_millis_f64() - 2.0).abs() < 1e-12);
     }
 
@@ -226,13 +229,15 @@ mod tests {
         let t = SimTime::from_secs(1) + SimDuration::from_millis(500);
         assert_eq!(t.as_nanos(), 1_500_000_000);
         assert_eq!(t - SimTime::from_secs(1), SimDuration::from_millis(500));
-        assert_eq!(SimTime::from_secs(1).saturating_since(SimTime::from_secs(2)), SimDuration::ZERO);
+        assert_eq!(
+            SimTime::from_secs(1).saturating_since(SimTime::from_secs(2)),
+            SimDuration::ZERO
+        );
         let mut acc = SimTime::ZERO;
         acc += SimDuration::from_nanos(7);
         assert_eq!(acc.as_nanos(), 7);
-        let total: SimDuration = [SimDuration::from_nanos(1), SimDuration::from_nanos(2)]
-            .into_iter()
-            .sum();
+        let total: SimDuration =
+            [SimDuration::from_nanos(1), SimDuration::from_nanos(2)].into_iter().sum();
         assert_eq!(total.as_nanos(), 3);
     }
 

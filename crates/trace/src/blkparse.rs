@@ -80,7 +80,11 @@ pub struct BlkEvent {
 /// rows of other actions, non-data rows (no `sector + len`), summary output,
 /// and blank lines; `Err` only for rows that *look like* events but are
 /// malformed.
-pub fn parse_line(line: &str, action: Action, lineno: usize) -> Result<Option<BlkEvent>, TraceError> {
+pub fn parse_line(
+    line: &str,
+    action: Action,
+    lineno: usize,
+) -> Result<Option<BlkEvent>, TraceError> {
     let err = |reason: &str| TraceError::SrtParse { line: lineno, reason: reason.to_string() };
     let body = line.trim();
     if body.is_empty() || !body.chars().next().is_some_and(|c| c.is_ascii_digit()) {
@@ -95,9 +99,7 @@ pub fn parse_line(line: &str, action: Action, lineno: usize) -> Result<Option<Bl
     if action_field != action.code() {
         return Ok(None);
     }
-    let (maj, min) = fields[0]
-        .split_once(',')
-        .ok_or_else(|| err("device field is not maj,min"))?;
+    let (maj, min) = fields[0].split_once(',').ok_or_else(|| err("device field is not maj,min"))?;
     let major: u32 = maj.parse().map_err(|_| err("bad major"))?;
     let minor: u32 = min.parse().map_err(|_| err("bad minor"))?;
     let timestamp_s: f64 = fields[3].parse().map_err(|_| err("bad timestamp"))?;
@@ -106,8 +108,7 @@ pub fn parse_line(line: &str, action: Action, lineno: usize) -> Result<Option<Bl
     }
     let Some(rwbs) = fields.get(6) else { return Ok(None) };
     // Data rows carry "<sector> + <len>"; barrier/flush rows do not.
-    let (Some(sector_s), Some(plus), Some(len_s)) =
-        (fields.get(7), fields.get(8), fields.get(9))
+    let (Some(sector_s), Some(plus), Some(len_s)) = (fields.get(7), fields.get(8), fields.get(9))
     else {
         return Ok(None);
     };
@@ -264,10 +265,7 @@ Total (8,0):
             "  8,0 0 1 0.1 99 D R badsector + 8 [x]",
             "  8,0 0 1 0.1 99 D R 100 + badlen [x]",
         ] {
-            assert!(
-                parse_line(bad, Action::Dispatch, 7).is_err(),
-                "should reject {bad:?}"
-            );
+            assert!(parse_line(bad, Action::Dispatch, 7).is_err(), "should reject {bad:?}");
         }
         // Rows that merely aren't events pass through as None.
         assert_eq!(parse_line("", Action::Dispatch, 1).unwrap(), None);

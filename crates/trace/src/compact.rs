@@ -183,10 +183,7 @@ mod tests {
         let t = sequentialish_trace(10_000);
         let v1 = replay_format::to_bytes(&t).len();
         let v2 = to_bytes(&t).len();
-        assert!(
-            v2 * 3 < v1,
-            "compact encoding should be ≥3x smaller: v1 {v1} vs v2 {v2}"
-        );
+        assert!(v2 * 3 < v1, "compact encoding should be ≥3x smaller: v1 {v1} vs v2 {v2}");
     }
 
     #[test]

@@ -42,10 +42,7 @@ impl WorkloadMode {
     /// information such as storage device type, request size, random rate, and
     /// read rate" (§III-A2).
     pub fn file_stem(&self, device: &str) -> String {
-        format!(
-            "{device}_rs{}_rn{}_rd{}",
-            self.request_bytes, self.random_pct, self.read_pct
-        )
+        format!("{device}_rs{}_rn{}_rd{}", self.request_bytes, self.random_pct, self.read_pct)
     }
 
     /// Parse a repository file stem produced by [`WorkloadMode::file_stem`].

@@ -224,7 +224,10 @@ mod tests {
     fn sample() -> Trace {
         let mut t = Trace::new("dev");
         t.push_bunch(Bunch::at_micros(0, vec![IoPackage::read(0, 4096)]));
-        t.push_bunch(Bunch::at_micros(100, vec![IoPackage::write(8, 512), IoPackage::read(100, 1024)]));
+        t.push_bunch(Bunch::at_micros(
+            100,
+            vec![IoPackage::write(8, 512), IoPackage::read(100, 1024)],
+        ));
         t.push_bunch(Bunch::at_micros(250, vec![IoPackage::write(16, 2048)]));
         t
     }
@@ -284,10 +287,8 @@ mod tests {
         let t2 = Trace { device: "d".into(), bunches: vec![Bunch::new(0, vec![])] };
         assert!(t2.validate().unwrap_err().contains("empty"));
 
-        let t3 = Trace {
-            device: "d".into(),
-            bunches: vec![Bunch::new(0, vec![IoPackage::read(0, 0)])],
-        };
+        let t3 =
+            Trace { device: "d".into(), bunches: vec![Bunch::new(0, vec![IoPackage::read(0, 0)])] };
         assert!(t3.validate().unwrap_err().contains("zero size"));
     }
 

@@ -118,9 +118,7 @@ pub fn from_bytes(mut data: &[u8]) -> Result<Trace, TraceError> {
             let kind = match data.get_u8() {
                 0 => OpKind::Read,
                 1 => OpKind::Write,
-                other => {
-                    return Err(TraceError::Corrupt(format!("unknown op kind byte {other}")))
-                }
+                other => return Err(TraceError::Corrupt(format!("unknown op kind byte {other}"))),
             };
             ios.push(IoPackage::new(sector, bytes, kind));
         }

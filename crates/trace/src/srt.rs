@@ -112,10 +112,8 @@ fn parse_record(body: &str, line: usize) -> Result<SrtRecord, TraceError> {
 /// the first record is at t = 0, and grouped into bunches by
 /// [`ConvertOptions::bunch_window_ns`].
 pub fn convert(records: &[SrtRecord], device: &str, opts: ConvertOptions) -> Trace {
-    let mut recs: Vec<&SrtRecord> = records
-        .iter()
-        .filter(|r| opts.device_filter.is_none_or(|d| d == r.device_id))
-        .collect();
+    let mut recs: Vec<&SrtRecord> =
+        records.iter().filter(|r| opts.device_filter.is_none_or(|d| d == r.device_id)).collect();
     recs.sort_by(|a, b| a.timestamp_s.total_cmp(&b.timestamp_s));
     let mut trace = Trace::new(device);
     let Some(first) = recs.first() else { return trace };

@@ -145,18 +145,14 @@ impl TraceFingerprint {
             let rank = ((p * sizes.len() as f64).ceil() as usize).clamp(1, sizes.len());
             f64::from(sizes[rank - 1])
         };
-        let gaps: Vec<f64> = trace
-            .bunches
-            .windows(2)
-            .map(|w| (w[1].timestamp - w[0].timestamp) as f64)
-            .collect();
+        let gaps: Vec<f64> =
+            trace.bunches.windows(2).map(|w| (w[1].timestamp - w[0].timestamp) as f64).collect();
         let arrival_cv = if gaps.is_empty() {
             0.0
         } else {
             let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
             if mean > 0.0 {
-                let var =
-                    gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+                let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
                 var.sqrt() / mean
             } else {
                 0.0

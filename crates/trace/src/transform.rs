@@ -23,11 +23,8 @@ pub fn slice(trace: &Trace, from: Nanos, to: Nanos) -> Trace {
 
 /// `trace` with every timestamp moved `offset` later.
 pub fn shift(trace: &Trace, offset: Nanos) -> Trace {
-    let bunches = trace
-        .bunches
-        .iter()
-        .map(|b| Bunch::new(b.timestamp + offset, b.ios.clone()))
-        .collect();
+    let bunches =
+        trace.bunches.iter().map(|b| Bunch::new(b.timestamp + offset, b.ios.clone())).collect();
     Trace { device: trace.device.clone(), bunches }
 }
 

@@ -73,7 +73,13 @@ impl RequestFactory {
     pub fn new(mode: WorkloadMode, span_sectors: u64, seed: u64) -> Self {
         let align_sectors = (u64::from(mode.request_bytes) / tracer_trace::SECTOR_BYTES).max(1);
         assert!(span_sectors >= align_sectors, "span smaller than one request");
-        Self { mode, span_sectors, align_sectors, next_sequential: 0, rng: StdRng::seed_from_u64(seed) }
+        Self {
+            mode,
+            span_sectors,
+            align_sectors,
+            next_sequential: 0,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Produce the next request.
@@ -371,8 +377,8 @@ mod tests {
     fn mixed_spec_honours_weights_and_modes() {
         use super::{run_peak_workload_mixed, MixedSpec};
         let spec = MixedSpec::new(vec![
-            (8, WorkloadMode::peak(4096, 100, 100)),  // 80 %: 4K random read
-            (2, WorkloadMode::peak(65536, 0, 0)),     // 20 %: 64K sequential write
+            (8, WorkloadMode::peak(4096, 100, 100)), // 80 %: 4K random read
+            (2, WorkloadMode::peak(65536, 0, 0)),    // 20 %: 64K sequential write
         ]);
         let mut sim = presets::hdd_raid5(4);
         let out = run_peak_workload_mixed(
@@ -391,10 +397,7 @@ mod tests {
         let small_frac = small / total;
         assert!((small_frac - 0.8).abs() < 0.06, "weight split {small_frac}");
         // All 4K requests are reads, all 64K are writes.
-        assert!(out
-            .trace
-            .iter_ios()
-            .all(|(_, io)| (io.bytes == 4096) == io.kind.is_read()));
+        assert!(out.trace.iter_ios().all(|(_, io)| (io.bytes == 4096) == io.kind.is_read()));
     }
 
     #[test]

@@ -105,7 +105,8 @@ impl WebServerTraceBuilder {
         while t < end {
             // Diurnal modulation compressed into the trace duration plus
             // Pareto burst episodes.
-            let diurnal = 1.0 + 0.4 * (std::f64::consts::TAU * t / end - std::f64::consts::FRAC_PI_2).sin();
+            let diurnal =
+                1.0 + 0.4 * (std::f64::consts::TAU * t / end - std::f64::consts::FRAC_PI_2).sin();
             if t >= next_burst && t >= burst_until {
                 burst_until = t + dist::pareto(&mut rng, 1.5, 1.6).min(20.0);
                 next_burst = burst_until + dist::exponential(&mut rng, 30.0);
@@ -145,11 +146,8 @@ impl WebServerTraceBuilder {
                 // visits eventually cover the whole file. The 1–4 chunks of a
                 // fetch arrive concurrently (browser pipelining) as one bunch.
                 let file_sectors = file_bytes / SECTOR_BYTES;
-                let offset = if file_sectors > 8 {
-                    (rng.random_range(0..file_sectors) / 8) * 8
-                } else {
-                    0
-                };
+                let offset =
+                    if file_sectors > 8 { (rng.random_range(0..file_sectors) / 8) * 8 } else { 0 };
                 let mut remaining = file_bytes - offset * SECTOR_BYTES;
                 let mut sector = file_sector + offset;
                 let mut ios = Vec::new();
@@ -157,11 +155,9 @@ impl WebServerTraceBuilder {
                     if remaining == 0 {
                         break;
                     }
-                    let chunk = dist::clamp_to_sectors(
-                        dist::lognormal(&mut rng, mu, sigma),
-                        1 << 20,
-                    )
-                    .min(remaining.min(u32::MAX as u64) as u32);
+                    let chunk =
+                        dist::clamp_to_sectors(dist::lognormal(&mut rng, mu, sigma), 1 << 20)
+                            .min(remaining.min(u32::MAX as u64) as u32);
                     let chunk = (chunk / 512).max(1) * 512;
                     ios.push(IoPackage::read(sector, chunk));
                     sector += u64::from(chunk) / SECTOR_BYTES;
@@ -177,8 +173,7 @@ impl WebServerTraceBuilder {
                     let bytes =
                         dist::clamp_to_sectors(dist::lognormal(&mut rng, mu, sigma), 1 << 20);
                     let sector = log_start_sector + log_cursor;
-                    log_cursor =
-                        (log_cursor + u64::from(bytes) / SECTOR_BYTES) % log_span_sectors;
+                    log_cursor = (log_cursor + u64::from(bytes) / SECTOR_BYTES) % log_span_sectors;
                     ios.push(IoPackage::write(sector, bytes));
                 }
                 bunches.push(Bunch::new(ts, ios));
@@ -248,16 +243,13 @@ impl CelloTraceBuilder {
             let mut ios = Vec::with_capacity(n);
             for _ in 0..n {
                 let bytes = self.uneven_size(&mut rng);
-                let kind = if rng.random_bool(self.read_ratio) {
-                    OpKind::Read
-                } else {
-                    OpKind::Write
-                };
+                let kind =
+                    if rng.random_bool(self.read_ratio) { OpKind::Read } else { OpKind::Write };
                 // 40 % of traffic walks a hot sequential region (the news
                 // partition in cello); the rest scatters.
                 let sector = if rng.random_bool(0.4) {
-                    hot_cursor = (hot_cursor + u64::from(bytes) / SECTOR_BYTES)
-                        % (span_sectors / 8);
+                    hot_cursor =
+                        (hot_cursor + u64::from(bytes) / SECTOR_BYTES) % (span_sectors / 8);
                     hot_cursor
                 } else {
                     dist::skewed_index(&mut rng, span_sectors, 2.0)
@@ -282,7 +274,10 @@ impl CelloTraceBuilder {
         } else if roll < 0.70 {
             8 * 1024
         } else if roll < 0.94 {
-            dist::clamp_to_sectors(dist::lognormal(rng, dist::lognormal_mu_for_mean(32e3, 0.7), 0.7), 256 * 1024)
+            dist::clamp_to_sectors(
+                dist::lognormal(rng, dist::lognormal_mu_for_mean(32e3, 0.7), 0.7),
+                256 * 1024,
+            )
         } else {
             // Heavy tail up to 512 KiB.
             dist::clamp_to_sectors(dist::pareto(rng, 64e3, 1.5), 512 * 1024)
@@ -351,11 +346,8 @@ impl OltpTraceBuilder {
                     hot_sectors + rng.random_range(0..db_sectors - hot_sectors)
                 };
                 let aligned = sector / 4 * 4; // 2 KiB alignment
-                let kind = if rng.random_bool(self.read_ratio) {
-                    OpKind::Read
-                } else {
-                    OpKind::Write
-                };
+                let kind =
+                    if rng.random_bool(self.read_ratio) { OpKind::Read } else { OpKind::Write };
                 ios.push(IoPackage::new(aligned, bytes, kind));
             }
             bunches.push(Bunch::new(ts, ios));
@@ -371,12 +363,7 @@ mod tests {
     use tracer_trace::TraceStats;
 
     fn quick_web() -> Trace {
-        WebServerTraceBuilder {
-            duration_s: 60.0,
-            mean_iops: 200.0,
-            ..Default::default()
-        }
-        .build()
+        WebServerTraceBuilder { duration_s: 60.0, mean_iops: 200.0, ..Default::default() }.build()
     }
 
     #[test]

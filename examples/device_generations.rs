@@ -46,7 +46,10 @@ fn main() {
         let r = host.db.get(id).expect("record").clone();
         println!(
             "{:<16} {:>10.1} {:>10.2} {:>10.2} {:>12.3}",
-            r.label, r.efficiency.iops, r.efficiency.avg_response_ms, r.efficiency.avg_watts,
+            r.label,
+            r.efficiency.iops,
+            r.efficiency.avg_response_ms,
+            r.efficiency.avg_watts,
             r.efficiency.iops_per_watt
         );
     }
@@ -59,7 +62,10 @@ fn main() {
         let mut gen_sim = build();
         let trace = run_peak_workload(
             &mut gen_sim,
-            &IometerConfig { duration: SimDuration::from_secs(10), ..IometerConfig::two_minutes(mode, 5) },
+            &IometerConfig {
+                duration: SimDuration::from_secs(10),
+                ..IometerConfig::two_minutes(mode, 5)
+            },
         )
         .trace;
         let mut sim = build();

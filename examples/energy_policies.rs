@@ -16,12 +16,8 @@ use tracer_core::prelude::*;
 fn main() {
     // A bursty web-server day: busy spells and real idle gaps, so each
     // technique gets terrain it can win on.
-    let trace = WebServerTraceBuilder {
-        duration_s: 600.0,
-        mean_iops: 60.0,
-        ..Default::default()
-    }
-    .build();
+    let trace =
+        WebServerTraceBuilder { duration_s: 600.0, mean_iops: 60.0, ..Default::default() }.build();
     let stats = TraceStats::compute(&trace);
     println!(
         "workload: {} IOs over {:.0} min, {:.0}% reads, avg {:.1} KB",
@@ -97,8 +93,12 @@ fn main() {
     for o in &outcomes {
         println!(
             "{:<28} {:>10.0} {:>8.2} {:>9.1} {:>10.2} {:>10.2}",
-            o.policy, o.energy_joules, o.avg_watts, o.avg_response_ms,
-            o.energy_saving_pct, o.response_penalty_pct
+            o.policy,
+            o.energy_joules,
+            o.avg_watts,
+            o.avg_response_ms,
+            o.energy_saving_pct,
+            o.response_penalty_pct
         );
     }
 

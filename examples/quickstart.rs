@@ -17,10 +17,7 @@ fn main() {
     // --- 1. The storage system under test -------------------------------
     let array = || presets::hdd_raid5(4);
     println!("array under test : {}", array().config().name);
-    println!(
-        "idle power       : {:.1} W",
-        array().power_log().total_watts_at(SimTime::ZERO)
-    );
+    println!("idle power       : {:.1} W", array().power_log().total_watts_at(SimTime::ZERO));
 
     // --- 2. Collect a peak trace into a repository ----------------------
     let repo_dir = std::env::temp_dir().join("tracer_quickstart_repo");

@@ -16,12 +16,8 @@ use tracer_core::prelude::*;
 use tracer_replay::{MemTarget, RealTimeReplayer, SimTarget, StorageTarget};
 
 fn main() {
-    let trace = WebServerTraceBuilder {
-        duration_s: 60.0,
-        mean_iops: 120.0,
-        ..Default::default()
-    }
-    .build();
+    let trace =
+        WebServerTraceBuilder { duration_s: 60.0, mean_iops: 120.0, ..Default::default() }.build();
     println!(
         "trace: {} IOs over {:.0}s, replayed at 20x wall speed with 8 workers",
         trace.io_count(),
@@ -45,7 +41,10 @@ fn main() {
     let sim = target.into_inner();
     println!("\n[simulated raid5-hdd6 target]");
     println!("  issued/failed  : {}/{}", report.issued, report.failed);
-    println!("  mean latency   : {:.3} ms (wall; includes worker queueing)", report.avg_latency_ms());
+    println!(
+        "  mean latency   : {:.3} ms (wall; includes worker queueing)",
+        report.avg_latency_ms()
+    );
     println!(
         "  simulated time : {:.2}s, energy {:.1} J",
         sim.now().as_secs_f64(),

@@ -46,8 +46,18 @@ fn main() {
         let ids = run_parallel(
             &mut host,
             vec![
-                EvaluationJob::new(format!("hdd-rn{random}"), || presets::hdd_raid5(6), hdd_trace, mode),
-                EvaluationJob::new(format!("ssd-rn{random}"), || presets::ssd_raid5(4), ssd_trace, mode),
+                EvaluationJob::new(
+                    format!("hdd-rn{random}"),
+                    || presets::hdd_raid5(6),
+                    hdd_trace,
+                    mode,
+                ),
+                EvaluationJob::new(
+                    format!("ssd-rn{random}"),
+                    || presets::ssd_raid5(4),
+                    ssd_trace,
+                    mode,
+                ),
             ],
         );
         let hdd = host.db.get(ids[0]).expect("hdd record").efficiency.mbps_per_kilowatt;
@@ -65,8 +75,18 @@ fn main() {
         let ids = run_parallel(
             &mut host,
             vec![
-                EvaluationJob::new(format!("hdd-rd{read}"), || presets::hdd_raid5(6), hdd_trace, mode),
-                EvaluationJob::new(format!("ssd-rd{read}"), || presets::ssd_raid5(4), ssd_trace, mode),
+                EvaluationJob::new(
+                    format!("hdd-rd{read}"),
+                    || presets::hdd_raid5(6),
+                    hdd_trace,
+                    mode,
+                ),
+                EvaluationJob::new(
+                    format!("ssd-rd{read}"),
+                    || presets::ssd_raid5(4),
+                    ssd_trace,
+                    mode,
+                ),
             ],
         );
         let hdd = host.db.get(ids[0]).expect("hdd record").efficiency.mbps_per_kilowatt;

@@ -50,14 +50,7 @@ fn main() {
     let mut host = EvaluationHost::new();
     let mode = WorkloadMode::peak(22 * 1024, 50, 90);
     let loads: Vec<u32> = (1..=10).map(|i| i * 10).collect();
-    let result = load_sweep(
-        &mut host,
-        || presets::hdd_raid5(6),
-        &trace,
-        mode,
-        &loads,
-        "webserver",
-    );
+    let result = load_sweep(&mut host, || presets::hdd_raid5(6), &trace, mode, &loads, "webserver");
 
     println!("\nTable IV analogue — load-control accuracy (web-server trace):");
     println!(

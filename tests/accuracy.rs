@@ -9,7 +9,10 @@ fn collect(mode: WorkloadMode, secs: u64) -> Trace {
     let mut sim = presets::hdd_raid5(4);
     run_peak_workload(
         &mut sim,
-        &IometerConfig { duration: SimDuration::from_secs(secs), ..IometerConfig::two_minutes(mode, 11) },
+        &IometerConfig {
+            duration: SimDuration::from_secs(secs),
+            ..IometerConfig::two_minutes(mode, 11)
+        },
     )
     .trace
 }
@@ -22,14 +25,8 @@ fn fixed_size_trace_control_error_is_tiny() {
     let mode = WorkloadMode::peak(4096, 50, 0);
     let trace = collect(mode, 4);
     let mut host = EvaluationHost::new();
-    let result = load_sweep(
-        &mut host,
-        || presets::hdd_raid5(4),
-        &trace,
-        mode,
-        &sweep::LOAD_PCTS,
-        "fig8",
-    );
+    let result =
+        load_sweep(&mut host, || presets::hdd_raid5(4), &trace, mode, &sweep::LOAD_PCTS, "fig8");
     assert_eq!(result.rows.len(), 10);
     assert!(result.max_error() < 0.03, "max error {}", result.max_error());
     // IOPS and MBPS accuracies agree for fixed-size requests.
@@ -44,22 +41,12 @@ fn fixed_size_trace_control_error_is_tiny() {
 #[test]
 fn web_trace_control_error_is_bounded_like_table_iv() {
     // Table IV: the web-server trace's max error is ~7 %.
-    let trace = WebServerTraceBuilder {
-        duration_s: 120.0,
-        mean_iops: 200.0,
-        ..Default::default()
-    }
-    .build();
+    let trace =
+        WebServerTraceBuilder { duration_s: 120.0, mean_iops: 200.0, ..Default::default() }.build();
     let mut host = EvaluationHost::new();
     let mode = WorkloadMode::peak(22 * 1024, 50, 90);
-    let result = load_sweep(
-        &mut host,
-        || presets::hdd_raid5(6),
-        &trace,
-        mode,
-        &sweep::LOAD_PCTS,
-        "table4",
-    );
+    let result =
+        load_sweep(&mut host, || presets::hdd_raid5(6), &trace, mode, &sweep::LOAD_PCTS, "table4");
     assert!(result.max_error() < 0.08, "max error {}", result.max_error());
 }
 
@@ -79,11 +66,8 @@ fn uneven_sizes_degrade_mbps_accuracy_more_than_iops_accuracy() {
         &[10, 30, 50, 70, 90],
         "table5",
     );
-    let mbps_err: f64 = result
-        .rows
-        .iter()
-        .map(|r| (r.accuracy_mbps - 1.0).abs())
-        .fold(0.0, f64::max);
+    let mbps_err: f64 =
+        result.rows.iter().map(|r| (r.accuracy_mbps - 1.0).abs()).fold(0.0, f64::max);
     // Uneven sizes: noticeable MBPS error (cello's Table V shows up to 32 %),
     // but the control must stay sane.
     assert!(mbps_err < 0.40, "cello MBPS error out of control: {mbps_err}");
@@ -99,11 +83,8 @@ fn uneven_sizes_degrade_mbps_accuracy_more_than_iops_accuracy() {
         &[10, 30, 50, 70, 90],
         "table5-fixed",
     );
-    let fixed_err: f64 = fixed_result
-        .rows
-        .iter()
-        .map(|r| (r.accuracy_mbps - 1.0).abs())
-        .fold(0.0, f64::max);
+    let fixed_err: f64 =
+        fixed_result.rows.iter().map(|r| (r.accuracy_mbps - 1.0).abs()).fold(0.0, f64::max);
     assert!(
         fixed_err < mbps_err,
         "fixed sizes ({fixed_err}) must control better than cello ({mbps_err})"
@@ -161,8 +142,5 @@ fn random_ratio_lowers_efficiency_monotonically_in_trend() {
     assert!(eff[2] > eff[4] * 0.9, "trend continues: {eff:?}");
     let head_drop = eff[0] - eff[1];
     let tail_drop = eff[2] - eff[4];
-    assert!(
-        head_drop > tail_drop,
-        "sensitivity concentrates below ~30% random: {eff:?}"
-    );
+    assert!(head_drop > tail_drop, "sensitivity concentrates below ~30% random: {eff:?}");
 }

@@ -21,7 +21,12 @@ fn heterogeneous_fleet_evaluates_in_parallel() {
         EvaluationJob::new("hdd3", || presets::hdd_raid5(3), trace(60, 8192), mode),
         EvaluationJob::new("hdd6", || presets::hdd_raid5(6), trace(60, 8192), mode),
         EvaluationJob::new("ssd4", || presets::ssd_raid5(4), trace(60, 8192), mode),
-        EvaluationJob::new("hdd6-half", || presets::hdd_raid5(6), trace(60, 8192), mode.at_load(50)),
+        EvaluationJob::new(
+            "hdd6-half",
+            || presets::hdd_raid5(6),
+            trace(60, 8192),
+            mode.at_load(50),
+        ),
     ];
     let ids = run_parallel(&mut host, jobs);
     assert_eq!(ids.len(), 4);

@@ -14,8 +14,11 @@ fn simultaneous_submissions_are_served_deterministically_in_order() {
         let mut sim = presets::hdd_raid5(4);
         let ids: Vec<_> = (0..20u64)
             .map(|i| {
-                sim.submit(SimTime::ZERO, ArrayRequest::new(i * 131_072 % 900_000, 4096, OpKind::Read))
-                    .unwrap()
+                sim.submit(
+                    SimTime::ZERO,
+                    ArrayRequest::new(i * 131_072 % 900_000, 4096, OpKind::Read),
+                )
+                .unwrap()
             })
             .collect();
         sim.run_to_idle();
@@ -98,8 +101,8 @@ fn sub_sector_and_multi_megabyte_requests_replay() {
     let trace = Trace::from_bunches(
         "sizes",
         vec![
-            Bunch::new(0, vec![IoPackage::read(0, 1)]),                 // 1 byte
-            Bunch::new(1_000_000, vec![IoPackage::write(8, 100)]),      // sub-sector write
+            Bunch::new(0, vec![IoPackage::read(0, 1)]), // 1 byte
+            Bunch::new(1_000_000, vec![IoPackage::write(8, 100)]), // sub-sector write
             Bunch::new(2_000_000, vec![IoPackage::read(1024, 8 << 20)]), // 8 MiB
         ],
     );

@@ -9,7 +9,10 @@ fn collect_trace(mode: WorkloadMode, secs: u64) -> Trace {
     let mut sim = presets::hdd_raid5(4);
     run_peak_workload(
         &mut sim,
-        &IometerConfig { duration: SimDuration::from_secs(secs), ..IometerConfig::two_minutes(mode, 7) },
+        &IometerConfig {
+            duration: SimDuration::from_secs(secs),
+            ..IometerConfig::two_minutes(mode, 7)
+        },
     )
     .trace
 }
@@ -89,9 +92,7 @@ fn command_session_drives_full_test() {
         move |_: &str, _: &WorkloadMode| Some(trace.clone()),
     );
     session.handle_line("init-analyzer cycle=1000").unwrap();
-    session
-        .handle_line("configure device=raid5-hdd4 rs=8192 rn=0 rd=100 load=50")
-        .unwrap();
+    session.handle_line("configure device=raid5-hdd4 rs=8192 rn=0 rd=100 load=50").unwrap();
     let response = session.handle_line("start").unwrap();
     assert!(response.contains("iops="), "{response}");
     let query = session.handle_line("query device=raid5-hdd4").unwrap();

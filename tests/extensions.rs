@@ -10,18 +10,14 @@ use tracer_workload::OltpTraceBuilder;
 
 #[test]
 fn thermal_metric_tracks_a_replayed_workload() {
-    let trace = OltpTraceBuilder { duration_s: 120.0, mean_iops: 250.0, ..Default::default() }
-        .build();
+    let trace =
+        OltpTraceBuilder { duration_s: 120.0, mean_iops: 250.0, ..Default::default() }.build();
     let mut sim = presets::hdd_raid5(6);
     let report = replay(&mut sim, &trace, &ReplayConfig::default());
 
     let model = ThermalModel::default();
-    let temps: Vec<f64> = sim
-        .power_log()
-        .devices
-        .iter()
-        .map(|tl| model.report(tl, report.finished).peak_c)
-        .collect();
+    let temps: Vec<f64> =
+        sim.power_log().devices.iter().map(|tl| model.report(tl, report.finished).peak_c).collect();
     // Every member warmed past the idle steady state's trajectory start.
     for (i, &t) in temps.iter().enumerate() {
         assert!(t > model.ambient_c, "disk {i} never warmed: {t}");
@@ -82,10 +78,10 @@ fn warmup_window_composes_with_host_measurement() {
 
 #[test]
 fn trace_surgery_flows_through_replay() {
-    let web = WebServerTraceBuilder { duration_s: 60.0, mean_iops: 120.0, ..Default::default() }
-        .build();
-    let oltp = OltpTraceBuilder { duration_s: 60.0, mean_iops: 120.0, ..Default::default() }
-        .build();
+    let web =
+        WebServerTraceBuilder { duration_s: 60.0, mean_iops: 120.0, ..Default::default() }.build();
+    let oltp =
+        OltpTraceBuilder { duration_s: 60.0, mean_iops: 120.0, ..Default::default() }.build();
 
     // Overlay two tenants, cut the middle 30 s, replay.
     let combined = transform::merge(&web, &oltp);
@@ -110,8 +106,8 @@ fn trace_surgery_flows_through_replay() {
 #[test]
 fn analysis_helpers_certify_fig9_linearity_end_to_end() {
     // Rebuild Fig. 9's linearity claim using the public analysis API.
-    let trace = OltpTraceBuilder { duration_s: 40.0, mean_iops: 300.0, ..Default::default() }
-        .build();
+    let trace =
+        OltpTraceBuilder { duration_s: 40.0, mean_iops: 300.0, ..Default::default() }.build();
     let mut host = EvaluationHost::new();
     let loads: Vec<f64> = vec![20.0, 40.0, 60.0, 80.0, 100.0];
     let mut effs = Vec::new();

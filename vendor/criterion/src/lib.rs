@@ -1,0 +1,262 @@
+//! Offline stand-in for `criterion` (see `vendor/README.md`).
+//!
+//! Implements the subset of the criterion API the workspace's benches use:
+//! `criterion_group!` / `criterion_main!`, benchmark groups with throughput
+//! annotation, and `Bencher::iter` / `iter_batched`. Measurement is a plain
+//! wall-clock mean over a fixed number of samples — no warm-up calibration,
+//! outlier analysis, or HTML reports.
+
+use std::time::{Duration, Instant};
+
+/// Top-level harness configuration.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 50 }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup { _criterion: self, name: name.into(), sample_size, throughput: None }
+    }
+
+    /// Shorthand for a single benchmark outside a named group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let sample_size = self.sample_size;
+        run_benchmark(name, sample_size, None, f);
+        self
+    }
+}
+
+/// Units for reporting per-iteration throughput.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortises setup cost; the stand-in times every routine
+/// call individually, so the variants only document intent.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// A named set of related benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        run_benchmark(&full, self.sample_size, self.throughput, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_benchmark(
+    name: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher { sample_size, elapsed: Duration::ZERO, iterations: 0 };
+    f(&mut bencher);
+    let per_iter = if bencher.iterations == 0 {
+        Duration::ZERO
+    } else {
+        bencher.elapsed / bencher.iterations as u32
+    };
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => format_rate(n, per_iter, "elem"),
+        Some(Throughput::Bytes(n)) => format_rate(n, per_iter, "B"),
+        None => String::new(),
+    };
+    println!(
+        "bench {name}: {} / iter ({} samples){rate}",
+        format_duration(per_iter),
+        bencher.iterations
+    );
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+fn format_rate(units_per_iter: u64, per_iter: Duration, unit: &str) -> String {
+    let secs = per_iter.as_secs_f64();
+    if secs <= 0.0 {
+        return String::new();
+    }
+    let rate = units_per_iter as f64 / secs;
+    if rate >= 1e9 {
+        format!(", {:.2} G{unit}/s", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!(", {:.2} M{unit}/s", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!(", {:.2} K{unit}/s", rate / 1e3)
+    } else {
+        format!(", {rate:.2} {unit}/s")
+    }
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    sample_size: usize,
+    elapsed: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Time `routine` over the configured number of samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        std::hint::black_box(routine()); // warm-up, untimed
+        let start = Instant::now();
+        for _ in 0..self.sample_size {
+            std::hint::black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iterations += self.sample_size as u64;
+    }
+
+    /// Time `routine` against fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        std::hint::black_box(routine(setup())); // warm-up, untimed
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.elapsed += start.elapsed();
+            self.iterations += 1;
+        }
+    }
+}
+
+/// Define a benchmark group function. Supports both the plain
+/// `criterion_group!(name, target, ...)` form and the
+/// `name = ...; config = ...; targets = ...` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generate a `main` that runs the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+/// Re-export so `criterion::black_box` callers keep working.
+pub use std::hint::black_box;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_accumulates_iterations() {
+        let mut count = 0u64;
+        let mut c = Criterion::default().sample_size(5);
+        let mut g = c.benchmark_group("t");
+        g.throughput(Throughput::Elements(3));
+        g.bench_function("count", |b| b.iter(|| count += 1));
+        g.finish();
+        assert_eq!(count, 6); // 1 warm-up + 5 samples
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut setups = 0u64;
+        let mut c = Criterion::default().sample_size(4);
+        let mut g = c.benchmark_group("t");
+        g.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![0u8; 16]
+                },
+                |v| v.len(),
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+        assert_eq!(setups, 5); // 1 warm-up + 4 samples
+    }
+
+    mod grouped {
+        fn target(c: &mut crate::Criterion) {
+            c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        }
+        crate::criterion_group! {
+            name = benches;
+            config = crate::Criterion::default().sample_size(2);
+            targets = target
+        }
+        #[test]
+        fn group_macro_compiles_and_runs() {
+            benches();
+        }
+    }
+}

@@ -1,0 +1,558 @@
+//! Offline stand-in for `serde` (see `vendor/README.md`).
+//!
+//! Instead of serde's visitor-based zero-copy data model, this stand-in uses
+//! a simple owned [`Value`] tree: `Serialize` renders a value into the tree,
+//! `Deserialize` rebuilds from it. The derive macros (re-exported from the
+//! local `serde_derive`) generate those impls with serde's external-tagging
+//! conventions, so JSON produced by the sibling `serde_json` stand-in looks
+//! like what the real crates would emit.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// The self-describing data tree both traits speak.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer (kept apart so `u64 > i64::MAX` survives).
+    UInt(u64),
+    /// Floating point.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Sequence.
+    Seq(Vec<Value>),
+    /// Key-value map in insertion order.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Look up a key in a map value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric content widened to `f64`, when numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::UInt(v) => Some(*v as f64),
+            Value::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    /// Compact JSON rendering, so `println!("{value}")` emits one JSON line.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        write_json(&mut out, self, None, 0);
+        f.write_str(&out)
+    }
+}
+
+/// Render a [`Value`] as JSON into `out`; `indent` of `Some(width)` pretty
+/// prints. Shared by [`Value`]'s `Display` and the `serde_json` stand-in.
+pub fn write_json(out: &mut String, value: &Value, indent: Option<usize>, depth: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Int(v) => out.push_str(&v.to_string()),
+        Value::UInt(v) => out.push_str(&v.to_string()),
+        Value::Float(v) => write_json_float(out, *v),
+        Value::Str(s) => write_json_string(out, s),
+        Value::Seq(items) => {
+            write_json_block(out, indent, depth, '[', ']', items.len(), |out, i| {
+                write_json(out, &items[i], indent, depth + 1);
+            })
+        }
+        Value::Map(entries) => {
+            write_json_block(out, indent, depth, '{', '}', entries.len(), |out, i| {
+                write_json_string(out, &entries[i].0);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_json(out, &entries[i].1, indent, depth + 1);
+            })
+        }
+    }
+}
+
+fn write_json_block(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * (depth + 1)));
+        }
+        item(out, i);
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(width * depth));
+    }
+    out.push(close);
+}
+
+fn write_json_float(out: &mut String, v: f64) {
+    if !v.is_finite() {
+        // JSON has no NaN/Infinity; real serde_json emits null too.
+        out.push_str("null");
+        return;
+    }
+    // Rust's shortest round-trip formatting; force a `.0` so the token reads
+    // back as a float.
+    let text = v.to_string();
+    out.push_str(&text);
+    if !text.contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Deserialization failure: what was expected and what was found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl DeError {
+    /// Build an error from anything printable.
+    pub fn msg(message: impl Into<String>) -> Self {
+        Self { message: message.into() }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Render self into the [`Value`] tree.
+pub trait Serialize {
+    /// Build the tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Rebuild self from the [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Parse the tree.
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+}
+
+/// Fetch and deserialize a struct field (derive-macro helper).
+pub fn get_field<T: Deserialize>(value: &Value, name: &str) -> Result<T, DeError> {
+    match value.get(name) {
+        Some(v) => {
+            T::from_value(v).map_err(|e| DeError::msg(format!("field {name:?}: {}", e.message)))
+        }
+        None => Err(DeError::msg(format!("missing field {name:?}"))),
+    }
+}
+
+/// Expect a map with exactly one entry — serde's externally-tagged enum shape
+/// (derive-macro helper).
+pub fn get_variant(value: &Value) -> Result<(&str, &Value), DeError> {
+    match value {
+        Value::Map(entries) if entries.len() == 1 => Ok((entries[0].0.as_str(), &entries[0].1)),
+        other => Err(DeError::msg(format!("expected single-variant map, found {}", other.kind()))),
+    }
+}
+
+/// Expect a sequence of exactly `n` elements (derive-macro helper for tuple
+/// variants and tuple structs).
+pub fn get_tuple(value: &Value, n: usize) -> Result<&[Value], DeError> {
+    match value {
+        Value::Seq(items) if items.len() == n => Ok(items),
+        Value::Seq(items) => {
+            Err(DeError::msg(format!("expected tuple of {n}, found {}", items.len())))
+        }
+        other => Err(DeError::msg(format!("expected sequence, found {}", other.kind()))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for primitives and std containers
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_serialize_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+    )*};
+}
+impl_serialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+    )*};
+}
+impl_serialize_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> =
+            self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Map(entries)
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+    )*};
+}
+impl_serialize_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_deserialize_uint {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let wide = match value {
+                    Value::UInt(v) => *v,
+                    Value::Int(v) if *v >= 0 => *v as u64,
+                    other => {
+                        return Err(DeError::msg(format!(
+                            "expected unsigned integer, found {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(wide).map_err(|_| {
+                    DeError::msg(format!(
+                        "{wide} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+impl_deserialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_deserialize_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let wide = match value {
+                    Value::Int(v) => *v,
+                    Value::UInt(v) => i64::try_from(*v).map_err(|_| {
+                        DeError::msg(format!("{v} overflows signed integer"))
+                    })?,
+                    other => {
+                        return Err(DeError::msg(format!(
+                            "expected integer, found {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(wide).map_err(|_| {
+                    DeError::msg(format!(
+                        "{wide} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+impl_deserialize_int!(i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            // Non-finite floats serialize to null (JSON has no NaN).
+            Value::Null => Ok(f64::NAN),
+            other => other
+                .as_f64()
+                .ok_or_else(|| DeError::msg(format!("expected number, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        f64::from_value(value).map(|v| v as f32)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::msg(format!("expected bool, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::msg(format!("expected string, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::msg(format!("expected sequence, found {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::collections::VecDeque<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::msg(format!("expected sequence, found {}", other.kind()))),
+        }
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Map(entries) => {
+                entries.iter().map(|(k, v)| Ok((k.clone(), V::from_value(v)?))).collect()
+            }
+            other => Err(DeError::msg(format!("expected map, found {}", other.kind()))),
+        }
+    }
+}
+
+macro_rules! impl_deserialize_tuple {
+    ($(($n:expr => $($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let items = get_tuple(value, $n)?;
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+impl_deserialize_tuple! {
+    (1 => A: 0)
+    (2 => A: 0, B: 1)
+    (3 => A: 0, B: 1, C: 2)
+    (4 => A: 0, B: 1, C: 2, D: 3)
+    (5 => A: 0, B: 1, C: 2, D: 3, E: 4)
+    (6 => A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::from_value(&42u32.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-9i64).to_value()).unwrap(), -9);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(String::from_value(&"hi".to_value()).unwrap(), "hi");
+        assert_eq!(Option::<u8>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(Vec::<u8>::from_value(&vec![1u8, 2, 3].to_value()).unwrap(), vec![1, 2, 3]);
+        let t = (1u32, 2.5f64, true);
+        assert_eq!(<(u32, f64, bool)>::from_value(&t.to_value()).unwrap(), t);
+    }
+
+    #[test]
+    fn errors_name_the_mismatch() {
+        let e = u32::from_value(&Value::Str("x".into())).unwrap_err();
+        assert!(e.to_string().contains("expected unsigned integer"));
+        let e = get_field::<u32>(&Value::Map(vec![]), "speed").unwrap_err();
+        assert!(e.to_string().contains("missing field"));
+        assert!(u8::from_value(&Value::UInt(300)).is_err());
+    }
+
+    #[test]
+    fn big_u64_survives() {
+        let v = u64::MAX.to_value();
+        assert_eq!(u64::from_value(&v).unwrap(), u64::MAX);
+        assert!(i64::from_value(&v).is_err());
+    }
+}

@@ -1,0 +1,407 @@
+//! Offline stand-in for `serde_json` (see `vendor/README.md`).
+//!
+//! Serializes the local `serde` stand-in's `Value` tree to JSON text and
+//! parses it back. Floats are printed with Rust's shortest round-trip
+//! formatting, so `f64` values survive save/load exactly (the behaviour the
+//! real crate's `float_roundtrip` feature guarantees).
+
+use serde::{write_json, Deserialize, Serialize};
+use std::fmt;
+
+pub use serde::Value;
+
+// The `json!` macro needs the trait at a path that resolves from any caller
+// crate, including ones that do not depend on `serde` themselves.
+#[doc(hidden)]
+pub use serde::Serialize as __Serialize;
+
+/// Serialization / parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    fn new(message: impl Into<String>) -> Self {
+        Self { message: message.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize to compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_json(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serialize to indented JSON.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_json(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Parse JSON text into any deserializable type.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let value = parse_value(text)?;
+    T::from_value(&value).map_err(|e| Error::new(e.to_string()))
+}
+
+/// Build a [`Value`] literal: `{ "key": value, ... }`, `[value, ...]`,
+/// `null`, or any `Serialize` expression. Objects and arrays nest, as in the
+/// real crate's macro.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({}) => { $crate::Value::Map(Vec::new()) };
+    ([]) => { $crate::Value::Seq(Vec::new()) };
+    ({ $($tt:tt)+ }) => { $crate::Value::Map($crate::json_internal!(@object [] $($tt)+)) };
+    ([ $($tt:tt)+ ]) => { $crate::Value::Seq($crate::json_internal!(@array [] $($tt)+)) };
+    ($other:expr) => { $crate::__Serialize::to_value(&$other) };
+}
+
+// Token muncher behind `json!`: walks entries/items left to right, routing
+// nested `{...}` / `[...]` / `null` values back through `json!` and anything
+// else through `Serialize::to_value`.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal {
+    (@object [$($entries:expr),*]) => { vec![$($entries),*] };
+    (@object [$($entries:expr),*] $key:literal : { $($map:tt)* } $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(
+            @object [$($entries,)* ($key.to_string(), $crate::json!({ $($map)* }))]
+            $($($rest)*)?
+        )
+    };
+    (@object [$($entries:expr),*] $key:literal : [ $($arr:tt)* ] $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(
+            @object [$($entries,)* ($key.to_string(), $crate::json!([ $($arr)* ]))]
+            $($($rest)*)?
+        )
+    };
+    (@object [$($entries:expr),*] $key:literal : null $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(
+            @object [$($entries,)* ($key.to_string(), $crate::Value::Null)]
+            $($($rest)*)?
+        )
+    };
+    (@object [$($entries:expr),*] $key:literal : $val:expr $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(
+            @object [$($entries,)* ($key.to_string(), $crate::__Serialize::to_value(&$val))]
+            $($($rest)*)?
+        )
+    };
+    (@array [$($items:expr),*]) => { vec![$($items),*] };
+    (@array [$($items:expr),*] { $($map:tt)* } $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@array [$($items,)* $crate::json!({ $($map)* })] $($($rest)*)?)
+    };
+    (@array [$($items:expr),*] [ $($arr:tt)* ] $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@array [$($items,)* $crate::json!([ $($arr)* ])] $($($rest)*)?)
+    };
+    (@array [$($items:expr),*] null $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@array [$($items,)* $crate::Value::Null] $($($rest)*)?)
+    };
+    (@array [$($items:expr),*] $item:expr $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(
+            @array [$($items,)* $crate::__Serialize::to_value(&$item)]
+            $($($rest)*)?
+        )
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse_value(text: &str) -> Result<Value, Error> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::new(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(value)
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        self.skip_ws();
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!("expected {:?} at byte {}", byte as char, self.pos)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.map(),
+            Some(b'[') => self.seq(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.keyword("true", Value::Bool(true)),
+            Some(b'f') => self.keyword("false", Value::Bool(false)),
+            Some(b'n') => self.keyword("null", Value::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(Error::new(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|c| c as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn keyword(&mut self, word: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(Error::new(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn map(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            entries.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                _ => return Err(Error::new(format!("expected ',' or '}}' at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn seq(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                _ => return Err(Error::new(format!("expected ',' or ']' at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        if self.peek() != Some(b'"') {
+            return Err(Error::new(format!("expected string at byte {}", self.pos)));
+        }
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::new("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| Error::new("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error::new("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| Error::new("bad \\u escape"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::new("bad \\u code point"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        other => return Err(Error::new(format!("bad escape {other:?}"))),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input came from a &str).
+                    let rest = &self.bytes[self.pos..];
+                    let s = unsafe { std::str::from_utf8_unchecked(rest) };
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::new("bad number"))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| Error::new(format!("invalid number {text:?}")))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Value::Int)
+                .map_err(|_| Error::new(format!("invalid number {text:?}")))
+        } else {
+            text.parse::<u64>()
+                .map(Value::UInt)
+                .map_err(|_| Error::new(format!("invalid number {text:?}")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_nested_value() {
+        let v = json!({
+            "name": "trace",
+            "count": 3u32,
+            "ratio": 0.125f64,
+            "ok": true,
+            "items": vec![1u8, 2, 3],
+            "nothing": json!(null),
+        });
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+        let pretty = to_string_pretty(&v).unwrap();
+        let back: Value = from_str(&pretty).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn json_macro_nests_objects_and_arrays() {
+        let v = json!({
+            "fifo": {"makespan_s": 1.5f64, "joules": 9u32},
+            "loads": [10u8, 20u8, 30u8],
+            "grid": [[1u8], [], {"empty": null}],
+            "empty": {},
+        });
+        assert_eq!(
+            v.to_string(),
+            r#"{"fifo":{"makespan_s":1.5,"joules":9},"loads":[10,20,30],"grid":[[1],[],{"empty":null}],"empty":{}}"#
+        );
+        let back: Value = from_str(&v.to_string()).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        for v in [0.1, 1.0 / 3.0, f64::MAX, 5e-324, -123.456789012345] {
+            let text = to_string(&v).unwrap();
+            let back: f64 = from_str(&text).unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "{text}");
+        }
+        // Whole floats keep a decimal point so they stay floats.
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        // Non-finite becomes null, which reads back as NaN.
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+        assert!(from_str::<f64>("null").unwrap().is_nan());
+    }
+
+    #[test]
+    fn strings_escape_and_unescape() {
+        let s = "line\n\"quoted\"\tünïcode \\ \u{1}".to_string();
+        let text = to_string(&s).unwrap();
+        let back: String = from_str(&text).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<Value>("{not json").is_err());
+        assert!(from_str::<Value>("").is_err());
+        assert!(from_str::<Value>("[1, 2,]").is_err());
+        assert!(from_str::<Value>("{} trailing").is_err());
+        assert!(from_str::<Value>("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn display_is_compact_json() {
+        let v = json!({"a": [1u8], "b": "x"});
+        assert_eq!(v.to_string(), r#"{"a":[1],"b":"x"}"#);
+    }
+
+    #[test]
+    fn big_integers_survive() {
+        let text = to_string(&u64::MAX).unwrap();
+        assert_eq!(from_str::<u64>(&text).unwrap(), u64::MAX);
+        let text = to_string(&i64::MIN).unwrap();
+        assert_eq!(from_str::<i64>(&text).unwrap(), i64::MIN);
+    }
+}
