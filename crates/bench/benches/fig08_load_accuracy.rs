@@ -26,8 +26,17 @@ fn main() {
     println!("trace: {} bunches / {} IOs", trace.bunch_count(), trace.io_count());
 
     let mut host = EvaluationHost::new();
+    let exec = SweepExecutor::auto();
     let result = timed("sweep", || {
-        load_sweep(&mut host, || presets::hdd_raid5(6), &trace, mode, &sweep::LOAD_PCTS, "fig08")
+        load_sweep_with(
+            &mut host,
+            &exec,
+            || presets::hdd_raid5(6),
+            &trace,
+            mode,
+            &sweep::LOAD_PCTS,
+            "fig08",
+        )
     });
 
     row(&["config %".into(), "IOPS".into(), "MBPS".into(), "acc IOPS".into(), "acc MBPS".into()]);

@@ -26,22 +26,35 @@ fn collect(mode: WorkloadMode, seed: u64) -> Trace {
 
 fn sweep_metric(
     host: &mut EvaluationHost,
+    exec: &SweepExecutor,
     mode: WorkloadMode,
     metric: impl Fn(&EfficiencyMetrics) -> f64,
 ) -> Vec<f64> {
     let trace = collect(mode, 9);
-    LOADS
-        .iter()
-        .map(|&load| {
+    // Measure every load level on the pool, then commit serially in load
+    // order so the database looks exactly as if the loop had run inline.
+    let cycle = host.meter_cycle_ms;
+    let cells = exec.run_indexed(
+        LOADS.len(),
+        |i| {
             let mut sim = presets::hdd_raid5(6);
-            let m = host.run_test(&mut sim, &trace, mode.at_load(load), 100, "fig09").metrics;
-            metric(&m)
-        })
-        .collect()
+            EvaluationHost::measure_test(
+                cycle,
+                &mut sim,
+                &trace,
+                mode.at_load(LOADS[i]),
+                100,
+                "fig09",
+            )
+        },
+        |_| {},
+    );
+    cells.into_iter().map(|cell| metric(&host.commit(cell).metrics)).collect()
 }
 
 fn main() {
     let mut host = EvaluationHost::new();
+    let exec = SweepExecutor::auto();
 
     banner("Fig. 9a", "IOPS/Watt vs load (sizes 512B–1M; rd 25%, rnd 25%)");
     let sizes_a: [u32; 5] = [512, 4096, 65536, 262_144, 1 << 20];
@@ -52,7 +65,9 @@ fn main() {
         row(&header);
         let series: Vec<Vec<f64>> = sizes_a
             .iter()
-            .map(|&s| sweep_metric(&mut host, WorkloadMode::peak(s, 25, 25), |m| m.iops_per_watt))
+            .map(|&s| {
+                sweep_metric(&mut host, &exec, WorkloadMode::peak(s, 25, 25), |m| m.iops_per_watt)
+            })
             .collect();
         for (i, &load) in LOADS.iter().enumerate() {
             let mut cells = vec![load.to_string()];
@@ -72,7 +87,9 @@ fn main() {
         let series: Vec<Vec<f64>> = cfgs_b
             .iter()
             .map(|&(s, rd)| {
-                sweep_metric(&mut host, WorkloadMode::peak(s, 25, rd), |m| m.mbps_per_kilowatt)
+                sweep_metric(&mut host, &exec, WorkloadMode::peak(s, 25, rd), |m| {
+                    m.mbps_per_kilowatt
+                })
             })
             .collect();
         for (i, &load) in LOADS.iter().enumerate() {

@@ -12,7 +12,7 @@ use tracer_workload::iometer::run_peak_workload;
 
 const RANDOMS: [u8; 5] = [0, 25, 50, 75, 100];
 
-fn efficiency(host: &mut EvaluationHost, mode: WorkloadMode) -> EfficiencyMetrics {
+fn measure_cell(cycle: u64, mode: WorkloadMode) -> MeasuredTest {
     let mut sim = presets::hdd_raid5(6);
     let trace = run_peak_workload(
         &mut sim,
@@ -23,11 +23,12 @@ fn efficiency(host: &mut EvaluationHost, mode: WorkloadMode) -> EfficiencyMetric
     )
     .trace;
     let mut sim = presets::hdd_raid5(6);
-    host.run_test(&mut sim, &trace, mode, 100, "fig10").metrics
+    EvaluationHost::measure_test(cycle, &mut sim, &trace, mode, 100, "fig10")
 }
 
 fn panel(
     host: &mut EvaluationHost,
+    exec: &SweepExecutor,
     title: &str,
     sizes: &[u32],
     read_pct: u8,
@@ -37,14 +38,17 @@ fn panel(
     let mut header = vec!["rand %".to_string()];
     header.extend(sizes.iter().map(|&s| size_label(s)));
     row(&header);
-    let series: Vec<Vec<f64>> = sizes
+    // All size × random cells run on the pool; commits happen serially in
+    // size-major order, matching the database layout of the old nested loop.
+    let modes: Vec<WorkloadMode> = sizes
         .iter()
-        .map(|&s| {
-            RANDOMS
-                .iter()
-                .map(|&rnd| metric(&efficiency(host, WorkloadMode::peak(s, rnd, read_pct))))
-                .collect()
-        })
+        .flat_map(|&s| RANDOMS.iter().map(move |&rnd| WorkloadMode::peak(s, rnd, read_pct)))
+        .collect();
+    let cycle = host.meter_cycle_ms;
+    let measured = exec.run_indexed(modes.len(), |i| measure_cell(cycle, modes[i]), |_| {});
+    let series: Vec<Vec<f64>> = measured
+        .chunks_exact(RANDOMS.len())
+        .map(|chunk| chunk.iter().map(|cell| metric(&host.commit(cell.clone()).metrics)).collect())
         .collect();
     for (i, &rnd) in RANDOMS.iter().enumerate() {
         let mut cells = vec![rnd.to_string()];
@@ -56,9 +60,11 @@ fn panel(
 
 fn main() {
     let mut host = EvaluationHost::new();
+    let exec = SweepExecutor::auto();
     let panel_a = timed("fig10a", || {
         panel(
             &mut host,
+            &exec,
             "Fig. 10a — MBPS/Kilowatt vs random ratio",
             &[512, 4096, 16384, 65536],
             0,
@@ -68,6 +74,7 @@ fn main() {
     let panel_b = timed("fig10b", || {
         panel(
             &mut host,
+            &exec,
             "Fig. 10b — IOPS/Watt vs random ratio",
             &[4096, 65536, 1 << 20],
             100,

@@ -13,7 +13,7 @@ use tracer_workload::iometer::run_peak_workload;
 const READS: [u8; 5] = [0, 25, 50, 75, 100];
 const RANDOMS: [u8; 3] = [0, 50, 100];
 
-fn measure(host: &mut EvaluationHost, mode: WorkloadMode) -> EfficiencyMetrics {
+fn measure(cycle: u64, mode: WorkloadMode) -> MeasuredTest {
     let mut sim = presets::hdd_raid5(6);
     let trace = run_peak_workload(
         &mut sim,
@@ -24,20 +24,27 @@ fn measure(host: &mut EvaluationHost, mode: WorkloadMode) -> EfficiencyMetrics {
     )
     .trace;
     let mut sim = presets::hdd_raid5(6);
-    host.run_test(&mut sim, &trace, mode, 100, "fig11").metrics
+    EvaluationHost::measure_test(cycle, &mut sim, &trace, mode, 100, "fig11")
 }
 
 fn main() {
     banner("Fig. 11", "throughput and efficiency vs read ratio (16K; rnd 0/50/100%)");
     let mut host = EvaluationHost::new();
+    let exec = SweepExecutor::auto();
     let mut mbps = Vec::new();
     let mut eff = Vec::new();
     timed("fig11", || {
-        for &rnd in &RANDOMS {
-            let series: Vec<EfficiencyMetrics> = READS
-                .iter()
-                .map(|&rd| measure(&mut host, WorkloadMode::peak(16 * 1024, rnd, rd)))
-                .collect();
+        // random-major × read-minor grid, fanned out over the pool and
+        // committed in grid order (same order the old serial loops used).
+        let modes: Vec<WorkloadMode> = RANDOMS
+            .iter()
+            .flat_map(|&rnd| READS.iter().map(move |&rd| WorkloadMode::peak(16 * 1024, rnd, rd)))
+            .collect();
+        let cycle = host.meter_cycle_ms;
+        let measured = exec.run_indexed(modes.len(), |i| measure(cycle, modes[i]), |_| {});
+        for chunk in measured.chunks_exact(READS.len()) {
+            let series: Vec<EfficiencyMetrics> =
+                chunk.iter().map(|cell| host.commit(cell.clone()).metrics).collect();
             mbps.push(series.iter().map(|m| m.mbps).collect::<Vec<_>>());
             eff.push(series.iter().map(|m| m.mbps_per_kilowatt).collect::<Vec<_>>());
         }

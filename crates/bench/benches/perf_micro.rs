@@ -1,15 +1,29 @@
 //! Criterion micro-benchmarks of the framework's hot paths: the proportional
-//! filter, trace (de)serialisation, RAID-5 planning, the DES engine, and the
-//! closed-loop generator.
+//! filter, trace (de)serialisation, RAID-5 planning, the DES engine (request
+//! store and elevator dispatch), the closed-loop generator, and the
+//! end-to-end load sweep (serial vs pooled).
+//!
+//! Each DES-engine benchmark also emits a machine-readable `RESULT` line
+//! (events/sec, sweep seconds) so EXPERIMENTS.md can track the hot-path
+//! numbers across commits. Set `TRACER_BENCH_SAMPLES` to shrink the sample
+//! count (CI smoke runs use `TRACER_BENCH_SAMPLES=2`).
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use std::hint::black_box;
+use std::time::Instant;
+use tracer_bench::json_result;
+use tracer_core::{load_sweep_with, EvaluationHost, SweepExecutor};
 use tracer_replay::{replay_prepared, AddressPolicy, ProportionalFilter};
-use tracer_sim::SimDuration;
-use tracer_sim::{presets, Geometry};
+use tracer_sim::{
+    presets, ArrayRequest, ArraySim, Geometry, QueueDiscipline, SimDuration, SimTime,
+};
 use tracer_trace::WorkloadMode;
 use tracer_trace::{replay_format, Bunch, IoPackage, OpKind, Trace};
 use tracer_workload::iometer::{run_peak_workload, IometerConfig};
+
+fn samples_from_env() -> usize {
+    std::env::var("TRACER_BENCH_SAMPLES").ok().and_then(|v| v.parse().ok()).unwrap_or(20).max(1)
+}
 
 fn big_trace(bunches: usize) -> Trace {
     Trace::from_bunches(
@@ -96,6 +110,133 @@ fn bench_engine(c: &mut Criterion) {
     g.finish();
 }
 
+/// A simulator whose queues stay deep: requests arrive far faster than the
+/// disks can serve them, so every DES event exercises the request store.
+fn deep_queue_sim(total: u64) -> ArraySim {
+    let mut sim = presets::hdd_raid5(6);
+    for i in 0..total {
+        let at = SimTime::from_micros(i * 20);
+        let req = ArrayRequest::new((i * 48_271) % 400_000 * 256, 8192, OpKind::Read);
+        sim.submit(at, req).expect("submit");
+    }
+    sim
+}
+
+fn bench_request_store(c: &mut Criterion) {
+    let mut g = c.benchmark_group("request_store");
+    g.throughput(Throughput::Elements(5_000));
+    g.bench_function("deep_queue_5k_requests", |b| {
+        b.iter_batched(
+            || deep_queue_sim(5_000),
+            |mut sim| {
+                sim.run_to_idle();
+                black_box(sim.events_processed())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+
+    // One deterministic run for the RESULT line: raw DES event throughput.
+    let mut sim = deep_queue_sim(20_000);
+    let t0 = Instant::now();
+    sim.run_to_idle();
+    let secs = t0.elapsed().as_secs_f64();
+    let events = sim.events_processed();
+    json_result(
+        "perf_request_store",
+        &serde_json::json!({
+            "requests": 20_000,
+            "events": events,
+            "seconds": secs,
+            "events_per_sec": events as f64 / secs.max(1e-9),
+        }),
+    );
+}
+
+/// An elevator-disciplined array with `depth` scattered requests queued in
+/// one burst, so every dispatch walks the per-disk sector index.
+fn elevator_backlog(depth: u64) -> ArraySim {
+    let (mut cfg, devices) = presets::hdd_raid5_parts(6);
+    cfg.queue_discipline = QueueDiscipline::Elevator;
+    let mut sim = ArraySim::new(cfg, devices);
+    for i in 0..depth {
+        let req = ArrayRequest::new((i * 48_271) % 400_000 * 256, 4096, OpKind::Read);
+        sim.submit(SimTime::ZERO, req).expect("submit");
+    }
+    sim
+}
+
+fn bench_elevator_dispatch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("elevator");
+    for &depth in &[8u64, 64, 512] {
+        g.throughput(Throughput::Elements(depth));
+        g.bench_function(&format!("dispatch_depth_{depth}"), |b| {
+            b.iter_batched(
+                || elevator_backlog(depth),
+                |mut sim| {
+                    sim.run_to_idle();
+                    black_box(sim.events_processed())
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+
+    let mut sim = elevator_backlog(512);
+    let t0 = Instant::now();
+    sim.run_to_idle();
+    let secs = t0.elapsed().as_secs_f64();
+    let events = sim.events_processed();
+    json_result(
+        "perf_elevator",
+        &serde_json::json!({
+            "depth": 512,
+            "events": events,
+            "seconds": secs,
+            "events_per_sec": events as f64 / secs.max(1e-9),
+        }),
+    );
+}
+
+/// End-to-end load sweep, serial versus a four-worker pool. On a single-core
+/// host the two are expected to tie; the RESULT line records both so scaling
+/// can be compared across runners.
+fn bench_load_sweep(c: &mut Criterion) {
+    let _ = c;
+    let trace = big_trace(20_000);
+    let mode = WorkloadMode::peak(8192, 50, 100);
+    let loads = [20, 40, 60, 80, 100];
+    let run = |workers: usize| {
+        let mut host = EvaluationHost::new();
+        let exec = SweepExecutor::new(workers);
+        let t0 = Instant::now();
+        let res = load_sweep_with(
+            &mut host,
+            &exec,
+            || presets::hdd_raid5(6),
+            &trace,
+            mode,
+            &loads,
+            "perf",
+        );
+        black_box(&res);
+        t0.elapsed().as_secs_f64()
+    };
+    let serial = run(1);
+    let pooled = run(4);
+    json_result(
+        "perf_load_sweep",
+        &serde_json::json!({
+            "loads": loads.len() + 1,
+            "serial_seconds": serial,
+            "workers4_seconds": pooled,
+            "speedup": serial / pooled.max(1e-9),
+        }),
+    );
+}
+
 fn bench_generator(c: &mut Criterion) {
     let mut g = c.benchmark_group("generator");
     g.bench_function("closed_loop_1s_peak_4k_random", |b| {
@@ -116,7 +257,8 @@ fn bench_generator(c: &mut Criterion) {
 
 criterion_group! {
     name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_filter, bench_serialization, bench_raid_planning, bench_engine, bench_generator
+    config = Criterion::default().sample_size(samples_from_env());
+    targets = bench_filter, bench_serialization, bench_raid_planning, bench_engine,
+        bench_request_store, bench_elevator_dispatch, bench_generator, bench_load_sweep
 }
 criterion_main!(benches);

@@ -5,12 +5,21 @@
 //! `TRACER_FULL_SWEEP=1` for the paper's full 125 × 10 = 1250 measurements
 //! (roughly a few minutes of wall time). Results are written to
 //! `target/sweep125_results.json` for offline analysis.
+//!
+//! The sweep fans out over a bounded worker pool (`TRACER_WORKERS`, default:
+//! all cores). Results are bit-identical to the serial sweep regardless of
+//! the worker count.
 
 use tracer_bench::{banner, f, json_result, row, timed};
 use tracer_core::prelude::*;
 
+fn workers_from_env() -> usize {
+    std::env::var("TRACER_WORKERS").ok().and_then(|v| v.parse().ok()).unwrap_or(0)
+}
+
 fn main() {
     let full = std::env::var("TRACER_FULL_SWEEP").is_ok_and(|v| v == "1");
+    let exec = SweepExecutor::new(workers_from_env());
     let cfg = if full {
         SweepConfig::default()
     } else {
@@ -27,30 +36,37 @@ fn main() {
     banner(
         "sweep125",
         &format!(
-            "{} modes x {} loads = {} measurements{}",
+            "{} modes x {} loads = {} measurements{} on {} worker(s)",
             cfg.modes.len(),
             cfg.loads.len(),
             cfg.run_count(),
-            if full { " (FULL)" } else { " (subsampled; TRACER_FULL_SWEEP=1 for all 1250)" }
+            if full { " (FULL)" } else { " (subsampled; TRACER_FULL_SWEEP=1 for all 1250)" },
+            exec.workers(),
         ),
     );
 
-    // Collect traces (5 s each), then sweep.
+    // Collect traces (5 s each) across the pool, then sweep.
     let dir = std::env::temp_dir().join("tracer_sweep125_repo");
     let repo = TraceRepository::open(&dir).expect("repository");
     timed("collect", || {
-        let mut collector = TraceCollector::new(&repo, || presets::hdd_raid5(6));
-        collector.duration = SimDuration::from_secs(5);
-        for &mode in &cfg.modes {
-            collector.collect(mode).expect("collect");
-        }
+        exec.run_indexed(
+            cfg.modes.len(),
+            |i| {
+                let mut collector = TraceCollector::new(&repo, || presets::hdd_raid5(6));
+                collector.duration = SimDuration::from_secs(5);
+                collector.collect(cfg.modes[i]).expect("collect");
+            },
+            |_| {},
+        );
     });
 
     let mut host = EvaluationHost::new();
     let device = presets::hdd_raid5(6).config().name.clone();
+    let sweep_t0 = std::time::Instant::now();
     let results = timed("sweep", || {
-        run_sweep(
+        run_sweep_with(
             &mut host,
+            &exec,
             || presets::hdd_raid5(6),
             |mode| repo.load(&device, mode).expect("collected"),
             &cfg,
@@ -61,6 +77,7 @@ fn main() {
             },
         )
     });
+    let sweep_seconds = sweep_t0.elapsed().as_secs_f64();
 
     // Summary: worst control error, and the monotone-efficiency property per
     // mode (Fig. 9 at campaign scale). Fully sequential modes (random 0 %)
@@ -123,6 +140,8 @@ fn main() {
         "sweep125",
         &serde_json::json!({
             "runs": cfg.run_count(),
+            "workers": exec.workers(),
+            "sweep_seconds": sweep_seconds,
             "worst_error": worst_err,
             "worst_error_excl_pure_sequential": worst_mixed_err,
             "monotone_modes": monotone_modes,

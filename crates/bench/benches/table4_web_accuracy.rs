@@ -16,8 +16,17 @@ fn main() {
 
     let mut host = EvaluationHost::new();
     let mode = WorkloadMode::peak(22 * 1024, 50, 90);
+    let exec = SweepExecutor::auto();
     let result = timed("sweep", || {
-        load_sweep(&mut host, || presets::hdd_raid5(6), &trace, mode, &sweep::LOAD_PCTS, "table4")
+        load_sweep_with(
+            &mut host,
+            &exec,
+            || presets::hdd_raid5(6),
+            &trace,
+            mode,
+            &sweep::LOAD_PCTS,
+            "table4",
+        )
     });
 
     // Paper's row layout.

@@ -30,8 +30,17 @@ fn main() {
 
     let mut host = EvaluationHost::new();
     let mode = WorkloadMode::peak(8192, 50, 58);
+    let exec = SweepExecutor::auto();
     let result = timed("sweep", || {
-        load_sweep(&mut host, || presets::hdd_raid5(6), &trace, mode, &sweep::LOAD_PCTS, "table5")
+        load_sweep_with(
+            &mut host,
+            &exec,
+            || presets::hdd_raid5(6),
+            &trace,
+            mode,
+            &sweep::LOAD_PCTS,
+            "table5",
+        )
     });
 
     let head: Vec<String> = std::iter::once("Configured Load %".to_string())
@@ -58,7 +67,15 @@ fn main() {
             .collect(),
     );
     let fixed_result = timed("fixed-baseline", || {
-        load_sweep(&mut host, || presets::hdd_raid5(6), &fixed, mode, &sweep::LOAD_PCTS, "table5f")
+        load_sweep_with(
+            &mut host,
+            &exec,
+            || presets::hdd_raid5(6),
+            &fixed,
+            mode,
+            &sweep::LOAD_PCTS,
+            "table5f",
+        )
     });
     let fixed_err =
         fixed_result.rows.iter().map(|r| (r.accuracy_mbps - 1.0).abs()).fold(0.0f64, f64::max);

@@ -48,16 +48,19 @@ pub fn size_label(bytes: u32) -> String {
 /// bench output.
 pub fn spark(series: &[f64]) -> String {
     const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
-    let max = series.iter().cloned().fold(f64::MIN, f64::max);
-    let min = series.iter().cloned().fold(f64::MAX, f64::min);
     if series.is_empty() {
         return String::new();
     }
+    let max = series.iter().cloned().fold(f64::MIN, f64::max);
+    let min = series.iter().cloned().fold(f64::MAX, f64::min);
     let range = (max - min).max(f64::MIN_POSITIVE);
     series
         .iter()
         .map(|v| {
-            let idx = (((v - min) / range) * 7.0).round() as usize;
+            let scaled = ((v - min) / range) * 7.0;
+            // NaN inputs produce a NaN scale; `as usize` would pin them to 0
+            // silently, so render them at the floor on purpose.
+            let idx = if scaled.is_nan() { 0 } else { scaled.round() as usize };
             BLOCKS[idx.min(7)]
         })
         .collect()
@@ -104,5 +107,11 @@ mod tests {
         assert!(s.starts_with('▁') && s.ends_with('█'));
         // Flat series stays at the floor.
         assert_eq!(spark(&[5.0, 5.0, 5.0]), "▁▁▁");
+        // NaN elements render at the floor instead of panicking or skewing.
+        let s = spark(&[0.0, f64::NAN, 1.0]);
+        assert_eq!(s.chars().count(), 3);
+        assert_eq!(s.chars().nth(1), Some('▁'));
+        // An all-NaN series must not index out of bounds either.
+        assert_eq!(spark(&[f64::NAN, f64::NAN]).chars().count(), 2);
     }
 }

@@ -9,23 +9,27 @@
 //! tracer idle      --disks N [--seconds S]
 //! tracer collect   --rs BYTES --rn PCT --rd PCT --repo DIR [--seconds S] [--array NAME]
 //! tracer replay    --repo DIR --rs BYTES --rn PCT --rd PCT --load PCT
-//!                  [--intensity PCT] [--array NAME]
+//!                  [--loads a,b,c|all] [--workers N] [--intensity PCT] [--array NAME]
+//! tracer sweep     --repo DIR [--modes N] [--seconds S] [--workers N] [--array NAME]
 //! tracer convert   --srt FILE --name NAME --repo DIR
 //! tracer stats     --name NAME --repo DIR
 //! tracer policies  [--seconds S]
 //! ```
 //!
 //! `--array` selects the testbed: `hdd4`, `hdd6` (default), or `ssd4`.
+//! `--workers` sets the sweep executor's thread count (0 = one per core).
 
+use crate::executor::SweepExecutor;
 use crate::host::EvaluationHost;
+use crate::orchestrate::{load_sweep_with, run_sweep_with, SweepConfig};
 use crate::techniques::{compare_policies, ConservationPolicy};
 use std::collections::HashMap;
 use std::fmt;
 use std::path::PathBuf;
 use tracer_sim::{presets, ArrayConfig, ArraySim, Device, SimDuration};
-use tracer_trace::{srt, TraceRepository, TraceStats, WorkloadMode};
+use tracer_trace::{srt, sweep, TraceRepository, TraceStats, WorkloadMode};
 use tracer_workload::iometer::{run_peak_workload, IometerConfig};
-use tracer_workload::WebServerTraceBuilder;
+use tracer_workload::{TraceCollector, WebServerTraceBuilder};
 
 /// Which testbed preset to build.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -103,6 +107,28 @@ pub enum Command {
         /// When set, ignore timestamps and replay closed-loop at this queue
         /// depth (as-fast-as-possible peak measurement).
         afap_depth: Option<usize>,
+        /// When non-empty, run a load sweep over these levels (plus the
+        /// 100 % baseline) instead of a single replay, and print the
+        /// accuracy table.
+        loads: Vec<u32>,
+        /// Sweep executor workers (0 = one per core; 1 = serial).
+        workers: usize,
+    },
+    /// Run the synthetic mode × load sweep (§V-C1), collecting missing
+    /// traces first.
+    Sweep {
+        /// Repository directory (traces are collected here if missing).
+        repo: PathBuf,
+        /// Testbed.
+        array: ArrayChoice,
+        /// Sweep executor workers (0 = one per core; 1 = serial).
+        workers: usize,
+        /// Collection window per trace, seconds.
+        seconds: u64,
+        /// How many of the 125 modes to run (evenly strided; 125 = all).
+        modes: usize,
+        /// Results-database file to write all records to.
+        db: Option<PathBuf>,
     },
     /// Convert an `.srt` file into the repository.
     Convert {
@@ -169,7 +195,10 @@ USAGE:
   tracer idle     --disks N [--seconds S]
   tracer collect  --rs BYTES --rn PCT --rd PCT --repo DIR [--seconds S] [--array hdd4|hdd6|ssd4]
   tracer replay   --rs BYTES --rn PCT --rd PCT --load PCT --repo DIR
-                  [--intensity PCT] [--array ...] [--db FILE] [--afap DEPTH]
+                  [--loads a,b,c|all] [--workers N] [--intensity PCT]
+                  [--array ...] [--db FILE] [--afap DEPTH]
+  tracer sweep    --repo DIR [--modes N] [--seconds S] [--workers N]
+                  [--array hdd4|hdd6|ssd4] [--db FILE]
   tracer convert  --srt FILE --name NAME --repo DIR
   tracer stats    --name NAME --repo DIR
   tracer policies [--seconds S] [--db FILE]
@@ -177,7 +206,11 @@ USAGE:
   tracer serve    --repo DIR [--array hdd4|hdd6|ssd4] [--workers N] [--queue N]
   tracer help
 
-Replay accepts --db FILE to append its record to a results database.
+Replay accepts --db FILE to append its record to a results database, and
+--loads (comma-separated percentages, or `all` for the paper's ten) to run
+a whole load sweep and print the accuracy table. Sweep replays every
+selected synthetic mode at every load level, collecting missing traces
+first; --workers 0 (the default for sweep) uses one worker per core.
 Serve with --workers > 1 is the concurrent job service (bounded queue,
 admission control); it is provided by the `tracer-serve` binary.
 ";
@@ -230,6 +263,24 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             load_pct: load as u32,
         })
     };
+    let loads = || -> Result<Vec<u32>, CliError> {
+        let Some(raw) = flags.get("loads") else { return Ok(Vec::new()) };
+        if raw == "all" {
+            return Ok(sweep::LOAD_PCTS.to_vec());
+        }
+        raw.split(',')
+            .map(|part| {
+                let pct: u32 = part
+                    .trim()
+                    .parse()
+                    .map_err(|_| CliError(format!("--loads element {part:?} is not a number")))?;
+                if pct == 0 || pct > 100 {
+                    return Err(CliError(format!("--loads element {pct} must be 1-100")));
+                }
+                Ok(pct)
+            })
+            .collect()
+    };
 
     match verb.as_str() {
         "idle" => {
@@ -241,19 +292,39 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             repo: PathBuf::from(get("repo")?),
             array: array()?,
         }),
-        "replay" => Ok(Command::Replay {
-            mode: mode(true)?,
-            intensity: num_or("intensity", 100)? as u32,
-            repo: PathBuf::from(get("repo")?),
-            array: array()?,
-            db: flags.get("db").map(PathBuf::from),
-            afap_depth: match flags.get("afap") {
-                Some(v) => {
-                    Some(v.parse().map_err(|_| CliError("--afap must be a queue depth".into()))?)
-                }
-                None => None,
-            },
-        }),
+        "replay" => {
+            let loads = loads()?;
+            Ok(Command::Replay {
+                // With --loads the sweep drives the level; --load is optional.
+                mode: mode(loads.is_empty())?,
+                intensity: num_or("intensity", 100)? as u32,
+                repo: PathBuf::from(get("repo")?),
+                array: array()?,
+                db: flags.get("db").map(PathBuf::from),
+                afap_depth: match flags.get("afap") {
+                    Some(v) => Some(
+                        v.parse().map_err(|_| CliError("--afap must be a queue depth".into()))?,
+                    ),
+                    None => None,
+                },
+                loads,
+                workers: num_or("workers", 1)? as usize,
+            })
+        }
+        "sweep" => {
+            let modes = num_or("modes", 125)? as usize;
+            if modes == 0 || modes > 125 {
+                return Err(CliError("--modes must be 1-125".into()));
+            }
+            Ok(Command::Sweep {
+                repo: PathBuf::from(get("repo")?),
+                array: array()?,
+                workers: num_or("workers", 0)? as usize,
+                seconds: num_or("seconds", 10)?,
+                modes,
+                db: flags.get("db").map(PathBuf::from),
+            })
+        }
         "convert" => Ok(Command::Convert {
             srt: PathBuf::from(get("srt")?),
             name: get("name")?,
@@ -317,7 +388,7 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
             );
             Ok(())
         }
-        Command::Replay { mode, intensity, repo, array, db, afap_depth } => {
+        Command::Replay { mode, intensity, repo, array, db, afap_depth, loads, workers } => {
             let repo = TraceRepository::open(&repo).map_err(io_err)?;
             let device = array.build().config().name.clone();
             let trace = repo.load(&device, &mode).map_err(io_err)?;
@@ -346,23 +417,116 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
                         crate::db::Database::load(path).map_err(|e| CliError(e.to_string()))?;
                 }
             }
-            let mut sim = array.build();
-            let outcome = host.run_test(&mut sim, &trace, mode, intensity, "cli-replay");
-            let m = outcome.metrics;
-            println!(
-                "load {}% intensity {intensity}%: {:.1} IOPS, {:.2} MBPS, {:.2} ms avg, \
-                 {:.2} W, {:.3} IOPS/Watt, {:.1} MBPS/Kilowatt",
-                mode.load_pct,
-                m.iops,
-                m.mbps,
-                m.avg_response_ms,
-                m.avg_watts,
-                m.iops_per_watt,
-                m.mbps_per_kilowatt
-            );
+            if !loads.is_empty() {
+                let exec = SweepExecutor::new(workers);
+                let result = load_sweep_with(
+                    &mut host,
+                    &exec,
+                    || array.build(),
+                    &trace,
+                    mode.at_load(100),
+                    &loads,
+                    "cli-replay",
+                );
+                println!(
+                    "load sweep over {} levels ({} workers):",
+                    result.loads.len(),
+                    exec.workers()
+                );
+                println!(
+                    "{:>6} {:>10} {:>9} {:>9} {:>9}",
+                    "load%", "IOPS", "MBPS", "meas%", "accuracy"
+                );
+                for row in &result.rows {
+                    println!(
+                        "{:>6} {:>10.1} {:>9.2} {:>9.1} {:>9.4}",
+                        row.configured_pct,
+                        row.iops,
+                        row.mbps,
+                        row.measured_iops_pct,
+                        row.accuracy_iops
+                    );
+                }
+                println!("worst error {:.4}", result.max_error());
+            } else {
+                let mut sim = array.build();
+                let outcome = host.run_test(&mut sim, &trace, mode, intensity, "cli-replay");
+                let m = outcome.metrics;
+                println!(
+                    "load {}% intensity {intensity}%: {:.1} IOPS, {:.2} MBPS, {:.2} ms avg, \
+                     {:.2} W, {:.3} IOPS/Watt, {:.1} MBPS/Kilowatt",
+                    mode.load_pct,
+                    m.iops,
+                    m.mbps,
+                    m.avg_response_ms,
+                    m.avg_watts,
+                    m.iops_per_watt,
+                    m.mbps_per_kilowatt
+                );
+            }
             if let Some(path) = db {
                 host.db.save(&path).map_err(|e| CliError(e.to_string()))?;
-                println!("record appended to {}", path.display());
+                println!("records appended to {}", path.display());
+            }
+            Ok(())
+        }
+        Command::Sweep { repo, array, workers, seconds, modes, db } => {
+            let repo = TraceRepository::open(&repo).map_err(io_err)?;
+            let exec = SweepExecutor::new(workers);
+            let all = sweep::all_modes();
+            // Evenly strided subset so a partial sweep still spans the grid.
+            let selected: Vec<WorkloadMode> =
+                (0..modes).map(|i| all[i * all.len() / modes]).collect();
+            let device = array.build().config().name.clone();
+            let missing: Vec<WorkloadMode> =
+                selected.iter().copied().filter(|m| !repo.contains(&device, m)).collect();
+            if !missing.is_empty() {
+                println!(
+                    "collecting {} missing traces ({seconds}s each, {} workers)",
+                    missing.len(),
+                    exec.workers()
+                );
+                let failures: Vec<String> = exec
+                    .run_indexed(
+                        missing.len(),
+                        |i| {
+                            let mut collector = TraceCollector::new(&repo, || array.build());
+                            collector.duration = SimDuration::from_secs(seconds);
+                            collector.collect(missing[i]).err().map(|e| e.to_string())
+                        },
+                        |_| {},
+                    )
+                    .into_iter()
+                    .flatten()
+                    .collect();
+                if let Some(e) = failures.into_iter().next() {
+                    return Err(CliError(e));
+                }
+            }
+            let cfg = SweepConfig { modes: selected, loads: sweep::LOAD_PCTS.to_vec() };
+            println!(
+                "replaying {} modes x {} loads on {} workers",
+                cfg.modes.len(),
+                cfg.loads.len(),
+                exec.workers()
+            );
+            let mut host = EvaluationHost::new();
+            let results = run_sweep_with(
+                &mut host,
+                &exec,
+                || array.build(),
+                |m| {
+                    repo.load(&device, m)
+                        .unwrap_or_else(|e| panic!("trace for {m} vanished from repository: {e}"))
+                },
+                &cfg,
+                |done, total| println!("mode {done}/{total}"),
+            );
+            let worst = results.iter().map(|r| r.max_error()).fold(0.0, f64::max);
+            println!("{} records; worst load-control error {:.4}", host.db.len(), worst);
+            if let Some(path) = db {
+                host.db.save(&path).map_err(|e| CliError(e.to_string()))?;
+                println!("records saved to {}", path.display());
             }
             Ok(())
         }
@@ -515,6 +679,85 @@ mod tests {
     }
 
     #[test]
+    fn parses_replay_load_sweep_flags() {
+        // --loads makes --load optional and carries the parsed levels.
+        let cmd = parse(&argv(
+            "replay --rs 4096 --rn 50 --rd 0 --loads 20,50,80 --workers 4 --repo /tmp/r",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Replay { loads, workers, mode, .. } => {
+                assert_eq!(loads, vec![20, 50, 80]);
+                assert_eq!(workers, 4);
+                assert_eq!(mode.load_pct, 100);
+            }
+            other => panic!("{other:?}"),
+        }
+        let cmd =
+            parse(&argv("replay --rs 4096 --rn 50 --rd 0 --loads all --repo /tmp/r")).unwrap();
+        match cmd {
+            Command::Replay { loads, workers, .. } => {
+                assert_eq!(loads, sweep::LOAD_PCTS.to_vec());
+                assert_eq!(workers, 1, "serial by default");
+            }
+            other => panic!("{other:?}"),
+        }
+        for bad in [
+            "replay --rs 4096 --rn 0 --rd 0 --loads ten --repo /tmp/r",
+            "replay --rs 4096 --rn 0 --rd 0 --loads 0,50 --repo /tmp/r",
+            "replay --rs 4096 --rn 0 --rd 0 --loads 150 --repo /tmp/r",
+        ] {
+            assert!(parse(&argv(bad)).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parses_sweep() {
+        let cmd = parse(&argv("sweep --repo /tmp/r")).unwrap();
+        match cmd {
+            Command::Sweep { workers, seconds, modes, array, db, .. } => {
+                assert_eq!(workers, 0, "sweep defaults to one worker per core");
+                assert_eq!(seconds, 10);
+                assert_eq!(modes, 125);
+                assert_eq!(array, ArrayChoice::Hdd6);
+                assert_eq!(db, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        let cmd = parse(&argv(
+            "sweep --repo /tmp/r --modes 5 --seconds 2 --workers 2 --array hdd4 --db /tmp/d.json",
+        ))
+        .unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Sweep { modes: 5, seconds: 2, workers: 2, array: ArrayChoice::Hdd4, .. }
+        ));
+        assert!(parse(&argv("sweep --repo /tmp/r --modes 0")).is_err());
+        assert!(parse(&argv("sweep --repo /tmp/r --modes 126")).is_err());
+        assert!(parse(&argv("sweep")).is_err(), "sweep needs --repo");
+    }
+
+    #[test]
+    fn run_sweep_end_to_end_small() {
+        let repo = std::env::temp_dir().join(format!("tracer_cli_sweep_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&repo);
+        let db_path = repo.join("sweep_db.json");
+        run(Command::Sweep {
+            repo: repo.clone(),
+            array: ArrayChoice::Hdd4,
+            workers: 2,
+            seconds: 1,
+            modes: 2,
+            db: Some(db_path.clone()),
+        })
+        .unwrap();
+        let stored = crate::db::Database::load(&db_path).unwrap();
+        // 2 modes × the paper's 10 load levels.
+        assert_eq!(stored.len(), 20);
+        std::fs::remove_dir_all(&repo).unwrap();
+    }
+
+    #[test]
     fn parses_convert_stats_policies_help() {
         assert!(matches!(
             parse(&argv("convert --srt a.srt --name cello --repo /tmp/r")).unwrap(),
@@ -576,6 +819,8 @@ mod tests {
             array: ArrayChoice::Hdd4,
             db: Some(db_path.clone()),
             afap_depth: None,
+            loads: vec![],
+            workers: 1,
         })
         .unwrap();
         // A second replay appends to the same database.
@@ -586,6 +831,8 @@ mod tests {
             array: ArrayChoice::Hdd4,
             db: Some(db_path.clone()),
             afap_depth: None,
+            loads: vec![],
+            workers: 1,
         })
         .unwrap();
         // AFAP mode runs against the same stored trace.
@@ -596,10 +843,24 @@ mod tests {
             array: ArrayChoice::Hdd4,
             db: None,
             afap_depth: Some(16),
+            loads: vec![],
+            workers: 1,
+        })
+        .unwrap();
+        // A --loads sweep appends one record per level (50 % + the baseline).
+        run(Command::Replay {
+            mode,
+            intensity: 100,
+            repo: repo.clone(),
+            array: ArrayChoice::Hdd4,
+            db: Some(db_path.clone()),
+            afap_depth: None,
+            loads: vec![50],
+            workers: 2,
         })
         .unwrap();
         let stored = crate::db::Database::load(&db_path).unwrap();
-        assert_eq!(stored.len(), 2);
+        assert_eq!(stored.len(), 4);
         run(Command::Report { db: db_path.clone() }).unwrap();
         // Replaying a never-collected mode errors cleanly.
         let missing = run(Command::Replay {
@@ -609,6 +870,8 @@ mod tests {
             array: ArrayChoice::Hdd4,
             db: None,
             afap_depth: None,
+            loads: vec![],
+            workers: 1,
         });
         assert!(missing.is_err());
         assert!(run(Command::Report { db: repo.join("nope.json") }).is_err());
@@ -617,8 +880,9 @@ mod tests {
 
     #[test]
     fn usage_mentions_every_command() {
-        for verb in ["idle", "collect", "replay", "convert", "stats", "policies", "report", "serve"]
-        {
+        for verb in [
+            "idle", "collect", "replay", "sweep", "convert", "stats", "policies", "report", "serve",
+        ] {
             assert!(USAGE.contains(verb), "usage missing {verb}");
         }
     }

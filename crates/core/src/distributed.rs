@@ -9,8 +9,10 @@
 //! database.
 
 use crate::db::{PowerData, TestRecord};
+use crate::executor::SweepExecutor;
 use crate::host::EvaluationHost;
 use crate::metrics::EfficiencyMetrics;
+use std::sync::Mutex;
 use tracer_power::{Channel, PowerAnalyzer};
 use tracer_replay::{replay, LoadControl, PerfSummary, ReplayConfig};
 use tracer_sim::{ArrayPowerLog, ArraySim, SimTime};
@@ -51,42 +53,55 @@ struct JobResult {
     window: (SimTime, SimTime),
 }
 
-/// Run all jobs in parallel, measure each on its own analyzer channel, and
-/// store one record per job in `host`'s database. Returns the record ids in
-/// job order.
+/// Run all jobs in parallel (one worker per core), measure each on its own
+/// analyzer channel, and store one record per job in `host`'s database.
+/// Returns the record ids in job order.
 pub fn run_parallel(host: &mut EvaluationHost, jobs: Vec<EvaluationJob>) -> Vec<u64> {
+    run_parallel_with(host, &SweepExecutor::auto(), jobs)
+}
+
+/// [`run_parallel`] on an explicit executor: the jobs are fanned out over a
+/// *bounded* worker pool instead of one thread per job, so a fleet of
+/// hundreds of systems does not oversubscribe the machine. Records are still
+/// inserted in job order regardless of completion order.
+pub fn run_parallel_with(
+    host: &mut EvaluationHost,
+    exec: &SweepExecutor,
+    jobs: Vec<EvaluationJob>,
+) -> Vec<u64> {
     if jobs.is_empty() {
         return Vec::new();
     }
     // Simulated time is per-array, so every job replays over its own clock;
     // the analyzer channels share the measurement window [0, max_end).
-    let results: Vec<JobResult> = std::thread::scope(|scope| {
-        let handles: Vec<_> = jobs
-            .into_iter()
-            .map(|job| {
-                scope.spawn(move || {
-                    let mut sim = (job.build)();
-                    let cfg = ReplayConfig {
-                        load: LoadControl {
-                            proportion_pct: job.mode.load_pct,
-                            intensity_pct: job.intensity_pct,
-                        },
-                        ..Default::default()
-                    };
-                    let report = replay(&mut sim, &job.trace, &cfg);
-                    JobResult {
-                        name: job.name,
-                        device: sim.config().name.clone(),
-                        mode: job.mode,
-                        perf: report.summary,
-                        window: (report.started, report.finished),
-                        log: sim.power_log().clone(),
-                    }
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("evaluation job panicked")).collect()
-    });
+    // Each job is taken out of its slot exactly once, by whichever worker
+    // claims that index (the build closure is FnOnce).
+    let slots: Vec<Mutex<Option<EvaluationJob>>> =
+        jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    let results: Vec<JobResult> = exec.run_indexed(
+        slots.len(),
+        |i| {
+            let job = slots[i].lock().unwrap().take().expect("job claimed once");
+            let mut sim = (job.build)();
+            let cfg = ReplayConfig {
+                load: LoadControl {
+                    proportion_pct: job.mode.load_pct,
+                    intensity_pct: job.intensity_pct,
+                },
+                ..Default::default()
+            };
+            let report = replay(&mut sim, &job.trace, &cfg);
+            JobResult {
+                name: job.name,
+                device: sim.config().name.clone(),
+                mode: job.mode,
+                perf: report.summary,
+                window: (report.started, report.finished),
+                log: sim.power_log().clone(),
+            }
+        },
+        |_| {},
+    );
 
     // One multi-channel analyzer finalizes every system at once.
     let mut analyzer = PowerAnalyzer::new();
@@ -212,6 +227,27 @@ mod tests {
         assert_eq!(par.perf.total_ios, seq.report.summary.total_ios);
         assert!((par.efficiency.iops - seq.metrics.iops).abs() < 1e-9);
         assert!((par.efficiency.avg_watts - seq.metrics.avg_watts).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bounded_pool_matches_one_thread_per_job() {
+        let make_jobs = || {
+            (0..6)
+                .map(|i| {
+                    EvaluationJob::new(
+                        format!("job{i}"),
+                        || presets::hdd_raid5(4),
+                        trace(20 + 3 * i),
+                        WorkloadMode::peak(8192, 50, 100),
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        let mut wide = EvaluationHost::new();
+        run_parallel(&mut wide, make_jobs());
+        let mut bounded = EvaluationHost::new();
+        run_parallel_with(&mut bounded, &SweepExecutor::new(2), make_jobs());
+        assert_eq!(wide.db.records(), bounded.db.records());
     }
 
     #[test]

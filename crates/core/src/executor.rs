@@ -1,0 +1,201 @@
+//! The parallel sweep executor: bounded scoped-thread fan-out with a
+//! deterministic merge.
+//!
+//! The paper's whole evaluation is sweep-shaped — every trace replayed "ten
+//! times with load proportions varied from 10 % to 100 %", and the synthetic
+//! campaign is 125 modes × 10 loads = 1,250 independent simulations. Each
+//! cell builds a fresh [`tracer_sim::ArraySim`] and replays into it, so cells
+//! share no state and can run on any core; what must stay serial is the
+//! *merge*: database record ids are assigned in cell order, after the fan-out,
+//! so the parallel path is bit-identical to the serial one.
+//!
+//! [`SweepExecutor::run_indexed`] is the primitive: run `n` independent jobs
+//! on a bounded pool of scoped worker threads (the worker-pool pattern of
+//! `tracer-serve`, without the long-lived service), stream completions back
+//! to the caller's thread for progress reporting, and return the results in
+//! index order regardless of completion order.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// A bounded pool of scoped worker threads for independent sweep cells.
+///
+/// `workers == 1` is the serial path: jobs run inline on the caller's thread,
+/// in index order, with no thread machinery at all. `workers > 1` fans out on
+/// `std::thread::scope`. Either way [`SweepExecutor::run_indexed`] returns
+/// results in index order, so callers merge deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepExecutor {
+    workers: usize,
+}
+
+impl Default for SweepExecutor {
+    fn default() -> Self {
+        Self::auto()
+    }
+}
+
+impl SweepExecutor {
+    /// Executor with an explicit worker count; `0` means "one per core"
+    /// (the CLI's `--workers 0` convention).
+    pub fn new(workers: usize) -> Self {
+        if workers == 0 {
+            Self::auto()
+        } else {
+            Self { workers }
+        }
+    }
+
+    /// The serial executor: everything runs inline on the caller's thread.
+    pub fn serial() -> Self {
+        Self { workers: 1 }
+    }
+
+    /// One worker per available core.
+    pub fn auto() -> Self {
+        let workers = std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1);
+        Self { workers }
+    }
+
+    /// The configured worker count (at least 1).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Whether this executor runs cells inline instead of spawning workers.
+    pub fn is_serial(&self) -> bool {
+        self.workers <= 1
+    }
+
+    /// Run `n` independent jobs and return their results in index order.
+    ///
+    /// `job(i)` computes cell `i`; it must not depend on any other cell.
+    /// `on_done(i)` fires on the caller's thread once cell `i` has finished
+    /// (in completion order, which under parallelism is nondeterministic —
+    /// use it for progress only, never for results).
+    ///
+    /// A panicking job propagates to the caller after the surviving workers
+    /// drain their claimed cells.
+    pub fn run_indexed<R, F, D>(&self, n: usize, job: F, mut on_done: D) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+        D: FnMut(usize),
+    {
+        if self.is_serial() || n <= 1 {
+            return (0..n)
+                .map(|i| {
+                    let r = job(i);
+                    on_done(i);
+                    r
+                })
+                .collect();
+        }
+
+        let next = AtomicUsize::new(0);
+        let next = &next;
+        let job = &job;
+        let (tx, rx) = mpsc::channel::<(usize, R)>();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.workers.min(n))
+                .map(|_| {
+                    let tx = tx.clone();
+                    scope.spawn(move || loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        // A send can only fail if the receiver is gone, which
+                        // means a sibling panicked and the scope is unwinding.
+                        if tx.send((i, job(i))).is_err() {
+                            break;
+                        }
+                    })
+                })
+                .collect();
+            drop(tx);
+
+            let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+            for (i, r) in rx {
+                slots[i] = Some(r);
+                on_done(i);
+            }
+            // The channel closed: every worker exited. Surface any panic
+            // before touching the slots so the original payload wins.
+            for handle in handles {
+                if let Err(panic) = handle.join() {
+                    std::panic::resume_unwind(panic);
+                }
+            }
+            slots.into_iter().map(|r| r.expect("every cell completed")).collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        for workers in [1, 2, 4, 8] {
+            let exec = SweepExecutor::new(workers);
+            let out = exec.run_indexed(50, |i| i * 3, |_| {});
+            assert_eq!(out, (0..50).map(|i| i * 3).collect::<Vec<_>>(), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn on_done_fires_once_per_cell() {
+        let exec = SweepExecutor::new(4);
+        let mut seen = [false; 32];
+        exec.run_indexed(32, |i| i, |i| seen[i] = true);
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn every_cell_runs_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let exec = SweepExecutor::new(3);
+        exec.run_indexed(
+            100,
+            |_| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            },
+            |_| {},
+        );
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn zero_workers_means_auto_and_zero_jobs_is_empty() {
+        assert!(SweepExecutor::new(0).workers() >= 1);
+        assert!(SweepExecutor::serial().is_serial());
+        assert!(!SweepExecutor::new(2).is_serial());
+        let out: Vec<u32> = SweepExecutor::new(4).run_indexed(0, |_| 7, |_| {});
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let exec = SweepExecutor::new(2);
+        let result = std::panic::catch_unwind(|| {
+            exec.run_indexed(8, |i| if i == 5 { panic!("cell exploded") } else { i }, |_| {})
+        });
+        let err = result.expect_err("panic must propagate");
+        let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "cell exploded");
+    }
+
+    #[test]
+    fn serial_executor_preserves_strict_order_of_side_effects() {
+        let exec = SweepExecutor::serial();
+        let mut order = Vec::new();
+        let log = std::sync::Mutex::new(Vec::new());
+        exec.run_indexed(10, |i| log.lock().unwrap().push(i), |i| order.push(i));
+        assert_eq!(*log.lock().unwrap(), (0..10).collect::<Vec<_>>());
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+}

@@ -35,6 +35,23 @@ pub struct TestOutcome {
     pub metrics: EfficiencyMetrics,
 }
 
+/// A finished measurement that has not been committed to a database yet.
+///
+/// This is the worker-thread half of [`EvaluationHost::run_test`]: everything
+/// except the record-id assignment, which the sweep executor's merge step
+/// performs in deterministic cell order (see [`crate::executor`]). The
+/// embedded record carries `id == 0` until [`EvaluationHost::commit`] stores
+/// it.
+#[derive(Debug, Clone)]
+pub struct MeasuredTest {
+    /// The record to store (id unassigned).
+    pub record: TestRecord,
+    /// The replay report (completions, per-cycle samples).
+    pub report: ReplayReport,
+    /// The computed efficiency metrics.
+    pub metrics: EfficiencyMetrics,
+}
+
 impl EvaluationHost {
     /// Host with the paper's defaults.
     pub fn new() -> Self {
@@ -52,6 +69,23 @@ impl EvaluationHost {
         intensity_pct: u32,
         label: &str,
     ) -> TestOutcome {
+        let measured =
+            Self::measure_test(self.meter_cycle_ms, sim, trace, mode, intensity_pct, label);
+        self.commit(measured)
+    }
+
+    /// The measurement half of [`EvaluationHost::run_test`], free of host
+    /// state so sweep workers can run it concurrently: replay, meter, and
+    /// package the record — without storing it. Pair with
+    /// [`EvaluationHost::commit`] on the merging thread.
+    pub fn measure_test(
+        meter_cycle_ms: u64,
+        sim: &mut ArraySim,
+        trace: &Trace,
+        mode: WorkloadMode,
+        intensity_pct: u32,
+        label: &str,
+    ) -> MeasuredTest {
         let cfg = ReplayConfig {
             load: LoadControl { proportion_pct: mode.load_pct, intensity_pct },
             ..Default::default()
@@ -62,7 +96,7 @@ impl EvaluationHost {
         // host's init/finalize commands around a physical run.
         let mut analyzer = PowerAnalyzer::new();
         let mut channel = Channel::ac_220v(sim.config().name.clone());
-        channel.meter.cycle = SimDuration::from_millis(self.meter_cycle_ms.max(1));
+        channel.meter.cycle = SimDuration::from_millis(meter_cycle_ms.max(1));
         analyzer.add_channel(channel);
         analyzer.start(report.started);
         let window_end = if report.finished > report.started {
@@ -90,6 +124,13 @@ impl EvaluationHost {
             perf: report.summary,
             efficiency: metrics,
         };
+        MeasuredTest { record, report, metrics }
+    }
+
+    /// Store a finished measurement, assigning its record id. The merge half
+    /// of [`EvaluationHost::run_test`].
+    pub fn commit(&mut self, measured: MeasuredTest) -> TestOutcome {
+        let MeasuredTest { record, report, metrics } = measured;
         let record_id = self.db.insert(record);
         TestOutcome { record_id, report, metrics }
     }

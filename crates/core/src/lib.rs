@@ -49,6 +49,7 @@ pub mod analysis;
 pub mod cli;
 pub mod db;
 pub mod distributed;
+pub mod executor;
 pub mod export;
 pub mod host;
 pub mod messages;
@@ -62,13 +63,15 @@ pub use analysis::{
     coefficient_of_variation, linear_fit, mean, pearson, relative_spread, LinearFit,
 };
 pub use db::{Database, DbError, PowerData, TestRecord};
-pub use distributed::{run_parallel, EvaluationJob};
-pub use host::{CommandSession, EvaluationHost, SessionError, TestOutcome};
+pub use distributed::{run_parallel, run_parallel_with, EvaluationJob};
+pub use executor::SweepExecutor;
+pub use host::{CommandSession, EvaluationHost, MeasuredTest, SessionError, TestOutcome};
 pub use messages::{format_command, parse_command, HostCommand, ParseError, Report};
 pub use metrics::{load_accuracy, load_proportion, AccuracyRow, EfficiencyMetrics};
 pub use net::{GeneratorServer, HostClient};
 pub use orchestrate::{
-    load_sweep, repeated_trials, run_sweep, LoadSweepResult, SweepConfig, TrialStat, TrialSummary,
+    load_sweep, load_sweep_with, repeated_trials, repeated_trials_with, run_sweep, run_sweep_with,
+    LoadSweepResult, SweepConfig, TrialStat, TrialSummary,
 };
 pub use techniques::{compare_policies, ConservationPolicy, PolicyOutcome};
 
@@ -76,9 +79,9 @@ pub use techniques::{compare_policies, ConservationPolicy, PolicyOutcome};
 pub mod prelude {
     pub use crate::techniques::{compare_policies, ConservationPolicy, PolicyOutcome};
     pub use crate::{
-        load_accuracy, load_proportion, load_sweep, run_parallel, run_sweep, AccuracyRow,
-        CommandSession, Database, EfficiencyMetrics, EvaluationHost, EvaluationJob,
-        LoadSweepResult, SweepConfig, TestRecord,
+        load_accuracy, load_proportion, load_sweep, load_sweep_with, run_parallel, run_sweep,
+        run_sweep_with, AccuracyRow, CommandSession, Database, EfficiencyMetrics, EvaluationHost,
+        EvaluationJob, LoadSweepResult, MeasuredTest, SweepConfig, SweepExecutor, TestRecord,
     };
     pub use tracer_power::{Channel, EnergyReport, NoiseModel, PowerAnalyzer, PowerMeter};
     pub use tracer_replay::{

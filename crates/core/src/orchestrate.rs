@@ -5,8 +5,16 @@
 //! efficiency curves (Figs. 8–11) from the records. This module packages those
 //! loops: a load sweep over one trace, a full mode × load sweep, and the
 //! accuracy-table computation against the 100 % baseline.
+//!
+//! Every sweep cell (one mode at one load level) builds a fresh [`ArraySim`],
+//! so cells are independent and the loops parallelise: the `*_with` variants
+//! take a [`SweepExecutor`] and fan the cells out over its worker threads,
+//! then merge results — and assign database record ids — in deterministic
+//! cell order, so a parallel sweep is bit-identical to the serial one. The
+//! plain functions are the serial path ([`SweepExecutor::serial`]).
 
-use crate::host::EvaluationHost;
+use crate::executor::SweepExecutor;
+use crate::host::{EvaluationHost, MeasuredTest};
 use crate::metrics::AccuracyRow;
 use serde::{Deserialize, Serialize};
 use tracer_sim::ArraySim;
@@ -14,7 +22,7 @@ use tracer_trace::{sweep, Trace, WorkloadMode};
 
 /// Result of a load sweep over one trace: a record per load level plus the
 /// derived accuracy rows.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LoadSweepResult {
     /// The swept load levels, percent.
     pub loads: Vec<u32>,
@@ -31,33 +39,29 @@ impl LoadSweepResult {
     }
 }
 
-/// Replay `trace` on fresh arrays at each load level and build the accuracy
-/// table. `loads` need not include 100 — the baseline run is added
-/// automatically (and reported as the final row, like the paper's tables).
-pub fn load_sweep<F>(
-    host: &mut EvaluationHost,
-    mut build_array: F,
-    trace: &Trace,
-    mode: WorkloadMode,
-    loads: &[u32],
-    label: &str,
-) -> LoadSweepResult
-where
-    F: FnMut() -> ArraySim,
-{
+/// The swept levels: `loads` plus the 100 % baseline, ascending, deduplicated.
+fn resolve_levels(loads: &[u32]) -> Vec<u32> {
     let mut levels: Vec<u32> = loads.to_vec();
     if !levels.contains(&100) {
         levels.push(100);
     }
     levels.sort_unstable();
     levels.dedup();
+    levels
+}
 
+/// Commit one mode's measured cells in level order and derive the accuracy
+/// rows — the merge step shared by the serial and parallel paths.
+fn merge_mode(
+    host: &mut EvaluationHost,
+    levels: Vec<u32>,
+    cells: Vec<MeasuredTest>,
+) -> LoadSweepResult {
+    debug_assert_eq!(levels.len(), cells.len());
     let mut record_ids = Vec::with_capacity(levels.len());
     let mut measured: Vec<(u32, f64, f64)> = Vec::with_capacity(levels.len());
-    for &pct in &levels {
-        let mut sim = build_array();
-        let outcome =
-            host.run_test(&mut sim, trace, mode.at_load(pct), 100, &format!("{label}-load{pct}"));
+    for (&pct, cell) in levels.iter().zip(cells) {
+        let outcome = host.commit(cell);
         record_ids.push(outcome.record_id);
         measured.push((pct, outcome.metrics.iops, outcome.metrics.mbps));
     }
@@ -68,6 +72,62 @@ where
         .map(|&(pct, iops, mbps)| AccuracyRow::new(pct, iops, mbps, full_iops, full_mbps))
         .collect();
     LoadSweepResult { loads: levels, record_ids, rows }
+}
+
+/// Replay `trace` on fresh arrays at each load level and build the accuracy
+/// table. `loads` need not include 100 — the baseline run is added
+/// automatically (and reported as the final row, like the paper's tables).
+///
+/// The serial path; [`load_sweep_with`] runs the levels on a
+/// [`SweepExecutor`].
+pub fn load_sweep<F>(
+    host: &mut EvaluationHost,
+    build_array: F,
+    trace: &Trace,
+    mode: WorkloadMode,
+    loads: &[u32],
+    label: &str,
+) -> LoadSweepResult
+where
+    F: Fn() -> ArraySim + Sync,
+{
+    load_sweep_with(host, &SweepExecutor::serial(), build_array, trace, mode, loads, label)
+}
+
+/// [`load_sweep`] with the load levels fanned out over `exec`'s workers.
+/// Record ids are assigned at merge time, in ascending level order, so the
+/// database contents are bit-identical to the serial run.
+pub fn load_sweep_with<F>(
+    host: &mut EvaluationHost,
+    exec: &SweepExecutor,
+    build_array: F,
+    trace: &Trace,
+    mode: WorkloadMode,
+    loads: &[u32],
+    label: &str,
+) -> LoadSweepResult
+where
+    F: Fn() -> ArraySim + Sync,
+{
+    let levels = resolve_levels(loads);
+    let cycle = host.meter_cycle_ms;
+    let cells = exec.run_indexed(
+        levels.len(),
+        |i| {
+            let pct = levels[i];
+            let mut sim = build_array();
+            EvaluationHost::measure_test(
+                cycle,
+                &mut sim,
+                trace,
+                mode.at_load(pct),
+                100,
+                &format!("{label}-load{pct}"),
+            )
+        },
+        |_| {},
+    );
+    merge_mode(host, levels, cells)
 }
 
 /// Configuration of a synthetic mode × load sweep.
@@ -95,25 +155,104 @@ impl SweepConfig {
 /// Run a full synthetic sweep: for each mode, resolve its trace, then run
 /// every load level on a fresh array. `progress` is invoked after each mode
 /// with (modes done, total modes).
+///
+/// The serial path; [`run_sweep_with`] fans the full mode × load grid out
+/// over a [`SweepExecutor`].
 pub fn run_sweep<F, T>(
     host: &mut EvaluationHost,
-    mut build_array: F,
+    build_array: F,
+    trace_for_mode: T,
+    cfg: &SweepConfig,
+    progress: impl FnMut(usize, usize),
+) -> Vec<LoadSweepResult>
+where
+    F: Fn() -> ArraySim + Sync,
+    T: FnMut(&WorkloadMode) -> Trace,
+{
+    run_sweep_with(host, &SweepExecutor::serial(), build_array, trace_for_mode, cfg, progress)
+}
+
+/// [`run_sweep`] with every (mode × load) cell of the grid fanned out over
+/// `exec`'s workers.
+///
+/// Trace resolution stays on the caller's thread (mode order), and results
+/// are merged — record ids assigned — in mode-major, level-ascending order,
+/// exactly the serial path's order, so the database and every
+/// [`LoadSweepResult`] are bit-identical to a serial run. `progress` fires on
+/// the caller's thread each time a mode's last cell completes; under
+/// parallelism modes finish out of order, so it reports the *count* of
+/// completed modes, not which one.
+pub fn run_sweep_with<F, T>(
+    host: &mut EvaluationHost,
+    exec: &SweepExecutor,
+    build_array: F,
     mut trace_for_mode: T,
     cfg: &SweepConfig,
     mut progress: impl FnMut(usize, usize),
 ) -> Vec<LoadSweepResult>
 where
-    F: FnMut() -> ArraySim,
+    F: Fn() -> ArraySim + Sync,
     T: FnMut(&WorkloadMode) -> Trace,
 {
     let total = cfg.modes.len();
+    let levels = resolve_levels(&cfg.loads);
+    let per_mode = levels.len();
+    let label_for = |mode: &WorkloadMode| {
+        format!("sweep-rs{}-rn{}-rd{}", mode.request_bytes, mode.random_pct, mode.read_pct)
+    };
+
+    if exec.is_serial() {
+        // Serial path: resolve each trace just before its mode runs, so at
+        // most one trace is held in memory at a time.
+        let mut results = Vec::with_capacity(total);
+        for (i, &mode) in cfg.modes.iter().enumerate() {
+            let trace = trace_for_mode(&mode);
+            let label = label_for(&mode);
+            results.push(load_sweep(host, &build_array, &trace, mode, &cfg.loads, &label));
+            progress(i + 1, total);
+        }
+        return results;
+    }
+
+    // Parallel path: resolve every trace up front (serially, in mode order),
+    // then fan the whole mode × load grid out so the worker pool stays
+    // saturated even when a mode has fewer levels than there are workers.
+    let traces: Vec<Trace> = cfg.modes.iter().map(trace_for_mode).collect();
+    let labels: Vec<String> = cfg.modes.iter().map(label_for).collect();
+    let cycle = host.meter_cycle_ms;
+    let mut remaining: Vec<usize> = vec![per_mode; total];
+    let mut modes_done = 0usize;
+    let cells = exec.run_indexed(
+        total * per_mode,
+        |i| {
+            let (m, l) = (i / per_mode, i % per_mode);
+            let (mode, pct) = (cfg.modes[m], levels[l]);
+            let mut sim = build_array();
+            EvaluationHost::measure_test(
+                cycle,
+                &mut sim,
+                &traces[m],
+                mode.at_load(pct),
+                100,
+                &format!("{}-load{pct}", labels[m]),
+            )
+        },
+        |i| {
+            let m = i / per_mode;
+            remaining[m] -= 1;
+            if remaining[m] == 0 {
+                modes_done += 1;
+                progress(modes_done, total);
+            }
+        },
+    );
+
+    // Deterministic merge: mode-major, level-ascending — the serial order.
     let mut results = Vec::with_capacity(total);
-    for (i, &mode) in cfg.modes.iter().enumerate() {
-        let trace = trace_for_mode(&mode);
-        let label =
-            format!("sweep-rs{}-rn{}-rd{}", mode.request_bytes, mode.random_pct, mode.read_pct);
-        results.push(load_sweep(host, &mut build_array, &trace, mode, &cfg.loads, &label));
-        progress(i + 1, total);
+    let mut cells = cells.into_iter();
+    for _ in 0..total {
+        let chunk: Vec<_> = cells.by_ref().take(per_mode).collect();
+        results.push(merge_mode(host, levels.clone(), chunk));
     }
     results
 }
@@ -169,28 +308,72 @@ pub struct TrialSummary {
 /// per-trial seeds vary the workload realisation, so the spread measures how
 /// sensitive the result is to trace sampling — the simulator itself is
 /// deterministic.
+///
+/// The serial path; [`repeated_trials_with`] runs the trials on a
+/// [`SweepExecutor`].
 pub fn repeated_trials<F, T>(
     host: &mut EvaluationHost,
-    mut build_array: F,
+    build_array: F,
+    trace_for_seed: T,
+    mode: WorkloadMode,
+    trials: usize,
+    label: &str,
+) -> TrialSummary
+where
+    F: Fn() -> ArraySim + Sync,
+    T: FnMut(u64) -> Trace,
+{
+    repeated_trials_with(
+        host,
+        &SweepExecutor::serial(),
+        build_array,
+        trace_for_seed,
+        mode,
+        trials,
+        label,
+    )
+}
+
+/// [`repeated_trials`] with the trials fanned out over `exec`'s workers.
+/// Trace generation stays serial (seed order) and records are committed in
+/// trial order, so the result is bit-identical to the serial run.
+pub fn repeated_trials_with<F, T>(
+    host: &mut EvaluationHost,
+    exec: &SweepExecutor,
+    build_array: F,
     mut trace_for_seed: T,
     mode: WorkloadMode,
     trials: usize,
     label: &str,
 ) -> TrialSummary
 where
-    F: FnMut() -> ArraySim,
+    F: Fn() -> ArraySim + Sync,
     T: FnMut(u64) -> Trace,
 {
     assert!(trials >= 1, "at least one trial required");
+    let traces: Vec<Trace> = (0..trials).map(|t| trace_for_seed(t as u64)).collect();
+    let cycle = host.meter_cycle_ms;
+    let cells = exec.run_indexed(
+        trials,
+        |trial| {
+            let mut sim = build_array();
+            EvaluationHost::measure_test(
+                cycle,
+                &mut sim,
+                &traces[trial],
+                mode,
+                100,
+                &format!("{label}-trial{trial}"),
+            )
+        },
+        |_| {},
+    );
     let mut iops = Vec::with_capacity(trials);
     let mut mbps = Vec::with_capacity(trials);
     let mut watts = Vec::with_capacity(trials);
     let mut ipw = Vec::with_capacity(trials);
-    for trial in 0..trials {
-        let trace = trace_for_seed(trial as u64);
-        let mut sim = build_array();
-        let m =
-            host.run_test(&mut sim, &trace, mode, 100, &format!("{label}-trial{trial}")).metrics;
+    for cell in cells {
+        let m = host.commit(cell).metrics;
         iops.push(m.iops);
         mbps.push(m.mbps);
         watts.push(m.avg_watts);
@@ -258,6 +441,33 @@ mod tests {
     }
 
     #[test]
+    fn parallel_load_sweep_is_bit_identical_to_serial() {
+        let trace = fixed_trace(120, 8192);
+        let mode = WorkloadMode::peak(8192, 50, 50);
+        let mut serial_host = EvaluationHost::new();
+        let serial = load_sweep(
+            &mut serial_host,
+            || presets::hdd_raid5(4),
+            &trace,
+            mode,
+            &sweep::LOAD_PCTS,
+            "det",
+        );
+        let mut par_host = EvaluationHost::new();
+        let parallel = load_sweep_with(
+            &mut par_host,
+            &SweepExecutor::new(4),
+            || presets::hdd_raid5(4),
+            &trace,
+            mode,
+            &sweep::LOAD_PCTS,
+            "det",
+        );
+        assert_eq!(serial, parallel);
+        assert_eq!(serial_host.db.records(), par_host.db.records());
+    }
+
+    #[test]
     fn mini_sweep_runs_every_mode_and_load() {
         let mut host = EvaluationHost::new();
         let cfg = SweepConfig {
@@ -276,6 +486,33 @@ mod tests {
         assert_eq!(results.len(), 2);
         assert_eq!(calls, vec![(1, 2), (2, 2)]);
         assert_eq!(host.db.len(), 4);
+    }
+
+    #[test]
+    fn parallel_mini_sweep_reports_progress_per_mode() {
+        let mut host = EvaluationHost::new();
+        let cfg = SweepConfig {
+            modes: vec![
+                WorkloadMode::peak(4096, 0, 100),
+                WorkloadMode::peak(65536, 100, 0),
+                WorkloadMode::peak(8192, 50, 50),
+            ],
+            loads: vec![50, 100],
+        };
+        let mut calls = Vec::new();
+        let results = run_sweep_with(
+            &mut host,
+            &SweepExecutor::new(4),
+            || presets::hdd_raid5(3),
+            |_| fixed_trace(30, 4096),
+            &cfg,
+            |done, total| calls.push((done, total)),
+        );
+        assert_eq!(results.len(), 3);
+        // Completion order varies, but each mode reports exactly once and the
+        // done-count climbs 1..=3.
+        assert_eq!(calls, vec![(1, 3), (2, 3), (3, 3)]);
+        assert_eq!(host.db.len(), 6);
     }
 
     #[test]
@@ -308,6 +545,28 @@ mod tests {
         // Peak workloads of the same mode are statistically stable.
         assert!(summary.iops.rel() < 0.10, "rel spread {}", summary.iops.rel());
         assert!(summary.avg_watts.rel() < 0.05);
+    }
+
+    #[test]
+    fn parallel_trials_match_serial_trials() {
+        let mode = WorkloadMode::peak(4096, 50, 100);
+        let run = |exec: &SweepExecutor| {
+            let mut host = EvaluationHost::new();
+            let summary = repeated_trials_with(
+                &mut host,
+                exec,
+                || presets::hdd_raid5(4),
+                |seed| fixed_trace(60 + seed as usize, 4096),
+                mode,
+                3,
+                "ptrials",
+            );
+            (summary, host.db.records().to_vec())
+        };
+        let (serial, serial_records) = run(&SweepExecutor::serial());
+        let (parallel, parallel_records) = run(&SweepExecutor::new(4));
+        assert_eq!(serial, parallel);
+        assert_eq!(serial_records, parallel_records);
     }
 
     #[test]

@@ -20,7 +20,7 @@ use crate::raid::{DiskExtent, Geometry};
 use crate::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 use tracer_trace::OpKind;
 
 /// Identifier of a submitted request, unique within one simulator.
@@ -204,16 +204,21 @@ impl ArrayStats {
     }
 }
 
+/// Index of a request's slot in the [`ReqSlab`]. Slots are recycled, so a
+/// slot is only meaningful while its request is in flight; the public
+/// monotone [`RequestId`] lives inside the [`ReqState`].
+type Slot = u32;
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Event {
     /// A request reaches the controller.
-    Arrival(RequestId),
+    Arrival(Slot),
     /// A phase's disk extents become eligible for dispatch.
-    PhaseReady(RequestId),
+    PhaseReady(Slot),
     /// The op at the head of `disk`'s service slot finishes.
-    DiskFree { disk: usize, req: RequestId },
+    DiskFree { disk: usize, slot: Slot },
     /// The request's final byte reaches the host / is acknowledged.
-    RequestDone(RequestId),
+    RequestDone(Slot),
     /// Check whether `disk`, idle since `since`, should spin down.
     SpinDownCheck { disk: usize, since: SimTime },
     /// Launch the next stripe-reconstruction job of a rebuild pass.
@@ -222,6 +227,8 @@ enum Event {
 
 #[derive(Debug)]
 struct ReqState {
+    /// Public id handed out by `submit` (monotone for the simulator's life).
+    id: RequestId,
     req: ArrayRequest,
     submitted: SimTime,
     /// Remaining phases, front first. Each phase is a set of extents that may
@@ -239,24 +246,134 @@ struct ReqState {
     internal: bool,
 }
 
+/// Slab store for in-flight request state.
+///
+/// Request ids grow without bound over a simulation, but only a bounded
+/// window is ever in flight, so state lives in a `Vec` indexed by recycled
+/// slot numbers (retired slots go on a free list). Every per-event lookup is
+/// a direct index — no hashing anywhere on the DES hot path — and memory is
+/// bounded by the maximum concurrency, not the request count.
+#[derive(Debug, Default)]
+struct ReqSlab {
+    slots: Vec<Option<ReqState>>,
+    free: Vec<Slot>,
+    live: usize,
+}
+
+impl ReqSlab {
+    fn insert(&mut self, state: ReqState) -> Slot {
+        self.live += 1;
+        match self.free.pop() {
+            Some(slot) => {
+                debug_assert!(self.slots[slot as usize].is_none());
+                self.slots[slot as usize] = Some(state);
+                slot
+            }
+            None => {
+                self.slots.push(Some(state));
+                Slot::try_from(self.slots.len() - 1).expect("more than u32::MAX requests in flight")
+            }
+        }
+    }
+
+    fn remove(&mut self, slot: Slot) -> ReqState {
+        let state = self.slots[slot as usize].take().expect("remove of vacant request slot");
+        self.free.push(slot);
+        self.live -= 1;
+        state
+    }
+
+    fn get(&self, slot: Slot) -> Option<&ReqState> {
+        self.slots[slot as usize].as_ref()
+    }
+
+    fn get_mut(&mut self, slot: Slot) -> Option<&mut ReqState> {
+        self.slots[slot as usize].as_mut()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    fn len(&self) -> usize {
+        self.live
+    }
+}
+
+/// A member disk's pending foreground ops, organised for its discipline.
+///
+/// FIFO traffic lives in a deque; elevator traffic lives in a `BTreeMap`
+/// keyed by `(sector, enqueue seq)` so C-LOOK dispatch is one `range` probe —
+/// O(log n) at any queue depth instead of the old O(n) scan — while the
+/// secondary key preserves the scan's tie-break (submission order at equal
+/// sectors). Ops land in the structure matching the discipline at enqueue
+/// time, so flipping the discipline mid-run simply drains both.
+#[derive(Debug, Default)]
+struct DeviceQueue {
+    fifo: VecDeque<(Slot, DiskOp)>,
+    elevator: BTreeMap<(u64, u64), (Slot, DiskOp)>,
+    enq_seq: u64,
+}
+
+impl DeviceQueue {
+    fn push(&mut self, discipline: QueueDiscipline, slot: Slot, op: DiskOp) {
+        match discipline {
+            QueueDiscipline::Fifo => self.fifo.push_back((slot, op)),
+            QueueDiscipline::Elevator => {
+                self.enq_seq += 1;
+                self.elevator.insert((op.sector, self.enq_seq), (slot, op));
+            }
+        }
+    }
+
+    /// Next op to dispatch given the head position, honouring the discipline
+    /// the op was enqueued under.
+    fn pop(&mut self, discipline: QueueDiscipline, head: u64) -> Option<(Slot, DiskOp)> {
+        match discipline {
+            QueueDiscipline::Fifo => self.fifo.pop_front().or_else(|| self.pop_elevator(head)),
+            QueueDiscipline::Elevator => self.pop_elevator(head).or_else(|| self.fifo.pop_front()),
+        }
+    }
+
+    /// C-LOOK: nearest sector at/after `head`, else wrap to the lowest;
+    /// earliest-enqueued wins among equal sectors.
+    fn pop_elevator(&mut self, head: u64) -> Option<(Slot, DiskOp)> {
+        let key = self
+            .elevator
+            .range((head, 0)..)
+            .next()
+            .or_else(|| self.elevator.iter().next())
+            .map(|(k, _)| *k)?;
+        self.elevator.remove(&key)
+    }
+
+    fn is_empty(&self) -> bool {
+        self.fifo.is_empty() && self.elevator.is_empty()
+    }
+}
+
 /// The discrete-event array simulator.
 pub struct ArraySim {
     cfg: ArrayConfig,
     devices: Vec<Device>,
-    queues: Vec<VecDeque<(RequestId, DiskOp)>>,
-    background_queues: Vec<VecDeque<(RequestId, DiskOp)>>,
+    queues: Vec<DeviceQueue>,
+    background_queues: Vec<VecDeque<(Slot, DiskOp)>>,
     busy: Vec<bool>,
     idle_since: Vec<SimTime>,
     last_sector: Vec<u64>,
     events: BinaryHeap<Reverse<(SimTime, u64, EventSlot)>>,
     seq: u64,
-    requests: HashMap<RequestId, ReqState>,
+    requests: ReqSlab,
+    /// Retired `phases` deques, kept warm so steady-state requests allocate
+    /// no fresh container per arrival.
+    phase_pool: Vec<VecDeque<Vec<DiskExtent>>>,
     next_id: RequestId,
     now: SimTime,
     link_busy_until: SimTime,
     power: ArrayPowerLog,
     completions: Vec<Completion>,
     stats: ArrayStats,
+    events_processed: u64,
     failed_disk: Option<usize>,
     cache: Option<ControllerCache>,
     rebuild: Option<RebuildState>,
@@ -305,19 +422,21 @@ impl ArraySim {
             cache: cfg.cache.map(ControllerCache::new),
             cfg,
             devices,
-            queues: (0..n).map(|_| VecDeque::new()).collect(),
+            queues: (0..n).map(|_| DeviceQueue::default()).collect(),
             background_queues: (0..n).map(|_| VecDeque::new()).collect(),
             busy: vec![false; n],
             idle_since: vec![SimTime::ZERO; n],
             last_sector: vec![0; n],
-            events: BinaryHeap::new(),
+            events: BinaryHeap::with_capacity(1024),
             seq: 0,
-            requests: HashMap::new(),
+            requests: ReqSlab::default(),
+            phase_pool: Vec::new(),
             next_id: 0,
             now: SimTime::ZERO,
             link_busy_until: SimTime::ZERO,
             completions: Vec::new(),
             stats: ArrayStats { busy_ns: vec![0; n], ..Default::default() },
+            events_processed: 0,
             failed_disk: None,
             rebuild: None,
             op_log: None,
@@ -369,7 +488,7 @@ impl ArraySim {
         assert!(self.rebuild.is_none(), "cannot fail a member during a rebuild");
         assert!(
             self.requests.is_empty()
-                && self.queues.iter().all(VecDeque::is_empty)
+                && self.queues.iter().all(DeviceQueue::is_empty)
                 && self.background_queues.iter().all(VecDeque::is_empty),
             "fail_disk requires an idle array"
         );
@@ -392,7 +511,7 @@ impl ArraySim {
         assert!(self.failed_disk.is_some(), "no member is failed");
         assert!(
             self.requests.is_empty()
-                && self.queues.iter().all(VecDeque::is_empty)
+                && self.queues.iter().all(DeviceQueue::is_empty)
                 && self.background_queues.iter().all(VecDeque::is_empty),
             "repair_disk requires an idle array"
         );
@@ -486,22 +605,35 @@ impl ArraySim {
         } else {
             SimDuration::ZERO
         };
-        let mut phases = VecDeque::with_capacity(2);
+        let mut phases = self.take_phases();
         phases.push_back(reads);
         phases.push_back(writes);
-        self.requests.insert(
+        let slot = self.requests.insert(ReqState {
             id,
-            ReqState {
-                req: ArrayRequest::new(0, tracer_trace::SECTOR_BYTES as u32, OpKind::Write),
-                submitted: self.now,
-                phases,
-                outstanding: 0,
-                xor_pending,
-                completed_early: false,
-                internal: true,
-            },
-        );
-        self.schedule(self.now, Event::PhaseReady(id));
+            req: ArrayRequest::new(0, tracer_trace::SECTOR_BYTES as u32, OpKind::Write),
+            submitted: self.now,
+            phases,
+            outstanding: 0,
+            xor_pending,
+            completed_early: false,
+            internal: true,
+        });
+        self.schedule(self.now, Event::PhaseReady(slot));
+    }
+
+    /// A warm (empty, pre-sized) phase deque from the pool.
+    fn take_phases(&mut self) -> VecDeque<Vec<DiskExtent>> {
+        self.phase_pool.pop().unwrap_or_else(|| VecDeque::with_capacity(2))
+    }
+
+    /// Retire a request slot and return its phase deque to the pool.
+    fn retire(&mut self, slot: Slot) -> ReqState {
+        let mut state = self.requests.remove(slot);
+        debug_assert!(state.phases.is_empty(), "retired request still has phases");
+        if self.phase_pool.len() < 64 {
+            self.phase_pool.push(std::mem::take(&mut state.phases));
+        }
+        state
     }
 
     /// The array configuration.
@@ -553,19 +685,19 @@ impl ArraySim {
         }
         let id = self.next_id;
         self.next_id += 1;
-        self.requests.insert(
+        // An empty `VecDeque` does not allocate; the warm deque is attached
+        // at arrival, when the phases are planned.
+        let slot = self.requests.insert(ReqState {
             id,
-            ReqState {
-                req,
-                submitted: at,
-                phases: VecDeque::new(),
-                outstanding: 0,
-                xor_pending: SimDuration::ZERO,
-                completed_early: false,
-                internal: false,
-            },
-        );
-        self.schedule(at, Event::Arrival(id));
+            req,
+            submitted: at,
+            phases: VecDeque::new(),
+            outstanding: 0,
+            xor_pending: SimDuration::ZERO,
+            completed_early: false,
+            internal: false,
+        });
+        self.schedule(at, Event::Arrival(slot));
         Ok(id)
     }
 
@@ -581,8 +713,15 @@ impl ArraySim {
         };
         debug_assert!(t >= self.now, "event heap went backwards");
         self.now = t;
+        self.events_processed += 1;
         self.handle(ev);
         true
+    }
+
+    /// Total DES events processed since construction (throughput metric for
+    /// benchmarks: events per wall-clock second).
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
     }
 
     /// Process every event up to and including `t`, then set the clock to `t`.
@@ -620,17 +759,17 @@ impl ArraySim {
 
     fn handle(&mut self, ev: Event) {
         match ev {
-            Event::Arrival(id) => self.on_arrival(id),
-            Event::PhaseReady(id) => self.on_phase_ready(id),
-            Event::DiskFree { disk, req } => self.on_disk_free(disk, req),
-            Event::RequestDone(id) => self.on_request_done(id),
+            Event::Arrival(slot) => self.on_arrival(slot),
+            Event::PhaseReady(slot) => self.on_phase_ready(slot),
+            Event::DiskFree { disk, slot } => self.on_disk_free(disk, slot),
+            Event::RequestDone(slot) => self.on_request_done(slot),
             Event::SpinDownCheck { disk, since } => self.on_spin_down_check(disk, since),
             Event::RebuildNext => self.on_rebuild_next(),
         }
     }
 
-    fn on_arrival(&mut self, id: RequestId) {
-        let req = self.requests.get(&id).expect("arrival for unknown request").req;
+    fn on_arrival(&mut self, slot: Slot) {
+        let req = self.requests.get(slot).expect("arrival for unknown request").req;
 
         // Controller cache lookup first: full read hits never reach disks;
         // write-back writes are acknowledged at the end of the link transfer
@@ -657,7 +796,7 @@ impl ArraySim {
             self.stats.cache_hits += 1;
             // Serve from cache RAM: outbound link transfer only.
             let done = self.reserve_link(ready, u64::from(req.bytes));
-            self.schedule(done, Event::RequestDone(id));
+            self.schedule(done, Event::RequestDone(slot));
             return;
         }
 
@@ -672,36 +811,37 @@ impl ArraySim {
         } else {
             SimDuration::ZERO
         };
-        let mut phases = VecDeque::with_capacity(2);
+        let mut phases = self.take_phases();
         if !plan.pre_reads.is_empty() {
             phases.push_back(plan.pre_reads);
         }
         phases.push_back(plan.ops);
 
-        let state = self.requests.get_mut(&id).expect("arrival for unknown request");
+        let state = self.requests.get_mut(slot).expect("arrival for unknown request");
         state.phases = phases;
         state.xor_pending = xor_time;
-        self.schedule(ready, Event::PhaseReady(id));
+        self.schedule(ready, Event::PhaseReady(slot));
         if write_back_ack {
             // The host sees the write complete once the payload is in cache.
-            self.schedule(ready, Event::RequestDone(id));
+            self.schedule(ready, Event::RequestDone(slot));
         }
     }
 
-    fn on_phase_ready(&mut self, id: RequestId) {
-        let state = self.requests.get_mut(&id).expect("phase for unknown request");
+    fn on_phase_ready(&mut self, slot: Slot) {
+        let state = self.requests.get_mut(slot).expect("phase for unknown request");
         let phase = state.phases.pop_front().expect("phase ready with no phases");
         state.outstanding = phase.len();
         debug_assert!(state.outstanding > 0, "empty phase");
         // Internal (rebuild) work queues behind foreground traffic.
         let background = state.internal;
+        let discipline = self.cfg.queue_discipline;
         let mut disks_touched = Vec::with_capacity(phase.len());
         for ext in phase {
             let op = DiskOp::new(ext.sector, ext.sectors, ext.kind);
             if background {
-                self.background_queues[ext.disk].push_back((id, op));
+                self.background_queues[ext.disk].push_back((slot, op));
             } else {
-                self.queues[ext.disk].push_back((id, op));
+                self.queues[ext.disk].push(discipline, slot, op);
             }
             disks_touched.push(ext.disk);
         }
@@ -714,11 +854,12 @@ impl ArraySim {
         if self.busy[disk] {
             return;
         }
-        let (id, op) = if !self.queues[disk].is_empty() {
-            self.pick_next(disk)
-        } else if let Some(job) = self.background_queues[disk].pop_front() {
-            job
-        } else {
+        let head = self.last_sector[disk];
+        let discipline = self.cfg.queue_discipline;
+        let Some((slot, op)) = self.queues[disk]
+            .pop(discipline, head)
+            .or_else(|| self.background_queues[disk].pop_front())
+        else {
             return;
         };
         self.busy[disk] = true;
@@ -730,8 +871,9 @@ impl ArraySim {
         self.stats.busy_ns[disk] += dur.as_nanos();
         self.last_sector[disk] = op.sector + op.sectors;
         if let Some(log) = self.op_log.as_mut() {
+            let request = self.requests.get(slot).expect("dispatch for unknown request").id;
             log.push(OpRecord {
-                request: id,
+                request,
                 disk,
                 started: self.now,
                 finished: self.now + dur,
@@ -740,33 +882,7 @@ impl ArraySim {
                 kind: op.kind,
             });
         }
-        self.schedule(self.now + dur, Event::DiskFree { disk, req: id });
-    }
-
-    /// Pop the next queued op for `disk` according to the discipline.
-    fn pick_next(&mut self, disk: usize) -> (RequestId, DiskOp) {
-        match self.cfg.queue_discipline {
-            QueueDiscipline::Fifo => {
-                self.queues[disk].pop_front().expect("dispatch from empty queue")
-            }
-            QueueDiscipline::Elevator => {
-                let q = &mut self.queues[disk];
-                let head = self.last_sector[disk];
-                // C-LOOK: nearest sector at/after the head, else the lowest.
-                let mut best: Option<(usize, u64)> = None;
-                let mut lowest: Option<(usize, u64)> = None;
-                for (i, (_, op)) in q.iter().enumerate() {
-                    if op.sector >= head && best.is_none_or(|(_, s)| op.sector < s) {
-                        best = Some((i, op.sector));
-                    }
-                    if lowest.is_none_or(|(_, s)| op.sector < s) {
-                        lowest = Some((i, op.sector));
-                    }
-                }
-                let (idx, _) = best.or(lowest).expect("dispatch from empty queue");
-                q.remove(idx).expect("index in range")
-            }
-        }
+        self.schedule(self.now + dur, Event::DiskFree { disk, slot });
     }
 
     /// Append a service plan's power phases to `disk`'s timeline and restore
@@ -784,7 +900,7 @@ impl ArraySim {
         tl.set(t, self.devices[disk].idle_watts());
     }
 
-    fn on_disk_free(&mut self, disk: usize, req: RequestId) {
+    fn on_disk_free(&mut self, disk: usize, slot: Slot) {
         self.busy[disk] = false;
         self.idle_since[disk] = self.now;
         self.try_dispatch(disk);
@@ -794,7 +910,7 @@ impl ArraySim {
             }
         }
 
-        let state = self.requests.get_mut(&req).expect("completion for unknown request");
+        let state = self.requests.get_mut(slot).expect("completion for unknown request");
         debug_assert!(state.outstanding > 0);
         state.outstanding -= 1;
         if state.outstanding > 0 {
@@ -803,7 +919,7 @@ impl ArraySim {
         if state.phases.is_empty() {
             if state.completed_early {
                 // Write-back destage finished; the host was acked earlier.
-                self.requests.remove(&req);
+                self.retire(slot);
                 return;
             }
             // Final phase done. Any uncharged XOR time (degraded-read
@@ -816,17 +932,17 @@ impl ArraySim {
             } else {
                 after_xor
             };
-            self.schedule(done, Event::RequestDone(req));
+            self.schedule(done, Event::RequestDone(slot));
         } else {
             // Parity computation separates the RMW read and write phases.
             let at = self.now + std::mem::take(&mut state.xor_pending);
-            self.schedule(at, Event::PhaseReady(req));
+            self.schedule(at, Event::PhaseReady(slot));
         }
     }
 
-    fn on_request_done(&mut self, id: RequestId) {
-        if self.requests.get(&id).is_some_and(|s| s.internal) {
-            self.requests.remove(&id);
+    fn on_request_done(&mut self, slot: Slot) {
+        if self.requests.get(slot).is_some_and(|s| s.internal) {
+            let id = self.retire(slot).id;
             let Some(rb) = self.rebuild.as_mut() else { return };
             debug_assert_eq!(rb.inflight, Some(id));
             rb.inflight = None;
@@ -839,9 +955,9 @@ impl ArraySim {
             }
             return;
         }
-        let state = self.requests.get_mut(&id).expect("done for unknown request");
+        let state = self.requests.get_mut(slot).expect("done for unknown request");
         let record = Completion {
-            id,
+            id: state.id,
             submitted: state.submitted,
             completed: self.now,
             bytes: state.req.bytes,
@@ -853,7 +969,7 @@ impl ArraySim {
         if state.outstanding > 0 || !state.phases.is_empty() {
             state.completed_early = true;
         } else {
-            self.requests.remove(&id);
+            self.retire(slot);
         }
         self.stats.requests_completed += 1;
         self.stats.logical_bytes += u64::from(record.bytes);
@@ -886,6 +1002,7 @@ impl std::fmt::Debug for ArraySim {
             .field("now", &self.now)
             .field("pending_events", &self.events.len())
             .field("inflight_requests", &self.requests.len())
+            .field("events_processed", &self.events_processed)
             .finish()
     }
 }
@@ -895,6 +1012,7 @@ mod tests {
     use super::*;
     use crate::hdd::{HddModel, HddParams};
     use crate::presets;
+    use proptest::prelude::*;
 
     fn small_hdd_array(disks: usize) -> ArraySim {
         let cfg = ArrayConfig {
@@ -1413,5 +1531,115 @@ mod tests {
         assert_eq!(sim.devices().len(), 4);
         let sim = presets::hdd_array_idle(0);
         assert_eq!(sim.devices().len(), 0);
+    }
+
+    #[test]
+    fn events_processed_counts_des_work() {
+        let mut sim = small_hdd_array(4);
+        assert_eq!(sim.events_processed(), 0);
+        sim.submit(SimTime::ZERO, ArrayRequest::new(0, 4096, OpKind::Read)).unwrap();
+        sim.run_to_idle();
+        // Arrival + phase + disk-free + done, at minimum.
+        assert!(sim.events_processed() >= 4, "{:?}", sim);
+    }
+
+    #[test]
+    fn slab_recycles_slots_under_steady_load() {
+        // 500 requests with at most a handful in flight: the slab must stay
+        // small while public ids keep growing.
+        let mut sim = small_hdd_array(4);
+        let mut at = SimTime::ZERO;
+        for i in 0..500u64 {
+            at += SimDuration::from_millis(5);
+            sim.submit(at, ArrayRequest::new((i * 7_919) % 1_000_000, 4096, OpKind::Read)).unwrap();
+            sim.run_until(at);
+        }
+        sim.run_to_idle();
+        let done = sim.drain_completions();
+        assert_eq!(done.len(), 500);
+        // Public ids stayed monotone and unique across slot reuse.
+        let mut ids: Vec<u64> = done.iter().map(|c| c.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 500);
+        assert_eq!(*ids.last().unwrap(), 499);
+        assert!(sim.requests.is_empty());
+        assert!(
+            sim.requests.slots.len() < 64,
+            "slab grew to {} slots for a shallow queue",
+            sim.requests.slots.len()
+        );
+    }
+
+    /// Reference implementation: the previous O(n) C-LOOK scan over a
+    /// `VecDeque`, kept verbatim as the behavioural oracle for the indexed
+    /// elevator.
+    fn scan_pick(q: &mut VecDeque<(u32, DiskOp)>, head: u64) -> Option<(u32, DiskOp)> {
+        let mut best: Option<(usize, u64)> = None;
+        let mut lowest: Option<(usize, u64)> = None;
+        for (i, (_, op)) in q.iter().enumerate() {
+            if op.sector >= head && best.is_none_or(|(_, s)| op.sector < s) {
+                best = Some((i, op.sector));
+            }
+            if lowest.is_none_or(|(_, s)| op.sector < s) {
+                lowest = Some((i, op.sector));
+            }
+        }
+        let (idx, _) = best.or(lowest)?;
+        q.remove(idx)
+    }
+
+    proptest! {
+        /// The BTreeMap-indexed elevator dispatches in exactly the order of
+        /// the old linear scan — including the submission-order tie-break at
+        /// equal sectors — under arbitrary interleavings of pushes and pops.
+        #[test]
+        fn indexed_elevator_matches_linear_scan(
+            ops in proptest::collection::vec((0u64..64, 1u64..9), 1..200),
+            pop_every in 2usize..6,
+        ) {
+            let mut reference: VecDeque<(u32, DiskOp)> = VecDeque::new();
+            let mut indexed = DeviceQueue::default();
+            let mut head = 0u64;
+            for (i, &(sector, sectors)) in ops.iter().enumerate() {
+                let op = DiskOp::new(sector, sectors, OpKind::Read);
+                reference.push_back((i as u32, op));
+                indexed.push(QueueDiscipline::Elevator, i as u32, op);
+                if i % pop_every == 0 {
+                    let want = scan_pick(&mut reference, head);
+                    let got = indexed.pop(QueueDiscipline::Elevator, head);
+                    prop_assert_eq!(got, want);
+                    if let Some((_, op)) = got {
+                        head = op.sector + op.sectors;
+                    }
+                }
+            }
+            // Drain both completely.
+            loop {
+                let want = scan_pick(&mut reference, head);
+                let got = indexed.pop(QueueDiscipline::Elevator, head);
+                prop_assert_eq!(got, want);
+                match got {
+                    Some((_, op)) => head = op.sector + op.sectors,
+                    None => break,
+                }
+            }
+            prop_assert!(indexed.is_empty());
+        }
+    }
+
+    #[test]
+    fn discipline_flip_mid_run_drains_both_structures() {
+        let mut q = DeviceQueue::default();
+        q.push(QueueDiscipline::Fifo, 0, DiskOp::new(500, 8, OpKind::Read));
+        q.push(QueueDiscipline::Elevator, 1, DiskOp::new(100, 8, OpKind::Read));
+        assert!(!q.is_empty());
+        // Under Elevator the indexed op dispatches first, then the FIFO one.
+        let (id, _) = q.pop(QueueDiscipline::Elevator, 0).unwrap();
+        assert_eq!(id, 1);
+        let (id, _) = q.pop(QueueDiscipline::Elevator, 0).unwrap();
+        assert_eq!(id, 0);
+        assert!(q.is_empty());
+        assert!(q.pop(QueueDiscipline::Fifo, 0).is_none());
     }
 }

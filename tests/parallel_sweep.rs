@@ -1,0 +1,98 @@
+//! Cross-crate determinism of the parallel sweep engine: the pooled executor
+//! must reproduce the serial sweep bit for bit — same accuracy rows, same
+//! database records, same ids — at every worker count.
+
+use tracer_core::prelude::*;
+use tracer_core::repeated_trials_with;
+
+fn trace(n: u64) -> Trace {
+    Trace::from_bunches(
+        "t",
+        (0..n)
+            .map(|i| Bunch::new(i * 6_000_000, vec![IoPackage::read((i * 48_271) % 100_000, 8192)]))
+            .collect(),
+    )
+}
+
+#[test]
+fn parallel_load_sweep_matches_serial_bit_for_bit() {
+    let mode = WorkloadMode::peak(8192, 50, 100);
+    let loads = [10, 30, 50, 70, 90];
+
+    let mut serial = EvaluationHost::new();
+    let want = load_sweep(&mut serial, || presets::hdd_raid5(4), &trace(80), mode, &loads, "ps");
+
+    for workers in [2usize, 4, 7] {
+        let mut par = EvaluationHost::new();
+        let got = load_sweep_with(
+            &mut par,
+            &SweepExecutor::new(workers),
+            || presets::hdd_raid5(4),
+            &trace(80),
+            mode,
+            &loads,
+            "ps",
+        );
+        assert_eq!(got, want, "sweep result diverged at {workers} workers");
+        assert_eq!(par.db.records(), serial.db.records(), "db diverged at {workers} workers");
+    }
+}
+
+#[test]
+fn parallel_mode_sweep_matches_serial_bit_for_bit() {
+    // A small multi-mode campaign: 4 modes × 4 load levels.
+    let cfg = SweepConfig {
+        modes: vec![
+            WorkloadMode::peak(4096, 0, 100),
+            WorkloadMode::peak(8192, 50, 50),
+            WorkloadMode::peak(16384, 100, 0),
+            WorkloadMode::peak(65536, 25, 75),
+        ],
+        loads: vec![25, 50, 75],
+    };
+
+    let run = |workers: usize| {
+        let mut host = EvaluationHost::new();
+        let results = run_sweep_with(
+            &mut host,
+            &SweepExecutor::new(workers),
+            || presets::hdd_raid5(4),
+            |mode| {
+                // Trace derived deterministically from the mode.
+                let n = 40 + u64::from(mode.request_bytes / 4096);
+                trace(n)
+            },
+            &cfg,
+            |_, _| {},
+        );
+        (results, host)
+    };
+
+    let (want, serial) = run(1);
+    let (got, par) = run(4);
+    assert_eq!(got, want);
+    assert_eq!(par.db.records(), serial.db.records());
+    assert_eq!(par.db.len(), cfg.modes.len() * (cfg.loads.len() + 1));
+}
+
+#[test]
+fn parallel_trials_match_serial_bit_for_bit() {
+    let mode = WorkloadMode::peak(8192, 50, 100);
+    let run = |workers: usize| {
+        let mut host = EvaluationHost::new();
+        let summary = repeated_trials_with(
+            &mut host,
+            &SweepExecutor::new(workers),
+            || presets::hdd_raid5(4),
+            |seed| trace(30 + seed),
+            mode,
+            5,
+            "trial",
+        );
+        (summary, host)
+    };
+    let (want, serial) = run(1);
+    let (got, par) = run(3);
+    assert_eq!(format!("{want:?}"), format!("{got:?}"));
+    assert_eq!(par.db.records(), serial.db.records());
+}
