@@ -1,7 +1,8 @@
 //! Criterion micro-benchmarks of the framework's hot paths: the proportional
 //! filter, trace (de)serialisation, RAID-5 planning, the DES engine (request
-//! store and elevator dispatch), the closed-loop generator, and the
-//! end-to-end load sweep (serial vs pooled).
+//! store and elevator dispatch), the closed-loop generator, the end-to-end
+//! load sweep (serial vs pooled), blkparse ingest (serial vs chunked
+//! parallel), and replay planning (materializing pipeline vs zero-copy plan).
 //!
 //! Each DES-engine benchmark also emits a machine-readable `RESULT` line
 //! (events/sec, sweep seconds) so EXPERIMENTS.md can track the hot-path
@@ -13,9 +14,14 @@ use std::hint::black_box;
 use std::time::Instant;
 use tracer_bench::json_result;
 use tracer_core::{load_sweep_with, EvaluationHost, SweepExecutor};
-use tracer_replay::{replay_prepared, AddressPolicy, ProportionalFilter};
+use tracer_replay::{
+    replay, replay_prepared, AddressPolicy, LoadControl, ProportionalFilter, ReplayConfig,
+};
 use tracer_sim::{
     presets, ArrayRequest, ArraySim, Geometry, QueueDiscipline, SimDuration, SimTime,
+};
+use tracer_trace::blkparse::{
+    convert, convert_parallel, parse_str, parse_str_parallel, BlkparseOptions,
 };
 use tracer_trace::WorkloadMode;
 use tracer_trace::{replay_format, Bunch, IoPackage, OpKind, Trace};
@@ -237,6 +243,148 @@ fn bench_load_sweep(c: &mut Criterion) {
     );
 }
 
+/// Peak resident-set size of this process in kilobytes (`VmHWM`); 0 where
+/// `/proc` is unavailable. The high-water mark only ever grows, so measure
+/// the cheap path before the expensive one.
+fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1).and_then(|kb| kb.parse().ok()))
+        })
+        .unwrap_or(0)
+}
+
+/// Deterministic synthetic blkparse dump, sized in importable events.
+fn synthetic_dump(events: usize) -> String {
+    let mut out = String::with_capacity(events * 90);
+    let mut state = 0x2545_F491_4F6C_DD1Du64;
+    let mut rng = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut t_ns: u64 = 0;
+    for i in 0..events {
+        t_ns += if rng() % 3 == 0 { rng() % 50_000 } else { 150_000 + rng() % 700_000 };
+        let rwbs = if rng() % 2 == 0 { "R" } else { "W" };
+        let sector = rng() % 40_000_000;
+        let len = 8 + (rng() % 16) * 8;
+        out.push_str(&format!(
+            "  8,0    {}       {}     {}.{:09}  99  D   {rwbs} {sector} + {len} [bench]\n",
+            i % 8,
+            i + 1,
+            t_ns / 1_000_000_000,
+            t_ns % 1_000_000_000,
+        ));
+    }
+    out
+}
+
+/// Serial versus chunked-parallel blkparse ingest (parse + bunching) over an
+/// in-memory dump. The RESULT line records events/sec for both paths.
+fn bench_trace_ingest(c: &mut Criterion) {
+    let dump = synthetic_dump(50_000);
+    let opts = BlkparseOptions::default();
+    let mut g = c.benchmark_group("trace_ingest");
+    g.throughput(Throughput::Elements(50_000));
+    g.bench_function("serial_parse_convert_50k", |b| {
+        b.iter(|| {
+            let events = parse_str(black_box(&dump), &opts).unwrap();
+            black_box(convert(&events, "bench", &opts))
+        })
+    });
+    g.bench_function("parallel4_parse_convert_50k", |b| {
+        b.iter(|| {
+            let events = parse_str_parallel(black_box(&dump), &opts, 4).unwrap();
+            black_box(convert_parallel(&events, "bench", &opts, 4))
+        })
+    });
+    g.finish();
+
+    // One deterministic pass per path for the RESULT line, on a bigger dump
+    // so thread spawn costs amortize the way real ingests see them.
+    let dump = synthetic_dump(200_000);
+    let t0 = Instant::now();
+    let events = parse_str(&dump, &opts).unwrap();
+    let serial_trace = convert(&events, "bench", &opts);
+    let serial = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let events = parse_str_parallel(&dump, &opts, 4).unwrap();
+    let parallel_trace = convert_parallel(&events, "bench", &opts, 4);
+    let parallel = t0.elapsed().as_secs_f64();
+    assert_eq!(serial_trace, parallel_trace, "parallel ingest must be bit-identical");
+    json_result(
+        "perf_trace_ingest",
+        &serde_json::json!({
+            "events": 200_000,
+            "serial_seconds": serial,
+            "parallel4_seconds": parallel,
+            "serial_events_per_sec": 200_000.0 / serial.max(1e-9),
+            "parallel_events_per_sec": 200_000.0 / parallel.max(1e-9),
+            "speedup": serial / parallel.max(1e-9),
+        }),
+    );
+}
+
+/// Materializing replay pipeline (filter + scale clones, then replay) versus
+/// the zero-copy `ReplayPlan` path. The RESULT line records ns/bunch for both
+/// plus the process peak RSS, measured zero-copy-first so the materialized
+/// path owns any high-water-mark growth.
+fn bench_replay_plan(c: &mut Criterion) {
+    let trace = big_trace(20_000);
+    let load = LoadControl { proportion_pct: 40, intensity_pct: 200 };
+    let cfg = ReplayConfig { load, ..Default::default() };
+    let mut g = c.benchmark_group("replay_plan");
+    g.throughput(Throughput::Elements(trace.bunch_count() as u64));
+    g.bench_function("materialized_40pct_20k_bunches", |b| {
+        b.iter_batched(
+            || presets::hdd_raid5(6),
+            |mut sim| {
+                let prepared = load.apply(&trace);
+                black_box(replay_prepared(&mut sim, &prepared, AddressPolicy::Wrap))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("zero_copy_40pct_20k_bunches", |b| {
+        b.iter_batched(
+            || presets::hdd_raid5(6),
+            |mut sim| black_box(replay(&mut sim, &trace, &cfg)),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+
+    let bunches = trace.bunch_count() as f64;
+    let mut sim = presets::hdd_raid5(6);
+    let t0 = Instant::now();
+    let zc_report = replay(&mut sim, &trace, &cfg);
+    let zc = t0.elapsed().as_secs_f64();
+    let rss_after_zero_copy = peak_rss_kb();
+    let mut sim = presets::hdd_raid5(6);
+    let t0 = Instant::now();
+    let prepared = load.apply(&trace);
+    let mat_report = replay_prepared(&mut sim, &prepared, AddressPolicy::Wrap);
+    let mat = t0.elapsed().as_secs_f64();
+    let rss_after_materialized = peak_rss_kb();
+    assert_eq!(zc_report.issued_ios, mat_report.issued_ios, "paths must agree");
+    json_result(
+        "perf_replay_plan",
+        &serde_json::json!({
+            "bunches": trace.bunch_count(),
+            "materialized_ns_per_bunch": mat * 1e9 / bunches,
+            "zero_copy_ns_per_bunch": zc * 1e9 / bunches,
+            "speedup": mat / zc.max(1e-9),
+            "peak_rss_kb_after_zero_copy": rss_after_zero_copy,
+            "peak_rss_kb_after_materialized": rss_after_materialized,
+        }),
+    );
+}
+
 fn bench_generator(c: &mut Criterion) {
     let mut g = c.benchmark_group("generator");
     g.bench_function("closed_loop_1s_peak_4k_random", |b| {
@@ -259,6 +407,7 @@ criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(samples_from_env());
     targets = bench_filter, bench_serialization, bench_raid_planning, bench_engine,
-        bench_request_store, bench_elevator_dispatch, bench_generator, bench_load_sweep
+        bench_request_store, bench_elevator_dispatch, bench_generator, bench_load_sweep,
+        bench_trace_ingest, bench_replay_plan
 }
 criterion_main!(benches);

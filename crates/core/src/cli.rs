@@ -294,10 +294,16 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         }),
         "replay" => {
             let loads = loads()?;
+            let intensity = num_or("intensity", 100)? as u32;
+            if intensity == 0 {
+                // 0 would divide by zero in the replay timestamp scaler;
+                // reject it at the boundary instead of panicking mid-run.
+                return Err(CliError("--intensity must be positive".into()));
+            }
             Ok(Command::Replay {
                 // With --loads the sweep drives the level; --load is optional.
                 mode: mode(loads.is_empty())?,
-                intensity: num_or("intensity", 100)? as u32,
+                intensity,
                 repo: PathBuf::from(get("repo")?),
                 array: array()?,
                 db: flags.get("db").map(PathBuf::from),
@@ -391,7 +397,7 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
         Command::Replay { mode, intensity, repo, array, db, afap_depth, loads, workers } => {
             let repo = TraceRepository::open(&repo).map_err(io_err)?;
             let device = array.build().config().name.clone();
-            let trace = repo.load(&device, &mode).map_err(io_err)?;
+            let trace = repo.load_shared(&device, &mode).map_err(io_err)?;
             if let Some(depth) = afap_depth {
                 let mut sim = array.build();
                 let report = tracer_replay::replay_afap(
@@ -516,7 +522,9 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
                 &exec,
                 || array.build(),
                 |m| {
-                    repo.load(&device, m)
+                    // Shared handles: the sweep grid holds one decoded copy
+                    // of each mode's trace, not one clone per cell.
+                    repo.load_shared(&device, m)
                         .unwrap_or_else(|e| panic!("trace for {m} vanished from repository: {e}"))
                 },
                 &cfg,
@@ -577,7 +585,7 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
             let device = array.build().config().name.clone();
             let server = crate::net::GeneratorServer::spawn(
                 move |requested: &str| (requested == device).then(|| array.build()),
-                move |dev: &str, mode: &WorkloadMode| repo.load(dev, mode).ok(),
+                move |dev: &str, mode: &WorkloadMode| repo.load_shared(dev, mode).ok(),
             )
             .map_err(|e| CliError(e.to_string()))?;
             println!("workload generator listening on {}", server.addr());
@@ -797,6 +805,7 @@ mod tests {
             "idle --disks 6 --disks 7",                       // duplicate
             "collect --rs 512 --rn 200 --rd 0 --repo /tmp/r", // ratio > 100
             "replay --rs 512 --rn 0 --rd 0 --repo /tmp/r",    // missing --load
+            "replay --rs 512 --rn 0 --rd 0 --load 50 --intensity 0 --repo /tmp/r", // zero intensity
             "collect --rs 512 --rn 0 --rd 0 --repo /tmp/r --array floppy",
         ] {
             assert!(parse(&argv(bad)).is_err(), "should reject {bad:?}");

@@ -12,7 +12,7 @@ use crate::db::{PowerData, TestRecord};
 use crate::executor::SweepExecutor;
 use crate::host::EvaluationHost;
 use crate::metrics::EfficiencyMetrics;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use tracer_power::{Channel, PowerAnalyzer};
 use tracer_replay::{replay, LoadControl, PerfSummary, ReplayConfig};
 use tracer_sim::{ArrayPowerLog, ArraySim, SimTime};
@@ -24,8 +24,9 @@ pub struct EvaluationJob {
     pub name: String,
     /// Builds the array under test (runs on the worker thread).
     pub build: Box<dyn FnOnce() -> ArraySim + Send>,
-    /// The trace to replay.
-    pub trace: Trace,
+    /// The trace to replay, shared: many jobs over the same trace hold one
+    /// copy, and the replay path reads it without materializing a clone.
+    pub trace: Arc<Trace>,
     /// Workload mode (its load proportion applies).
     pub mode: WorkloadMode,
     /// Inter-arrival intensity, percent.
@@ -33,14 +34,21 @@ pub struct EvaluationJob {
 }
 
 impl EvaluationJob {
-    /// Job at original pacing.
+    /// Job at original pacing. Accepts an owned `Trace` or a pre-shared
+    /// `Arc<Trace>` (e.g. from [`tracer_trace::TraceRepository::load_shared`]).
     pub fn new(
         name: impl Into<String>,
         build: impl FnOnce() -> ArraySim + Send + 'static,
-        trace: Trace,
+        trace: impl Into<Arc<Trace>>,
         mode: WorkloadMode,
     ) -> Self {
-        Self { name: name.into(), build: Box::new(build), trace, mode, intensity_pct: 100 }
+        Self {
+            name: name.into(),
+            build: Box::new(build),
+            trace: trace.into(),
+            mode,
+            intensity_pct: 100,
+        }
     }
 }
 

@@ -10,6 +10,7 @@
 use crate::db::{Database, PowerData, TestRecord};
 use crate::messages::{parse_command, HostCommand, ParseError};
 use crate::metrics::EfficiencyMetrics;
+use std::sync::Arc;
 use tracer_power::{Channel, PowerAnalyzer};
 use tracer_replay::{replay, LoadControl, ReplayConfig, ReplayReport};
 use tracer_sim::{ArraySim, SimDuration};
@@ -190,12 +191,13 @@ impl std::error::Error for SessionError {}
 /// A GUI-protocol session: text lines in, text responses out.
 ///
 /// `build_array` constructs the device under test per run; `load_trace`
-/// resolves `(device, mode)` to the trace to replay (typically backed by a
-/// [`tracer_trace::TraceRepository`]).
+/// resolves `(device, mode)` to a shared handle on the trace to replay
+/// (typically [`tracer_trace::TraceRepository::load_shared`], so repeated
+/// `start` commands for the same mode reuse one decoded trace).
 pub struct CommandSession<B, L>
 where
     B: FnMut(&str) -> Option<ArraySim>,
-    L: FnMut(&str, &WorkloadMode) -> Option<Trace>,
+    L: FnMut(&str, &WorkloadMode) -> Option<Arc<Trace>>,
 {
     host: EvaluationHost,
     build_array: B,
@@ -207,7 +209,7 @@ where
 impl<B, L> CommandSession<B, L>
 where
     B: FnMut(&str) -> Option<ArraySim>,
-    L: FnMut(&str, &WorkloadMode) -> Option<Trace>,
+    L: FnMut(&str, &WorkloadMode) -> Option<Arc<Trace>>,
 {
     /// New session around fresh host state.
     pub fn new(build_array: B, load_trace: L) -> Self {
@@ -326,7 +328,7 @@ mod tests {
     fn session_full_flow() {
         let mut session = CommandSession::new(
             |device| (device == "raid5-hdd4").then(|| presets::hdd_raid5(4)),
-            |_, _| Some(test_trace(50)),
+            |_, _| Some(Arc::new(test_trace(50))),
         );
         let r = session.handle_line("init-analyzer cycle=500").unwrap();
         assert!(r.contains("500ms"));
@@ -345,8 +347,10 @@ mod tests {
 
     #[test]
     fn session_rejects_bad_sequences() {
-        let mut session =
-            CommandSession::new(|_| Some(presets::hdd_raid5(4)), |_, _| Some(test_trace(10)));
+        let mut session = CommandSession::new(
+            |_| Some(presets::hdd_raid5(4)),
+            |_, _| Some(Arc::new(test_trace(10))),
+        );
         assert!(matches!(session.handle_line("start"), Err(SessionError::State(_))));
         assert!(matches!(session.handle_line("nonsense"), Err(SessionError::Parse(_))));
         assert!(matches!(
@@ -356,7 +360,7 @@ mod tests {
         session.handle_line("configure device=ghost rs=512 rn=0 rd=0 load=10").unwrap();
         // Unknown device surfaces as NoTrace.
         let mut ghost_session =
-            CommandSession::new(|_: &str| None::<ArraySim>, |_, _| Some(test_trace(10)));
+            CommandSession::new(|_: &str| None::<ArraySim>, |_, _| Some(Arc::new(test_trace(10))));
         ghost_session.handle_line("configure device=ghost rs=512 rn=0 rd=0 load=10").unwrap();
         assert!(matches!(ghost_session.handle_line("start"), Err(SessionError::NoTrace(_))));
         // Abort clears pending config.

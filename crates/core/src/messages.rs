@@ -120,6 +120,16 @@ fn split_kv<'a>(
     Ok(kv)
 }
 
+/// Validate an intensity percentage at the protocol boundary: 0 would divide
+/// by zero in the replay timestamp scaler, so it is rejected here rather than
+/// panicking deep inside a worker thread.
+fn checked_intensity(pct: u32) -> Result<u32, ParseError> {
+    if pct == 0 {
+        return Err(err("intensity must be positive"));
+    }
+    Ok(pct)
+}
+
 /// Parse the `rs`/`rn`/`rd`/`load` keys into a validated workload mode.
 fn mode_from_kv(kv: &std::collections::HashMap<&str, &str>) -> Result<WorkloadMode, ParseError> {
     let num = |k: &str| -> Result<u32, ParseError> {
@@ -153,7 +163,11 @@ pub fn parse_command(line: &str) -> Result<HostCommand, ParseError> {
         "configure" => Ok(HostCommand::Configure {
             device: get("device")?.to_string(),
             mode: mode_from_kv(&kv)?,
-            intensity_pct: if kv.contains_key("intensity") { num("intensity")? } else { 100 },
+            intensity_pct: if kv.contains_key("intensity") {
+                checked_intensity(num("intensity")?)?
+            } else {
+                100
+            },
         }),
         "start" => Ok(HostCommand::Start),
         "abort" => Ok(HostCommand::Abort),
@@ -233,7 +247,9 @@ pub fn parse_job_command(line: &str) -> Result<JobCommand, ParseError> {
             device: get("device")?.to_string(),
             mode: mode_from_kv(&kv)?,
             intensity_pct: match kv.get("intensity") {
-                Some(v) => v.parse().map_err(|_| err("key \"intensity\" is not a number"))?,
+                Some(v) => checked_intensity(
+                    v.parse().map_err(|_| err("key \"intensity\" is not a number"))?,
+                )?,
                 None => 100,
             },
             name: kv.get("name").map(|s| s.to_string()),
@@ -338,11 +354,27 @@ mod tests {
             "configure device=d rs=512 rn=0 rd=100 load=x", // non-numeric
             "configure device=d rs=512 rn=200 rd=0 load=10", // ratio > 100
             "configure device=d rs=512 rn=0 rn=1 rd=0 load=1", // duplicate key
+            "configure device=d rs=512 rn=0 rd=100 load=50 intensity=0", // zero intensity
             "init-analyzer",                         // missing cycle
             "query",                                 // missing device
             "configure device",                      // not key=value
         ] {
             assert!(parse_command(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn zero_intensity_is_rejected_with_a_clear_reason() {
+        for line in [
+            "configure device=d rs=512 rn=0 rd=100 load=50 intensity=0",
+            "submit device=d rs=512 rn=0 rd=100 load=50 intensity=0",
+        ] {
+            let e = if line.starts_with("configure") {
+                parse_command(line).unwrap_err()
+            } else {
+                parse_job_command(line).unwrap_err()
+            };
+            assert!(e.reason.contains("intensity must be positive"), "{line}: {e}");
         }
     }
 
@@ -388,16 +420,17 @@ mod tests {
     fn job_parse_rejects_malformed_lines() {
         for bad in [
             "",
-            "launch id=1",                                  // unknown verb
-            "submit device=d rs=512 rn=0 rd=100",           // missing load
-            "submit device=d rs=x rn=0 rd=100 load=50",     // non-numeric
-            "submit device=d rs=512 rn=101 rd=0 load=50",   // ratio > 100
-            "submit rs=512 rn=0 rd=0 load=50",              // missing device
-            "submit device=d rs=512 rs=9 rn=0 rd=0 load=1", // duplicate key
-            "status",                                       // missing id
-            "status id=abc",                                // non-numeric id
-            "result id=-3",                                 // negative id
-            "cancel job 4",                                 // bare words
+            "launch id=1",                                          // unknown verb
+            "submit device=d rs=512 rn=0 rd=100",                   // missing load
+            "submit device=d rs=x rn=0 rd=100 load=50",             // non-numeric
+            "submit device=d rs=512 rn=101 rd=0 load=50",           // ratio > 100
+            "submit rs=512 rn=0 rd=0 load=50",                      // missing device
+            "submit device=d rs=512 rs=9 rn=0 rd=0 load=1",         // duplicate key
+            "submit device=d rs=512 rn=0 rd=0 load=50 intensity=0", // zero intensity
+            "status",                                               // missing id
+            "status id=abc",                                        // non-numeric id
+            "result id=-3",                                         // negative id
+            "cancel job 4",                                         // bare words
         ] {
             assert!(parse_job_command(bad).is_err(), "should reject {bad:?}");
         }

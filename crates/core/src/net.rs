@@ -41,14 +41,14 @@ pub struct GeneratorServer {
 impl GeneratorServer {
     /// Bind to an ephemeral localhost port and serve in a background thread.
     /// `build_array` constructs the device under test per run; `load_trace`
-    /// resolves `(device, mode)` to the trace to replay.
+    /// resolves `(device, mode)` to a shared handle on the trace to replay.
     ///
     /// One connection is served at a time; a second concurrent connection
     /// receives `err busy` and is closed.
     pub fn spawn<B, L>(build_array: B, load_trace: L) -> io::Result<Self>
     where
         B: FnMut(&str) -> Option<ArraySim> + Send + 'static,
-        L: FnMut(&str, &WorkloadMode) -> Option<Trace> + Send + 'static,
+        L: FnMut(&str, &WorkloadMode) -> Option<Arc<Trace>> + Send + 'static,
     {
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         let addr = listener.local_addr()?;
@@ -95,7 +95,7 @@ fn serve<B, L>(
 ) -> io::Result<()>
 where
     B: FnMut(&str) -> Option<ArraySim>,
-    L: FnMut(&str, &WorkloadMode) -> Option<Trace>,
+    L: FnMut(&str, &WorkloadMode) -> Option<Arc<Trace>>,
 {
     // One long-lived session: results accumulate across connections, like the
     // generator machine's process does. The listener is non-blocking so the
@@ -287,9 +287,10 @@ mod tests {
     }
 
     fn spawn_server() -> GeneratorServer {
+        let shared = Arc::new(test_trace());
         GeneratorServer::spawn(
             |device| (device == "raid5-hdd4").then(|| presets::hdd_raid5(4)),
-            |_, _| Some(test_trace()),
+            move |_, _| Some(Arc::clone(&shared)),
         )
         .expect("bind localhost")
     }

@@ -17,6 +17,7 @@ use crate::executor::SweepExecutor;
 use crate::host::{EvaluationHost, MeasuredTest};
 use crate::metrics::AccuracyRow;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use tracer_sim::ArraySim;
 use tracer_trace::{sweep, Trace, WorkloadMode};
 
@@ -158,7 +159,7 @@ impl SweepConfig {
 ///
 /// The serial path; [`run_sweep_with`] fans the full mode × load grid out
 /// over a [`SweepExecutor`].
-pub fn run_sweep<F, T>(
+pub fn run_sweep<F, T, A>(
     host: &mut EvaluationHost,
     build_array: F,
     trace_for_mode: T,
@@ -167,7 +168,8 @@ pub fn run_sweep<F, T>(
 ) -> Vec<LoadSweepResult>
 where
     F: Fn() -> ArraySim + Sync,
-    T: FnMut(&WorkloadMode) -> Trace,
+    T: FnMut(&WorkloadMode) -> A,
+    A: Into<Arc<Trace>>,
 {
     run_sweep_with(host, &SweepExecutor::serial(), build_array, trace_for_mode, cfg, progress)
 }
@@ -182,7 +184,7 @@ where
 /// the caller's thread each time a mode's last cell completes; under
 /// parallelism modes finish out of order, so it reports the *count* of
 /// completed modes, not which one.
-pub fn run_sweep_with<F, T>(
+pub fn run_sweep_with<F, T, A>(
     host: &mut EvaluationHost,
     exec: &SweepExecutor,
     build_array: F,
@@ -192,7 +194,8 @@ pub fn run_sweep_with<F, T>(
 ) -> Vec<LoadSweepResult>
 where
     F: Fn() -> ArraySim + Sync,
-    T: FnMut(&WorkloadMode) -> Trace,
+    T: FnMut(&WorkloadMode) -> A,
+    A: Into<Arc<Trace>>,
 {
     let total = cfg.modes.len();
     let levels = resolve_levels(&cfg.loads);
@@ -206,7 +209,7 @@ where
         // most one trace is held in memory at a time.
         let mut results = Vec::with_capacity(total);
         for (i, &mode) in cfg.modes.iter().enumerate() {
-            let trace = trace_for_mode(&mode);
+            let trace: Arc<Trace> = trace_for_mode(&mode).into();
             let label = label_for(&mode);
             results.push(load_sweep(host, &build_array, &trace, mode, &cfg.loads, &label));
             progress(i + 1, total);
@@ -217,7 +220,10 @@ where
     // Parallel path: resolve every trace up front (serially, in mode order),
     // then fan the whole mode × load grid out so the worker pool stays
     // saturated even when a mode has fewer levels than there are workers.
-    let traces: Vec<Trace> = cfg.modes.iter().map(trace_for_mode).collect();
+    // Traces are held as shared `Arc` handles, so a loader that hands out
+    // repository-cached traces keeps a single copy in memory for the whole
+    // grid instead of one clone per mode.
+    let traces: Vec<Arc<Trace>> = cfg.modes.iter().map(|m| trace_for_mode(m).into()).collect();
     let labels: Vec<String> = cfg.modes.iter().map(label_for).collect();
     let cycle = host.meter_cycle_ms;
     let mut remaining: Vec<usize> = vec![per_mode; total];
@@ -311,7 +317,7 @@ pub struct TrialSummary {
 ///
 /// The serial path; [`repeated_trials_with`] runs the trials on a
 /// [`SweepExecutor`].
-pub fn repeated_trials<F, T>(
+pub fn repeated_trials<F, T, A>(
     host: &mut EvaluationHost,
     build_array: F,
     trace_for_seed: T,
@@ -321,7 +327,8 @@ pub fn repeated_trials<F, T>(
 ) -> TrialSummary
 where
     F: Fn() -> ArraySim + Sync,
-    T: FnMut(u64) -> Trace,
+    T: FnMut(u64) -> A,
+    A: Into<Arc<Trace>>,
 {
     repeated_trials_with(
         host,
@@ -337,7 +344,7 @@ where
 /// [`repeated_trials`] with the trials fanned out over `exec`'s workers.
 /// Trace generation stays serial (seed order) and records are committed in
 /// trial order, so the result is bit-identical to the serial run.
-pub fn repeated_trials_with<F, T>(
+pub fn repeated_trials_with<F, T, A>(
     host: &mut EvaluationHost,
     exec: &SweepExecutor,
     build_array: F,
@@ -348,10 +355,11 @@ pub fn repeated_trials_with<F, T>(
 ) -> TrialSummary
 where
     F: Fn() -> ArraySim + Sync,
-    T: FnMut(u64) -> Trace,
+    T: FnMut(u64) -> A,
+    A: Into<Arc<Trace>>,
 {
     assert!(trials >= 1, "at least one trial required");
-    let traces: Vec<Trace> = (0..trials).map(|t| trace_for_seed(t as u64)).collect();
+    let traces: Vec<Arc<Trace>> = (0..trials).map(|t| trace_for_seed(t as u64).into()).collect();
     let cycle = host.meter_cycle_ms;
     let cells = exec.run_indexed(
         trials,

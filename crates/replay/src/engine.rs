@@ -14,10 +14,11 @@
 //! translation is implicit in their tooling).
 
 use crate::monitor::{PerfSample, PerfSummary, PerformanceMonitor};
+use crate::plan::ReplayPlan;
 use crate::scale::LoadControl;
 use serde::{Deserialize, Serialize};
 use tracer_sim::{ArrayRequest, ArraySim, Completion, SimDuration, SimTime};
-use tracer_trace::Trace;
+use tracer_trace::{IoPackage, Nanos, Trace};
 
 /// How trace sectors outside the array's data space are handled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -74,13 +75,21 @@ impl ReplayReport {
     }
 }
 
-/// Replay `trace` into `sim` after applying `cfg.load`.
+/// Replay `trace` into `sim` under `cfg.load`.
+///
+/// The load control is applied lazily through a [`ReplayPlan`]: selection and
+/// timestamp scaling happen per bunch during iteration, so no bunch is ever
+/// cloned — the report is nonetheless bit-identical to materializing the
+/// controlled trace first (property-tested in `tests/plan_oracle.rs`).
 ///
 /// The simulator is left at the completion instant of the final request, so
 /// its power log covers exactly the replay window.
+///
+/// # Panics
+/// Panics if `cfg.load.intensity_pct` is zero.
 pub fn replay(sim: &mut ArraySim, trace: &Trace, cfg: &ReplayConfig) -> ReplayReport {
-    let controlled = cfg.load.apply(trace);
-    replay_prepared_with_warmup(sim, &controlled, cfg.address_policy, cfg.warmup)
+    let plan = ReplayPlan::new(trace, cfg.load);
+    replay_bunches(sim, plan.iter(), cfg.address_policy, cfg.warmup)
 }
 
 /// Replay an already load-controlled trace (no warm-up trimming).
@@ -100,17 +109,35 @@ pub fn replay_prepared_with_warmup(
     address_policy: AddressPolicy,
     warmup: SimDuration,
 ) -> ReplayReport {
+    replay_bunches(
+        sim,
+        trace.bunches.iter().map(|b| (b.timestamp, b.ios.as_slice())),
+        address_policy,
+        warmup,
+    )
+}
+
+/// The replay loop shared by the zero-copy and the prepared paths: drive the
+/// simulator with `(timestamp, IO packages)` pairs, whatever they borrow
+/// from. Both public entry points funnel here, so the two paths cannot
+/// diverge behaviourally.
+fn replay_bunches<'a>(
+    sim: &mut ArraySim,
+    bunches: impl Iterator<Item = (Nanos, &'a [IoPackage])>,
+    address_policy: AddressPolicy,
+    warmup: SimDuration,
+) -> ReplayReport {
     let started = sim.now();
     let capacity = sim.data_capacity_sectors();
     let mut issued_ios = 0u64;
     let mut issued_bytes = 0u64;
     let mut skipped = 0u64;
 
-    for bunch in &trace.bunches {
-        let at = started + SimDuration::from_nanos(bunch.timestamp);
+    for (timestamp, ios) in bunches {
+        let at = started + SimDuration::from_nanos(timestamp);
         // Advance the engine so submissions cannot land in the past.
         sim.run_until(at);
-        for io in &bunch.ios {
+        for io in ios {
             let sectors = io.sectors().max(1);
             let sector = match address_policy {
                 AddressPolicy::Wrap => {

@@ -63,7 +63,12 @@ impl ProportionalFilter {
 
     /// Filter a trace: selected bunches keep their original timestamps;
     /// unselected bunches are ignored entirely.
+    ///
+    /// This materializes an owned copy (it counts toward
+    /// [`crate::plan::trace_materializations`]); replay paths use
+    /// [`crate::plan::ReplayPlan`] instead and never call it.
     pub fn filter(&self, trace: &Trace, percent: u32) -> Trace {
+        crate::plan::record_materialization();
         if percent >= 100 {
             return trace.clone();
         }
@@ -103,6 +108,7 @@ impl RandomFilter {
     /// Filter a trace: per group of `group_size` bunches, keep
     /// `round(percent·group_size/100)` members chosen uniformly at random.
     pub fn filter(&self, trace: &Trace, percent: u32) -> Trace {
+        crate::plan::record_materialization();
         if percent >= 100 {
             return trace.clone();
         }

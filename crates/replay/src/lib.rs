@@ -10,6 +10,9 @@
 //! * [`scale`] — inter-arrival-time scaling for intensities below 10 % or
 //!   above 100 % (1 %, 200 %, 1000 %…), composable with the filter via
 //!   [`scale::LoadControl`];
+//! * [`plan`] — the zero-copy [`plan::ReplayPlan`]: a lazy view applying
+//!   both load controls per bunch during iteration, so `replay` never clones
+//!   a trace (the materialization counter proves it);
 //! * [`engine`] — the virtual-time replayer driving the array simulator:
 //!   bunches replay at their original (controlled) timestamps, intra-bunch
 //!   requests in parallel;
@@ -39,11 +42,16 @@
 pub mod engine;
 pub mod filter;
 pub mod monitor;
+pub mod plan;
 pub mod realtime;
 pub mod scale;
 
-pub use engine::{replay, replay_afap, replay_prepared, AddressPolicy, ReplayConfig, ReplayReport};
+pub use engine::{
+    replay, replay_afap, replay_prepared, replay_prepared_with_warmup, AddressPolicy, ReplayConfig,
+    ReplayReport,
+};
 pub use filter::{ProportionalFilter, RandomFilter};
 pub use monitor::{PerfSample, PerfSummary, PerformanceMonitor};
+pub use plan::{trace_materializations, ReplayPlan};
 pub use realtime::{MemTarget, RealTimeReplayer, RealTimeReport, SimTarget, StorageTarget};
 pub use scale::{scale_intensity, LoadControl};

@@ -1,0 +1,253 @@
+//! Zero-copy replay planning: a lazy, allocation-free view of a
+//! load-controlled trace.
+//!
+//! Before this module existed, every replay materialized its load-controlled
+//! trace: [`LoadControl::apply`] deep-clones each surviving bunch once in the
+//! proportional filter and (for non-unit intensities) once more in the
+//! intensity scaler. Harmless for a single replay; for the paper's 125-mode ×
+//! 10-load campaign it meant 1,250 full trace copies whose only purpose was
+//! to be iterated once and dropped.
+//!
+//! [`ReplayPlan`] replaces the copy with a view. It borrows the trace and
+//! applies both load controls *per bunch, on the fly* during iteration:
+//!
+//! * selection is [`ProportionalFilter::selects`] — the same Bresenham spread
+//!   the materializing filter uses, evaluated per index;
+//! * timestamps go through the identical 128-bit scaling expression
+//!   `⌊ts · 100 / intensity⌋` (saturating at `u64::MAX`), so the scaled
+//!   instants are bit-identical to [`scale_intensity`]'s output;
+//! * IO packages are yielded as `&[IoPackage]` slices straight out of the
+//!   borrowed trace — nothing is cloned, ever, at any (proportion,
+//!   intensity) pair, including the former fast paths (100 % proportion and
+//!   100 % intensity) which still cloned the whole trace.
+//!
+//! Equivalence with the materialized path is property-tested with the old
+//! code as the oracle (`tests/plan_oracle.rs`), and the zero-clone claim is
+//! enforced by [`trace_materializations`]: every materializing function in
+//! this crate bumps a process-wide counter, and the sweep integration tests
+//! assert the counter stays flat across entire campaigns.
+//!
+//! [`LoadControl::apply`]: crate::scale::LoadControl::apply
+//! [`scale_intensity`]: crate::scale::scale_intensity
+
+use crate::filter::ProportionalFilter;
+use crate::scale::LoadControl;
+use std::sync::atomic::{AtomicU64, Ordering};
+use tracer_trace::{Bunch, IoPackage, Nanos, Trace};
+
+/// Process-wide count of trace materializations (see
+/// [`trace_materializations`]).
+static MATERIALIZATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Record one trace materialization. Called by every function in this crate
+/// that produces an owned, load-controlled copy of a trace.
+pub(crate) fn record_materialization() {
+    MATERIALIZATIONS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Process-wide count of trace materializations performed by this crate
+/// ([`ProportionalFilter::filter`], [`RandomFilter::filter`],
+/// [`scale_intensity`], [`ReplayPlan::materialize`]) since the process
+/// started.
+///
+/// The counter exists so tests can assert the *absence* of copies: snapshot
+/// it, run a sweep, and require the delta to be zero. It is monotone and
+/// relaxed — use deltas, never absolute values, and keep positive controls
+/// in the same test as the zero assertion.
+///
+/// [`RandomFilter::filter`]: crate::filter::RandomFilter::filter
+/// [`scale_intensity`]: crate::scale::scale_intensity
+pub fn trace_materializations() -> u64 {
+    MATERIALIZATIONS.load(Ordering::Relaxed)
+}
+
+/// A lazy, zero-allocation view of `trace` under a [`LoadControl`].
+///
+/// Construction validates the load (a zero intensity is not replayable);
+/// iteration applies the proportional filter and intensity scaling per bunch
+/// without cloning. The view is `Copy` — it is two words plus the borrow.
+///
+/// ```
+/// use tracer_replay::{LoadControl, ReplayPlan};
+/// use tracer_trace::{Bunch, IoPackage, Trace};
+///
+/// let trace = Trace::from_bunches(
+///     "demo",
+///     (0..10).map(|i| Bunch::at_micros(i * 1_000, vec![IoPackage::read(i * 8, 4096)])).collect(),
+/// );
+/// let plan = ReplayPlan::new(&trace, LoadControl { proportion_pct: 50, intensity_pct: 200 });
+/// assert_eq!(plan.len(), 5);
+/// // Bunch 2 (1-based) survives at 50 %; its 1 ms timestamp halves at 200 %.
+/// assert_eq!(plan.iter().next().unwrap().0, 500_000);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct ReplayPlan<'a> {
+    trace: &'a Trace,
+    load: LoadControl,
+}
+
+impl<'a> ReplayPlan<'a> {
+    /// Plan a replay of `trace` under `load`.
+    ///
+    /// # Panics
+    /// Panics if `load.intensity_pct` is zero (an intensity of zero is not
+    /// replayable) — the same contract as [`scale_intensity`], enforced
+    /// before any replay work starts.
+    ///
+    /// [`scale_intensity`]: crate::scale::scale_intensity
+    pub fn new(trace: &'a Trace, load: LoadControl) -> Self {
+        assert!(load.intensity_pct > 0, "intensity must be positive");
+        Self { trace, load }
+    }
+
+    /// The borrowed source trace.
+    pub fn trace(&self) -> &'a Trace {
+        self.trace
+    }
+
+    /// The load control this plan applies.
+    pub fn load(&self) -> LoadControl {
+        self.load
+    }
+
+    /// Number of bunches the plan replays: the Bresenham filter selects
+    /// exactly `⌊n · p / 100⌋` of `n` bunches.
+    pub fn len(&self) -> usize {
+        let n = self.trace.bunch_count() as u64;
+        let p = u64::from(self.load.proportion_pct.min(100));
+        (n * p / 100) as usize
+    }
+
+    /// Whether the plan replays no bunches at all.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The intensity-scaled timestamp — bit-identical to
+    /// [`scale_intensity`]'s per-bunch arithmetic.
+    ///
+    /// [`scale_intensity`]: crate::scale::scale_intensity
+    #[inline]
+    fn scale_ts(&self, ts: Nanos) -> Nanos {
+        if self.load.intensity_pct == 100 {
+            ts
+        } else {
+            (u128::from(ts) * 100 / u128::from(self.load.intensity_pct)).min(u128::from(u64::MAX))
+                as u64
+        }
+    }
+
+    /// Iterate the selected bunches as `(scaled timestamp, IO packages)`
+    /// pairs, borrowing everything from the source trace.
+    pub fn iter(&self) -> impl Iterator<Item = (Nanos, &'a [IoPackage])> {
+        let plan = *self;
+        self.trace
+            .bunches
+            .iter()
+            .enumerate()
+            .filter(move |(i, _)| {
+                ProportionalFilter::selects(plan.load.proportion_pct, *i as u64 + 1)
+            })
+            .map(move |(_, b)| (plan.scale_ts(b.timestamp), b.ios.as_slice()))
+    }
+
+    /// Materialize the plan into an owned trace — the same trace
+    /// [`LoadControl::apply`] produces. This is the *opt-in* copy (it counts
+    /// toward [`trace_materializations`]); replay itself never calls it.
+    pub fn materialize(&self) -> Trace {
+        record_materialization();
+        let bunches =
+            self.iter().map(|(timestamp, ios)| Bunch { timestamp, ios: ios.to_vec() }).collect();
+        Trace { device: self.trace.device.clone(), bunches }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracer_trace::IoPackage;
+
+    fn trace_of(n: usize) -> Trace {
+        Trace::from_bunches(
+            "t",
+            (0..n)
+                .map(|i| {
+                    Bunch::new(i as u64 * 2_000_000, vec![IoPackage::read(i as u64 * 64, 4096)])
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn plan_matches_apply_across_the_grid() {
+        let t = trace_of(37);
+        for proportion in [0u32, 1, 10, 33, 50, 99, 100, 150] {
+            for intensity in [1u32, 10, 100, 250, 1000] {
+                let load = LoadControl { proportion_pct: proportion, intensity_pct: intensity };
+                let plan = ReplayPlan::new(&t, load);
+                assert_eq!(
+                    plan.materialize(),
+                    load.apply(&t),
+                    "proportion {proportion} intensity {intensity}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn len_is_the_bresenham_count() {
+        let t = trace_of(101);
+        for pct in 0..=120u32 {
+            let plan = ReplayPlan::new(&t, LoadControl::proportion(pct));
+            assert_eq!(plan.len() as u64, 101 * u64::from(pct.min(100)) / 100, "pct {pct}");
+            assert_eq!(plan.iter().count(), plan.len(), "pct {pct}");
+            #[allow(clippy::len_zero)] // the point is that is_empty agrees with len
+            {
+                assert_eq!(plan.is_empty(), plan.len() == 0);
+            }
+        }
+    }
+
+    #[test]
+    fn iteration_borrows_the_source_ios() {
+        let t = trace_of(10);
+        let plan = ReplayPlan::new(&t, LoadControl::proportion(50));
+        for (_, ios) in plan.iter() {
+            // Yielded slices point into the source trace's allocations.
+            let owns =
+                t.bunches.iter().any(|b| std::ptr::eq(b.ios.as_slice().as_ptr(), ios.as_ptr()));
+            assert!(owns, "plan must not copy IO packages");
+        }
+    }
+
+    #[test]
+    fn iteration_does_not_count_as_materialization() {
+        let t = trace_of(25);
+        let plan = ReplayPlan::new(&t, LoadControl { proportion_pct: 40, intensity_pct: 300 });
+        let before = trace_materializations();
+        let total: usize = plan.iter().map(|(_, ios)| ios.len()).sum();
+        assert_eq!(total, 10);
+        assert_eq!(trace_materializations(), before, "iteration must be copy-free");
+        let _ = plan.materialize();
+        assert!(trace_materializations() > before, "materialize is the opt-in copy");
+    }
+
+    #[test]
+    #[should_panic(expected = "intensity must be positive")]
+    fn zero_intensity_is_rejected_at_planning_time() {
+        let t = trace_of(1);
+        let _ = ReplayPlan::new(&t, LoadControl::intensity(0));
+    }
+
+    #[test]
+    fn saturating_scale_matches_scale_intensity() {
+        let t = Trace::from_bunches(
+            "sat",
+            vec![Bunch::new(u64::MAX - 5, vec![IoPackage::read(0, 512)])],
+        );
+        let plan = ReplayPlan::new(&t, LoadControl::intensity(1));
+        let (ts, _) = plan.iter().next().unwrap();
+        assert_eq!(ts, u64::MAX);
+        assert_eq!(crate::scale::scale_intensity(&t, 1).bunches[0].timestamp, ts);
+    }
+}

@@ -24,8 +24,10 @@ use tracer_trace::{Trace, WorkloadMode};
 
 /// Resolves a device name to a fresh simulator instance.
 pub type BuildArray = Arc<dyn Fn(&str) -> Option<ArraySim> + Send + Sync>;
-/// Resolves `(device, mode)` to the trace to replay.
-pub type LoadTrace = Arc<dyn Fn(&str, &WorkloadMode) -> Option<Trace> + Send + Sync>;
+/// Resolves `(device, mode)` to a shared handle on the trace to replay.
+/// Returning `Arc<Trace>` lets every queued job over the same trace share one
+/// decoded copy (pair with [`tracer_trace::TraceRepository::load_shared`]).
+pub type LoadTrace = Arc<dyn Fn(&str, &WorkloadMode) -> Option<Arc<Trace>> + Send + Sync>;
 
 /// The multi-client job server.
 pub struct JobServer {

@@ -32,9 +32,10 @@ fn busy_trace() -> Trace {
 }
 
 fn spawn_server(workers: usize, queue: usize) -> JobServer {
-    let trace = busy_trace();
+    let trace = Arc::new(busy_trace());
     let build: BuildArray = Arc::new(|device| (device == DEVICE).then(|| presets::hdd_raid5(4)));
-    let load: LoadTrace = Arc::new(move |device, _mode| (device == DEVICE).then(|| trace.clone()));
+    let load: LoadTrace =
+        Arc::new(move |device, _mode| (device == DEVICE).then(|| Arc::clone(&trace)));
     JobServer::spawn(ServiceConfig { workers, queue_capacity: queue }, build, load)
         .expect("bind localhost")
 }
@@ -95,25 +96,27 @@ fn concurrent_clients_fill_the_queue_and_match_the_serial_baseline() {
         "12 rapid submissions against 4 workers + 2 queue slots must hit a full queue"
     );
 
-    // With all workers occupied, one more submission parks in the queue —
-    // cancel it before a worker can pick it up.
+    // With workers occupied, one more submission parks in the queue — cancel
+    // it before a worker picks it up. Workers may drain faster than the
+    // cancel round-trip, so retry the whole submit-then-cancel race; each
+    // extra attempt occupies the pool a little longer, so one soon wins.
     let mut control = HostClient::connect(addr).expect("connect control");
-    let (extra, _) = submit_with_retry(&mut control, 25, "cancel-me");
-    let cancelled: Option<u64> = match control.cancel_job(extra).expect("io") {
-        Ok(()) => Some(extra),
-        // A worker won the race for the extra job; take any still-queued one.
-        Err(_) => submitted.iter().map(|&(id, _)| id).find(|&id| {
-            matches!(control.job_status(id).expect("io"), Ok(ref s) if s == "queued")
-                && control.cancel_job(id).expect("io").is_ok()
-        }),
-    };
-    let cancelled = cancelled.expect("one queued job must be cancellable");
-    if cancelled == extra {
-        assert_eq!(control.job_status(extra).expect("io").unwrap(), "cancelled");
-    } else {
-        submitted.retain(|&(id, _)| id != cancelled);
-        submitted.push((extra, 25));
+    let mut cancelled: Option<u64> = None;
+    for attempt in 0.. {
+        assert!(attempt < 50, "one queued job must be cancellable");
+        let (extra, _) = submit_with_retry(&mut control, 25, &format!("cancel-me-{attempt}"));
+        match control.cancel_job(extra).expect("io") {
+            Ok(()) => {
+                cancelled = Some(extra);
+                assert_eq!(control.job_status(extra).expect("io").unwrap(), "cancelled");
+                break;
+            }
+            // A worker won the race for the extra job; it must run to
+            // completion like any other, so track it with the rest.
+            Err(_) => submitted.push((extra, 25)),
+        }
     }
+    let cancelled = cancelled.expect("loop only exits the break with a cancelled id");
 
     // Wait for every remaining job to finish.
     let deadline = Instant::now() + Duration::from_secs(120);

@@ -80,42 +80,94 @@ pub fn encode_body(trace: &Trace, buf: &mut BytesMut) {
     }
 }
 
-/// Decode the body of a v2 trace; `device` comes from the shared header.
-pub fn decode_body(mut data: &[u8], device: String) -> Result<Trace, TraceError> {
-    let nbunch = get_varint(&mut data)?;
-    // Each bunch costs ≥3 bytes (ts delta, count, ≥1 io of ≥2 bytes is 3).
-    if nbunch > data.remaining() as u64 {
-        return Err(TraceError::Corrupt("bunch count exceeds stream size".into()));
+/// Streaming decoder for a v2 body: yields one [`Bunch`] at a time without
+/// ever holding more than the current bunch in memory beyond the output.
+///
+/// [`decode_body`] drives it to build a whole [`Trace`] (pre-sized from the
+/// declared bunch count), but callers that want to scan, filter, or append
+/// incrementally can pull bunches one by one:
+///
+/// ```
+/// use tracer_trace::compact::{encode_body, BunchDecoder};
+/// use tracer_trace::{Bunch, IoPackage, Trace};
+/// use bytes::BytesMut;
+///
+/// let t = Trace::from_bunches("d", vec![Bunch::new(5, vec![IoPackage::read(8, 4096)])]);
+/// let mut buf = BytesMut::new();
+/// encode_body(&t, &mut buf);
+/// let mut dec = BunchDecoder::new(&buf).unwrap();
+/// assert_eq!(dec.remaining_bunches(), 1);
+/// assert_eq!(dec.next_bunch().unwrap(), Some(t.bunches[0].clone()));
+/// assert_eq!(dec.next_bunch().unwrap(), None);
+/// ```
+#[derive(Debug)]
+pub struct BunchDecoder<'a> {
+    data: &'a [u8],
+    remaining: u64,
+    last_ts: u64,
+    last_end: i64,
+}
+
+impl<'a> BunchDecoder<'a> {
+    /// Start decoding a v2 body (the bytes after the shared header).
+    pub fn new(mut data: &'a [u8]) -> Result<Self, TraceError> {
+        let nbunch = get_varint(&mut data)?;
+        // Each bunch costs ≥3 bytes (ts delta, count, ≥1 io of ≥2 bytes is 3).
+        if nbunch > data.remaining() as u64 {
+            return Err(TraceError::Corrupt("bunch count exceeds stream size".into()));
+        }
+        Ok(Self { data, remaining: nbunch, last_ts: 0, last_end: 0 })
     }
-    let mut bunches = Vec::with_capacity(nbunch as usize);
-    let mut last_ts = 0u64;
-    let mut last_end: i64 = 0;
-    for _ in 0..nbunch {
-        let dt = get_varint(&mut data)?;
-        last_ts = last_ts
+
+    /// Bunches the stream still owes (from the declared count).
+    pub fn remaining_bunches(&self) -> usize {
+        self.remaining as usize
+    }
+
+    /// Decode the next bunch, or `None` once the declared count is consumed.
+    pub fn next_bunch(&mut self) -> Result<Option<Bunch>, TraceError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        self.remaining -= 1;
+        let dt = get_varint(&mut self.data)?;
+        self.last_ts = self
+            .last_ts
             .checked_add(dt)
             .ok_or_else(|| TraceError::Corrupt("timestamp overflow".into()))?;
-        let nio = get_varint(&mut data)?;
-        if nio > data.remaining() as u64 {
+        let nio = get_varint(&mut self.data)?;
+        if nio > self.data.remaining() as u64 {
             return Err(TraceError::Corrupt("io count exceeds stream size".into()));
         }
         let mut ios = Vec::with_capacity(nio as usize);
         for _ in 0..nio {
-            let delta = unzigzag(get_varint(&mut data)?);
-            let sector = last_end
+            let delta = unzigzag(get_varint(&mut self.data)?);
+            let sector = self
+                .last_end
                 .checked_add(delta)
                 .filter(|s| *s >= 0)
                 .ok_or_else(|| TraceError::Corrupt("sector delta out of range".into()))?
                 as u64;
-            let size_kind = get_varint(&mut data)?;
+            let size_kind = get_varint(&mut self.data)?;
             let bytes = u32::try_from(size_kind >> 1)
                 .map_err(|_| TraceError::Corrupt("size exceeds u32".into()))?;
             let kind = if size_kind & 1 == 1 { OpKind::Write } else { OpKind::Read };
             let io = IoPackage::new(sector, bytes, kind);
-            last_end = io.end_sector() as i64;
+            self.last_end = io.end_sector() as i64;
             ios.push(io);
         }
-        bunches.push(Bunch::new(last_ts, ios));
+        Ok(Some(Bunch::new(self.last_ts, ios)))
+    }
+}
+
+/// Decode the body of a v2 trace; `device` comes from the shared header.
+/// Streams through [`BunchDecoder`], appending into a trace pre-sized from
+/// the declared bunch count.
+pub fn decode_body(data: &[u8], device: String) -> Result<Trace, TraceError> {
+    let mut decoder = BunchDecoder::new(data)?;
+    let mut bunches = Vec::with_capacity(decoder.remaining_bunches());
+    while let Some(bunch) = decoder.next_bunch()? {
+        bunches.push(bunch);
     }
     Ok(Trace { device, bunches })
 }
@@ -184,6 +236,35 @@ mod tests {
         let v1 = replay_format::to_bytes(&t).len();
         let v2 = to_bytes(&t).len();
         assert!(v2 * 3 < v1, "compact encoding should be ≥3x smaller: v1 {v1} vs v2 {v2}");
+    }
+
+    #[test]
+    fn streaming_decoder_matches_whole_trace_decode() {
+        let t = sequentialish_trace(300);
+        let mut buf = BytesMut::new();
+        encode_body(&t, &mut buf);
+        let whole = decode_body(&buf, "seq".to_string()).unwrap();
+        let mut dec = BunchDecoder::new(&buf).unwrap();
+        assert_eq!(dec.remaining_bunches(), 300);
+        let mut streamed = Vec::new();
+        while let Some(b) = dec.next_bunch().unwrap() {
+            streamed.push(b);
+        }
+        assert_eq!(streamed, whole.bunches);
+        assert_eq!(whole, t);
+        assert_eq!(dec.remaining_bunches(), 0);
+        assert_eq!(dec.next_bunch().unwrap(), None, "exhausted decoder stays exhausted");
+    }
+
+    #[test]
+    fn streaming_decoder_supports_partial_consumption() {
+        let t = sequentialish_trace(10);
+        let mut buf = BytesMut::new();
+        encode_body(&t, &mut buf);
+        let mut dec = BunchDecoder::new(&buf).unwrap();
+        let first = dec.next_bunch().unwrap().unwrap();
+        assert_eq!(first, t.bunches[0]);
+        assert_eq!(dec.remaining_bunches(), 9);
     }
 
     #[test]

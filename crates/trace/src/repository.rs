@@ -10,17 +10,25 @@ use crate::error::TraceError;
 use crate::mode::WorkloadMode;
 use crate::model::Trace;
 use crate::replay_format;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
 
 /// File extension used for stored traces.
 pub const EXTENSION: &str = "replay";
 
 /// A directory-backed trace repository.
+///
+/// [`TraceRepository::load_shared`] / [`TraceRepository::load_named_shared`]
+/// return `Arc<Trace>` handles backed by an in-process cache, so a sweep
+/// asking for the same trace for every one of its cells decodes the file
+/// once and shares one immutable copy across all workers. Stores invalidate
+/// the cached entry for the written path.
 #[derive(Debug)]
 pub struct TraceRepository {
     root: PathBuf,
+    shared: Mutex<HashMap<PathBuf, Arc<Trace>>>,
 }
 
 /// A catalogue entry: device prefix, workload mode, and file path.
@@ -39,7 +47,7 @@ impl TraceRepository {
     pub fn open(root: impl Into<PathBuf>) -> Result<Self, TraceError> {
         let root = root.into();
         fs::create_dir_all(&root)?;
-        Ok(Self { root })
+        Ok(Self { root, shared: Mutex::new(HashMap::new()) })
     }
 
     /// The repository root directory.
@@ -57,6 +65,7 @@ impl TraceRepository {
     pub fn store(&self, mode: &WorkloadMode, trace: &Trace) -> Result<PathBuf, TraceError> {
         let path = self.path_for(&trace.device, mode);
         replay_format::write_file(trace, &path)?;
+        self.invalidate(&path);
         Ok(path)
     }
 
@@ -65,6 +74,7 @@ impl TraceRepository {
     pub fn store_named(&self, name: &str, trace: &Trace) -> Result<PathBuf, TraceError> {
         let path = self.root.join(format!("{name}.{EXTENSION}"));
         replay_format::write_file(trace, &path)?;
+        self.invalidate(&path);
         Ok(path)
     }
 
@@ -84,6 +94,38 @@ impl TraceRepository {
             return Err(TraceError::NotFound(name.to_string()));
         }
         replay_format::read_file(&path)
+    }
+
+    /// Load the trace for (`device`, `mode`) as a shared, cached handle.
+    ///
+    /// The first call decodes the file; later calls for the same path hand
+    /// out clones of the same `Arc`, so a 1,250-cell sweep holds one copy of
+    /// each mode's trace no matter how many workers replay it concurrently.
+    pub fn load_shared(&self, device: &str, mode: &WorkloadMode) -> Result<Arc<Trace>, TraceError> {
+        let path = self.path_for(device, mode);
+        if let Some(hit) = self.shared.lock().expect("trace cache poisoned").get(&path) {
+            return Ok(Arc::clone(hit));
+        }
+        let trace = Arc::new(self.load(device, mode)?);
+        self.shared.lock().expect("trace cache poisoned").insert(path, Arc::clone(&trace));
+        Ok(trace)
+    }
+
+    /// Load a free-form-named trace as a shared, cached handle (see
+    /// [`TraceRepository::load_shared`]).
+    pub fn load_named_shared(&self, name: &str) -> Result<Arc<Trace>, TraceError> {
+        let path = self.root.join(format!("{name}.{EXTENSION}"));
+        if let Some(hit) = self.shared.lock().expect("trace cache poisoned").get(&path) {
+            return Ok(Arc::clone(hit));
+        }
+        let trace = Arc::new(self.load_named(name)?);
+        self.shared.lock().expect("trace cache poisoned").insert(path, Arc::clone(&trace));
+        Ok(trace)
+    }
+
+    /// Drop the cached shared handle for `path` (called on every store).
+    fn invalidate(&self, path: &Path) {
+        self.shared.lock().expect("trace cache poisoned").remove(path);
     }
 
     /// `true` if a trace for (`device`, `mode`) is present.
@@ -183,6 +225,33 @@ mod tests {
         assert_eq!(named, vec!["cello99_week1".to_string()]);
         let back = repo.load_named("cello99_week1").unwrap();
         assert_eq!(back.device, "cello");
+        fs::remove_dir_all(repo.root()).unwrap();
+    }
+
+    #[test]
+    fn shared_loads_hand_out_one_arc_until_a_store_invalidates() {
+        let repo = tmp_repo("shared");
+        let mode = WorkloadMode::peak(4096, 50, 0);
+        repo.store(&mode, &tiny_trace("raid5")).unwrap();
+
+        let a = repo.load_shared("raid5", &mode).unwrap();
+        let b = repo.load_shared("raid5", &mode).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "cache must share one allocation");
+        assert_eq!(*a, tiny_trace("raid5"));
+
+        // Re-storing the same path must invalidate the cached handle.
+        let other =
+            Trace::from_bunches("raid5", vec![Bunch::new(7, vec![IoPackage::write(64, 8192)])]);
+        repo.store(&mode, &other).unwrap();
+        let c = repo.load_shared("raid5", &mode).unwrap();
+        assert!(!Arc::ptr_eq(&a, &c), "store must drop the stale entry");
+        assert_eq!(*c, other);
+
+        repo.store_named("freeform", &tiny_trace("cello")).unwrap();
+        let n1 = repo.load_named_shared("freeform").unwrap();
+        let n2 = repo.load_named_shared("freeform").unwrap();
+        assert!(Arc::ptr_eq(&n1, &n2));
+        assert!(matches!(repo.load_named_shared("absent"), Err(TraceError::NotFound(_))));
         fs::remove_dir_all(repo.root()).unwrap();
     }
 

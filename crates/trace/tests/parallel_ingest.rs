@@ -1,0 +1,93 @@
+//! Acceptance test for parallel blkparse ingest: on a ≥100k-event fixture
+//! the parallel pipeline must produce a `Trace` **byte-identical** to serial
+//! ingest at 1, 2, and 8 workers — compared both structurally and on the
+//! serialized `.replay` bytes.
+
+use tracer_trace::blkparse::{
+    convert, convert_file, convert_file_parallel, convert_parallel, parse_str, parse_str_parallel,
+    BlkparseOptions,
+};
+use tracer_trace::replay_format;
+
+/// Deterministic synthetic blkparse dump with `events` importable `D` rows
+/// plus interleaved `Q`/`C` rows, summary sections, and out-of-order
+/// timestamps — ~3 lines per event, so 120k events is ~360k lines.
+fn big_dump(events: usize) -> String {
+    let mut out = String::with_capacity(events * 160);
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    let mut rng = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut t_ns: u64 = 0;
+    for i in 0..events {
+        if i % 1_000 == 0 {
+            out.push_str("CPU0 (8,0):\n Reads Queued:           1,        4KiB\n");
+        }
+        // Mix sub-window bursts with wide gaps so bunching has real seams.
+        let gap = if rng() % 4 == 0 { rng() % 60_000 } else { 120_000 + rng() % 900_000 };
+        t_ns += gap;
+        let t = if i % 17 == 0 { t_ns.saturating_sub(30_000) } else { t_ns };
+        let rwbs = match rng() % 3 {
+            0 => "R",
+            1 => "W",
+            _ => "WS",
+        };
+        let sector = rng() % 80_000_000;
+        let len = 8 + (rng() % 32) * 8;
+        let secs = t / 1_000_000_000;
+        let frac = t % 1_000_000_000;
+        out.push_str(&format!(
+            "  8,0    {}       {}     {secs}.{frac:09}  41{}  Q   {rwbs} {sector} + {len} [app]\n",
+            i % 8,
+            i * 3 + 1,
+            i % 7,
+        ));
+        out.push_str(&format!(
+            "  8,0    {}       {}     {secs}.{frac:09}  41{}  D   {rwbs} {sector} + {len} [app]\n",
+            i % 8,
+            i * 3 + 2,
+            i % 7,
+        ));
+    }
+    out
+}
+
+#[test]
+fn parallel_ingest_is_byte_identical_at_1_2_and_8_workers() {
+    const EVENTS: usize = 120_000;
+    let dump = big_dump(EVENTS);
+    let opts = BlkparseOptions::default();
+
+    let serial_events = parse_str(&dump, &opts).unwrap();
+    assert!(serial_events.len() >= 100_000, "fixture must hold ≥100k events");
+    let serial_trace = convert(&serial_events, "sda", &opts);
+    let serial_bytes = replay_format::to_bytes(&serial_trace);
+
+    for workers in [1usize, 2, 8] {
+        let events = parse_str_parallel(&dump, &opts, workers).unwrap();
+        assert_eq!(events, serial_events, "parse differs at {workers} workers");
+        let trace = convert_parallel(&events, "sda", &opts, workers);
+        assert_eq!(trace, serial_trace, "trace differs at {workers} workers");
+        let bytes = replay_format::to_bytes(&trace);
+        assert_eq!(bytes, serial_bytes, "serialized bytes differ at {workers} workers");
+    }
+}
+
+#[test]
+fn parallel_file_ingest_matches_serial_file_ingest() {
+    let dir = std::env::temp_dir().join(format!("tracer_ingest_accept_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("big.txt");
+    std::fs::write(&path, big_dump(20_000)).unwrap();
+
+    let serial = convert_file(&path, "sda", &BlkparseOptions::default()).unwrap();
+    for workers in [1usize, 2, 8] {
+        let par =
+            convert_file_parallel(&path, "sda", &BlkparseOptions::default(), workers).unwrap();
+        assert_eq!(par, serial, "workers={workers}");
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
