@@ -31,7 +31,15 @@ fn main() {
     let mut host = EvaluationHost::new();
     let baseline = {
         let mut sim = presets::hdd_raid5(6);
-        host.run_test(&mut sim, &trace, mode.at_load(100), 100, "fine-100").metrics
+        let measured = EvaluationHost::measure_test(
+            host.meter_cycle_ms,
+            &mut sim,
+            &trace,
+            mode.at_load(100),
+            100,
+            "fine-100",
+        );
+        host.commit(measured).metrics
     };
 
     row(&["config %".into(), "selected".into(), "exact".into(), "measured %".into(), "acc".into()]);
@@ -43,7 +51,15 @@ fn main() {
             let exact = total * u64::from(pct) / 100;
             assert_eq!(filtered.bunch_count() as u64, exact, "Bresenham count at {pct}%");
             let mut sim = presets::hdd_raid5(6);
-            let m = host.run_test(&mut sim, &trace, mode.at_load(pct), 100, "fine").metrics;
+            let measured = EvaluationHost::measure_test(
+                host.meter_cycle_ms,
+                &mut sim,
+                &trace,
+                mode.at_load(pct),
+                100,
+                "fine",
+            );
+            let m = host.commit(measured).metrics;
             let measured = m.iops / baseline.iops * 100.0;
             let acc = measured / f64::from(pct);
             worst = worst.max((acc - 1.0).abs());

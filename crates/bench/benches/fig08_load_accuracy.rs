@@ -28,14 +28,11 @@ fn main() {
     let mut host = EvaluationHost::new();
     let exec = SweepExecutor::auto();
     let result = timed("sweep", || {
-        load_sweep_with(
+        SweepBuilder::new().executor(exec).loads(&sweep::LOAD_PCTS).label("fig08").load_sweep(
             &mut host,
-            &exec,
             || presets::hdd_raid5(6),
             &trace,
             mode,
-            &sweep::LOAD_PCTS,
-            "fig08",
         )
     });
 

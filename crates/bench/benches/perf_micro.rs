@@ -13,7 +13,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughpu
 use std::hint::black_box;
 use std::time::Instant;
 use tracer_bench::json_result;
-use tracer_core::{load_sweep_with, EvaluationHost, SweepExecutor};
+use tracer_core::{EvaluationHost, SweepBuilder, SweepExecutor};
 use tracer_replay::{
     replay, replay_prepared, AddressPolicy, LoadControl, ProportionalFilter, ReplayConfig,
 };
@@ -218,14 +218,11 @@ fn bench_load_sweep(c: &mut Criterion) {
         let mut host = EvaluationHost::new();
         let exec = SweepExecutor::new(workers);
         let t0 = Instant::now();
-        let res = load_sweep_with(
+        let res = SweepBuilder::new().executor(exec).loads(&loads).label("perf").load_sweep(
             &mut host,
-            &exec,
             || presets::hdd_raid5(6),
             &trace,
             mode,
-            &loads,
-            "perf",
         );
         black_box(&res);
         t0.elapsed().as_secs_f64()
@@ -239,6 +236,84 @@ fn bench_load_sweep(c: &mut Criterion) {
             "serial_seconds": serial,
             "workers4_seconds": pooled,
             "speedup": serial / pooled.max(1e-9),
+        }),
+    );
+}
+
+/// Instrumentation overhead gate: the same request-store drain and a small
+/// load sweep, timed with `tracer-obs` off and on, interleaved min-of-N so
+/// scheduler noise hits both sides equally. The RESULT line carries the
+/// on/off ratios; `check_regression` holds `max_ratio` under 1.03.
+fn bench_obs_overhead(c: &mut Criterion) {
+    let _ = c;
+    // Many short rounds with the off/on order alternating each round: a load
+    // spike or thermal ramp then lands on both sides equally, and min-of-N
+    // keeps one clean measurement per side on a noisy runner.
+    let rounds = samples_from_env().clamp(8, 12);
+    let was = tracer_obs::enabled();
+
+    let time_store = || {
+        let mut sim = deep_queue_sim(10_000);
+        let t0 = Instant::now();
+        sim.run_to_idle();
+        sim.obs_flush();
+        black_box(sim.events_processed());
+        t0.elapsed().as_secs_f64()
+    };
+    let trace = big_trace(5_000);
+    let mode = WorkloadMode::peak(8192, 50, 100);
+    let time_sweep = || {
+        let mut host = EvaluationHost::new();
+        let t0 = Instant::now();
+        let res = SweepBuilder::new().loads(&[40]).label("obs-gate").load_sweep(
+            &mut host,
+            || presets::hdd_raid5(6),
+            &trace,
+            mode,
+        );
+        black_box(&res);
+        t0.elapsed().as_secs_f64()
+    };
+
+    let (mut store_off, mut store_on) = (f64::MAX, f64::MAX);
+    let (mut sweep_off, mut sweep_on) = (f64::MAX, f64::MAX);
+    let side = |on: bool, store: &mut f64, sweep: &mut f64| {
+        if on {
+            tracer_obs::enable();
+        } else {
+            tracer_obs::disable();
+        }
+        *store = store.min(time_store());
+        *sweep = sweep.min(time_sweep());
+    };
+    for round in 0..rounds {
+        if round % 2 == 0 {
+            side(false, &mut store_off, &mut sweep_off);
+            side(true, &mut store_on, &mut sweep_on);
+        } else {
+            side(true, &mut store_on, &mut sweep_on);
+            side(false, &mut store_off, &mut sweep_off);
+        }
+    }
+    if was {
+        tracer_obs::enable();
+    } else {
+        tracer_obs::disable();
+    }
+
+    let store_ratio = store_on / store_off.max(1e-9);
+    let sweep_ratio = sweep_on / sweep_off.max(1e-9);
+    json_result(
+        "perf_obs_overhead",
+        &serde_json::json!({
+            "rounds": rounds,
+            "store_off_seconds": store_off,
+            "store_on_seconds": store_on,
+            "store_ratio": store_ratio,
+            "sweep_off_seconds": sweep_off,
+            "sweep_on_seconds": sweep_on,
+            "sweep_ratio": sweep_ratio,
+            "max_ratio": store_ratio.max(sweep_ratio),
         }),
     );
 }
@@ -408,6 +483,6 @@ criterion_group! {
     config = Criterion::default().sample_size(samples_from_env());
     targets = bench_filter, bench_serialization, bench_raid_planning, bench_engine,
         bench_request_store, bench_elevator_dispatch, bench_generator, bench_load_sweep,
-        bench_trace_ingest, bench_replay_plan
+        bench_obs_overhead, bench_trace_ingest, bench_replay_plan
 }
 criterion_main!(benches);

@@ -24,7 +24,9 @@ fn measure(
     )
     .trace;
     let mut sim = build();
-    host.run_test(&mut sim, &trace, mode, 100, "ssd").metrics
+    let measured =
+        EvaluationHost::measure_test(host.meter_cycle_ms, &mut sim, &trace, mode, 100, "ssd");
+    host.commit(measured).metrics
 }
 
 fn main() {

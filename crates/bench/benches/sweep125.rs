@@ -64,18 +64,19 @@ fn main() {
     let device = presets::hdd_raid5(6).config().name.clone();
     let sweep_t0 = std::time::Instant::now();
     let results = timed("sweep", || {
-        run_sweep_with(
-            &mut host,
-            &exec,
-            || presets::hdd_raid5(6),
-            |mode| repo.load(&device, mode).expect("collected"),
-            &cfg,
-            |done, total| {
+        SweepBuilder::new()
+            .executor(exec)
+            .on_progress(|done, total| {
                 if done % 25 == 0 || done == total {
                     println!("  {done}/{total} modes");
                 }
-            },
-        )
+            })
+            .sweep(
+                &mut host,
+                || presets::hdd_raid5(6),
+                |mode| repo.load(&device, mode).expect("collected"),
+                &cfg,
+            )
     });
     let sweep_seconds = sweep_t0.elapsed().as_secs_f64();
 

@@ -18,14 +18,11 @@ fn main() {
     let mode = WorkloadMode::peak(22 * 1024, 50, 90);
     let exec = SweepExecutor::auto();
     let result = timed("sweep", || {
-        load_sweep_with(
+        SweepBuilder::new().executor(exec).loads(&sweep::LOAD_PCTS).label("table4").load_sweep(
             &mut host,
-            &exec,
             || presets::hdd_raid5(6),
             &trace,
             mode,
-            &sweep::LOAD_PCTS,
-            "table4",
         )
     });
 

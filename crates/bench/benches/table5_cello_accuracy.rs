@@ -32,14 +32,11 @@ fn main() {
     let mode = WorkloadMode::peak(8192, 50, 58);
     let exec = SweepExecutor::auto();
     let result = timed("sweep", || {
-        load_sweep_with(
+        SweepBuilder::new().executor(exec).loads(&sweep::LOAD_PCTS).label("table5").load_sweep(
             &mut host,
-            &exec,
             || presets::hdd_raid5(6),
             &trace,
             mode,
-            &sweep::LOAD_PCTS,
-            "table5",
         )
     });
 
@@ -67,14 +64,11 @@ fn main() {
             .collect(),
     );
     let fixed_result = timed("fixed-baseline", || {
-        load_sweep_with(
+        SweepBuilder::new().executor(exec).loads(&sweep::LOAD_PCTS).label("table5f").load_sweep(
             &mut host,
-            &exec,
             || presets::hdd_raid5(6),
             &fixed,
             mode,
-            &sweep::LOAD_PCTS,
-            "table5f",
         )
     });
     let fixed_err =

@@ -114,4 +114,20 @@ mod tests {
         // An all-NaN series must not index out of bounds either.
         assert_eq!(spark(&[f64::NAN, f64::NAN]).chars().count(), 2);
     }
+
+    #[test]
+    fn obs_histogram_sparklines_survive_degenerate_shapes() {
+        // Guard next to the bench spark tests: obs histograms render with
+        // their own sparkline, and the degenerate shapes a histogram actually
+        // produces (no samples, one occupied bucket) must not panic or skew.
+        assert_eq!(tracer_obs::spark(&[]), "");
+        assert_eq!(tracer_obs::spark(&[7.0]), "█", "one bucket is one full block");
+        assert_eq!(tracer_obs::spark(&[0.0, 0.0]), "▁▁", "all-zero stays at the floor");
+        assert_eq!(tracer_obs::spark(&[f64::NAN, 1.0]).chars().count(), 2);
+
+        let h = tracer_obs::histogram("bench.spark_guard");
+        assert_eq!(h.snapshot().spark(), "", "empty histogram renders empty");
+        h.record(9);
+        assert_eq!(h.snapshot().spark(), "█", "single-bucket histogram is one block");
+    }
 }

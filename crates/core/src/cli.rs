@@ -21,7 +21,7 @@
 
 use crate::executor::SweepExecutor;
 use crate::host::EvaluationHost;
-use crate::orchestrate::{load_sweep_with, run_sweep_with, SweepConfig};
+use crate::orchestrate::{SweepBuilder, SweepConfig};
 use crate::techniques::{compare_policies, ConservationPolicy};
 use std::collections::HashMap;
 use std::fmt;
@@ -113,6 +113,8 @@ pub enum Command {
         loads: Vec<u32>,
         /// Sweep executor workers (0 = one per core; 1 = serial).
         workers: usize,
+        /// Append a `tracer-obs` instrumentation snapshot (JSON lines) here.
+        obs: Option<PathBuf>,
     },
     /// Run the synthetic mode × load sweep (§V-C1), collecting missing
     /// traces first.
@@ -129,6 +131,8 @@ pub enum Command {
         modes: usize,
         /// Results-database file to write all records to.
         db: Option<PathBuf>,
+        /// Append a `tracer-obs` instrumentation snapshot (JSON lines) here.
+        obs: Option<PathBuf>,
     },
     /// Convert an `.srt` file into the repository.
     Convert {
@@ -139,12 +143,15 @@ pub enum Command {
         /// Repository directory.
         repo: PathBuf,
     },
-    /// Print statistics of a stored trace (Table III style).
+    /// Print statistics of a stored trace (Table III style), or summarize a
+    /// `tracer-obs` snapshot written by `--obs`.
     Stats {
-        /// Stored trace name.
-        name: String,
-        /// Repository directory.
-        repo: PathBuf,
+        /// Stored trace name (with `--repo`).
+        name: Option<String>,
+        /// Repository directory (with `--name`).
+        repo: Option<PathBuf>,
+        /// Obs snapshot (JSON lines) to summarize instead of a trace.
+        obs: Option<PathBuf>,
     },
     /// Compare energy-conservation policies on a web-server workload.
     Policies {
@@ -196,11 +203,11 @@ USAGE:
   tracer collect  --rs BYTES --rn PCT --rd PCT --repo DIR [--seconds S] [--array hdd4|hdd6|ssd4]
   tracer replay   --rs BYTES --rn PCT --rd PCT --load PCT --repo DIR
                   [--loads a,b,c|all] [--workers N] [--intensity PCT]
-                  [--array ...] [--db FILE] [--afap DEPTH]
+                  [--array ...] [--db FILE] [--afap DEPTH] [--obs FILE]
   tracer sweep    --repo DIR [--modes N] [--seconds S] [--workers N]
-                  [--array hdd4|hdd6|ssd4] [--db FILE]
+                  [--array hdd4|hdd6|ssd4] [--db FILE] [--obs FILE]
   tracer convert  --srt FILE --name NAME --repo DIR
-  tracer stats    --name NAME --repo DIR
+  tracer stats    --name NAME --repo DIR | --obs FILE
   tracer policies [--seconds S] [--db FILE]
   tracer report   --db FILE
   tracer serve    --repo DIR [--array hdd4|hdd6|ssd4] [--workers N] [--queue N]
@@ -213,6 +220,9 @@ selected synthetic mode at every load level, collecting missing traces
 first; --workers 0 (the default for sweep) uses one worker per core.
 Serve with --workers > 1 is the concurrent job service (bounded queue,
 admission control); it is provided by the `tracer-serve` binary.
+--obs FILE turns on the tracer-obs instrumentation for the run and appends
+a JSON-lines snapshot (counters, histograms, span timings, events) to FILE;
+`tracer stats --obs FILE` renders that snapshot as a table.
 ";
 
 /// Parse an argument vector (without the program name).
@@ -315,6 +325,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 },
                 loads,
                 workers: num_or("workers", 1)? as usize,
+                obs: flags.get("obs").map(PathBuf::from),
             })
         }
         "sweep" => {
@@ -329,6 +340,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 seconds: num_or("seconds", 10)?,
                 modes,
                 db: flags.get("db").map(PathBuf::from),
+                obs: flags.get("obs").map(PathBuf::from),
             })
         }
         "convert" => Ok(Command::Convert {
@@ -336,7 +348,15 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             name: get("name")?,
             repo: PathBuf::from(get("repo")?),
         }),
-        "stats" => Ok(Command::Stats { name: get("name")?, repo: PathBuf::from(get("repo")?) }),
+        "stats" => {
+            let obs = flags.get("obs").map(PathBuf::from);
+            let (name, repo) = if obs.is_some() {
+                (flags.get("name").cloned(), flags.get("repo").map(PathBuf::from))
+            } else {
+                (Some(get("name")?), Some(PathBuf::from(get("repo")?)))
+            };
+            Ok(Command::Stats { name, repo, obs })
+        }
         "policies" => Ok(Command::Policies {
             seconds: num_or("seconds", 120)?,
             db: flags.get("db").map(PathBuf::from),
@@ -394,7 +414,7 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
             );
             Ok(())
         }
-        Command::Replay { mode, intensity, repo, array, db, afap_depth, loads, workers } => {
+        Command::Replay { mode, intensity, repo, array, db, afap_depth, loads, workers, obs } => {
             let repo = TraceRepository::open(&repo).map_err(io_err)?;
             let device = array.build().config().name.clone();
             let trace = repo.load_shared(&device, &mode).map_err(io_err)?;
@@ -425,15 +445,13 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
             }
             if !loads.is_empty() {
                 let exec = SweepExecutor::new(workers);
-                let result = load_sweep_with(
-                    &mut host,
-                    &exec,
-                    || array.build(),
-                    &trace,
-                    mode.at_load(100),
-                    &loads,
-                    "cli-replay",
-                );
+                let mut builder =
+                    SweepBuilder::new().executor(exec).loads(&loads).label("cli-replay");
+                if let Some(path) = &obs {
+                    builder = builder.obs(tracer_obs::Sink::file(path));
+                }
+                let result =
+                    builder.load_sweep(&mut host, || array.build(), &trace, mode.at_load(100));
                 println!(
                     "load sweep over {} levels ({} workers):",
                     result.loads.len(),
@@ -455,8 +473,29 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
                 }
                 println!("worst error {:.4}", result.max_error());
             } else {
+                // A single cell still honours --obs: turn instrumentation on
+                // for the replay and append the snapshot afterwards.
+                let obs_was = tracer_obs::enabled();
+                if obs.is_some() && !obs_was {
+                    tracer_obs::enable();
+                }
                 let mut sim = array.build();
-                let outcome = host.run_test(&mut sim, &trace, mode, intensity, "cli-replay");
+                let outcome = host.commit(EvaluationHost::measure_test(
+                    host.meter_cycle_ms,
+                    &mut sim,
+                    &trace,
+                    mode,
+                    intensity,
+                    "cli-replay",
+                ));
+                if let Some(path) = &obs {
+                    if let Err(e) = tracer_obs::dump_to(&tracer_obs::Sink::file(path)) {
+                        eprintln!("obs: failed to write snapshot: {e}");
+                    }
+                    if !obs_was {
+                        tracer_obs::disable();
+                    }
+                }
                 let m = outcome.metrics;
                 println!(
                     "load {}% intensity {intensity}%: {:.1} IOPS, {:.2} MBPS, {:.2} ms avg, \
@@ -476,7 +515,7 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
             }
             Ok(())
         }
-        Command::Sweep { repo, array, workers, seconds, modes, db } => {
+        Command::Sweep { repo, array, workers, seconds, modes, db, obs } => {
             let repo = TraceRepository::open(&repo).map_err(io_err)?;
             let exec = SweepExecutor::new(workers);
             let all = sweep::all_modes();
@@ -517,9 +556,14 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
                 exec.workers()
             );
             let mut host = EvaluationHost::new();
-            let results = run_sweep_with(
+            let mut builder = SweepBuilder::new()
+                .executor(exec)
+                .on_progress(|done, total| println!("mode {done}/{total}"));
+            if let Some(path) = &obs {
+                builder = builder.obs(tracer_obs::Sink::file(path));
+            }
+            let results = builder.sweep(
                 &mut host,
-                &exec,
                 || array.build(),
                 |m| {
                     // Shared handles: the sweep grid holds one decoded copy
@@ -528,7 +572,6 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
                         .unwrap_or_else(|e| panic!("trace for {m} vanished from repository: {e}"))
                 },
                 &cfg,
-                |done, total| println!("mode {done}/{total}"),
             );
             let worst = results.iter().map(|r| r.max_error()).fold(0.0, f64::max);
             println!("{} records; worst load-control error {:.4}", host.db.len(), worst);
@@ -546,7 +589,14 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
             println!("converted {} IOs -> {}", trace.io_count(), path.display());
             Ok(())
         }
-        Command::Stats { name, repo } => {
+        Command::Stats { name, repo, obs } => {
+            if let Some(path) = &obs {
+                let text = std::fs::read_to_string(path).map_err(|e| CliError(e.to_string()))?;
+                print_obs_snapshot(&text)?;
+            }
+            let (Some(name), Some(repo)) = (name, repo) else {
+                return Ok(()); // --obs only: nothing else to print
+            };
             let repo = TraceRepository::open(&repo).map_err(io_err)?;
             let trace = repo.load_named(&name).map_err(io_err)?;
             let s = TraceStats::compute(&trace);
@@ -638,6 +688,76 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
             Ok(())
         }
     }
+}
+
+/// Render a `tracer-obs` JSON-lines snapshot as a human-readable table:
+/// counters first, then histograms/spans with a sparkline over their log2
+/// buckets, then the event tally.
+fn print_obs_snapshot(text: &str) -> Result<(), CliError> {
+    use serde_json::Value;
+    fn as_str(v: &Value) -> Option<&str> {
+        match v {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+    fn as_u64(v: &Value) -> Option<u64> {
+        match v {
+            Value::UInt(n) => Some(*n),
+            Value::Int(n) if *n >= 0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+    let mut counters: Vec<(String, u64)> = Vec::new();
+    let mut hists: Vec<(String, String, u64, f64, u64, String)> = Vec::new();
+    let mut events = 0u64;
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let v: Value = serde_json::from_str(line)
+            .map_err(|e| CliError(format!("obs snapshot line {}: {e}", idx + 1)))?;
+        let name = v.get("name").and_then(as_str).unwrap_or("?").to_string();
+        match v.get("kind").and_then(as_str).unwrap_or("") {
+            "counter" => {
+                counters.push((name, v.get("value").and_then(as_u64).unwrap_or(0)));
+            }
+            kind @ ("hist" | "span") => {
+                let count = v.get("count").and_then(as_u64).unwrap_or(0);
+                let mean = v.get("mean").and_then(Value::as_f64).unwrap_or(0.0);
+                let max = v.get("max").and_then(as_u64).unwrap_or(0);
+                let buckets: Vec<f64> = match v.get("buckets") {
+                    Some(Value::Seq(items)) => items.iter().filter_map(Value::as_f64).collect(),
+                    _ => Vec::new(),
+                };
+                hists.push((name, kind.to_string(), count, mean, max, tracer_obs::spark(&buckets)));
+            }
+            "event" => events += 1,
+            other => {
+                return Err(CliError(format!(
+                    "obs snapshot line {}: unknown kind {other:?}",
+                    idx + 1
+                )));
+            }
+        }
+    }
+    if !counters.is_empty() {
+        println!("counters:");
+        for (name, value) in &counters {
+            println!("  {name:<32} {value:>14}");
+        }
+    }
+    if !hists.is_empty() {
+        println!("histograms (log2 buckets):");
+        for (name, kind, count, mean, max, spark) in &hists {
+            println!(
+                "  {name:<32} {kind:<5} count {count:>10}  mean {mean:>14.1}  max {max:>12}  {spark}"
+            );
+        }
+    }
+    println!("events: {events}");
+    Ok(())
 }
 
 #[cfg(test)]
@@ -750,6 +870,7 @@ mod tests {
         let repo = std::env::temp_dir().join(format!("tracer_cli_sweep_{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&repo);
         let db_path = repo.join("sweep_db.json");
+        let obs_path = repo.join("sweep_obs.jsonl");
         run(Command::Sweep {
             repo: repo.clone(),
             array: ArrayChoice::Hdd4,
@@ -757,11 +878,19 @@ mod tests {
             seconds: 1,
             modes: 2,
             db: Some(db_path.clone()),
+            obs: Some(obs_path.clone()),
         })
         .unwrap();
         let stored = crate::db::Database::load(&db_path).unwrap();
         // 2 modes × the paper's 10 load levels.
         assert_eq!(stored.len(), 20);
+        // The obs snapshot is JSON lines and `tracer stats --obs` renders it.
+        let snapshot = std::fs::read_to_string(&obs_path).unwrap();
+        assert!(snapshot.lines().count() > 3, "snapshot too small:\n{snapshot}");
+        assert!(snapshot.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+        assert!(snapshot.contains("\"sweep.cells\""), "{snapshot}");
+        assert!(snapshot.contains("\"executor.cell_ns\""), "{snapshot}");
+        run(Command::Stats { name: None, repo: None, obs: Some(obs_path) }).unwrap();
         std::fs::remove_dir_all(&repo).unwrap();
     }
 
@@ -792,6 +921,51 @@ mod tests {
         assert!(err.0.contains("tracer-serve"), "{err}");
         assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
         assert_eq!(parse(&[]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn parses_obs_flags() {
+        let cmd = parse(&argv("sweep --repo /tmp/r --obs /tmp/o.jsonl")).unwrap();
+        assert!(matches!(cmd, Command::Sweep { obs: Some(_), .. }));
+        let cmd = parse(&argv(
+            "replay --rs 4096 --rn 0 --rd 0 --load 50 --repo /tmp/r --obs /tmp/o.jsonl",
+        ))
+        .unwrap();
+        assert!(matches!(cmd, Command::Replay { obs: Some(_), .. }));
+        // --obs alone is a valid stats invocation; --name/--repo stay optional.
+        let cmd = parse(&argv("stats --obs /tmp/o.jsonl")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Stats { name: None, repo: None, obs: Some(PathBuf::from("/tmp/o.jsonl")) }
+        );
+        assert!(matches!(
+            parse(&argv("stats --name cello --repo /tmp/r --obs /tmp/o.jsonl")).unwrap(),
+            Command::Stats { name: Some(_), repo: Some(_), obs: Some(_) }
+        ));
+        assert!(parse(&argv("stats")).is_err(), "stats needs --name/--repo or --obs");
+        assert!(parse(&argv("stats --obs")).is_err(), "--obs needs a value");
+    }
+
+    #[test]
+    fn stats_renders_obs_snapshot() {
+        let dir = std::env::temp_dir().join(format!("tracer_cli_obs_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.jsonl");
+        std::fs::write(
+            &path,
+            "{\"kind\":\"counter\",\"name\":\"des.events\",\"value\":12}\n\
+             {\"kind\":\"hist\",\"name\":\"executor.cell_ns\",\"count\":2,\"sum\":6,\"max\":4,\
+             \"mean\":3.0,\"buckets\":[1,1]}\n\
+             {\"kind\":\"event\",\"t_ns\":5,\"name\":\"sweep.start\",\"fields\":{}}\n",
+        )
+        .unwrap();
+        run(Command::Stats { name: None, repo: None, obs: Some(path.clone()) }).unwrap();
+        // A malformed snapshot surfaces a line-numbered error.
+        std::fs::write(&path, "{\"kind\":\"counter\",\"name\":\"x\",\"value\":1}\nnot json\n")
+            .unwrap();
+        let err = run(Command::Stats { name: None, repo: None, obs: Some(path) }).unwrap_err();
+        assert!(err.0.contains("line 2"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
@@ -830,6 +1004,7 @@ mod tests {
             afap_depth: None,
             loads: vec![],
             workers: 1,
+            obs: None,
         })
         .unwrap();
         // A second replay appends to the same database.
@@ -842,6 +1017,7 @@ mod tests {
             afap_depth: None,
             loads: vec![],
             workers: 1,
+            obs: None,
         })
         .unwrap();
         // AFAP mode runs against the same stored trace.
@@ -854,6 +1030,7 @@ mod tests {
             afap_depth: Some(16),
             loads: vec![],
             workers: 1,
+            obs: None,
         })
         .unwrap();
         // A --loads sweep appends one record per level (50 % + the baseline).
@@ -866,6 +1043,7 @@ mod tests {
             afap_depth: None,
             loads: vec![50],
             workers: 2,
+            obs: None,
         })
         .unwrap();
         let stored = crate::db::Database::load(&db_path).unwrap();
@@ -881,6 +1059,7 @@ mod tests {
             afap_depth: None,
             loads: vec![],
             workers: 1,
+            obs: None,
         });
         assert!(missing.is_err());
         assert!(run(Command::Report { db: repo.join("nope.json") }).is_err());

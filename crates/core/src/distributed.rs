@@ -65,17 +65,30 @@ struct JobResult {
 /// analyzer channel, and store one record per job in `host`'s database.
 /// Returns the record ids in job order.
 pub fn run_parallel(host: &mut EvaluationHost, jobs: Vec<EvaluationJob>) -> Vec<u64> {
-    run_parallel_with(host, &SweepExecutor::auto(), jobs)
+    crate::orchestrate::SweepBuilder::new().executor(SweepExecutor::auto()).jobs(host, jobs)
 }
 
 /// [`run_parallel`] on an explicit executor: the jobs are fanned out over a
 /// *bounded* worker pool instead of one thread per job, so a fleet of
 /// hundreds of systems does not oversubscribe the machine. Records are still
 /// inserted in job order regardless of completion order.
+#[deprecated(since = "0.1.0", note = "use `SweepBuilder::new().executor(*exec).jobs(host, jobs)`")]
 pub fn run_parallel_with(
     host: &mut EvaluationHost,
     exec: &SweepExecutor,
     jobs: Vec<EvaluationJob>,
+) -> Vec<u64> {
+    crate::orchestrate::SweepBuilder::new().executor(*exec).jobs(host, jobs)
+}
+
+/// The fan-out/merge implementation behind
+/// [`SweepBuilder::jobs`](crate::orchestrate::SweepBuilder::jobs).
+/// `progress` fires on the caller's thread per completed job.
+pub(crate) fn run_parallel_impl(
+    host: &mut EvaluationHost,
+    exec: &SweepExecutor,
+    jobs: Vec<EvaluationJob>,
+    progress: &mut dyn FnMut(usize, usize),
 ) -> Vec<u64> {
     if jobs.is_empty() {
         return Vec::new();
@@ -86,6 +99,8 @@ pub fn run_parallel_with(
     // claims that index (the build closure is FnOnce).
     let slots: Vec<Mutex<Option<EvaluationJob>>> =
         jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    let total = slots.len();
+    let mut done = 0usize;
     let results: Vec<JobResult> = exec.run_indexed(
         slots.len(),
         |i| {
@@ -108,7 +123,10 @@ pub fn run_parallel_with(
                 log: sim.power_log().clone(),
             }
         },
-        |_| {},
+        |_| {
+            done += 1;
+            progress(done, total);
+        },
     );
 
     // One multi-channel analyzer finalizes every system at once.
@@ -230,14 +248,21 @@ mod tests {
 
         let mut host2 = EvaluationHost::new();
         let mut sim = presets::hdd_raid5(4);
-        let seq =
-            host2.run_test(&mut sim, &trace(30), WorkloadMode::peak(8192, 50, 100), 100, "seq");
+        let seq = host2.commit(EvaluationHost::measure_test(
+            host2.meter_cycle_ms,
+            &mut sim,
+            &trace(30),
+            WorkloadMode::peak(8192, 50, 100),
+            100,
+            "seq",
+        ));
         assert_eq!(par.perf.total_ios, seq.report.summary.total_ios);
         assert!((par.efficiency.iops - seq.metrics.iops).abs() < 1e-9);
         assert!((par.efficiency.avg_watts - seq.metrics.avg_watts).abs() < 1e-9);
     }
 
     #[test]
+    #[allow(deprecated)] // the shim's equivalence to the wide pool stays asserted
     fn bounded_pool_matches_one_thread_per_job() {
         let make_jobs = || {
             (0..6)

@@ -83,14 +83,28 @@ impl SweepExecutor {
         F: Fn(usize) -> R + Sync,
         D: FnMut(usize),
     {
+        // Instrumentation is sampled once per fan-out: when disabled the hot
+        // loop pays one atomic load here and nothing per cell.
+        let obs_on = tracer_obs::enabled();
+        let cell_ns = obs_on.then(|| tracer_obs::histogram("executor.cell_ns"));
+
         if self.is_serial() || n <= 1 {
-            return (0..n)
+            let out = (0..n)
                 .map(|i| {
+                    let started = cell_ns.map(|_| std::time::Instant::now());
                     let r = job(i);
+                    if let (Some(hist), Some(t0)) = (cell_ns, started) {
+                        hist.record(t0.elapsed().as_nanos() as u64);
+                    }
                     on_done(i);
                     r
                 })
                 .collect();
+            if obs_on && n > 0 {
+                tracer_obs::counter("executor.cells_claimed").add(n as u64);
+                tracer_obs::counter("executor.worker0.claims").add(n as u64);
+            }
+            return out;
         }
 
         let next = AtomicUsize::new(0);
@@ -99,17 +113,32 @@ impl SweepExecutor {
         let (tx, rx) = mpsc::channel::<(usize, R)>();
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..self.workers.min(n))
-                .map(|_| {
+                .map(|w| {
                     let tx = tx.clone();
-                    scope.spawn(move || loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
+                    scope.spawn(move || {
+                        // Per-worker tallies publish once at loop exit, so
+                        // claim accounting costs nothing per cell.
+                        let mut claims = 0u64;
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            let started = cell_ns.map(|_| std::time::Instant::now());
+                            let r = job(i);
+                            if let (Some(hist), Some(t0)) = (cell_ns, started) {
+                                hist.record(t0.elapsed().as_nanos() as u64);
+                            }
+                            claims += 1;
+                            // A send can only fail if the receiver is gone, which
+                            // means a sibling panicked and the scope is unwinding.
+                            if tx.send((i, r)).is_err() {
+                                break;
+                            }
                         }
-                        // A send can only fail if the receiver is gone, which
-                        // means a sibling panicked and the scope is unwinding.
-                        if tx.send((i, job(i))).is_err() {
-                            break;
+                        if obs_on && claims > 0 {
+                            tracer_obs::counter("executor.cells_claimed").add(claims);
+                            tracer_obs::counter(&format!("executor.worker{w}.claims")).add(claims);
                         }
                     })
                 })
@@ -187,6 +216,21 @@ mod tests {
         let err = result.expect_err("panic must propagate");
         let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
         assert_eq!(msg, "cell exploded");
+    }
+
+    #[test]
+    fn obs_accounts_claims_and_cell_timings_when_enabled() {
+        // Sibling tests may also fan out while obs is on, so assert floors,
+        // not exact counts.
+        tracer_obs::enable();
+        let before = tracer_obs::counter("executor.cells_claimed").value();
+        let hist_before = tracer_obs::histogram("executor.cell_ns").snapshot().count;
+        SweepExecutor::new(3).run_indexed(20, |i| i, |_| {});
+        SweepExecutor::serial().run_indexed(5, |i| i, |_| {});
+        tracer_obs::disable();
+        assert!(tracer_obs::counter("executor.cells_claimed").value() >= before + 25);
+        assert!(tracer_obs::histogram("executor.cell_ns").snapshot().count >= hist_before + 25);
+        assert!(tracer_obs::counter("executor.worker0.claims").value() >= 5);
     }
 
     #[test]

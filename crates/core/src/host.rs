@@ -8,7 +8,7 @@
 //! messenger), which is how the paper's GUI front-end reaches the machinery.
 
 use crate::db::{Database, PowerData, TestRecord};
-use crate::messages::{parse_command, HostCommand, ParseError};
+use crate::messages::{parse_command, HostCommand};
 use crate::metrics::EfficiencyMetrics;
 use std::sync::Arc;
 use tracer_power::{Channel, PowerAnalyzer};
@@ -62,6 +62,11 @@ impl EvaluationHost {
     /// Run one test: apply the mode's load proportion (and `intensity_pct`
     /// pacing) to `trace`, replay it into `sim`, measure power over the replay
     /// window, and store a [`TestRecord`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `EvaluationHost::measure_test` + `EvaluationHost::commit`, the canonical \
+                single-cell entry points"
+    )]
     pub fn run_test(
         &mut self,
         sim: &mut ArraySim,
@@ -87,6 +92,7 @@ impl EvaluationHost {
         intensity_pct: u32,
         label: &str,
     ) -> MeasuredTest {
+        let _span = tracer_obs::span("host.measure_ns");
         let cfg = ReplayConfig {
             load: LoadControl { proportion_pct: mode.load_pct, intensity_pct },
             ..Default::default()
@@ -166,27 +172,12 @@ impl EvaluationHost {
 }
 
 /// Errors from the command session.
-#[derive(Debug)]
-pub enum SessionError {
-    /// The line failed to parse.
-    Parse(ParseError),
-    /// The command is invalid in the current state.
-    State(String),
-    /// No trace exists for the requested device/mode.
-    NoTrace(String),
-}
-
-impl std::fmt::Display for SessionError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            SessionError::Parse(e) => write!(f, "{e}"),
-            SessionError::State(s) => write!(f, "invalid command sequence: {s}"),
-            SessionError::NoTrace(s) => write!(f, "no trace available: {s}"),
-        }
-    }
-}
-
-impl std::error::Error for SessionError {}
+///
+/// Historical alias: session errors are now the workspace-wide
+/// [`TracerError`](crate::error::TracerError); the `Parse` / `State` /
+/// `NoTrace` variants (and their `Display` strings) are unchanged, so
+/// existing matches keep compiling and protocol `err` lines are identical.
+pub type SessionError = crate::error::TracerError;
 
 /// A GUI-protocol session: text lines in, text responses out.
 ///
@@ -240,7 +231,15 @@ where
                     .ok_or_else(|| SessionError::NoTrace(format!("{device}/{mode}")))?;
                 self.tests_run += 1;
                 let label = format!("session-test-{}", self.tests_run);
-                let outcome = self.host.run_test(&mut sim, &trace, mode, intensity, &label);
+                let measured = EvaluationHost::measure_test(
+                    self.host.meter_cycle_ms,
+                    &mut sim,
+                    &trace,
+                    mode,
+                    intensity,
+                    &label,
+                );
+                let outcome = self.host.commit(measured);
                 Ok(format!(
                     "ok test id={} iops={:.2} mbps={:.3} watts={:.2} iops_per_watt={:.3}",
                     outcome.record_id,
@@ -291,6 +290,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // run_test stays covered while it remains a shim
     fn run_test_stores_record_with_metrics() {
         let mut host = EvaluationHost::new();
         let mut sim = presets::hdd_raid5(4);
@@ -315,6 +315,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // run_test stays covered while it remains a shim
     fn empty_trace_test_does_not_divide_by_zero() {
         let mut host = EvaluationHost::new();
         let mut sim = presets::hdd_raid5(4);

@@ -12,8 +12,9 @@
 //!   energy-dissipation data, performance, and efficiency;
 //! * [`messages`] — the typed host↔generator↔analyzer protocol plus the GUI
 //!   text-protocol parser;
-//! * [`host`] — test orchestration ([`host::EvaluationHost::run_test`]) and
-//!   the protocol-driven [`host::CommandSession`];
+//! * [`host`] — test orchestration ([`host::EvaluationHost::measure_test`] +
+//!   [`host::EvaluationHost::commit`]) and the protocol-driven
+//!   [`host::CommandSession`];
 //! * [`orchestrate`] — load sweeps, the 125-mode synthetic sweep, accuracy
 //!   tables;
 //! * [`distributed`] — parallel evaluation of multiple arrays with a
@@ -38,10 +39,13 @@
 //!         .collect(),
 //! );
 //!
-//! // Replay at a 50 % load proportion and record energy efficiency.
+//! // Replay at a 50 % load proportion and record energy efficiency:
+//! // measure (thread-safe), then commit (assigns the record id).
 //! let mut host = EvaluationHost::new();
 //! let mode = WorkloadMode::peak(4096, 100, 100).at_load(50);
-//! let outcome = host.run_test(&mut sim, &trace, mode, 100, "quickstart");
+//! let measured =
+//!     EvaluationHost::measure_test(host.meter_cycle_ms, &mut sim, &trace, mode, 100, "quickstart");
+//! let outcome = host.commit(measured);
 //! assert!(outcome.metrics.iops_per_watt > 0.0);
 //! ```
 
@@ -49,6 +53,7 @@ pub mod analysis;
 pub mod cli;
 pub mod db;
 pub mod distributed;
+pub mod error;
 pub mod executor;
 pub mod export;
 pub mod host;
@@ -63,26 +68,35 @@ pub use analysis::{
     coefficient_of_variation, linear_fit, mean, pearson, relative_spread, LinearFit,
 };
 pub use db::{Database, DbError, PowerData, TestRecord};
-pub use distributed::{run_parallel, run_parallel_with, EvaluationJob};
+pub use distributed::{run_parallel, EvaluationJob};
+pub use error::TracerError;
 pub use executor::SweepExecutor;
 pub use host::{CommandSession, EvaluationHost, MeasuredTest, SessionError, TestOutcome};
 pub use messages::{format_command, parse_command, HostCommand, ParseError, Report};
 pub use metrics::{load_accuracy, load_proportion, AccuracyRow, EfficiencyMetrics};
 pub use net::{GeneratorServer, HostClient};
 pub use orchestrate::{
-    load_sweep, load_sweep_with, repeated_trials, repeated_trials_with, run_sweep, run_sweep_with,
-    LoadSweepResult, SweepConfig, TrialStat, TrialSummary,
+    load_sweep, repeated_trials, run_sweep, LoadSweepResult, SweepBuilder, SweepConfig, TrialStat,
+    TrialSummary,
 };
 pub use techniques::{compare_policies, ConservationPolicy, PolicyOutcome};
+#[allow(deprecated)]
+pub use {
+    distributed::run_parallel_with,
+    orchestrate::{load_sweep_with, repeated_trials_with, run_sweep_with},
+};
 
 /// Everything an application typically needs, including the lower layers.
 pub mod prelude {
     pub use crate::techniques::{compare_policies, ConservationPolicy, PolicyOutcome};
     pub use crate::{
-        load_accuracy, load_proportion, load_sweep, load_sweep_with, run_parallel, run_sweep,
-        run_sweep_with, AccuracyRow, CommandSession, Database, EfficiencyMetrics, EvaluationHost,
-        EvaluationJob, LoadSweepResult, MeasuredTest, SweepConfig, SweepExecutor, TestRecord,
+        load_accuracy, load_proportion, load_sweep, run_parallel, run_sweep, AccuracyRow,
+        CommandSession, Database, EfficiencyMetrics, EvaluationHost, EvaluationJob,
+        LoadSweepResult, MeasuredTest, SweepBuilder, SweepConfig, SweepExecutor, TestRecord,
+        TracerError,
     };
+    #[allow(deprecated)]
+    pub use crate::{load_sweep_with, run_sweep_with};
     pub use tracer_power::{Channel, EnergyReport, NoiseModel, PowerAnalyzer, PowerMeter};
     pub use tracer_replay::{
         replay, scale_intensity, AddressPolicy, LoadControl, PerformanceMonitor,

@@ -211,6 +211,9 @@ pub enum JobCommand {
         /// Job id returned by submit.
         id: u64,
     },
+    /// Ask for a service-wide snapshot: worker count, queue capacity, and
+    /// job counts per lifecycle state.
+    Stats,
 }
 
 /// Encode a job command as one protocol line.
@@ -230,6 +233,7 @@ pub fn format_job_command(cmd: &JobCommand) -> String {
         JobCommand::Status { id } => format!("status id={id}"),
         JobCommand::Result { id } => format!("result id={id}"),
         JobCommand::Cancel { id } => format!("cancel id={id}"),
+        JobCommand::Stats => "stats".to_string(),
     }
 }
 
@@ -257,6 +261,7 @@ pub fn parse_job_command(line: &str) -> Result<JobCommand, ParseError> {
         "status" => Ok(JobCommand::Status { id: id()? }),
         "result" => Ok(JobCommand::Result { id: id()? }),
         "cancel" => Ok(JobCommand::Cancel { id: id()? }),
+        "stats" => Ok(JobCommand::Stats),
         other => Err(err(format!("unknown verb {other:?}"))),
     }
 }
@@ -402,6 +407,7 @@ mod tests {
             JobCommand::Status { id: 7 },
             JobCommand::Result { id: 0 },
             JobCommand::Cancel { id: u64::MAX },
+            JobCommand::Stats,
         ];
         for cmd in cmds {
             let line = format_job_command(&cmd);

@@ -151,7 +151,14 @@ where
     for policy in &all {
         let (cfg, devices) = build_parts();
         let mut sim = policy.build(cfg, devices);
-        let outcome = host.run_test(&mut sim, trace, mode, 100, &format!("{label}/{policy}"));
+        let outcome = host.commit(EvaluationHost::measure_test(
+            host.meter_cycle_ms,
+            &mut sim,
+            trace,
+            mode,
+            100,
+            &format!("{label}/{policy}"),
+        ));
         let m = outcome.metrics;
         let (baseline_energy, baseline_resp) = outcomes
             .first()

@@ -1,0 +1,116 @@
+//! `obs_schema_check` — validate a `tracer-obs` JSON-lines dump.
+//!
+//! Every line must be a JSON object with a `kind` of `counter`, `hist`,
+//! `span`, or `event`, and the kind's required fields:
+//!
+//! * `counter`: string `name`, unsigned `value`;
+//! * `hist` / `span`: string `name`, unsigned `count`/`sum`/`max`, and a
+//!   `buckets` array of unsigned integers;
+//! * `event`: string `name`, unsigned `t_ns`, object `fields`.
+//!
+//! Extra fields are allowed (dumps carry e.g. a derived `mean`). CI feeds the
+//! file produced by `tracer sweep --obs out.jsonl` through this checker, so a
+//! malformed emitter fails the build rather than some later consumer.
+//!
+//! Usage: `obs_schema_check <dump.jsonl>` (or `-` for stdin). Exits non-zero
+//! on the first invalid line, naming the line number and the violation.
+
+use std::io::Read;
+use std::process::ExitCode;
+
+fn field<'a>(obj: &'a serde_json::Value, key: &str) -> Result<&'a serde_json::Value, String> {
+    obj.get(key).ok_or_else(|| format!("missing field {key:?}"))
+}
+
+fn as_str<'a>(v: &'a serde_json::Value, key: &str) -> Result<&'a str, String> {
+    match v {
+        serde_json::Value::Str(s) if !s.is_empty() => Ok(s),
+        serde_json::Value::Str(_) => Err(format!("{key:?} must be non-empty")),
+        _ => Err(format!("{key:?} must be a string")),
+    }
+}
+
+fn as_uint(v: &serde_json::Value, key: &str) -> Result<u64, String> {
+    match v {
+        serde_json::Value::UInt(n) => Ok(*n),
+        serde_json::Value::Int(n) if *n >= 0 => Ok(*n as u64),
+        _ => Err(format!("{key:?} must be an unsigned integer")),
+    }
+}
+
+fn check_line(line: &str) -> Result<(), String> {
+    let value: serde_json::Value =
+        serde_json::from_str(line).map_err(|e| format!("not valid JSON: {e}"))?;
+    let serde_json::Value::Map(_) = &value else {
+        return Err("line must be a JSON object".to_string());
+    };
+    let kind = as_str(field(&value, "kind")?, "kind")?;
+    match kind {
+        "counter" => {
+            as_str(field(&value, "name")?, "name")?;
+            as_uint(field(&value, "value")?, "value")?;
+        }
+        "hist" | "span" => {
+            as_str(field(&value, "name")?, "name")?;
+            for key in ["count", "sum", "max"] {
+                as_uint(field(&value, key)?, key)?;
+            }
+            let serde_json::Value::Seq(buckets) = field(&value, "buckets")? else {
+                return Err("\"buckets\" must be an array".to_string());
+            };
+            for (i, b) in buckets.iter().enumerate() {
+                as_uint(b, &format!("buckets[{i}]"))?;
+            }
+        }
+        "event" => {
+            as_str(field(&value, "name")?, "name")?;
+            as_uint(field(&value, "t_ns")?, "t_ns")?;
+            let serde_json::Value::Map(_) = field(&value, "fields")? else {
+                return Err("\"fields\" must be an object".to_string());
+            };
+        }
+        other => return Err(format!("unknown kind {other:?}")),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: obs_schema_check <dump.jsonl | ->");
+        return ExitCode::FAILURE;
+    };
+    let raw = if path == "-" {
+        let mut buf = String::new();
+        if std::io::stdin().read_to_string(&mut buf).is_err() {
+            eprintln!("obs_schema_check: failed to read stdin");
+            return ExitCode::FAILURE;
+        }
+        buf
+    } else {
+        match std::fs::read_to_string(&path) {
+            Ok(raw) => raw,
+            Err(e) => {
+                eprintln!("obs_schema_check: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    let mut checked = 0usize;
+    for (lineno, line) in raw.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Err(e) = check_line(line) {
+            eprintln!("obs_schema_check: line {}: {e}", lineno + 1);
+            eprintln!("  {line}");
+            return ExitCode::FAILURE;
+        }
+        checked += 1;
+    }
+    if checked == 0 {
+        eprintln!("obs_schema_check: no JSON lines found in {path}");
+        return ExitCode::FAILURE;
+    }
+    println!("OK    {checked} obs lines conform to the schema");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,779 @@
+//! `tracer-obs` — low-overhead instrumentation for the TRACER pipeline.
+//!
+//! Replay tools need their own observability layer: a 1,250-cell sweep or a
+//! `tracer-serve` job queue is otherwise a black box. This crate provides the
+//! building blocks the rest of the workspace threads through its hot paths:
+//!
+//! * [`Counter`] — sharded, cache-padded atomic counters (relaxed ordering,
+//!   no locks on the increment path);
+//! * [`Histogram`] — 64 log2 buckets plus count/sum/max, lock-free recording;
+//!   used both for value distributions (queue depths) and span durations;
+//! * [`span`] — RAII timers that record elapsed nanoseconds into a histogram
+//!   when the guard drops;
+//! * [`event`] — a bounded ring buffer of structured events with a pluggable
+//!   [`Sink`] (JSON-lines file or stderr);
+//! * a process-wide registry ([`counter`] / [`histogram`] / [`span`]) handing
+//!   out `&'static` handles so hot loops pay one lookup, not one per record.
+//!
+//! Everything is **off by default**: recording is gated on a single relaxed
+//! [`enabled`] flag, so an un-instrumented run pays one atomic load per
+//! *registration site*, not per operation — the DES hot path keeps plain
+//! `u64` tallies and publishes them here only when the flag is set (see
+//! `tracer-sim`). The `perf_obs_overhead` micro-benchmark asserts the
+//! enabled-path cost stays under 3 % end to end.
+//!
+//! Snapshots serialize as JSON lines (one metric or event per line); the
+//! `obs_schema_check` binary validates a dump against the schema:
+//!
+//! ```json
+//! {"kind":"counter","name":"des.events","value":123456}
+//! {"kind":"hist","name":"des.queue_depth","count":10,"sum":42,"max":9,"buckets":[...]}
+//! {"kind":"span","name":"replay.drive_ns","count":1,"sum":812345,"max":812345,"buckets":[...]}
+//! {"kind":"event","t_ns":1042,"name":"sweep.start","fields":{"cells":"1250"}}
+//! ```
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Global enable flag
+// ---------------------------------------------------------------------------
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turn instrumentation on process-wide.
+pub fn enable() {
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turn instrumentation off process-wide.
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Whether instrumentation is currently on. A single relaxed atomic load —
+/// cheap enough to consult once per phase, and hot paths are expected to
+/// cache the answer (e.g. at simulator construction) rather than poll it.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+// ---------------------------------------------------------------------------
+// Counter
+// ---------------------------------------------------------------------------
+
+const SHARDS: usize = 16;
+
+/// A cache-line-padded atomic cell, so neighbouring shards don't false-share.
+#[repr(align(64))]
+#[derive(Default)]
+struct PaddedU64(AtomicU64);
+
+static NEXT_THREAD_SLOT: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Each thread gets a stable shard slot on first use.
+    static THREAD_SLOT: usize = NEXT_THREAD_SLOT.fetch_add(1, Ordering::Relaxed);
+}
+
+#[inline]
+fn shard_index() -> usize {
+    THREAD_SLOT.with(|s| *s) % SHARDS
+}
+
+/// A lock-free counter sharded across cache-padded atomics: concurrent
+/// workers increment disjoint cache lines, [`Counter::value`] sums them.
+pub struct Counter {
+    shards: [PaddedU64; SHARDS],
+}
+
+impl Counter {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Self { shards: Default::default() }
+    }
+
+    /// Add `n` (relaxed; this thread's shard).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.shards[shard_index()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add 1.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Sum over all shards.
+    pub fn value(&self) -> u64 {
+        self.shards.iter().map(|s| s.0.load(Ordering::Relaxed)).sum()
+    }
+
+    fn reset(&self) {
+        for s in &self.shards {
+            s.0.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+const BUCKETS: usize = 64;
+
+/// A log2-bucket histogram: value `v` lands in bucket `⌊log2 v⌋ + 1`
+/// (bucket 0 holds zeros), so bucket `i > 0` covers `[2^(i-1), 2^i)`.
+/// Recording is one relaxed `fetch_add` per field — no locks.
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros() as usize).min(BUCKETS - 1)
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one value.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Record a value `n` times (bulk merge from a local tally).
+    pub fn record_n(&self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.buckets[bucket_of(v)].fetch_add(n, Ordering::Relaxed);
+        self.count.fetch_add(n, Ordering::Relaxed);
+        self.sum.fetch_add(v.saturating_mul(n), Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the histogram.
+    pub fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Bucket occupancies (bucket 0 = zeros, bucket `i` = `[2^(i-1), 2^i)`).
+    pub buckets: Vec<u64>,
+    /// Total recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Largest recorded value.
+    pub max: u64,
+}
+
+impl HistSnapshot {
+    /// Mean of the recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate p-th percentile (`0 < p <= 100`) from the bucket
+    /// boundaries: the upper edge of the bucket holding the p-th sample.
+    /// Returns 0 for an empty histogram.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (p / 100.0 * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return if i == 0 { 0.0 } else { (1u64 << i.min(63)) as f64 };
+            }
+        }
+        self.max as f64
+    }
+
+    /// The occupied bucket range, trailing and leading zeros trimmed
+    /// (empty histogram → empty slice).
+    pub fn occupied(&self) -> &[u64] {
+        let first = self.buckets.iter().position(|&b| b > 0);
+        let last = self.buckets.iter().rposition(|&b| b > 0);
+        match (first, last) {
+            (Some(f), Some(l)) => &self.buckets[f..=l],
+            _ => &[],
+        }
+    }
+
+    /// Sparkline over the occupied buckets. Total (not per-bucket) safety:
+    /// an empty histogram renders as `""` and a one-bucket histogram as a
+    /// single full block — no divide-by-zero, no panic.
+    pub fn spark(&self) -> String {
+        spark(&self.occupied().iter().map(|&b| b as f64).collect::<Vec<_>>())
+    }
+}
+
+/// Render `series` as a Unicode sparkline, scaled to its maximum. Handles the
+/// degenerate shapes obs histograms produce: empty input → `""`, a single
+/// bucket → one full block, an all-zero or non-finite series → all-floor.
+pub fn spark(series: &[f64]) -> String {
+    const RAMP: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = series.iter().copied().filter(|v| v.is_finite()).fold(0.0_f64, f64::max);
+    series
+        .iter()
+        .map(|&v| {
+            if !v.is_finite() || v <= 0.0 || max <= 0.0 {
+                RAMP[0]
+            } else {
+                RAMP[((v / max * 7.0).round() as usize).min(7)]
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+enum Metric {
+    Counter(&'static Counter),
+    Hist(&'static Histogram),
+    Span(&'static Histogram),
+}
+
+fn registry() -> &'static Mutex<BTreeMap<String, Metric>> {
+    static REGISTRY: OnceLock<Mutex<BTreeMap<String, Metric>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// The counter registered under `name` (created on first use). The returned
+/// handle is `&'static`: look it up once, increment forever.
+pub fn counter(name: &str) -> &'static Counter {
+    let mut reg = registry().lock().unwrap();
+    match reg.entry(name.to_string()).or_insert_with(|| Metric::Counter(leak_counter())) {
+        Metric::Counter(c) => c,
+        _ => panic!("obs metric {name:?} is not a counter"),
+    }
+}
+
+// Metrics are leaked so hot paths can hold `&'static` handles; the registry
+// is process-global and bounded by the number of distinct metric names.
+fn leak_counter() -> &'static Counter {
+    Box::leak(Box::new(Counter::new()))
+}
+
+fn leak_hist() -> &'static Histogram {
+    Box::leak(Box::new(Histogram::new()))
+}
+
+/// The histogram registered under `name` (created on first use).
+pub fn histogram(name: &str) -> &'static Histogram {
+    let mut reg = registry().lock().unwrap();
+    match reg.entry(name.to_string()).or_insert_with(|| Metric::Hist(leak_hist())) {
+        Metric::Hist(h) | Metric::Span(h) => h,
+        Metric::Counter(_) => panic!("obs metric {name:?} is not a histogram"),
+    }
+}
+
+fn span_histogram(name: &str) -> &'static Histogram {
+    let mut reg = registry().lock().unwrap();
+    match reg.entry(name.to_string()).or_insert_with(|| Metric::Span(leak_hist())) {
+        Metric::Hist(h) | Metric::Span(h) => h,
+        Metric::Counter(_) => panic!("obs metric {name:?} is not a span"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Span timers
+// ---------------------------------------------------------------------------
+
+/// RAII span timer: created by [`span`], records elapsed nanoseconds into the
+/// named span histogram when dropped. Inert (no clock read, no registry
+/// lookup) while instrumentation is disabled.
+pub struct SpanGuard {
+    target: Option<(&'static Histogram, Instant)>,
+}
+
+impl SpanGuard {
+    /// A guard that records nothing — what [`span`] returns when disabled.
+    pub fn inert() -> Self {
+        Self { target: None }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((hist, start)) = self.target.take() {
+            hist.record(start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+        }
+    }
+}
+
+/// Time a pipeline phase: `let _g = tracer_obs::span("replay.drive_ns");`.
+/// The elapsed nanoseconds land in the span histogram at scope exit.
+pub fn span(name: &str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard::inert();
+    }
+    SpanGuard { target: Some((span_histogram(name), Instant::now())) }
+}
+
+// ---------------------------------------------------------------------------
+// Event ring buffer
+// ---------------------------------------------------------------------------
+
+/// A value attached to a structured event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer field.
+    U64(u64),
+    /// Floating-point field.
+    F64(f64),
+    /// String field.
+    Str(String),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+/// One structured event drained from the ring.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Nanoseconds since the first obs call in this process.
+    pub t_ns: u64,
+    /// Event name.
+    pub name: String,
+    /// Key → value payload.
+    pub fields: Vec<(String, FieldValue)>,
+}
+
+struct EventRing {
+    buf: VecDeque<Event>,
+    capacity: usize,
+    dropped: u64,
+}
+
+fn events() -> &'static Mutex<EventRing> {
+    static EVENTS: OnceLock<Mutex<EventRing>> = OnceLock::new();
+    EVENTS
+        .get_or_init(|| Mutex::new(EventRing { buf: VecDeque::new(), capacity: 4096, dropped: 0 }))
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Append a structured event to the ring buffer (no-op while disabled).
+/// The ring is bounded: once full, the oldest event is dropped and counted.
+pub fn event(name: &str, fields: &[(&str, FieldValue)]) {
+    if !enabled() {
+        return;
+    }
+    let t_ns = epoch().elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+    let ev = Event {
+        t_ns,
+        name: name.to_string(),
+        fields: fields.iter().map(|(k, v)| (k.to_string(), v.clone())).collect(),
+    };
+    let mut ring = events().lock().unwrap();
+    if ring.buf.len() >= ring.capacity {
+        ring.buf.pop_front();
+        ring.dropped += 1;
+    }
+    ring.buf.push_back(ev);
+}
+
+/// Drain and return all buffered events (oldest first).
+pub fn drain_events() -> Vec<Event> {
+    let mut ring = events().lock().unwrap();
+    ring.buf.drain(..).collect()
+}
+
+/// Events evicted from the ring since the last [`reset`].
+pub fn dropped_events() -> u64 {
+    events().lock().unwrap().dropped
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots and sinks
+// ---------------------------------------------------------------------------
+
+/// Zero every registered metric and clear the event ring. Registered handles
+/// stay valid (they are `&'static`); only their contents reset. Benches and
+/// tests call this between phases.
+pub fn reset() {
+    let reg = registry().lock().unwrap();
+    for metric in reg.values() {
+        match metric {
+            Metric::Counter(c) => c.reset(),
+            Metric::Hist(h) | Metric::Span(h) => h.reset(),
+        }
+    }
+    let mut ring = events().lock().unwrap();
+    ring.buf.clear();
+    ring.dropped = 0;
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn hist_line(kind: &str, name: &str, h: &HistSnapshot) -> String {
+    let occupied = h.occupied();
+    let buckets: Vec<String> = occupied.iter().map(u64::to_string).collect();
+    format!(
+        "{{\"kind\":\"{kind}\",\"name\":\"{}\",\"count\":{},\"sum\":{},\"max\":{},\"mean\":{:.3},\"buckets\":[{}]}}",
+        json_escape(name),
+        h.count,
+        h.sum,
+        h.max,
+        h.mean(),
+        buckets.join(",")
+    )
+}
+
+fn field_json(v: &FieldValue) -> String {
+    match v {
+        FieldValue::U64(n) => n.to_string(),
+        FieldValue::F64(x) if x.is_finite() => format!("{x}"),
+        FieldValue::F64(_) => "null".to_string(),
+        FieldValue::Str(s) => format!("\"{}\"", json_escape(s)),
+    }
+}
+
+/// Serialize the full registry plus the drained event ring as JSON lines:
+/// one `counter` / `hist` / `span` line per metric (name-sorted), then one
+/// `event` line per buffered event (oldest first). Draining means a second
+/// dump reports only events recorded in between.
+pub fn dump_jsonl() -> String {
+    let mut out = String::new();
+    {
+        let reg = registry().lock().unwrap();
+        for (name, metric) in reg.iter() {
+            match metric {
+                Metric::Counter(c) => {
+                    out.push_str(&format!(
+                        "{{\"kind\":\"counter\",\"name\":\"{}\",\"value\":{}}}\n",
+                        json_escape(name),
+                        c.value()
+                    ));
+                }
+                Metric::Hist(h) => {
+                    out.push_str(&hist_line("hist", name, &h.snapshot()));
+                    out.push('\n');
+                }
+                Metric::Span(h) => {
+                    out.push_str(&hist_line("span", name, &h.snapshot()));
+                    out.push('\n');
+                }
+            }
+        }
+    }
+    for ev in drain_events() {
+        let fields: Vec<String> = ev
+            .fields
+            .iter()
+            .map(|(k, v)| format!("\"{}\":{}", json_escape(k), field_json(v)))
+            .collect();
+        out.push_str(&format!(
+            "{{\"kind\":\"event\",\"t_ns\":{},\"name\":\"{}\",\"fields\":{{{}}}}}\n",
+            ev.t_ns,
+            json_escape(&ev.name),
+            fields.join(",")
+        ));
+    }
+    out
+}
+
+/// Where an observability dump goes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Sink {
+    /// Append JSON lines to a file (created if missing).
+    File(PathBuf),
+    /// Write JSON lines to stderr.
+    Stderr,
+}
+
+impl Sink {
+    /// A file sink.
+    pub fn file(path: impl Into<PathBuf>) -> Self {
+        Sink::File(path.into())
+    }
+}
+
+/// Dump the registry and event ring (see [`dump_jsonl`]) to `sink`.
+pub fn dump_to(sink: &Sink) -> std::io::Result<()> {
+    let payload = dump_jsonl();
+    match sink {
+        Sink::File(path) => {
+            let mut f = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+            f.write_all(payload.as_bytes())
+        }
+        Sink::Stderr => std::io::stderr().write_all(payload.as_bytes()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Registry state is process-global, so the unit tests share one mutex to
+    /// avoid interleaving resets.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static GATE: Mutex<()> = Mutex::new(());
+        GATE.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn counter_sums_across_threads() {
+        let _g = lock();
+        let c = Counter::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        c.incr();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.value(), 4000);
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let h = Histogram::new();
+        h.record(0); // bucket 0
+        h.record(1); // bucket 1
+        h.record(2); // bucket 2
+        h.record(3); // bucket 2
+        h.record(1024); // bucket 11
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 5);
+        assert_eq!(snap.sum, 1030);
+        assert_eq!(snap.max, 1024);
+        assert_eq!(snap.buckets[0], 1);
+        assert_eq!(snap.buckets[1], 1);
+        assert_eq!(snap.buckets[2], 2);
+        assert_eq!(snap.buckets[11], 1);
+        assert_eq!(snap.mean(), 206.0);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn percentiles_from_bucket_edges() {
+        let h = Histogram::new();
+        for _ in 0..99 {
+            h.record(4);
+        }
+        h.record(1 << 20);
+        let snap = h.snapshot();
+        assert_eq!(snap.percentile(50.0), 8.0); // 4 lives in [4, 8)
+        assert!(snap.percentile(100.0) >= (1 << 20) as f64);
+        assert_eq!(
+            HistSnapshot { buckets: vec![], count: 0, sum: 0, max: 0 }.percentile(50.0),
+            0.0
+        );
+    }
+
+    #[test]
+    fn empty_and_one_bucket_histograms_render() {
+        // The regression this guards: spark() on degenerate histograms.
+        let h = Histogram::new();
+        assert_eq!(h.snapshot().spark(), "");
+        assert_eq!(h.snapshot().occupied(), &[] as &[u64]);
+        h.record(7);
+        let one = h.snapshot();
+        assert_eq!(one.occupied(), &[1]);
+        assert_eq!(one.spark(), "█");
+        assert_eq!(one.spark().chars().count(), 1);
+    }
+
+    #[test]
+    fn spark_handles_degenerate_series() {
+        assert_eq!(spark(&[]), "");
+        assert_eq!(spark(&[5.0]), "█");
+        assert_eq!(spark(&[0.0, 0.0]), "▁▁");
+        assert_eq!(spark(&[f64::NAN, 1.0]), "▁█");
+        assert_eq!(spark(&[1.0, 1.0, 1.0]), "███");
+        let ramped = spark(&[0.0, 0.25, 0.5, 0.75, 1.0]);
+        assert_eq!(ramped.chars().count(), 5);
+        assert!(ramped.starts_with('▁') && ramped.ends_with('█'));
+    }
+
+    #[test]
+    fn registry_hands_out_stable_handles() {
+        let _g = lock();
+        reset();
+        let a = counter("test.registry.count");
+        let b = counter("test.registry.count");
+        assert!(std::ptr::eq(a, b));
+        a.add(3);
+        assert_eq!(b.value(), 3);
+        let h = histogram("test.registry.hist");
+        h.record(9);
+        assert_eq!(histogram("test.registry.hist").snapshot().count, 1);
+        reset();
+        assert_eq!(b.value(), 0, "reset zeroes but does not invalidate");
+        assert_eq!(h.snapshot().count, 0);
+    }
+
+    #[test]
+    fn spans_record_only_when_enabled() {
+        let _g = lock();
+        reset();
+        disable();
+        {
+            let _s = span("test.span.off_ns");
+        }
+        assert_eq!(histogram("test.span.off_ns").snapshot().count, 0);
+        enable();
+        {
+            let _s = span("test.span.on_ns");
+        }
+        disable();
+        let snap = histogram("test.span.on_ns").snapshot();
+        assert_eq!(snap.count, 1);
+        reset();
+    }
+
+    #[test]
+    fn event_ring_bounds_and_drains() {
+        let _g = lock();
+        reset();
+        enable();
+        event("unit.start", &[("cells", 10usize.into()), ("label", "x".into())]);
+        event("unit.finish", &[("ratio", 0.5.into())]);
+        disable();
+        event("unit.ignored", &[]);
+        let evs = drain_events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].name, "unit.start");
+        assert_eq!(evs[0].fields[0], ("cells".to_string(), FieldValue::U64(10)));
+        assert!(evs[1].t_ns >= evs[0].t_ns);
+        assert!(drain_events().is_empty());
+        reset();
+    }
+
+    #[test]
+    fn dump_emits_schema_conformant_lines() {
+        let _g = lock();
+        reset();
+        enable();
+        counter("unit.dump.count").add(5);
+        histogram("unit.dump.depth").record(3);
+        {
+            let _s = span("unit.dump.phase_ns");
+        }
+        event("unit.dump.ev", &[("k", "v\"quoted\"".into())]);
+        disable();
+        let dump = dump_jsonl();
+        let lines: Vec<&str> = dump.lines().collect();
+        assert!(lines.len() >= 4);
+        for line in &lines {
+            let v: serde_json::Value = serde_json::from_str(line).expect("valid JSON");
+            let kind = v.get("kind").and_then(|k| match k {
+                serde_json::Value::Str(s) => Some(s.as_str()),
+                _ => None,
+            });
+            assert!(
+                matches!(kind, Some("counter" | "hist" | "span" | "event")),
+                "bad kind in {line}"
+            );
+        }
+        assert!(dump.contains("\"name\":\"unit.dump.count\",\"value\":5"));
+        assert!(dump.contains("\"kind\":\"span\",\"name\":\"unit.dump.phase_ns\""));
+        assert!(dump.contains("\\\"quoted\\\""));
+        reset();
+    }
+}

@@ -88,7 +88,10 @@ impl ReplayReport {
 /// # Panics
 /// Panics if `cfg.load.intensity_pct` is zero.
 pub fn replay(sim: &mut ArraySim, trace: &Trace, cfg: &ReplayConfig) -> ReplayReport {
-    let plan = ReplayPlan::new(trace, cfg.load);
+    let plan = {
+        let _span = tracer_obs::span("replay.plan_ns");
+        ReplayPlan::new(trace, cfg.load)
+    };
     replay_bunches(sim, plan.iter(), cfg.address_policy, cfg.warmup)
 }
 
@@ -127,6 +130,7 @@ fn replay_bunches<'a>(
     address_policy: AddressPolicy,
     warmup: SimDuration,
 ) -> ReplayReport {
+    let _span = tracer_obs::span("replay.drive_ns");
     let started = sim.now();
     let capacity = sim.data_capacity_sectors();
     let mut issued_ios = 0u64;
@@ -162,6 +166,7 @@ fn replay_bunches<'a>(
         }
     }
     sim.run_to_idle();
+    publish_issue_tallies(sim, issued_ios, issued_bytes, skipped);
     let completions = sim.drain_completions();
     let finished = completions.last().map_or(started, |c| c.completed);
     // A warm-up covering the whole replay measures nothing (clamped just
@@ -195,6 +200,7 @@ pub fn replay_afap(
     depth: usize,
     address_policy: AddressPolicy,
 ) -> ReplayReport {
+    let _span = tracer_obs::span("replay.drive_ns");
     let started = sim.now();
     let capacity = sim.data_capacity_sectors();
     let depth = depth.max(1);
@@ -255,6 +261,7 @@ pub fn replay_afap(
         issue(sim, at, &mut next);
     }
 
+    publish_issue_tallies(sim, issued_ios, issued_bytes, skipped);
     let completions = sim.drain_completions();
     let finished = completions.last().map_or(started, |c| c.completed);
     let summary = PerformanceMonitor::summarize(&completions, started, bump(finished));
@@ -275,6 +282,21 @@ pub fn replay_afap(
 /// One nanosecond past `t`, so half-open windows include the final completion.
 fn bump(t: SimTime) -> SimTime {
     t + SimDuration::from_nanos(1)
+}
+
+/// The replay engine is the chokepoint every evaluation funnels through, so
+/// it is where per-run issue tallies and the simulator's DES counters are
+/// published to `tracer-obs`. One `enabled()` load per replay when off.
+fn publish_issue_tallies(sim: &mut ArraySim, ios: u64, bytes: u64, skipped: u64) {
+    if !tracer_obs::enabled() {
+        return;
+    }
+    tracer_obs::counter("replay.issued_ios").add(ios);
+    tracer_obs::counter("replay.issued_bytes").add(bytes);
+    if skipped > 0 {
+        tracer_obs::counter("replay.skipped_ios").add(skipped);
+    }
+    sim.obs_flush();
 }
 
 #[cfg(test)]
@@ -477,6 +499,26 @@ mod tests {
         let report = replay_afap(&mut sim, &Trace::new("e"), 8, AddressPolicy::Wrap);
         assert_eq!(report.issued_ios, 0);
         assert_eq!(report.completions.len(), 0);
+    }
+
+    #[test]
+    fn replay_publishes_obs_tallies_when_enabled() {
+        let t = uniform_trace(25, 5, 4096);
+        // Disabled: spans and counters stay untouched by this replay.
+        let drive_before = tracer_obs::histogram("replay.drive_ns").snapshot().count;
+        let mut sim = presets::hdd_raid5(4);
+        replay(&mut sim, &t, &ReplayConfig::default());
+
+        tracer_obs::enable();
+        let ios_before = tracer_obs::counter("replay.issued_ios").value();
+        let mut sim = presets::hdd_raid5(4);
+        let report = replay(&mut sim, &t, &ReplayConfig::default());
+        tracer_obs::disable();
+
+        assert!(tracer_obs::counter("replay.issued_ios").value() >= ios_before + report.issued_ios);
+        assert!(tracer_obs::counter("des.events").value() >= sim.events_processed());
+        let drive = tracer_obs::histogram("replay.drive_ns").snapshot();
+        assert!(drive.count > drive_before, "drive span must have fired once");
     }
 
     #[test]

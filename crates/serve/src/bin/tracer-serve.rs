@@ -7,6 +7,7 @@
 use std::process::ExitCode;
 use std::sync::Arc;
 use tracer_core::cli::{self, ArrayChoice, Command};
+use tracer_core::TracerError;
 use tracer_serve::server::JobServer;
 use tracer_serve::ServiceConfig;
 use tracer_trace::{TraceRepository, WorkloadMode};
@@ -42,8 +43,9 @@ fn serve(
     array: ArrayChoice,
     workers: usize,
     queue: usize,
-) -> Result<(), String> {
-    let repo = TraceRepository::open(&repo).map_err(|e| e.to_string())?;
+) -> Result<(), TracerError> {
+    // Config wraps the Display string verbatim, so stderr output is unchanged.
+    let repo = TraceRepository::open(&repo).map_err(|e| TracerError::Config(e.to_string()))?;
     let device = array.build().config().name.clone();
     let build: tracer_serve::server::BuildArray =
         Arc::new(move |requested: &str| (requested == device).then(|| array.build()));
@@ -53,15 +55,16 @@ fn serve(
         workers: workers.max(1),
         queue_capacity: ServiceConfig::resolved_capacity(workers.max(1), queue),
     };
-    let server = JobServer::spawn(config, build, load).map_err(|e| e.to_string())?;
+    let server = JobServer::spawn(config, build, load)?;
     println!(
         "evaluation service on {} ({} workers, queue capacity {})",
         server.addr(),
         config.workers,
         config.queue_capacity
     );
-    println!("verbs: submit status result cancel quit shutdown");
-    server.wait().map_err(|e| e.to_string())
+    println!("verbs: submit status result stats cancel quit shutdown");
+    server.wait()?;
+    Ok(())
 }
 
 fn print_usage() {
@@ -72,7 +75,7 @@ USAGE:
   tracer-serve --repo DIR [--array hdd4|hdd6|ssd4] [--workers N] [--queue N]
 
 Jobs arrive over TCP as `submit device=... rs=... rn=... rd=... load=...`
-lines; `status`/`result`/`cancel` manage them, `shutdown` drains and stops.
-A full queue answers `err busy`."
+lines; `status`/`result`/`cancel` manage them, `stats` snapshots the queue
+and workers, `shutdown` drains and stops. A full queue answers `err busy`."
     );
 }

@@ -105,6 +105,11 @@ pub struct JobSnapshot {
     pub metrics: Option<EfficiencyMetrics>,
     /// Panic message when failed.
     pub error: Option<String>,
+    /// Wall-clock milliseconds spent waiting in the queue, once a worker
+    /// picked the job up.
+    pub queue_ms: Option<u64>,
+    /// Wall-clock milliseconds the evaluation ran, once finished.
+    pub run_ms: Option<u64>,
 }
 
 struct JobEntry {
@@ -113,6 +118,9 @@ struct JobEntry {
     record_id: Option<u64>,
     metrics: Option<EfficiencyMetrics>,
     error: Option<String>,
+    queued_at: std::time::Instant,
+    queue_ms: Option<u64>,
+    run_ms: Option<u64>,
 }
 
 /// Why a submission was not accepted.
@@ -145,12 +153,33 @@ pub enum CancelError {
     NotCancellable(JobState),
 }
 
+/// Service-wide counters answered by the `stats` verb: pool shape plus job
+/// counts per lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Bounded queue capacity.
+    pub capacity: usize,
+    /// Jobs accepted and waiting for a worker.
+    pub queued: usize,
+    /// Jobs currently replaying.
+    pub running: usize,
+    /// Jobs finished with a result.
+    pub done: usize,
+    /// Jobs that panicked.
+    pub failed: usize,
+    /// Jobs cancelled before running.
+    pub cancelled: usize,
+}
+
 /// The evaluation engine: bounded queue + worker pool + job registry +
 /// shared results database.
 pub struct EvalService {
     shared: Arc<Shared>,
     tx: Mutex<Option<Sender<(u64, EvaluationJob)>>>,
     workers: Mutex<Vec<JoinHandle<()>>>,
+    worker_count: usize,
     queue_capacity: usize,
 }
 
@@ -184,8 +213,37 @@ impl EvalService {
             shared,
             tx: Mutex::new(Some(tx)),
             workers: Mutex::new(handles),
+            worker_count: workers,
             queue_capacity: capacity,
         }
+    }
+
+    /// The worker-pool size.
+    pub fn workers(&self) -> usize {
+        self.worker_count
+    }
+
+    /// Service-wide snapshot: pool shape + job counts per state.
+    pub fn stats(&self) -> ServiceStats {
+        let mut stats = ServiceStats {
+            workers: self.worker_count,
+            capacity: self.queue_capacity,
+            queued: 0,
+            running: 0,
+            done: 0,
+            failed: 0,
+            cancelled: 0,
+        };
+        for entry in self.shared.jobs.lock().values() {
+            match entry.state {
+                JobState::Queued => stats.queued += 1,
+                JobState::Running => stats.running += 1,
+                JobState::Done => stats.done += 1,
+                JobState::Failed => stats.failed += 1,
+                JobState::Cancelled => stats.cancelled += 1,
+            }
+        }
+        stats
     }
 
     /// The resolved bounded-queue capacity.
@@ -213,7 +271,16 @@ impl EvalService {
         // not yet in the registry.
         self.shared.jobs.lock().insert(
             id,
-            JobEntry { name, state: JobState::Queued, record_id: None, metrics: None, error: None },
+            JobEntry {
+                name,
+                state: JobState::Queued,
+                record_id: None,
+                metrics: None,
+                error: None,
+                queued_at: std::time::Instant::now(),
+                queue_ms: None,
+                run_ms: None,
+            },
         );
         let result = match &*self.tx.lock() {
             Some(tx) => tx.try_send((id, job)).map_err(|e| match e {
@@ -240,6 +307,8 @@ impl EvalService {
             record_id: e.record_id,
             metrics: e.metrics,
             error: e.error.clone(),
+            queue_ms: e.queue_ms,
+            run_ms: e.run_ms,
         })
     }
 
@@ -281,6 +350,8 @@ impl EvalService {
                     record_id: e.record_id,
                     metrics: e.metrics,
                     error: e.error.clone(),
+                    queue_ms: e.queue_ms,
+                    run_ms: e.run_ms,
                 }
             })
             .collect()
@@ -324,7 +395,8 @@ impl Drop for EvalService {
 
 fn worker_loop(shared: &Shared, rx: &Receiver<(u64, EvaluationJob)>) {
     // Each worker is a generator machine in miniature: its own host, its own
-    // analyzer per test (inside run_test), results copied into the shared db.
+    // analyzer per test (inside measure_test), results copied into the
+    // shared db, phase timings recorded on the registry entry.
     let mut host = EvaluationHost::new();
     while let Ok((id, job)) = rx.recv() {
         {
@@ -334,18 +406,37 @@ fn worker_loop(shared: &Shared, rx: &Receiver<(u64, EvaluationJob)>) {
                 continue;
             }
             entry.state = JobState::Running;
+            let waited = entry.queued_at.elapsed();
+            entry.queue_ms = Some(waited.as_millis() as u64);
+            if tracer_obs::enabled() {
+                tracer_obs::histogram("serve.queue_ns").record(waited.as_nanos() as u64);
+            }
         }
         let EvaluationJob { name, build, trace, mode, intensity_pct } = job;
+        let started = std::time::Instant::now();
+        let meter_cycle_ms = host.meter_cycle_ms;
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             let mut sim = build();
-            host.run_test(&mut sim, &trace, mode, intensity_pct, &name)
+            EvaluationHost::measure_test(
+                meter_cycle_ms,
+                &mut sim,
+                &trace,
+                mode,
+                intensity_pct,
+                &name,
+            )
         }));
+        let elapsed = started.elapsed();
+        if tracer_obs::enabled() {
+            tracer_obs::histogram("serve.run_ns").record(elapsed.as_nanos() as u64);
+        }
         let mut jobs = shared.jobs.lock();
         let entry = jobs.get_mut(&id).expect("entry outlives the run");
+        entry.run_ms = Some(elapsed.as_millis() as u64);
         match outcome {
-            Ok(out) => {
-                let record =
-                    host.db.get(out.record_id).cloned().expect("run_test stored the record");
+            Ok(measured) => {
+                let out = host.commit(measured);
+                let record = host.db.get(out.record_id).cloned().expect("commit stored the record");
                 let shared_record = shared.db.lock().insert(record);
                 entry.state = JobState::Done;
                 entry.record_id = Some(shared_record);
@@ -486,6 +577,35 @@ mod tests {
         assert_eq!(snap.state, JobState::Failed);
         assert!(snap.error.unwrap().contains("device exploded"));
         assert_eq!(service.status(good).unwrap().state, JobState::Done, "worker survived");
+    }
+
+    #[test]
+    fn stats_and_phase_timings_reflect_finished_jobs() {
+        let service = EvalService::start(ServiceConfig { workers: 2, queue_capacity: 8 });
+        let a = service.submit(job("a", 50, 100)).unwrap();
+        let b = service
+            .submit(EvaluationJob::new(
+                "boom",
+                || panic!("boom"),
+                small_trace(5),
+                WorkloadMode::peak(4096, 0, 100),
+            ))
+            .unwrap();
+        service.shutdown();
+        let stats = service.stats();
+        assert_eq!(stats.workers, 2);
+        assert_eq!(stats.capacity, 8);
+        assert_eq!(stats.queued, 0);
+        assert_eq!(stats.running, 0);
+        assert_eq!(stats.done, 1);
+        assert_eq!(stats.failed, 1);
+        assert_eq!(stats.cancelled, 0);
+        let snap = service.status(a).unwrap();
+        // Timings are wall-clock ms; tiny jobs may round to 0, but they must
+        // be populated once a job has passed through a worker.
+        assert!(snap.queue_ms.is_some());
+        assert!(snap.run_ms.is_some());
+        assert!(service.status(b).unwrap().run_ms.is_some());
     }
 
     #[test]

@@ -222,7 +222,8 @@ fn dispatch(
                     // client recovers bit-identical f64 values.
                     format!(
                         "ok result id={id} record={} iops={} mbps={} avg_response_ms={} \
-                         watts={} energy_j={} iops_per_watt={} mbps_per_kilowatt={}",
+                         watts={} energy_j={} iops_per_watt={} mbps_per_kilowatt={} \
+                         queue_ms={} run_ms={}",
                         snap.record_id.expect("done jobs carry a record"),
                         m.iops,
                         m.mbps,
@@ -230,7 +231,9 @@ fn dispatch(
                         m.avg_watts,
                         m.energy_joules,
                         m.iops_per_watt,
-                        m.mbps_per_kilowatt
+                        m.mbps_per_kilowatt,
+                        snap.queue_ms.unwrap_or(0),
+                        snap.run_ms.unwrap_or(0)
                     )
                 }
                 JobState::Failed => {
@@ -240,6 +243,14 @@ fn dispatch(
                 pending => format!("err pending id={id} state={pending}"),
             },
         },
+        JobCommand::Stats => {
+            let s = service.stats();
+            format!(
+                "ok stats workers={} capacity={} queued={} running={} done={} failed={} \
+                 cancelled={}",
+                s.workers, s.capacity, s.queued, s.running, s.done, s.failed, s.cancelled
+            )
+        }
         JobCommand::Cancel { id } => match service.cancel(id) {
             Ok(()) => format!("ok cancelled id={id}"),
             Err(CancelError::Unknown) => format!("err unknown id={id}"),

@@ -145,8 +145,15 @@ fn concurrent_clients_fill_the_queue_and_match_the_serial_baseline() {
     for &(id, load) in &submitted {
         let reply = control.job_result(id).expect("io").expect("finished job");
         let mut sim = presets::hdd_raid5(4);
-        let baseline =
-            baseline_host.run_test(&mut sim, &trace, mode_at(load), 100, "baseline").metrics;
+        let measured = EvaluationHost::measure_test(
+            baseline_host.meter_cycle_ms,
+            &mut sim,
+            &trace,
+            mode_at(load),
+            100,
+            "baseline",
+        );
+        let baseline = baseline_host.commit(measured).metrics;
         let close = |key: &str, want: f64| {
             let got = reply.num(key).unwrap_or_else(|| panic!("missing {key} in {reply:?}"));
             assert!(
@@ -161,7 +168,17 @@ fn concurrent_clients_fill_the_queue_and_match_the_serial_baseline() {
         close("energy_j", baseline.energy_joules);
         close("iops_per_watt", baseline.iops_per_watt);
         close("mbps_per_kilowatt", baseline.mbps_per_kilowatt);
+        // Phase timings ride along on the result line for every finished job.
+        assert!(reply.num("queue_ms").is_some(), "missing queue_ms in {reply:?}");
+        assert!(reply.num("run_ms").is_some(), "missing run_ms in {reply:?}");
     }
+
+    // The stats verb snapshots the whole service over the wire.
+    let r = control.send_line("stats").expect("io");
+    assert!(r.starts_with("ok stats workers=4 capacity=2 "), "{r}");
+    assert!(r.contains(&format!(" done={}", submitted.len())), "{r}");
+    assert!(r.contains(" cancelled=1"), "{r}");
+    assert!(r.contains(" queued=0") && r.contains(" running=0"), "{r}");
 
     // Every completed job also persisted a record in the shared database.
     let service = server.service();

@@ -313,6 +313,12 @@ struct DeviceQueue {
     fifo: VecDeque<(Slot, DiskOp)>,
     elevator: BTreeMap<(u64, u64), (Slot, DiskOp)>,
     enq_seq: u64,
+    /// C-LOOK probes answered by the forward `range` (no wrap). Plain `u64`s:
+    /// they cost nothing on the hot path and are published to `tracer-obs`
+    /// only by [`ArraySim::obs_flush`].
+    elevator_hits: u64,
+    /// C-LOOK probes that wrapped back to the lowest sector.
+    elevator_wraps: u64,
 }
 
 impl DeviceQueue {
@@ -338,17 +344,64 @@ impl DeviceQueue {
     /// C-LOOK: nearest sector at/after `head`, else wrap to the lowest;
     /// earliest-enqueued wins among equal sectors.
     fn pop_elevator(&mut self, head: u64) -> Option<(Slot, DiskOp)> {
-        let key = self
-            .elevator
-            .range((head, 0)..)
-            .next()
-            .or_else(|| self.elevator.iter().next())
-            .map(|(k, _)| *k)?;
+        let key = match self.elevator.range((head, 0)..).next() {
+            Some((k, _)) => {
+                self.elevator_hits += 1;
+                *k
+            }
+            None => {
+                let k = *self.elevator.iter().next()?.0;
+                self.elevator_wraps += 1;
+                k
+            }
+        };
         self.elevator.remove(&key)
     }
 
     fn is_empty(&self) -> bool {
         self.fifo.is_empty() && self.elevator.is_empty()
+    }
+}
+
+/// DES instrumentation state, attached only when `tracer-obs` is enabled at
+/// construction time so the disabled hot path carries a dead `Option`.
+///
+/// The histogram handle is resolved once here; queue depth is sampled on
+/// one dispatch in [`DEPTH_SAMPLE_EVERY`], so the hot path usually pays a
+/// branch and an increment. Counters are published as *deltas* by
+/// [`ArraySim::obs_flush`], so flushing twice never double-counts.
+struct DesObs {
+    queue_depth: &'static tracer_obs::Histogram,
+    depth_tick: u64,
+    published_events: u64,
+    published_dispatches: u64,
+    published_hits: u64,
+    published_wraps: u64,
+}
+
+/// Record `des.queue_depth` on one dispatch in this many (power of two).
+const DEPTH_SAMPLE_EVERY: u64 = 64;
+
+impl DesObs {
+    /// Whether this dispatch is a `des.queue_depth` sample. The first
+    /// dispatch always samples, so short runs still land a data point.
+    fn sample_depth(&mut self) -> bool {
+        let sampled = self.depth_tick % DEPTH_SAMPLE_EVERY == 0;
+        self.depth_tick += 1;
+        sampled
+    }
+
+    fn attach() -> Option<Box<DesObs>> {
+        tracer_obs::enabled().then(|| {
+            Box::new(DesObs {
+                queue_depth: tracer_obs::histogram("des.queue_depth"),
+                depth_tick: 0,
+                published_events: 0,
+                published_dispatches: 0,
+                published_hits: 0,
+                published_wraps: 0,
+            })
+        })
     }
 }
 
@@ -378,6 +431,7 @@ pub struct ArraySim {
     cache: Option<ControllerCache>,
     rebuild: Option<RebuildState>,
     op_log: Option<Vec<OpRecord>>,
+    obs: Option<Box<DesObs>>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -440,6 +494,7 @@ impl ArraySim {
             failed_disk: None,
             rebuild: None,
             op_log: None,
+            obs: DesObs::attach(),
         };
         // Under a spin-down policy even never-accessed members time out.
         if let Some(after) = sim.cfg.spin_down_after {
@@ -724,6 +779,29 @@ impl ArraySim {
         self.events_processed
     }
 
+    /// Publish this simulator's DES tallies to the global `tracer-obs`
+    /// registry: `des.events`, `des.dispatches`, `des.elevator_hits`,
+    /// `des.elevator_wraps` (the `des.queue_depth` histogram is sampled live
+    /// at dispatch). Deltas since the previous flush, so calling it twice is
+    /// harmless. No-op when instrumentation was disabled at construction.
+    pub fn obs_flush(&mut self) {
+        let Some(obs) = self.obs.as_mut() else { return };
+        let hits: u64 = self.queues.iter().map(|q| q.elevator_hits).sum();
+        let wraps: u64 = self.queues.iter().map(|q| q.elevator_wraps).sum();
+        let pairs = [
+            ("des.events", self.events_processed, &mut obs.published_events),
+            ("des.dispatches", self.stats.disk_ops, &mut obs.published_dispatches),
+            ("des.elevator_hits", hits, &mut obs.published_hits),
+            ("des.elevator_wraps", wraps, &mut obs.published_wraps),
+        ];
+        for (name, current, published) in pairs {
+            if current > *published {
+                tracer_obs::counter(name).add(current - *published);
+                *published = current;
+            }
+        }
+    }
+
     /// Process every event up to and including `t`, then set the clock to `t`.
     pub fn run_until(&mut self, t: SimTime) {
         while let Some(next) = self.next_event_time() {
@@ -854,6 +932,20 @@ impl ArraySim {
         if self.busy[disk] {
             return;
         }
+        // Depth the dispatched op saw: foreground + background backlog,
+        // including itself. Sampled 1-in-64 (see `DesObs::sample_depth`) so
+        // the histogram stays cheap on the dispatch hot path.
+        let depth = match self.obs.as_mut() {
+            Some(obs) => {
+                if obs.sample_depth() {
+                    let q = &self.queues[disk];
+                    Some(q.fifo.len() + q.elevator.len() + self.background_queues[disk].len())
+                } else {
+                    None
+                }
+            }
+            None => None,
+        };
         let head = self.last_sector[disk];
         let discipline = self.cfg.queue_discipline;
         let Some((slot, op)) = self.queues[disk]
@@ -862,6 +954,9 @@ impl ArraySim {
         else {
             return;
         };
+        if let (Some(obs), Some(depth)) = (&self.obs, depth) {
+            obs.queue_depth.record(depth as u64);
+        }
         self.busy[disk] = true;
         let plan = self.devices[disk].service(&op);
         self.log_plan(disk, &plan);
@@ -1541,6 +1636,58 @@ mod tests {
         sim.run_to_idle();
         // Arrival + phase + disk-free + done, at minimum.
         assert!(sim.events_processed() >= 4, "{:?}", sim);
+    }
+
+    #[test]
+    fn obs_flush_publishes_delta_counters_idempotently() {
+        // No instrumentation attached when obs is off: flush is a no-op.
+        let mut quiet = small_hdd_array(4);
+        quiet.submit(SimTime::ZERO, ArrayRequest::new(0, 4096, OpKind::Read)).unwrap();
+        quiet.run_to_idle();
+        assert!(quiet.obs.is_none());
+        quiet.obs_flush();
+
+        tracer_obs::enable();
+        let mut sim = small_hdd_array(4);
+        assert!(sim.obs.is_some());
+        for i in 0..20u64 {
+            sim.submit(
+                SimTime::from_millis(i),
+                ArrayRequest::new((i * 7_919) % 100_000, 8192, OpKind::Read),
+            )
+            .unwrap();
+        }
+        sim.run_to_idle();
+        let depth_before = tracer_obs::histogram("des.queue_depth").snapshot().count;
+        let before = tracer_obs::counter("des.events").value();
+        sim.obs_flush();
+        let after = tracer_obs::counter("des.events").value();
+        assert!(after >= before + sim.events_processed(), "delta not published");
+        // Second flush with no new work publishes nothing more from this sim.
+        sim.obs_flush();
+        assert_eq!(tracer_obs::counter("des.events").value(), after);
+        assert!(tracer_obs::counter("des.dispatches").value() >= 20);
+        // Queue depth was sampled live at dispatch time.
+        assert!(
+            tracer_obs::histogram("des.queue_depth").snapshot().count > depth_before
+                || depth_before > 0
+        );
+        tracer_obs::disable();
+    }
+
+    #[test]
+    fn elevator_counters_track_hits_and_wraps() {
+        let mut q = DeviceQueue::default();
+        for sector in [100u64, 200, 300] {
+            q.push(QueueDiscipline::Elevator, 0, DiskOp::new(sector, 8, OpKind::Read));
+        }
+        // Head at 150: 200 then 300 dispatch forward, then wrap back to 100.
+        assert_eq!(q.pop_elevator(150).unwrap().1.sector, 200);
+        assert_eq!(q.pop_elevator(208).unwrap().1.sector, 300);
+        assert_eq!(q.pop_elevator(308).unwrap().1.sector, 100);
+        assert!(q.pop_elevator(0).is_none());
+        assert_eq!(q.elevator_hits, 2);
+        assert_eq!(q.elevator_wraps, 1);
     }
 
     #[test]

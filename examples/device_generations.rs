@@ -69,7 +69,16 @@ fn main() {
         )
         .trace;
         let mut sim = build();
-        let m = host.run_test(&mut sim, &trace, mode, 100, name).metrics;
+        let m = host
+            .commit(EvaluationHost::measure_test(
+                host.meter_cycle_ms,
+                &mut sim,
+                &trace,
+                mode,
+                100,
+                name,
+            ))
+            .metrics;
         println!(
             "{:<16} {:>10.1} {:>10.2} {:>14.1}",
             name, m.mbps, m.avg_watts, m.mbps_per_kilowatt

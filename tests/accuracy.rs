@@ -100,7 +100,15 @@ fn efficiency_grows_with_load_across_request_sizes() {
         let mode = WorkloadMode::peak(size, 25, 25);
         let trace = collect(mode, 2);
         let mut sim = presets::hdd_raid5(4);
-        host.run_test(&mut sim, &trace, mode.at_load(load), 100, "fig9").metrics
+        let measured = EvaluationHost::measure_test(
+            host.meter_cycle_ms,
+            &mut sim,
+            &trace,
+            mode.at_load(load),
+            100,
+            "fig9",
+        );
+        host.commit(measured).metrics
     };
     for size in [4096u32, 65536] {
         let low = eff_at(size, 20);
@@ -135,7 +143,9 @@ fn random_ratio_lowers_efficiency_monotonically_in_trend() {
         let mode = WorkloadMode::peak(16384, random, 0);
         let trace = collect(mode, 2);
         let mut sim = presets::hdd_raid5(4);
-        let m = host.run_test(&mut sim, &trace, mode, 100, "fig10").metrics;
+        let measured =
+            EvaluationHost::measure_test(host.meter_cycle_ms, &mut sim, &trace, mode, 100, "fig10");
+        let m = host.commit(measured).metrics;
         eff.push(m.mbps_per_kilowatt);
     }
     assert!(eff[0] > eff[2], "0% random beats 50%: {eff:?}");

@@ -71,7 +71,15 @@ fn distributed_results_match_sequential_bit_for_bit() {
 
     let mut host_seq = EvaluationHost::new();
     let mut sim = presets::hdd_raid5(4);
-    let seq = host_seq.run_test(&mut sim, &trace(40, 16384), mode, 100, "seq");
+    let measured = EvaluationHost::measure_test(
+        host_seq.meter_cycle_ms,
+        &mut sim,
+        &trace(40, 16384),
+        mode,
+        100,
+        "seq",
+    );
+    let seq = host_seq.commit(measured);
     assert_eq!(a.perf.total_ios, seq.report.summary.total_ios);
     assert_eq!(a.efficiency.iops.to_bits(), seq.metrics.iops.to_bits());
     assert_eq!(a.efficiency.avg_watts.to_bits(), seq.metrics.avg_watts.to_bits());

@@ -26,7 +26,15 @@ fn generator_to_replay_to_database() {
     let mut host = EvaluationHost::new();
     for load in [30u32, 60, 100] {
         let mut sim = presets::hdd_raid5(4);
-        host.run_test(&mut sim, &trace, mode.at_load(load), 100, "e2e");
+        let measured = EvaluationHost::measure_test(
+            host.meter_cycle_ms,
+            &mut sim,
+            &trace,
+            mode.at_load(load),
+            100,
+            "e2e",
+        );
+        host.commit(measured);
     }
     assert_eq!(host.db.len(), 3);
 

@@ -114,7 +114,9 @@ fn analysis_helpers_certify_fig9_linearity_end_to_end() {
     for &load in &loads {
         let mut sim = presets::hdd_raid5(6);
         let mode = WorkloadMode::peak(4096, 80, 66).at_load(load as u32);
-        let outcome = host.run_test(&mut sim, &trace, mode, 100, "lin");
+        let measured =
+            EvaluationHost::measure_test(host.meter_cycle_ms, &mut sim, &trace, mode, 100, "lin");
+        let outcome = host.commit(measured);
         effs.push(outcome.metrics.iops_per_watt);
     }
     let fit = tracer_core::linear_fit(&loads, &effs).expect("fit");

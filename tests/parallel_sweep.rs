@@ -3,7 +3,6 @@
 //! database records, same ids — at every worker count.
 
 use tracer_core::prelude::*;
-use tracer_core::repeated_trials_with;
 
 fn trace(n: u64) -> Trace {
     Trace::from_bunches(
@@ -24,14 +23,11 @@ fn parallel_load_sweep_matches_serial_bit_for_bit() {
 
     for workers in [2usize, 4, 7] {
         let mut par = EvaluationHost::new();
-        let got = load_sweep_with(
+        let got = SweepBuilder::new().workers(workers).loads(&loads).label("ps").load_sweep(
             &mut par,
-            &SweepExecutor::new(workers),
             || presets::hdd_raid5(4),
             &trace(80),
             mode,
-            &loads,
-            "ps",
         );
         assert_eq!(got, want, "sweep result diverged at {workers} workers");
         assert_eq!(par.db.records(), serial.db.records(), "db diverged at {workers} workers");
@@ -53,9 +49,8 @@ fn parallel_mode_sweep_matches_serial_bit_for_bit() {
 
     let run = |workers: usize| {
         let mut host = EvaluationHost::new();
-        let results = run_sweep_with(
+        let results = SweepBuilder::new().workers(workers).sweep(
             &mut host,
-            &SweepExecutor::new(workers),
             || presets::hdd_raid5(4),
             |mode| {
                 // Trace derived deterministically from the mode.
@@ -63,7 +58,6 @@ fn parallel_mode_sweep_matches_serial_bit_for_bit() {
                 trace(n)
             },
             &cfg,
-            |_, _| {},
         );
         (results, host)
     };
@@ -80,14 +74,12 @@ fn parallel_trials_match_serial_bit_for_bit() {
     let mode = WorkloadMode::peak(8192, 50, 100);
     let run = |workers: usize| {
         let mut host = EvaluationHost::new();
-        let summary = repeated_trials_with(
+        let summary = SweepBuilder::new().workers(workers).label("trial").trials(
             &mut host,
-            &SweepExecutor::new(workers),
             || presets::hdd_raid5(4),
             |seed| trace(30 + seed),
             mode,
             5,
-            "trial",
         );
         (summary, host)
     };

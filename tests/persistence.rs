@@ -27,7 +27,15 @@ fn database_survives_save_load_cycle_with_live_records() {
     let trace = tiny_trace();
     for load in [25u32, 50, 100] {
         let mut sim = presets::hdd_raid5(4);
-        host.run_test(&mut sim, &trace, WorkloadMode::peak(4096, 0, 100).at_load(load), 100, "p");
+        let measured = EvaluationHost::measure_test(
+            host.meter_cycle_ms,
+            &mut sim,
+            &trace,
+            WorkloadMode::peak(4096, 0, 100).at_load(load),
+            100,
+            "p",
+        );
+        host.commit(measured);
     }
     let path = dir.join("db.json");
     host.db.save(&path).unwrap();
@@ -109,7 +117,15 @@ fn sweep_results_replayed_from_repository_are_reproducible() {
         let trace = repo.load("raid5-hdd4", &mode).unwrap();
         let mut host = EvaluationHost::new();
         let mut sim = presets::hdd_raid5(4);
-        let outcome = host.run_test(&mut sim, &trace, mode.at_load(50), 100, "r");
+        let measured = EvaluationHost::measure_test(
+            host.meter_cycle_ms,
+            &mut sim,
+            &trace,
+            mode.at_load(50),
+            100,
+            "r",
+        );
+        let outcome = host.commit(measured);
         (
             outcome.report.issued_ios,
             outcome.metrics.iops.to_bits(),

@@ -11,7 +11,7 @@
 use std::sync::Arc;
 use tracer_core::executor::SweepExecutor;
 use tracer_core::host::EvaluationHost;
-use tracer_core::orchestrate::{load_sweep_with, run_sweep_with, SweepConfig};
+use tracer_core::orchestrate::{SweepBuilder, SweepConfig};
 use tracer_replay::{
     replay, replay_prepared, trace_materializations, AddressPolicy, LoadControl, ReplayConfig,
 };
@@ -56,24 +56,16 @@ fn sweeps_replay_without_materializing_the_trace() {
     // A serial and a pooled load sweep (the paper's per-mode loop).
     let mut host = EvaluationHost::new();
     let mode = WorkloadMode::peak(4096, 50, 100);
-    load_sweep_with(
-        &mut host,
-        &SweepExecutor::serial(),
-        || presets::hdd_raid5(4),
-        &trace,
-        mode,
-        &[20, 50, 80],
-        "zc-serial",
-    );
-    load_sweep_with(
-        &mut host,
-        &SweepExecutor::new(4),
-        || presets::hdd_raid5(4),
-        &trace,
-        mode,
-        &[20, 50, 80],
-        "zc-pooled",
-    );
+    SweepBuilder::new()
+        .executor(SweepExecutor::serial())
+        .loads(&[20, 50, 80])
+        .label("zc-serial")
+        .load_sweep(&mut host, || presets::hdd_raid5(4), &trace, mode);
+    SweepBuilder::new()
+        .executor(SweepExecutor::new(4))
+        .loads(&[20, 50, 80])
+        .label("zc-pooled")
+        .load_sweep(&mut host, || presets::hdd_raid5(4), &trace, mode);
 
     // A full mode × load sweep whose loader hands out one shared Arc —
     // the closure performs no clone and the plan performs no materialize.
@@ -81,13 +73,11 @@ fn sweeps_replay_without_materializing_the_trace() {
         modes: vec![WorkloadMode::peak(4096, 0, 100), WorkloadMode::peak(8192, 50, 50)],
         loads: vec![30, 60, 100],
     };
-    run_sweep_with(
+    SweepBuilder::new().executor(SweepExecutor::new(4)).sweep(
         &mut host,
-        &SweepExecutor::new(4),
         || presets::hdd_raid5(4),
         |_| Arc::clone(&shared),
         &cfg,
-        |_, _| {},
     );
 
     assert_eq!(
