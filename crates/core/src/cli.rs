@@ -177,6 +177,41 @@ pub enum Command {
         workers: usize,
         /// Bounded job-queue capacity; 0 = 2 × workers.
         queue: usize,
+        /// TCP port to listen on (0 = ephemeral). Fabric deployments pin it
+        /// so the coordinator's node list is stable.
+        port: u16,
+        /// Durable job-log file: submitted/started/finished jobs are appended
+        /// as checksummed frames and replayed on restart (`tracer-serve`
+        /// binary only).
+        log: Option<PathBuf>,
+        /// Coordinator `host:port` to register with after binding
+        /// (`tracer-serve` binary only).
+        join: Option<String>,
+    },
+    /// Shard a sweep campaign across registered serve nodes (the fabric
+    /// coordinator; provided by the `tracer-coordinate` binary).
+    Coordinate {
+        /// Node addresses (`host:port`, comma-separated).
+        nodes: Vec<String>,
+        /// Testbed every node drives (fixes the device name).
+        array: ArrayChoice,
+        /// Workload mode (rs/rn/rd; the load level comes from `loads`).
+        mode: WorkloadMode,
+        /// Load levels to sweep (defaults to the paper's ten).
+        loads: Vec<u32>,
+        /// Inter-arrival intensity, percent.
+        intensity: u32,
+        /// Wait for this many nodes to `join` before starting (0 = use
+        /// `nodes` as given).
+        expect: usize,
+        /// Registration listen port when `expect` > 0 (0 = ephemeral).
+        port: u16,
+        /// Append a `tracer-obs` instrumentation snapshot (JSON lines) here.
+        obs: Option<PathBuf>,
+        /// Run the cells locally against this trace repository and print the
+        /// serial baseline report instead of dispatching to nodes (the
+        /// byte-compare reference for fleet runs).
+        serial: Option<PathBuf>,
     },
     /// Print usage.
     Help,
@@ -211,6 +246,10 @@ USAGE:
   tracer policies [--seconds S] [--db FILE]
   tracer report   --db FILE
   tracer serve    --repo DIR [--array hdd4|hdd6|ssd4] [--workers N] [--queue N]
+                  [--port N] [--log FILE] [--join HOST:PORT]
+  tracer coordinate --nodes a:p,b:p [--rs BYTES --rn PCT --rd PCT]
+                  [--loads a,b,c|all] [--intensity PCT] [--array ...]
+                  [--expect N --port N] [--obs FILE] [--serial REPO_DIR]
   tracer help
 
 Replay accepts --db FILE to append its record to a results database, and
@@ -219,7 +258,13 @@ a whole load sweep and print the accuracy table. Sweep replays every
 selected synthetic mode at every load level, collecting missing traces
 first; --workers 0 (the default for sweep) uses one worker per core.
 Serve with --workers > 1 is the concurrent job service (bounded queue,
-admission control); it is provided by the `tracer-serve` binary.
+admission control); it is provided by the `tracer-serve` binary, which
+also takes --port (pinned listen port), --log (durable job log replayed
+on restart), and --join (register with a fabric coordinator).
+Coordinate shards one sweep campaign across serve nodes with work
+stealing and re-dispatch on node death; it is provided by the
+`tracer-coordinate` binary. Its --serial REPO_DIR mode runs the same
+cells locally and prints the byte-identical baseline report.
 --obs FILE turns on the tracer-obs instrumentation for the run and appends
 a JSON-lines snapshot (counters, histograms, span timings, events) to FILE;
 `tracer stats --obs FILE` renders that snapshot as a table.
@@ -372,6 +417,53 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 array: array()?,
                 workers,
                 queue: num_or("queue", 0)? as usize,
+                port: u16::try_from(num_or("port", 0)?)
+                    .map_err(|_| CliError("--port must be 0-65535".into()))?,
+                log: flags.get("log").map(PathBuf::from),
+                join: flags.get("join").cloned(),
+            })
+        }
+        "coordinate" => {
+            let nodes: Vec<String> = match flags.get("nodes") {
+                Some(raw) => raw
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect(),
+                None => Vec::new(),
+            };
+            let expect = num_or("expect", 0)? as usize;
+            let serial = flags.get("serial").map(PathBuf::from);
+            if nodes.is_empty() && expect == 0 && serial.is_none() {
+                return Err(CliError("coordinate needs --nodes, --expect, or --serial".into()));
+            }
+            let intensity = num_or("intensity", 100)? as u32;
+            if intensity == 0 {
+                return Err(CliError("--intensity must be positive".into()));
+            }
+            // The workload mode defaults to the paper's 8 KiB 50/100 point so
+            // a two-node smoke test needs no mode flags at all.
+            let mode = if flags.contains_key("rs") {
+                mode(false)?
+            } else {
+                WorkloadMode::peak(8192, 50, 100)
+            };
+            let mut levels = loads()?;
+            if levels.is_empty() {
+                levels = sweep::LOAD_PCTS.to_vec();
+            }
+            Ok(Command::Coordinate {
+                nodes,
+                array: array()?,
+                mode,
+                loads: levels,
+                intensity,
+                expect,
+                port: u16::try_from(num_or("port", 0)?)
+                    .map_err(|_| CliError("--port must be 0-65535".into()))?,
+                obs: flags.get("obs").map(PathBuf::from),
+                serial,
             })
         }
         "help" | "--help" | "-h" => Ok(Command::Help),
@@ -617,18 +709,31 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
             print!("{}", crate::report::markdown(&db));
             Ok(())
         }
-        Command::Serve { repo, array, workers, queue } => {
-            if workers > 1 {
+        Command::Serve { repo, array, workers, queue, port, log, join } => {
+            if workers > 1 || port != 0 || log.is_some() || join.is_some() {
+                // Everything beyond the classic single-session generator —
+                // worker pools, pinned ports, durable logs, fabric
+                // registration — lives in the tracer-serve binary.
                 return Err(CliError(format!(
                     "the concurrent job service is the `tracer-serve` binary; run: \
-                     tracer-serve --repo {} --array {} --workers {workers}{}",
+                     tracer-serve --repo {} --array {} --workers {}{}{}{}{}",
                     repo.display(),
                     match array {
                         ArrayChoice::Hdd4 => "hdd4",
                         ArrayChoice::Hdd6 => "hdd6",
                         ArrayChoice::Ssd4 => "ssd4",
                     },
-                    if queue > 0 { format!(" --queue {queue}") } else { String::new() }
+                    workers.max(2),
+                    if queue > 0 { format!(" --queue {queue}") } else { String::new() },
+                    if port > 0 { format!(" --port {port}") } else { String::new() },
+                    match &log {
+                        Some(p) => format!(" --log {}", p.display()),
+                        None => String::new(),
+                    },
+                    match &join {
+                        Some(a) => format!(" --join {a}"),
+                        None => String::new(),
+                    }
                 )));
             }
             let repo = TraceRepository::open(&repo).map_err(io_err)?;
@@ -646,6 +751,11 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
                 Err(e) => Err(CliError(e.to_string())),
             }
         }
+        Command::Coordinate { nodes, .. } => Err(CliError(format!(
+            "the fabric coordinator is the `tracer-coordinate` binary; run: \
+             tracer-coordinate --nodes {}",
+            if nodes.is_empty() { "HOST:PORT,...".to_string() } else { nodes.join(",") }
+        ))),
         Command::Policies { seconds, db } => {
             let trace = WebServerTraceBuilder {
                 duration_s: seconds as f64,
@@ -924,6 +1034,69 @@ mod tests {
     }
 
     #[test]
+    fn parses_fabric_serve_flags_and_routes_them_to_the_binary() {
+        let cmd = parse(&argv(
+            "serve --repo /tmp/r --workers 2 --port 7401 --log /tmp/n.joblog --join 127.0.0.1:9000",
+        ))
+        .unwrap();
+        match &cmd {
+            Command::Serve { port, log, join, .. } => {
+                assert_eq!(*port, 7401);
+                assert_eq!(log.as_deref(), Some(std::path::Path::new("/tmp/n.joblog")));
+                assert_eq!(join.as_deref(), Some("127.0.0.1:9000"));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Any fabric flag routes to tracer-serve even at one worker.
+        let err =
+            run(parse(&argv("serve --repo /tmp/r --log /tmp/n.joblog")).unwrap()).unwrap_err();
+        assert!(err.0.contains("tracer-serve") && err.0.contains("--log"), "{err}");
+        assert!(parse(&argv("serve --repo /tmp/r --port 70000")).is_err());
+    }
+
+    #[test]
+    fn parses_coordinate_and_routes_it_to_the_binary() {
+        let cmd = parse(&argv("coordinate --nodes 127.0.0.1:7401,127.0.0.1:7402")).unwrap();
+        match &cmd {
+            Command::Coordinate { nodes, loads, intensity, mode, expect, .. } => {
+                assert_eq!(nodes, &["127.0.0.1:7401", "127.0.0.1:7402"]);
+                assert_eq!(loads, &sweep::LOAD_PCTS.to_vec(), "defaults to the paper's ten");
+                assert_eq!(*intensity, 100);
+                assert_eq!(mode.request_bytes, 8192);
+                assert_eq!(*expect, 0);
+            }
+            other => panic!("{other:?}"),
+        }
+        let cmd = parse(&argv(
+            "coordinate --expect 2 --port 9000 --rs 4096 --rn 0 --rd 100 --loads 20,50 \
+             --intensity 200 --array hdd4 --obs /tmp/o.jsonl",
+        ))
+        .unwrap();
+        match &cmd {
+            Command::Coordinate { nodes, loads, expect, port, obs, .. } => {
+                assert!(nodes.is_empty());
+                assert_eq!(loads, &[20, 50]);
+                assert_eq!(*expect, 2);
+                assert_eq!(*port, 9000);
+                assert!(obs.is_some());
+            }
+            other => panic!("{other:?}"),
+        }
+        let cmd = parse(&argv("coordinate --serial /tmp/repo")).unwrap();
+        match &cmd {
+            Command::Coordinate { nodes, serial, .. } => {
+                assert!(nodes.is_empty());
+                assert_eq!(serial.as_deref(), Some(std::path::Path::new("/tmp/repo")));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&argv("coordinate")).is_err(), "needs --nodes, --expect, or --serial");
+        assert!(parse(&argv("coordinate --nodes a --intensity 0")).is_err());
+        let err = run(parse(&argv("coordinate --nodes 127.0.0.1:7401")).unwrap()).unwrap_err();
+        assert!(err.0.contains("tracer-coordinate"), "{err}");
+    }
+
+    #[test]
     fn parses_obs_flags() {
         let cmd = parse(&argv("sweep --repo /tmp/r --obs /tmp/o.jsonl")).unwrap();
         assert!(matches!(cmd, Command::Sweep { obs: Some(_), .. }));
@@ -1069,7 +1242,16 @@ mod tests {
     #[test]
     fn usage_mentions_every_command() {
         for verb in [
-            "idle", "collect", "replay", "sweep", "convert", "stats", "policies", "report", "serve",
+            "idle",
+            "collect",
+            "replay",
+            "sweep",
+            "convert",
+            "stats",
+            "policies",
+            "report",
+            "serve",
+            "coordinate",
         ] {
             assert!(USAGE.contains(verb), "usage missing {verb}");
         }

@@ -195,6 +195,13 @@ pub enum JobCommand {
         /// Optional label stored with the result (no whitespace). Defaults to
         /// `job-<id>` server-side.
         name: Option<String>,
+        /// Scheduling priority (0 = default). Any non-zero priority opts the
+        /// job into deferred admission: instead of a flat `err busy`, the
+        /// service parks it in the priority queue beyond the strict capacity.
+        priority: u8,
+        /// Queueing deadline in milliseconds. A job still queued when its
+        /// deadline passes expires instead of running.
+        deadline_ms: Option<u64>,
     },
     /// Ask the lifecycle state of a job.
     Status {
@@ -214,12 +221,24 @@ pub enum JobCommand {
     /// Ask for a service-wide snapshot: worker count, queue capacity, and
     /// job counts per lifecycle state.
     Stats,
+    /// Liveness probe; the service answers `ok pong`. The fabric coordinator
+    /// uses it as the heartbeat for nodes with no work in flight.
+    Ping,
+    /// Register a serve node with a fabric coordinator (`tracer serve
+    /// --join`): the node announces the address clients should dial and its
+    /// worker count. Sent *to* a coordinator, never to a serve node.
+    Join {
+        /// `host:port` the node's job server listens on.
+        addr: String,
+        /// Worker threads the node runs.
+        workers: usize,
+    },
 }
 
 /// Encode a job command as one protocol line.
 pub fn format_job_command(cmd: &JobCommand) -> String {
     match cmd {
-        JobCommand::Submit { device, mode, intensity_pct, name } => {
+        JobCommand::Submit { device, mode, intensity_pct, name, priority, deadline_ms } => {
             let mut line = format!(
                 "submit device={device} rs={} rn={} rd={} load={} intensity={intensity_pct}",
                 mode.request_bytes, mode.random_pct, mode.read_pct, mode.load_pct
@@ -228,12 +247,20 @@ pub fn format_job_command(cmd: &JobCommand) -> String {
                 line.push_str(" name=");
                 line.push_str(name);
             }
+            if *priority > 0 {
+                line.push_str(&format!(" priority={priority}"));
+            }
+            if let Some(ms) = deadline_ms {
+                line.push_str(&format!(" deadline_ms={ms}"));
+            }
             line
         }
         JobCommand::Status { id } => format!("status id={id}"),
         JobCommand::Result { id } => format!("result id={id}"),
         JobCommand::Cancel { id } => format!("cancel id={id}"),
         JobCommand::Stats => "stats".to_string(),
+        JobCommand::Ping => "ping".to_string(),
+        JobCommand::Join { addr, workers } => format!("join addr={addr} workers={workers}"),
     }
 }
 
@@ -257,11 +284,24 @@ pub fn parse_job_command(line: &str) -> Result<JobCommand, ParseError> {
                 None => 100,
             },
             name: kv.get("name").map(|s| s.to_string()),
+            priority: match kv.get("priority") {
+                Some(v) => v.parse().map_err(|_| err("key \"priority\" must be 0-255"))?,
+                None => 0,
+            },
+            deadline_ms: match kv.get("deadline_ms") {
+                Some(v) => Some(v.parse().map_err(|_| err("key \"deadline_ms\" is not a number"))?),
+                None => None,
+            },
         }),
         "status" => Ok(JobCommand::Status { id: id()? }),
         "result" => Ok(JobCommand::Result { id: id()? }),
         "cancel" => Ok(JobCommand::Cancel { id: id()? }),
         "stats" => Ok(JobCommand::Stats),
+        "ping" => Ok(JobCommand::Ping),
+        "join" => Ok(JobCommand::Join {
+            addr: get("addr")?.to_string(),
+            workers: get("workers")?.parse().map_err(|_| err("key \"workers\" is not a number"))?,
+        }),
         other => Err(err(format!("unknown verb {other:?}"))),
     }
 }
@@ -397,17 +437,31 @@ mod tests {
                 mode: WorkloadMode::peak(8192, 50, 100).at_load(40),
                 intensity_pct: 150,
                 name: Some("sweep-40".into()),
+                priority: 0,
+                deadline_ms: None,
             },
             JobCommand::Submit {
                 device: "ssd".into(),
                 mode: WorkloadMode::peak(512, 0, 0),
                 intensity_pct: 100,
                 name: None,
+                priority: 0,
+                deadline_ms: None,
+            },
+            JobCommand::Submit {
+                device: "raid5-hdd4".into(),
+                mode: WorkloadMode::peak(4096, 0, 100).at_load(10),
+                intensity_pct: 100,
+                name: Some("urgent".into()),
+                priority: 9,
+                deadline_ms: Some(2_500),
             },
             JobCommand::Status { id: 7 },
             JobCommand::Result { id: 0 },
             JobCommand::Cancel { id: u64::MAX },
             JobCommand::Stats,
+            JobCommand::Ping,
+            JobCommand::Join { addr: "127.0.0.1:7401".into(), workers: 4 },
         ];
         for cmd in cmds {
             let line = format_job_command(&cmd);
@@ -419,7 +473,31 @@ mod tests {
     #[test]
     fn job_submit_intensity_defaults_to_100() {
         let cmd = parse_job_command("submit device=d rs=4096 rn=50 rd=100 load=30").unwrap();
-        assert!(matches!(cmd, JobCommand::Submit { intensity_pct: 100, name: None, .. }));
+        assert!(matches!(
+            cmd,
+            JobCommand::Submit {
+                intensity_pct: 100,
+                name: None,
+                priority: 0,
+                deadline_ms: None,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn job_submit_priority_and_deadline_are_optional_keys() {
+        let cmd = parse_job_command(
+            "submit device=d rs=4096 rn=50 rd=100 load=30 priority=3 deadline_ms=750",
+        )
+        .unwrap();
+        assert!(matches!(cmd, JobCommand::Submit { priority: 3, deadline_ms: Some(750), .. }));
+        // Out-of-range priorities are protocol errors, not silent truncation.
+        assert!(
+            parse_job_command("submit device=d rs=4096 rn=0 rd=0 load=10 priority=300").is_err()
+        );
+        assert!(parse_job_command("submit device=d rs=4096 rn=0 rd=0 load=10 deadline_ms=soon")
+            .is_err());
     }
 
     #[test]
@@ -437,6 +515,9 @@ mod tests {
             "status id=abc",                                        // non-numeric id
             "result id=-3",                                         // negative id
             "cancel job 4",                                         // bare words
+            "join addr=127.0.0.1:1",                                // missing workers
+            "join workers=2",                                       // missing addr
+            "join addr=h:1 workers=two",                            // non-numeric
         ] {
             assert!(parse_job_command(bad).is_err(), "should reject {bad:?}");
         }

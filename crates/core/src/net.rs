@@ -190,6 +190,13 @@ impl HostClient {
         Ok(Self { reader, writer: BufWriter::new(stream) })
     }
 
+    /// Bound every reply wait by `timeout` (`None` restores blocking reads).
+    /// The fabric coordinator sets this so a hung node surfaces as an I/O
+    /// error — its heartbeat — instead of wedging the whole campaign.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
+    }
+
     /// Send one protocol line and wait for the response line.
     pub fn send_line(&mut self, line: &str) -> io::Result<String> {
         self.writer.write_all(line.as_bytes())?;
@@ -224,16 +231,40 @@ impl HostClient {
         intensity_pct: u32,
         name: Option<&str>,
     ) -> io::Result<Result<u64, Reply>> {
+        self.submit_job_opts(device, mode, intensity_pct, name, 0, None)
+    }
+
+    /// [`HostClient::submit_job`] with scheduling options: a non-zero
+    /// `priority` opts into deferred admission (the service parks the job
+    /// beyond the strict queue bound instead of answering `err busy`), and
+    /// `deadline_ms` expires the job if it is still queued when it elapses.
+    pub fn submit_job_opts(
+        &mut self,
+        device: &str,
+        mode: WorkloadMode,
+        intensity_pct: u32,
+        name: Option<&str>,
+        priority: u8,
+        deadline_ms: Option<u64>,
+    ) -> io::Result<Result<u64, Reply>> {
         let reply = self.send_job(&JobCommand::Submit {
             device: device.to_string(),
             mode,
             intensity_pct,
             name: name.map(str::to_string),
+            priority,
+            deadline_ms,
         })?;
         match reply.id() {
             Some(id) if reply.ok => Ok(Ok(id)),
             _ => Ok(Err(reply)),
         }
+    }
+
+    /// Liveness probe: `Ok(true)` when the service answers `ok pong`.
+    pub fn ping(&mut self) -> io::Result<bool> {
+        let reply = self.send_job(&JobCommand::Ping)?;
+        Ok(reply.ok && reply.head == "pong")
     }
 
     /// Query a job's lifecycle state (`queued`, `running`, `done`, `failed`,
@@ -257,7 +288,10 @@ impl HostClient {
         }
     }
 
-    /// Cancel a queued job; `Ok(Err(reply))` when it already ran or finished.
+    /// Cancel a job. A queued job is cancelled on the spot (`ok cancelled`);
+    /// a running job is flagged and its result discarded when the evaluation
+    /// finishes (`ok cancelling`). `Ok(Err(reply))` when it already reached a
+    /// terminal state.
     pub fn cancel_job(&mut self, id: u64) -> io::Result<Result<(), Reply>> {
         let reply = self.send_job(&JobCommand::Cancel { id })?;
         if reply.ok {

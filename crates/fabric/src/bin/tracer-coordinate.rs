@@ -1,0 +1,138 @@
+//! `tracer-coordinate` — the fleet coordinator as a deployable binary.
+//!
+//! Flags are the `tracer coordinate` flags; parsing is delegated to the core
+//! CLI so both front-ends stay in sync. Three modes:
+//!
+//! * `--nodes HOST:PORT,...` — dispatch the campaign to a fixed fleet.
+//! * `--expect N [--port P]` — open a registrar, wait for `N` nodes started
+//!   with `tracer-serve --join`, then dispatch to whoever joined (plus any
+//!   `--nodes` given explicitly).
+//! * `--serial REPO_DIR` — run the same cells locally, in order, on one
+//!   host, and print the serial baseline report. A fleet run over the same
+//!   campaign produces a byte-identical report, whatever the node count.
+//!
+//! The report goes to stdout; everything else (fleet progress, dispatch
+//! statistics, aggregated node stats) goes to stderr.
+
+use std::process::ExitCode;
+use std::time::Duration;
+use tracer_core::cli::{self, Command};
+use tracer_fabric::coordinator::{
+    fleet_stats, run_campaign, serial_report, CampaignSpec, FleetConfig,
+};
+use tracer_fabric::Registrar;
+use tracer_trace::TraceRepository;
+
+/// How long the registrar waits for the expected fleet to assemble.
+const JOIN_TIMEOUT: Duration = Duration::from_secs(120);
+
+fn main() -> ExitCode {
+    // Reuse the core parser by prepending the verb it expects.
+    let mut args = vec!["coordinate".to_string()];
+    args.extend(std::env::args().skip(1));
+    if args.iter().any(|a| a == "help" || a == "--help" || a == "-h") {
+        print_usage();
+        return ExitCode::SUCCESS;
+    }
+    let cmd = match cli::parse(&args) {
+        Ok(cmd @ Command::Coordinate { .. }) => cmd,
+        Ok(_) => unreachable!("the coordinate verb parses to Command::Coordinate"),
+        Err(e) => {
+            eprintln!("tracer-coordinate: {e}");
+            print_usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    match coordinate(cmd) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("tracer-coordinate: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn coordinate(cmd: Command) -> std::io::Result<()> {
+    let Command::Coordinate { nodes, array, mode, loads, intensity, expect, port, obs, serial } =
+        cmd
+    else {
+        unreachable!("checked by the caller");
+    };
+    if obs.is_some() {
+        tracer_obs::enable();
+    }
+    let spec = CampaignSpec {
+        device: array.build().config().name.clone(),
+        mode,
+        loads,
+        intensity_pct: intensity,
+    };
+
+    if let Some(repo_dir) = serial {
+        let repo = TraceRepository::open(&repo_dir).map_err(std::io::Error::other)?;
+        let report =
+            serial_report(&spec, || array.build(), |dev, mode| repo.load_shared(dev, mode).ok())?;
+        print!("{report}");
+        dump_obs(obs.as_deref())?;
+        return Ok(());
+    }
+
+    let mut fleet = nodes;
+    if expect > 0 {
+        let registrar = Registrar::bind(port)?;
+        eprintln!(
+            "waiting for {expect} nodes to join at {} (tracer-serve --join {})",
+            registrar.addr(),
+            registrar.addr()
+        );
+        fleet.extend(registrar.wait_for(expect, JOIN_TIMEOUT)?);
+    }
+    eprintln!(
+        "dispatching {} cells for {} across {} nodes",
+        spec.loads.len(),
+        spec.device,
+        fleet.len()
+    );
+    let outcome = run_campaign(&fleet, &spec, &FleetConfig::default())?;
+    print!("{}", outcome.report);
+    let s = &outcome.stats;
+    eprintln!(
+        "fleet: dispatched={} stolen={} redispatched={} nodes_dead={} completed={:?}",
+        s.cells_dispatched,
+        s.cells_stolen,
+        s.cells_redispatched,
+        s.nodes_dead,
+        s.completed_per_node
+    );
+    let agg = fleet_stats(&fleet, Duration::from_secs(2));
+    eprintln!(
+        "nodes: responding={} workers={} done={} failed={} cancelled={} expired={}",
+        agg.nodes, agg.workers, agg.done, agg.failed, agg.cancelled, agg.expired
+    );
+    dump_obs(obs.as_deref())?;
+    Ok(())
+}
+
+fn dump_obs(path: Option<&std::path::Path>) -> std::io::Result<()> {
+    if let Some(path) = path {
+        tracer_obs::dump_to(&tracer_obs::Sink::file(path))?;
+    }
+    Ok(())
+}
+
+fn print_usage() {
+    println!(
+        "tracer-coordinate — shard a sweep campaign across tracer-serve nodes
+
+USAGE:
+  tracer-coordinate --nodes HOST:PORT,... [--array hdd4|hdd6|ssd4]
+                    [--loads 20,40,...] [--intensity PCT]
+                    [--rs BYTES --rn PCT --rd PCT]
+                    [--expect N --port N] [--obs FILE] [--serial REPO_DIR]
+
+The sweep report (one `cell load=...` line per level, deterministic bytes)
+goes to stdout; fleet progress and statistics go to stderr. --expect opens a
+registrar and waits for nodes started with `tracer-serve --join`. --serial
+runs the same cells locally and prints the byte-identical baseline report."
+    );
+}

@@ -1,0 +1,414 @@
+//! Durable job log: the crash-safety layer of the fleet.
+//!
+//! Every job a node accepts over the wire is journalled to an append-only
+//! file as a checksummed frame — submitted, started, and its terminal state
+//! (done with the full [`TestRecord`], failed, cancelled, expired). On
+//! restart the log is replayed: fully committed results are restored to the
+//! results database without re-running anything, jobs that were queued or
+//! in flight when the process died are re-resolved and re-enqueued under
+//! their original ids, and a torn tail frame (the write the crash
+//! interrupted) is detected by checksum and truncated away. `kill -9`
+//! therefore loses no accepted job and duplicates no finished one.
+//!
+//! Frame format, little-endian: `[u32 payload_len][u32 crc32][payload]`,
+//! payload a single JSON-encoded [`LogRecord`]. CRC32 is the IEEE
+//! polynomial over the payload bytes, so truncation *and* bit corruption of
+//! the tail are both caught; a corrupt frame ends replay at the last good
+//! frame (everything before it is, by induction, intact).
+
+use serde::{Deserialize, Serialize};
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::Mutex;
+use tracer_core::db::TestRecord;
+use tracer_trace::WorkloadMode;
+
+/// Wire-level description of a job: everything a node needs to re-create the
+/// evaluation after a restart. Unlike `EvaluationJob` (which carries a build
+/// closure) this is plain data, so it can be journalled and shipped.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Device / array under test.
+    pub device: String,
+    /// Workload mode including the load proportion.
+    pub mode: WorkloadMode,
+    /// Inter-arrival intensity, percent.
+    pub intensity_pct: u32,
+    /// Job label.
+    pub name: String,
+    /// Scheduling priority (0 = strict legacy admission).
+    pub priority: u8,
+    /// Queued-deadline in milliseconds, if any.
+    pub deadline_ms: Option<u64>,
+}
+
+/// One journal entry. `Done` carries the whole committed record so recovery
+/// can answer `result` without re-running the evaluation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LogRecord {
+    /// Job accepted into the queue.
+    Submitted {
+        /// Id assigned at submission.
+        id: u64,
+        /// Re-creatable description of the job.
+        spec: JobSpec,
+    },
+    /// A worker picked the job up.
+    Started {
+        /// Job id.
+        id: u64,
+    },
+    /// The evaluation finished and its record was committed.
+    Done {
+        /// Job id.
+        id: u64,
+        /// The committed result record.
+        record: TestRecord,
+        /// Milliseconds the job waited in the queue.
+        queue_ms: u64,
+        /// Milliseconds the evaluation ran.
+        run_ms: u64,
+    },
+    /// The evaluation panicked.
+    Failed {
+        /// Job id.
+        id: u64,
+        /// Panic message.
+        reason: String,
+    },
+    /// The job was cancelled (queued or mid-run; either way no result).
+    Cancelled {
+        /// Job id.
+        id: u64,
+    },
+    /// The job's queued-deadline elapsed before a worker freed up.
+    Expired {
+        /// Job id.
+        id: u64,
+    },
+}
+
+impl LogRecord {
+    fn id(&self) -> u64 {
+        match *self {
+            LogRecord::Submitted { id, .. }
+            | LogRecord::Started { id }
+            | LogRecord::Done { id, .. }
+            | LogRecord::Failed { id, .. }
+            | LogRecord::Cancelled { id }
+            | LogRecord::Expired { id } => id,
+        }
+    }
+}
+
+/// Replayed lifecycle state of one journalled job.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecoveredState {
+    /// Accepted but never picked up: must be re-enqueued.
+    Queued,
+    /// In flight when the process died: must be re-run (the measurement is
+    /// side-effect free, so a re-run is safe and yields the identical
+    /// result).
+    Started,
+    /// Fully committed: restore the record, never re-run.
+    Done {
+        /// The committed record from the log (boxed: a `TestRecord` is two
+        /// orders of magnitude larger than the other variants).
+        record: Box<TestRecord>,
+        /// Queue-phase milliseconds at commit time.
+        queue_ms: u64,
+        /// Run-phase milliseconds at commit time.
+        run_ms: u64,
+    },
+    /// Terminal failure; the reason is kept.
+    Failed(String),
+    /// Terminal cancellation.
+    Cancelled,
+    /// Terminal deadline expiry.
+    Expired,
+}
+
+/// One job reconstructed from the log, in submission order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveredJob {
+    /// Original job id (preserved across the restart).
+    pub id: u64,
+    /// The journalled spec.
+    pub spec: JobSpec,
+    /// Where the job got to before the crash.
+    pub state: RecoveredState,
+}
+
+/// Everything replay learned from the log.
+#[derive(Debug, Clone, Default)]
+pub struct Recovery {
+    /// Journalled jobs in submission order.
+    pub jobs: Vec<RecoveredJob>,
+    /// First id the restarted service may assign (max journalled id + 1).
+    pub next_id: u64,
+    /// Torn / corrupt tail frames truncated away (0 or 1 after a clean
+    /// crash; more only under external corruption).
+    pub torn_frames: usize,
+}
+
+impl Recovery {
+    /// Jobs that must be re-enqueued (queued or in flight at the crash).
+    pub fn pending(&self) -> impl Iterator<Item = &RecoveredJob> {
+        self.jobs
+            .iter()
+            .filter(|j| matches!(j.state, RecoveredState::Queued | RecoveredState::Started))
+    }
+}
+
+/// Append-only checksummed journal. Cheap to share (`Arc<JobLog>`); appends
+/// serialize on an internal lock.
+pub struct JobLog {
+    file: Mutex<File>,
+}
+
+const FRAME_HEADER: usize = 8;
+/// Refuse absurd frame lengths up front so a corrupt length field cannot
+/// trigger a huge allocation during replay.
+const MAX_FRAME: u32 = 64 * 1024 * 1024;
+
+impl JobLog {
+    /// Open (or create) the log at `path`, replay every intact frame, and
+    /// truncate any torn tail so subsequent appends start from a clean
+    /// frame boundary.
+    pub fn open(path: &Path) -> io::Result<(Self, Recovery)> {
+        let mut file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(false).open(path)?;
+        let mut data = Vec::new();
+        file.read_to_end(&mut data)?;
+
+        let mut recovery = Recovery::default();
+        let mut good_end = 0usize;
+        let mut offset = 0usize;
+        while data.len() - offset >= FRAME_HEADER {
+            let len = u32::from_le_bytes(data[offset..offset + 4].try_into().unwrap());
+            let crc = u32::from_le_bytes(data[offset + 4..offset + 8].try_into().unwrap());
+            let body_start = offset + FRAME_HEADER;
+            if len > MAX_FRAME || data.len() - body_start < len as usize {
+                break; // torn: the length or the payload never hit the disk
+            }
+            let body = &data[body_start..body_start + len as usize];
+            if crc32(body) != crc {
+                break; // torn or corrupt payload
+            }
+            let Ok(text) = std::str::from_utf8(body) else { break };
+            let Ok(record) = serde_json::from_str::<LogRecord>(text) else { break };
+            apply(&mut recovery, record);
+            offset = body_start + len as usize;
+            good_end = offset;
+        }
+        if good_end < data.len() {
+            recovery.torn_frames = 1;
+            file.set_len(good_end as u64)?;
+        }
+        file.seek(SeekFrom::Start(good_end as u64))?;
+
+        if tracer_obs::enabled() {
+            tracer_obs::counter("joblog.recovered").add(recovery.jobs.len() as u64);
+            tracer_obs::counter("joblog.torn_frames").add(recovery.torn_frames as u64);
+        }
+        Ok((Self { file: Mutex::new(file) }, recovery))
+    }
+
+    /// Append one record as a checksummed frame. The frame is written with a
+    /// single `write_all`, so a `kill -9` between appends never leaves a
+    /// partial frame (only an OS or power failure can, and the checksum
+    /// catches that case on replay).
+    pub fn append(&self, record: &LogRecord) -> io::Result<()> {
+        let payload = serde_json::to_string(record)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let body = payload.as_bytes();
+        let mut frame = Vec::with_capacity(FRAME_HEADER + body.len());
+        frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(body).to_le_bytes());
+        frame.extend_from_slice(body);
+        let mut file = self.file.lock().expect("job log lock");
+        file.write_all(&frame)?;
+        if tracer_obs::enabled() {
+            tracer_obs::counter("joblog.appends").incr();
+        }
+        Ok(())
+    }
+}
+
+/// Fold one replayed record into the recovery state. Lifecycle records for
+/// ids that never had a `Submitted` frame are ignored (possible only under
+/// external tampering; replay must still not panic).
+fn apply(recovery: &mut Recovery, record: LogRecord) {
+    let id = record.id();
+    recovery.next_id = recovery.next_id.max(id + 1);
+    match record {
+        LogRecord::Submitted { id, spec } => {
+            recovery.jobs.push(RecoveredJob { id, spec, state: RecoveredState::Queued });
+        }
+        other => {
+            let Some(job) = recovery.jobs.iter_mut().find(|j| j.id == id) else { return };
+            job.state = match other {
+                LogRecord::Submitted { .. } => unreachable!("matched above"),
+                LogRecord::Started { .. } => RecoveredState::Started,
+                LogRecord::Done { record, queue_ms, run_ms, .. } => {
+                    RecoveredState::Done { record: Box::new(record), queue_ms, run_ms }
+                }
+                LogRecord::Failed { reason, .. } => RecoveredState::Failed(reason),
+                LogRecord::Cancelled { .. } => RecoveredState::Cancelled,
+                LogRecord::Expired { .. } => RecoveredState::Expired,
+            };
+        }
+    }
+}
+
+/// CRC32 (IEEE 802.3 polynomial, reflected), the classic byte-at-a-time
+/// table-driven form.
+pub fn crc32(data: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = crc32_table();
+    !data.iter().fold(!0u32, |crc, &b| (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xFF) as usize])
+}
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    fn spec(name: &str) -> JobSpec {
+        JobSpec {
+            device: "raid5-hdd4".into(),
+            mode: WorkloadMode::peak(8192, 50, 100).at_load(60),
+            intensity_pct: 100,
+            name: name.into(),
+            priority: 0,
+            deadline_ms: None,
+        }
+    }
+
+    fn record(id: u64) -> TestRecord {
+        TestRecord {
+            id,
+            label: format!("job-{id}"),
+            device: "raid5-hdd4".into(),
+            mode: WorkloadMode::peak(8192, 50, 100),
+            power: tracer_core::db::PowerData {
+                volts: 220.0,
+                avg_amps: 0.5,
+                avg_watts: 110.0,
+                energy_joules: 42.5,
+            },
+            perf: Default::default(),
+            efficiency: Default::default(),
+        }
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("tracer_joblog_{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn crc32_matches_the_reference_vector() {
+        // The canonical IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn round_trip_restores_every_lifecycle_state() {
+        let path = tmp("roundtrip.log");
+        let _ = fs::remove_file(&path);
+        {
+            let (log, recovery) = JobLog::open(&path).unwrap();
+            assert!(recovery.jobs.is_empty());
+            for id in 1..=6 {
+                log.append(&LogRecord::Submitted { id, spec: spec(&format!("j{id}")) }).unwrap();
+            }
+            log.append(&LogRecord::Started { id: 1 }).unwrap();
+            log.append(&LogRecord::Started { id: 2 }).unwrap();
+            log.append(&LogRecord::Done { id: 2, record: record(2), queue_ms: 3, run_ms: 40 })
+                .unwrap();
+            log.append(&LogRecord::Failed { id: 3, reason: "boom".into() }).unwrap();
+            log.append(&LogRecord::Cancelled { id: 4 }).unwrap();
+            log.append(&LogRecord::Expired { id: 5 }).unwrap();
+        }
+        let (_log, recovery) = JobLog::open(&path).unwrap();
+        assert_eq!(recovery.torn_frames, 0);
+        assert_eq!(recovery.next_id, 7);
+        assert_eq!(recovery.jobs.len(), 6);
+        assert_eq!(recovery.jobs[0].state, RecoveredState::Started);
+        assert!(
+            matches!(&recovery.jobs[1].state, RecoveredState::Done { record, queue_ms: 3, run_ms: 40 } if record.label == "job-2")
+        );
+        assert_eq!(recovery.jobs[2].state, RecoveredState::Failed("boom".into()));
+        assert_eq!(recovery.jobs[3].state, RecoveredState::Cancelled);
+        assert_eq!(recovery.jobs[4].state, RecoveredState::Expired);
+        assert_eq!(recovery.jobs[5].state, RecoveredState::Queued);
+        // Pending = the started job (in flight) + the still-queued one.
+        let pending: Vec<u64> = recovery.pending().map(|j| j.id).collect();
+        assert_eq!(pending, vec![1, 6]);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_appends_resume_cleanly() {
+        let path = tmp("torn.log");
+        let _ = fs::remove_file(&path);
+        {
+            let (log, _) = JobLog::open(&path).unwrap();
+            log.append(&LogRecord::Submitted { id: 1, spec: spec("a") }).unwrap();
+            log.append(&LogRecord::Submitted { id: 2, spec: spec("b") }).unwrap();
+        }
+        // Simulate a torn write: chop the last frame mid-payload.
+        let full = fs::read(&path).unwrap();
+        fs::write(&path, &full[..full.len() - 7]).unwrap();
+        let (log, recovery) = JobLog::open(&path).unwrap();
+        assert_eq!(recovery.torn_frames, 1);
+        assert_eq!(recovery.jobs.len(), 1, "only the intact frame survives");
+        assert_eq!(recovery.next_id, 2);
+        // The log is usable again: the next append lands on a clean boundary.
+        log.append(&LogRecord::Submitted { id: 2, spec: spec("b2") }).unwrap();
+        drop(log);
+        let (_log, recovery) = JobLog::open(&path).unwrap();
+        assert_eq!(recovery.torn_frames, 0);
+        assert_eq!(recovery.jobs.len(), 2);
+        assert_eq!(recovery.jobs[1].spec.name, "b2");
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn bit_corruption_is_caught_by_the_checksum() {
+        let path = tmp("corrupt.log");
+        let _ = fs::remove_file(&path);
+        {
+            let (log, _) = JobLog::open(&path).unwrap();
+            log.append(&LogRecord::Submitted { id: 1, spec: spec("a") }).unwrap();
+            log.append(&LogRecord::Submitted { id: 2, spec: spec("b") }).unwrap();
+        }
+        let mut data = fs::read(&path).unwrap();
+        let last = data.len() - 3;
+        data[last] ^= 0x40; // flip one bit inside the second payload
+        fs::write(&path, &data).unwrap();
+        let (_log, recovery) = JobLog::open(&path).unwrap();
+        assert_eq!(recovery.torn_frames, 1);
+        assert_eq!(recovery.jobs.len(), 1);
+        fs::remove_file(&path).unwrap();
+    }
+}

@@ -12,8 +12,12 @@
 //! file produced by `tracer sweep --obs out.jsonl` through this checker, so a
 //! malformed emitter fails the build rather than some later consumer.
 //!
-//! Usage: `obs_schema_check <dump.jsonl>` (or `-` for stdin). Exits non-zero
-//! on the first invalid line, naming the line number and the violation.
+//! Usage: `obs_schema_check <dump.jsonl> [--require name1,name2,...]` (or `-`
+//! for stdin). Exits non-zero on the first invalid line, naming the line
+//! number and the violation. `--require` additionally fails the check when
+//! any of the named metrics is absent from the dump — CI uses it to pin the
+//! exported schema (e.g. the `fabric.*` fleet counters) so a metric cannot
+//! silently vanish.
 
 use std::io::Read;
 use std::process::ExitCode;
@@ -38,7 +42,9 @@ fn as_uint(v: &serde_json::Value, key: &str) -> Result<u64, String> {
     }
 }
 
-fn check_line(line: &str) -> Result<(), String> {
+/// Validate one line; on success return the metric name it declares (events
+/// too — a required name may be any kind).
+fn check_line(line: &str) -> Result<String, String> {
     let value: serde_json::Value =
         serde_json::from_str(line).map_err(|e| format!("not valid JSON: {e}"))?;
     let serde_json::Value::Map(_) = &value else {
@@ -71,12 +77,32 @@ fn check_line(line: &str) -> Result<(), String> {
         }
         other => return Err(format!("unknown kind {other:?}")),
     }
-    Ok(())
+    as_str(field(&value, "name")?, "name").map(str::to_string)
 }
 
 fn main() -> ExitCode {
-    let Some(path) = std::env::args().nth(1) else {
-        eprintln!("usage: obs_schema_check <dump.jsonl | ->");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path: Option<String> = None;
+    let mut required: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--require" {
+            let Some(list) = args.get(i + 1) else {
+                eprintln!("obs_schema_check: --require needs a comma-separated name list");
+                return ExitCode::FAILURE;
+            };
+            required.extend(list.split(',').filter(|s| !s.is_empty()).map(str::to_string));
+            i += 2;
+        } else if path.is_none() {
+            path = Some(args[i].clone());
+            i += 1;
+        } else {
+            eprintln!("obs_schema_check: unexpected argument {:?}", args[i]);
+            return ExitCode::FAILURE;
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: obs_schema_check <dump.jsonl | -> [--require name1,name2,...]");
         return ExitCode::FAILURE;
     };
     let raw = if path == "-" {
@@ -96,14 +122,22 @@ fn main() -> ExitCode {
         }
     };
     let mut checked = 0usize;
+    let mut seen: Vec<String> = Vec::new();
     for (lineno, line) in raw.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
-        if let Err(e) = check_line(line) {
-            eprintln!("obs_schema_check: line {}: {e}", lineno + 1);
-            eprintln!("  {line}");
-            return ExitCode::FAILURE;
+        match check_line(line) {
+            Ok(name) => {
+                if !seen.contains(&name) {
+                    seen.push(name);
+                }
+            }
+            Err(e) => {
+                eprintln!("obs_schema_check: line {}: {e}", lineno + 1);
+                eprintln!("  {line}");
+                return ExitCode::FAILURE;
+            }
         }
         checked += 1;
     }
@@ -111,6 +145,21 @@ fn main() -> ExitCode {
         eprintln!("obs_schema_check: no JSON lines found in {path}");
         return ExitCode::FAILURE;
     }
-    println!("OK    {checked} obs lines conform to the schema");
+    let missing: Vec<&String> = required.iter().filter(|name| !seen.contains(name)).collect();
+    if !missing.is_empty() {
+        eprintln!(
+            "obs_schema_check: required metric(s) missing from the dump: {}",
+            missing.iter().map(|s| s.as_str()).collect::<Vec<_>>().join(", ")
+        );
+        return ExitCode::FAILURE;
+    }
+    if required.is_empty() {
+        println!("OK    {checked} obs lines conform to the schema");
+    } else {
+        println!(
+            "OK    {checked} obs lines conform to the schema ({} required metrics present)",
+            required.len()
+        );
+    }
     ExitCode::SUCCESS
 }

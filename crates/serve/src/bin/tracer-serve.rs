@@ -1,12 +1,21 @@
 //! `tracer-serve` — the concurrent evaluation service as a deployable binary.
 //!
 //! Flags are the `tracer serve` flags (`--repo`, `--array`, `--workers`,
-//! `--queue`); parsing is delegated to the core CLI so both front-ends stay
-//! in sync. The process serves until a client sends the `shutdown` verb.
+//! `--queue`, `--port`, `--log`, `--join`); parsing is delegated to the core
+//! CLI so both front-ends stay in sync. The process serves until a client
+//! sends the `shutdown` verb.
+//!
+//! With `--log FILE` the node journals every submitted job to a durable job
+//! log and replays it on startup: jobs finished before a crash come back as
+//! results without re-running, jobs that were queued or in flight re-enqueue
+//! under their original ids. With `--join HOST:PORT` the node registers
+//! itself with a `tracer-coordinate` fleet registrar after binding.
 
 use std::process::ExitCode;
 use std::sync::Arc;
 use tracer_core::cli::{self, ArrayChoice, Command};
+use tracer_core::messages::JobCommand;
+use tracer_core::net::HostClient;
 use tracer_core::TracerError;
 use tracer_serve::server::JobServer;
 use tracer_serve::ServiceConfig;
@@ -20,8 +29,10 @@ fn main() -> ExitCode {
         print_usage();
         return ExitCode::SUCCESS;
     }
-    let (repo, array, workers, queue) = match cli::parse(&args) {
-        Ok(Command::Serve { repo, array, workers, queue }) => (repo, array, workers, queue),
+    let parsed = match cli::parse(&args) {
+        Ok(Command::Serve { repo, array, workers, queue, port, log, join }) => {
+            (repo, array, workers, queue, port, log, join)
+        }
         Ok(_) => unreachable!("the serve verb parses to Command::Serve"),
         Err(e) => {
             eprintln!("tracer-serve: {e}");
@@ -29,7 +40,8 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match serve(repo, array, workers, queue) {
+    let (repo, array, workers, queue, port, log, join) = parsed;
+    match serve(repo, array, workers, queue, port, log, join) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("tracer-serve: {e}");
@@ -38,11 +50,15 @@ fn main() -> ExitCode {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn serve(
     repo: std::path::PathBuf,
     array: ArrayChoice,
     workers: usize,
     queue: usize,
+    port: u16,
+    log: Option<std::path::PathBuf>,
+    join: Option<String>,
 ) -> Result<(), TracerError> {
     // Config wraps the Display string verbatim, so stderr output is unchanged.
     let repo = TraceRepository::open(&repo).map_err(|e| TracerError::Config(e.to_string()))?;
@@ -55,15 +71,48 @@ fn serve(
         workers: workers.max(1),
         queue_capacity: ServiceConfig::resolved_capacity(workers.max(1), queue),
     };
-    let server = JobServer::spawn(config, build, load)?;
+    let (server, recovery) = JobServer::spawn_with(config, build, load, port, log.as_deref())?;
     println!(
         "evaluation service on {} ({} workers, queue capacity {})",
         server.addr(),
         config.workers,
         config.queue_capacity
     );
-    println!("verbs: submit status result stats cancel quit shutdown");
+    if log.is_some() {
+        println!(
+            "job log replayed: restored={} requeued={} unresolved={} torn_frames={}",
+            recovery.restored_done, recovery.requeued, recovery.unresolved, recovery.torn_frames
+        );
+    }
+    if let Some(coordinator) = join {
+        register_with(&coordinator, &server)?;
+    }
+    println!("verbs: submit status result stats cancel ping quit shutdown");
     server.wait()?;
+    Ok(())
+}
+
+/// Announce this node to the fleet registrar at `coordinator`.
+fn register_with(coordinator: &str, server: &JobServer) -> Result<(), TracerError> {
+    let addr = std::net::ToSocketAddrs::to_socket_addrs(coordinator)
+        .ok()
+        .and_then(|mut addrs| addrs.next())
+        .ok_or_else(|| TracerError::Config(format!("join {coordinator}: unresolvable address")))?;
+    let mut client = HostClient::connect(addr)
+        .map_err(|e| TracerError::Config(format!("join {coordinator}: {e}")))?;
+    let reply = client
+        .send_job(&JobCommand::Join {
+            addr: server.addr().to_string(),
+            workers: server.service().workers(),
+        })
+        .map_err(|e| TracerError::Config(format!("join {coordinator}: {e}")))?;
+    if !reply.ok {
+        return Err(TracerError::Config(format!(
+            "coordinator {coordinator} refused registration: {}",
+            reply.head
+        )));
+    }
+    println!("joined fleet at {coordinator}");
     Ok(())
 }
 
@@ -73,9 +122,13 @@ fn print_usage() {
 
 USAGE:
   tracer-serve --repo DIR [--array hdd4|hdd6|ssd4] [--workers N] [--queue N]
+               [--port N] [--log FILE] [--join HOST:PORT]
 
 Jobs arrive over TCP as `submit device=... rs=... rn=... rd=... load=...`
 lines; `status`/`result`/`cancel` manage them, `stats` snapshots the queue
-and workers, `shutdown` drains and stops. A full queue answers `err busy`."
+and workers, `shutdown` drains and stops. A full queue answers `err busy`
+(add priority=/deadline_ms= to a submit to park past the strict bound).
+--log makes accepted jobs crash-durable; --join registers the node with a
+tracer-coordinate fleet."
     );
 }

@@ -4,16 +4,28 @@
 //! generator (§III-A1); the generator in [`tracer_core::net`] therefore
 //! serves a single session and turns extra hosts away with `err busy`. This
 //! crate scales that deployment up: many hosts submit evaluation jobs over
-//! TCP, a **bounded queue** admits or rejects them (no unbounded buffering),
-//! and a **worker pool** — each worker owning its own [`ArraySim`] factory and
-//! [`EvaluationHost`] — drains the queue and persists every result in one
-//! shared results [`Database`].
+//! TCP, a **bounded priority queue** admits or rejects them (no unbounded
+//! buffering), and a **worker pool** — each worker owning its own
+//! [`ArraySim`](tracer_sim::ArraySim) factory and [`EvaluationHost`] —
+//! drains the queue and persists every result in one shared results
+//! [`Database`].
 //!
 //! Lifecycle of a job: `submit` → *queued* → *running* → *done* / *failed*,
-//! with *cancelled* reachable from *queued* only (the simulator runs a test
-//! to completion once started, exactly like the serial path, so results are
-//! bit-identical to a serial baseline). Admission control is the `try_send`
-//! on the bounded channel: a full queue answers `err busy` immediately.
+//! with *cancelled* reachable from *queued* (never runs) and from *running*
+//! (the evaluation finishes but its result is discarded at the commit
+//! boundary — the replay itself is never interrupted, so the engine stays
+//! deterministic), and *expired* reachable from *queued* when a submission
+//! deadline elapses first. Admission control is two-tier: priority-0 jobs
+//! without a deadline keep the classic strict bound (`err busy` at
+//! capacity), while prioritised or deadline-bearing submissions opt into
+//! *deferred admission* — they park beyond the strict bound (up to a hard
+//! cap) instead of bouncing, and higher priorities run first.
+//!
+//! With a [`JobLog`] attached, every wire-submitted job is journalled —
+//! accepted, started, and its terminal state with the full committed record
+//! — so a `kill -9` loses nothing: [`EvalService::start_recovered`] replays
+//! the log, restores finished results without re-running them, and
+//! re-enqueues the rest under their original ids.
 //!
 //! Graceful shutdown refuses new submissions, lets the workers drain every
 //! queued job, then joins them — in-flight work is never dropped.
@@ -24,18 +36,25 @@
 
 pub mod server;
 
-use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{BinaryHeap, HashMap};
 use std::fmt;
+use std::io;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 use tracer_core::db::Database;
 use tracer_core::distributed::EvaluationJob;
 use tracer_core::host::EvaluationHost;
 use tracer_core::metrics::EfficiencyMetrics;
+use tracer_fabric::joblog::{JobLog, JobSpec, LogRecord, RecoveredState};
+
+/// Deferred admission parks at most `capacity × DEFERRED_FACTOR` jobs; the
+/// hard cap keeps "no unbounded buffering" true even for prioritised work.
+const DEFERRED_FACTOR: usize = 16;
 
 /// Tuning knobs of the service.
 #[derive(Debug, Clone, Copy)]
@@ -74,8 +93,11 @@ pub enum JobState {
     Done,
     /// The evaluation panicked; the error text is kept.
     Failed,
-    /// Cancelled while still queued; never ran.
+    /// Cancelled: either while queued (never ran) or while running (the
+    /// result was discarded at the commit boundary).
     Cancelled,
+    /// Its queued-deadline elapsed before a worker picked it up.
+    Expired,
 }
 
 impl fmt::Display for JobState {
@@ -86,6 +108,7 @@ impl fmt::Display for JobState {
             JobState::Done => "done",
             JobState::Failed => "failed",
             JobState::Cancelled => "cancelled",
+            JobState::Expired => "expired",
         })
     }
 }
@@ -118,9 +141,45 @@ struct JobEntry {
     record_id: Option<u64>,
     metrics: Option<EfficiencyMetrics>,
     error: Option<String>,
-    queued_at: std::time::Instant,
+    queued_at: Instant,
     queue_ms: Option<u64>,
     run_ms: Option<u64>,
+    /// Lifecycle transitions of this job are appended to the journal.
+    journaled: bool,
+    /// Set by [`EvalService::cancel`] on a running job; checked at the
+    /// commit boundary, where the result is discarded.
+    cancel_requested: bool,
+}
+
+impl JobEntry {
+    fn new(name: String, journaled: bool) -> Self {
+        Self {
+            name,
+            state: JobState::Queued,
+            record_id: None,
+            metrics: None,
+            error: None,
+            queued_at: Instant::now(),
+            queue_ms: None,
+            run_ms: None,
+            journaled,
+            cancel_requested: false,
+        }
+    }
+}
+
+/// Scheduling options for a submission; [`Default`] is the classic strict
+/// path (priority 0, no deadline, not journalled).
+#[derive(Default)]
+pub struct SubmitOpts {
+    /// Non-zero opts into deferred admission and runs before lower
+    /// priorities.
+    pub priority: u8,
+    /// Expire the job if it is still queued when this elapses.
+    pub deadline: Option<Duration>,
+    /// Wire-level description for the journal; `None` (in-process closures)
+    /// submits without crash durability.
+    pub spec: Option<JobSpec>,
 }
 
 /// Why a submission was not accepted.
@@ -144,12 +203,22 @@ impl fmt::Display for SubmitError {
     }
 }
 
+/// What a successful [`EvalService::cancel`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelOutcome {
+    /// The job was still queued: cancelled on the spot, never runs.
+    Cancelled,
+    /// The job was running: flagged, and its result will be discarded at
+    /// the commit boundary (state becomes *cancelled* when the run ends).
+    Cancelling,
+}
+
 /// Why a cancellation was refused.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CancelError {
     /// No job with that id.
     Unknown,
-    /// The job already left the queue; its state is attached.
+    /// The job already reached a terminal state, which is attached.
     NotCancellable(JobState),
 }
 
@@ -169,15 +238,70 @@ pub struct ServiceStats {
     pub done: usize,
     /// Jobs that panicked.
     pub failed: usize,
-    /// Jobs cancelled before running.
+    /// Jobs cancelled (queued or mid-run).
     pub cancelled: usize,
+    /// Jobs whose queued-deadline elapsed first.
+    pub expired: usize,
 }
 
-/// The evaluation engine: bounded queue + worker pool + job registry +
-/// shared results database.
+/// What [`EvalService::start_recovered`] reconstructed from the journal.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Finished jobs restored from the log without re-running.
+    pub restored_done: usize,
+    /// Queued / in-flight jobs re-enqueued under their original ids.
+    pub requeued: usize,
+    /// Journalled jobs whose spec no longer resolves (marked failed).
+    pub unresolved: usize,
+    /// Torn tail frames the checksum caught and truncated.
+    pub torn_frames: usize,
+}
+
+/// One queued job. Ordering is (priority desc, submission seq asc): the
+/// `BinaryHeap` is a max-heap, so higher priority wins and ties go to the
+/// earlier submission — priority 0 alone degenerates to exact FIFO.
+struct Pending {
+    priority: u8,
+    seq: u64,
+    id: u64,
+    deadline: Option<Instant>,
+    job: EvaluationJob,
+}
+
+impl PartialEq for Pending {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority && self.seq == other.seq
+    }
+}
+impl Eq for Pending {}
+impl PartialOrd for Pending {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Pending {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.priority.cmp(&other.priority).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+struct QueueState {
+    heap: BinaryHeap<Pending>,
+    seq: u64,
+    closed: bool,
+}
+
+/// The pending queue: a std `Mutex` + `Condvar` pair (the vendored
+/// `parking_lot` has no condvar) guarding a priority heap.
+struct Queue {
+    state: StdMutex<QueueState>,
+    cv: Condvar,
+}
+
+/// The evaluation engine: bounded priority queue + worker pool + job
+/// registry + shared results database (+ optional durable journal).
 pub struct EvalService {
     shared: Arc<Shared>,
-    tx: Mutex<Option<Sender<(u64, EvaluationJob)>>>,
     workers: Mutex<Vec<JoinHandle<()>>>,
     worker_count: usize,
     queue_capacity: usize,
@@ -188,33 +312,129 @@ struct Shared {
     next_id: AtomicU64,
     jobs: Mutex<HashMap<u64, JobEntry>>,
     db: Mutex<Database>,
+    queue: Queue,
+    journal: Option<Arc<JobLog>>,
+}
+
+impl Shared {
+    /// Append to the journal when this job is journalled. Append failures
+    /// are swallowed: durability degrades, service availability does not.
+    fn journal(&self, journaled: bool, record: &LogRecord) {
+        if journaled {
+            if let Some(log) = &self.journal {
+                let _ = log.append(record);
+            }
+        }
+    }
 }
 
 impl EvalService {
     /// Start the worker pool.
     pub fn start(config: ServiceConfig) -> Self {
+        let service = Self::build(config, None);
+        service.spawn_workers();
+        service
+    }
+
+    /// Start the worker pool with a durable journal at `log_path`, replaying
+    /// whatever a previous process left there: finished jobs come back as
+    /// *done* (their committed records re-enter the shared database, nothing
+    /// re-runs), and jobs that were queued or in flight are re-resolved via
+    /// `resolve` and re-enqueued under their original ids. Specs that no
+    /// longer resolve (device renamed, trace gone) are marked failed instead
+    /// of silently dropped.
+    pub fn start_recovered(
+        config: ServiceConfig,
+        log_path: &Path,
+        resolve: impl Fn(&JobSpec) -> Option<EvaluationJob>,
+    ) -> io::Result<(Self, RecoveryReport)> {
+        let (log, recovery) = JobLog::open(log_path)?;
+        let service = Self::build(config, Some(Arc::new(log)));
+        let mut report = RecoveryReport { torn_frames: recovery.torn_frames, ..Default::default() };
+        service.shared.next_id.store(recovery.next_id.max(1), Ordering::SeqCst);
+        {
+            let mut jobs = service.shared.jobs.lock();
+            let mut db = service.shared.db.lock();
+            for rj in &recovery.jobs {
+                let mut entry = JobEntry::new(rj.spec.name.clone(), true);
+                match &rj.state {
+                    RecoveredState::Queued | RecoveredState::Started => continue,
+                    RecoveredState::Done { record, queue_ms, run_ms } => {
+                        let mut restored = (**record).clone();
+                        restored.id = 0; // the shared db re-assigns ids
+                        let rid = db.insert(restored);
+                        entry.state = JobState::Done;
+                        entry.record_id = Some(rid);
+                        entry.metrics = Some(record.efficiency);
+                        entry.queue_ms = Some(*queue_ms);
+                        entry.run_ms = Some(*run_ms);
+                        report.restored_done += 1;
+                    }
+                    RecoveredState::Failed(reason) => {
+                        entry.state = JobState::Failed;
+                        entry.error = Some(reason.clone());
+                    }
+                    RecoveredState::Cancelled => entry.state = JobState::Cancelled,
+                    RecoveredState::Expired => entry.state = JobState::Expired,
+                }
+                jobs.insert(rj.id, entry);
+            }
+        }
+        for rj in recovery.pending() {
+            match resolve(&rj.spec) {
+                Some(job) => {
+                    // Already journalled as submitted; a fresh `Submitted`
+                    // frame would duplicate it on the next replay.
+                    service.enqueue_recovered(rj.id, &rj.spec, job);
+                    report.requeued += 1;
+                }
+                None => {
+                    let mut entry = JobEntry::new(rj.spec.name.clone(), true);
+                    entry.state = JobState::Failed;
+                    entry.error = Some("spec no longer resolves after restart".into());
+                    service.shared.jobs.lock().insert(rj.id, entry);
+                    service.shared.journal(
+                        true,
+                        &LogRecord::Failed {
+                            id: rj.id,
+                            reason: "spec no longer resolves after restart".into(),
+                        },
+                    );
+                    report.unresolved += 1;
+                }
+            }
+        }
+        service.spawn_workers();
+        Ok((service, report))
+    }
+
+    fn build(config: ServiceConfig, journal: Option<Arc<JobLog>>) -> Self {
         let workers = config.workers.max(1);
         let capacity = ServiceConfig::resolved_capacity(workers, config.queue_capacity);
-        let (tx, rx) = bounded::<(u64, EvaluationJob)>(capacity);
         let shared = Arc::new(Shared {
             accepting: AtomicBool::new(true),
             next_id: AtomicU64::new(1),
             jobs: Mutex::new(HashMap::new()),
             db: Mutex::new(Database::new()),
+            queue: Queue {
+                state: StdMutex::new(QueueState { heap: BinaryHeap::new(), seq: 0, closed: false }),
+                cv: Condvar::new(),
+            },
+            journal,
         });
-        let handles = (0..workers)
-            .map(|_| {
-                let shared = Arc::clone(&shared);
-                let rx = rx.clone();
-                std::thread::spawn(move || worker_loop(&shared, &rx))
-            })
-            .collect();
         Self {
             shared,
-            tx: Mutex::new(Some(tx)),
-            workers: Mutex::new(handles),
+            workers: Mutex::new(Vec::new()),
             worker_count: workers,
             queue_capacity: capacity,
+        }
+    }
+
+    fn spawn_workers(&self) {
+        let mut workers = self.workers.lock();
+        for _ in 0..self.worker_count {
+            let shared = Arc::clone(&self.shared);
+            workers.push(std::thread::spawn(move || worker_loop(&shared)));
         }
     }
 
@@ -233,6 +453,7 @@ impl EvalService {
             done: 0,
             failed: 0,
             cancelled: 0,
+            expired: 0,
         };
         for entry in self.shared.jobs.lock().values() {
             match entry.state {
@@ -241,6 +462,7 @@ impl EvalService {
                 JobState::Done => stats.done += 1,
                 JobState::Failed => stats.failed += 1,
                 JobState::Cancelled => stats.cancelled += 1,
+                JobState::Expired => stats.expired += 1,
             }
         }
         stats
@@ -256,46 +478,80 @@ impl EvalService {
         self.shared.accepting.load(Ordering::SeqCst)
     }
 
-    /// Admit one job, or reject it without buffering. An empty `job.name` is
-    /// replaced by `job-<id>`.
-    pub fn submit(&self, mut job: EvaluationJob) -> Result<u64, SubmitError> {
+    /// Admit one job on the strict path (priority 0, no deadline), or reject
+    /// it without buffering. An empty `job.name` is replaced by `job-<id>`.
+    pub fn submit(&self, job: EvaluationJob) -> Result<u64, SubmitError> {
+        self.submit_opts(job, SubmitOpts::default())
+    }
+
+    /// [`EvalService::submit`] with scheduling options. Priority-0 jobs
+    /// without a deadline keep the strict bound (`Busy` at capacity);
+    /// anything else defers — it parks beyond the strict bound, up to the
+    /// hard cap of capacity × 16, and runs in (priority, submission) order.
+    pub fn submit_opts(
+        &self,
+        mut job: EvaluationJob,
+        opts: SubmitOpts,
+    ) -> Result<u64, SubmitError> {
         if !self.accepting() {
             return Err(SubmitError::ShuttingDown);
+        }
+        // Admission happens under the queue lock so the capacity check and
+        // the push are one atomic step. Lock order: queue → jobs.
+        let mut q = self.shared.queue.state.lock().expect("queue lock");
+        if q.closed {
+            return Err(SubmitError::ShuttingDown);
+        }
+        let strict = opts.priority == 0 && opts.deadline.is_none();
+        let bound =
+            if strict { self.queue_capacity } else { self.queue_capacity * DEFERRED_FACTOR };
+        if q.heap.len() >= bound {
+            return Err(SubmitError::Busy { capacity: self.queue_capacity });
         }
         let id = self.shared.next_id.fetch_add(1, Ordering::SeqCst);
         if job.name.is_empty() {
             job.name = format!("job-{id}");
         }
-        let name = job.name.clone();
+        let journaled = opts.spec.is_some() && self.shared.journal.is_some();
         // Register before enqueueing so a worker can never pop an id that is
         // not yet in the registry.
-        self.shared.jobs.lock().insert(
-            id,
-            JobEntry {
-                name,
-                state: JobState::Queued,
-                record_id: None,
-                metrics: None,
-                error: None,
-                queued_at: std::time::Instant::now(),
-                queue_ms: None,
-                run_ms: None,
-            },
-        );
-        let result = match &*self.tx.lock() {
-            Some(tx) => tx.try_send((id, job)).map_err(|e| match e {
-                TrySendError::Full(_) => SubmitError::Busy { capacity: self.queue_capacity },
-                TrySendError::Disconnected(_) => SubmitError::ShuttingDown,
-            }),
-            None => Err(SubmitError::ShuttingDown),
-        };
-        match result {
-            Ok(()) => Ok(id),
-            Err(e) => {
-                self.shared.jobs.lock().remove(&id);
-                Err(e)
-            }
+        self.shared.jobs.lock().insert(id, JobEntry::new(job.name.clone(), journaled));
+        if let Some(mut spec) = opts.spec {
+            spec.name = job.name.clone();
+            self.shared.journal(journaled, &LogRecord::Submitted { id, spec });
         }
+        q.seq += 1;
+        let seq = q.seq;
+        q.heap.push(Pending {
+            priority: opts.priority,
+            seq,
+            id,
+            deadline: opts.deadline.map(|d| Instant::now() + d),
+            job,
+        });
+        drop(q);
+        self.shared.queue.cv.notify_one();
+        Ok(id)
+    }
+
+    /// Re-enqueue a journalled job under its original id (recovery path; no
+    /// fresh `Submitted` frame). A journalled deadline restarts from now —
+    /// the original submission clock did not survive the crash, and
+    /// expiring recovered work unseen would contradict "no lost jobs".
+    fn enqueue_recovered(&self, id: u64, spec: &JobSpec, job: EvaluationJob) {
+        let mut q = self.shared.queue.state.lock().expect("queue lock");
+        self.shared.jobs.lock().insert(id, JobEntry::new(spec.name.clone(), true));
+        q.seq += 1;
+        let seq = q.seq;
+        q.heap.push(Pending {
+            priority: spec.priority,
+            seq,
+            id,
+            deadline: spec.deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms)),
+            job,
+        });
+        drop(q);
+        self.shared.queue.cv.notify_one();
     }
 
     /// Look up a job.
@@ -312,14 +568,24 @@ impl EvalService {
         })
     }
 
-    /// Cancel a job that has not started; running or finished jobs are left
-    /// alone.
-    pub fn cancel(&self, id: u64) -> Result<(), CancelError> {
-        match self.shared.jobs.lock().get_mut(&id) {
+    /// Cancel a job. Queued jobs cancel on the spot and never run; running
+    /// jobs are flagged and their result is discarded when the evaluation
+    /// finishes (the replay is never interrupted mid-flight, preserving
+    /// worker determinism). Terminal jobs refuse.
+    pub fn cancel(&self, id: u64) -> Result<CancelOutcome, CancelError> {
+        let mut jobs = self.shared.jobs.lock();
+        match jobs.get_mut(&id) {
             None => Err(CancelError::Unknown),
             Some(entry) if entry.state == JobState::Queued => {
                 entry.state = JobState::Cancelled;
-                Ok(())
+                let journaled = entry.journaled;
+                drop(jobs);
+                self.shared.journal(journaled, &LogRecord::Cancelled { id });
+                Ok(CancelOutcome::Cancelled)
+            }
+            Some(entry) if entry.state == JobState::Running => {
+                entry.cancel_requested = true;
+                Ok(CancelOutcome::Cancelling)
             }
             Some(entry) => Err(CancelError::NotCancellable(entry.state)),
         }
@@ -366,8 +632,10 @@ impl EvalService {
     /// already queued.
     pub fn begin_shutdown(&self) {
         self.shared.accepting.store(false, Ordering::SeqCst);
-        // Dropping the only sender disconnects the channel once drained.
-        self.tx.lock().take();
+        let mut q = self.shared.queue.state.lock().expect("queue lock");
+        q.closed = true;
+        drop(q);
+        self.shared.queue.cv.notify_all();
     }
 
     /// Wait for the workers to finish every remaining job and exit.
@@ -393,16 +661,43 @@ impl Drop for EvalService {
     }
 }
 
-fn worker_loop(shared: &Shared, rx: &Receiver<(u64, EvaluationJob)>) {
+fn worker_loop(shared: &Shared) {
     // Each worker is a generator machine in miniature: its own host, its own
     // analyzer per test (inside measure_test), results copied into the
     // shared db, phase timings recorded on the registry entry.
     let mut host = EvaluationHost::new();
-    while let Ok((id, job)) = rx.recv() {
+    loop {
+        let pending = {
+            let mut q = shared.queue.state.lock().expect("queue lock");
+            loop {
+                if let Some(p) = q.heap.pop() {
+                    break Some(p);
+                }
+                if q.closed {
+                    break None;
+                }
+                // The timeout is a belt-and-braces wakeup; notify_one/all
+                // cover the normal paths.
+                q = shared
+                    .queue
+                    .cv
+                    .wait_timeout(q, Duration::from_millis(100))
+                    .expect("queue lock")
+                    .0;
+            }
+        };
+        let Some(Pending { id, deadline, job, .. }) = pending else { return };
         {
             let mut jobs = shared.jobs.lock();
             let entry = jobs.get_mut(&id).expect("registered before enqueue");
             if entry.state == JobState::Cancelled {
+                continue;
+            }
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                entry.state = JobState::Expired;
+                let journaled = entry.journaled;
+                drop(jobs);
+                shared.journal(journaled, &LogRecord::Expired { id });
                 continue;
             }
             entry.state = JobState::Running;
@@ -411,9 +706,12 @@ fn worker_loop(shared: &Shared, rx: &Receiver<(u64, EvaluationJob)>) {
             if tracer_obs::enabled() {
                 tracer_obs::histogram("serve.queue_ns").record(waited.as_nanos() as u64);
             }
+            let journaled = entry.journaled;
+            drop(jobs);
+            shared.journal(journaled, &LogRecord::Started { id });
         }
         let EvaluationJob { name, build, trace, mode, intensity_pct } = job;
-        let started = std::time::Instant::now();
+        let started = Instant::now();
         let meter_cycle_ms = host.meter_cycle_ms;
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             let mut sim = build();
@@ -433,20 +731,41 @@ fn worker_loop(shared: &Shared, rx: &Receiver<(u64, EvaluationJob)>) {
         let mut jobs = shared.jobs.lock();
         let entry = jobs.get_mut(&id).expect("entry outlives the run");
         entry.run_ms = Some(elapsed.as_millis() as u64);
+        let journaled = entry.journaled;
         match outcome {
             Ok(measured) => {
+                if entry.cancel_requested {
+                    // The commit boundary is where cancellation of a running
+                    // job lands: the measurement is complete but its result
+                    // is discarded — no record, no metrics.
+                    entry.state = JobState::Cancelled;
+                    drop(jobs);
+                    shared.journal(journaled, &LogRecord::Cancelled { id });
+                    continue;
+                }
                 let out = host.commit(measured);
                 let record = host.db.get(out.record_id).cloned().expect("commit stored the record");
+                // Lock order: jobs → db (never the reverse).
                 let shared_record = shared.db.lock().insert(record);
                 entry.state = JobState::Done;
                 entry.record_id = Some(shared_record);
                 entry.metrics = Some(out.metrics);
+                let queue_ms = entry.queue_ms.unwrap_or(0);
+                let run_ms = entry.run_ms.unwrap_or(0);
+                let journal_record = shared.db.lock().get(shared_record).cloned();
+                drop(jobs);
+                if let Some(record) = journal_record {
+                    shared.journal(journaled, &LogRecord::Done { id, record, queue_ms, run_ms });
+                }
             }
             Err(panic) => {
                 entry.state = JobState::Failed;
                 // `&*` reborrows the payload itself; a plain `&panic` would
                 // coerce the Box into `dyn Any` and defeat the downcasts.
-                entry.error = Some(panic_message(&*panic));
+                let reason = panic_message(&*panic);
+                entry.error = Some(reason.clone());
+                drop(jobs);
+                shared.journal(journaled, &LogRecord::Failed { id, reason });
             }
         }
     }
@@ -540,12 +859,84 @@ mod tests {
     }
 
     #[test]
+    fn deferred_admission_parks_beyond_the_strict_bound() {
+        let service = EvalService::start(ServiceConfig { workers: 1, queue_capacity: 2 });
+        service.submit(job("long", 4000, 100)).unwrap();
+        // Fill the strict bound, then verify a prioritised job still parks.
+        let mut strict_accepted = 0;
+        for i in 0..6 {
+            if service.submit(job(&format!("s{i}"), 2000, 100)).is_ok() {
+                strict_accepted += 1;
+            }
+        }
+        assert!(strict_accepted <= 3, "strict path stays bounded");
+        let parked = service
+            .submit_opts(
+                job("deferred", 200, 100),
+                SubmitOpts { priority: 3, ..Default::default() },
+            )
+            .expect("deferred admission parks instead of bouncing");
+        service.shutdown();
+        assert_eq!(service.status(parked).unwrap().state, JobState::Done);
+    }
+
+    #[test]
+    fn priorities_run_before_earlier_low_priority_submissions() {
+        // One worker, blocked by the first job; everything submitted after
+        // it drains in (priority desc, submission asc) order — visible in
+        // the shared database's insertion order.
+        let service = EvalService::start(ServiceConfig { workers: 1, queue_capacity: 8 });
+        let _blocker = service.submit(job("blocker", 3000, 100)).unwrap();
+        // Give the worker time to pop the blocker so the queue order below
+        // is exactly the submission set.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while service.stats().running == 0 {
+            assert!(Instant::now() < deadline, "blocker never started");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let low = service.submit(job("low", 20, 100)).unwrap();
+        let high = service
+            .submit_opts(job("high", 20, 100), SubmitOpts { priority: 9, ..Default::default() })
+            .unwrap();
+        let mid = service
+            .submit_opts(job("mid", 20, 100), SubmitOpts { priority: 4, ..Default::default() })
+            .unwrap();
+        service.shutdown();
+        let order: Vec<String> =
+            service.with_db(|db| db.records().iter().map(|r| r.label.clone()).collect());
+        let pos = |label: &str| order.iter().position(|l| l == label).unwrap();
+        assert!(pos("high") < pos("mid"), "order {order:?}");
+        assert!(pos("mid") < pos("low"), "order {order:?}");
+        for id in [low, high, mid] {
+            assert_eq!(service.status(id).unwrap().state, JobState::Done);
+        }
+    }
+
+    #[test]
+    fn deadlines_expire_queued_jobs_instead_of_running_them() {
+        let service = EvalService::start(ServiceConfig { workers: 1, queue_capacity: 8 });
+        let blocker = service.submit(job("blocker", 4000, 100)).unwrap();
+        let doomed = service
+            .submit_opts(
+                job("doomed", 20, 100),
+                SubmitOpts { deadline: Some(Duration::from_millis(1)), ..Default::default() },
+            )
+            .unwrap();
+        // The blocker occupies the worker far longer than the deadline.
+        service.shutdown();
+        assert_eq!(service.status(blocker).unwrap().state, JobState::Done);
+        assert_eq!(service.status(doomed).unwrap().state, JobState::Expired);
+        assert_eq!(service.stats().expired, 1);
+        assert_eq!(service.with_db(Database::len), 1, "expired jobs leave no record");
+    }
+
+    #[test]
     fn queued_jobs_cancel_but_finished_jobs_do_not() {
         let service = EvalService::start(ServiceConfig { workers: 1, queue_capacity: 4 });
         let blocker = service.submit(job("blocker", 4000, 100)).unwrap();
         let victim = service.submit(job("victim", 4000, 100)).unwrap();
         // `victim` sits behind `blocker` on the single worker.
-        service.cancel(victim).expect("still queued");
+        assert_eq!(service.cancel(victim), Ok(CancelOutcome::Cancelled));
         assert_eq!(service.status(victim).unwrap().state, JobState::Cancelled);
         assert_eq!(service.cancel(9999), Err(CancelError::Unknown));
         service.shutdown();
@@ -558,6 +949,28 @@ mod tests {
             "cancelled job must never run"
         );
         assert_eq!(service.with_db(Database::len), 1);
+    }
+
+    #[test]
+    fn cancel_while_running_discards_the_result_at_the_commit_boundary() {
+        let service = EvalService::start(ServiceConfig { workers: 1, queue_capacity: 4 });
+        let id = service.submit(job("victim", 4000, 100)).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while service.status(id).unwrap().state != JobState::Running {
+            assert!(Instant::now() < deadline, "job never started");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(service.cancel(id), Ok(CancelOutcome::Cancelling));
+        // Still running: the replay is never interrupted mid-flight.
+        assert_eq!(service.status(id).unwrap().state, JobState::Running);
+        service.shutdown();
+        let snap = service.status(id).unwrap();
+        assert_eq!(snap.state, JobState::Cancelled, "result discarded at the commit boundary");
+        assert!(snap.metrics.is_none());
+        assert!(snap.record_id.is_none());
+        assert_eq!(service.with_db(Database::len), 0, "discarded result leaves no record");
+        // A second cancel on the now-terminal job refuses.
+        assert_eq!(service.cancel(id), Err(CancelError::NotCancellable(JobState::Cancelled)));
     }
 
     #[test]
@@ -600,6 +1013,7 @@ mod tests {
         assert_eq!(stats.done, 1);
         assert_eq!(stats.failed, 1);
         assert_eq!(stats.cancelled, 0);
+        assert_eq!(stats.expired, 0);
         let snap = service.status(a).unwrap();
         // Timings are wall-clock ms; tiny jobs may round to 0, but they must
         // be populated once a job has passed through a worker.

@@ -10,15 +10,20 @@
 //! client gets its own connection thread; concurrency control happens at the
 //! job queue (`err busy`), not at the accept loop.
 
-use crate::{CancelError, EvalService, JobState, ServiceConfig, SubmitError};
+use crate::{
+    CancelError, CancelOutcome, EvalService, JobState, RecoveryReport, ServiceConfig, SubmitError,
+    SubmitOpts,
+};
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 use tracer_core::distributed::EvaluationJob;
 use tracer_core::messages::{parse_job_command, JobCommand};
+use tracer_fabric::joblog::JobSpec;
 use tracer_sim::ArraySim;
 use tracer_trace::{Trace, WorkloadMode};
 
@@ -40,17 +45,62 @@ pub struct JobServer {
 impl JobServer {
     /// Bind an ephemeral localhost port and serve in background threads.
     pub fn spawn(config: ServiceConfig, build: BuildArray, load: LoadTrace) -> io::Result<Self> {
-        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        Self::spawn_with(config, build, load, 0, None).map(|(server, _)| server)
+    }
+
+    /// [`JobServer::spawn`] with a fixed `port` (0 = ephemeral) and an
+    /// optional durable job log. With a log path, the service journals every
+    /// wire-submitted job and replays the log on startup: finished jobs are
+    /// restored without re-running, interrupted ones re-enqueue under their
+    /// original ids (the returned [`RecoveryReport`] says what happened).
+    pub fn spawn_with(
+        config: ServiceConfig,
+        build: BuildArray,
+        load: LoadTrace,
+        port: u16,
+        log: Option<&Path>,
+    ) -> io::Result<(Self, RecoveryReport)> {
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
-        let service = Arc::new(EvalService::start(config));
+        let (service, report) = match log {
+            None => (EvalService::start(config), RecoveryReport::default()),
+            Some(path) => {
+                let resolve_build = Arc::clone(&build);
+                let resolve_load = Arc::clone(&load);
+                EvalService::start_recovered(config, path, move |spec: &JobSpec| {
+                    let trace = resolve_load(&spec.device, &spec.mode)?;
+                    resolve_build(&spec.device)?;
+                    let builder = Arc::clone(&resolve_build);
+                    let device = spec.device.clone();
+                    Some(EvaluationJob {
+                        name: spec.name.clone(),
+                        build: Box::new(move || {
+                            builder(&device).expect("device validated during recovery")
+                        }),
+                        trace,
+                        mode: spec.mode,
+                        intensity_pct: spec.intensity_pct,
+                    })
+                })?
+            }
+        };
+        let service = Arc::new(service);
         let stop = Arc::new(AtomicBool::new(false));
         let accept_handle = {
             let service = Arc::clone(&service);
             let stop = Arc::clone(&stop);
             std::thread::spawn(move || accept_loop(&listener, &stop, &service, &build, &load))
         };
-        Ok(Self { addr, stop, service, accept_handle: Some(accept_handle) })
+        Ok((Self { addr, stop, service, accept_handle: Some(accept_handle) }, report))
+    }
+
+    /// Abrupt stop for fleet tests: drop every connection and stop accepting
+    /// without draining the queue — from a coordinator's point of view the
+    /// node goes dark mid-sweep, exactly like a crashed process. The worker
+    /// pool itself still drains when the server value is dropped.
+    pub fn kill(&self) {
+        self.stop.store(true, Ordering::SeqCst);
     }
 
     /// The address clients connect to.
@@ -131,6 +181,11 @@ fn handle_client(
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
     loop {
+        // Checked here, not only on read timeouts: a killed node must go
+        // dark even when a chatty client keeps the connection busy.
+        if stop.load(Ordering::SeqCst) {
+            return Ok(());
+        }
         let mut line = String::new();
         match reader.read_line(&mut line) {
             Ok(0) => return Ok(()), // client hung up
@@ -186,7 +241,7 @@ fn dispatch(
         Err(e) => return format!("err {e}"),
     };
     match cmd {
-        JobCommand::Submit { device, mode, intensity_pct, name } => {
+        JobCommand::Submit { device, mode, intensity_pct, name, priority, deadline_ms } => {
             // Validate up front so a bad device or missing trace fails at the
             // protocol boundary, not inside a worker.
             if build(&device).is_none() {
@@ -196,6 +251,14 @@ fn dispatch(
                 return format!("err no-trace device={device}");
             };
             let builder = Arc::clone(build);
+            let spec = JobSpec {
+                device: device.clone(),
+                mode,
+                intensity_pct,
+                name: name.clone().unwrap_or_default(),
+                priority,
+                deadline_ms,
+            };
             let job = EvaluationJob {
                 name: name.unwrap_or_default(),
                 build: Box::new(move || builder(&device).expect("device validated at submission")),
@@ -203,7 +266,12 @@ fn dispatch(
                 mode,
                 intensity_pct,
             };
-            match service.submit(job) {
+            let opts = SubmitOpts {
+                priority,
+                deadline: deadline_ms.map(Duration::from_millis),
+                spec: Some(spec),
+            };
+            match service.submit_opts(job, opts) {
                 Ok(id) => format!("ok submitted id={id}"),
                 Err(SubmitError::Busy { capacity }) => format!("err busy queue={capacity}"),
                 Err(SubmitError::ShuttingDown) => "err shutting-down".to_string(),
@@ -240,6 +308,7 @@ fn dispatch(
                     format!("err failed id={id} reason: {}", snap.error.unwrap_or_default())
                 }
                 JobState::Cancelled => format!("err cancelled id={id}"),
+                JobState::Expired => format!("err expired id={id}"),
                 pending => format!("err pending id={id} state={pending}"),
             },
         },
@@ -247,16 +316,26 @@ fn dispatch(
             let s = service.stats();
             format!(
                 "ok stats workers={} capacity={} queued={} running={} done={} failed={} \
-                 cancelled={}",
-                s.workers, s.capacity, s.queued, s.running, s.done, s.failed, s.cancelled
+                 cancelled={} expired={}",
+                s.workers,
+                s.capacity,
+                s.queued,
+                s.running,
+                s.done,
+                s.failed,
+                s.cancelled,
+                s.expired
             )
         }
         JobCommand::Cancel { id } => match service.cancel(id) {
-            Ok(()) => format!("ok cancelled id={id}"),
+            Ok(CancelOutcome::Cancelled) => format!("ok cancelled id={id}"),
+            Ok(CancelOutcome::Cancelling) => format!("ok cancelling id={id}"),
             Err(CancelError::Unknown) => format!("err unknown id={id}"),
             Err(CancelError::NotCancellable(state)) => {
                 format!("err not-cancellable id={id} state={state}")
             }
         },
+        JobCommand::Ping => "ok pong".to_string(),
+        JobCommand::Join { .. } => "err not-a-coordinator".to_string(),
     }
 }

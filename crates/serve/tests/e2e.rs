@@ -107,8 +107,21 @@ fn concurrent_clients_fill_the_queue_and_match_the_serial_baseline() {
         let (extra, _) = submit_with_retry(&mut control, 25, &format!("cancel-me-{attempt}"));
         match control.cancel_job(extra).expect("io") {
             Ok(()) => {
+                // `ok cancelled` lands immediately; `ok cancelling` (a worker
+                // had already started the job) resolves at the commit
+                // boundary, where the result is discarded — poll to the
+                // terminal state either way.
+                let deadline = Instant::now() + Duration::from_secs(60);
+                loop {
+                    let state = control.job_status(extra).expect("io").unwrap();
+                    if state == "cancelled" {
+                        break;
+                    }
+                    assert_eq!(state, "running", "cancel may only linger while running");
+                    assert!(Instant::now() < deadline, "cancelling job never resolved");
+                    std::thread::sleep(Duration::from_millis(10));
+                }
                 cancelled = Some(extra);
-                assert_eq!(control.job_status(extra).expect("io").unwrap(), "cancelled");
                 break;
             }
             // A worker won the race for the extra job; it must run to
