@@ -5,6 +5,7 @@
 //! queries as markdown — a per-device efficiency table grouped by workload
 //! mode and sorted by load proportion, plus a cross-device summary — for
 //! lab notebooks, CI artifacts, and the `tracer report` command.
+#![doc = "tracer-invariant: deterministic"]
 
 use crate::db::{Database, TestRecord};
 use std::collections::BTreeSet;

@@ -17,6 +17,7 @@
 use std::process::ExitCode;
 use std::time::Duration;
 use tracer_core::cli::{self, Command};
+use tracer_core::error::TracerError;
 use tracer_fabric::coordinator::{
     fleet_stats, run_campaign, serial_report, CampaignSpec, FleetConfig,
 };
@@ -52,7 +53,7 @@ fn main() -> ExitCode {
     }
 }
 
-fn coordinate(cmd: Command) -> std::io::Result<()> {
+fn coordinate(cmd: Command) -> Result<(), TracerError> {
     let Command::Coordinate { nodes, array, mode, loads, intensity, expect, port, obs, serial } =
         cmd
     else {
@@ -69,7 +70,8 @@ fn coordinate(cmd: Command) -> std::io::Result<()> {
     };
 
     if let Some(repo_dir) = serial {
-        let repo = TraceRepository::open(&repo_dir).map_err(std::io::Error::other)?;
+        let repo =
+            TraceRepository::open(&repo_dir).map_err(|e| TracerError::Config(e.to_string()))?;
         let report =
             serial_report(&spec, || array.build(), |dev, mode| repo.load_shared(dev, mode).ok())?;
         print!("{report}");

@@ -33,6 +33,7 @@ use std::collections::VecDeque;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
+use tracer_core::error::TracerError;
 use tracer_core::host::EvaluationHost;
 use tracer_core::messages::{parse_job_command, JobCommand, Reply};
 use tracer_core::metrics::EfficiencyMetrics;
@@ -212,9 +213,9 @@ pub fn run_campaign(
     nodes: &[String],
     spec: &CampaignSpec,
     cfg: &FleetConfig,
-) -> io::Result<FleetOutcome> {
+) -> Result<FleetOutcome, TracerError> {
     if nodes.is_empty() {
-        return Err(io::Error::other("no nodes"));
+        return Err(TracerError::Config("no nodes".to_string()));
     }
     touch_metrics();
     let cells = spec.cells();
@@ -266,11 +267,11 @@ pub fn run_campaign(
             let mut j = 0;
             while j < node.inflight.len() {
                 let (ci, id) = node.inflight[j];
-                let client = node.client.as_mut().expect("alive node has a client");
+                let Some(client) = node.client.as_mut() else { break };
                 match client.job_result(id) {
                     Ok(Ok(reply)) => {
                         let cell = CellResult::from_reply(&reply).ok_or_else(|| {
-                            io::Error::new(io::ErrorKind::InvalidData, "malformed result line")
+                            TracerError::Config(format!("malformed result line from {}", node.addr))
                         })?;
                         results[ci] = Some(cell);
                         node.inflight.swap_remove(j);
@@ -281,7 +282,7 @@ pub fn run_campaign(
                     Ok(Err(reply)) if reply.head == "failed" => {
                         // Evaluations are deterministic: a panic here would
                         // panic on every node, so retrying elsewhere loops.
-                        return Err(io::Error::other(format!(
+                        return Err(TracerError::Config(format!(
                             "cell {ci} failed on {}: {reply:?}",
                             node.addr
                         )));
@@ -311,7 +312,7 @@ pub fn run_campaign(
         // not go unnoticed until the pool refills.
         for node in &mut fleet {
             if node.alive() && node.inflight.is_empty() {
-                let ok = node.client.as_mut().expect("alive").ping().unwrap_or(false);
+                let ok = node.client.as_mut().is_some_and(|c| c.ping().unwrap_or(false));
                 if !ok {
                     kill_node(node, &mut unassigned, &mut stats);
                 }
@@ -320,7 +321,9 @@ pub fn run_campaign(
 
         if fleet.iter().all(|n| !n.alive()) {
             let left = results.iter().filter(|r| r.is_none()).count();
-            return Err(io::Error::other(format!("all nodes dead with {left} cells unfinished")));
+            return Err(TracerError::Config(format!(
+                "all nodes dead with {left} cells unfinished"
+            )));
         }
         if !progressed {
             std::thread::sleep(cfg.poll_interval);
@@ -328,7 +331,16 @@ pub fn run_campaign(
     }
 
     stats.completed_per_node = fleet.iter().map(|n| n.completed).collect();
-    let merged: Vec<CellResult> = results.into_iter().map(|r| r.expect("loop exit")).collect();
+    // The loop only exits once every slot is Some; a gap here means the loop
+    // invariant broke, which must surface as an error, not a panic.
+    let merged: Vec<CellResult> = results.into_iter().flatten().collect();
+    if merged.len() != cells.len() {
+        return Err(TracerError::Config(format!(
+            "internal: campaign finished with {}/{} cells",
+            merged.len(),
+            cells.len()
+        )));
+    }
     Ok(FleetOutcome { report: render_report(spec, &merged), stats })
 }
 
@@ -344,7 +356,9 @@ fn connect(addr: &str, timeout: Duration) -> io::Result<HostClient> {
 
 /// `Ok(Some(id))` accepted, `Ok(None)` busy, `Err` node I/O failure.
 fn submit_cell(node: &mut Node, cell: &JobSpec) -> io::Result<Option<u64>> {
-    let client = node.client.as_mut().expect("alive node has a client");
+    let Some(client) = node.client.as_mut() else {
+        return Err(io::Error::other("submit to a dead node"));
+    };
     match client.submit_job_opts(
         &cell.device,
         cell.mode,
@@ -387,9 +401,9 @@ fn steal_one(
         return;
     };
     // The newest submission is the one most likely still queued.
-    let &(ci, id) = fleet[victim].inflight.last().expect("len >= 2");
+    let Some(&(ci, id)) = fleet[victim].inflight.last() else { return };
     {
-        let client = fleet[victim].client.as_mut().expect("alive");
+        let Some(client) = fleet[victim].client.as_mut() else { return };
         if !matches!(client.job_status(id), Ok(Ok(state)) if state == "queued") {
             return;
         }
@@ -451,12 +465,12 @@ pub fn serial_report(
     spec: &CampaignSpec,
     mut build: impl FnMut() -> ArraySim,
     mut load_trace: impl FnMut(&str, &WorkloadMode) -> Option<std::sync::Arc<Trace>>,
-) -> io::Result<String> {
+) -> Result<String, TracerError> {
     let mut host = EvaluationHost::new();
     let mut results = Vec::with_capacity(spec.loads.len());
     for cell in spec.cells() {
         let trace = load_trace(&cell.device, &cell.mode)
-            .ok_or_else(|| io::Error::other(format!("no trace for {}", cell.device)))?;
+            .ok_or_else(|| TracerError::NoTrace(cell.device.clone()))?;
         let mut sim = build();
         let measured = EvaluationHost::measure_test(
             host.meter_cycle_ms,

@@ -1,0 +1,87 @@
+//! `tracer-lint` — check TRACER's source invariants.
+//!
+//! ```text
+//! tracer-lint [--json] [--fix-hints] [PATH ...]
+//! ```
+//!
+//! With no `PATH`, lints the whole workspace (found by walking up from the
+//! current directory to the first `Cargo.toml` with a `crates/` sibling) and
+//! enforces the required-tags manifest. With explicit paths, lints exactly
+//! those files. Exits 1 if any violation is found.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use tracer_lint::{lint_paths, to_json, workspace_files};
+
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut fix_hints = false;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--fix-hints" => fix_hints = true,
+            "--help" | "-h" => {
+                println!("usage: tracer-lint [--json] [--fix-hints] [PATH ...]");
+                println!("rules: {}", tracer_lint::rules::ALL_RULES.join(", "));
+                return ExitCode::SUCCESS;
+            }
+            other => paths.push(PathBuf::from(other)),
+        }
+    }
+
+    let workspace_run = paths.is_empty();
+    if workspace_run {
+        let Some(root) = find_workspace_root() else {
+            eprintln!("tracer-lint: no workspace root found (run inside the repo or pass files)");
+            return ExitCode::FAILURE;
+        };
+        paths = workspace_files(&root);
+    } else {
+        // A directory argument means "lint this tree as a workspace root".
+        if paths.len() == 1 && paths[0].is_dir() {
+            paths = workspace_files(&paths[0].clone());
+        }
+    }
+
+    let report = lint_paths(&paths, workspace_run);
+
+    if json {
+        print!("{}", to_json(&report));
+    } else {
+        for v in &report.violations {
+            println!("{}:{}: [{}] {}", v.file, v.line, v.rule, v.message);
+            if fix_hints {
+                println!("    hint: {}", v.hint);
+            }
+        }
+        for a in &report.allows {
+            let reason = a.reason.as_deref().unwrap_or("<no reason>");
+            println!("{}:{}: allow({}) -- {}", a.file, a.line, a.rules.join(", "), reason);
+        }
+        println!(
+            "tracer-lint: {} file(s), {} violation(s), {} allow escape(s)",
+            report.files_scanned,
+            report.violations.len(),
+            report.allows.len()
+        );
+    }
+
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,422 @@
+//! A hand-rolled Rust token scanner.
+//!
+//! `tracer-lint` needs just enough lexical structure to enforce the project
+//! invariants: identifiers, punctuation, literals, and line numbers — plus
+//! two pieces of trivia a real compiler throws away: `// tracer-lint:
+//! allow(<rule>) -- <reason>` escape comments and the line they sit on.
+//! The scanner is deliberately dependency-free (the same offline-first
+//! stance as the vendored `json!` macro work): ~200 lines of byte-walking
+//! beat a `syn` dependency the container cannot download.
+//!
+//! The lexer understands everything that could otherwise corrupt a token
+//! stream: line and (nested) block comments, string literals with escapes,
+//! raw strings with any `#` arity, byte and raw-byte strings, char literals
+//! vs. lifetimes, and raw identifiers. Numeric literals are lumped into one
+//! token kind — no rule needs their value.
+
+/// Kind of one lexical token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Single punctuation character (multi-char operators arrive as a
+    /// sequence of these).
+    Punct,
+    /// String literal (text is the *content*, quotes stripped).
+    Str,
+    /// Char literal.
+    Char,
+    /// Numeric literal.
+    Num,
+    /// Lifetime (`'a`), without the quote.
+    Lifetime,
+}
+
+/// One token with its source line (1-based).
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// The token text (string literals: content only).
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+/// One `tracer-lint: allow(...)` escape comment.
+#[derive(Debug, Clone)]
+pub struct Escape {
+    /// Line the comment starts on; the escape covers this line and the next.
+    pub line: u32,
+    /// Rule names inside `allow(...)`.
+    pub rules: Vec<String>,
+    /// Text after ` -- `; `None` is itself a violation (`bare-allow`).
+    pub reason: Option<String>,
+}
+
+/// Scanner output: the token stream plus every escape comment.
+#[derive(Debug, Default)]
+pub struct Scanned {
+    /// Tokens in source order.
+    pub toks: Vec<Tok>,
+    /// Escape comments in source order.
+    pub escapes: Vec<Escape>,
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c == b'_' || c.is_ascii_alphabetic() || c >= 0x80
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c == b'_' || c.is_ascii_alphanumeric() || c >= 0x80
+}
+
+/// Parse a `tracer-lint: allow(rule, ...) -- reason` escape out of a
+/// comment's text. Returns `None` when the comment is not an escape.
+fn parse_escape(comment: &str, line: u32) -> Option<Escape> {
+    let idx = comment.find("tracer-lint:")?;
+    let rest = comment[idx + "tracer-lint:".len()..].trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let close = rest.find(')')?;
+    let rules: Vec<String> =
+        rest[..close].split(',').map(|s| s.trim().to_string()).filter(|s| !s.is_empty()).collect();
+    let tail = rest[close + 1..].trim_start();
+    let reason = tail
+        .strip_prefix("--")
+        .map(|r| r.trim().trim_end_matches("*/").trim().to_string())
+        .filter(|r| !r.is_empty());
+    Some(Escape { line, rules, reason })
+}
+
+/// Tokenize `src`, collecting escape comments along the way. Unterminated
+/// constructs (string, block comment) consume the rest of the file rather
+/// than erroring: the lint must not panic on any input.
+pub fn scan(src: &str) -> Scanned {
+    let b = src.as_bytes();
+    let mut out = Scanned::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    // Slice `src` defensively: an escape sequence could leave `i` on a
+    // non-UTF-8 boundary, and `get` degrades that to an empty token instead
+    // of a panic.
+    let text_of = |src: &str, a: usize, z: usize| src.get(a..z).unwrap_or("").to_string();
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            _ if c.is_ascii_whitespace() => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                // Doc comments (`///`, `//!`) document the escape syntax and
+                // must not themselves act as escapes.
+                let doc = matches!(b.get(i + 2), Some(&b'/') | Some(&b'!'));
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                if !doc {
+                    if let Some(e) = parse_escape(&text_of(src, start, i), line) {
+                        out.escapes.push(e);
+                    }
+                }
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                let start_line = line;
+                let doc = matches!(b.get(i + 2), Some(&b'*') | Some(&b'!'));
+                let mut depth = 1u32;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                if !doc {
+                    if let Some(e) = parse_escape(&text_of(src, start, i.min(b.len())), start_line)
+                    {
+                        out.escapes.push(e);
+                    }
+                }
+            }
+            b'"' => {
+                let (tok, ni, nl) = scan_string(src, b, i, line);
+                out.toks.push(tok);
+                i = ni;
+                line = nl;
+            }
+            b'r' | b'b' => {
+                // Raw strings (r", r#"), byte strings (b", br", b'), raw
+                // identifiers (r#ident) — or a plain identifier.
+                let (is_raw_str, hash_offset) = raw_string_shape(b, i);
+                if is_raw_str {
+                    let (tok, ni, nl) = scan_raw_string(src, b, i + hash_offset, line);
+                    out.toks.push(tok);
+                    i = ni;
+                    line = nl;
+                } else if c == b'b' && b.get(i + 1) == Some(&b'"') {
+                    let (tok, ni, nl) = scan_string(src, b, i + 1, line);
+                    out.toks.push(tok);
+                    i = ni;
+                    line = nl;
+                } else if c == b'b' && b.get(i + 1) == Some(&b'\'') {
+                    let (tok, ni, nl) = scan_char(src, b, i + 1, line);
+                    out.toks.push(tok);
+                    i = ni;
+                    line = nl;
+                } else if c == b'r'
+                    && b.get(i + 1) == Some(&b'#')
+                    && b.get(i + 2).copied().is_some_and(is_ident_start)
+                {
+                    // Raw identifier `r#match`: lex the ident after `r#`.
+                    let start = i + 2;
+                    let mut j = start;
+                    while j < b.len() && is_ident_continue(b[j]) {
+                        j += 1;
+                    }
+                    out.toks.push(Tok { kind: TokKind::Ident, text: text_of(src, start, j), line });
+                    i = j;
+                } else {
+                    let start = i;
+                    let mut j = i;
+                    while j < b.len() && is_ident_continue(b[j]) {
+                        j += 1;
+                    }
+                    out.toks.push(Tok { kind: TokKind::Ident, text: text_of(src, start, j), line });
+                    i = j;
+                }
+            }
+            b'\'' => {
+                // Lifetime or char literal. `'a` followed by anything but a
+                // closing quote is a lifetime; everything else is a char.
+                let n1 = b.get(i + 1).copied();
+                let n2 = b.get(i + 2).copied();
+                if n1.is_some_and(is_ident_start) && n2 != Some(b'\'') {
+                    let start = i + 1;
+                    let mut j = start;
+                    while j < b.len() && is_ident_continue(b[j]) {
+                        j += 1;
+                    }
+                    out.toks.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text: text_of(src, start, j),
+                        line,
+                    });
+                    i = j;
+                } else {
+                    let (tok, ni, nl) = scan_char(src, b, i, line);
+                    out.toks.push(tok);
+                    i = ni;
+                    line = nl;
+                }
+            }
+            _ if is_ident_start(c) => {
+                let start = i;
+                let mut j = i;
+                while j < b.len() && is_ident_continue(b[j]) {
+                    j += 1;
+                }
+                out.toks.push(Tok { kind: TokKind::Ident, text: text_of(src, start, j), line });
+                i = j;
+            }
+            _ if c.is_ascii_digit() => {
+                let start = i;
+                let mut j = i;
+                while j < b.len() && (is_ident_continue(b[j])) {
+                    j += 1;
+                }
+                // One fractional part, only when followed by a digit — so a
+                // range like `0..10` never swallows the dots.
+                if b.get(j) == Some(&b'.')
+                    && b.get(j + 1).copied().is_some_and(|d| d.is_ascii_digit())
+                {
+                    j += 1;
+                    while j < b.len() && is_ident_continue(b[j]) {
+                        j += 1;
+                    }
+                }
+                out.toks.push(Tok { kind: TokKind::Num, text: text_of(src, start, j), line });
+                i = j;
+            }
+            _ => {
+                out.toks.push(Tok { kind: TokKind::Punct, text: (c as char).to_string(), line });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// `(starts a raw string, bytes before the leading `r`'s hashes)` for the
+/// byte at `i`. Handles `r"`, `r#"`, `br"`, `br#"`.
+fn raw_string_shape(b: &[u8], i: usize) -> (bool, usize) {
+    let (r_at, offset) = match b[i] {
+        b'r' => (i, 0),
+        b'b' if b.get(i + 1) == Some(&b'r') => (i + 1, 1),
+        _ => return (false, 0),
+    };
+    let mut j = r_at + 1;
+    while b.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    (b.get(j) == Some(&b'"'), offset)
+}
+
+/// Scan a `"..."` string starting at the opening quote `b[i]`.
+fn scan_string(src: &str, b: &[u8], i: usize, mut line: u32) -> (Tok, usize, u32) {
+    let start_line = line;
+    let mut j = i + 1;
+    let content_start = j;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2,
+            b'"' => break,
+            b'\n' => {
+                line += 1;
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    let content = src.get(content_start..j.min(b.len())).unwrap_or("").to_string();
+    (Tok { kind: TokKind::Str, text: content, line: start_line }, (j + 1).min(b.len() + 1), line)
+}
+
+/// Scan a raw string whose leading `r` is at `b[i]`.
+fn scan_raw_string(src: &str, b: &[u8], i: usize, mut line: u32) -> (Tok, usize, u32) {
+    let start_line = line;
+    let mut hashes = 0usize;
+    let mut j = i + 1;
+    while b.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    j += 1; // opening quote
+    let content_start = j;
+    let closer: Vec<u8> = std::iter::once(b'"').chain(std::iter::repeat_n(b'#', hashes)).collect();
+    let mut content_end = b.len();
+    while j < b.len() {
+        if b[j] == b'\n' {
+            line += 1;
+            j += 1;
+        } else if b[j] == b'"' && b[j..].starts_with(&closer) {
+            content_end = j;
+            j += closer.len();
+            break;
+        } else {
+            j += 1;
+        }
+    }
+    let content = src.get(content_start..content_end).unwrap_or("").to_string();
+    (Tok { kind: TokKind::Str, text: content, line: start_line }, j, line)
+}
+
+/// Scan a `'c'` char literal starting at the opening quote `b[i]`.
+fn scan_char(src: &str, b: &[u8], i: usize, mut line: u32) -> (Tok, usize, u32) {
+    let start_line = line;
+    let mut j = i + 1;
+    let content_start = j;
+    // A char literal is short; cap the walk so an unterminated quote cannot
+    // swallow the file.
+    let limit = (i + 64).min(b.len());
+    while j < limit {
+        match b[j] {
+            b'\\' => j += 2,
+            b'\'' => break,
+            b'\n' => {
+                line += 1;
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    let content = src.get(content_start..j.min(b.len())).unwrap_or("").to_string();
+    (Tok { kind: TokKind::Char, text: content, line: start_line }, (j + 1).min(b.len() + 1), line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        scan(src).toks.into_iter().filter(|t| t.kind == TokKind::Ident).map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_leak_tokens() {
+        let src = r##"
+            // HashMap in a comment
+            /* Instant::now() in /* a nested */ block */
+            let s = "HashMap::new()";
+            let r = r#"unwrap() " inside raw"#;
+            let b = b"expect";
+            let c = 'x';
+            let esc = '\'';
+            fn f<'a>(x: &'a str) {}
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()));
+        assert!(!ids.contains(&"Instant".to_string()));
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(!ids.contains(&"expect".to_string()));
+        assert!(ids.contains(&"fn".to_string()));
+        let lifetimes: Vec<_> =
+            scan(src).toks.into_iter().filter(|t| t.kind == TokKind::Lifetime).collect();
+        assert_eq!(lifetimes.len(), 2);
+    }
+
+    #[test]
+    fn string_content_is_preserved_for_tag_detection() {
+        let src = "#![doc = \"tracer-invariant: deterministic\"]";
+        let strs: Vec<_> = scan(src).toks.into_iter().filter(|t| t.kind == TokKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert_eq!(strs[0].text, "tracer-invariant: deterministic");
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_constructs() {
+        let src = "let a = \"x\ny\";\n/* c\nc */\nlet b = 1;";
+        let s = scan(src);
+        let b_tok = s.toks.iter().find(|t| t.text == "b").unwrap();
+        assert_eq!(b_tok.line, 5);
+    }
+
+    #[test]
+    fn escapes_parse_rules_and_reasons() {
+        let src = "// tracer-lint: allow(no-panic-wire, zero-copy) -- bounds checked above\n\
+                   // tracer-lint: allow(determinism)\n\
+                   // a normal comment\n";
+        let s = scan(src);
+        assert_eq!(s.escapes.len(), 2);
+        assert_eq!(s.escapes[0].rules, vec!["no-panic-wire", "zero-copy"]);
+        assert_eq!(s.escapes[0].reason.as_deref(), Some("bounds checked above"));
+        assert_eq!(s.escapes[0].line, 1);
+        assert_eq!(s.escapes[1].rules, vec!["determinism"]);
+        assert!(s.escapes[1].reason.is_none(), "bare allow keeps no reason");
+    }
+
+    #[test]
+    fn numeric_ranges_do_not_absorb_dots() {
+        let s = scan("for i in 0..10 { a[i]; }");
+        let dots = s.toks.iter().filter(|t| t.kind == TokKind::Punct && t.text == ".").count();
+        assert_eq!(dots, 2, "both range dots survive");
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_plain_identifiers() {
+        assert_eq!(idents("r#async fn r#match()"), vec!["async", "fn", "match"]);
+    }
+}

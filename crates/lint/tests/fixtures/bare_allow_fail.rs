@@ -1,0 +1,7 @@
+//! Fixture: an escape without a reason is itself a violation.
+#![doc = "tracer-invariant: deterministic"]
+
+// tracer-lint: allow(determinism)
+use std::collections::HashMap as _;
+
+fn nothing_else_here() {}

@@ -1,0 +1,10 @@
+//! Fixture: a tagged module with a justified escape — clean, one audited
+//! allow.
+#![doc = "tracer-invariant: deterministic"]
+
+// tracer-lint: allow(determinism) -- keys are opaque ids; every iteration sorts them first
+fn sorted_drain(m: std::collections::HashMap<u64, u64>) -> Vec<(u64, u64)> {
+    let mut pairs: Vec<(u64, u64)> = m.into_iter().collect();
+    pairs.sort_unstable();
+    pairs
+}

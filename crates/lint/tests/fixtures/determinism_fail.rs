@@ -1,0 +1,16 @@
+//! Fixture: every determinism ban, inside a tagged scope.
+#![doc = "tracer-invariant: deterministic"]
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+use std::time::{Instant, SystemTime};
+
+fn offenders() -> usize {
+    let m: HashMap<u32, u32> = HashMap::new();
+    let s: HashSet<u32> = HashSet::new();
+    let _t0 = Instant::now();
+    let _t1 = SystemTime::now();
+    let _id = std::thread::current().id();
+    let _env = std::env::var("TRACER_SEED");
+    m.len() + s.len()
+}

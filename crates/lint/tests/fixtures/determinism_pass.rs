@@ -1,0 +1,24 @@
+//! Fixture: a tagged module using only ordered containers and simulated
+//! time — nothing to flag.
+#![doc = "tracer-invariant: deterministic"]
+
+use std::collections::BTreeMap;
+
+fn clean(clock_ns: u64) -> u64 {
+    let mut m: BTreeMap<u64, u64> = BTreeMap::new();
+    m.insert(clock_ns, clock_ns * 2);
+    m.values().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    // Tests may use wall clocks and hash containers freely.
+    use std::collections::HashMap;
+    use std::time::Instant;
+
+    #[test]
+    fn exempt() {
+        let _ = Instant::now();
+        let _: HashMap<u8, u8> = HashMap::new();
+    }
+}

@@ -1,0 +1,15 @@
+//! Fixture: locking the same named mutex while its guard is still held.
+use std::sync::Mutex;
+
+struct S {
+    jobs: Mutex<Vec<u64>>,
+}
+
+impl S {
+    fn deadlocks(&self) {
+        let held = self.jobs.lock().unwrap();
+        let again = self.jobs.lock().unwrap(); // deadlock: `jobs` already held
+        drop(again);
+        drop(held);
+    }
+}

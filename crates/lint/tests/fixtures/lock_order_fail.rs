@@ -1,0 +1,23 @@
+//! Fixture: two functions acquiring the same lock pair in opposite orders.
+use std::sync::Mutex;
+
+struct S {
+    queue: Mutex<Vec<u64>>,
+    joblog: Mutex<Vec<u64>>,
+}
+
+impl S {
+    fn forward(&self) {
+        let q = self.queue.lock().unwrap();
+        let j = self.joblog.lock().unwrap();
+        drop(j);
+        drop(q);
+    }
+
+    fn backward(&self) {
+        let j = self.joblog.lock().unwrap();
+        let q = self.queue.lock().unwrap();
+        drop(q);
+        drop(j);
+    }
+}

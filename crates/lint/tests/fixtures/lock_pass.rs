@@ -1,0 +1,30 @@
+//! Fixture: disciplined locking — one global order, guards dropped before
+//! re-acquisition. Nothing to flag.
+use std::sync::Mutex;
+
+struct S {
+    queue: Mutex<Vec<u64>>,
+    joblog: Mutex<Vec<u64>>,
+}
+
+impl S {
+    fn ordered(&self) {
+        let q = self.queue.lock().unwrap();
+        let j = self.joblog.lock().unwrap();
+        drop(j);
+        drop(q);
+    }
+
+    fn reacquire_after_drop(&self) {
+        let q = self.queue.lock().unwrap();
+        drop(q);
+        let q2 = self.queue.lock().unwrap();
+        drop(q2);
+    }
+
+    fn transient_then_bound(&self) {
+        self.queue.lock().unwrap().push(1);
+        let q = self.queue.lock().unwrap();
+        drop(q);
+    }
+}

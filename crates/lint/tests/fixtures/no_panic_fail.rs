@@ -1,0 +1,15 @@
+//! Fixture: every no-panic-wire ban, inside a tagged scope.
+#![doc = "tracer-invariant: no-panic-wire"]
+
+fn offenders(frame: &[u8], lookup: Option<u64>) -> u64 {
+    let first = frame[0];
+    let id = lookup.unwrap();
+    let id2 = lookup.expect("present");
+    if first == 0 {
+        panic!("zero frame");
+    }
+    if id == id2 {
+        unreachable!("ids always differ in this fixture");
+    }
+    id + u64::from(first)
+}

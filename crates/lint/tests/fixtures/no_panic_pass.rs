@@ -1,0 +1,8 @@
+//! Fixture: a wire path that degrades gracefully — nothing to flag.
+#![doc = "tracer-invariant: no-panic-wire"]
+
+fn clean(frame: &[u8], lookup: Option<u64>) -> Result<u64, String> {
+    let first = frame.first().copied().ok_or_else(|| "empty frame".to_string())?;
+    let id = lookup.ok_or_else(|| "unknown id".to_string())?;
+    Ok(id + u64::from(first))
+}

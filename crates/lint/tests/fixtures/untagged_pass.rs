@@ -1,0 +1,10 @@
+//! Fixture: an untagged module may use everything the tagged rules ban.
+use std::collections::HashMap;
+use std::time::Instant;
+
+fn unconstrained(frame: &[u8]) -> u8 {
+    let _ = Instant::now();
+    let _: HashMap<u8, u8> = HashMap::new();
+    let copy = frame.to_vec();
+    copy[0]
+}

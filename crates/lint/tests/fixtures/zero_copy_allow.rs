@@ -1,0 +1,7 @@
+//! Fixture: the opt-in materialization pattern — escaped with a reason.
+#![doc = "tracer-invariant: zero-copy"]
+
+fn materialize(ios: &[u8]) -> Vec<u8> {
+    // tracer-lint: allow(zero-copy) -- opt-in materialization, counted by the caller
+    ios.to_vec()
+}

@@ -1,0 +1,12 @@
+//! Fixture: every zero-copy ban, inside a tagged scope.
+#![doc = "tracer-invariant: zero-copy"]
+
+fn offenders(ios: &[u8], device: &str) -> (Vec<u8>, Vec<u8>, Vec<u8>, String) {
+    let copied = ios.to_vec();
+    let owned = device.to_string();
+    let empty = Vec::new();
+    let built = vec![1u8, 2];
+    let label = format!("{owned}-{}", built.len());
+    let cloned = copied.clone();
+    (copied, empty, cloned, label)
+}

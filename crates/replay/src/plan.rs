@@ -29,6 +29,8 @@
 //!
 //! [`LoadControl::apply`]: crate::scale::LoadControl::apply
 //! [`scale_intensity`]: crate::scale::scale_intensity
+#![doc = "tracer-invariant: deterministic"]
+#![doc = "tracer-invariant: zero-copy"]
 
 use crate::filter::ProportionalFilter;
 use crate::scale::LoadControl;
@@ -157,7 +159,9 @@ impl<'a> ReplayPlan<'a> {
     pub fn materialize(&self) -> Trace {
         record_materialization();
         let bunches =
+            // tracer-lint: allow(zero-copy) -- materialize IS the opt-in copy, counted above
             self.iter().map(|(timestamp, ios)| Bunch { timestamp, ios: ios.to_vec() }).collect();
+        // tracer-lint: allow(zero-copy) -- materialize IS the opt-in copy, counted above
         Trace { device: self.trace.device.clone(), bunches }
     }
 }

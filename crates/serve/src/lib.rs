@@ -37,7 +37,7 @@
 pub mod server;
 
 use parking_lot::Mutex;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap};
 use std::fmt;
 use std::io;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -310,7 +310,9 @@ pub struct EvalService {
 struct Shared {
     accepting: AtomicBool,
     next_id: AtomicU64,
-    jobs: Mutex<HashMap<u64, JobEntry>>,
+    // BTreeMap, not HashMap: snapshots and stats iterate this registry, and
+    // anything feeding a report must iterate in a stable (id) order.
+    jobs: Mutex<BTreeMap<u64, JobEntry>>,
     db: Mutex<Database>,
     queue: Queue,
     journal: Option<Arc<JobLog>>,
@@ -414,7 +416,7 @@ impl EvalService {
         let shared = Arc::new(Shared {
             accepting: AtomicBool::new(true),
             next_id: AtomicU64::new(1),
-            jobs: Mutex::new(HashMap::new()),
+            jobs: Mutex::new(BTreeMap::new()),
             db: Mutex::new(Database::new()),
             queue: Queue {
                 state: StdMutex::new(QueueState { heap: BinaryHeap::new(), seq: 0, closed: false }),
@@ -498,7 +500,8 @@ impl EvalService {
         }
         // Admission happens under the queue lock so the capacity check and
         // the push are one atomic step. Lock order: queue → jobs.
-        let mut q = self.shared.queue.state.lock().expect("queue lock");
+        let mut q =
+            self.shared.queue.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         if q.closed {
             return Err(SubmitError::ShuttingDown);
         }
@@ -539,7 +542,8 @@ impl EvalService {
     /// the original submission clock did not survive the crash, and
     /// expiring recovered work unseen would contradict "no lost jobs".
     fn enqueue_recovered(&self, id: u64, spec: &JobSpec, job: EvaluationJob) {
-        let mut q = self.shared.queue.state.lock().expect("queue lock");
+        let mut q =
+            self.shared.queue.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         self.shared.jobs.lock().insert(id, JobEntry::new(spec.name.clone(), true));
         q.seq += 1;
         let seq = q.seq;
@@ -601,24 +605,21 @@ impl EvalService {
             .count()
     }
 
-    /// Snapshot of every job, ordered by id.
+    /// Snapshot of every job, ordered by id (the registry's native order).
     pub fn snapshot(&self) -> Vec<JobSnapshot> {
-        let jobs = self.shared.jobs.lock();
-        let mut ids: Vec<u64> = jobs.keys().copied().collect();
-        ids.sort_unstable();
-        ids.iter()
-            .map(|&id| {
-                let e = &jobs[&id];
-                JobSnapshot {
-                    id,
-                    name: e.name.clone(),
-                    state: e.state,
-                    record_id: e.record_id,
-                    metrics: e.metrics,
-                    error: e.error.clone(),
-                    queue_ms: e.queue_ms,
-                    run_ms: e.run_ms,
-                }
+        self.shared
+            .jobs
+            .lock()
+            .iter()
+            .map(|(&id, e)| JobSnapshot {
+                id,
+                name: e.name.clone(),
+                state: e.state,
+                record_id: e.record_id,
+                metrics: e.metrics,
+                error: e.error.clone(),
+                queue_ms: e.queue_ms,
+                run_ms: e.run_ms,
             })
             .collect()
     }
@@ -632,7 +633,8 @@ impl EvalService {
     /// already queued.
     pub fn begin_shutdown(&self) {
         self.shared.accepting.store(false, Ordering::SeqCst);
-        let mut q = self.shared.queue.state.lock().expect("queue lock");
+        let mut q =
+            self.shared.queue.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         q.closed = true;
         drop(q);
         self.shared.queue.cv.notify_all();
@@ -668,7 +670,11 @@ fn worker_loop(shared: &Shared) {
     let mut host = EvaluationHost::new();
     loop {
         let pending = {
-            let mut q = shared.queue.state.lock().expect("queue lock");
+            // Queue state stays consistent across a panicking holder (every
+            // mutation is a single push/pop), so poison recovery is sound —
+            // one crashed evaluation must not wedge the whole pool.
+            let mut q =
+                shared.queue.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
             loop {
                 if let Some(p) = q.heap.pop() {
                     break Some(p);
@@ -682,14 +688,17 @@ fn worker_loop(shared: &Shared) {
                     .queue
                     .cv
                     .wait_timeout(q, Duration::from_millis(100))
-                    .expect("queue lock")
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
                     .0;
             }
         };
         let Some(Pending { id, deadline, job, .. }) = pending else { return };
         {
             let mut jobs = shared.jobs.lock();
-            let entry = jobs.get_mut(&id).expect("registered before enqueue");
+            // Submission registers before enqueueing, so the entry exists; a
+            // missing one means the registry was externally mutated — skip
+            // the orphan rather than killing the worker.
+            let Some(entry) = jobs.get_mut(&id) else { continue };
             if entry.state == JobState::Cancelled {
                 continue;
             }
@@ -729,7 +738,7 @@ fn worker_loop(shared: &Shared) {
             tracer_obs::histogram("serve.run_ns").record(elapsed.as_nanos() as u64);
         }
         let mut jobs = shared.jobs.lock();
-        let entry = jobs.get_mut(&id).expect("entry outlives the run");
+        let Some(entry) = jobs.get_mut(&id) else { continue };
         entry.run_ms = Some(elapsed.as_millis() as u64);
         let journaled = entry.journaled;
         match outcome {
@@ -744,7 +753,17 @@ fn worker_loop(shared: &Shared) {
                     continue;
                 }
                 let out = host.commit(measured);
-                let record = host.db.get(out.record_id).cloned().expect("commit stored the record");
+                let Some(record) = host.db.get(out.record_id).cloned() else {
+                    // `commit` just stored this id; its absence means the
+                    // worker-local db broke an invariant. Fail the job —
+                    // don't take the worker (and its queue share) down.
+                    entry.state = JobState::Failed;
+                    let reason = "internal: committed record missing from worker db".to_string();
+                    entry.error = Some(reason.clone());
+                    drop(jobs);
+                    shared.journal(journaled, &LogRecord::Failed { id, reason });
+                    continue;
+                };
                 // Lock order: jobs → db (never the reverse).
                 let shared_record = shared.db.lock().insert(record);
                 entry.state = JobState::Done;

@@ -9,6 +9,12 @@
 //! Unlike the single-session [`tracer_core::net::GeneratorServer`], every
 //! client gets its own connection thread; concurrency control happens at the
 //! job queue (`err busy`), not at the accept loop.
+//!
+//! Wire discipline: a panic in a connection thread takes the whole node out
+//! of the fleet, so nothing on the command/reply path may `unwrap`, `expect`,
+//! index, or `panic!` — malformed input and broken internal invariants both
+//! answer with an `err ...` line instead.
+#![doc = "tracer-invariant: no-panic-wire"]
 
 use crate::{
     CancelError, CancelOutcome, EvalService, JobState, RecoveryReport, ServiceConfig, SubmitError,
@@ -75,8 +81,10 @@ impl JobServer {
                     let device = spec.device.clone();
                     Some(EvaluationJob {
                         name: spec.name.clone(),
-                        build: Box::new(move || {
-                            builder(&device).expect("device validated during recovery")
+                        build: Box::new(move || match builder(&device) {
+                            Some(sim) => sim,
+                            // tracer-lint: allow(no-panic-wire) -- runs inside the worker's catch_unwind, not on the wire; device was validated two lines up
+                            None => panic!("device validated during recovery"),
                         }),
                         trace,
                         mode: spec.mode,
@@ -261,7 +269,11 @@ fn dispatch(
             };
             let job = EvaluationJob {
                 name: name.unwrap_or_default(),
-                build: Box::new(move || builder(&device).expect("device validated at submission")),
+                build: Box::new(move || match builder(&device) {
+                    Some(sim) => sim,
+                    // tracer-lint: allow(no-panic-wire) -- runs inside the worker's catch_unwind, not on the wire; device was validated at the protocol boundary above
+                    None => panic!("device validated at submission"),
+                }),
                 trace,
                 mode,
                 intensity_pct,
@@ -284,26 +296,30 @@ fn dispatch(
         JobCommand::Result { id } => match service.status(id) {
             None => format!("err unknown id={id}"),
             Some(snap) => match snap.state {
-                JobState::Done => {
-                    let m = snap.metrics.expect("done jobs carry metrics");
-                    // `{}` prints the shortest exact round-trip form, so the
-                    // client recovers bit-identical f64 values.
-                    format!(
-                        "ok result id={id} record={} iops={} mbps={} avg_response_ms={} \
-                         watts={} energy_j={} iops_per_watt={} mbps_per_kilowatt={} \
-                         queue_ms={} run_ms={}",
-                        snap.record_id.expect("done jobs carry a record"),
-                        m.iops,
-                        m.mbps,
-                        m.avg_response_ms,
-                        m.avg_watts,
-                        m.energy_joules,
-                        m.iops_per_watt,
-                        m.mbps_per_kilowatt,
-                        snap.queue_ms.unwrap_or(0),
-                        snap.run_ms.unwrap_or(0)
-                    )
-                }
+                // A Done snapshot always carries metrics and a record id; if
+                // that internal invariant ever breaks, the client gets a
+                // protocol error, not a dead node.
+                JobState::Done => match (snap.metrics, snap.record_id) {
+                    (Some(m), Some(record)) => {
+                        // `{}` prints the shortest exact round-trip form, so
+                        // the client recovers bit-identical f64 values.
+                        format!(
+                            "ok result id={id} record={record} iops={} mbps={} \
+                             avg_response_ms={} watts={} energy_j={} iops_per_watt={} \
+                             mbps_per_kilowatt={} queue_ms={} run_ms={}",
+                            m.iops,
+                            m.mbps,
+                            m.avg_response_ms,
+                            m.avg_watts,
+                            m.energy_joules,
+                            m.iops_per_watt,
+                            m.mbps_per_kilowatt,
+                            snap.queue_ms.unwrap_or(0),
+                            snap.run_ms.unwrap_or(0)
+                        )
+                    }
+                    _ => format!("err internal id={id} missing result fields"),
+                },
                 JobState::Failed => {
                     format!("err failed id={id} reason: {}", snap.error.unwrap_or_default())
                 }

@@ -11,6 +11,7 @@
 //! Determinism: events at equal timestamps are processed in submission order
 //! (a monotonically increasing sequence number breaks ties), so simulations
 //! are bit-for-bit reproducible.
+#![doc = "tracer-invariant: deterministic"]
 
 use crate::cache::{CacheConfig, ControllerCache};
 use crate::device::{Device, DeviceModel, DiskOp, ServicePlan};

@@ -10,7 +10,7 @@ use crate::error::TraceError;
 use crate::mode::WorkloadMode;
 use crate::model::Trace;
 use crate::replay_format;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
@@ -28,7 +28,9 @@ pub const EXTENSION: &str = "replay";
 #[derive(Debug)]
 pub struct TraceRepository {
     root: PathBuf,
-    shared: Mutex<HashMap<PathBuf, Arc<Trace>>>,
+    // BTreeMap keeps any future iteration over the cache (stats, eviction)
+    // in stable path order; the point lookups it serves today don't care.
+    shared: Mutex<BTreeMap<PathBuf, Arc<Trace>>>,
 }
 
 /// A catalogue entry: device prefix, workload mode, and file path.
@@ -47,7 +49,7 @@ impl TraceRepository {
     pub fn open(root: impl Into<PathBuf>) -> Result<Self, TraceError> {
         let root = root.into();
         fs::create_dir_all(&root)?;
-        Ok(Self { root, shared: Mutex::new(HashMap::new()) })
+        Ok(Self { root, shared: Mutex::new(BTreeMap::new()) })
     }
 
     /// The repository root directory.
@@ -103,11 +105,16 @@ impl TraceRepository {
     /// each mode's trace no matter how many workers replay it concurrently.
     pub fn load_shared(&self, device: &str, mode: &WorkloadMode) -> Result<Arc<Trace>, TraceError> {
         let path = self.path_for(device, mode);
-        if let Some(hit) = self.shared.lock().expect("trace cache poisoned").get(&path) {
+        if let Some(hit) =
+            self.shared.lock().unwrap_or_else(std::sync::PoisonError::into_inner).get(&path)
+        {
             return Ok(Arc::clone(hit));
         }
         let trace = Arc::new(self.load(device, mode)?);
-        self.shared.lock().expect("trace cache poisoned").insert(path, Arc::clone(&trace));
+        self.shared
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .insert(path, Arc::clone(&trace));
         Ok(trace)
     }
 
@@ -115,17 +122,22 @@ impl TraceRepository {
     /// [`TraceRepository::load_shared`]).
     pub fn load_named_shared(&self, name: &str) -> Result<Arc<Trace>, TraceError> {
         let path = self.root.join(format!("{name}.{EXTENSION}"));
-        if let Some(hit) = self.shared.lock().expect("trace cache poisoned").get(&path) {
+        if let Some(hit) =
+            self.shared.lock().unwrap_or_else(std::sync::PoisonError::into_inner).get(&path)
+        {
             return Ok(Arc::clone(hit));
         }
         let trace = Arc::new(self.load_named(name)?);
-        self.shared.lock().expect("trace cache poisoned").insert(path, Arc::clone(&trace));
+        self.shared
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .insert(path, Arc::clone(&trace));
         Ok(trace)
     }
 
     /// Drop the cached shared handle for `path` (called on every store).
     fn invalidate(&self, path: &Path) {
-        self.shared.lock().expect("trace cache poisoned").remove(path);
+        self.shared.lock().unwrap_or_else(std::sync::PoisonError::into_inner).remove(path);
     }
 
     /// `true` if a trace for (`device`, `mode`) is present.
