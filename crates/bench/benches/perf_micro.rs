@@ -175,7 +175,7 @@ fn elevator_backlog(depth: u64) -> ArraySim {
 
 fn bench_elevator_dispatch(c: &mut Criterion) {
     let mut g = c.benchmark_group("elevator");
-    for &depth in &[8u64, 64, 512] {
+    for &depth in &[1u64, 8, 64, 512] {
         g.throughput(Throughput::Elements(depth));
         g.bench_function(&format!("dispatch_depth_{depth}"), |b| {
             b.iter_batched(

@@ -19,6 +19,8 @@ use std::path::{Path, PathBuf};
 /// Dropping a tag in a refactor is itself a violation (`missing-tag`).
 pub const REQUIRED_TAGS: &[(&str, &[&str])] = &[
     ("crates/sim/src/array.rs", &["deterministic"]),
+    ("crates/sim/src/equeue.rs", &["deterministic"]),
+    ("crates/sim/src/soa.rs", &["deterministic"]),
     ("crates/replay/src/plan.rs", &["deterministic", "zero-copy"]),
     ("crates/core/src/report.rs", &["deterministic"]),
     ("crates/fabric/src/joblog.rs", &["deterministic", "no-panic-wire"]),

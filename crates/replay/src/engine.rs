@@ -92,7 +92,18 @@ pub fn replay(sim: &mut ArraySim, trace: &Trace, cfg: &ReplayConfig) -> ReplayRe
         let _span = tracer_obs::span("replay.plan_ns");
         ReplayPlan::new(trace, cfg.load)
     };
+    sim.reserve_events(event_estimate(trace));
     replay_bunches(sim, plan.iter(), cfg.address_policy, cfg.warmup)
+}
+
+/// How many events to pre-size the simulator's queue for: the trace's bunch
+/// count, clamped to something sane. Pending events at any instant track the
+/// in-flight request population, which the bunch count bounds loosely from
+/// above; the queue re-sizes itself if the estimate is off, so this is purely
+/// a hint (replaces the old fixed 1024-slot pre-size, which deep traces
+/// outgrew through repeated doublings).
+fn event_estimate(trace: &Trace) -> usize {
+    trace.bunches.len().clamp(64, 65_536)
 }
 
 /// Replay an already load-controlled trace (no warm-up trimming).
@@ -112,6 +123,7 @@ pub fn replay_prepared_with_warmup(
     address_policy: AddressPolicy,
     warmup: SimDuration,
 ) -> ReplayReport {
+    sim.reserve_events(event_estimate(trace));
     replay_bunches(
         sim,
         trace.bunches.iter().map(|b| (b.timestamp, b.ios.as_slice())),
@@ -204,6 +216,8 @@ pub fn replay_afap(
     let started = sim.now();
     let capacity = sim.data_capacity_sectors();
     let depth = depth.max(1);
+    // Closed loop: pending events track the configured depth, not the trace.
+    sim.reserve_events(depth.saturating_mul(4).clamp(64, 65_536));
     let mut skipped = 0u64;
     let mut issued_ios = 0u64;
     let mut issued_bytes = 0u64;

@@ -15,13 +15,14 @@
 
 use crate::cache::{CacheConfig, ControllerCache};
 use crate::device::{Device, DeviceModel, DiskOp, ServicePlan};
+use crate::equeue::{CalendarQueue, EventQueue};
 use crate::error::SimError;
-use crate::powerlog::ArrayPowerLog;
-use crate::raid::{DiskExtent, Geometry};
+use crate::powerlog::{ArrayPowerLog, PowerTimeline};
+use crate::raid::{extents_disk_mask, DiskExtent, Geometry};
+use crate::soa::{ReqStore, Slot, F_COMPLETED_EARLY};
 use crate::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use tracer_trace::OpKind;
 
 /// Identifier of a submitted request, unique within one simulator.
@@ -205,11 +206,6 @@ impl ArrayStats {
     }
 }
 
-/// Index of a request's slot in the [`ReqSlab`]. Slots are recycled, so a
-/// slot is only meaningful while its request is in flight; the public
-/// monotone [`RequestId`] lives inside the [`ReqState`].
-type Slot = u32;
-
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Event {
     /// A request reaches the controller.
@@ -224,81 +220,6 @@ enum Event {
     SpinDownCheck { disk: usize, since: SimTime },
     /// Launch the next stripe-reconstruction job of a rebuild pass.
     RebuildNext,
-}
-
-#[derive(Debug)]
-struct ReqState {
-    /// Public id handed out by `submit` (monotone for the simulator's life).
-    id: RequestId,
-    req: ArrayRequest,
-    submitted: SimTime,
-    /// Remaining phases, front first. Each phase is a set of extents that may
-    /// run concurrently; the next phase starts when the current one drains.
-    phases: VecDeque<Vec<DiskExtent>>,
-    /// Outstanding extents of the current phase.
-    outstanding: usize,
-    /// XOR time not yet charged: spent at the phase boundary when there is
-    /// one (RMW), otherwise on the completion path (degraded reads).
-    xor_pending: SimDuration,
-    /// Completion already reported (write-back ack); remaining phases are
-    /// background destage work.
-    completed_early: bool,
-    /// Internal traffic (rebuild jobs): no host link, no completion record.
-    internal: bool,
-}
-
-/// Slab store for in-flight request state.
-///
-/// Request ids grow without bound over a simulation, but only a bounded
-/// window is ever in flight, so state lives in a `Vec` indexed by recycled
-/// slot numbers (retired slots go on a free list). Every per-event lookup is
-/// a direct index — no hashing anywhere on the DES hot path — and memory is
-/// bounded by the maximum concurrency, not the request count.
-#[derive(Debug, Default)]
-struct ReqSlab {
-    slots: Vec<Option<ReqState>>,
-    free: Vec<Slot>,
-    live: usize,
-}
-
-impl ReqSlab {
-    fn insert(&mut self, state: ReqState) -> Slot {
-        self.live += 1;
-        match self.free.pop() {
-            Some(slot) => {
-                debug_assert!(self.slots[slot as usize].is_none());
-                self.slots[slot as usize] = Some(state);
-                slot
-            }
-            None => {
-                self.slots.push(Some(state));
-                Slot::try_from(self.slots.len() - 1).expect("more than u32::MAX requests in flight")
-            }
-        }
-    }
-
-    fn remove(&mut self, slot: Slot) -> ReqState {
-        let state = self.slots[slot as usize].take().expect("remove of vacant request slot");
-        self.free.push(slot);
-        self.live -= 1;
-        state
-    }
-
-    fn get(&self, slot: Slot) -> Option<&ReqState> {
-        self.slots[slot as usize].as_ref()
-    }
-
-    fn get_mut(&mut self, slot: Slot) -> Option<&mut ReqState> {
-        self.slots[slot as usize].as_mut()
-    }
-
-    fn is_empty(&self) -> bool {
-        self.live == 0
-    }
-
-    fn len(&self) -> usize {
-        self.live
-    }
 }
 
 /// A member disk's pending foreground ops, organised for its discipline.
@@ -378,6 +299,9 @@ struct DesObs {
     published_dispatches: u64,
     published_hits: u64,
     published_wraps: u64,
+    published_rollovers: u64,
+    published_spills: u64,
+    published_waves: u64,
 }
 
 /// Record `des.queue_depth` on one dispatch in this many (power of two).
@@ -401,6 +325,9 @@ impl DesObs {
                 published_dispatches: 0,
                 published_hits: 0,
                 published_wraps: 0,
+                published_rollovers: 0,
+                published_spills: 0,
+                published_waves: 0,
             })
         })
     }
@@ -415,12 +342,20 @@ pub struct ArraySim {
     busy: Vec<bool>,
     idle_since: Vec<SimTime>,
     last_sector: Vec<u64>,
-    events: BinaryHeap<Reverse<(SimTime, u64, EventSlot)>>,
+    events: CalendarQueue<Event>,
     seq: u64,
-    requests: ReqSlab,
-    /// Retired `phases` deques, kept warm so steady-state requests allocate
-    /// no fresh container per arrival.
-    phase_pool: Vec<VecDeque<Vec<DiskExtent>>>,
+    requests: ReqStore,
+    /// Per-disk conservative lookahead: a disk dispatching at `t` cannot
+    /// produce an event before `t + lookahead[disk]` (device lower bound).
+    lookahead: Vec<SimDuration>,
+    /// Wave lanes used by `run_until`/`run_to_idle` when > 1 (see
+    /// [`ArraySim::with_parallelism`]).
+    parallelism: usize,
+    /// Disks touched by the phase being fanned out (reused across events so
+    /// `on_phase_ready` allocates nothing in steady state).
+    scratch_disks: Vec<usize>,
+    /// Waves executed (a wave covers ≥ 2 events; serial steps count 0).
+    waves: u64,
     next_id: RequestId,
     now: SimTime,
     link_busy_until: SimTime,
@@ -443,20 +378,58 @@ struct RebuildState {
     inflight: Option<RequestId>,
 }
 
-/// `Event` wrapped for heap ordering (events compare only by time and seq).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct EventSlot(Event);
-
-impl PartialOrd for EventSlot {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
+/// Per-disk state a wave lane owns exclusively while it services one
+/// `DiskFree` event: the zipped `&mut` bundles are disjoint by construction
+/// (one lane per distinct disk), so lanes may run on separate threads.
+struct Lane<'a> {
+    disk: usize,
+    at: SimTime,
+    discipline: QueueDiscipline,
+    device: &'a mut Device,
+    queue: &'a mut DeviceQueue,
+    background: &'a mut VecDeque<(Slot, DiskOp)>,
+    busy: &'a mut bool,
+    idle_since: &'a mut SimTime,
+    last_sector: &'a mut u64,
+    timeline: &'a mut PowerTimeline,
+    out: LaneOut,
 }
 
-impl Ord for EventSlot {
-    fn cmp(&self, _other: &Self) -> std::cmp::Ordering {
-        std::cmp::Ordering::Equal
+/// What a lane hands back for the serial merge.
+#[derive(Debug, Clone, Copy, Default)]
+struct LaneOut {
+    /// `(slot, service time)` of the op the lane dispatched, if any.
+    dispatched: Option<(Slot, SimDuration)>,
+    /// Physical bytes the dispatched op moves.
+    bytes: u64,
+}
+
+/// Mirror of the dispatch half of `on_disk_free` + `try_dispatch`, restricted
+/// to per-disk state. Runs on lane threads, so it must not touch anything
+/// outside the [`Lane`] — the controller-side half (outstanding bookkeeping,
+/// event scheduling, global stats) happens at the serial merge.
+fn run_lane(lane: &mut Lane<'_>) {
+    *lane.busy = false;
+    *lane.idle_since = lane.at;
+    let head = *lane.last_sector;
+    let Some((slot, op)) =
+        lane.queue.pop(lane.discipline, head).or_else(|| lane.background.pop_front())
+    else {
+        return;
+    };
+    *lane.busy = true;
+    let plan = lane.device.service(&op);
+    let mut t = lane.at;
+    for phase in &plan.phases {
+        if phase.duration.is_zero() {
+            continue;
+        }
+        lane.timeline.set(t, phase.watts);
+        t += phase.duration;
     }
+    lane.timeline.set(t, lane.device.idle_watts());
+    *lane.last_sector = op.sector + op.sectors;
+    lane.out = LaneOut { dispatched: Some((slot, plan.total_duration())), bytes: op.bytes() };
 }
 
 impl ArraySim {
@@ -471,6 +444,7 @@ impl ArraySim {
             cfg.geometry.disks
         );
         let idle: Vec<f64> = devices.iter().map(|d| d.idle_watts()).collect();
+        let lookahead: Vec<SimDuration> = devices.iter().map(|d| d.min_service_time()).collect();
         let n = devices.len();
         let mut sim = Self {
             power: ArrayPowerLog::new(cfg.chassis_watts, &idle),
@@ -482,10 +456,13 @@ impl ArraySim {
             busy: vec![false; n],
             idle_since: vec![SimTime::ZERO; n],
             last_sector: vec![0; n],
-            events: BinaryHeap::with_capacity(1024),
+            events: CalendarQueue::new(),
             seq: 0,
-            requests: ReqSlab::default(),
-            phase_pool: Vec::new(),
+            requests: ReqStore::default(),
+            lookahead,
+            parallelism: 1,
+            scratch_disks: Vec::new(),
+            waves: 0,
             next_id: 0,
             now: SimTime::ZERO,
             link_busy_until: SimTime::ZERO,
@@ -512,6 +489,43 @@ impl ArraySim {
     /// Controller-cache view (hit/miss counters), when a cache is configured.
     pub fn cache(&self) -> Option<&ControllerCache> {
         self.cache.as_ref()
+    }
+
+    /// Enable conservative per-disk parallel simulation with up to `n` lanes
+    /// (clamped to ≥ 1). `run_until` and `run_to_idle` then execute *waves* —
+    /// maximal runs of independent `DiskFree` events on distinct disks within
+    /// the stripe-derived lookahead horizon — with the per-disk halves on
+    /// worker threads and the controller merge serial, in event order.
+    ///
+    /// Results are byte-identical to serial at any `n` **by construction**:
+    /// a wave only ever contains events whose handlers touch disjoint
+    /// per-disk state, the merge replays their controller side in exactly
+    /// the serial `(time, seq)` order, and any event that could interact
+    /// (phase completions, controller events, spin-down timers, op-log or
+    /// live-obs instrumentation, arrays past 64 members) falls back to the
+    /// serial path. `n = 1` *is* the serial engine.
+    pub fn with_parallelism(mut self, n: usize) -> Self {
+        self.parallelism = n.max(1);
+        self
+    }
+
+    /// The configured wave-lane count (1 = serial).
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
+    }
+
+    /// Waves executed so far (each covered ≥ 2 events in one merge).
+    pub fn waves(&self) -> u64 {
+        self.waves
+    }
+
+    /// Size the event queue for roughly `expected` concurrently pending
+    /// events. Replay engines know the plan's bunch count up front; passing
+    /// it here lets the calendar pre-size its bucket array instead of
+    /// growing through O(log n) doublings mid-run. Purely a hint — results
+    /// never depend on it.
+    pub fn reserve_events(&mut self, expected: usize) {
+        self.events.reserve_events(expected);
     }
 
     /// Start recording every dispatched device op (diagnostics; unbounded
@@ -661,35 +675,13 @@ impl ArraySim {
         } else {
             SimDuration::ZERO
         };
-        let mut phases = self.take_phases();
-        phases.push_back(reads);
-        phases.push_back(writes);
-        let slot = self.requests.insert(ReqState {
-            id,
-            req: ArrayRequest::new(0, tracer_trace::SECTOR_BYTES as u32, OpKind::Write),
-            submitted: self.now,
-            phases,
-            outstanding: 0,
-            xor_pending,
-            completed_early: false,
-            internal: true,
-        });
+        let req = ArrayRequest::new(0, tracer_trace::SECTOR_BYTES as u32, OpKind::Write);
+        let slot = self.requests.insert(id, req, self.now, true);
+        let i = slot as usize;
+        self.requests.xor_pending[i] = xor_pending;
+        self.requests.phases[i].push_back(reads);
+        self.requests.phases[i].push_back(writes);
         self.schedule(self.now, Event::PhaseReady(slot));
-    }
-
-    /// A warm (empty, pre-sized) phase deque from the pool.
-    fn take_phases(&mut self) -> VecDeque<Vec<DiskExtent>> {
-        self.phase_pool.pop().unwrap_or_else(|| VecDeque::with_capacity(2))
-    }
-
-    /// Retire a request slot and return its phase deque to the pool.
-    fn retire(&mut self, slot: Slot) -> ReqState {
-        let mut state = self.requests.remove(slot);
-        debug_assert!(state.phases.is_empty(), "retired request still has phases");
-        if self.phase_pool.len() < 64 {
-            self.phase_pool.push(std::mem::take(&mut state.phases));
-        }
-        state
     }
 
     /// The array configuration.
@@ -741,33 +733,26 @@ impl ArraySim {
         }
         let id = self.next_id;
         self.next_id += 1;
-        // An empty `VecDeque` does not allocate; the warm deque is attached
-        // at arrival, when the phases are planned.
-        let slot = self.requests.insert(ReqState {
-            id,
-            req,
-            submitted: at,
-            phases: VecDeque::new(),
-            outstanding: 0,
-            xor_pending: SimDuration::ZERO,
-            completed_early: false,
-            internal: false,
-        });
+        // The slot's retained phase deque is filled at arrival, when the
+        // phases are planned.
+        let slot = self.requests.insert(id, req, at, false);
         self.schedule(at, Event::Arrival(slot));
         Ok(id)
     }
 
     /// Instant of the next pending event, if any.
     pub fn next_event_time(&self) -> Option<SimTime> {
-        self.events.peek().map(|Reverse((t, _, _))| *t)
+        self.events.peek_time()
     }
 
-    /// Process a single event. Returns `false` when no events remain.
+    /// Process a single event (always serially, whatever the parallelism —
+    /// single-stepping is the debugging/inspection interface). Returns
+    /// `false` when no events remain.
     pub fn step(&mut self) -> bool {
-        let Some(Reverse((t, _, EventSlot(ev)))) = self.events.pop() else {
+        let Some((t, _, ev)) = self.events.pop() else {
             return false;
         };
-        debug_assert!(t >= self.now, "event heap went backwards");
+        debug_assert!(t >= self.now, "event queue went backwards");
         self.now = t;
         self.events_processed += 1;
         self.handle(ev);
@@ -794,6 +779,9 @@ impl ArraySim {
             ("des.dispatches", self.stats.disk_ops, &mut obs.published_dispatches),
             ("des.elevator_hits", hits, &mut obs.published_hits),
             ("des.elevator_wraps", wraps, &mut obs.published_wraps),
+            ("des.equeue_rollovers", self.events.rollovers(), &mut obs.published_rollovers),
+            ("des.equeue_spills", self.events.ladder_spills(), &mut obs.published_spills),
+            ("des.waves", self.waves, &mut obs.published_waves),
         ];
         for (name, current, published) in pairs {
             if current > *published {
@@ -805,20 +793,28 @@ impl ArraySim {
 
     /// Process every event up to and including `t`, then set the clock to `t`.
     pub fn run_until(&mut self, t: SimTime) {
-        while let Some(next) = self.next_event_time() {
-            if next > t {
-                break;
+        if self.parallelism > 1 {
+            while self.step_wave(Some(t)) {}
+        } else {
+            while let Some((at, _, ev)) = self.events.pop_at_or_before(t) {
+                debug_assert!(at >= self.now, "event queue went backwards");
+                self.now = at;
+                self.events_processed += 1;
+                self.handle(ev);
             }
-            self.step();
         }
         if t > self.now {
             self.now = t;
         }
     }
 
-    /// Run until the event heap drains (all submitted work finished).
+    /// Run until the event queue drains (all submitted work finished).
     pub fn run_to_idle(&mut self) {
-        while self.step() {}
+        if self.parallelism > 1 {
+            while self.step_wave(None) {}
+        } else {
+            while self.step() {}
+        }
     }
 
     /// Take the completions recorded so far (in completion-time order).
@@ -833,7 +829,7 @@ impl ArraySim {
 
     fn schedule(&mut self, at: SimTime, ev: Event) {
         self.seq += 1;
-        self.events.push(Reverse((at, self.seq, EventSlot(ev))));
+        self.events.schedule(at, self.seq, ev);
     }
 
     fn handle(&mut self, ev: Event) {
@@ -848,7 +844,8 @@ impl ArraySim {
     }
 
     fn on_arrival(&mut self, slot: Slot) {
-        let req = self.requests.get(slot).expect("arrival for unknown request").req;
+        debug_assert!(self.requests.occupied(slot), "arrival for unknown request");
+        let req = self.requests.request(slot);
 
         // Controller cache lookup first: full read hits never reach disks;
         // write-back writes are acknowledged at the end of the link transfer
@@ -890,15 +887,14 @@ impl ArraySim {
         } else {
             SimDuration::ZERO
         };
-        let mut phases = self.take_phases();
+        let i = slot as usize;
+        let phases = &mut self.requests.phases[i];
+        debug_assert!(phases.is_empty(), "arrival into a slot with phases");
         if !plan.pre_reads.is_empty() {
             phases.push_back(plan.pre_reads);
         }
         phases.push_back(plan.ops);
-
-        let state = self.requests.get_mut(slot).expect("arrival for unknown request");
-        state.phases = phases;
-        state.xor_pending = xor_time;
+        self.requests.xor_pending[i] = xor_time;
         self.schedule(ready, Event::PhaseReady(slot));
         if write_back_ack {
             // The host sees the write complete once the payload is in cache.
@@ -907,14 +903,20 @@ impl ArraySim {
     }
 
     fn on_phase_ready(&mut self, slot: Slot) {
-        let state = self.requests.get_mut(slot).expect("phase for unknown request");
-        let phase = state.phases.pop_front().expect("phase ready with no phases");
-        state.outstanding = phase.len();
-        debug_assert!(state.outstanding > 0, "empty phase");
+        let i = slot as usize;
+        debug_assert!(self.requests.occupied(slot), "phase for unknown request");
+        let phase = self.requests.phases[i].pop_front().expect("phase ready with no phases");
+        debug_assert!(!phase.is_empty(), "empty phase");
+        self.requests.outstanding[i] = phase.len() as u32;
+        self.requests.disk_mask[i] = extents_disk_mask(&phase);
         // Internal (rebuild) work queues behind foreground traffic.
-        let background = state.internal;
+        let background = self.requests.internal(slot);
         let discipline = self.cfg.queue_discipline;
-        let mut disks_touched = Vec::with_capacity(phase.len());
+        // The scratch buffer preserves extent order for the dispatch sweep
+        // (dispatch order assigns event seqs, so it is determinism-bearing)
+        // without allocating per phase.
+        let mut touched = std::mem::take(&mut self.scratch_disks);
+        touched.clear();
         for ext in phase {
             let op = DiskOp::new(ext.sector, ext.sectors, ext.kind);
             if background {
@@ -922,11 +924,12 @@ impl ArraySim {
             } else {
                 self.queues[ext.disk].push(discipline, slot, op);
             }
-            disks_touched.push(ext.disk);
+            touched.push(ext.disk);
         }
-        for disk in disks_touched {
+        for &disk in &touched {
             self.try_dispatch(disk);
         }
+        self.scratch_disks = touched;
     }
 
     fn try_dispatch(&mut self, disk: usize) {
@@ -967,7 +970,7 @@ impl ArraySim {
         self.stats.busy_ns[disk] += dur.as_nanos();
         self.last_sector[disk] = op.sector + op.sectors;
         if let Some(log) = self.op_log.as_mut() {
-            let request = self.requests.get(slot).expect("dispatch for unknown request").id;
+            let request = self.requests.id[slot as usize];
             log.push(OpRecord {
                 request,
                 disk,
@@ -1006,24 +1009,31 @@ impl ArraySim {
             }
         }
 
-        let state = self.requests.get_mut(slot).expect("completion for unknown request");
-        debug_assert!(state.outstanding > 0);
-        state.outstanding -= 1;
-        if state.outstanding > 0 {
+        let i = slot as usize;
+        debug_assert!(self.requests.occupied(slot), "completion for unknown request");
+        debug_assert!(self.requests.outstanding[i] > 0);
+        debug_assert!(
+            disk >= 64 || self.requests.disk_mask[i] & (1 << disk) != 0,
+            "disk free outside the phase's disk mask"
+        );
+        self.requests.outstanding[i] -= 1;
+        if self.requests.outstanding[i] > 0 {
             return;
         }
-        if state.phases.is_empty() {
-            if state.completed_early {
+        let xor = self.requests.xor_pending[i];
+        self.requests.xor_pending[i] = SimDuration::ZERO;
+        if self.requests.phases[i].is_empty() {
+            if self.requests.completed_early(slot) {
                 // Write-back destage finished; the host was acked earlier.
-                self.retire(slot);
+                self.requests.retire(slot);
                 return;
             }
             // Final phase done. Any uncharged XOR time (degraded-read
             // reconstruction) is spent now; reads then stream back over the
             // link.
-            let after_xor = self.now + std::mem::take(&mut state.xor_pending);
-            let done = if state.req.kind.is_read() && !state.internal {
-                let bytes = u64::from(state.req.bytes);
+            let after_xor = self.now + xor;
+            let done = if self.requests.kind[i].is_read() && !self.requests.internal(slot) {
+                let bytes = u64::from(self.requests.bytes[i]);
                 self.reserve_link(after_xor, bytes)
             } else {
                 after_xor
@@ -1031,14 +1041,17 @@ impl ArraySim {
             self.schedule(done, Event::RequestDone(slot));
         } else {
             // Parity computation separates the RMW read and write phases.
-            let at = self.now + std::mem::take(&mut state.xor_pending);
+            let at = self.now + xor;
             self.schedule(at, Event::PhaseReady(slot));
         }
     }
 
     fn on_request_done(&mut self, slot: Slot) {
-        if self.requests.get(slot).is_some_and(|s| s.internal) {
-            let id = self.retire(slot).id;
+        let i = slot as usize;
+        debug_assert!(self.requests.occupied(slot), "done for unknown request");
+        if self.requests.internal(slot) {
+            let id = self.requests.id[i];
+            self.requests.retire(slot);
             let Some(rb) = self.rebuild.as_mut() else { return };
             debug_assert_eq!(rb.inflight, Some(id));
             rb.inflight = None;
@@ -1051,21 +1064,20 @@ impl ArraySim {
             }
             return;
         }
-        let state = self.requests.get_mut(slot).expect("done for unknown request");
         let record = Completion {
-            id: state.id,
-            submitted: state.submitted,
+            id: self.requests.id[i],
+            submitted: self.requests.submitted[i],
             completed: self.now,
-            bytes: state.req.bytes,
-            kind: state.req.kind,
+            bytes: self.requests.bytes[i],
+            kind: self.requests.kind[i],
         };
         // A write-back ack fires while destage phases are still pending: keep
         // the state so the background work can drain, but report completion
         // now.
-        if state.outstanding > 0 || !state.phases.is_empty() {
-            state.completed_early = true;
+        if self.requests.outstanding[i] > 0 || !self.requests.phases[i].is_empty() {
+            self.requests.flags[i] |= F_COMPLETED_EARLY;
         } else {
-            self.retire(slot);
+            self.requests.retire(slot);
         }
         self.stats.requests_completed += 1;
         self.stats.logical_bytes += u64::from(record.bytes);
@@ -1088,6 +1100,185 @@ impl ArraySim {
         let dur = SimDuration::from_secs_f64(bytes as f64 / (self.cfg.link_mbps * 1e6));
         self.link_busy_until = start + dur;
         self.link_busy_until
+    }
+
+    /// Whether waves may form at all. Each excluded feature has a handler
+    /// side effect that could interleave with a later wave member in serial
+    /// order: spin-down checks schedule timers at `t + after`, the op log
+    /// records dispatch order globally, live obs samples 1-in-64 dispatches,
+    /// and arrays past 64 members overflow the wave's disk bitmask.
+    fn wave_capable(&self) -> bool {
+        self.parallelism > 1
+            && self.devices.len() <= 64
+            && self.cfg.spin_down_after.is_none()
+            && self.op_log.is_none()
+            && self.obs.is_none()
+    }
+
+    /// Process the next event — as the head of a parallel wave when it is a
+    /// `DiskFree` whose neighbours commute, serially otherwise. Returns
+    /// `false` when no event remains at or before `bound`.
+    ///
+    /// A wave is a maximal run of consecutive events in `(time, seq)` order
+    /// that are all `DiskFree`s on *distinct* disks, none of which completes
+    /// its request's phase, within the conservative horizon
+    /// `min over accepted (tᵢ + lookahead(diskᵢ))`. Those handlers touch
+    /// disjoint per-disk state plus controller bookkeeping that
+    /// [`ArraySim::run_wave`] replays serially in the same order, so the
+    /// result is byte-identical to stepping them one by one.
+    fn step_wave(&mut self, bound: Option<SimTime>) -> bool {
+        let first = match bound {
+            Some(b) => self.events.pop_at_or_before(b),
+            None => self.events.pop(),
+        };
+        let Some((t0, _, ev0)) = first else {
+            return false;
+        };
+        debug_assert!(t0 >= self.now, "event queue went backwards");
+        let (disk0, slot0) = match ev0 {
+            // A `DiskFree` that would drop its request's outstanding count to
+            // zero schedules `PhaseReady`/`RequestDone` — possibly at times
+            // before later wave members — so it is a wave barrier.
+            Event::DiskFree { disk, slot }
+                if self.wave_capable() && self.requests.outstanding[slot as usize] > 1 =>
+            {
+                (disk, slot)
+            }
+            _ => {
+                self.now = t0;
+                self.events_processed += 1;
+                self.handle(ev0);
+                return true;
+            }
+        };
+
+        let mut wave: Vec<(SimTime, usize, Slot)> = vec![(t0, disk0, slot0)];
+        let mut mask: u64 = 1 << disk0;
+        let mut horizon = t0 + self.lookahead[disk0];
+        loop {
+            let limit = match bound {
+                Some(b) if b < horizon => b,
+                _ => horizon,
+            };
+            let Some((t, seq, ev)) = self.events.pop_at_or_before(limit) else { break };
+            let accept = match ev {
+                Event::DiskFree { disk, slot } if mask & (1 << disk) == 0 => {
+                    // Earlier members of this wave also decrement the slot:
+                    // count them so the *cumulative* decrement still leaves
+                    // the phase incomplete.
+                    let dups = wave.iter().filter(|&&(_, _, s)| s == slot).count() as u32;
+                    self.requests.outstanding[slot as usize] > dups + 1
+                }
+                _ => false,
+            };
+            if !accept {
+                // First ineligible event: put it back under its ORIGINAL seq
+                // so it stays exactly where serial order had it.
+                self.events.schedule(t, seq, ev);
+                break;
+            }
+            let Event::DiskFree { disk, slot } = ev else { unreachable!() };
+            mask |= 1 << disk;
+            let h = t + self.lookahead[disk];
+            if h < horizon {
+                horizon = h;
+            }
+            wave.push((t, disk, slot));
+        }
+
+        if wave.len() == 1 {
+            self.now = t0;
+            self.events_processed += 1;
+            self.on_disk_free(disk0, slot0);
+        } else {
+            self.run_wave(&wave);
+        }
+        true
+    }
+
+    /// Execute a wave: per-disk halves ([`run_lane`]) on up to
+    /// `parallelism` threads, then the controller merge serially in wave
+    /// (= serial event) order. The merge performs exactly one `schedule`
+    /// call per dispatching lane, in wave order, so seq assignment — and
+    /// therefore every downstream tie-break — matches serial execution.
+    fn run_wave(&mut self, wave: &[(SimTime, usize, Slot)]) {
+        self.waves += 1;
+        let mut at_by_disk = [SimTime::ZERO; 64];
+        let mut mask = 0u64;
+        for &(t, disk, _) in wave {
+            at_by_disk[disk] = t;
+            mask |= 1 << disk;
+        }
+        let discipline = self.cfg.queue_discipline;
+        let mut lanes: Vec<Lane<'_>> = self
+            .devices
+            .iter_mut()
+            .zip(self.queues.iter_mut())
+            .zip(self.background_queues.iter_mut())
+            .zip(self.busy.iter_mut())
+            .zip(self.idle_since.iter_mut())
+            .zip(self.last_sector.iter_mut())
+            .zip(self.power.devices.iter_mut())
+            .enumerate()
+            .filter(|&(disk, _)| mask & (1 << disk) != 0)
+            .map(
+                |(
+                    disk,
+                    ((((((device, queue), background), busy), idle_since), last_sector), timeline),
+                )| Lane {
+                    disk,
+                    at: at_by_disk[disk],
+                    discipline,
+                    device,
+                    queue,
+                    background,
+                    busy,
+                    idle_since,
+                    last_sector,
+                    timeline,
+                    out: LaneOut::default(),
+                },
+            )
+            .collect();
+
+        let workers = self.parallelism.min(lanes.len());
+        if workers > 1 {
+            let chunk = lanes.len().div_ceil(workers);
+            std::thread::scope(|s| {
+                for chunk_lanes in lanes.chunks_mut(chunk) {
+                    s.spawn(move || {
+                        for lane in chunk_lanes {
+                            run_lane(lane);
+                        }
+                    });
+                }
+            });
+        } else {
+            for lane in &mut lanes {
+                run_lane(lane);
+            }
+        }
+        // Copy out the lane results; dropping the lanes ends their borrows.
+        let outs: Vec<(usize, LaneOut)> = lanes.into_iter().map(|l| (l.disk, l.out)).collect();
+
+        for &(t, disk, slot) in wave {
+            self.now = t;
+            self.events_processed += 1;
+            let out = outs.iter().find(|&&(d, _)| d == disk).map(|&(_, o)| o).unwrap_or_default();
+            if let Some((dslot, dur)) = out.dispatched {
+                self.stats.disk_ops += 1;
+                self.stats.physical_bytes += out.bytes;
+                self.stats.busy_ns[disk] += dur.as_nanos();
+                self.schedule(t + dur, Event::DiskFree { disk, slot: dslot });
+            }
+            let i = slot as usize;
+            debug_assert!(self.requests.outstanding[i] > 0);
+            self.requests.outstanding[i] -= 1;
+            debug_assert!(
+                self.requests.outstanding[i] > 0,
+                "a wave member completed its phase — eligibility check is broken"
+            );
+        }
     }
 }
 
@@ -1713,10 +1904,58 @@ mod tests {
         assert_eq!(*ids.last().unwrap(), 499);
         assert!(sim.requests.is_empty());
         assert!(
-            sim.requests.slots.len() < 64,
-            "slab grew to {} slots for a shallow queue",
-            sim.requests.slots.len()
+            sim.requests.slot_count() < 64,
+            "store grew to {} slots for a shallow queue",
+            sim.requests.slot_count()
         );
+    }
+
+    #[test]
+    fn parallelism_builder_clamps_and_reports() {
+        let sim = small_hdd_array(4).with_parallelism(0);
+        assert_eq!(sim.parallelism(), 1);
+        let sim = small_hdd_array(4).with_parallelism(4);
+        assert_eq!(sim.parallelism(), 4);
+        assert_eq!(sim.waves(), 0);
+    }
+
+    #[test]
+    fn parallel_run_forms_waves_on_wide_reads() {
+        // A full-stripe read fans out to every member; the resulting
+        // same-phase DiskFrees are wave candidates.
+        let mut serial = small_hdd_array(6);
+        let mut parallel = small_hdd_array(6).with_parallelism(2);
+        for sim in [&mut serial, &mut parallel] {
+            let mut at = SimTime::ZERO;
+            for i in 0..50u64 {
+                at += SimDuration::from_millis(2);
+                sim.submit(at, ArrayRequest::new(i * 2048, 512 * 1024, OpKind::Read)).unwrap();
+            }
+            sim.run_to_idle();
+        }
+        assert!(parallel.waves() > 0, "wide reads never formed a wave");
+        assert_eq!(serial.events_processed(), parallel.events_processed());
+        assert_eq!(serial.drain_completions(), parallel.drain_completions());
+        assert_eq!(serial.stats().busy_ns, parallel.stats().busy_ns);
+    }
+
+    #[test]
+    fn reserve_events_is_behaviour_neutral() {
+        let mut a = small_hdd_array(4);
+        let mut b = small_hdd_array(4);
+        b.reserve_events(8192);
+        for sim in [&mut a, &mut b] {
+            for i in 0..20u64 {
+                sim.submit(
+                    SimTime::from_millis(i),
+                    ArrayRequest::new(i * 4096, 64 * 1024, OpKind::Write),
+                )
+                .unwrap();
+            }
+            sim.run_to_idle();
+        }
+        assert_eq!(a.drain_completions(), b.drain_completions());
+        assert_eq!(a.events_processed(), b.events_processed());
     }
 
     /// Reference implementation: the previous O(n) C-LOOK scan over a

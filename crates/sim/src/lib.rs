@@ -39,11 +39,13 @@ pub mod array;
 pub mod cache;
 pub mod calibrate;
 pub mod device;
+pub mod equeue;
 pub mod error;
 pub mod hdd;
 pub mod powerlog;
 pub mod presets;
 pub mod raid;
+pub(crate) mod soa;
 pub mod ssd;
 pub mod time;
 

@@ -1,0 +1,186 @@
+//! Differential oracle for conservative parallel simulation: for every
+//! scenario, `ArraySim::with_parallelism(n)` must produce **byte-identical**
+//! results to the serial engine — same completions, same aggregate stats,
+//! same per-device power timelines, same event count. This mirrors the
+//! elevator-vs-scan oracle pattern: the serial engine is the specification,
+//! the wave engine is the optimisation under test.
+//!
+//! Determinism here is load-bearing for the whole workspace: sweep reports
+//! hash these outputs, and the fleet protocol assumes any worker reproduces
+//! any other worker's rows exactly.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use tracer_sim::device::OpKind;
+use tracer_sim::{
+    presets, ArrayRequest, ArraySim, CacheConfig, QueueDiscipline, SimDuration, SimTime,
+};
+
+/// Everything observable about a finished run, gathered for comparison.
+#[derive(Debug, PartialEq)]
+struct Snapshot {
+    completions: Vec<tracer_sim::Completion>,
+    stats: tracer_sim::ArrayStats,
+    device_power: Vec<tracer_sim::PowerTimeline>,
+    events_processed: u64,
+    now: SimTime,
+}
+
+fn snapshot(sim: &mut ArraySim) -> Snapshot {
+    Snapshot {
+        completions: sim.drain_completions(),
+        stats: sim.stats().clone(),
+        device_power: sim.power_log().devices.clone(),
+        events_processed: sim.events_processed(),
+        now: sim.now(),
+    }
+}
+
+/// Drive `workload` over a serial sim and over parallel sims at lane counts
+/// 2 and 4; assert all three observations are identical.
+fn assert_identical(
+    label: &str,
+    mut build: impl FnMut() -> ArraySim,
+    mut workload: impl FnMut(&mut ArraySim),
+) {
+    let mut serial = build();
+    workload(&mut serial);
+    let expect = snapshot(&mut serial);
+    for lanes in [2usize, 4] {
+        let mut par = build().with_parallelism(lanes);
+        workload(&mut par);
+        let got = snapshot(&mut par);
+        assert_eq!(
+            expect,
+            got,
+            "{label}: parallelism {lanes} diverged from serial (waves = {})",
+            par.waves()
+        );
+    }
+}
+
+/// A seeded random mix of reads and writes submitted on a fixed cadence.
+fn random_mix(sim: &mut ArraySim, seed: u64, count: u64, read_ratio: f64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cap = sim.data_capacity_sectors();
+    let mut at = SimTime::ZERO;
+    for _ in 0..count {
+        at += SimDuration::from_micros(rng.random_range(50u64..5_000));
+        let kind = if rng.random::<f64>() < read_ratio { OpKind::Read } else { OpKind::Write };
+        let bytes =
+            *[4096u32, 65_536, 262_144, 1_048_576].get(rng.random_range(0..4usize)).unwrap();
+        let sectors = u64::from(bytes).div_ceil(512);
+        let sector = rng.random_range(0..cap - sectors);
+        sim.submit(at, ArrayRequest::new(sector, bytes, kind)).unwrap();
+        // Interleave stepping so the queue carries realistic depth.
+        if rng.random::<f64>() < 0.3 {
+            sim.run_until(at);
+        }
+    }
+    sim.run_to_idle();
+}
+
+#[test]
+fn hdd_fifo_random_mix_is_byte_identical() {
+    assert_identical("hdd fifo", || presets::hdd_raid5(6), |sim| random_mix(sim, 7, 300, 0.7));
+}
+
+#[test]
+fn hdd_elevator_random_mix_is_byte_identical() {
+    let build = || {
+        let (mut cfg, devices) = presets::hdd_raid5_parts(8);
+        cfg.queue_discipline = QueueDiscipline::Elevator;
+        ArraySim::new(cfg, devices)
+    };
+    assert_identical("hdd elevator", build, |sim| random_mix(sim, 11, 300, 0.5));
+}
+
+#[test]
+fn ssd_array_random_mix_is_byte_identical() {
+    assert_identical("ssd", || presets::ssd_raid5(5), |sim| random_mix(sim, 13, 300, 0.4));
+}
+
+#[test]
+fn write_back_cache_destage_is_byte_identical() {
+    let build = || {
+        let (mut cfg, devices) = presets::hdd_raid5_parts(6);
+        cfg.cache =
+            Some(CacheConfig { size_bytes: 16 << 20, line_bytes: 64 * 1024, write_back: true });
+        ArraySim::new(cfg, devices)
+    };
+    assert_identical("write-back cache", build, |sim| random_mix(sim, 17, 250, 0.3));
+}
+
+#[test]
+fn degraded_array_is_byte_identical() {
+    let build = || {
+        let mut sim = presets::hdd_raid5(6);
+        sim.fail_disk(2);
+        sim
+    };
+    assert_identical("degraded raid5", build, |sim| random_mix(sim, 19, 200, 0.6));
+}
+
+#[test]
+fn full_stripe_bursts_form_waves_and_stay_identical() {
+    // Wide sequential reads fan a phase across every member: the densest
+    // wave-forming workload. Verify waves actually happened, then that they
+    // changed nothing observable.
+    let build = || presets::hdd_raid5(8);
+    let workload = |sim: &mut ArraySim| {
+        let mut at = SimTime::ZERO;
+        for i in 0..200u64 {
+            at += SimDuration::from_millis(1);
+            sim.submit(at, ArrayRequest::new(i * 14_336, 2 << 20, OpKind::Read)).unwrap();
+        }
+        sim.run_to_idle();
+    };
+
+    let mut serial = build();
+    workload(&mut serial);
+    let expect = snapshot(&mut serial);
+    assert_eq!(serial.waves(), 0, "serial engine must never form waves");
+
+    for lanes in [2usize, 4] {
+        let mut par = build().with_parallelism(lanes);
+        workload(&mut par);
+        let waves = par.waves();
+        let got = snapshot(&mut par);
+        assert!(waves > 0, "wide stripe reads formed no waves at parallelism {lanes}");
+        assert_eq!(expect, got, "parallelism {lanes} diverged from serial");
+    }
+}
+
+#[test]
+fn run_until_boundaries_do_not_change_results() {
+    // Chopping the same workload into many `run_until` windows must not
+    // change what a parallel engine computes: waves never cross the bound.
+    let submit_all = |sim: &mut ArraySim| {
+        let mut rng = StdRng::seed_from_u64(23);
+        let cap = sim.data_capacity_sectors();
+        for i in 0..150u64 {
+            let at = SimTime::from_micros(i * 800);
+            let sector = rng.random_range(0..cap - 2048);
+            sim.submit(at, ArrayRequest::new(sector, 512 * 1024, OpKind::Read)).unwrap();
+        }
+    };
+
+    let mut oneshot = presets::hdd_raid5(6).with_parallelism(4);
+    submit_all(&mut oneshot);
+    oneshot.run_to_idle();
+    let expect = snapshot(&mut oneshot);
+
+    let mut chopped = presets::hdd_raid5(6).with_parallelism(4);
+    submit_all(&mut chopped);
+    for ms in 1..400u64 {
+        chopped.run_until(SimTime::from_millis(ms));
+    }
+    chopped.run_to_idle();
+    let got = snapshot(&mut chopped);
+    // `now` differs (run_until advances the clock to each bound); everything
+    // observable about the workload must not.
+    assert_eq!(expect.completions, got.completions);
+    assert_eq!(expect.stats, got.stats);
+    assert_eq!(expect.device_power, got.device_power);
+    assert_eq!(expect.events_processed, got.events_processed);
+}
