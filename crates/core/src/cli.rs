@@ -11,7 +11,7 @@
 //! tracer replay    --repo DIR --rs BYTES --rn PCT --rd PCT --load PCT
 //!                  [--loads a,b,c|all] [--workers N] [--intensity PCT] [--array NAME]
 //! tracer sweep     --repo DIR [--modes N] [--seconds S] [--workers N] [--array NAME]
-//! tracer convert   --srt FILE --name NAME --repo DIR
+//! tracer convert   (--srt FILE | --file FILE) [--name NAME --repo DIR] [--v3]
 //! tracer stats     --name NAME --repo DIR
 //! tracer policies  [--seconds S]
 //! ```
@@ -134,14 +134,20 @@ pub enum Command {
         /// Append a `tracer-obs` instrumentation snapshot (JSON lines) here.
         obs: Option<PathBuf>,
     },
-    /// Convert an `.srt` file into the repository.
+    /// Convert a trace into the repository: an `.srt` source, or an existing
+    /// `.replay` file re-encoded (e.g. migrated to the v3 columnar format).
     Convert {
-        /// Source `.srt` path.
-        srt: PathBuf,
-        /// Name to store the converted trace under.
-        name: String,
-        /// Repository directory.
-        repo: PathBuf,
+        /// Source `.srt` path (exclusive with `file`).
+        srt: Option<PathBuf>,
+        /// Existing `.replay` file in any version (exclusive with `srt`).
+        /// Without `name`, the file is re-encoded in place.
+        file: Option<PathBuf>,
+        /// Name to store the converted trace under (required with `srt`).
+        name: Option<String>,
+        /// Repository directory (required with `name`).
+        repo: Option<PathBuf>,
+        /// Store in the v3 columnar format (mmap-backed zero-copy replay).
+        v3: bool,
     },
     /// Print statistics of a stored trace (Table III style), or summarize a
     /// `tracer-obs` snapshot written by `--obs`.
@@ -241,7 +247,7 @@ USAGE:
                   [--array ...] [--db FILE] [--afap DEPTH] [--obs FILE]
   tracer sweep    --repo DIR [--modes N] [--seconds S] [--workers N]
                   [--array hdd4|hdd6|ssd4] [--db FILE] [--obs FILE]
-  tracer convert  --srt FILE --name NAME --repo DIR
+  tracer convert  (--srt FILE | --file FILE) [--name NAME --repo DIR] [--v3]
   tracer stats    --name NAME --repo DIR | --obs FILE
   tracer policies [--seconds S] [--db FILE]
   tracer report   --db FILE
@@ -252,6 +258,11 @@ USAGE:
                   [--expect N --port N] [--obs FILE] [--serial REPO_DIR]
   tracer help
 
+Convert ingests an .srt source (--srt, named into a repository) or
+re-encodes an existing .replay file of any version (--file; in place
+unless --name/--repo give it a new home). With --v3 the output is the
+columnar v3 format, which replay maps and streams without decoding to
+heap — the repository negotiates the format transparently on load.
 Replay accepts --db FILE to append its record to a results database, and
 --loads (comma-separated percentages, or `all` for the paper's ten) to run
 a whole load sweep and print the accuracy table. Sweep replays every
@@ -281,8 +292,13 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         let Some(key) = flag.strip_prefix("--") else {
             return Err(CliError(format!("expected --flag, got {flag:?}")));
         };
-        let value = iter.next().ok_or_else(|| CliError(format!("flag --{key} needs a value")))?;
-        if flags.insert(key.to_string(), value.clone()).is_some() {
+        // Boolean switches take no value; everything else does.
+        let value = if key == "v3" {
+            "true".to_string()
+        } else {
+            iter.next().ok_or_else(|| CliError(format!("flag --{key} needs a value")))?.clone()
+        };
+        if flags.insert(key.to_string(), value).is_some() {
             return Err(CliError(format!("duplicate flag --{key}")));
         }
     }
@@ -388,11 +404,28 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 obs: flags.get("obs").map(PathBuf::from),
             })
         }
-        "convert" => Ok(Command::Convert {
-            srt: PathBuf::from(get("srt")?),
-            name: get("name")?,
-            repo: PathBuf::from(get("repo")?),
-        }),
+        "convert" => {
+            let srt = flags.get("srt").map(PathBuf::from);
+            let file = flags.get("file").map(PathBuf::from);
+            let name = flags.get("name").cloned();
+            let repo = flags.get("repo").map(PathBuf::from);
+            match (&srt, &file) {
+                (None, None) => return Err(CliError("convert needs --srt or --file".into())),
+                (Some(_), Some(_)) => {
+                    return Err(CliError("--srt and --file are mutually exclusive".into()));
+                }
+                // An .srt source has no .replay home yet, so it must be named
+                // into a repository; a .replay file can re-encode in place.
+                (Some(_), None) if name.is_none() => {
+                    return Err(CliError("convert --srt needs --name".into()));
+                }
+                _ => {}
+            }
+            if name.is_some() && repo.is_none() {
+                return Err(CliError("convert --name needs --repo".into()));
+            }
+            Ok(Command::Convert { srt, file, name, repo, v3: flags.contains_key("v3") })
+        }
         "stats" => {
             let obs = flags.get("obs").map(PathBuf::from);
             let (name, repo) = if obs.is_some() {
@@ -509,7 +542,9 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
         Command::Replay { mode, intensity, repo, array, db, afap_depth, loads, workers, obs } => {
             let repo = TraceRepository::open(&repo).map_err(io_err)?;
             let device = array.build().config().name.clone();
-            let trace = repo.load_shared(&device, &mode).map_err(io_err)?;
+            // Format-negotiating load: v3 files map as zero-copy views,
+            // v1/v2 decode into the shared heap cache.
+            let trace = repo.load_view(&device, &mode).map_err(io_err)?;
             if let Some(depth) = afap_depth {
                 let mut sim = array.build();
                 let report = tracer_replay::replay_afap(
@@ -659,8 +694,9 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
                 || array.build(),
                 |m| {
                     // Shared handles: the sweep grid holds one decoded copy
-                    // of each mode's trace, not one clone per cell.
-                    repo.load_shared(&device, m)
+                    // (or one mapped view) of each mode's trace, not one
+                    // clone per cell.
+                    repo.load_view(&device, m)
                         .unwrap_or_else(|e| panic!("trace for {m} vanished from repository: {e}"))
                 },
                 &cfg,
@@ -673,12 +709,39 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
             }
             Ok(())
         }
-        Command::Convert { srt: srt_path, name, repo } => {
-            let repo = TraceRepository::open(&repo).map_err(io_err)?;
-            let trace = srt::convert_file(&srt_path, &name, srt::ConvertOptions::default())
-                .map_err(io_err)?;
-            let path = repo.store_named(&name, &trace).map_err(io_err)?;
-            println!("converted {} IOs -> {}", trace.io_count(), path.display());
+        Command::Convert { srt: srt_path, file, name, repo, v3 } => {
+            let trace = match (&srt_path, &file) {
+                (Some(p), _) => srt::convert_file(
+                    p,
+                    name.as_deref().unwrap_or("converted"),
+                    srt::ConvertOptions::default(),
+                )
+                .map_err(io_err)?,
+                (None, Some(p)) => tracer_trace::replay_format::read_file_any(p).map_err(io_err)?,
+                (None, None) => return Err(CliError("convert needs --srt or --file".into())),
+            };
+            let path = match (&name, &repo) {
+                (Some(name), Some(repo)) => {
+                    let repo = TraceRepository::open(repo).map_err(io_err)?;
+                    if v3 {
+                        repo.store_v3_named(name, &trace).map_err(io_err)?
+                    } else {
+                        repo.store_named(name, &trace).map_err(io_err)?
+                    }
+                }
+                _ => {
+                    // Nameless --file conversion: re-encode over the source.
+                    let p = file.expect("parse guarantees --file when --name is absent");
+                    if v3 {
+                        tracer_trace::v3::write_file(&trace, &p).map_err(io_err)?;
+                    } else {
+                        tracer_trace::replay_format::write_file(&trace, &p).map_err(io_err)?;
+                    }
+                    p
+                }
+            };
+            let format = if v3 { " (v3 columnar)" } else { "" };
+            println!("converted {} IOs -> {}{format}", trace.io_count(), path.display());
             Ok(())
         }
         Command::Stats { name, repo, obs } => {
@@ -690,7 +753,9 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
                 return Ok(()); // --obs only: nothing else to print
             };
             let repo = TraceRepository::open(&repo).map_err(io_err)?;
-            let trace = repo.load_named(&name).map_err(io_err)?;
+            // Stats materializes regardless of format, so negotiate first and
+            // decode the handle (v3 views included) into a heap trace.
+            let trace = repo.load_view_named(&name).map_err(io_err)?.to_trace().map_err(io_err)?;
             let s = TraceStats::compute(&trace);
             println!("trace {name}:");
             println!("  ios            {:>12}", s.ios);
@@ -740,7 +805,7 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
             let device = array.build().config().name.clone();
             let server = crate::net::GeneratorServer::spawn(
                 move |requested: &str| (requested == device).then(|| array.build()),
-                move |dev: &str, mode: &WorkloadMode| repo.load_shared(dev, mode).ok(),
+                move |dev: &str, mode: &WorkloadMode| repo.load_view(dev, mode).ok(),
             )
             .map_err(|e| CliError(e.to_string()))?;
             println!("workload generator listening on {}", server.addr());
@@ -830,7 +895,7 @@ fn print_obs_snapshot(text: &str) -> Result<(), CliError> {
             .map_err(|e| CliError(format!("obs snapshot line {}: {e}", idx + 1)))?;
         let name = v.get("name").and_then(as_str).unwrap_or("?").to_string();
         match v.get("kind").and_then(as_str).unwrap_or("") {
-            "counter" => {
+            "counter" | "gauge" => {
                 counters.push((name, v.get("value").and_then(as_u64).unwrap_or(0)));
             }
             kind @ ("hist" | "span") => {
@@ -1094,6 +1159,52 @@ mod tests {
         assert!(parse(&argv("coordinate --nodes a --intensity 0")).is_err());
         let err = run(parse(&argv("coordinate --nodes 127.0.0.1:7401")).unwrap()).unwrap_err();
         assert!(err.0.contains("tracer-coordinate"), "{err}");
+    }
+
+    #[test]
+    fn parses_convert_forms_and_rejects_ambiguous_ones() {
+        let cmd = parse(&argv("convert --file /tmp/t.replay --v3")).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Convert { srt: None, file: Some(_), name: None, repo: None, v3: true }
+        ));
+        let cmd = parse(&argv("convert --srt a.srt --name cello --repo /tmp/r")).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Convert { srt: Some(_), file: None, name: Some(_), repo: Some(_), v3: false }
+        ));
+        assert!(parse(&argv("convert")).is_err(), "needs a source");
+        assert!(parse(&argv("convert --srt a.srt --file b.replay --name x --repo /r")).is_err());
+        assert!(parse(&argv("convert --srt a.srt --repo /r")).is_err(), "--srt needs --name");
+        assert!(parse(&argv("convert --file b.replay --name x")).is_err(), "--name needs --repo");
+    }
+
+    #[test]
+    fn convert_migrates_a_replay_file_to_v3_in_place() {
+        use tracer_trace::{replay_format, Bunch, IoPackage, Trace};
+        let dir = std::env::temp_dir().join(format!("tracer_cli_conv_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mig.replay");
+        let trace = Trace::from_bunches(
+            "d",
+            (0..20)
+                .map(|i| Bunch::new(i * 1_000_000, vec![IoPackage::read(i * 8, 4096)]))
+                .collect(),
+        );
+        replay_format::write_file(&trace, &path).unwrap();
+        run(Command::Convert {
+            srt: None,
+            file: Some(path.clone()),
+            name: None,
+            repo: None,
+            v3: true,
+        })
+        .unwrap();
+        // The file is now v3 on disk and decodes to the identical trace.
+        let head = std::fs::read(&path).unwrap();
+        assert_eq!(u16::from_le_bytes([head[4], head[5]]), 3, "not re-encoded as v3");
+        assert_eq!(replay_format::read_file_any(&path).unwrap(), trace);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

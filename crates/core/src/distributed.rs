@@ -12,11 +12,11 @@ use crate::db::{PowerData, TestRecord};
 use crate::executor::SweepExecutor;
 use crate::host::EvaluationHost;
 use crate::metrics::EfficiencyMetrics;
-use std::sync::{Arc, Mutex};
+use std::sync::Mutex;
 use tracer_power::{Channel, PowerAnalyzer};
 use tracer_replay::{replay, LoadControl, PerfSummary, ReplayConfig};
 use tracer_sim::{ArrayPowerLog, ArraySim, SimTime};
-use tracer_trace::{Trace, WorkloadMode};
+use tracer_trace::{TraceHandle, WorkloadMode};
 
 /// One evaluation job: a storage system plus the workload to replay on it.
 pub struct EvaluationJob {
@@ -25,8 +25,9 @@ pub struct EvaluationJob {
     /// Builds the array under test (runs on the worker thread).
     pub build: Box<dyn FnOnce() -> ArraySim + Send>,
     /// The trace to replay, shared: many jobs over the same trace hold one
-    /// copy, and the replay path reads it without materializing a clone.
-    pub trace: Arc<Trace>,
+    /// copy (decoded or mmap-backed), and the replay path reads it without
+    /// materializing a clone.
+    pub trace: TraceHandle,
     /// Workload mode (its load proportion applies).
     pub mode: WorkloadMode,
     /// Inter-arrival intensity, percent.
@@ -34,12 +35,15 @@ pub struct EvaluationJob {
 }
 
 impl EvaluationJob {
-    /// Job at original pacing. Accepts an owned `Trace` or a pre-shared
-    /// `Arc<Trace>` (e.g. from [`tracer_trace::TraceRepository::load_shared`]).
+    /// Job at original pacing. Accepts an owned `Trace`, a pre-shared
+    /// `Arc<Trace>` (e.g. from [`tracer_trace::TraceRepository::load_shared`]),
+    /// or a [`TraceHandle`] from
+    /// [`tracer_trace::TraceRepository::load_view`], whose v3 views replay
+    /// straight off the mapped file.
     pub fn new(
         name: impl Into<String>,
         build: impl FnOnce() -> ArraySim + Send + 'static,
-        trace: impl Into<Arc<Trace>>,
+        trace: impl Into<TraceHandle>,
         mode: WorkloadMode,
     ) -> Self {
         Self {
@@ -179,7 +183,7 @@ pub(crate) fn run_parallel_impl(
 mod tests {
     use super::*;
     use tracer_sim::presets;
-    use tracer_trace::{Bunch, IoPackage};
+    use tracer_trace::{Bunch, IoPackage, Trace};
 
     fn trace(n: usize) -> Trace {
         Trace::from_bunches(

@@ -10,11 +10,10 @@
 use crate::db::{Database, PowerData, TestRecord};
 use crate::messages::{parse_command, HostCommand};
 use crate::metrics::EfficiencyMetrics;
-use std::sync::Arc;
 use tracer_power::{Channel, PowerAnalyzer};
 use tracer_replay::{replay, LoadControl, ReplayConfig, ReplayReport};
 use tracer_sim::{ArraySim, SimDuration};
-use tracer_trace::{Trace, WorkloadMode};
+use tracer_trace::{BunchSource, Trace, TraceHandle, WorkloadMode};
 
 /// Orchestrates tests and owns the results database.
 #[derive(Debug, Default)]
@@ -84,10 +83,14 @@ impl EvaluationHost {
     /// state so sweep workers can run it concurrently: replay, meter, and
     /// package the record — without storing it. Pair with
     /// [`EvaluationHost::commit`] on the merging thread.
-    pub fn measure_test(
+    ///
+    /// The source is any [`BunchSource`]: an in-memory [`Trace`], or an
+    /// mmap-backed view handed out by `TraceRepository::load_view`, which
+    /// replays straight off the mapped file.
+    pub fn measure_test<S: BunchSource + ?Sized>(
         meter_cycle_ms: u64,
         sim: &mut ArraySim,
-        trace: &Trace,
+        trace: &S,
         mode: WorkloadMode,
         intensity_pct: u32,
         label: &str,
@@ -182,13 +185,14 @@ pub type SessionError = crate::error::TracerError;
 /// A GUI-protocol session: text lines in, text responses out.
 ///
 /// `build_array` constructs the device under test per run; `load_trace`
-/// resolves `(device, mode)` to a shared handle on the trace to replay
-/// (typically [`tracer_trace::TraceRepository::load_shared`], so repeated
-/// `start` commands for the same mode reuse one decoded trace).
+/// resolves `(device, mode)` to a shared [`TraceHandle`] on the trace to
+/// replay (typically [`tracer_trace::TraceRepository::load_view`], so
+/// repeated `start` commands for the same mode reuse one decoded trace or
+/// mmap view, and v3 files replay without materialization).
 pub struct CommandSession<B, L>
 where
     B: FnMut(&str) -> Option<ArraySim>,
-    L: FnMut(&str, &WorkloadMode) -> Option<Arc<Trace>>,
+    L: FnMut(&str, &WorkloadMode) -> Option<TraceHandle>,
 {
     host: EvaluationHost,
     build_array: B,
@@ -200,7 +204,7 @@ where
 impl<B, L> CommandSession<B, L>
 where
     B: FnMut(&str) -> Option<ArraySim>,
-    L: FnMut(&str, &WorkloadMode) -> Option<Arc<Trace>>,
+    L: FnMut(&str, &WorkloadMode) -> Option<TraceHandle>,
 {
     /// New session around fresh host state.
     pub fn new(build_array: B, load_trace: L) -> Self {
@@ -272,6 +276,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
     use tracer_sim::presets;
     use tracer_trace::{Bunch, IoPackage};
 
@@ -329,7 +334,7 @@ mod tests {
     fn session_full_flow() {
         let mut session = CommandSession::new(
             |device| (device == "raid5-hdd4").then(|| presets::hdd_raid5(4)),
-            |_, _| Some(Arc::new(test_trace(50))),
+            |_, _| Some(Arc::new(test_trace(50)).into()),
         );
         let r = session.handle_line("init-analyzer cycle=500").unwrap();
         assert!(r.contains("500ms"));
@@ -350,7 +355,7 @@ mod tests {
     fn session_rejects_bad_sequences() {
         let mut session = CommandSession::new(
             |_| Some(presets::hdd_raid5(4)),
-            |_, _| Some(Arc::new(test_trace(10))),
+            |_, _| Some(Arc::new(test_trace(10)).into()),
         );
         assert!(matches!(session.handle_line("start"), Err(SessionError::State(_))));
         assert!(matches!(session.handle_line("nonsense"), Err(SessionError::Parse(_))));
@@ -360,8 +365,10 @@ mod tests {
         ));
         session.handle_line("configure device=ghost rs=512 rn=0 rd=0 load=10").unwrap();
         // Unknown device surfaces as NoTrace.
-        let mut ghost_session =
-            CommandSession::new(|_: &str| None::<ArraySim>, |_, _| Some(Arc::new(test_trace(10))));
+        let mut ghost_session = CommandSession::new(
+            |_: &str| None::<ArraySim>,
+            |_, _| Some(Arc::new(test_trace(10)).into()),
+        );
         ghost_session.handle_line("configure device=ghost rs=512 rn=0 rd=0 load=10").unwrap();
         assert!(matches!(ghost_session.handle_line("start"), Err(SessionError::NoTrace(_))));
         // Abort clears pending config.

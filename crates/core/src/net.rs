@@ -28,7 +28,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 use tracer_sim::ArraySim;
-use tracer_trace::{Trace, WorkloadMode};
+use tracer_trace::{TraceHandle, WorkloadMode};
 
 /// The workload-generator machine: accepts one evaluation host at a time and
 /// executes its commands.
@@ -48,7 +48,7 @@ impl GeneratorServer {
     pub fn spawn<B, L>(build_array: B, load_trace: L) -> io::Result<Self>
     where
         B: FnMut(&str) -> Option<ArraySim> + Send + 'static,
-        L: FnMut(&str, &WorkloadMode) -> Option<Arc<Trace>> + Send + 'static,
+        L: FnMut(&str, &WorkloadMode) -> Option<TraceHandle> + Send + 'static,
     {
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         let addr = listener.local_addr()?;
@@ -95,7 +95,7 @@ fn serve<B, L>(
 ) -> io::Result<()>
 where
     B: FnMut(&str) -> Option<ArraySim>,
-    L: FnMut(&str, &WorkloadMode) -> Option<Arc<Trace>>,
+    L: FnMut(&str, &WorkloadMode) -> Option<TraceHandle>,
 {
     // One long-lived session: results accumulate across connections, like the
     // generator machine's process does. The listener is non-blocking so the
@@ -307,7 +307,7 @@ mod tests {
     use super::*;
     use crate::messages::HostCommand;
     use tracer_sim::presets;
-    use tracer_trace::{Bunch, IoPackage};
+    use tracer_trace::{Bunch, IoPackage, Trace};
 
     fn test_trace() -> Trace {
         Trace::from_bunches(
@@ -321,10 +321,10 @@ mod tests {
     }
 
     fn spawn_server() -> GeneratorServer {
-        let shared = Arc::new(test_trace());
+        let shared = TraceHandle::from(test_trace());
         GeneratorServer::spawn(
             |device| (device == "raid5-hdd4").then(|| presets::hdd_raid5(4)),
-            move |_, _| Some(Arc::clone(&shared)),
+            move |_, _| Some(shared.clone()),
         )
         .expect("bind localhost")
     }

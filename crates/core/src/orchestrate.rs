@@ -23,9 +23,8 @@ use crate::executor::SweepExecutor;
 use crate::host::{EvaluationHost, MeasuredTest};
 use crate::metrics::AccuracyRow;
 use serde::{Deserialize, Serialize};
-use std::sync::Arc;
 use tracer_sim::ArraySim;
-use tracer_trace::{sweep, Trace, WorkloadMode};
+use tracer_trace::{sweep, BunchSource, TraceHandle, WorkloadMode};
 
 /// Result of a load sweep over one trace: a record per load level plus the
 /// derived accuracy rows.
@@ -84,11 +83,11 @@ fn merge_mode(
 /// The load-sweep implementation shared by [`SweepBuilder::load_sweep`] and
 /// the serial path of [`SweepBuilder::sweep`].
 #[allow(clippy::too_many_arguments)]
-fn load_sweep_impl<F>(
+fn load_sweep_impl<F, S>(
     host: &mut EvaluationHost,
     exec: &SweepExecutor,
     build_array: F,
-    trace: &Trace,
+    trace: &S,
     mode: WorkloadMode,
     loads: &[u32],
     label: &str,
@@ -96,6 +95,7 @@ fn load_sweep_impl<F>(
 ) -> LoadSweepResult
 where
     F: Fn() -> ArraySim + Sync,
+    S: BunchSource + Sync + ?Sized,
 {
     let levels = resolve_levels(loads);
     let total = levels.len();
@@ -128,16 +128,17 @@ where
 /// automatically (and reported as the final row, like the paper's tables).
 ///
 /// The serial convenience form of [`SweepBuilder::load_sweep`].
-pub fn load_sweep<F>(
+pub fn load_sweep<F, S>(
     host: &mut EvaluationHost,
     build_array: F,
-    trace: &Trace,
+    trace: &S,
     mode: WorkloadMode,
     loads: &[u32],
     label: &str,
 ) -> LoadSweepResult
 where
     F: Fn() -> ArraySim + Sync,
+    S: BunchSource + Sync + ?Sized,
 {
     SweepBuilder::new().loads(loads).label(label).load_sweep(host, build_array, trace, mode)
 }
@@ -149,17 +150,18 @@ where
     since = "0.1.0",
     note = "use `SweepBuilder::new().executor(*exec).loads(loads).label(label).load_sweep(..)`"
 )]
-pub fn load_sweep_with<F>(
+pub fn load_sweep_with<F, S>(
     host: &mut EvaluationHost,
     exec: &SweepExecutor,
     build_array: F,
-    trace: &Trace,
+    trace: &S,
     mode: WorkloadMode,
     loads: &[u32],
     label: &str,
 ) -> LoadSweepResult
 where
     F: Fn() -> ArraySim + Sync,
+    S: BunchSource + Sync + ?Sized,
 {
     SweepBuilder::new().executor(*exec).loads(loads).label(label).load_sweep(
         host,
@@ -339,17 +341,19 @@ impl<'a> SweepBuilder<'a> {
         self.progress.take().unwrap_or_else(|| Box::new(|_, _| {}))
     }
 
-    /// Terminal: sweep the configured load levels over one trace
-    /// (see [`load_sweep`]).
-    pub fn load_sweep<F>(
+    /// Terminal: sweep the configured load levels over one trace — any
+    /// [`BunchSource`], so an mmap-backed view sweeps without ever decoding
+    /// into the heap (see [`load_sweep`]).
+    pub fn load_sweep<F, S>(
         mut self,
         host: &mut EvaluationHost,
         build_array: F,
-        trace: &Trace,
+        trace: &S,
         mode: WorkloadMode,
     ) -> LoadSweepResult
     where
         F: Fn() -> ArraySim + Sync,
+        S: BunchSource + Sync + ?Sized,
     {
         let cells = resolve_levels(&self.loads).len();
         let was = self.obs_begin("load_sweep", cells);
@@ -379,7 +383,7 @@ impl<'a> SweepBuilder<'a> {
     where
         F: Fn() -> ArraySim + Sync,
         T: FnMut(&WorkloadMode) -> A,
-        A: Into<Arc<Trace>>,
+        A: Into<TraceHandle>,
     {
         let cells = cfg.modes.len() * resolve_levels(&cfg.loads).len();
         let was = self.obs_begin("sweep", cells);
@@ -402,7 +406,7 @@ impl<'a> SweepBuilder<'a> {
     where
         F: Fn() -> ArraySim + Sync,
         T: FnMut(u64) -> A,
-        A: Into<Arc<Trace>>,
+        A: Into<TraceHandle>,
     {
         let was = self.obs_begin("trials", trials);
         let mut progress = self.take_progress();
@@ -446,7 +450,7 @@ fn sweep_impl<F, T, A>(
 where
     F: Fn() -> ArraySim + Sync,
     T: FnMut(&WorkloadMode) -> A,
-    A: Into<Arc<Trace>>,
+    A: Into<TraceHandle>,
 {
     let total = cfg.modes.len();
     let levels = resolve_levels(&cfg.loads);
@@ -460,7 +464,7 @@ where
         // most one trace is held in memory at a time.
         let mut results = Vec::with_capacity(total);
         for (i, &mode) in cfg.modes.iter().enumerate() {
-            let trace: Arc<Trace> = trace_for_mode(&mode).into();
+            let trace: TraceHandle = trace_for_mode(&mode).into();
             let label = label_for(&mode);
             results.push(load_sweep_impl(
                 host,
@@ -480,10 +484,10 @@ where
     // Parallel path: resolve every trace up front (serially, in mode order),
     // then fan the whole mode × load grid out so the worker pool stays
     // saturated even when a mode has fewer levels than there are workers.
-    // Traces are held as shared `Arc` handles, so a loader that hands out
-    // repository-cached traces keeps a single copy in memory for the whole
-    // grid instead of one clone per mode.
-    let traces: Vec<Arc<Trace>> = cfg.modes.iter().map(|m| trace_for_mode(m).into()).collect();
+    // Traces are held as shared handles (decoded `Arc<Trace>`s or mmap
+    // views), so a loader that hands out repository-cached traces keeps a
+    // single copy in memory for the whole grid instead of one clone per mode.
+    let traces: Vec<TraceHandle> = cfg.modes.iter().map(|m| trace_for_mode(m).into()).collect();
     let labels: Vec<String> = cfg.modes.iter().map(label_for).collect();
     let cycle = host.meter_cycle_ms;
     let mut remaining: Vec<usize> = vec![per_mode; total];
@@ -538,7 +542,7 @@ pub fn run_sweep<F, T, A>(
 where
     F: Fn() -> ArraySim + Sync,
     T: FnMut(&WorkloadMode) -> A,
-    A: Into<Arc<Trace>>,
+    A: Into<TraceHandle>,
 {
     SweepBuilder::new().on_progress(progress).sweep(host, build_array, trace_for_mode, cfg)
 }
@@ -568,7 +572,7 @@ pub fn run_sweep_with<F, T, A>(
 where
     F: Fn() -> ArraySim + Sync,
     T: FnMut(&WorkloadMode) -> A,
-    A: Into<Arc<Trace>>,
+    A: Into<TraceHandle>,
 {
     SweepBuilder::new().executor(*exec).on_progress(progress).sweep(
         host,
@@ -639,10 +643,10 @@ fn trials_impl<F, T, A>(
 where
     F: Fn() -> ArraySim + Sync,
     T: FnMut(u64) -> A,
-    A: Into<Arc<Trace>>,
+    A: Into<TraceHandle>,
 {
     assert!(trials >= 1, "at least one trial required");
-    let traces: Vec<Arc<Trace>> = (0..trials).map(|t| trace_for_seed(t as u64).into()).collect();
+    let traces: Vec<TraceHandle> = (0..trials).map(|t| trace_for_seed(t as u64).into()).collect();
     let cycle = host.meter_cycle_ms;
     let mut done = 0usize;
     let cells = exec.run_indexed(
@@ -701,7 +705,7 @@ pub fn repeated_trials<F, T, A>(
 where
     F: Fn() -> ArraySim + Sync,
     T: FnMut(u64) -> A,
-    A: Into<Arc<Trace>>,
+    A: Into<TraceHandle>,
 {
     SweepBuilder::new().label(label).trials(host, build_array, trace_for_seed, mode, trials)
 }
@@ -725,7 +729,7 @@ pub fn repeated_trials_with<F, T, A>(
 where
     F: Fn() -> ArraySim + Sync,
     T: FnMut(u64) -> A,
-    A: Into<Arc<Trace>>,
+    A: Into<TraceHandle>,
 {
     SweepBuilder::new().executor(*exec).label(label).trials(
         host,
@@ -740,7 +744,7 @@ where
 mod tests {
     use super::*;
     use tracer_sim::presets;
-    use tracer_trace::{Bunch, IoPackage};
+    use tracer_trace::{Bunch, IoPackage, Trace};
 
     fn fixed_trace(n: usize, bytes: u32) -> Trace {
         Trace::from_bunches(

@@ -73,7 +73,7 @@ fn coordinate(cmd: Command) -> Result<(), TracerError> {
         let repo =
             TraceRepository::open(&repo_dir).map_err(|e| TracerError::Config(e.to_string()))?;
         let report =
-            serial_report(&spec, || array.build(), |dev, mode| repo.load_shared(dev, mode).ok())?;
+            serial_report(&spec, || array.build(), |dev, mode| repo.load_view(dev, mode).ok())?;
         print!("{report}");
         dump_obs(obs.as_deref())?;
         return Ok(());

@@ -39,7 +39,7 @@ use tracer_core::messages::{parse_job_command, JobCommand, Reply};
 use tracer_core::metrics::EfficiencyMetrics;
 use tracer_core::net::HostClient;
 use tracer_sim::ArraySim;
-use tracer_trace::{Trace, WorkloadMode};
+use tracer_trace::{TraceHandle, WorkloadMode};
 
 /// One sweep campaign: a device, a base workload mode, and the load levels
 /// to visit. Cells are the load levels in order.
@@ -464,7 +464,7 @@ pub fn render_report(spec: &CampaignSpec, results: &[CellResult]) -> String {
 pub fn serial_report(
     spec: &CampaignSpec,
     mut build: impl FnMut() -> ArraySim,
-    mut load_trace: impl FnMut(&str, &WorkloadMode) -> Option<std::sync::Arc<Trace>>,
+    mut load_trace: impl FnMut(&str, &WorkloadMode) -> Option<TraceHandle>,
 ) -> Result<String, TracerError> {
     let mut host = EvaluationHost::new();
     let mut results = Vec::with_capacity(spec.loads.len());

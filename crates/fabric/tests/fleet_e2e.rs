@@ -38,7 +38,7 @@ fn spawn_node(workers: usize, bunches: u64) -> JobServer {
     let build: BuildArray = Arc::new(|req: &str| (req == DEVICE).then(|| presets::hdd_raid5(4)));
     let trace = fleet_trace(bunches);
     let load: LoadTrace =
-        Arc::new(move |dev: &str, _mode| (dev == DEVICE).then(|| Arc::clone(&trace)));
+        Arc::new(move |dev: &str, _mode| (dev == DEVICE).then(|| Arc::clone(&trace).into()));
     JobServer::spawn(ServiceConfig { workers, queue_capacity: 4 }, build, load).expect("spawn node")
 }
 
@@ -55,7 +55,7 @@ fn baseline(spec: &CampaignSpec, bunches: u64) -> String {
     serial_report(
         spec,
         || presets::hdd_raid5(4),
-        |dev, _mode| (dev == DEVICE).then(|| fleet_trace(bunches)),
+        |dev, _mode| (dev == DEVICE).then(|| fleet_trace(bunches).into()),
     )
     .expect("serial baseline")
 }

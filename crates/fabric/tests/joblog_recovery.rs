@@ -195,7 +195,7 @@ fn recovery_restores_done_jobs_and_reruns_pending_ones_exactly_once() {
             (spec.device == "recdev").then(|| EvaluationJob {
                 name: spec.name.clone(),
                 build: Box::new(|| presets::hdd_raid5(4)),
-                trace: rec_trace(),
+                trace: rec_trace().into(),
                 mode: spec.mode,
                 intensity_pct: spec.intensity_pct,
             })
@@ -225,7 +225,7 @@ fn recovery_restores_done_jobs_and_reruns_pending_ones_exactly_once() {
         .submit(EvaluationJob {
             name: "fresh".into(),
             build: Box::new(|| presets::hdd_raid5(4)),
-            trace: rec_trace(),
+            trace: rec_trace().into(),
             mode: WorkloadMode::peak(8192, 50, 100).at_load(40),
             intensity_pct: 100,
         })
@@ -290,7 +290,7 @@ fn wire_submissions_are_journalled_and_replayable() {
     let build: BuildArray = Arc::new(|req: &str| (req == "recdev").then(|| presets::hdd_raid5(4)));
     let load: LoadTrace = {
         let t = rec_trace();
-        Arc::new(move |dev: &str, _mode| (dev == "recdev").then(|| Arc::clone(&t)))
+        Arc::new(move |dev: &str, _mode| (dev == "recdev").then(|| Arc::clone(&t).into()))
     };
     let (server, report) = JobServer::spawn_with(
         ServiceConfig { workers: 1, queue_capacity: 8 },

@@ -22,6 +22,8 @@ pub const REQUIRED_TAGS: &[(&str, &[&str])] = &[
     ("crates/sim/src/equeue.rs", &["deterministic"]),
     ("crates/sim/src/soa.rs", &["deterministic"]),
     ("crates/replay/src/plan.rs", &["deterministic", "zero-copy"]),
+    ("crates/trace/src/v3.rs", &["deterministic"]),
+    ("crates/trace/src/mmap.rs", &["deterministic"]),
     ("crates/core/src/report.rs", &["deterministic"]),
     ("crates/fabric/src/joblog.rs", &["deterministic", "no-panic-wire"]),
     ("crates/serve/src/server.rs", &["no-panic-wire"]),

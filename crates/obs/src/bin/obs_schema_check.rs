@@ -1,9 +1,9 @@
 //! `obs_schema_check` — validate a `tracer-obs` JSON-lines dump.
 //!
-//! Every line must be a JSON object with a `kind` of `counter`, `hist`,
-//! `span`, or `event`, and the kind's required fields:
+//! Every line must be a JSON object with a `kind` of `counter`, `gauge`,
+//! `hist`, `span`, or `event`, and the kind's required fields:
 //!
-//! * `counter`: string `name`, unsigned `value`;
+//! * `counter` / `gauge`: string `name`, unsigned `value`;
 //! * `hist` / `span`: string `name`, unsigned `count`/`sum`/`max`, and a
 //!   `buckets` array of unsigned integers;
 //! * `event`: string `name`, unsigned `t_ns`, object `fields`.
@@ -52,7 +52,7 @@ fn check_line(line: &str) -> Result<String, String> {
     };
     let kind = as_str(field(&value, "kind")?, "kind")?;
     match kind {
-        "counter" => {
+        "counter" | "gauge" => {
             as_str(field(&value, "name")?, "name")?;
             as_uint(field(&value, "value")?, "value")?;
         }

@@ -27,6 +27,7 @@
 //!
 //! ```json
 //! {"kind":"counter","name":"des.events","value":123456}
+//! {"kind":"gauge","name":"repo.cache_bytes","value":1048576}
 //! {"kind":"hist","name":"des.queue_depth","count":10,"sum":42,"max":9,"buckets":[...]}
 //! {"kind":"span","name":"replay.drive_ns","count":1,"sum":812345,"max":812345,"buckets":[...]}
 //! {"kind":"event","t_ns":1042,"name":"sweep.start","fields":{"cells":"1250"}}
@@ -124,6 +125,46 @@ impl Counter {
 }
 
 impl Default for Counter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Gauge
+// ---------------------------------------------------------------------------
+
+/// A last-value metric: cache occupancy, open handles, queue depth *right
+/// now*. Unlike a [`Counter`] it goes down as well as up, so it is a single
+/// atomic cell written with `store` — the writer owns the truth, reads are
+/// relaxed snapshots.
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// A zeroed gauge.
+    pub fn new() -> Self {
+        Self { value: AtomicU64::new(0) }
+    }
+
+    /// Overwrite the gauge with the current value of whatever it tracks.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// The last value set (relaxed).
+    pub fn value(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.set(0);
+    }
+}
+
+impl Default for Gauge {
     fn default() -> Self {
         Self::new()
     }
@@ -291,6 +332,7 @@ pub fn spark(series: &[f64]) -> String {
 
 enum Metric {
     Counter(&'static Counter),
+    Gauge(&'static Gauge),
     Hist(&'static Histogram),
     Span(&'static Histogram),
 }
@@ -310,10 +352,23 @@ pub fn counter(name: &str) -> &'static Counter {
     }
 }
 
+/// The gauge registered under `name` (created on first use).
+pub fn gauge(name: &str) -> &'static Gauge {
+    let mut reg = registry().lock().unwrap();
+    match reg.entry(name.to_string()).or_insert_with(|| Metric::Gauge(leak_gauge())) {
+        Metric::Gauge(g) => g,
+        _ => panic!("obs metric {name:?} is not a gauge"),
+    }
+}
+
 // Metrics are leaked so hot paths can hold `&'static` handles; the registry
 // is process-global and bounded by the number of distinct metric names.
 fn leak_counter() -> &'static Counter {
     Box::leak(Box::new(Counter::new()))
+}
+
+fn leak_gauge() -> &'static Gauge {
+    Box::leak(Box::new(Gauge::new()))
 }
 
 fn leak_hist() -> &'static Histogram {
@@ -325,7 +380,9 @@ pub fn histogram(name: &str) -> &'static Histogram {
     let mut reg = registry().lock().unwrap();
     match reg.entry(name.to_string()).or_insert_with(|| Metric::Hist(leak_hist())) {
         Metric::Hist(h) | Metric::Span(h) => h,
-        Metric::Counter(_) => panic!("obs metric {name:?} is not a histogram"),
+        Metric::Counter(_) | Metric::Gauge(_) => {
+            panic!("obs metric {name:?} is not a histogram")
+        }
     }
 }
 
@@ -333,7 +390,7 @@ fn span_histogram(name: &str) -> &'static Histogram {
     let mut reg = registry().lock().unwrap();
     match reg.entry(name.to_string()).or_insert_with(|| Metric::Span(leak_hist())) {
         Metric::Hist(h) | Metric::Span(h) => h,
-        Metric::Counter(_) => panic!("obs metric {name:?} is not a span"),
+        Metric::Counter(_) | Metric::Gauge(_) => panic!("obs metric {name:?} is not a span"),
     }
 }
 
@@ -484,6 +541,7 @@ pub fn reset() {
     for metric in reg.values() {
         match metric {
             Metric::Counter(c) => c.reset(),
+            Metric::Gauge(g) => g.reset(),
             Metric::Hist(h) | Metric::Span(h) => h.reset(),
         }
     }
@@ -546,6 +604,13 @@ pub fn dump_jsonl() -> String {
                         "{{\"kind\":\"counter\",\"name\":\"{}\",\"value\":{}}}\n",
                         json_escape(name),
                         c.value()
+                    ));
+                }
+                Metric::Gauge(g) => {
+                    out.push_str(&format!(
+                        "{{\"kind\":\"gauge\",\"name\":\"{}\",\"value\":{}}}\n",
+                        json_escape(name),
+                        g.value()
                     ));
                 }
                 Metric::Hist(h) => {
@@ -692,6 +757,18 @@ mod tests {
     }
 
     #[test]
+    fn gauge_overwrites_and_resets() {
+        let _g = lock();
+        reset();
+        let g = gauge("test.registry.gauge");
+        g.set(42);
+        g.set(7);
+        assert_eq!(gauge("test.registry.gauge").value(), 7, "gauges keep the last value");
+        reset();
+        assert_eq!(g.value(), 0);
+    }
+
+    #[test]
     fn registry_hands_out_stable_handles() {
         let _g = lock();
         reset();
@@ -751,6 +828,7 @@ mod tests {
         reset();
         enable();
         counter("unit.dump.count").add(5);
+        gauge("unit.dump.gauge").set(17);
         histogram("unit.dump.depth").record(3);
         {
             let _s = span("unit.dump.phase_ns");
@@ -767,11 +845,12 @@ mod tests {
                 _ => None,
             });
             assert!(
-                matches!(kind, Some("counter" | "hist" | "span" | "event")),
+                matches!(kind, Some("counter" | "gauge" | "hist" | "span" | "event")),
                 "bad kind in {line}"
             );
         }
         assert!(dump.contains("\"name\":\"unit.dump.count\",\"value\":5"));
+        assert!(dump.contains("\"kind\":\"gauge\",\"name\":\"unit.dump.gauge\",\"value\":17"));
         assert!(dump.contains("\"kind\":\"span\",\"name\":\"unit.dump.phase_ns\""));
         assert!(dump.contains("\\\"quoted\\\""));
         reset();

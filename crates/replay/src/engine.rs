@@ -18,7 +18,7 @@ use crate::plan::ReplayPlan;
 use crate::scale::LoadControl;
 use serde::{Deserialize, Serialize};
 use tracer_sim::{ArrayRequest, ArraySim, Completion, SimDuration, SimTime};
-use tracer_trace::{IoPackage, Nanos, Trace};
+use tracer_trace::{BunchSource, IoPackage, Nanos, Trace, TraceError};
 
 /// How trace sectors outside the array's data space are handled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -75,25 +75,48 @@ impl ReplayReport {
     }
 }
 
-/// Replay `trace` into `sim` under `cfg.load`.
+/// Replay a bunch source into `sim` under `cfg.load`.
 ///
 /// The load control is applied lazily through a [`ReplayPlan`]: selection and
 /// timestamp scaling happen per bunch during iteration, so no bunch is ever
 /// cloned — the report is nonetheless bit-identical to materializing the
 /// controlled trace first (property-tested in `tests/plan_oracle.rs`).
 ///
-/// The simulator is left at the completion instant of the final request, so
-/// its power log covers exactly the replay window.
+/// The source may be an in-memory [`Trace`] or an mmap-backed
+/// `TraceView`/`TraceHandle`; views stream straight off the mapped file
+/// without materializing any bunch. The simulator is left at the completion
+/// instant of the final request, so its power log covers exactly the replay
+/// window.
+///
+/// # Panics
+/// Panics if `cfg.load.intensity_pct` is zero, or if the source reports
+/// corruption mid-replay (use [`try_replay`] to handle that as an error —
+/// relevant only for on-disk views; in-memory traces cannot fail).
+pub fn replay<S: BunchSource + ?Sized>(
+    sim: &mut ArraySim,
+    source: &S,
+    cfg: &ReplayConfig,
+) -> ReplayReport {
+    try_replay(sim, source, cfg)
+        .unwrap_or_else(|e| panic!("trace source failed during replay: {e}"))
+}
+
+/// Replay a bunch source into `sim` under `cfg.load`, surfacing source
+/// errors (a corrupt v3 file discovered mid-scan) instead of panicking.
 ///
 /// # Panics
 /// Panics if `cfg.load.intensity_pct` is zero.
-pub fn replay(sim: &mut ArraySim, trace: &Trace, cfg: &ReplayConfig) -> ReplayReport {
+pub fn try_replay<S: BunchSource + ?Sized>(
+    sim: &mut ArraySim,
+    source: &S,
+    cfg: &ReplayConfig,
+) -> Result<ReplayReport, TraceError> {
     let plan = {
         let _span = tracer_obs::span("replay.plan_ns");
-        ReplayPlan::new(trace, cfg.load)
+        ReplayPlan::new(source, cfg.load)
     };
-    sim.reserve_events(event_estimate(trace));
-    replay_bunches(sim, plan.iter(), cfg.address_policy, cfg.warmup)
+    sim.reserve_events(event_estimate(source.bunch_count()));
+    replay_bunches(sim, |f| plan.try_for_each(f), cfg.address_policy, cfg.warmup)
 }
 
 /// How many events to pre-size the simulator's queue for: the trace's bunch
@@ -102,8 +125,8 @@ pub fn replay(sim: &mut ArraySim, trace: &Trace, cfg: &ReplayConfig) -> ReplayRe
 /// above; the queue re-sizes itself if the estimate is off, so this is purely
 /// a hint (replaces the old fixed 1024-slot pre-size, which deep traces
 /// outgrew through repeated doublings).
-fn event_estimate(trace: &Trace) -> usize {
-    trace.bunches.len().clamp(64, 65_536)
+fn event_estimate(bunches: usize) -> usize {
+    bunches.clamp(64, 65_536)
 }
 
 /// Replay an already load-controlled trace (no warm-up trimming).
@@ -123,25 +146,33 @@ pub fn replay_prepared_with_warmup(
     address_policy: AddressPolicy,
     warmup: SimDuration,
 ) -> ReplayReport {
-    sim.reserve_events(event_estimate(trace));
-    replay_bunches(
+    sim.reserve_events(event_estimate(trace.bunches.len()));
+    let result: Result<ReplayReport, std::convert::Infallible> = replay_bunches(
         sim,
-        trace.bunches.iter().map(|b| (b.timestamp, b.ios.as_slice())),
+        |f| {
+            for b in &trace.bunches {
+                f(b.timestamp, b.ios.as_slice());
+            }
+            Ok(())
+        },
         address_policy,
         warmup,
-    )
+    );
+    result.unwrap_or_else(|e| match e {})
 }
 
-/// The replay loop shared by the zero-copy and the prepared paths: drive the
-/// simulator with `(timestamp, IO packages)` pairs, whatever they borrow
-/// from. Both public entry points funnel here, so the two paths cannot
-/// diverge behaviourally.
-fn replay_bunches<'a>(
+/// The replay loop shared by the zero-copy, prepared, and mmap-view paths:
+/// `drive` pushes `(timestamp, IO packages)` pairs into the engine's sink,
+/// whatever they borrow from. All public entry points funnel here, so the
+/// paths cannot diverge behaviourally. Internal iteration (rather than an
+/// `Iterator`) lets streaming sources reuse one scratch buffer per bunch and
+/// propagate decode errors without boxing.
+fn replay_bunches<E>(
     sim: &mut ArraySim,
-    bunches: impl Iterator<Item = (Nanos, &'a [IoPackage])>,
+    drive: impl FnOnce(&mut dyn FnMut(Nanos, &[IoPackage])) -> Result<(), E>,
     address_policy: AddressPolicy,
     warmup: SimDuration,
-) -> ReplayReport {
+) -> Result<ReplayReport, E> {
     let _span = tracer_obs::span("replay.drive_ns");
     let started = sim.now();
     let capacity = sim.data_capacity_sectors();
@@ -149,7 +180,7 @@ fn replay_bunches<'a>(
     let mut issued_bytes = 0u64;
     let mut skipped = 0u64;
 
-    for (timestamp, ios) in bunches {
+    drive(&mut |timestamp, ios| {
         let at = started + SimDuration::from_nanos(timestamp);
         // Advance the engine so submissions cannot land in the past.
         sim.run_until(at);
@@ -176,7 +207,7 @@ fn replay_bunches<'a>(
             issued_ios += 1;
             issued_bytes += u64::from(io.bytes);
         }
-    }
+    })?;
     sim.run_to_idle();
     publish_issue_tallies(sim, issued_ios, issued_bytes, skipped);
     let completions = sim.drain_completions();
@@ -188,7 +219,7 @@ fn replay_bunches<'a>(
     let summary = PerformanceMonitor::summarize(&completions, measured_from, bump(finished));
     let samples = PerformanceMonitor::default().bin(&completions, measured_from, bump(finished));
 
-    ReplayReport {
+    Ok(ReplayReport {
         started,
         measured_from,
         finished,
@@ -198,7 +229,7 @@ fn replay_bunches<'a>(
         completions,
         summary,
         samples,
-    }
+    })
 }
 
 /// Replay `trace` as fast as possible: timestamps are ignored and a fixed
@@ -206,9 +237,9 @@ fn replay_bunches<'a>(
 /// order) as each completes — the closed-loop "AFAP" mode classic replay
 /// tools (blkreplay's `--no-delay`, fio's trace replay) offer for peak
 /// measurement from recorded workloads.
-pub fn replay_afap(
+pub fn replay_afap<S: BunchSource + ?Sized>(
     sim: &mut ArraySim,
-    trace: &Trace,
+    source: &S,
     depth: usize,
     address_policy: AddressPolicy,
 ) -> ReplayReport {
@@ -222,8 +253,13 @@ pub fn replay_afap(
     let mut issued_ios = 0u64;
     let mut issued_bytes = 0u64;
 
-    // Flatten the trace into issue order.
-    let ios: Vec<tracer_trace::IoPackage> = trace.iter_ios().map(|(_, io)| *io).collect();
+    // Flatten the source into issue order. AFAP reorders by completion, so a
+    // flat copy of the IO descriptors (not the bunches) is inherent to the
+    // mode; this does not count as a bunch materialization.
+    let mut ios: Vec<IoPackage> = Vec::new();
+    source
+        .try_for_each_bunch(&mut |_, bunch| ios.extend_from_slice(bunch))
+        .unwrap_or_else(|e| panic!("trace source failed during AFAP replay: {e}"));
     let mut next = 0usize;
     let mut issue = |sim: &mut ArraySim, at: SimTime, next: &mut usize| -> bool {
         while *next < ios.len() {

@@ -47,8 +47,8 @@ pub mod realtime;
 pub mod scale;
 
 pub use engine::{
-    replay, replay_afap, replay_prepared, replay_prepared_with_warmup, AddressPolicy, ReplayConfig,
-    ReplayReport,
+    replay, replay_afap, replay_prepared, replay_prepared_with_warmup, try_replay, AddressPolicy,
+    ReplayConfig, ReplayReport,
 };
 pub use filter::{ProportionalFilter, RandomFilter};
 pub use monitor::{PerfSample, PerfSummary, PerformanceMonitor};

@@ -34,8 +34,9 @@
 
 use crate::filter::ProportionalFilter;
 use crate::scale::LoadControl;
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use tracer_trace::{Bunch, IoPackage, Nanos, Trace};
+use tracer_trace::{Bunch, BunchSource, IoPackage, Nanos, Trace, TraceError};
 
 /// Process-wide count of trace materializations (see
 /// [`trace_materializations`]).
@@ -63,11 +64,18 @@ pub fn trace_materializations() -> u64 {
     MATERIALIZATIONS.load(Ordering::Relaxed)
 }
 
-/// A lazy, zero-allocation view of `trace` under a [`LoadControl`].
+/// A lazy, zero-allocation view of a bunch source under a [`LoadControl`].
 ///
 /// Construction validates the load (a zero intensity is not replayable);
 /// iteration applies the proportional filter and intensity scaling per bunch
 /// without cloning. The view is `Copy` — it is two words plus the borrow.
+///
+/// The source is anything implementing [`BunchSource`]: an in-memory
+/// [`Trace`] (the default type parameter, so `ReplayPlan<'_>` keeps meaning
+/// what it always has), an mmap-backed `TraceView`, or a `TraceHandle`
+/// wrapping either. [`ReplayPlan::try_for_each`] drives any source;
+/// [`ReplayPlan::iter`] and [`ReplayPlan::materialize`] remain available when
+/// the source is a `Trace`.
 ///
 /// ```
 /// use tracer_replay::{LoadControl, ReplayPlan};
@@ -82,14 +90,33 @@ pub fn trace_materializations() -> u64 {
 /// // Bunch 2 (1-based) survives at 50 %; its 1 ms timestamp halves at 200 %.
 /// assert_eq!(plan.iter().next().unwrap().0, 500_000);
 /// ```
-#[derive(Debug, Clone, Copy)]
-pub struct ReplayPlan<'a> {
-    trace: &'a Trace,
+pub struct ReplayPlan<'a, S: BunchSource + ?Sized = Trace> {
+    source: &'a S,
     load: LoadControl,
 }
 
-impl<'a> ReplayPlan<'a> {
-    /// Plan a replay of `trace` under `load`.
+// Manual impls: deriving would bound `S: Copy` / `S: Clone` / `S: Debug`,
+// none of which the shared borrow actually needs.
+impl<S: BunchSource + ?Sized> Clone for ReplayPlan<'_, S> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<S: BunchSource + ?Sized> Copy for ReplayPlan<'_, S> {}
+
+impl<S: BunchSource + ?Sized> fmt::Debug for ReplayPlan<'_, S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ReplayPlan")
+            .field("device", &self.source.device())
+            .field("bunches", &self.source.bunch_count())
+            .field("load", &self.load)
+            .finish()
+    }
+}
+
+impl<'a, S: BunchSource + ?Sized> ReplayPlan<'a, S> {
+    /// Plan a replay of `source` under `load`.
     ///
     /// # Panics
     /// Panics if `load.intensity_pct` is zero (an intensity of zero is not
@@ -97,14 +124,14 @@ impl<'a> ReplayPlan<'a> {
     /// before any replay work starts.
     ///
     /// [`scale_intensity`]: crate::scale::scale_intensity
-    pub fn new(trace: &'a Trace, load: LoadControl) -> Self {
+    pub fn new(source: &'a S, load: LoadControl) -> Self {
         assert!(load.intensity_pct > 0, "intensity must be positive");
-        Self { trace, load }
+        Self { source, load }
     }
 
-    /// The borrowed source trace.
-    pub fn trace(&self) -> &'a Trace {
-        self.trace
+    /// The borrowed bunch source.
+    pub fn source(&self) -> &'a S {
+        self.source
     }
 
     /// The load control this plan applies.
@@ -115,7 +142,7 @@ impl<'a> ReplayPlan<'a> {
     /// Number of bunches the plan replays: the Bresenham filter selects
     /// exactly `⌊n · p / 100⌋` of `n` bunches.
     pub fn len(&self) -> usize {
-        let n = self.trace.bunch_count() as u64;
+        let n = self.source.bunch_count() as u64;
         let p = u64::from(self.load.proportion_pct.min(100));
         (n * p / 100) as usize
     }
@@ -139,11 +166,35 @@ impl<'a> ReplayPlan<'a> {
         }
     }
 
+    /// Visit the selected bunches as `(scaled timestamp, IO packages)` pairs,
+    /// borrowing everything from the source. The filter index is 1-based,
+    /// matching [`ReplayPlan::iter`] and the materializing filter, so all
+    /// three paths select identical bunches. The only error source is the
+    /// underlying [`BunchSource`] (e.g. a corrupt v3 file discovered
+    /// mid-scan); an in-memory trace cannot fail.
+    pub fn try_for_each(&self, f: &mut dyn FnMut(Nanos, &[IoPackage])) -> Result<(), TraceError> {
+        let proportion = self.load.proportion_pct;
+        let mut index = 0u64;
+        self.source.try_for_each_bunch(&mut |ts, ios| {
+            index += 1;
+            if ProportionalFilter::selects(proportion, index) {
+                f(self.scale_ts(ts), ios);
+            }
+        })
+    }
+}
+
+impl<'a> ReplayPlan<'a, Trace> {
+    /// The borrowed source trace.
+    pub fn trace(&self) -> &'a Trace {
+        self.source
+    }
+
     /// Iterate the selected bunches as `(scaled timestamp, IO packages)`
     /// pairs, borrowing everything from the source trace.
     pub fn iter(&self) -> impl Iterator<Item = (Nanos, &'a [IoPackage])> {
         let plan = *self;
-        self.trace
+        self.source
             .bunches
             .iter()
             .enumerate()
@@ -162,7 +213,7 @@ impl<'a> ReplayPlan<'a> {
             // tracer-lint: allow(zero-copy) -- materialize IS the opt-in copy, counted above
             self.iter().map(|(timestamp, ios)| Bunch { timestamp, ios: ios.to_vec() }).collect();
         // tracer-lint: allow(zero-copy) -- materialize IS the opt-in copy, counted above
-        Trace { device: self.trace.device.clone(), bunches }
+        Trace { device: self.source.device.clone(), bunches }
     }
 }
 
@@ -234,6 +285,22 @@ mod tests {
         assert_eq!(trace_materializations(), before, "iteration must be copy-free");
         let _ = plan.materialize();
         assert!(trace_materializations() > before, "materialize is the opt-in copy");
+    }
+
+    #[test]
+    fn try_for_each_agrees_with_iter_across_sources() {
+        let t = trace_of(37);
+        for proportion in [0u32, 33, 50, 100] {
+            for intensity in [50u32, 100, 200] {
+                let load = LoadControl { proportion_pct: proportion, intensity_pct: intensity };
+                let plan = ReplayPlan::new(&t, load);
+                let via_iter: Vec<(u64, Vec<IoPackage>)> =
+                    plan.iter().map(|(ts, ios)| (ts, ios.to_vec())).collect();
+                let mut via_visit = Vec::new();
+                plan.try_for_each(&mut |ts, ios| via_visit.push((ts, ios.to_vec()))).unwrap();
+                assert_eq!(via_iter, via_visit, "p{proportion} i{intensity}");
+            }
+        }
     }
 
     #[test]

@@ -66,7 +66,7 @@ fn serve(
     let build: tracer_serve::server::BuildArray =
         Arc::new(move |requested: &str| (requested == device).then(|| array.build()));
     let load: tracer_serve::server::LoadTrace =
-        Arc::new(move |dev: &str, mode: &WorkloadMode| repo.load_shared(dev, mode).ok());
+        Arc::new(move |dev: &str, mode: &WorkloadMode| repo.load_view(dev, mode).ok());
     let config = ServiceConfig {
         workers: workers.max(1),
         queue_capacity: ServiceConfig::resolved_capacity(workers.max(1), queue),

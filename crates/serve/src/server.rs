@@ -31,14 +31,15 @@ use tracer_core::distributed::EvaluationJob;
 use tracer_core::messages::{parse_job_command, JobCommand};
 use tracer_fabric::joblog::JobSpec;
 use tracer_sim::ArraySim;
-use tracer_trace::{Trace, WorkloadMode};
+use tracer_trace::{TraceHandle, WorkloadMode};
 
 /// Resolves a device name to a fresh simulator instance.
 pub type BuildArray = Arc<dyn Fn(&str) -> Option<ArraySim> + Send + Sync>;
 /// Resolves `(device, mode)` to a shared handle on the trace to replay.
-/// Returning `Arc<Trace>` lets every queued job over the same trace share one
-/// decoded copy (pair with [`tracer_trace::TraceRepository::load_shared`]).
-pub type LoadTrace = Arc<dyn Fn(&str, &WorkloadMode) -> Option<Arc<Trace>> + Send + Sync>;
+/// Returning [`TraceHandle`] lets every queued job over the same trace share
+/// one decoded copy or one mapped v3 view (pair with
+/// [`tracer_trace::TraceRepository::load_view`]).
+pub type LoadTrace = Arc<dyn Fn(&str, &WorkloadMode) -> Option<TraceHandle> + Send + Sync>;
 
 /// The multi-client job server.
 pub struct JobServer {

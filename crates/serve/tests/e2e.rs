@@ -35,7 +35,7 @@ fn spawn_server(workers: usize, queue: usize) -> JobServer {
     let trace = Arc::new(busy_trace());
     let build: BuildArray = Arc::new(|device| (device == DEVICE).then(|| presets::hdd_raid5(4)));
     let load: LoadTrace =
-        Arc::new(move |device, _mode| (device == DEVICE).then(|| Arc::clone(&trace)));
+        Arc::new(move |device, _mode| (device == DEVICE).then(|| Arc::clone(&trace).into()));
     JobServer::spawn(ServiceConfig { workers, queue_capacity: queue }, build, load)
         .expect("bind localhost")
 }

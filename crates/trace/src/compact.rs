@@ -156,6 +156,7 @@ impl<'a> BunchDecoder<'a> {
             self.last_end = io.end_sector() as i64;
             ios.push(io);
         }
+        crate::source::record_bunch_materializations(1);
         Ok(Some(Bunch::new(self.last_ts, ios)))
     }
 }

@@ -37,16 +37,22 @@
 pub mod blkparse;
 pub mod compact;
 pub mod error;
+pub mod mmap;
 pub mod mode;
 pub mod model;
 pub mod replay_format;
 pub mod repository;
+pub mod source;
 pub mod srt;
 pub mod stats;
 pub mod transform;
+pub mod v3;
 
 pub use error::TraceError;
+pub use mmap::Mmap;
 pub use mode::{sweep, WorkloadMode};
 pub use model::{Bunch, IoPackage, Nanos, OpKind, Sector, Trace, SECTOR_BYTES};
 pub use repository::TraceRepository;
+pub use source::{bunch_materializations, BunchSource, TraceHandle};
 pub use stats::{TraceFingerprint, TraceStats};
+pub use v3::TraceView;

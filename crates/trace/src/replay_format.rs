@@ -73,7 +73,7 @@ pub fn from_bytes(mut data: &[u8]) -> Result<Trace, TraceError> {
         return Err(TraceError::BadMagic(magic));
     }
     let version = data.get_u16_le();
-    if version != VERSION && version != crate::compact::VERSION {
+    if version != VERSION && version != crate::compact::VERSION && version != crate::v3::VERSION {
         return Err(TraceError::UnsupportedVersion(version));
     }
     let dev_len = data.get_u16_le() as usize;
@@ -84,6 +84,9 @@ pub fn from_bytes(mut data: &[u8]) -> Result<Trace, TraceError> {
         .map_err(|_| corrupt("device name is not UTF-8"))?;
     if version == crate::compact::VERSION {
         return crate::compact::decode_body(data, device);
+    }
+    if version == crate::v3::VERSION {
+        return crate::v3::decode_body(data, device);
     }
     if data.remaining() < 8 {
         return Err(corrupt("missing bunch count"));
@@ -124,25 +127,39 @@ pub fn from_bytes(mut data: &[u8]) -> Result<Trace, TraceError> {
         }
         bunches.push(Bunch::new(timestamp, ios));
     }
+    crate::source::record_bunch_materializations(bunches.len() as u64);
     Ok(Trace { device, bunches })
+}
+
+/// Write `bytes` to `path` through a same-directory temp file and an atomic
+/// `rename`. Every `.replay` writer funnels here: a path is only ever
+/// replaced by a fresh inode, never truncated in place, so live
+/// [`crate::v3::TraceView`] mappings of the old contents stay valid (the
+/// mmap safety argument, [`crate::mmap`]).
+pub fn write_bytes_atomic(bytes: &[u8], path: &Path) -> Result<(), TraceError> {
+    let tmp = path.with_extension(format!("tmp{}", std::process::id()));
+    {
+        let mut w = BufWriter::new(File::create(&tmp)?);
+        w.write_all(bytes)?;
+        w.flush()?;
+    }
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e.into());
+    }
+    Ok(())
 }
 
 /// Write a trace to `path` in `.replay` format (compact v2 encoding; see
 /// [`crate::compact`]). Readers auto-detect the version.
 pub fn write_file(trace: &Trace, path: &Path) -> Result<(), TraceError> {
-    let mut w = BufWriter::new(File::create(path)?);
-    w.write_all(&crate::compact::to_bytes(trace))?;
-    w.flush()?;
-    Ok(())
+    write_bytes_atomic(&crate::compact::to_bytes(trace), path)
 }
 
 /// Write a trace in the fixed-width version-1 encoding (interoperability /
 /// debugging; larger but trivially seekable).
 pub fn write_file_v1(trace: &Trace, path: &Path) -> Result<(), TraceError> {
-    let mut w = BufWriter::new(File::create(path)?);
-    w.write_all(&to_bytes(trace))?;
-    w.flush()?;
-    Ok(())
+    write_bytes_atomic(&to_bytes(trace), path)
 }
 
 /// Read a `.replay` file from `path`.
@@ -150,6 +167,25 @@ pub fn read_file(path: &Path) -> Result<Trace, TraceError> {
     let mut r = BufReader::new(File::open(path)?);
     let mut data = Vec::new();
     r.read_to_end(&mut data)?;
+    from_bytes(&data)
+}
+
+/// Read a `.replay` file in **any** supported version — v1/v2 through
+/// [`from_bytes`], the v3 columnar format through [`crate::v3`] — and
+/// materialize it as a heap trace. Callers that want to *stream* a v3 file
+/// should open a [`crate::TraceView`] (or go through
+/// [`crate::TraceRepository::load_view`]) instead.
+pub fn read_file_any(path: &Path) -> Result<Trace, TraceError> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut data = Vec::new();
+    r.read_to_end(&mut data)?;
+    if data.len() >= 6
+        && data[..4] == MAGIC
+        && u16::from_le_bytes([data[4], data[5]]) == crate::v3::VERSION
+    {
+        let (device, body) = crate::v3::split_file(&data)?;
+        return crate::v3::decode_body(body, device.to_string());
+    }
     from_bytes(&data)
 }
 

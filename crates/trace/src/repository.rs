@@ -5,32 +5,232 @@
 //! as storage device type, request size, random rate, and read rate"
 //! (§III-A2). The replay module later asks the repository for the trace that
 //! matches the workload mode configured at the evaluation host.
+//!
+//! # Cache
+//!
+//! The repository keeps a bounded in-process cache over everything it hands
+//! out. Heap-decoded traces ([`TraceRepository::load_shared`]) and mmap-backed
+//! v3 views ([`TraceRepository::load_view`]) share one LRU with byte-level
+//! accounting: decoded traces are charged their approximate heap footprint,
+//! views their mapped length. When the cache would exceed its budget the
+//! least-recently-used entries are evicted (the entry being inserted is never
+//! evicted, so a single over-budget trace still loads). Cached views are keyed
+//! by file identity — device, inode, size, and mtime — so a store that
+//! atomically replaces the file is detected on the next load and the stale
+//! view is dropped, while live replays keep their mapping of the old inode.
+//!
+//! Cache behaviour is observable through `tracer-obs`: gauges
+//! `repo.views_open` and `repo.cache_bytes` track the current view count and
+//! accounted bytes, and counter `repo.evictions` counts LRU evictions.
 
 use crate::error::TraceError;
 use crate::mode::WorkloadMode;
 use crate::model::Trace;
 use crate::replay_format;
+use crate::source::TraceHandle;
+use crate::v3::{self, TraceView};
 use std::collections::BTreeMap;
 use std::fs;
+use std::io::{self, Read};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
 /// File extension used for stored traces.
 pub const EXTENSION: &str = "replay";
 
+/// Default cache budget: 256 MiB of accounted bytes.
+pub const DEFAULT_CACHE_BUDGET: usize = 256 * 1024 * 1024;
+
+/// Identity of an on-disk file, used to validate cached views.
+///
+/// All stores go through an atomic temp-file-plus-rename, so a replaced trace
+/// always has a fresh inode; comparing the full tuple catches both that and
+/// in-place edits by external tools (size/mtime change).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct FileId {
+    dev: u64,
+    ino: u64,
+    size: u64,
+    mtime: i64,
+    mtime_nsec: i64,
+}
+
+impl FileId {
+    fn of(path: &Path) -> io::Result<Self> {
+        let meta = fs::metadata(path)?;
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::MetadataExt;
+            Ok(Self {
+                dev: meta.dev(),
+                ino: meta.ino(),
+                size: meta.len(),
+                mtime: meta.mtime(),
+                mtime_nsec: meta.mtime_nsec(),
+            })
+        }
+        #[cfg(not(unix))]
+        {
+            let mtime = meta
+                .modified()
+                .ok()
+                .and_then(|t| t.duration_since(std::time::UNIX_EPOCH).ok())
+                .unwrap_or_default();
+            Ok(Self {
+                dev: 0,
+                ino: 0,
+                size: meta.len(),
+                mtime: mtime.as_secs() as i64,
+                mtime_nsec: i64::from(mtime.subsec_nanos()),
+            })
+        }
+    }
+}
+
+#[derive(Debug)]
+struct CachedTrace {
+    trace: Arc<Trace>,
+    bytes: usize,
+    used: u64,
+}
+
+#[derive(Debug)]
+struct CachedView {
+    view: Arc<TraceView>,
+    id: FileId,
+    bytes: usize,
+    used: u64,
+}
+
+/// Unified LRU over decoded traces and mapped views.
+#[derive(Debug)]
+struct CacheState {
+    traces: BTreeMap<PathBuf, CachedTrace>,
+    views: BTreeMap<PathBuf, CachedView>,
+    /// Logical clock; bumped on every hit or insert. Entries carry the clock
+    /// value of their last use, making "least recently used" a min() scan.
+    clock: u64,
+    /// Accounted bytes across both maps.
+    bytes: usize,
+    budget: usize,
+    evictions: u64,
+}
+
+impl CacheState {
+    fn new(budget: usize) -> Self {
+        Self {
+            traces: BTreeMap::new(),
+            views: BTreeMap::new(),
+            clock: 0,
+            bytes: 0,
+            budget,
+            evictions: 0,
+        }
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    fn get_trace(&mut self, path: &Path) -> Option<Arc<Trace>> {
+        let stamp = self.tick();
+        let hit = self.traces.get_mut(path)?;
+        hit.used = stamp;
+        Some(Arc::clone(&hit.trace))
+    }
+
+    /// Return the cached view for `path` iff its recorded file identity still
+    /// matches `id`; a mismatched (stale) entry is dropped.
+    fn get_view(&mut self, path: &Path, id: FileId) -> Option<Arc<TraceView>> {
+        let stamp = self.tick();
+        match self.views.get_mut(path) {
+            Some(hit) if hit.id == id => {
+                hit.used = stamp;
+                Some(Arc::clone(&hit.view))
+            }
+            Some(_) => {
+                self.remove(path);
+                self.publish();
+                None
+            }
+            None => None,
+        }
+    }
+
+    fn insert_trace(&mut self, path: PathBuf, trace: Arc<Trace>) {
+        let stamp = self.tick();
+        self.remove(&path);
+        let bytes = trace.approx_heap_bytes();
+        self.bytes += bytes;
+        self.traces.insert(path.clone(), CachedTrace { trace, bytes, used: stamp });
+        self.evict_to_budget(&path);
+        self.publish();
+    }
+
+    fn insert_view(&mut self, path: PathBuf, view: Arc<TraceView>, id: FileId) {
+        let stamp = self.tick();
+        self.remove(&path);
+        let bytes = view.mapped_len();
+        self.bytes += bytes;
+        self.views.insert(path.clone(), CachedView { view, id, bytes, used: stamp });
+        self.evict_to_budget(&path);
+        self.publish();
+    }
+
+    /// Drop `path` from whichever map holds it, fixing byte accounting.
+    fn remove(&mut self, path: &Path) {
+        if let Some(old) = self.traces.remove(path) {
+            self.bytes -= old.bytes;
+        }
+        if let Some(old) = self.views.remove(path) {
+            self.bytes -= old.bytes;
+        }
+    }
+
+    /// Evict least-recently-used entries until the budget holds, never
+    /// touching `keep` (the entry that triggered the pass).
+    fn evict_to_budget(&mut self, keep: &Path) {
+        while self.bytes > self.budget {
+            let victim = self
+                .traces
+                .iter()
+                .map(|(p, e)| (e.used, p))
+                .chain(self.views.iter().map(|(p, e)| (e.used, p)))
+                .filter(|(_, p)| p.as_path() != keep)
+                .min()
+                .map(|(_, p)| p.clone());
+            let Some(victim) = victim else { break };
+            self.remove(&victim);
+            self.evictions += 1;
+            tracer_obs::counter("repo.evictions").incr();
+        }
+    }
+
+    /// Push the current occupancy into the obs gauges. Called on every cache
+    /// mutation — these are cold paths (file loads and stores), so the two
+    /// registry lookups are negligible next to the I/O they accompany.
+    fn publish(&self) {
+        tracer_obs::gauge("repo.views_open").set(self.views.len() as u64);
+        tracer_obs::gauge("repo.cache_bytes").set(self.bytes as u64);
+    }
+}
+
 /// A directory-backed trace repository.
 ///
 /// [`TraceRepository::load_shared`] / [`TraceRepository::load_named_shared`]
 /// return `Arc<Trace>` handles backed by an in-process cache, so a sweep
 /// asking for the same trace for every one of its cells decodes the file
-/// once and shares one immutable copy across all workers. Stores invalidate
-/// the cached entry for the written path.
+/// once and shares one immutable copy across all workers.
+/// [`TraceRepository::load_view`] / [`TraceRepository::load_view_named`]
+/// negotiate the on-disk format: v3 files come back as shared mmap-backed
+/// [`TraceView`]s that replay without materializing bunches, older formats
+/// fall back to the decoded-trace cache. Stores invalidate the cached entry
+/// for the written path.
 #[derive(Debug)]
 pub struct TraceRepository {
     root: PathBuf,
-    // BTreeMap keeps any future iteration over the cache (stats, eviction)
-    // in stable path order; the point lookups it serves today don't care.
-    shared: Mutex<BTreeMap<PathBuf, Arc<Trace>>>,
+    cache: Mutex<CacheState>,
 }
 
 /// A catalogue entry: device prefix, workload mode, and file path.
@@ -47,9 +247,21 @@ pub struct CatalogEntry {
 impl TraceRepository {
     /// Open (creating if necessary) a repository rooted at `root`.
     pub fn open(root: impl Into<PathBuf>) -> Result<Self, TraceError> {
+        Self::with_cache_budget(root, DEFAULT_CACHE_BUDGET)
+    }
+
+    /// Open a repository with an explicit cache budget in bytes. A budget of
+    /// zero still serves every load (the freshly inserted entry is exempt
+    /// from eviction) but caches nothing across calls.
+    pub fn with_cache_budget(root: impl Into<PathBuf>, budget: usize) -> Result<Self, TraceError> {
         let root = root.into();
         fs::create_dir_all(&root)?;
-        Ok(Self { root, shared: Mutex::new(BTreeMap::new()) })
+        // Touch the cache metrics so a schema check with `--require` sees
+        // them even before the first load.
+        tracer_obs::gauge("repo.views_open");
+        tracer_obs::gauge("repo.cache_bytes");
+        tracer_obs::counter("repo.evictions");
+        Ok(Self { root, cache: Mutex::new(CacheState::new(budget)) })
     }
 
     /// The repository root directory.
@@ -60,6 +272,14 @@ impl TraceRepository {
     /// Path a trace for (`device`, `mode`) is stored at.
     pub fn path_for(&self, device: &str, mode: &WorkloadMode) -> PathBuf {
         self.root.join(format!("{}.{EXTENSION}", mode.file_stem(device)))
+    }
+
+    fn path_named(&self, name: &str) -> PathBuf {
+        self.root.join(format!("{name}.{EXTENSION}"))
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, CacheState> {
+        self.cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// Store a trace under the naming convention. Overwrites silently, as the
@@ -74,8 +294,26 @@ impl TraceRepository {
     /// Store a trace under an explicit free-form name (used for real-world
     /// traces such as converted cello files, which have no mode vector).
     pub fn store_named(&self, name: &str, trace: &Trace) -> Result<PathBuf, TraceError> {
-        let path = self.root.join(format!("{name}.{EXTENSION}"));
+        let path = self.path_named(name);
         replay_format::write_file(trace, &path)?;
+        self.invalidate(&path);
+        Ok(path)
+    }
+
+    /// Store a trace in the columnar v3 format under the naming convention.
+    /// Subsequent [`TraceRepository::load_view`] calls for the same mode
+    /// replay it straight from the mapped file.
+    pub fn store_v3(&self, mode: &WorkloadMode, trace: &Trace) -> Result<PathBuf, TraceError> {
+        let path = self.path_for(&trace.device, mode);
+        v3::write_file(trace, &path)?;
+        self.invalidate(&path);
+        Ok(path)
+    }
+
+    /// Store a trace in the columnar v3 format under a free-form name.
+    pub fn store_v3_named(&self, name: &str, trace: &Trace) -> Result<PathBuf, TraceError> {
+        let path = self.path_named(name);
+        v3::write_file(trace, &path)?;
         self.invalidate(&path);
         Ok(path)
     }
@@ -91,7 +329,7 @@ impl TraceRepository {
 
     /// Load a trace stored under a free-form name.
     pub fn load_named(&self, name: &str) -> Result<Trace, TraceError> {
-        let path = self.root.join(format!("{name}.{EXTENSION}"));
+        let path = self.path_named(name);
         if !path.exists() {
             return Err(TraceError::NotFound(name.to_string()));
         }
@@ -105,39 +343,95 @@ impl TraceRepository {
     /// each mode's trace no matter how many workers replay it concurrently.
     pub fn load_shared(&self, device: &str, mode: &WorkloadMode) -> Result<Arc<Trace>, TraceError> {
         let path = self.path_for(device, mode);
-        if let Some(hit) =
-            self.shared.lock().unwrap_or_else(std::sync::PoisonError::into_inner).get(&path)
-        {
-            return Ok(Arc::clone(hit));
+        if let Some(hit) = self.lock().get_trace(&path) {
+            return Ok(hit);
         }
         let trace = Arc::new(self.load(device, mode)?);
-        self.shared
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .insert(path, Arc::clone(&trace));
+        self.lock().insert_trace(path, Arc::clone(&trace));
         Ok(trace)
     }
 
     /// Load a free-form-named trace as a shared, cached handle (see
     /// [`TraceRepository::load_shared`]).
     pub fn load_named_shared(&self, name: &str) -> Result<Arc<Trace>, TraceError> {
-        let path = self.root.join(format!("{name}.{EXTENSION}"));
-        if let Some(hit) =
-            self.shared.lock().unwrap_or_else(std::sync::PoisonError::into_inner).get(&path)
-        {
-            return Ok(Arc::clone(hit));
+        let path = self.path_named(name);
+        if let Some(hit) = self.lock().get_trace(&path) {
+            return Ok(hit);
         }
         let trace = Arc::new(self.load_named(name)?);
-        self.shared
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .insert(path, Arc::clone(&trace));
+        self.lock().insert_trace(path, Arc::clone(&trace));
         Ok(trace)
     }
 
-    /// Drop the cached shared handle for `path` (called on every store).
+    /// Load the trace for (`device`, `mode`), negotiating the on-disk format.
+    ///
+    /// v3 files come back as [`TraceHandle::View`] — an mmap-backed view
+    /// replayed with zero bunch materialization; v1/v2 files come back as
+    /// [`TraceHandle::Owned`] through the decoded-trace cache. Views are
+    /// cached keyed by file identity, so replacing the file (all stores are
+    /// atomic renames) transparently remaps on the next load.
+    pub fn load_view(&self, device: &str, mode: &WorkloadMode) -> Result<TraceHandle, TraceError> {
+        let path = self.path_for(device, mode);
+        if !path.exists() {
+            return Err(TraceError::NotFound(mode.file_stem(device)));
+        }
+        self.open_handle(&path, || self.load(device, mode))
+    }
+
+    /// Load a free-form-named trace, negotiating the on-disk format (see
+    /// [`TraceRepository::load_view`]).
+    pub fn load_view_named(&self, name: &str) -> Result<TraceHandle, TraceError> {
+        let path = self.path_named(name);
+        if !path.exists() {
+            return Err(TraceError::NotFound(name.to_string()));
+        }
+        self.open_handle(&path, || self.load_named(name))
+    }
+
+    /// Format-negotiating open: v3 gets a cached view, everything else a
+    /// cached decoded trace produced by `fallback`.
+    fn open_handle(
+        &self,
+        path: &Path,
+        fallback: impl FnOnce() -> Result<Trace, TraceError>,
+    ) -> Result<TraceHandle, TraceError> {
+        if peek_version(path)? != v3::VERSION {
+            if let Some(hit) = self.lock().get_trace(path) {
+                return Ok(TraceHandle::Owned(hit));
+            }
+            let trace = Arc::new(fallback()?);
+            self.lock().insert_trace(path.to_path_buf(), Arc::clone(&trace));
+            return Ok(TraceHandle::Owned(trace));
+        }
+        let id = FileId::of(path)?;
+        if let Some(hit) = self.lock().get_view(path, id) {
+            return Ok(TraceHandle::View(hit));
+        }
+        let view = Arc::new(TraceView::open(path)?);
+        self.lock().insert_view(path.to_path_buf(), Arc::clone(&view), id);
+        Ok(TraceHandle::View(view))
+    }
+
+    /// Drop the cached handle for `path` (called on every store).
     fn invalidate(&self, path: &Path) {
-        self.shared.lock().unwrap_or_else(std::sync::PoisonError::into_inner).remove(path);
+        let mut cache = self.lock();
+        cache.remove(path);
+        cache.publish();
+    }
+
+    /// Bytes currently accounted to the cache (decoded traces + mapped views).
+    pub fn cache_bytes(&self) -> usize {
+        self.lock().bytes
+    }
+
+    /// Number of mmap-backed views currently cached.
+    pub fn views_open(&self) -> usize {
+        self.lock().views.len()
+    }
+
+    /// LRU evictions performed since the repository was opened.
+    pub fn evictions(&self) -> u64 {
+        self.lock().evictions
     }
 
     /// `true` if a trace for (`device`, `mode`) is present.
@@ -182,10 +476,25 @@ impl TraceRepository {
     }
 }
 
+/// Read just the shared header's version field without decoding the body.
+fn peek_version(path: &Path) -> Result<u16, TraceError> {
+    let mut head = [0u8; 6];
+    let mut file = fs::File::open(path)?;
+    file.read_exact(&mut head)
+        .map_err(|_| TraceError::Corrupt("file shorter than the shared header".into()))?;
+    if head[..4] != replay_format::MAGIC {
+        let mut magic = [0u8; 4];
+        magic.copy_from_slice(&head[..4]);
+        return Err(TraceError::BadMagic(magic));
+    }
+    Ok(u16::from_le_bytes([head[4], head[5]]))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::model::{Bunch, IoPackage};
+    use crate::source::BunchSource;
 
     fn tmp_repo(tag: &str) -> TraceRepository {
         let dir = std::env::temp_dir().join(format!("tracer_repo_{tag}_{}", std::process::id()));
@@ -217,6 +526,8 @@ mod tests {
         assert!(!repo.contains("x", &mode));
         assert!(matches!(repo.load("x", &mode), Err(TraceError::NotFound(_))));
         assert!(matches!(repo.load_named("webserver"), Err(TraceError::NotFound(_))));
+        assert!(matches!(repo.load_view("x", &mode), Err(TraceError::NotFound(_))));
+        assert!(matches!(repo.load_view_named("webserver"), Err(TraceError::NotFound(_))));
         fs::remove_dir_all(repo.root()).unwrap();
     }
 
@@ -277,6 +588,106 @@ mod tests {
         // but loading it reports corruption.
         assert_eq!(repo.named_traces().unwrap(), vec!["junk".to_string()]);
         assert!(repo.load_named("junk").is_err());
+        assert!(repo.load_view_named("junk").is_err());
+        fs::remove_dir_all(repo.root()).unwrap();
+    }
+
+    #[test]
+    fn load_view_negotiates_the_on_disk_format() {
+        let repo = tmp_repo("negotiate");
+        let mode = WorkloadMode::peak(4096, 0, 0);
+        let t = tiny_trace("raid5");
+
+        // v2 store -> owned handle, shared with the load_shared cache.
+        repo.store(&mode, &t).unwrap();
+        let h = repo.load_view("raid5", &mode).unwrap();
+        assert!(!h.is_view());
+        let shared = repo.load_shared("raid5", &mode).unwrap();
+        assert!(Arc::ptr_eq(h.as_trace().unwrap(), &shared));
+
+        // v3 store over the same path -> view handle, old entry invalidated.
+        repo.store_v3(&mode, &t).unwrap();
+        let v = repo.load_view("raid5", &mode).unwrap();
+        assert!(v.is_view());
+        assert_eq!(repo.views_open(), 1);
+        let v2 = repo.load_view("raid5", &mode).unwrap();
+        match (&v, &v2) {
+            (TraceHandle::View(a), TraceHandle::View(b)) => {
+                assert!(Arc::ptr_eq(a, b), "view cache must share one mapping");
+            }
+            _ => panic!("expected view handles"),
+        }
+        assert_eq!(v.to_trace().unwrap(), t);
+
+        // Named v3 stores round-trip too.
+        repo.store_v3_named("colv3", &t).unwrap();
+        let n = repo.load_view_named("colv3").unwrap();
+        assert!(n.is_view());
+        assert_eq!(n.to_trace().unwrap(), t);
+        fs::remove_dir_all(repo.root()).unwrap();
+    }
+
+    #[test]
+    fn stale_views_are_dropped_when_the_file_is_replaced() {
+        let repo = tmp_repo("stale");
+        let t = tiny_trace("dev");
+        repo.store_v3_named("w", &t).unwrap();
+        let first = repo.load_view_named("w").unwrap();
+
+        // Replace the file behind the repository's back (no invalidate call):
+        // the identity check must still notice the new inode.
+        let other = Trace::from_bunches("dev", vec![Bunch::new(9, vec![IoPackage::write(8, 512)])]);
+        v3::write_file(&other, &repo.root().join("w.replay")).unwrap();
+        let second = repo.load_view_named("w").unwrap();
+        assert_eq!(second.to_trace().unwrap(), other);
+        // The old mapping stays valid for holders of the first handle.
+        assert_eq!(first.to_trace().unwrap(), t);
+        fs::remove_dir_all(repo.root()).unwrap();
+    }
+
+    #[test]
+    fn cache_accounts_bytes_and_evicts_least_recently_used() {
+        let repo_dir = std::env::temp_dir().join(format!("tracer_repo_lru_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&repo_dir);
+        // Budget fits roughly one tiny trace's accounting, forcing eviction
+        // on the second distinct load.
+        let budget = tiny_trace("d").approx_heap_bytes() + 16;
+        let repo = TraceRepository::with_cache_budget(&repo_dir, budget).unwrap();
+
+        repo.store_named("a", &tiny_trace("d")).unwrap();
+        repo.store_named("b", &tiny_trace("d")).unwrap();
+        let _a = repo.load_named_shared("a").unwrap();
+        let before = repo.cache_bytes();
+        assert!(before > 0);
+        let _b = repo.load_named_shared("b").unwrap();
+        assert_eq!(repo.evictions(), 1, "loading b must evict a");
+        // Evicting `a` means a reload decodes afresh (different Arc).
+        let a2 = repo.load_named_shared("a").unwrap();
+        assert!(!Arc::ptr_eq(&_a, &a2));
+
+        // Views participate in the same accounting.
+        repo.store_v3_named("v", &tiny_trace("d")).unwrap();
+        let h = repo.load_view_named("v").unwrap();
+        assert!(h.is_view());
+        assert!(repo.evictions() >= 2, "view insert must evict the older trace");
+        // The view exceeds the toy budget on its own, so it is the only
+        // survivor (the just-inserted entry is exempt from eviction).
+        let TraceHandle::View(view) = &h else { panic!("expected a view handle") };
+        assert_eq!(repo.cache_bytes(), view.mapped_len());
+        assert_eq!(repo.views_open(), 1);
+        fs::remove_dir_all(repo.root()).unwrap();
+    }
+
+    #[test]
+    fn zero_budget_repo_still_serves_views() {
+        let dir = std::env::temp_dir().join(format!("tracer_repo_zb_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let repo = TraceRepository::with_cache_budget(&dir, 0).unwrap();
+        repo.store_v3_named("w", &tiny_trace("d")).unwrap();
+        let h = repo.load_view_named("w").unwrap();
+        let mut n = 0usize;
+        h.try_for_each_bunch(&mut |_, ios| n += ios.len()).unwrap();
+        assert_eq!(n, 1);
         fs::remove_dir_all(repo.root()).unwrap();
     }
 }

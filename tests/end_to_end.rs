@@ -97,7 +97,7 @@ fn command_session_drives_full_test() {
     let trace = std::sync::Arc::new(collect_trace(mode, 1));
     let mut session = CommandSession::new(
         |device: &str| (device == "raid5-hdd4").then(|| presets::hdd_raid5(4)),
-        move |_: &str, _: &WorkloadMode| Some(std::sync::Arc::clone(&trace)),
+        move |_: &str, _: &WorkloadMode| Some(std::sync::Arc::clone(&trace).into()),
     );
     session.handle_line("init-analyzer cycle=1000").unwrap();
     session.handle_line("configure device=raid5-hdd4 rs=8192 rn=0 rd=100 load=50").unwrap();
