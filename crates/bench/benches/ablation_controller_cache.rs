@@ -11,7 +11,7 @@ use tracer_core::prelude::*;
 use tracer_sim::{ArraySim, CacheConfig, Device};
 
 fn build(cache: Option<CacheConfig>) -> ArraySim {
-    let (mut cfg, devices): (_, Vec<Device>) = tracer_sim::presets::hdd_raid5_parts(6);
+    let (mut cfg, devices): (_, Vec<Device>) = tracer_sim::ArraySpec::hdd_raid5(6).parts();
     cfg.cache = cache;
     ArraySim::new(cfg, devices)
 }

@@ -65,7 +65,7 @@ fn main() {
     let archival = timed("archival", || {
         compare_policies(
             &mut host,
-            || tracer_sim::presets::hdd_raid5_parts(6),
+            || tracer_sim::ArraySpec::hdd_raid5(6).parts(),
             &sparse_archival_trace(),
             WorkloadMode::peak(65536, 50, 100),
             &policies(),
@@ -80,7 +80,7 @@ fn main() {
     let busy = timed("web", || {
         compare_policies(
             &mut host,
-            || tracer_sim::presets::hdd_raid5_parts(6),
+            || tracer_sim::ArraySpec::hdd_raid5(6).parts(),
             &web,
             mode,
             &policies(),

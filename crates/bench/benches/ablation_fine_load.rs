@@ -14,7 +14,7 @@ fn main() {
     banner("ablation", "fine-grained load control (beyond the paper's 10% steps)");
     let mode = WorkloadMode::peak(4096, 50, 0);
     let trace = timed("collect", || {
-        let mut sim = presets::hdd_raid5(6);
+        let mut sim = ArraySpec::hdd_raid5(6).build();
         run_peak_workload(
             &mut sim,
             &IometerConfig {
@@ -30,7 +30,7 @@ fn main() {
     let levels: [u32; 9] = [1, 3, 7, 13, 33, 50, 67, 85, 99];
     let mut host = EvaluationHost::new();
     let baseline = {
-        let mut sim = presets::hdd_raid5(6);
+        let mut sim = ArraySpec::hdd_raid5(6).build();
         let measured = EvaluationHost::measure_test(
             host.meter_cycle_ms,
             &mut sim,
@@ -50,7 +50,7 @@ fn main() {
             let filtered = ProportionalFilter::default().filter(&trace, pct);
             let exact = total * u64::from(pct) / 100;
             assert_eq!(filtered.bunch_count() as u64, exact, "Bresenham count at {pct}%");
-            let mut sim = presets::hdd_raid5(6);
+            let mut sim = ArraySpec::hdd_raid5(6).build();
             let measured = EvaluationHost::measure_test(
                 host.meter_cycle_ms,
                 &mut sim,

@@ -10,7 +10,7 @@ use tracer_core::prelude::*;
 use tracer_sim::{ArraySim, Device, QueueDiscipline};
 
 fn build(discipline: QueueDiscipline) -> ArraySim {
-    let (mut cfg, devices): (_, Vec<Device>) = tracer_sim::presets::hdd_raid5_parts(4);
+    let (mut cfg, devices): (_, Vec<Device>) = tracer_sim::ArraySpec::hdd_raid5(4).parts();
     cfg.queue_discipline = discipline;
     ArraySim::new(cfg, devices)
 }

@@ -9,7 +9,7 @@
 
 use tracer_bench::{banner, f, json_result, row, timed};
 use tracer_core::prelude::*;
-use tracer_sim::presets;
+use tracer_sim::ArraySpec;
 
 type Builder = fn() -> ArraySim;
 
@@ -31,9 +31,9 @@ fn mixed_workload(n: u64) -> Trace {
 fn main() {
     banner("ablation", "redundancy: RAID-0 vs RAID-5 vs RAID-10 on six drives");
     let schemes: [(&str, Builder); 3] = [
-        ("raid0", || presets::hdd_raid0(6)),
-        ("raid5", || presets::hdd_raid5(6)),
-        ("raid10", || presets::hdd_raid10(6)),
+        ("raid0", || ArraySpec::hdd_raid0(6).build()),
+        ("raid5", || ArraySpec::hdd_raid5(6).build()),
+        ("raid10", || ArraySpec::hdd_raid10(6).build()),
     ];
     let trace = mixed_workload(1_500);
     let mut rows = Vec::new();

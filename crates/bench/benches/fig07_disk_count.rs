@@ -15,7 +15,7 @@ fn main() {
         row(&["disks".into(), "total W".into(), "disks W".into(), "chassis W".into()]);
         let mut chassis = 0.0;
         for disks in 0..=6usize {
-            let mut sim = presets::hdd_array_idle(disks);
+            let mut sim = ArraySpec::hdd_idle(disks).build();
             let total = host.measure_idle(&mut sim, SimDuration::from_secs(60), "fig07");
             if disks == 0 {
                 chassis = total;

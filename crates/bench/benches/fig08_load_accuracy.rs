@@ -4,37 +4,18 @@
 //! Paper setup: request size 4 KB, random ratio 50 %, read ratio 0 %; a
 //! collected peak trace replayed at 10 %…100 %. The paper reports error rates
 //! below 0.5 % for this fixed-request-size trace.
+//!
+//! The whole cell grid comes from the checked-in scenario file
+//! `examples/scenarios/fig08.toml`; the run doubles as a determinism check
+//! (serial and pooled sweeps must render byte-identical reports).
 
-use tracer_bench::{banner, f, json_result, row, timed};
-use tracer_core::prelude::*;
-use tracer_workload::iometer::run_peak_workload;
+use tracer_bench::{banner, f, json_result, row, run_scenario_differential, scenario, timed};
 
 fn main() {
     banner("Fig. 8", "IOPS/MBPS and control accuracy vs load proportion (4K, rnd 50%, rd 0%)");
-    let mode = WorkloadMode::peak(4096, 50, 0);
-    let trace = timed("collect", || {
-        let mut sim = presets::hdd_raid5(6);
-        run_peak_workload(
-            &mut sim,
-            &IometerConfig {
-                duration: SimDuration::from_secs(30),
-                ..IometerConfig::two_minutes(mode, 8)
-            },
-        )
-        .trace
-    });
-    println!("trace: {} bunches / {} IOs", trace.bunch_count(), trace.io_count());
-
-    let mut host = EvaluationHost::new();
-    let exec = SweepExecutor::auto();
-    let result = timed("sweep", || {
-        SweepBuilder::new().executor(exec).loads(&sweep::LOAD_PCTS).label("fig08").load_sweep(
-            &mut host,
-            || presets::hdd_raid5(6),
-            &trace,
-            mode,
-        )
-    });
+    let spec = scenario("fig08.toml");
+    let outcome = timed("scenario", || run_scenario_differential(&spec));
+    let result = &outcome.results[0].1;
 
     row(&["config %".into(), "IOPS".into(), "MBPS".into(), "acc IOPS".into(), "acc MBPS".into()]);
     for r in &result.rows {

@@ -5,100 +5,50 @@
 //! 512 B…64 KB, read ratios 0…75 %, random 25 %. The paper observes
 //! efficiency linearly proportional to load, with small requests earning the
 //! higher IOPS/Watt.
+//!
+//! Both panels are checked-in scenarios — `fig09a.toml` is a cross grid over
+//! request sizes, `fig09b.toml` zips sizes with read ratios — and each run
+//! asserts byte-identical serial and pooled reports.
 
-use tracer_bench::{banner, f, json_result, row, size_label, timed};
-use tracer_core::prelude::*;
-use tracer_workload::iometer::run_peak_workload;
-
-const LOADS: [u32; 10] = [10, 20, 30, 40, 50, 60, 70, 80, 90, 100];
-
-fn collect(mode: WorkloadMode, seed: u64) -> Trace {
-    let mut sim = presets::hdd_raid5(6);
-    run_peak_workload(
-        &mut sim,
-        &IometerConfig {
-            duration: SimDuration::from_secs(10),
-            ..IometerConfig::two_minutes(mode, seed)
-        },
-    )
-    .trace
-}
-
-fn sweep_metric(
-    host: &mut EvaluationHost,
-    exec: &SweepExecutor,
-    mode: WorkloadMode,
-    metric: impl Fn(&EfficiencyMetrics) -> f64,
-) -> Vec<f64> {
-    let trace = collect(mode, 9);
-    // Measure every load level on the pool, then commit serially in load
-    // order so the database looks exactly as if the loop had run inline.
-    let cycle = host.meter_cycle_ms;
-    let cells = exec.run_indexed(
-        LOADS.len(),
-        |i| {
-            let mut sim = presets::hdd_raid5(6);
-            EvaluationHost::measure_test(
-                cycle,
-                &mut sim,
-                &trace,
-                mode.at_load(LOADS[i]),
-                100,
-                "fig09",
-            )
-        },
-        |_| {},
-    );
-    cells.into_iter().map(|cell| metric(&host.commit(cell).metrics)).collect()
-}
+use tracer_bench::{
+    banner, f, json_result, metric_series, row, run_scenario_differential, scenario, size_label,
+    timed,
+};
+use tracer_trace::sweep::LOAD_PCTS;
 
 fn main() {
-    let mut host = EvaluationHost::new();
-    let exec = SweepExecutor::auto();
-
     banner("Fig. 9a", "IOPS/Watt vs load (sizes 512B–1M; rd 25%, rnd 25%)");
-    let sizes_a: [u32; 5] = [512, 4096, 65536, 262_144, 1 << 20];
-    let mut panel_a = Vec::new();
-    timed("fig09a", || {
-        let mut header = vec!["load %".to_string()];
-        header.extend(sizes_a.iter().map(|&s| size_label(s)));
-        row(&header);
-        let series: Vec<Vec<f64>> = sizes_a
-            .iter()
-            .map(|&s| {
-                sweep_metric(&mut host, &exec, WorkloadMode::peak(s, 25, 25), |m| m.iops_per_watt)
-            })
-            .collect();
-        for (i, &load) in LOADS.iter().enumerate() {
-            let mut cells = vec![load.to_string()];
-            cells.extend(series.iter().map(|v| f(v[i])));
-            row(&cells);
-        }
-        panel_a = series;
+    let spec_a = scenario("fig09a.toml");
+    let sizes_a: Vec<u32> = spec_a.workload.rs.clone();
+    let panel_a = timed("fig09a", || {
+        let outcome = run_scenario_differential(&spec_a);
+        metric_series(&outcome, LOAD_PCTS.len(), |m| m.iops_per_watt)
     });
+    let mut header = vec!["load %".to_string()];
+    header.extend(sizes_a.iter().map(|&s| size_label(s)));
+    row(&header);
+    for (i, &load) in LOAD_PCTS.iter().enumerate() {
+        let mut cells = vec![load.to_string()];
+        cells.extend(panel_a.iter().map(|v| f(v[i])));
+        row(&cells);
+    }
 
     banner("Fig. 9b", "MBPS/Kilowatt vs load (sizes 512B–64K; rd 0–75%, rnd 25%)");
-    let cfgs_b: [(u32, u8); 4] = [(512, 0), (4096, 25), (16384, 50), (65536, 75)];
-    let mut panel_b = Vec::new();
-    timed("fig09b", || {
-        let mut header = vec!["load %".to_string()];
-        header.extend(cfgs_b.iter().map(|&(s, rd)| format!("{} rd{rd}", size_label(s))));
-        row(&header);
-        let series: Vec<Vec<f64>> = cfgs_b
-            .iter()
-            .map(|&(s, rd)| {
-                sweep_metric(&mut host, &exec, WorkloadMode::peak(s, 25, rd), |m| {
-                    m.mbps_per_kilowatt
-                })
-            })
-            .collect();
-        for (i, &load) in LOADS.iter().enumerate() {
-            let mut cells = vec![load.to_string()];
-            cells.extend(series.iter().map(|v| f(v[i])));
-            row(&cells);
-        }
-        panel_b = series;
+    let spec_b = scenario("fig09b.toml");
+    let cfgs_b: Vec<(u32, u8)> =
+        spec_b.workload.rs.iter().copied().zip(spec_b.workload.rd.iter().copied()).collect();
+    let panel_b = timed("fig09b", || {
+        let outcome = run_scenario_differential(&spec_b);
+        metric_series(&outcome, LOAD_PCTS.len(), |m| m.mbps_per_kilowatt)
     });
+    let mut header = vec!["load %".to_string()];
+    header.extend(cfgs_b.iter().map(|&(s, rd)| format!("{} rd{rd}", size_label(s))));
+    row(&header);
+    for (i, &load) in LOAD_PCTS.iter().enumerate() {
+        let mut cells = vec![load.to_string()];
+        cells.extend(panel_b.iter().map(|v| f(v[i])));
+        row(&cells);
+    }
 
     // Shape checks: every series grows ~linearly with load; small requests
     // earn more IOPS/Watt than large ones at every load level.
@@ -109,7 +59,7 @@ fn main() {
     json_result(
         "fig09",
         &serde_json::json!({
-            "loads": LOADS,
+            "loads": LOAD_PCTS,
             "panel_a_iops_per_watt": panel_a,
             "panel_b_mbps_per_kw": panel_b,
             "monotone": monotone,

@@ -5,82 +5,46 @@
 //! read 100 %, load 100 %. The paper observes efficiency falling as the
 //! random ratio rises (seek power), with sensitivity concentrated below
 //! ~30 % random.
+//!
+//! Both panels load checked-in scenarios (`fig10a.toml`, `fig10b.toml`)
+//! whose cross grids are rs-major — each chunk of cells is one size's
+//! random-ratio series — and every run asserts byte-identical serial and
+//! pooled reports.
 
-use tracer_bench::{banner, f, json_result, row, size_label, timed};
+use tracer_bench::{
+    banner, f, json_result, metric_series, row, run_scenario_differential, scenario, size_label,
+    timed,
+};
 use tracer_core::prelude::*;
-use tracer_workload::iometer::run_peak_workload;
-
-const RANDOMS: [u8; 5] = [0, 25, 50, 75, 100];
-
-fn measure_cell(cycle: u64, mode: WorkloadMode) -> MeasuredTest {
-    let mut sim = presets::hdd_raid5(6);
-    let trace = run_peak_workload(
-        &mut sim,
-        &IometerConfig {
-            duration: SimDuration::from_secs(10),
-            ..IometerConfig::two_minutes(mode, 10)
-        },
-    )
-    .trace;
-    let mut sim = presets::hdd_raid5(6);
-    EvaluationHost::measure_test(cycle, &mut sim, &trace, mode, 100, "fig10")
-}
 
 fn panel(
-    host: &mut EvaluationHost,
-    exec: &SweepExecutor,
     title: &str,
-    sizes: &[u32],
-    read_pct: u8,
+    file: &str,
     metric: impl Fn(&EfficiencyMetrics) -> f64,
-) -> Vec<Vec<f64>> {
-    banner(title, &format!("read {read_pct}%, load 100%"));
+) -> (Vec<u8>, Vec<Vec<f64>>) {
+    let spec = scenario(file);
+    let randoms = spec.workload.rn.clone();
+    banner(title, &format!("read {}%, load 100%", spec.workload.rd[0]));
+    let series = timed(&spec.name.clone(), || {
+        let outcome = run_scenario_differential(&spec);
+        metric_series(&outcome, randoms.len(), metric)
+    });
     let mut header = vec!["rand %".to_string()];
-    header.extend(sizes.iter().map(|&s| size_label(s)));
+    header.extend(spec.workload.rs.iter().map(|&s| size_label(s)));
     row(&header);
-    // All size × random cells run on the pool; commits happen serially in
-    // size-major order, matching the database layout of the old nested loop.
-    let modes: Vec<WorkloadMode> = sizes
-        .iter()
-        .flat_map(|&s| RANDOMS.iter().map(move |&rnd| WorkloadMode::peak(s, rnd, read_pct)))
-        .collect();
-    let cycle = host.meter_cycle_ms;
-    let measured = exec.run_indexed(modes.len(), |i| measure_cell(cycle, modes[i]), |_| {});
-    let series: Vec<Vec<f64>> = measured
-        .chunks_exact(RANDOMS.len())
-        .map(|chunk| chunk.iter().map(|cell| metric(&host.commit(cell.clone()).metrics)).collect())
-        .collect();
-    for (i, &rnd) in RANDOMS.iter().enumerate() {
+    for (i, &rnd) in randoms.iter().enumerate() {
         let mut cells = vec![rnd.to_string()];
         cells.extend(series.iter().map(|v| f(v[i])));
         row(&cells);
     }
-    series
+    (randoms, series)
 }
 
 fn main() {
-    let mut host = EvaluationHost::new();
-    let exec = SweepExecutor::auto();
-    let panel_a = timed("fig10a", || {
-        panel(
-            &mut host,
-            &exec,
-            "Fig. 10a — MBPS/Kilowatt vs random ratio",
-            &[512, 4096, 16384, 65536],
-            0,
-            |m| m.mbps_per_kilowatt,
-        )
-    });
-    let panel_b = timed("fig10b", || {
-        panel(
-            &mut host,
-            &exec,
-            "Fig. 10b — IOPS/Watt vs random ratio",
-            &[4096, 65536, 1 << 20],
-            100,
-            |m| m.iops_per_watt,
-        )
-    });
+    let (randoms, panel_a) =
+        panel("Fig. 10a — MBPS/Kilowatt vs random ratio", "fig10a.toml", |m| m.mbps_per_kilowatt);
+    let (_, panel_b) =
+        panel("Fig. 10b — IOPS/Watt vs random ratio", "fig10b.toml", |m| m.iops_per_watt);
 
     // Shape checks: efficiency falls with random ratio for the sizes where
     // seeks dominate (≤64 KiB), and the 0→25 % drop exceeds the 50→100 % one
@@ -93,7 +57,7 @@ fn main() {
     json_result(
         "fig10",
         &serde_json::json!({
-            "randoms": RANDOMS,
+            "randoms": randoms,
             "panel_a_mbps_per_kw": panel_a,
             "panel_b_iops_per_watt": panel_b,
             "falling": falling,

@@ -5,63 +5,40 @@
 //! (throughput and efficiency insensitive to read ratio); at random 0 % there
 //! is a pronounced U-shape — pure-read and pure-write streams beat mixed
 //! ones.
+//!
+//! The grid comes from `examples/scenarios/fig11.toml`, whose cross grid
+//! nests rn over rd — each chunk of cells is one random ratio's read-ratio
+//! series — and the run asserts byte-identical serial and pooled reports.
 
-use tracer_bench::{banner, f, json_result, row, timed};
-use tracer_core::prelude::*;
-use tracer_workload::iometer::run_peak_workload;
-
-const READS: [u8; 5] = [0, 25, 50, 75, 100];
-const RANDOMS: [u8; 3] = [0, 50, 100];
-
-fn measure(cycle: u64, mode: WorkloadMode) -> MeasuredTest {
-    let mut sim = presets::hdd_raid5(6);
-    let trace = run_peak_workload(
-        &mut sim,
-        &IometerConfig {
-            duration: SimDuration::from_secs(10),
-            ..IometerConfig::two_minutes(mode, 11)
-        },
-    )
-    .trace;
-    let mut sim = presets::hdd_raid5(6);
-    EvaluationHost::measure_test(cycle, &mut sim, &trace, mode, 100, "fig11")
-}
+use tracer_bench::{
+    banner, f, json_result, metric_series, row, run_scenario_differential, scenario, timed,
+};
 
 fn main() {
     banner("Fig. 11", "throughput and efficiency vs read ratio (16K; rnd 0/50/100%)");
-    let mut host = EvaluationHost::new();
-    let exec = SweepExecutor::auto();
-    let mut mbps = Vec::new();
-    let mut eff = Vec::new();
-    timed("fig11", || {
-        // random-major × read-minor grid, fanned out over the pool and
-        // committed in grid order (same order the old serial loops used).
-        let modes: Vec<WorkloadMode> = RANDOMS
-            .iter()
-            .flat_map(|&rnd| READS.iter().map(move |&rd| WorkloadMode::peak(16 * 1024, rnd, rd)))
-            .collect();
-        let cycle = host.meter_cycle_ms;
-        let measured = exec.run_indexed(modes.len(), |i| measure(cycle, modes[i]), |_| {});
-        for chunk in measured.chunks_exact(READS.len()) {
-            let series: Vec<EfficiencyMetrics> =
-                chunk.iter().map(|cell| host.commit(cell.clone()).metrics).collect();
-            mbps.push(series.iter().map(|m| m.mbps).collect::<Vec<_>>());
-            eff.push(series.iter().map(|m| m.mbps_per_kilowatt).collect::<Vec<_>>());
-        }
+    let spec = scenario("fig11.toml");
+    let reads = spec.workload.rd.clone();
+    let randoms = spec.workload.rn.clone();
+    let (mbps, eff) = timed("fig11", || {
+        let outcome = run_scenario_differential(&spec);
+        (
+            metric_series(&outcome, reads.len(), |m| m.mbps),
+            metric_series(&outcome, reads.len(), |m| m.mbps_per_kilowatt),
+        )
     });
 
     println!("(a) MBPS");
     let mut header = vec!["read %".to_string()];
-    header.extend(RANDOMS.iter().map(|r| format!("rnd {r}%")));
+    header.extend(randoms.iter().map(|r| format!("rnd {r}%")));
     row(&header);
-    for (i, &rd) in READS.iter().enumerate() {
+    for (i, &rd) in reads.iter().enumerate() {
         let mut cells = vec![rd.to_string()];
         cells.extend(mbps.iter().map(|s| f(s[i])));
         row(&cells);
     }
     println!("(b) MBPS/Kilowatt");
     row(&header);
-    for (i, &rd) in READS.iter().enumerate() {
+    for (i, &rd) in reads.iter().enumerate() {
         let mut cells = vec![rd.to_string()];
         cells.extend(eff.iter().map(|s| f(s[i])));
         row(&cells);
@@ -87,8 +64,8 @@ fn main() {
     json_result(
         "fig11",
         &serde_json::json!({
-            "reads": READS,
-            "randoms": RANDOMS,
+            "reads": reads,
+            "randoms": randoms,
             "mbps": mbps,
             "mbps_per_kw": eff,
             "sequential_u_shape": sequential_u,

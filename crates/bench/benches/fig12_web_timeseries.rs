@@ -29,7 +29,7 @@ fn main() {
     let mut mbps_series: Vec<Vec<f64>> = Vec::new();
     timed("replays", || {
         for &load in &LOADS {
-            let mut sim = presets::hdd_raid5(6);
+            let mut sim = ArraySpec::hdd_raid5(6).build();
             let cfg = ReplayConfig { load: LoadControl::proportion(load), ..Default::default() };
             let report = replay(&mut sim, &trace, &cfg);
             let bins = PerformanceMonitor::with_cycle(SimDuration::from_secs(60)).bin(

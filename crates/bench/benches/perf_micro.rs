@@ -18,7 +18,7 @@ use tracer_replay::{
     replay, replay_prepared, AddressPolicy, LoadControl, ProportionalFilter, ReplayConfig,
 };
 use tracer_sim::{
-    presets, ArrayRequest, ArraySim, Geometry, QueueDiscipline, SimDuration, SimTime,
+    ArrayRequest, ArraySim, ArraySpec, Geometry, QueueDiscipline, SimDuration, SimTime,
 };
 use tracer_trace::blkparse::{
     convert, convert_parallel, parse_str, parse_str_parallel, BlkparseOptions,
@@ -108,7 +108,7 @@ fn bench_engine(c: &mut Criterion) {
     g.throughput(Throughput::Elements(trace.io_count() as u64));
     g.bench_function("replay_8k_ios_raid5_hdd6", |b| {
         b.iter_batched(
-            || presets::hdd_raid5(6),
+            || ArraySpec::hdd_raid5(6).build(),
             |mut sim| black_box(replay_prepared(&mut sim, &trace, AddressPolicy::Wrap)),
             BatchSize::SmallInput,
         )
@@ -119,7 +119,7 @@ fn bench_engine(c: &mut Criterion) {
 /// A simulator whose queues stay deep: requests arrive far faster than the
 /// disks can serve them, so every DES event exercises the request store.
 fn deep_queue_sim(total: u64) -> ArraySim {
-    let mut sim = presets::hdd_raid5(6);
+    let mut sim = ArraySpec::hdd_raid5(6).build();
     for i in 0..total {
         let at = SimTime::from_micros(i * 20);
         let req = ArrayRequest::new((i * 48_271) % 400_000 * 256, 8192, OpKind::Read);
@@ -163,7 +163,7 @@ fn bench_request_store(c: &mut Criterion) {
 /// An elevator-disciplined array with `depth` scattered requests queued in
 /// one burst, so every dispatch walks the per-disk sector index.
 fn elevator_backlog(depth: u64) -> ArraySim {
-    let (mut cfg, devices) = presets::hdd_raid5_parts(6);
+    let (mut cfg, devices) = ArraySpec::hdd_raid5(6).parts();
     cfg.queue_discipline = QueueDiscipline::Elevator;
     let mut sim = ArraySim::new(cfg, devices);
     for i in 0..depth {
@@ -220,7 +220,7 @@ fn bench_load_sweep(c: &mut Criterion) {
         let t0 = Instant::now();
         let res = SweepBuilder::new().executor(exec).loads(&loads).label("perf").load_sweep(
             &mut host,
-            || presets::hdd_raid5(6),
+            || ArraySpec::hdd_raid5(6).build(),
             &trace,
             mode,
         );
@@ -267,7 +267,7 @@ fn bench_obs_overhead(c: &mut Criterion) {
         let t0 = Instant::now();
         let res = SweepBuilder::new().loads(&[40]).label("obs-gate").load_sweep(
             &mut host,
-            || presets::hdd_raid5(6),
+            || ArraySpec::hdd_raid5(6).build(),
             &trace,
             mode,
         );
@@ -417,7 +417,7 @@ fn bench_replay_plan(c: &mut Criterion) {
     g.throughput(Throughput::Elements(trace.bunch_count() as u64));
     g.bench_function("materialized_40pct_20k_bunches", |b| {
         b.iter_batched(
-            || presets::hdd_raid5(6),
+            || ArraySpec::hdd_raid5(6).build(),
             |mut sim| {
                 let prepared = load.apply(&trace);
                 black_box(replay_prepared(&mut sim, &prepared, AddressPolicy::Wrap))
@@ -427,7 +427,7 @@ fn bench_replay_plan(c: &mut Criterion) {
     });
     g.bench_function("zero_copy_40pct_20k_bunches", |b| {
         b.iter_batched(
-            || presets::hdd_raid5(6),
+            || ArraySpec::hdd_raid5(6).build(),
             |mut sim| black_box(replay(&mut sim, &trace, &cfg)),
             BatchSize::SmallInput,
         )
@@ -435,12 +435,12 @@ fn bench_replay_plan(c: &mut Criterion) {
     g.finish();
 
     let bunches = trace.bunch_count() as f64;
-    let mut sim = presets::hdd_raid5(6);
+    let mut sim = ArraySpec::hdd_raid5(6).build();
     let t0 = Instant::now();
     let zc_report = replay(&mut sim, &trace, &cfg);
     let zc = t0.elapsed().as_secs_f64();
     let rss_after_zero_copy = peak_rss_kb();
-    let mut sim = presets::hdd_raid5(6);
+    let mut sim = ArraySpec::hdd_raid5(6).build();
     let t0 = Instant::now();
     let prepared = load.apply(&trace);
     let mat_report = replay_prepared(&mut sim, &prepared, AddressPolicy::Wrap);
@@ -464,7 +464,7 @@ fn bench_generator(c: &mut Criterion) {
     let mut g = c.benchmark_group("generator");
     g.bench_function("closed_loop_1s_peak_4k_random", |b| {
         b.iter_batched(
-            || presets::hdd_raid5(4),
+            || ArraySpec::hdd_raid5(4).build(),
             |mut sim| {
                 let cfg = IometerConfig {
                     duration: SimDuration::from_secs(1),

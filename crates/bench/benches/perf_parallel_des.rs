@@ -17,12 +17,12 @@ use std::hint::black_box;
 use std::time::Instant;
 use tracer_bench::{banner, json_result};
 use tracer_sim::device::OpKind;
-use tracer_sim::{presets, ArrayRequest, ArraySim, SimDuration, SimTime};
+use tracer_sim::{ArrayRequest, ArraySim, ArraySpec, SimDuration, SimTime};
 
 const REQUESTS: u64 = 4_000;
 
 fn build() -> ArraySim {
-    presets::hdd_raid5(8)
+    ArraySpec::hdd_raid5(8).build()
 }
 
 /// Submit wide stripe reads on a tight cadence, keeping every member busy.

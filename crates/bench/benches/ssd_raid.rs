@@ -33,8 +33,8 @@ fn main() {
     banner("§VI-G", "SSD RAID-5 energy efficiency");
     let mut host = EvaluationHost::new();
 
-    let ssd_idle = presets::ssd_raid5(4).power_log().total_watts_at(SimTime::ZERO);
-    let hdd_idle = presets::hdd_raid5(6).power_log().total_watts_at(SimTime::ZERO);
+    let ssd_idle = ArraySpec::ssd_raid5(4).build().power_log().total_watts_at(SimTime::ZERO);
+    let hdd_idle = ArraySpec::hdd_raid5(6).build().power_log().total_watts_at(SimTime::ZERO);
     println!(
         "idle: ssd array {ssd_idle:.1} W (4 x 3.5 W SSDs + chassis), hdd array {hdd_idle:.1} W"
     );
@@ -45,8 +45,10 @@ fn main() {
     timed("random-sweep", || {
         for rnd in [0u8, 25, 50, 75, 100] {
             let mode = WorkloadMode::peak(16 * 1024, rnd, 50);
-            let hdd = measure(&mut host, || presets::hdd_raid5(6), mode).mbps_per_kilowatt;
-            let ssd = measure(&mut host, || presets::ssd_raid5(4), mode).mbps_per_kilowatt;
+            let hdd =
+                measure(&mut host, || ArraySpec::hdd_raid5(6).build(), mode).mbps_per_kilowatt;
+            let ssd =
+                measure(&mut host, || ArraySpec::ssd_raid5(4).build(), mode).mbps_per_kilowatt;
             row(&[rnd.to_string(), f(hdd), f(ssd), f(ssd / hdd.max(1e-9))]);
             ssd_random.push((hdd, ssd));
         }
@@ -58,8 +60,10 @@ fn main() {
     timed("read-sweep", || {
         for rd in [0u8, 25, 50, 75, 100] {
             let mode = WorkloadMode::peak(16 * 1024, 0, rd);
-            let hdd = measure(&mut host, || presets::hdd_raid5(6), mode).mbps_per_kilowatt;
-            let ssd = measure(&mut host, || presets::ssd_raid5(4), mode).mbps_per_kilowatt;
+            let hdd =
+                measure(&mut host, || ArraySpec::hdd_raid5(6).build(), mode).mbps_per_kilowatt;
+            let ssd =
+                measure(&mut host, || ArraySpec::ssd_raid5(4).build(), mode).mbps_per_kilowatt;
             row(&[rd.to_string(), f(hdd), f(ssd), f(ssd / hdd.max(1e-9))]);
             ssd_read.push((hdd, ssd));
         }

@@ -52,7 +52,7 @@ fn main() {
         exec.run_indexed(
             cfg.modes.len(),
             |i| {
-                let mut collector = TraceCollector::new(&repo, || presets::hdd_raid5(6));
+                let mut collector = TraceCollector::new(&repo, || ArraySpec::hdd_raid5(6).build());
                 collector.duration = SimDuration::from_secs(5);
                 collector.collect(cfg.modes[i]).expect("collect");
             },
@@ -61,7 +61,7 @@ fn main() {
     });
 
     let mut host = EvaluationHost::new();
-    let device = presets::hdd_raid5(6).config().name.clone();
+    let device = ArraySpec::hdd_raid5(6).build().config().name.clone();
     let sweep_t0 = std::time::Instant::now();
     let results = timed("sweep", || {
         SweepBuilder::new()
@@ -73,7 +73,7 @@ fn main() {
             })
             .sweep(
                 &mut host,
-                || presets::hdd_raid5(6),
+                || ArraySpec::hdd_raid5(6).build(),
                 |mode| repo.load(&device, mode).expect("collected"),
                 &cfg,
             )

@@ -3,28 +3,19 @@
 //! The paper replays the web trace at configured proportions 10–100 % and
 //! tabulates the measured load percent (IOPS and MBPS) plus the accuracy
 //! (Eq. 2); the maximum error they report is around 7 %.
+//!
+//! Workload and sweep shape come from `examples/scenarios/table4.toml`
+//! (workload kind `web`), and the run asserts byte-identical serial and
+//! pooled reports before printing the paper's row layout.
 
-use tracer_bench::{banner, f, json_result, row, timed};
+use tracer_bench::{banner, f, json_result, row, run_scenario_differential, scenario, timed};
 use tracer_core::prelude::*;
 
 fn main() {
     banner("Table IV", "load-proportion control accuracy, web server trace");
-    let trace = timed("synthesize", || {
-        WebServerTraceBuilder { duration_s: 600.0, mean_iops: 250.0, ..Default::default() }.build()
-    });
-    println!("trace: {} IOs / {} bunches", trace.io_count(), trace.bunch_count());
-
-    let mut host = EvaluationHost::new();
-    let mode = WorkloadMode::peak(22 * 1024, 50, 90);
-    let exec = SweepExecutor::auto();
-    let result = timed("sweep", || {
-        SweepBuilder::new().executor(exec).loads(&sweep::LOAD_PCTS).label("table4").load_sweep(
-            &mut host,
-            || presets::hdd_raid5(6),
-            &trace,
-            mode,
-        )
-    });
+    let spec = scenario("table4.toml");
+    let outcome = timed("scenario", || run_scenario_differential(&spec));
+    let result = &outcome.results[0].1;
 
     // Paper's row layout.
     let configured: Vec<String> =

@@ -1,26 +1,36 @@
 //! Table V — accuracy of load-proportion control for the HP cello99 trace.
 //!
-//! The cello trace reaches TRACER through the `.srt` format transformer and
-//! carries heavily uneven request sizes, which is exactly why its MBPS
-//! control error is visibly worse than the web trace's (the paper measures
-//! up to ~32 % at the 10 % level). This bench runs the full pipeline:
-//! synthesise → render to `.srt` → convert → replay at 10–100 %.
+//! The cello-style trace carries heavily uneven request sizes, which is
+//! exactly why its MBPS control error is visibly worse than the web trace's
+//! (the paper measures up to ~32 % at the 10 % level).
+//!
+//! Workload and sweep shape come from `examples/scenarios/table5.toml`
+//! (workload kind `cello`), and the run asserts byte-identical serial and
+//! pooled reports. The `.srt` format transformer the paper feeds cello
+//! through is exercised alongside: the same synthesized trace round-trips
+//! render → convert without losing a request.
 
-use tracer_bench::{banner, f, json_result, row, timed};
+use tracer_bench::{banner, f, json_result, row, run_scenario_differential, scenario, timed};
 use tracer_core::prelude::*;
 use tracer_trace::srt;
 
 fn main() {
     banner("Table V", "load-proportion control accuracy, HP cello99-style trace");
-    let trace = timed("synthesize+convert", || {
-        let cello = CelloTraceBuilder { duration_s: 600.0, ..Default::default() }.build();
+    let spec = scenario("table5.toml");
+    let mode = spec.workload.modes()[0];
+
+    // The paper's ingest path: render the cello trace to `.srt`, convert it
+    // back, and check the transformer preserved every request.
+    let cello = spec.workload.trace(&spec.array, mode, 0);
+    let converted = timed("srt-round-trip", || {
         let dir = std::env::temp_dir().join("tracer_table5");
         std::fs::create_dir_all(&dir).expect("temp dir");
         let path = dir.join("cello99.srt");
         srt::write_srt(&cello, &path).expect("write srt");
         srt::convert_file(&path, "hp-cello99", srt::ConvertOptions::default()).expect("convert")
     });
-    let stats = TraceStats::compute(&trace);
+    assert_eq!(converted.io_count(), cello.io_count(), "srt round-trip must keep every IO");
+    let stats = TraceStats::compute(&cello);
     println!(
         "trace: {} IOs, read ratio {:.1} %, avg req {:.1} KB (uneven sizes)",
         stats.ios,
@@ -28,17 +38,8 @@ fn main() {
         stats.avg_request_kib()
     );
 
-    let mut host = EvaluationHost::new();
-    let mode = WorkloadMode::peak(8192, 50, 58);
-    let exec = SweepExecutor::auto();
-    let result = timed("sweep", || {
-        SweepBuilder::new().executor(exec).loads(&sweep::LOAD_PCTS).label("table5").load_sweep(
-            &mut host,
-            || presets::hdd_raid5(6),
-            &trace,
-            mode,
-        )
-    });
+    let outcome = timed("scenario", || run_scenario_differential(&spec));
+    let result = &outcome.results[0].1;
 
     let head: Vec<String> = std::iter::once("Configured Load %".to_string())
         .chain(result.rows.iter().map(|r| r.configured_pct.to_string()))
@@ -63,10 +64,11 @@ fn main() {
             .map(|i| Bunch::new(i * 2_000_000, vec![IoPackage::read((i * 131) % 100_000, 8192)]))
             .collect(),
     );
+    let mut host = EvaluationHost::new();
     let fixed_result = timed("fixed-baseline", || {
-        SweepBuilder::new().executor(exec).loads(&sweep::LOAD_PCTS).label("table5f").load_sweep(
+        SweepBuilder::new().workers(4).loads(&sweep::LOAD_PCTS).label("table5f").load_sweep(
             &mut host,
-            || presets::hdd_raid5(6),
+            || spec.array.build(),
             &fixed,
             mode,
         )

@@ -31,7 +31,7 @@ fn main() {
     // Temperature vs load proportion (4K, random 50%, read 50%).
     let mode = WorkloadMode::peak(4096, 50, 50);
     let trace = timed("collect", || {
-        let mut sim = presets::hdd_raid5(6);
+        let mut sim = ArraySpec::hdd_raid5(6).build();
         run_peak_workload(
             &mut sim,
             &IometerConfig {
@@ -46,7 +46,7 @@ fn main() {
     timed("load-sweep", || {
         row(&["load %".into(), "peak disk C".into(), "avg W".into()]);
         for load in [10u32, 40, 70, 100] {
-            let mut sim = presets::hdd_raid5(6);
+            let mut sim = ArraySpec::hdd_raid5(6).build();
             let cfg = ReplayConfig { load: LoadControl::proportion(load), ..Default::default() };
             let report = replay(&mut sim, &trace, &cfg);
             let peak = hottest_disk_c(&sim, report.finished, &model);
@@ -62,7 +62,7 @@ fn main() {
         row(&["rand %".into(), "peak disk C".into()]);
         for rnd in [0u8, 50, 100] {
             let m = WorkloadMode::peak(4096, rnd, 50);
-            let mut sim = presets::hdd_raid5(6);
+            let mut sim = ArraySpec::hdd_raid5(6).build();
             let t = run_peak_workload(
                 &mut sim,
                 &IometerConfig {
@@ -71,7 +71,7 @@ fn main() {
                 },
             )
             .trace;
-            let mut sim = presets::hdd_raid5(6);
+            let mut sim = ArraySpec::hdd_raid5(6).build();
             let report = replay(&mut sim, &t, &ReplayConfig::default());
             let peak = hottest_disk_c(&sim, report.finished, &model);
             row(&[rnd.to_string(), f(peak)]);

@@ -7,6 +7,53 @@
 //! sync by scripts.
 
 use std::time::Instant;
+use tracer_core::scenario::{run_scenario, ScenarioOutcome, ScenarioSpec};
+
+/// Load a checked-in scenario file from `examples/scenarios/` at the
+/// workspace root. Panics with the parser's line-numbered message on error,
+/// which is exactly what a bench target wants.
+pub fn scenario(file: &str) -> ScenarioSpec {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../examples/scenarios")
+        .join(file);
+    ScenarioSpec::from_file(&path).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Run a scenario twice — serial and on a four-worker pool — and assert the
+/// rendered reports are byte-identical before handing back the outcome. The
+/// figure benches funnel through this so every regeneration doubles as a
+/// determinism check on the sweep executor.
+pub fn run_scenario_differential(spec: &ScenarioSpec) -> ScenarioOutcome {
+    let mut serial = spec.clone();
+    serial.workers = 1;
+    let mut pooled = spec.clone();
+    pooled.workers = 4;
+    let baseline = run_scenario(&serial).unwrap_or_else(|e| panic!("{e}"));
+    let outcome = run_scenario(&pooled).unwrap_or_else(|e| panic!("{e}"));
+    assert_eq!(
+        baseline.report, outcome.report,
+        "scenario {} must render byte-identical reports at 1 and 4 workers",
+        spec.name
+    );
+    outcome
+}
+
+/// Extract one metric from a scenario outcome as series of `chunk` points,
+/// in grid order (cells are mode-major, load-minor). The figure benches pick
+/// the chunk that matches their inner axis: loads per mode for the load
+/// sweeps, the inner workload-grid dimension for the single-load grids.
+pub fn metric_series(
+    outcome: &ScenarioOutcome,
+    chunk: usize,
+    metric: impl Fn(&tracer_core::EfficiencyMetrics) -> f64,
+) -> Vec<Vec<f64>> {
+    assert_eq!(outcome.cells.len() % chunk, 0, "cell count must tile into series");
+    outcome
+        .cells
+        .chunks(chunk)
+        .map(|series| series.iter().map(|cell| metric(&cell.metrics)).collect())
+        .collect()
+}
 
 /// Print the banner for one experiment.
 pub fn banner(id: &str, title: &str) {
@@ -78,6 +125,18 @@ pub fn timed<T>(label: &str, body: impl FnOnce() -> T) -> T {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn smoke_scenario_loads_and_runs_identically() {
+        // The checked-in smoke scenario must parse and render the same
+        // report serially and on the pool — the same differential every
+        // figure bench asserts, kept here so plain `cargo test` covers it.
+        let spec = scenario("smoke.toml");
+        assert_eq!(spec.cells(), 3, "two configured loads plus the implied baseline");
+        let outcome = run_scenario_differential(&spec);
+        assert_eq!(outcome.cells.len(), 3);
+        assert!(outcome.report.starts_with("scenario name=smoke "));
+    }
 
     #[test]
     fn size_labels() {

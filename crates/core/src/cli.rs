@@ -11,6 +11,7 @@
 //! tracer replay    --repo DIR --rs BYTES --rn PCT --rd PCT --load PCT
 //!                  [--loads a,b,c|all] [--workers N] [--intensity PCT] [--array NAME]
 //! tracer sweep     --repo DIR [--modes N] [--seconds S] [--workers N] [--array NAME]
+//! tracer sweep     --scenario FILE [--db FILE] [--obs FILE]
 //! tracer convert   (--srt FILE | --file FILE) [--name NAME --repo DIR] [--v3]
 //! tracer stats     --name NAME --repo DIR
 //! tracer policies  [--seconds S]
@@ -26,7 +27,7 @@ use crate::techniques::{compare_policies, ConservationPolicy};
 use std::collections::HashMap;
 use std::fmt;
 use std::path::PathBuf;
-use tracer_sim::{presets, ArrayConfig, ArraySim, Device, SimDuration};
+use tracer_sim::{ArrayConfig, ArraySim, ArraySpec, Device, SimDuration};
 use tracer_trace::{srt, sweep, TraceRepository, TraceStats, WorkloadMode};
 use tracer_workload::iometer::{run_peak_workload, IometerConfig};
 use tracer_workload::{TraceCollector, WebServerTraceBuilder};
@@ -55,18 +56,18 @@ impl ArrayChoice {
     /// Build the simulator.
     pub fn build(self) -> ArraySim {
         match self {
-            ArrayChoice::Hdd4 => presets::hdd_raid5(4),
-            ArrayChoice::Hdd6 => presets::hdd_raid5(6),
-            ArrayChoice::Ssd4 => presets::ssd_raid5(4),
+            ArrayChoice::Hdd4 => ArraySpec::hdd_raid5(4).build(),
+            ArrayChoice::Hdd6 => ArraySpec::hdd_raid5(6).build(),
+            ArrayChoice::Ssd4 => ArraySpec::ssd_raid5(4).build(),
         }
     }
 
     /// Configuration + members, for policy application.
     pub fn parts(self) -> (ArrayConfig, Vec<Device>) {
         match self {
-            ArrayChoice::Hdd4 => presets::hdd_raid5_parts(4),
-            ArrayChoice::Hdd6 => presets::hdd_raid5_parts(6),
-            ArrayChoice::Ssd4 => presets::ssd_raid5_parts(4),
+            ArrayChoice::Hdd4 => ArraySpec::hdd_raid5(4).parts(),
+            ArrayChoice::Hdd6 => ArraySpec::hdd_raid5(6).parts(),
+            ArrayChoice::Ssd4 => ArraySpec::ssd_raid5(4).parts(),
         }
     }
 }
@@ -117,10 +118,11 @@ pub enum Command {
         obs: Option<PathBuf>,
     },
     /// Run the synthetic mode × load sweep (§V-C1), collecting missing
-    /// traces first.
+    /// traces first — or a declarative scenario file (`--scenario`).
     Sweep {
         /// Repository directory (traces are collected here if missing).
-        repo: PathBuf,
+        /// Unused with `scenario` — scenario traces are synthesized.
+        repo: Option<PathBuf>,
         /// Testbed.
         array: ArrayChoice,
         /// Sweep executor workers (0 = one per core; 1 = serial).
@@ -133,6 +135,9 @@ pub enum Command {
         db: Option<PathBuf>,
         /// Append a `tracer-obs` instrumentation snapshot (JSON lines) here.
         obs: Option<PathBuf>,
+        /// Scenario file to run instead of the synthetic grid; the file
+        /// governs testbed, workload, loads and workers.
+        scenario: Option<PathBuf>,
     },
     /// Convert a trace into the repository: an `.srt` source, or an existing
     /// `.replay` file re-encoded (e.g. migrated to the v3 columnar format).
@@ -173,8 +178,9 @@ pub enum Command {
     },
     /// Serve as a workload-generator machine over TCP (§III-C deployment).
     Serve {
-        /// Repository directory holding the collected traces.
-        repo: PathBuf,
+        /// Repository directory holding the collected traces. Exclusive
+        /// with `scenario`, which synthesizes traces instead.
+        repo: Option<PathBuf>,
         /// Testbed this machine drives.
         array: ArrayChoice,
         /// Evaluation workers. 1 (default) = the classic single-session
@@ -193,6 +199,9 @@ pub enum Command {
         /// Coordinator `host:port` to register with after binding
         /// (`tracer-serve` binary only).
         join: Option<String>,
+        /// Scenario file naming the testbed and workload this node serves
+        /// (`tracer-serve` binary only; exclusive with `repo`).
+        scenario: Option<PathBuf>,
     },
     /// Shard a sweep campaign across registered serve nodes (the fabric
     /// coordinator; provided by the `tracer-coordinate` binary).
@@ -218,6 +227,9 @@ pub enum Command {
         /// serial baseline report instead of dispatching to nodes (the
         /// byte-compare reference for fleet runs).
         serial: Option<PathBuf>,
+        /// Scenario file defining the campaign (testbed, mode, loads);
+        /// conflicts with the explicit mode/load/array flags.
+        scenario: Option<PathBuf>,
     },
     /// Print usage.
     Help,
@@ -247,15 +259,18 @@ USAGE:
                   [--array ...] [--db FILE] [--afap DEPTH] [--obs FILE]
   tracer sweep    --repo DIR [--modes N] [--seconds S] [--workers N]
                   [--array hdd4|hdd6|ssd4] [--db FILE] [--obs FILE]
+  tracer sweep    --scenario FILE [--db FILE] [--obs FILE]
   tracer convert  (--srt FILE | --file FILE) [--name NAME --repo DIR] [--v3]
   tracer stats    --name NAME --repo DIR | --obs FILE
   tracer policies [--seconds S] [--db FILE]
   tracer report   --db FILE
-  tracer serve    --repo DIR [--array hdd4|hdd6|ssd4] [--workers N] [--queue N]
-                  [--port N] [--log FILE] [--join HOST:PORT]
+  tracer serve    (--repo DIR | --scenario FILE) [--array hdd4|hdd6|ssd4]
+                  [--workers N] [--queue N] [--port N] [--log FILE]
+                  [--join HOST:PORT]
   tracer coordinate --nodes a:p,b:p [--rs BYTES --rn PCT --rd PCT]
                   [--loads a,b,c|all] [--intensity PCT] [--array ...]
                   [--expect N --port N] [--obs FILE] [--serial REPO_DIR]
+                  [--scenario FILE]
   tracer help
 
 Convert ingests an .srt source (--srt, named into a repository) or
@@ -268,6 +283,11 @@ Replay accepts --db FILE to append its record to a results database, and
 a whole load sweep and print the accuracy table. Sweep replays every
 selected synthetic mode at every load level, collecting missing traces
 first; --workers 0 (the default for sweep) uses one worker per core.
+Sweep --scenario FILE runs a declarative scenario instead: the TOML file
+names the testbed (device zoo keyword, layout, disks, power policy), the
+workload grid and the load levels, and the deterministic report goes to
+stdout. Serve and coordinate accept the same files (--scenario), so one
+scenario drives local sweeps, serve nodes and fleet campaigns alike.
 Serve with --workers > 1 is the concurrent job service (bounded queue,
 admission control); it is provided by the `tracer-serve` binary, which
 also takes --port (pinned listen port), --log (durable job log replayed
@@ -390,18 +410,40 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             })
         }
         "sweep" => {
+            if let Some(scenario) = flags.get("scenario") {
+                // The file names the testbed, workload grid, loads and
+                // workers, so the synthetic-sweep flags have nothing to say.
+                for key in ["repo", "array", "modes", "seconds", "workers", "loads"] {
+                    if flags.contains_key(key) {
+                        return Err(CliError(format!(
+                            "--{key} conflicts with --scenario (the scenario file governs it)"
+                        )));
+                    }
+                }
+                return Ok(Command::Sweep {
+                    repo: None,
+                    array: ArrayChoice::Hdd6,
+                    workers: 1,
+                    seconds: 10,
+                    modes: 125,
+                    db: flags.get("db").map(PathBuf::from),
+                    obs: flags.get("obs").map(PathBuf::from),
+                    scenario: Some(PathBuf::from(scenario)),
+                });
+            }
             let modes = num_or("modes", 125)? as usize;
             if modes == 0 || modes > 125 {
                 return Err(CliError("--modes must be 1-125".into()));
             }
             Ok(Command::Sweep {
-                repo: PathBuf::from(get("repo")?),
+                repo: Some(PathBuf::from(get("repo")?)),
                 array: array()?,
                 workers: num_or("workers", 0)? as usize,
                 seconds: num_or("seconds", 10)?,
                 modes,
                 db: flags.get("db").map(PathBuf::from),
                 obs: flags.get("obs").map(PathBuf::from),
+                scenario: None,
             })
         }
         "convert" => {
@@ -445,8 +487,17 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             if workers == 0 {
                 return Err(CliError("--workers must be at least 1".into()));
             }
+            let scenario = flags.get("scenario").map(PathBuf::from);
+            let repo = match (flags.get("repo"), &scenario) {
+                (Some(p), None) => Some(PathBuf::from(p)),
+                (None, Some(_)) => None,
+                (Some(_), Some(_)) => {
+                    return Err(CliError("serve takes --repo or --scenario, not both".into()));
+                }
+                (None, None) => return Err(CliError("missing required flag --repo".into())),
+            };
             Ok(Command::Serve {
-                repo: PathBuf::from(get("repo")?),
+                repo,
                 array: array()?,
                 workers,
                 queue: num_or("queue", 0)? as usize,
@@ -454,6 +505,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     .map_err(|_| CliError("--port must be 0-65535".into()))?,
                 log: flags.get("log").map(PathBuf::from),
                 join: flags.get("join").cloned(),
+                scenario,
             })
         }
         "coordinate" => {
@@ -468,8 +520,21 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             };
             let expect = num_or("expect", 0)? as usize;
             let serial = flags.get("serial").map(PathBuf::from);
-            if nodes.is_empty() && expect == 0 && serial.is_none() {
-                return Err(CliError("coordinate needs --nodes, --expect, or --serial".into()));
+            let scenario = flags.get("scenario").map(PathBuf::from);
+            if scenario.is_some() {
+                // The scenario file fixes the testbed, mode and load grid.
+                for key in ["rs", "rn", "rd", "loads", "intensity", "array"] {
+                    if flags.contains_key(key) {
+                        return Err(CliError(format!(
+                            "--{key} conflicts with --scenario (the scenario file governs it)"
+                        )));
+                    }
+                }
+            }
+            if nodes.is_empty() && expect == 0 && serial.is_none() && scenario.is_none() {
+                return Err(CliError(
+                    "coordinate needs --nodes, --expect, --serial, or --scenario".into(),
+                ));
             }
             let intensity = num_or("intensity", 100)? as u32;
             if intensity == 0 {
@@ -497,6 +562,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     .map_err(|_| CliError("--port must be 0-65535".into()))?,
                 obs: flags.get("obs").map(PathBuf::from),
                 serial,
+                scenario,
             })
         }
         "help" | "--help" | "-h" => Ok(Command::Help),
@@ -514,7 +580,7 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
         }
         Command::Idle { disks, seconds } => {
             let mut host = EvaluationHost::new();
-            let mut sim = presets::hdd_array_idle(disks);
+            let mut sim = ArraySpec::hdd_idle(disks).build();
             let watts = host.measure_idle(&mut sim, SimDuration::from_secs(seconds), "cli-idle");
             println!("idle power with {disks} disks over {seconds}s: {watts:.2} W");
             Ok(())
@@ -642,7 +708,35 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
             }
             Ok(())
         }
-        Command::Sweep { repo, array, workers, seconds, modes, db, obs } => {
+        Command::Sweep { repo, array, workers, seconds, modes, db, obs, scenario } => {
+            if let Some(path) = scenario {
+                let spec = crate::scenario::ScenarioSpec::from_file(&path)
+                    .map_err(|e| CliError(e.to_string()))?;
+                let obs_was = tracer_obs::enabled();
+                if obs.is_some() && !obs_was {
+                    tracer_obs::enable();
+                }
+                let outcome =
+                    crate::scenario::run_scenario(&spec).map_err(|e| CliError(e.to_string()))?;
+                if let Some(path) = &obs {
+                    if let Err(e) = tracer_obs::dump_to(&tracer_obs::Sink::file(path)) {
+                        eprintln!("obs: failed to write snapshot: {e}");
+                    }
+                    if !obs_was {
+                        tracer_obs::disable();
+                    }
+                }
+                // Only the deterministic report reaches stdout, so shell
+                // redirection captures byte-comparable output; bookkeeping
+                // goes to stderr.
+                print!("{}", outcome.report);
+                if let Some(path) = db {
+                    outcome.db.save(&path).map_err(|e| CliError(e.to_string()))?;
+                    eprintln!("records saved to {}", path.display());
+                }
+                return Ok(());
+            }
+            let repo = repo.expect("parse requires --repo without --scenario");
             let repo = TraceRepository::open(&repo).map_err(io_err)?;
             let exec = SweepExecutor::new(workers);
             let all = sweep::all_modes();
@@ -774,20 +868,28 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
             print!("{}", crate::report::markdown(&db));
             Ok(())
         }
-        Command::Serve { repo, array, workers, queue, port, log, join } => {
-            if workers > 1 || port != 0 || log.is_some() || join.is_some() {
+        Command::Serve { repo, array, workers, queue, port, log, join, scenario } => {
+            if workers > 1 || port != 0 || log.is_some() || join.is_some() || scenario.is_some() {
                 // Everything beyond the classic single-session generator —
                 // worker pools, pinned ports, durable logs, fabric
-                // registration — lives in the tracer-serve binary.
+                // registration, scenario-defined testbeds — lives in the
+                // tracer-serve binary.
+                let source = match (&repo, &scenario) {
+                    (_, Some(s)) => format!("--scenario {}", s.display()),
+                    (Some(r), None) => format!(
+                        "--repo {} --array {}",
+                        r.display(),
+                        match array {
+                            ArrayChoice::Hdd4 => "hdd4",
+                            ArrayChoice::Hdd6 => "hdd6",
+                            ArrayChoice::Ssd4 => "ssd4",
+                        }
+                    ),
+                    (None, None) => unreachable!("parse requires --repo or --scenario"),
+                };
                 return Err(CliError(format!(
                     "the concurrent job service is the `tracer-serve` binary; run: \
-                     tracer-serve --repo {} --array {} --workers {}{}{}{}{}",
-                    repo.display(),
-                    match array {
-                        ArrayChoice::Hdd4 => "hdd4",
-                        ArrayChoice::Hdd6 => "hdd6",
-                        ArrayChoice::Ssd4 => "ssd4",
-                    },
+                     tracer-serve {source} --workers {}{}{}{}{}",
                     workers.max(2),
                     if queue > 0 { format!(" --queue {queue}") } else { String::new() },
                     if port > 0 { format!(" --port {port}") } else { String::new() },
@@ -801,6 +903,7 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
                     }
                 )));
             }
+            let repo = repo.expect("parse requires --repo without --scenario");
             let repo = TraceRepository::open(&repo).map_err(io_err)?;
             let device = array.build().config().name.clone();
             let server = crate::net::GeneratorServer::spawn(
@@ -831,7 +934,7 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
             let mut host = EvaluationHost::new();
             let outcomes = compare_policies(
                 &mut host,
-                || presets::hdd_raid5_parts(6),
+                || ArraySpec::hdd_raid5(6).parts(),
                 &trace,
                 WorkloadMode::peak(22 * 1024, 50, 90),
                 &[
@@ -1047,13 +1150,14 @@ mod tests {
         let db_path = repo.join("sweep_db.json");
         let obs_path = repo.join("sweep_obs.jsonl");
         run(Command::Sweep {
-            repo: repo.clone(),
+            repo: Some(repo.clone()),
             array: ArrayChoice::Hdd4,
             workers: 2,
             seconds: 1,
             modes: 2,
             db: Some(db_path.clone()),
             obs: Some(obs_path.clone()),
+            scenario: None,
         })
         .unwrap();
         let stored = crate::db::Database::load(&db_path).unwrap();
@@ -1348,6 +1452,100 @@ mod tests {
         assert!(missing.is_err());
         assert!(run(Command::Report { db: repo.join("nope.json") }).is_err());
         std::fs::remove_dir_all(&repo).unwrap();
+    }
+
+    #[test]
+    fn parses_scenario_flags_across_verbs() {
+        // sweep --scenario: the file governs everything but --db/--obs.
+        let cmd = parse(&argv("sweep --scenario fig08.toml --db /tmp/d.json")).unwrap();
+        match &cmd {
+            Command::Sweep { repo, scenario, db, .. } => {
+                assert_eq!(*repo, None);
+                assert_eq!(scenario.as_deref(), Some(std::path::Path::new("fig08.toml")));
+                assert!(db.is_some());
+            }
+            other => panic!("{other:?}"),
+        }
+        for bad in [
+            "sweep --scenario f.toml --repo /tmp/r",
+            "sweep --scenario f.toml --workers 4",
+            "sweep --scenario f.toml --array hdd4",
+            "sweep --scenario f.toml --modes 5",
+        ] {
+            let err = parse(&argv(bad)).unwrap_err();
+            assert!(err.0.contains("conflicts with --scenario"), "{bad}: {err}");
+        }
+        // serve --scenario replaces --repo and routes to the binary.
+        let cmd = parse(&argv("serve --scenario f.toml --workers 2")).unwrap();
+        assert!(matches!(&cmd, Command::Serve { repo: None, scenario: Some(_), .. }));
+        let err = run(cmd).unwrap_err();
+        assert!(err.0.contains("tracer-serve") && err.0.contains("--scenario"), "{err}");
+        let err = run(parse(&argv("serve --scenario f.toml")).unwrap()).unwrap_err();
+        assert!(err.0.contains("tracer-serve"), "one worker still routes: {err}");
+        assert!(parse(&argv("serve --repo /tmp/r --scenario f.toml")).is_err());
+        assert!(parse(&argv("serve")).is_err(), "serve needs --repo or --scenario");
+        // coordinate --scenario stands alone (local baseline) or with nodes.
+        let cmd = parse(&argv("coordinate --scenario f.toml")).unwrap();
+        assert!(matches!(&cmd, Command::Coordinate { scenario: Some(_), .. }));
+        let cmd = parse(&argv("coordinate --scenario f.toml --nodes 127.0.0.1:7401")).unwrap();
+        match &cmd {
+            Command::Coordinate { nodes, scenario, .. } => {
+                assert_eq!(nodes.len(), 1);
+                assert!(scenario.is_some());
+            }
+            other => panic!("{other:?}"),
+        }
+        let err = parse(&argv("coordinate --scenario f.toml --rs 4096")).unwrap_err();
+        assert!(err.0.contains("conflicts with --scenario"), "{err}");
+        let err = parse(&argv("coordinate --scenario f.toml --loads 20,50")).unwrap_err();
+        assert!(err.0.contains("conflicts with --scenario"), "{err}");
+    }
+
+    #[test]
+    fn run_sweep_scenario_end_to_end() {
+        let dir = std::env::temp_dir().join(format!("tracer_cli_scn_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("smoke.toml");
+        std::fs::write(
+            &path,
+            "[scenario]\nname = \"cli-smoke\"\n[array]\ndevice = \"memoright-slc\"\n\
+             layout = \"raid5\"\ndisks = 3\n[workload]\nrs = 4096\nrn = 100\nrd = 100\n\
+             seconds = 1\n[sweep]\nloads = [50]\nworkers = 2\n",
+        )
+        .unwrap();
+        let db_path = dir.join("scn_db.json");
+        let obs_path = dir.join("scn_obs.jsonl");
+        run(Command::Sweep {
+            repo: None,
+            array: ArrayChoice::Hdd6,
+            workers: 1,
+            seconds: 10,
+            modes: 125,
+            db: Some(db_path.clone()),
+            obs: Some(obs_path.clone()),
+            scenario: Some(path.clone()),
+        })
+        .unwrap();
+        let stored = crate::db::Database::load(&db_path).unwrap();
+        assert_eq!(stored.len(), 2, "50 % plus the implied baseline");
+        let snapshot = std::fs::read_to_string(&obs_path).unwrap();
+        assert!(snapshot.contains("\"scenario.cells\""), "{snapshot}");
+        // A broken scenario surfaces a clean error, not a panic.
+        let broken = dir.join("broken.toml");
+        std::fs::write(&broken, "[scenario]\nname = 5\n").unwrap();
+        let err = run(Command::Sweep {
+            repo: None,
+            array: ArrayChoice::Hdd6,
+            workers: 1,
+            seconds: 10,
+            modes: 125,
+            db: None,
+            obs: None,
+            scenario: Some(broken),
+        })
+        .unwrap_err();
+        assert!(err.0.contains("line 2"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -182,7 +182,7 @@ pub(crate) fn run_parallel_impl(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tracer_sim::presets;
+    use tracer_sim::ArraySpec;
     use tracer_trace::{Bunch, IoPackage, Trace};
 
     fn trace(n: usize) -> Trace {
@@ -205,19 +205,19 @@ mod tests {
         let jobs = vec![
             EvaluationJob::new(
                 "hdd-job",
-                || presets::hdd_raid5(4),
+                || ArraySpec::hdd_raid5(4).build(),
                 trace(50),
                 WorkloadMode::peak(8192, 50, 100),
             ),
             EvaluationJob::new(
                 "ssd-job",
-                || presets::ssd_raid5(4),
+                || ArraySpec::ssd_raid5(4).build(),
                 trace(50),
                 WorkloadMode::peak(8192, 50, 100),
             ),
             EvaluationJob::new(
                 "hdd-half",
-                || presets::hdd_raid5(4),
+                || ArraySpec::hdd_raid5(4).build(),
                 trace(50),
                 WorkloadMode::peak(8192, 50, 100).at_load(50),
             ),
@@ -243,7 +243,7 @@ mod tests {
             &mut host,
             vec![EvaluationJob::new(
                 "par",
-                || presets::hdd_raid5(4),
+                || ArraySpec::hdd_raid5(4).build(),
                 trace(30),
                 WorkloadMode::peak(8192, 50, 100),
             )],
@@ -251,7 +251,7 @@ mod tests {
         let par = host.db.get(ids[0]).unwrap().clone();
 
         let mut host2 = EvaluationHost::new();
-        let mut sim = presets::hdd_raid5(4);
+        let mut sim = ArraySpec::hdd_raid5(4).build();
         let seq = host2.commit(EvaluationHost::measure_test(
             host2.meter_cycle_ms,
             &mut sim,
@@ -273,7 +273,7 @@ mod tests {
                 .map(|i| {
                     EvaluationJob::new(
                         format!("job{i}"),
-                        || presets::hdd_raid5(4),
+                        || ArraySpec::hdd_raid5(4).build(),
                         trace(20 + 3 * i),
                         WorkloadMode::peak(8192, 50, 100),
                     )

@@ -277,7 +277,7 @@ where
 mod tests {
     use super::*;
     use std::sync::Arc;
-    use tracer_sim::presets;
+    use tracer_sim::ArraySpec;
     use tracer_trace::{Bunch, IoPackage};
 
     fn test_trace(n: usize) -> Trace {
@@ -298,7 +298,7 @@ mod tests {
     #[allow(deprecated)] // run_test stays covered while it remains a shim
     fn run_test_stores_record_with_metrics() {
         let mut host = EvaluationHost::new();
-        let mut sim = presets::hdd_raid5(4);
+        let mut sim = ArraySpec::hdd_raid5(4).build();
         let mode = WorkloadMode::peak(4096, 50, 100).at_load(50);
         let outcome = host.run_test(&mut sim, &test_trace(100), mode, 100, "unit");
         assert_eq!(outcome.report.issued_ios, 50);
@@ -313,7 +313,7 @@ mod tests {
     #[test]
     fn idle_measurement_matches_configuration() {
         let mut host = EvaluationHost::new();
-        let mut sim = presets::hdd_array_idle(6);
+        let mut sim = ArraySpec::hdd_idle(6).build();
         let w = host.measure_idle(&mut sim, SimDuration::from_secs(30), "idle6");
         assert!((w - (16.0 + 6.0 * 5.0)).abs() < 1e-9);
         assert_eq!(host.db.len(), 1);
@@ -323,7 +323,7 @@ mod tests {
     #[allow(deprecated)] // run_test stays covered while it remains a shim
     fn empty_trace_test_does_not_divide_by_zero() {
         let mut host = EvaluationHost::new();
-        let mut sim = presets::hdd_raid5(4);
+        let mut sim = ArraySpec::hdd_raid5(4).build();
         let mode = WorkloadMode::peak(4096, 0, 0);
         let outcome = host.run_test(&mut sim, &Trace::new("empty"), mode, 100, "empty");
         assert_eq!(outcome.metrics.iops, 0.0);
@@ -333,7 +333,7 @@ mod tests {
     #[test]
     fn session_full_flow() {
         let mut session = CommandSession::new(
-            |device| (device == "raid5-hdd4").then(|| presets::hdd_raid5(4)),
+            |device| (device == "raid5-hdd4").then(|| ArraySpec::hdd_raid5(4).build()),
             |_, _| Some(Arc::new(test_trace(50)).into()),
         );
         let r = session.handle_line("init-analyzer cycle=500").unwrap();
@@ -354,7 +354,7 @@ mod tests {
     #[test]
     fn session_rejects_bad_sequences() {
         let mut session = CommandSession::new(
-            |_| Some(presets::hdd_raid5(4)),
+            |_| Some(ArraySpec::hdd_raid5(4).build()),
             |_, _| Some(Arc::new(test_trace(10)).into()),
         );
         assert!(matches!(session.handle_line("start"), Err(SessionError::State(_))));

@@ -29,7 +29,7 @@
 //! use tracer_core::prelude::*;
 //!
 //! // Build the paper's testbed: RAID-5 over four HDDs.
-//! let mut sim = presets::hdd_raid5(4);
+//! let mut sim = ArraySpec::hdd_raid5(4).build();
 //!
 //! // A small synthetic trace (4 KiB random reads every 10 ms).
 //! let trace = Trace::from_bunches(
@@ -62,6 +62,7 @@ pub mod metrics;
 pub mod net;
 pub mod orchestrate;
 pub mod report;
+pub mod scenario;
 pub mod techniques;
 
 pub use analysis::{
@@ -79,6 +80,7 @@ pub use orchestrate::{
     load_sweep, repeated_trials, run_sweep, LoadSweepResult, SweepBuilder, SweepConfig, TrialStat,
     TrialSummary,
 };
+pub use scenario::{run_scenario, ScenarioCell, ScenarioOutcome, ScenarioSpec, WorkloadSpec};
 pub use techniques::{compare_policies, ConservationPolicy, PolicyOutcome};
 #[allow(deprecated)]
 pub use {
@@ -90,10 +92,10 @@ pub use {
 pub mod prelude {
     pub use crate::techniques::{compare_policies, ConservationPolicy, PolicyOutcome};
     pub use crate::{
-        load_accuracy, load_proportion, load_sweep, run_parallel, run_sweep, AccuracyRow,
-        CommandSession, Database, EfficiencyMetrics, EvaluationHost, EvaluationJob,
-        LoadSweepResult, MeasuredTest, SweepBuilder, SweepConfig, SweepExecutor, TestRecord,
-        TracerError,
+        load_accuracy, load_proportion, load_sweep, run_parallel, run_scenario, run_sweep,
+        AccuracyRow, CommandSession, Database, EfficiencyMetrics, EvaluationHost, EvaluationJob,
+        LoadSweepResult, MeasuredTest, ScenarioCell, ScenarioOutcome, ScenarioSpec, SweepBuilder,
+        SweepConfig, SweepExecutor, TestRecord, TracerError,
     };
     #[allow(deprecated)]
     pub use crate::{load_sweep_with, run_sweep_with};
@@ -103,8 +105,8 @@ pub mod prelude {
         ProportionalFilter, RealTimeReplayer, ReplayConfig,
     };
     pub use tracer_sim::{
-        presets, ArrayConfig, ArrayRequest, ArraySim, Completion, Geometry, QueueDiscipline,
-        SimDuration, SimTime,
+        presets, ArrayConfig, ArrayRequest, ArraySim, ArraySpec, Completion, DeviceSpec, Geometry,
+        Layout, PowerPolicy, QueueDiscipline, SimDuration, SimTime,
     };
     pub use tracer_trace::{
         sweep, Bunch, IoPackage, OpKind, Trace, TraceRepository, TraceStats, WorkloadMode,

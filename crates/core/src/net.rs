@@ -306,7 +306,7 @@ impl HostClient {
 mod tests {
     use super::*;
     use crate::messages::HostCommand;
-    use tracer_sim::presets;
+    use tracer_sim::ArraySpec;
     use tracer_trace::{Bunch, IoPackage, Trace};
 
     fn test_trace() -> Trace {
@@ -323,7 +323,7 @@ mod tests {
     fn spawn_server() -> GeneratorServer {
         let shared = TraceHandle::from(test_trace());
         GeneratorServer::spawn(
-            |device| (device == "raid5-hdd4").then(|| presets::hdd_raid5(4)),
+            |device| (device == "raid5-hdd4").then(|| ArraySpec::hdd_raid5(4).build()),
             move |_, _| Some(shared.clone()),
         )
         .expect("bind localhost")

@@ -218,7 +218,7 @@ impl SweepConfig {
 /// ```
 /// use tracer_core::orchestrate::SweepBuilder;
 /// use tracer_core::EvaluationHost;
-/// use tracer_sim::presets;
+/// use tracer_sim::ArraySpec;
 /// use tracer_trace::{Bunch, IoPackage, Trace, WorkloadMode};
 ///
 /// let trace = Trace::from_bunches(
@@ -230,7 +230,7 @@ impl SweepConfig {
 ///     .workers(2)
 ///     .loads(&[50])
 ///     .label("doc")
-///     .load_sweep(&mut host, || presets::hdd_raid5(4), &trace, WorkloadMode::peak(4096, 0, 100));
+///     .load_sweep(&mut host, || ArraySpec::hdd_raid5(4).build(), &trace, WorkloadMode::peak(4096, 0, 100));
 /// assert_eq!(result.loads, vec![50, 100]);
 /// ```
 pub struct SweepBuilder<'a> {
@@ -743,7 +743,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tracer_sim::presets;
+    use tracer_sim::ArraySpec;
     use tracer_trace::{Bunch, IoPackage, Trace};
 
     fn fixed_trace(n: usize, bytes: u32) -> Trace {
@@ -765,8 +765,14 @@ mod tests {
         let mut host = EvaluationHost::new();
         let trace = fixed_trace(200, 4096);
         let mode = WorkloadMode::peak(4096, 50, 100);
-        let result =
-            load_sweep(&mut host, || presets::hdd_raid5(4), &trace, mode, &[20, 50, 80], "unit");
+        let result = load_sweep(
+            &mut host,
+            || ArraySpec::hdd_raid5(4).build(),
+            &trace,
+            mode,
+            &[20, 50, 80],
+            "unit",
+        );
         assert_eq!(result.loads, vec![20, 50, 80, 100]);
         assert_eq!(result.record_ids.len(), 4);
         assert_eq!(host.db.len(), 4);
@@ -783,7 +789,7 @@ mod tests {
         let mut host = EvaluationHost::new();
         let result = load_sweep(
             &mut host,
-            || presets::hdd_raid5(4),
+            || ArraySpec::hdd_raid5(4).build(),
             &fixed_trace(50, 4096),
             WorkloadMode::peak(4096, 0, 100),
             &[50],
@@ -800,7 +806,7 @@ mod tests {
         let mut serial_host = EvaluationHost::new();
         let serial = load_sweep(
             &mut serial_host,
-            || presets::hdd_raid5(4),
+            || ArraySpec::hdd_raid5(4).build(),
             &trace,
             mode,
             &sweep::LOAD_PCTS,
@@ -810,7 +816,7 @@ mod tests {
         let parallel = load_sweep_with(
             &mut par_host,
             &SweepExecutor::new(4),
-            || presets::hdd_raid5(4),
+            || ArraySpec::hdd_raid5(4).build(),
             &trace,
             mode,
             &sweep::LOAD_PCTS,
@@ -831,7 +837,7 @@ mod tests {
         let mut calls = Vec::new();
         let results = run_sweep(
             &mut host,
-            || presets::hdd_raid5(3),
+            || ArraySpec::hdd_raid5(3).build(),
             |_| fixed_trace(30, 4096),
             &cfg,
             |done, total| calls.push((done, total)),
@@ -857,7 +863,7 @@ mod tests {
         let results = run_sweep_with(
             &mut host,
             &SweepExecutor::new(4),
-            || presets::hdd_raid5(3),
+            || ArraySpec::hdd_raid5(3).build(),
             |_| fixed_trace(30, 4096),
             &cfg,
             |done, total| calls.push((done, total)),
@@ -876,9 +882,9 @@ mod tests {
         let mode = WorkloadMode::peak(8192, 50, 50);
         let summary = repeated_trials(
             &mut host,
-            || presets::hdd_raid5(4),
+            || ArraySpec::hdd_raid5(4).build(),
             |seed| {
-                let mut sim = presets::hdd_raid5(4);
+                let mut sim = ArraySpec::hdd_raid5(4).build();
                 run_peak_workload(
                     &mut sim,
                     &IometerConfig {
@@ -910,7 +916,7 @@ mod tests {
             let summary = repeated_trials_with(
                 &mut host,
                 exec,
-                || presets::hdd_raid5(4),
+                || ArraySpec::hdd_raid5(4).build(),
                 |seed| fixed_trace(60 + seed as usize, 4096),
                 mode,
                 3,

@@ -190,7 +190,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tracer_sim::presets;
+    use tracer_sim::ArraySpec;
     use tracer_trace::{Bunch, IoPackage};
 
     /// A sparse trace with long idle gaps: fertile ground for spin-down.
@@ -218,7 +218,7 @@ mod tests {
         let mut host = EvaluationHost::new();
         let outcomes = compare_policies(
             &mut host,
-            || presets::hdd_raid5_parts(4),
+            || ArraySpec::hdd_raid5(4).parts(),
             &sparse_trace(),
             WorkloadMode::peak(8192, 50, 100),
             &[ConservationPolicy::SpinDown { idle_timeout: SimDuration::from_secs(5) }],
@@ -238,7 +238,7 @@ mod tests {
         let mut host = EvaluationHost::new();
         let outcomes = compare_policies(
             &mut host,
-            || presets::hdd_raid5_parts(4),
+            || ArraySpec::hdd_raid5(4).parts(),
             &hot_trace(),
             WorkloadMode::peak(16384, 50, 100),
             &[ConservationPolicy::DegradedParity { parked_disk: 0 }],
@@ -254,7 +254,7 @@ mod tests {
         let mut host = EvaluationHost::new();
         let outcomes = compare_policies(
             &mut host,
-            || presets::hdd_raid5_parts(4),
+            || ArraySpec::hdd_raid5(4).parts(),
             &hot_trace(),
             WorkloadMode::peak(16384, 50, 100),
             &[ConservationPolicy::WriteBackCache],
@@ -274,7 +274,7 @@ mod tests {
         let mut host = EvaluationHost::new();
         let outcomes = compare_policies(
             &mut host,
-            || presets::hdd_raid5_parts(4),
+            || ArraySpec::hdd_raid5(4).parts(),
             &sparse_trace(),
             WorkloadMode::peak(8192, 0, 100),
             &[ConservationPolicy::AlwaysOn],
@@ -288,7 +288,7 @@ mod tests {
         let mut host = EvaluationHost::new();
         let outcomes = compare_policies(
             &mut host,
-            || presets::hdd_raid5_parts(4),
+            || ArraySpec::hdd_raid5(4).parts(),
             &hot_trace(),
             WorkloadMode::peak(16384, 50, 100),
             &[ConservationPolicy::LowRpm { factor_pct: 50 }],

@@ -10,6 +10,12 @@
 //! * `--serial REPO_DIR` — run the same cells locally, in order, on one
 //!   host, and print the serial baseline report. A fleet run over the same
 //!   campaign produces a byte-identical report, whatever the node count.
+//! * `--scenario FILE` — take the campaign from a declarative scenario file.
+//!   Alone it runs the scenario locally and prints the scenario report (the
+//!   byte-compare partner of `tracer sweep --scenario`); with `--nodes` or
+//!   `--expect` it dispatches the scenario's single-mode load grid to
+//!   `tracer-serve --scenario` nodes; with `--serial` it prints the
+//!   fleet-format serial baseline from synthesized traces.
 //!
 //! The report goes to stdout; everything else (fleet progress, dispatch
 //! statistics, aggregated node stats) goes to stderr.
@@ -18,6 +24,7 @@ use std::process::ExitCode;
 use std::time::Duration;
 use tracer_core::cli::{self, Command};
 use tracer_core::error::TracerError;
+use tracer_core::scenario::{run_scenario, ScenarioSpec};
 use tracer_fabric::coordinator::{
     fleet_stats, run_campaign, serial_report, CampaignSpec, FleetConfig,
 };
@@ -54,26 +61,77 @@ fn main() -> ExitCode {
 }
 
 fn coordinate(cmd: Command) -> Result<(), TracerError> {
-    let Command::Coordinate { nodes, array, mode, loads, intensity, expect, port, obs, serial } =
-        cmd
+    let Command::Coordinate {
+        nodes,
+        array,
+        mode,
+        loads,
+        intensity,
+        expect,
+        port,
+        obs,
+        serial,
+        scenario,
+    } = cmd
     else {
         unreachable!("checked by the caller");
     };
     if obs.is_some() {
         tracer_obs::enable();
     }
-    let spec = CampaignSpec {
-        device: array.build().config().name.clone(),
-        mode,
-        loads,
-        intensity_pct: intensity,
+    let scn = scenario.map(|path| ScenarioSpec::from_file(&path)).transpose()?;
+
+    if let Some(scn) = &scn {
+        if nodes.is_empty() && expect == 0 && serial.is_none() {
+            // Local scenario baseline: same renderer as `tracer sweep
+            // --scenario`, so the two binaries' stdout is byte-comparable.
+            let outcome = run_scenario(scn)?;
+            print!("{}", outcome.report);
+            dump_obs(obs.as_deref())?;
+            return Ok(());
+        }
+        let modes = scn.workload.modes();
+        if modes.len() != 1 {
+            return Err(TracerError::Config(format!(
+                "scenario {} expands to {} workload modes; fleet dispatch needs exactly one",
+                scn.name,
+                modes.len()
+            )));
+        }
+    }
+
+    let spec = match &scn {
+        Some(scn) => CampaignSpec {
+            device: scn.array.name.clone(),
+            mode: scn.workload.modes()[0],
+            loads: scn.loads.clone(),
+            intensity_pct: 100,
+        },
+        None => CampaignSpec {
+            device: array.build().config().name.clone(),
+            mode,
+            loads,
+            intensity_pct: intensity,
+        },
     };
 
     if let Some(repo_dir) = serial {
-        let repo =
-            TraceRepository::open(&repo_dir).map_err(|e| TracerError::Config(e.to_string()))?;
-        let report =
-            serial_report(&spec, || array.build(), |dev, mode| repo.load_view(dev, mode).ok())?;
+        let report = match &scn {
+            // Scenario cells need no repository: synthesize the trace the
+            // same way the serve nodes do (the --serial value is unused).
+            Some(scn) => serial_report(
+                &spec,
+                || scn.array.build(),
+                |dev, mode| {
+                    (dev == scn.array.name).then(|| scn.workload.trace(&scn.array, *mode, 0).into())
+                },
+            )?,
+            None => {
+                let repo = TraceRepository::open(&repo_dir)
+                    .map_err(|e| TracerError::Config(e.to_string()))?;
+                serial_report(&spec, || array.build(), |dev, mode| repo.load_view(dev, mode).ok())?
+            }
+        };
         print!("{report}");
         dump_obs(obs.as_deref())?;
         return Ok(());
@@ -131,10 +189,16 @@ USAGE:
                     [--loads 20,40,...] [--intensity PCT]
                     [--rs BYTES --rn PCT --rd PCT]
                     [--expect N --port N] [--obs FILE] [--serial REPO_DIR]
+                    [--scenario FILE]
 
 The sweep report (one `cell load=...` line per level, deterministic bytes)
 goes to stdout; fleet progress and statistics go to stderr. --expect opens a
 registrar and waits for nodes started with `tracer-serve --join`. --serial
-runs the same cells locally and prints the byte-identical baseline report."
+runs the same cells locally and prints the byte-identical baseline report.
+--scenario takes the campaign from a scenario file: alone it runs the
+scenario locally (byte-comparable to `tracer sweep --scenario`); with
+--nodes/--expect it dispatches the single-mode load grid to
+`tracer-serve --scenario` nodes; with --serial it prints the fleet-format
+baseline from synthesized traces (the --serial value is unused)."
     );
 }

@@ -11,7 +11,7 @@ use tracer_fabric::coordinator::{
 };
 use tracer_serve::server::{BuildArray, JobServer, LoadTrace};
 use tracer_serve::ServiceConfig;
-use tracer_sim::presets;
+use tracer_sim::ArraySpec;
 use tracer_trace::{Bunch, IoPackage, Trace, WorkloadMode};
 
 const DEVICE: &str = "fleetdev";
@@ -35,7 +35,8 @@ fn fleet_trace(bunches: u64) -> Arc<Trace> {
 }
 
 fn spawn_node(workers: usize, bunches: u64) -> JobServer {
-    let build: BuildArray = Arc::new(|req: &str| (req == DEVICE).then(|| presets::hdd_raid5(4)));
+    let build: BuildArray =
+        Arc::new(|req: &str| (req == DEVICE).then(|| ArraySpec::hdd_raid5(4).build()));
     let trace = fleet_trace(bunches);
     let load: LoadTrace =
         Arc::new(move |dev: &str, _mode| (dev == DEVICE).then(|| Arc::clone(&trace).into()));
@@ -54,7 +55,7 @@ fn campaign(loads: &[u32]) -> CampaignSpec {
 fn baseline(spec: &CampaignSpec, bunches: u64) -> String {
     serial_report(
         spec,
-        || presets::hdd_raid5(4),
+        || ArraySpec::hdd_raid5(4).build(),
         |dev, _mode| (dev == DEVICE).then(|| fleet_trace(bunches).into()),
     )
     .expect("serial baseline")
@@ -104,7 +105,7 @@ fn submit_blocker(node: &JobServer, bunches: u64) -> u64 {
     node.service()
         .submit(tracer_core::distributed::EvaluationJob::new(
             "blocker",
-            || presets::hdd_raid5(4),
+            || ArraySpec::hdd_raid5(4).build(),
             fleet_trace(bunches),
             WorkloadMode::peak(8192, 50, 70).at_load(100),
         ))

@@ -16,7 +16,7 @@ use tracer_core::db::{Database, TestRecord};
 use tracer_core::distributed::EvaluationJob;
 use tracer_fabric::joblog::{JobLog, JobSpec, LogRecord, RecoveredState};
 use tracer_serve::{EvalService, JobState, ServiceConfig};
-use tracer_sim::presets;
+use tracer_sim::ArraySpec;
 use tracer_trace::{Bunch, IoPackage, Trace, WorkloadMode};
 
 static CASE: AtomicUsize = AtomicUsize::new(0);
@@ -194,7 +194,7 @@ fn recovery_restores_done_jobs_and_reruns_pending_ones_exactly_once() {
             resolver_log.lock().unwrap().push(spec.name.clone());
             (spec.device == "recdev").then(|| EvaluationJob {
                 name: spec.name.clone(),
-                build: Box::new(|| presets::hdd_raid5(4)),
+                build: Box::new(|| ArraySpec::hdd_raid5(4).build()),
                 trace: rec_trace().into(),
                 mode: spec.mode,
                 intensity_pct: spec.intensity_pct,
@@ -224,7 +224,7 @@ fn recovery_restores_done_jobs_and_reruns_pending_ones_exactly_once() {
     let fresh = service
         .submit(EvaluationJob {
             name: "fresh".into(),
-            build: Box::new(|| presets::hdd_raid5(4)),
+            build: Box::new(|| ArraySpec::hdd_raid5(4).build()),
             trace: rec_trace().into(),
             mode: WorkloadMode::peak(8192, 50, 100).at_load(40),
             intensity_pct: 100,
@@ -287,7 +287,8 @@ fn wire_submissions_are_journalled_and_replayable() {
     use tracer_serve::server::{BuildArray, JobServer, LoadTrace};
 
     let path = tmp("wire");
-    let build: BuildArray = Arc::new(|req: &str| (req == "recdev").then(|| presets::hdd_raid5(4)));
+    let build: BuildArray =
+        Arc::new(|req: &str| (req == "recdev").then(|| ArraySpec::hdd_raid5(4).build()));
     let load: LoadTrace = {
         let t = rec_trace();
         Arc::new(move |dev: &str, _mode| (dev == "recdev").then(|| Arc::clone(&t).into()))

@@ -21,6 +21,12 @@ pub const REQUIRED_TAGS: &[(&str, &[&str])] = &[
     ("crates/sim/src/array.rs", &["deterministic"]),
     ("crates/sim/src/equeue.rs", &["deterministic"]),
     ("crates/sim/src/soa.rs", &["deterministic"]),
+    ("crates/sim/src/stripe.rs", &["deterministic"]),
+    ("crates/sim/src/nvme.rs", &["deterministic"]),
+    ("crates/sim/src/tier.rs", &["deterministic"]),
+    ("crates/sim/src/power.rs", &["deterministic"]),
+    ("crates/sim/src/spec.rs", &["deterministic"]),
+    ("crates/core/src/scenario.rs", &["deterministic"]),
     ("crates/replay/src/plan.rs", &["deterministic", "zero-copy"]),
     ("crates/trace/src/v3.rs", &["deterministic"]),
     ("crates/trace/src/mmap.rs", &["deterministic"]),

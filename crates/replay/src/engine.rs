@@ -353,7 +353,7 @@ fn publish_issue_tallies(sim: &mut ArraySim, ios: u64, bytes: u64, skipped: u64)
 mod tests {
     use super::*;
     use crate::filter::ProportionalFilter;
-    use tracer_sim::presets;
+    use tracer_sim::ArraySpec;
     use tracer_trace::{Bunch, IoPackage, OpKind};
 
     fn uniform_trace(n: usize, gap_ms: u64, bytes: u32) -> Trace {
@@ -372,7 +372,7 @@ mod tests {
 
     #[test]
     fn full_replay_completes_everything() {
-        let mut sim = presets::hdd_raid5(4);
+        let mut sim = ArraySpec::hdd_raid5(4).build();
         let t = uniform_trace(50, 20, 4096);
         let report = replay(&mut sim, &t, &ReplayConfig::default());
         assert_eq!(report.issued_ios, 50);
@@ -385,7 +385,7 @@ mod tests {
 
     #[test]
     fn filtered_replay_issues_fraction() {
-        let mut sim = presets::hdd_raid5(4);
+        let mut sim = ArraySpec::hdd_raid5(4).build();
         let t = uniform_trace(100, 10, 4096);
         let cfg = ReplayConfig { load: LoadControl::proportion(30), ..Default::default() };
         let report = replay(&mut sim, &t, &cfg);
@@ -397,7 +397,7 @@ mod tests {
         // The core claim of Fig. 8: measured throughput tracks the configured
         // proportion because the replay keeps original timestamps.
         let measure = |pct: u32| {
-            let mut sim = presets::hdd_raid5(4);
+            let mut sim = ArraySpec::hdd_raid5(4).build();
             let t = uniform_trace(200, 10, 4096);
             let cfg = ReplayConfig { load: LoadControl::proportion(pct), ..Default::default() };
             replay(&mut sim, &t, &cfg).summary.iops
@@ -416,9 +416,9 @@ mod tests {
     #[test]
     fn intensity_scaling_compresses_time() {
         let t = uniform_trace(100, 10, 4096);
-        let mut sim = presets::hdd_raid5(4);
+        let mut sim = ArraySpec::hdd_raid5(4).build();
         let slow = replay(&mut sim, &t, &ReplayConfig::default());
-        let mut sim = presets::hdd_raid5(4);
+        let mut sim = ArraySpec::hdd_raid5(4).build();
         let cfg = ReplayConfig { load: LoadControl::intensity(200), ..Default::default() };
         let fast = replay(&mut sim, &t, &cfg);
         assert!(fast.span().as_secs_f64() < slow.span().as_secs_f64() * 0.6);
@@ -427,7 +427,7 @@ mod tests {
 
     #[test]
     fn wrap_policy_translates_oversized_sectors() {
-        let mut sim = presets::hdd_raid5(4);
+        let mut sim = ArraySpec::hdd_raid5(4).build();
         let cap = sim.data_capacity_sectors();
         let t = Trace::from_bunches(
             "big",
@@ -440,7 +440,7 @@ mod tests {
 
     #[test]
     fn skip_policy_counts_out_of_range() {
-        let mut sim = presets::hdd_raid5(4);
+        let mut sim = ArraySpec::hdd_raid5(4).build();
         let cap = sim.data_capacity_sectors();
         let t = Trace::from_bunches(
             "big",
@@ -457,7 +457,7 @@ mod tests {
 
     #[test]
     fn empty_trace_report_is_empty() {
-        let mut sim = presets::hdd_raid5(4);
+        let mut sim = ArraySpec::hdd_raid5(4).build();
         let report = replay(&mut sim, &Trace::new("e"), &ReplayConfig::default());
         assert_eq!(report.issued_ios, 0);
         assert_eq!(report.completions.len(), 0);
@@ -468,7 +468,7 @@ mod tests {
     fn bunch_ios_are_concurrent() {
         // A bunch of 4 requests to 4 different disks should overlap: the
         // bunch finishes far sooner than 4 serial service times.
-        let mut sim = presets::hdd_raid5(4);
+        let mut sim = ArraySpec::hdd_raid5(4).build();
         let strip = 256u64;
         let ios: Vec<IoPackage> =
             (0..3).map(|i| IoPackage::read(i * strip + 500_000, 4096)).collect();
@@ -486,9 +486,9 @@ mod tests {
     #[test]
     fn warmup_trims_the_measurement_window() {
         let t = uniform_trace(100, 10, 4096);
-        let mut sim = presets::hdd_raid5(4);
+        let mut sim = ArraySpec::hdd_raid5(4).build();
         let full = replay(&mut sim, &t, &ReplayConfig::default());
-        let mut sim = presets::hdd_raid5(4);
+        let mut sim = ArraySpec::hdd_raid5(4).build();
         let cfg = ReplayConfig { warmup: SimDuration::from_millis(500), ..Default::default() };
         let trimmed = replay(&mut sim, &t, &cfg);
         // Same work replayed; roughly half the completions measured.
@@ -504,7 +504,7 @@ mod tests {
     #[test]
     fn warmup_longer_than_replay_is_safe() {
         let t = uniform_trace(5, 10, 4096);
-        let mut sim = presets::hdd_raid5(4);
+        let mut sim = ArraySpec::hdd_raid5(4).build();
         let cfg = ReplayConfig { warmup: SimDuration::from_secs(3600), ..Default::default() };
         let report = replay(&mut sim, &t, &cfg);
         assert_eq!(report.summary.total_ios, 0);
@@ -516,9 +516,9 @@ mod tests {
         // A slow-paced trace (1 io/s) replayed AFAP finishes in a tiny
         // fraction of its nominal duration and completes every request.
         let t = uniform_trace(30, 1_000, 8192);
-        let mut sim = presets::hdd_raid5(4);
+        let mut sim = ArraySpec::hdd_raid5(4).build();
         let timed = replay(&mut sim, &t, &ReplayConfig::default());
-        let mut sim = presets::hdd_raid5(4);
+        let mut sim = ArraySpec::hdd_raid5(4).build();
         let afap = replay_afap(&mut sim, &t, 8, AddressPolicy::Wrap);
         assert_eq!(afap.completions.len(), 30);
         assert_eq!(afap.issued_bytes, timed.issued_bytes);
@@ -535,7 +535,7 @@ mod tests {
     fn afap_depth_increases_throughput_up_to_parallelism() {
         let t = uniform_trace(200, 1, 8192);
         let run = |depth: usize| {
-            let mut sim = presets::hdd_raid5(4);
+            let mut sim = ArraySpec::hdd_raid5(4).build();
             replay_afap(&mut sim, &t, depth, AddressPolicy::Wrap).summary.iops
         };
         let shallow = run(1);
@@ -545,7 +545,7 @@ mod tests {
 
     #[test]
     fn afap_on_empty_trace() {
-        let mut sim = presets::hdd_raid5(4);
+        let mut sim = ArraySpec::hdd_raid5(4).build();
         let report = replay_afap(&mut sim, &Trace::new("e"), 8, AddressPolicy::Wrap);
         assert_eq!(report.issued_ios, 0);
         assert_eq!(report.completions.len(), 0);
@@ -556,12 +556,12 @@ mod tests {
         let t = uniform_trace(25, 5, 4096);
         // Disabled: spans and counters stay untouched by this replay.
         let drive_before = tracer_obs::histogram("replay.drive_ns").snapshot().count;
-        let mut sim = presets::hdd_raid5(4);
+        let mut sim = ArraySpec::hdd_raid5(4).build();
         replay(&mut sim, &t, &ReplayConfig::default());
 
         tracer_obs::enable();
         let ios_before = tracer_obs::counter("replay.issued_ios").value();
-        let mut sim = presets::hdd_raid5(4);
+        let mut sim = ArraySpec::hdd_raid5(4).build();
         let report = replay(&mut sim, &t, &ReplayConfig::default());
         tracer_obs::disable();
 
@@ -575,13 +575,13 @@ mod tests {
     fn filter_then_replay_matches_prepared_replay() {
         let t = uniform_trace(60, 5, 8192);
         let filtered = ProportionalFilter::default().filter(&t, 50);
-        let mut sim_a = presets::hdd_raid5(4);
+        let mut sim_a = ArraySpec::hdd_raid5(4).build();
         let a = replay(
             &mut sim_a,
             &t,
             &ReplayConfig { load: LoadControl::proportion(50), ..Default::default() },
         );
-        let mut sim_b = presets::hdd_raid5(4);
+        let mut sim_b = ArraySpec::hdd_raid5(4).build();
         let b = replay_prepared(&mut sim_b, &filtered, AddressPolicy::Wrap);
         assert_eq!(a.issued_ios, b.issued_ios);
         assert_eq!(a.summary.total_bytes, b.summary.total_bytes);

@@ -24,7 +24,7 @@
 //!
 //! ```
 //! use tracer_replay::{replay, LoadControl, ReplayConfig};
-//! use tracer_sim::presets;
+//! use tracer_sim::ArraySpec;
 //! use tracer_trace::{Bunch, IoPackage, Trace};
 //!
 //! let trace = Trace::from_bunches(
@@ -33,7 +33,7 @@
 //!         .map(|i| Bunch::at_micros(i * 10_000, vec![IoPackage::read(i * 8, 4096)]))
 //!         .collect(),
 //! );
-//! let mut sim = presets::hdd_raid5(4);
+//! let mut sim = ArraySpec::hdd_raid5(4).build();
 //! let cfg = ReplayConfig { load: LoadControl::proportion(50), ..Default::default() };
 //! let report = replay(&mut sim, &trace, &cfg);
 //! assert_eq!(report.issued_ios, 10); // half of the bunches replayed

@@ -330,7 +330,7 @@ mod tests {
 
     #[test]
     fn sim_target_completes_requests_against_the_simulator() {
-        let target = SimTarget::new(tracer_sim::presets::hdd_raid5(4));
+        let target = SimTarget::new(tracer_sim::ArraySpec::hdd_raid5(4).build());
         let replayer = RealTimeReplayer { speedup: 10_000.0, workers: 3 };
         let report = replayer.replay(&target, &trace_of(10, 2, 1));
         assert_eq!(report.issued, 20);
@@ -344,7 +344,7 @@ mod tests {
 
     #[test]
     fn sim_target_wraps_addresses_and_rejects_oversize() {
-        let target = SimTarget::new(tracer_sim::presets::hdd_raid5(4));
+        let target = SimTarget::new(tracer_sim::ArraySpec::hdd_raid5(4).build());
         // A sector far beyond capacity wraps.
         assert!(target.execute(&IoPackage::read(u64::MAX / 2, 4096)).is_ok());
         // A request bigger than the whole array fails cleanly.

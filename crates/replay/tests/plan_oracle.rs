@@ -13,7 +13,7 @@ use tracer_replay::{
     replay, replay_prepared, replay_prepared_with_warmup, AddressPolicy, LoadControl, ReplayConfig,
     ReplayPlan,
 };
-use tracer_sim::{presets, SimDuration};
+use tracer_sim::{ArraySpec, SimDuration};
 use tracer_trace::{Bunch, IoPackage, Trace};
 
 /// Arbitrary traces: up to 40 bunches of up to 5 IOs each, with arbitrary
@@ -60,13 +60,13 @@ proptest! {
         let policy = if skip_policy { AddressPolicy::Skip } else { AddressPolicy::Wrap };
         let cfg = ReplayConfig { load, address_policy: policy, warmup: SimDuration::ZERO };
 
-        let mut sim = presets::hdd_raid5(4);
+        let mut sim = ArraySpec::hdd_raid5(4).build();
         let zero_copy = replay(&mut sim, &trace, &cfg);
 
         // The pre-change path, kept as the oracle: materialize the
         // controlled trace, then replay the copy.
         let controlled = load.apply(&trace);
-        let mut sim = presets::hdd_raid5(4);
+        let mut sim = ArraySpec::hdd_raid5(4).build();
         let materialized = replay_prepared(&mut sim, &controlled, policy);
 
         prop_assert_eq!(
@@ -88,11 +88,11 @@ proptest! {
         let warmup = SimDuration::from_millis(warmup_ms);
         let cfg = ReplayConfig { load, address_policy: AddressPolicy::Wrap, warmup };
 
-        let mut sim = presets::hdd_raid5(4);
+        let mut sim = ArraySpec::hdd_raid5(4).build();
         let zero_copy = replay(&mut sim, &trace, &cfg);
 
         let controlled = load.apply(&trace);
-        let mut sim = presets::hdd_raid5(4);
+        let mut sim = ArraySpec::hdd_raid5(4).build();
         let materialized =
             replay_prepared_with_warmup(&mut sim, &controlled, AddressPolicy::Wrap, warmup);
 

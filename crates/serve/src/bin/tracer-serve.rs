@@ -1,21 +1,27 @@
 //! `tracer-serve` — the concurrent evaluation service as a deployable binary.
 //!
-//! Flags are the `tracer serve` flags (`--repo`, `--array`, `--workers`,
-//! `--queue`, `--port`, `--log`, `--join`); parsing is delegated to the core
-//! CLI so both front-ends stay in sync. The process serves until a client
-//! sends the `shutdown` verb.
+//! Flags are the `tracer serve` flags (`--repo`, `--scenario`, `--array`,
+//! `--workers`, `--queue`, `--port`, `--log`, `--join`); parsing is delegated
+//! to the core CLI so both front-ends stay in sync. The process serves until
+//! a client sends the `shutdown` verb.
 //!
 //! With `--log FILE` the node journals every submitted job to a durable job
 //! log and replays it on startup: jobs finished before a crash come back as
 //! results without re-running, jobs that were queued or in flight re-enqueue
 //! under their original ids. With `--join HOST:PORT` the node registers
 //! itself with a `tracer-coordinate` fleet registrar after binding.
+//!
+//! With `--scenario FILE` the node serves a scenario-defined testbed instead
+//! of a trace repository: the device name is the scenario's array name, and
+//! traces are synthesized on demand from the scenario's workload section, so
+//! a fleet needs no shared trace storage at all.
 
 use std::process::ExitCode;
 use std::sync::Arc;
 use tracer_core::cli::{self, ArrayChoice, Command};
 use tracer_core::messages::JobCommand;
 use tracer_core::net::HostClient;
+use tracer_core::scenario::ScenarioSpec;
 use tracer_core::TracerError;
 use tracer_serve::server::JobServer;
 use tracer_serve::ServiceConfig;
@@ -30,8 +36,8 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     let parsed = match cli::parse(&args) {
-        Ok(Command::Serve { repo, array, workers, queue, port, log, join }) => {
-            (repo, array, workers, queue, port, log, join)
+        Ok(Command::Serve { repo, array, workers, queue, port, log, join, scenario }) => {
+            (repo, array, workers, queue, port, log, join, scenario)
         }
         Ok(_) => unreachable!("the serve verb parses to Command::Serve"),
         Err(e) => {
@@ -40,8 +46,8 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let (repo, array, workers, queue, port, log, join) = parsed;
-    match serve(repo, array, workers, queue, port, log, join) {
+    let (repo, array, workers, queue, port, log, join, scenario) = parsed;
+    match serve(repo, array, workers, queue, port, log, join, scenario) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("tracer-serve: {e}");
@@ -50,16 +56,31 @@ fn main() -> ExitCode {
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn serve(
-    repo: std::path::PathBuf,
+/// Resolve the job sources: either a trace repository with an `--array`
+/// testbed, or a scenario file naming both the testbed and the workload.
+fn job_sources(
+    repo: Option<std::path::PathBuf>,
+    scenario: Option<std::path::PathBuf>,
     array: ArrayChoice,
-    workers: usize,
-    queue: usize,
-    port: u16,
-    log: Option<std::path::PathBuf>,
-    join: Option<String>,
-) -> Result<(), TracerError> {
+) -> Result<(tracer_serve::server::BuildArray, tracer_serve::server::LoadTrace), TracerError> {
+    if let Some(path) = scenario {
+        let spec = ScenarioSpec::from_file(&path)?;
+        let device = spec.array.name.clone();
+        eprintln!("scenario {}: serving device {device}", spec.name);
+        let build_spec = spec.array.clone();
+        let build: tracer_serve::server::BuildArray = Arc::new(move |requested: &str| {
+            (requested == build_spec.name).then(|| build_spec.build())
+        });
+        let load: tracer_serve::server::LoadTrace =
+            Arc::new(move |dev: &str, mode: &WorkloadMode| {
+                (dev == device).then(|| spec.workload.trace(&spec.array, *mode, 0).into())
+            });
+        return Ok((build, load));
+    }
+    // The parser enforces the flag, but a wire binary never panics on input.
+    let Some(repo) = repo else {
+        return Err(TracerError::Config("serve needs --repo or --scenario".to_string()));
+    };
     // Config wraps the Display string verbatim, so stderr output is unchanged.
     let repo = TraceRepository::open(&repo).map_err(|e| TracerError::Config(e.to_string()))?;
     let device = array.build().config().name.clone();
@@ -67,6 +88,21 @@ fn serve(
         Arc::new(move |requested: &str| (requested == device).then(|| array.build()));
     let load: tracer_serve::server::LoadTrace =
         Arc::new(move |dev: &str, mode: &WorkloadMode| repo.load_view(dev, mode).ok());
+    Ok((build, load))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn serve(
+    repo: Option<std::path::PathBuf>,
+    array: ArrayChoice,
+    workers: usize,
+    queue: usize,
+    port: u16,
+    log: Option<std::path::PathBuf>,
+    join: Option<String>,
+    scenario: Option<std::path::PathBuf>,
+) -> Result<(), TracerError> {
+    let (build, load) = job_sources(repo, scenario, array)?;
     let config = ServiceConfig {
         workers: workers.max(1),
         queue_capacity: ServiceConfig::resolved_capacity(workers.max(1), queue),
@@ -121,14 +157,17 @@ fn print_usage() {
         "tracer-serve — concurrent evaluation service (bounded queue + worker pool)
 
 USAGE:
-  tracer-serve --repo DIR [--array hdd4|hdd6|ssd4] [--workers N] [--queue N]
-               [--port N] [--log FILE] [--join HOST:PORT]
+  tracer-serve (--repo DIR [--array hdd4|hdd6|ssd4] | --scenario FILE)
+               [--workers N] [--queue N] [--port N] [--log FILE]
+               [--join HOST:PORT]
 
 Jobs arrive over TCP as `submit device=... rs=... rn=... rd=... load=...`
 lines; `status`/`result`/`cancel` manage them, `stats` snapshots the queue
 and workers, `shutdown` drains and stops. A full queue answers `err busy`
 (add priority=/deadline_ms= to a submit to park past the strict bound).
 --log makes accepted jobs crash-durable; --join registers the node with a
-tracer-coordinate fleet."
+tracer-coordinate fleet. --scenario serves the scenario file's testbed
+under its array name and synthesizes its workload on demand, so fleet
+nodes need no shared trace repository."
     );
 }

@@ -803,7 +803,7 @@ fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tracer_sim::presets;
+    use tracer_sim::ArraySpec;
     use tracer_trace::{Bunch, IoPackage, Trace, WorkloadMode};
 
     fn small_trace(bunches: u64) -> Trace {
@@ -820,7 +820,7 @@ mod tests {
     fn job(name: &str, bunches: u64, load: u32) -> EvaluationJob {
         EvaluationJob::new(
             name,
-            || presets::hdd_raid5(4),
+            || ArraySpec::hdd_raid5(4).build(),
             small_trace(bunches),
             WorkloadMode::peak(4096, 50, 100).at_load(load),
         )

@@ -15,7 +15,7 @@ use tracer_core::host::EvaluationHost;
 use tracer_core::net::HostClient;
 use tracer_serve::server::{BuildArray, JobServer, LoadTrace};
 use tracer_serve::ServiceConfig;
-use tracer_sim::presets;
+use tracer_sim::ArraySpec;
 use tracer_trace::{Bunch, IoPackage, Trace, WorkloadMode};
 
 const DEVICE: &str = "raid5-hdd4";
@@ -33,7 +33,8 @@ fn busy_trace() -> Trace {
 
 fn spawn_server(workers: usize, queue: usize) -> JobServer {
     let trace = Arc::new(busy_trace());
-    let build: BuildArray = Arc::new(|device| (device == DEVICE).then(|| presets::hdd_raid5(4)));
+    let build: BuildArray =
+        Arc::new(|device| (device == DEVICE).then(|| ArraySpec::hdd_raid5(4).build()));
     let load: LoadTrace =
         Arc::new(move |device, _mode| (device == DEVICE).then(|| Arc::clone(&trace).into()));
     JobServer::spawn(ServiceConfig { workers, queue_capacity: queue }, build, load)
@@ -157,7 +158,7 @@ fn concurrent_clients_fill_the_queue_and_match_the_serial_baseline() {
     let mut baseline_host = EvaluationHost::new();
     for &(id, load) in &submitted {
         let reply = control.job_result(id).expect("io").expect("finished job");
-        let mut sim = presets::hdd_raid5(4);
+        let mut sim = ArraySpec::hdd_raid5(4).build();
         let measured = EvaluationHost::measure_test(
             baseline_host.meter_cycle_ms,
             &mut sim,

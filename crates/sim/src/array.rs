@@ -182,6 +182,8 @@ pub struct ArrayStats {
     pub physical_bytes: u64,
     /// Reads answered entirely from the controller cache.
     pub cache_hits: u64,
+    /// Devices actually sent to standby by the spin-down policy.
+    pub spin_downs: u64,
     /// Per-device busy time, nanoseconds.
     pub busy_ns: Vec<u64>,
 }
@@ -302,6 +304,7 @@ struct DesObs {
     published_rollovers: u64,
     published_spills: u64,
     published_waves: u64,
+    published_spindowns: u64,
 }
 
 /// Record `des.queue_depth` on one dispatch in this many (power of two).
@@ -328,6 +331,7 @@ impl DesObs {
                 published_rollovers: 0,
                 published_spills: 0,
                 published_waves: 0,
+                published_spindowns: 0,
             })
         })
     }
@@ -551,7 +555,7 @@ impl ArraySim {
         assert_ne!(
             self.cfg.geometry.redundancy,
             crate::raid::Redundancy::Raid0,
-            "degraded operation needs redundancy (RAID-5 or RAID-10)"
+            "degraded operation needs redundancy (RAID-1/5/6/10)"
         );
         assert!(disk < self.devices.len(), "disk index out of range");
         assert!(self.failed_disk.is_none(), "a member is already failed");
@@ -782,6 +786,7 @@ impl ArraySim {
             ("des.equeue_rollovers", self.events.rollovers(), &mut obs.published_rollovers),
             ("des.equeue_spills", self.events.ladder_spills(), &mut obs.published_spills),
             ("des.waves", self.waves, &mut obs.published_waves),
+            ("power.spindowns", self.stats.spin_downs, &mut obs.published_spindowns),
         ];
         for (name, current, published) in pairs {
             if current > *published {
@@ -1089,6 +1094,7 @@ impl ArraySim {
             return;
         }
         self.devices[disk].enter_standby();
+        self.stats.spin_downs += 1;
         let w = self.devices[disk].standby_watts();
         self.power.devices[disk].set(self.now, w);
     }
@@ -1298,7 +1304,7 @@ impl std::fmt::Debug for ArraySim {
 mod tests {
     use super::*;
     use crate::hdd::{HddModel, HddParams};
-    use crate::presets;
+    use crate::spec::ArraySpec;
     use proptest::prelude::*;
 
     fn small_hdd_array(disks: usize) -> ArraySim {
@@ -1640,7 +1646,7 @@ mod tests {
     #[test]
     fn disabled_cache_matches_paper_testbed() {
         // The presets reproduce the paper's cache-disabled configuration.
-        let sim = presets::hdd_raid5(4);
+        let sim = ArraySpec::hdd_raid5(4).build();
         assert!(sim.cache().is_none());
     }
 
@@ -1812,11 +1818,11 @@ mod tests {
 
     #[test]
     fn presets_build() {
-        let sim = presets::hdd_raid5(6);
+        let sim = ArraySpec::hdd_raid5(6).build();
         assert_eq!(sim.devices().len(), 6);
-        let sim = presets::ssd_raid5(4);
+        let sim = ArraySpec::ssd_raid5(4).build();
         assert_eq!(sim.devices().len(), 4);
-        let sim = presets::hdd_array_idle(0);
+        let sim = ArraySpec::hdd_idle(0).build();
         assert_eq!(sim.devices().len(), 0);
     }
 

@@ -106,6 +106,11 @@ impl Device {
         match self {
             Device::Hdd(h) => Device::Hdd(crate::hdd::HddModel::new(h.params().clone())),
             Device::Ssd(s) => Device::Ssd(crate::ssd::SsdModel::new(s.params().clone())),
+            Device::Nvme(n) => Device::Nvme(crate::nvme::NvmeModel::new(n.params().clone())),
+            // The hybrid's dynamic state is its placement map; a plain clone
+            // would carry it into the measurement. Rebuilding from a clone
+            // and clearing via a fresh construction keeps phases repeatable.
+            Device::Tiered(t) => Device::Tiered(t.clone_reset()),
         }
     }
 }

@@ -128,13 +128,20 @@ pub trait DeviceModel: Send {
 }
 
 /// A concrete device: closed enum so arrays avoid dynamic dispatch while
-/// still mixing device types.
+/// still mixing device types. Variant sizes differ (the tiered model
+/// carries its cache directory inline), but an array holds a handful of
+/// members, so boxing would buy nothing and cost an indirection per event.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum Device {
     /// Rotating hard disk drive.
     Hdd(crate::hdd::HddModel),
-    /// Flash solid-state disk.
+    /// Flash solid-state disk (SATA-era single-rate model).
     Ssd(crate::ssd::SsdModel),
+    /// NVMe-class SSD with internal channel parallelism.
+    Nvme(crate::nvme::NvmeModel),
+    /// SSD cache over an HDD backing store.
+    Tiered(crate::tier::TieredModel),
 }
 
 impl DeviceModel for Device {
@@ -142,6 +149,8 @@ impl DeviceModel for Device {
         match self {
             Device::Hdd(d) => d.capacity_sectors(),
             Device::Ssd(d) => d.capacity_sectors(),
+            Device::Nvme(d) => d.capacity_sectors(),
+            Device::Tiered(d) => d.capacity_sectors(),
         }
     }
 
@@ -149,6 +158,8 @@ impl DeviceModel for Device {
         match self {
             Device::Hdd(d) => d.idle_watts(),
             Device::Ssd(d) => d.idle_watts(),
+            Device::Nvme(d) => d.idle_watts(),
+            Device::Tiered(d) => d.idle_watts(),
         }
     }
 
@@ -156,6 +167,8 @@ impl DeviceModel for Device {
         match self {
             Device::Hdd(d) => d.standby_watts(),
             Device::Ssd(d) => d.standby_watts(),
+            Device::Nvme(d) => d.standby_watts(),
+            Device::Tiered(d) => d.standby_watts(),
         }
     }
 
@@ -163,6 +176,8 @@ impl DeviceModel for Device {
         match self {
             Device::Hdd(d) => d.service(op),
             Device::Ssd(d) => d.service(op),
+            Device::Nvme(d) => d.service(op),
+            Device::Tiered(d) => d.service(op),
         }
     }
 
@@ -170,6 +185,8 @@ impl DeviceModel for Device {
         match self {
             Device::Hdd(d) => d.min_service_time(),
             Device::Ssd(d) => d.min_service_time(),
+            Device::Nvme(d) => d.min_service_time(),
+            Device::Tiered(d) => d.min_service_time(),
         }
     }
 
@@ -177,6 +194,8 @@ impl DeviceModel for Device {
         match self {
             Device::Hdd(d) => d.enter_standby(),
             Device::Ssd(d) => d.enter_standby(),
+            Device::Nvme(d) => d.enter_standby(),
+            Device::Tiered(d) => d.enter_standby(),
         }
     }
 
@@ -184,6 +203,8 @@ impl DeviceModel for Device {
         match self {
             Device::Hdd(d) => d.in_standby(),
             Device::Ssd(d) => d.in_standby(),
+            Device::Nvme(d) => d.in_standby(),
+            Device::Tiered(d) => d.in_standby(),
         }
     }
 
@@ -191,6 +212,8 @@ impl DeviceModel for Device {
         match self {
             Device::Hdd(d) => d.name(),
             Device::Ssd(d) => d.name(),
+            Device::Nvme(d) => d.name(),
+            Device::Tiered(d) => d.name(),
         }
     }
 }

@@ -24,10 +24,10 @@
 //! # Example
 //!
 //! ```
-//! use tracer_sim::{presets, ArrayRequest, SimTime};
+//! use tracer_sim::{ArrayRequest, ArraySpec, SimTime};
 //! use tracer_sim::device::OpKind;
 //!
-//! let mut sim = presets::hdd_raid5(6);
+//! let mut sim = ArraySpec::hdd_raid5(6).build();
 //! sim.submit(SimTime::ZERO, ArrayRequest::new(0, 64 * 1024, OpKind::Read)).unwrap();
 //! sim.run_to_idle();
 //! let done = sim.drain_completions();
@@ -42,11 +42,16 @@ pub mod device;
 pub mod equeue;
 pub mod error;
 pub mod hdd;
+pub mod nvme;
+pub mod power;
 pub mod powerlog;
 pub mod presets;
 pub mod raid;
 pub(crate) mod soa;
+pub mod spec;
 pub mod ssd;
+pub mod stripe;
+pub mod tier;
 pub mod time;
 
 pub use array::{
@@ -57,6 +62,11 @@ pub use cache::{CacheConfig, ControllerCache};
 pub use calibrate::{calibrate, CalibrationReport};
 pub use device::{Device, DeviceModel, DiskOp, Phase, PhaseLabel, ServicePlan};
 pub use error::SimError;
+pub use nvme::{NvmeModel, NvmeParams};
+pub use power::PowerPolicy;
 pub use powerlog::{ArrayPowerLog, PowerTimeline};
 pub use raid::{DiskExtent, Geometry, IoPlan, Redundancy};
+pub use spec::{ArraySpec, DeviceSpec, Layout};
+pub use stripe::StripeLayout;
+pub use tier::{TierConfig, TieredModel};
 pub use time::{SimDuration, SimTime};

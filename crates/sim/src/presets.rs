@@ -7,12 +7,15 @@
 //! Chassis power is a spec-derived constant (controller + fan + backplane);
 //! see DESIGN.md for the calibration notes, including the deliberate deviation
 //! from the paper's reported 195.8 W SSD-array idle figure.
+//!
+//! These constructors are deprecated shims over [`crate::spec::ArraySpec`],
+//! the single builder shared by code and scenario files; each is pinned
+//! bit-identical to its `ArraySpec` equivalent by a test below. New code and
+//! scenario files should name configurations through `ArraySpec` directly.
 
-use crate::array::{ArrayConfig, ArraySim, QueueDiscipline};
+use crate::array::{ArrayConfig, ArraySim};
 use crate::device::Device;
-use crate::hdd::{HddModel, HddParams};
-use crate::raid::Geometry;
-use crate::ssd::{SsdModel, SsdParams};
+use crate::spec::ArraySpec;
 
 /// Non-disk ("chassis") power of the simulated enclosure, watts. Chosen so
 /// that disk power overtakes chassis power once the array holds more than
@@ -28,103 +31,78 @@ pub const CONTROLLER_OVERHEAD_US: f64 = 120.0;
 /// Controller XOR engine rate, MB/s.
 pub const XOR_MBPS: f64 = 1500.0;
 
-fn base_config(name: &str, geometry: Geometry) -> ArrayConfig {
-    ArrayConfig {
-        name: name.to_string(),
-        geometry,
-        chassis_watts: CHASSIS_WATTS,
-        link_mbps: FC_LINK_MBPS,
-        controller_overhead_us: CONTROLLER_OVERHEAD_US,
-        xor_mbps: XOR_MBPS,
-        queue_discipline: QueueDiscipline::Fifo,
-        spin_down_after: None,
-        cache: None,
-    }
-}
-
 /// Configuration and members of the HDD testbed, for callers that mutate the
 /// config (policies, ablations) before building the simulator.
+#[deprecated(note = "use ArraySpec::hdd_raid5(disks).parts()")]
 pub fn hdd_raid5_parts(disks: usize) -> (ArrayConfig, Vec<Device>) {
-    let devices = (0..disks)
-        .map(|_| Device::Hdd(HddModel::new(HddParams::seagate_7200_12_500gb())))
-        .collect();
-    (base_config(&format!("raid5-hdd{disks}"), Geometry::raid5(disks)), devices)
+    ArraySpec::hdd_raid5(disks).parts()
 }
 
 /// The paper's HDD testbed: RAID-5 over `disks` Seagate 7200.12 drives.
+#[deprecated(note = "use ArraySpec::hdd_raid5(disks).build()")]
 pub fn hdd_raid5(disks: usize) -> ArraySim {
-    let (cfg, devices) = hdd_raid5_parts(disks);
-    ArraySim::new(cfg, devices)
+    ArraySpec::hdd_raid5(disks).build()
 }
 
 /// Configuration and members of the SSD testbed (see [`hdd_raid5_parts`]).
+#[deprecated(note = "use ArraySpec::ssd_raid5(disks).parts()")]
 pub fn ssd_raid5_parts(disks: usize) -> (ArrayConfig, Vec<Device>) {
-    let devices =
-        (0..disks).map(|_| Device::Ssd(SsdModel::new(SsdParams::memoright_slc_32gb()))).collect();
-    (base_config(&format!("raid5-ssd{disks}"), Geometry::raid5(disks)), devices)
+    ArraySpec::ssd_raid5(disks).parts()
 }
 
 /// The paper's SSD testbed: RAID-5 over `disks` Memoright 32 GB SLC drives.
+#[deprecated(note = "use ArraySpec::ssd_raid5(disks).build()")]
 pub fn ssd_raid5(disks: usize) -> ArraySim {
-    let (cfg, devices) = ssd_raid5_parts(disks);
-    ArraySim::new(cfg, devices)
+    ArraySpec::ssd_raid5(disks).build()
 }
 
 /// An enclosure populated with `disks` idle HDDs and no redundancy scheme —
 /// used for the idle-power-versus-disk-count experiment (Fig. 7), including
 /// the zero-disk chassis-only case.
+#[deprecated(note = "use ArraySpec::hdd_idle(disks).build()")]
 pub fn hdd_array_idle(disks: usize) -> ArraySim {
-    let devices = (0..disks)
-        .map(|_| Device::Hdd(HddModel::new(HddParams::seagate_7200_12_500gb())))
-        .collect();
-    ArraySim::new(base_config(&format!("idle-hdd{disks}"), Geometry::raid0(disks)), devices)
+    ArraySpec::hdd_idle(disks).build()
 }
 
 /// RAID-10 (mirrored striping) over `disks` desktop HDDs.
+#[deprecated(note = "use ArraySpec::hdd_raid10(disks).build()")]
 pub fn hdd_raid10(disks: usize) -> ArraySim {
-    let devices = (0..disks)
-        .map(|_| Device::Hdd(HddModel::new(HddParams::seagate_7200_12_500gb())))
-        .collect();
-    ArraySim::new(base_config(&format!("raid10-hdd{disks}"), Geometry::raid10(disks)), devices)
+    ArraySpec::hdd_raid10(disks).build()
 }
 
 /// RAID-0 (no redundancy) over `disks` desktop HDDs — the throughput
 /// baseline redundancy costs are measured against.
+#[deprecated(note = "use ArraySpec::hdd_raid0(disks).build()")]
 pub fn hdd_raid0(disks: usize) -> ArraySim {
-    let devices = (0..disks)
-        .map(|_| Device::Hdd(HddModel::new(HddParams::seagate_7200_12_500gb())))
-        .collect();
-    ArraySim::new(base_config(&format!("raid0-hdd{disks}"), Geometry::raid0(disks)), devices)
+    ArraySpec::hdd_raid0(disks).build()
 }
 
 /// RAID-5 over `disks` 15 000 rpm enterprise SAS drives.
+#[deprecated(note = "use ArraySpec::enterprise15k_raid5(disks).build()")]
 pub fn enterprise15k_raid5(disks: usize) -> ArraySim {
-    let devices =
-        (0..disks).map(|_| Device::Hdd(HddModel::new(HddParams::enterprise_15k_600gb()))).collect();
-    ArraySim::new(base_config(&format!("raid5-15k{disks}"), Geometry::raid5(disks)), devices)
+    ArraySpec::enterprise15k_raid5(disks).build()
 }
 
 /// RAID-5 over `disks` 5 400 rpm power-economy drives.
+#[deprecated(note = "use ArraySpec::eco_raid5(disks).build()")]
 pub fn eco_raid5(disks: usize) -> ArraySim {
-    let devices =
-        (0..disks).map(|_| Device::Hdd(HddModel::new(HddParams::eco_5400_2tb()))).collect();
-    ArraySim::new(base_config(&format!("raid5-eco{disks}"), Geometry::raid5(disks)), devices)
+    ArraySpec::eco_raid5(disks).build()
 }
 
 /// RAID-5 over `disks` consumer MLC SSDs.
+#[deprecated(note = "use ArraySpec::mlc_raid5(disks).build()")]
 pub fn mlc_raid5(disks: usize) -> ArraySim {
-    let devices =
-        (0..disks).map(|_| Device::Ssd(SsdModel::new(SsdParams::mlc_consumer_128gb()))).collect();
-    ArraySim::new(base_config(&format!("raid5-mlc{disks}"), Geometry::raid5(disks)), devices)
+    ArraySpec::mlc_raid5(disks).build()
 }
 
 /// A single-HDD pass-through target (for baselines and unit experiments).
+#[deprecated(note = "use ArraySpec::single_hdd().build()")]
 pub fn single_hdd() -> ArraySim {
-    let devices = vec![Device::Hdd(HddModel::new(HddParams::seagate_7200_12_500gb()))];
-    ArraySim::new(base_config("single-hdd", Geometry::raid0(1)), devices)
+    ArraySpec::single_hdd().build()
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::device::DeviceModel;
@@ -173,5 +151,39 @@ mod tests {
         assert_eq!(sim.devices().len(), 1);
         assert!(sim.data_capacity_sectors() <= sim.devices()[0].capacity_sectors());
         assert!(sim.data_capacity_sectors() > 900_000_000);
+    }
+
+    /// Pin: every deprecated shim is bit-identical to its `ArraySpec`
+    /// equivalent — same config, same members, same initial power state.
+    /// Mirrors the PR 5 `SweepBuilder` shim pins.
+    #[test]
+    fn shims_are_bit_identical_to_array_spec() {
+        type Parts = (ArrayConfig, Vec<Device>);
+        let pairs: Vec<(Parts, Parts)> = vec![
+            (hdd_raid5_parts(6), ArraySpec::hdd_raid5(6).parts()),
+            (ssd_raid5_parts(4), ArraySpec::ssd_raid5(4).parts()),
+        ];
+        for (old, new) in pairs {
+            assert_eq!(format!("{old:?}"), format!("{new:?}"));
+        }
+        let sims: Vec<(ArraySim, ArraySim)> = vec![
+            (hdd_raid5(6), ArraySpec::hdd_raid5(6).build()),
+            (ssd_raid5(4), ArraySpec::ssd_raid5(4).build()),
+            (hdd_array_idle(3), ArraySpec::hdd_idle(3).build()),
+            (hdd_raid10(4), ArraySpec::hdd_raid10(4).build()),
+            (hdd_raid0(3), ArraySpec::hdd_raid0(3).build()),
+            (enterprise15k_raid5(4), ArraySpec::enterprise15k_raid5(4).build()),
+            (eco_raid5(4), ArraySpec::eco_raid5(4).build()),
+            (mlc_raid5(4), ArraySpec::mlc_raid5(4).build()),
+            (single_hdd(), ArraySpec::single_hdd().build()),
+        ];
+        for (old, new) in &sims {
+            assert_eq!(format!("{:?}", old.config()), format!("{:?}", new.config()));
+            assert_eq!(
+                old.power_log().total_watts_at(SimTime::ZERO),
+                new.power_log().total_watts_at(SimTime::ZERO)
+            );
+            assert_eq!(old.devices().len(), new.devices().len());
+        }
     }
 }

@@ -8,6 +8,7 @@
 //! writes) choosing between read-modify-write and reconstruct-write by which
 //! needs fewer disk reads.
 
+use crate::stripe::StripeLayout;
 use serde::{Deserialize, Serialize};
 use tracer_trace::OpKind;
 
@@ -16,8 +17,15 @@ use tracer_trace::OpKind;
 pub enum Redundancy {
     /// Plain striping (RAID-0); a single-disk "array" is RAID-0 with 1 disk.
     Raid0,
+    /// N-way mirroring (RAID-1): every member holds a full copy; reads
+    /// alternate over the members, writes go to all of them.
+    Raid1,
     /// Left-symmetric rotating parity (RAID-5).
     Raid5,
+    /// Double rotated parity (RAID-6): P rotates left-symmetrically like
+    /// RAID-5, Q sits cyclically adjacent to P, data strips fill the
+    /// remaining members after Q.
+    Raid6,
     /// Mirrored striping (RAID-10): strips round-robin over mirror pairs;
     /// reads alternate between the two copies, writes go to both.
     Raid10,
@@ -105,11 +113,36 @@ impl Geometry {
         Self { disks, strip_sectors: 256, redundancy: Redundancy::Raid10 }
     }
 
+    /// RAID-6 geometry (rotated P+Q) with the paper's 128 KB strip.
+    pub fn raid6(disks: usize) -> Self {
+        assert!(disks >= 4, "RAID-6 needs at least 4 disks");
+        Self { disks, strip_sectors: 256, redundancy: Redundancy::Raid6 }
+    }
+
+    /// RAID-1 geometry (N-way mirror) with the paper's 128 KB strip.
+    pub fn raid1(disks: usize) -> Self {
+        assert!(disks >= 2, "RAID-1 needs at least 2 disks");
+        Self { disks, strip_sectors: 256, redundancy: Redundancy::Raid1 }
+    }
+
+    /// The rotated-parity layout behind this geometry, when it has one
+    /// (mirrored schemes place by pairing, not rotation).
+    fn layout(&self) -> Option<StripeLayout> {
+        match self.redundancy {
+            Redundancy::Raid0 => Some(StripeLayout::new(self.disks.max(1), 0)),
+            Redundancy::Raid5 => Some(StripeLayout::new(self.disks, 1)),
+            Redundancy::Raid6 => Some(StripeLayout::new(self.disks, 2)),
+            Redundancy::Raid1 | Redundancy::Raid10 => None,
+        }
+    }
+
     /// Number of data strips per stripe.
     pub fn data_disks(&self) -> usize {
         match self.redundancy {
             Redundancy::Raid0 => self.disks,
+            Redundancy::Raid1 => 1,
             Redundancy::Raid5 => self.disks - 1,
+            Redundancy::Raid6 => self.disks - 2,
             Redundancy::Raid10 => self.disks / 2,
         }
     }
@@ -120,11 +153,23 @@ impl Geometry {
     }
 
     /// Parity disk for `stripe` (left-symmetric): parity starts on the last
-    /// disk and rotates backwards.
+    /// disk and rotates backwards. For RAID-6 this is the P strip.
     pub fn parity_disk(&self, stripe: u64) -> Option<usize> {
         match self.redundancy {
-            Redundancy::Raid0 | Redundancy::Raid10 => None,
-            Redundancy::Raid5 => Some(self.disks - 1 - (stripe % self.disks as u64) as usize),
+            Redundancy::Raid0 | Redundancy::Raid1 | Redundancy::Raid10 => None,
+            Redundancy::Raid5 | Redundancy::Raid6 => {
+                Some(self.layout().expect("rotated layout").parity_member(stripe, 0))
+            }
+        }
+    }
+
+    /// RAID-6 Q-strip disk for `stripe` (cyclically adjacent to P).
+    pub fn q_disk(&self, stripe: u64) -> Option<usize> {
+        match self.redundancy {
+            Redundancy::Raid6 => {
+                Some(self.layout().expect("rotated layout").parity_member(stripe, 1))
+            }
+            _ => None,
         }
     }
 
@@ -143,10 +188,13 @@ impl Geometry {
         let stripe = logical_strip / data;
         let index = (logical_strip % data) as usize;
         let disk = match self.redundancy {
-            Redundancy::Raid0 => index,
-            Redundancy::Raid5 => {
-                let parity = self.parity_disk(stripe).expect("raid5 has parity");
-                (parity + 1 + index) % self.disks
+            Redundancy::Raid0 | Redundancy::Raid5 | Redundancy::Raid6 => {
+                self.layout().expect("rotated layout").data_member(stripe, index)
+            }
+            Redundancy::Raid1 => {
+                // N-way mirror: the primary copy rotates over the members so
+                // reads spread; every member holds the same disk sector.
+                (stripe % self.disks as u64) as usize
             }
             Redundancy::Raid10 => {
                 // Primary copy: alternate mirror halves by stripe so reads
@@ -211,6 +259,39 @@ impl Geometry {
             (Redundancy::Raid5, OpKind::Write, failed) => {
                 self.plan_raid5_write(logical_sector, sectors, failed)
             }
+            (Redundancy::Raid6, OpKind::Read, Some(f)) => {
+                self.plan_raid6_degraded_read(logical_sector, sectors, f)
+            }
+            (Redundancy::Raid6, OpKind::Write, failed) => {
+                self.plan_raid6_write(logical_sector, sectors, failed)
+            }
+            (Redundancy::Raid1, OpKind::Read, Some(f)) => {
+                // Reads on the failed member hop to the cyclically next
+                // surviving copy (same disk sector on every member).
+                let ops = self
+                    .map_extent(logical_sector, sectors, OpKind::Read)
+                    .into_iter()
+                    .map(|mut e| {
+                        if e.disk == f {
+                            e.disk = (f + 1) % self.disks;
+                        }
+                        e
+                    })
+                    .collect();
+                IoPlan { pre_reads: Vec::new(), ops: merge_extents(ops), parity_xor_bytes: 0 }
+            }
+            (Redundancy::Raid1, OpKind::Write, failed) => {
+                // Write every copy; a failed member just drops its copy.
+                let mut ops = Vec::new();
+                for e in self.map_extent(logical_sector, sectors, OpKind::Write) {
+                    for disk in 0..self.disks {
+                        if failed != Some(disk) {
+                            ops.push(DiskExtent { disk, ..e });
+                        }
+                    }
+                }
+                IoPlan { pre_reads: Vec::new(), ops: merge_extents(ops), parity_xor_bytes: 0 }
+            }
             (Redundancy::Raid10, OpKind::Read, Some(f)) => {
                 // Reads on the failed member hop to its mirror — no
                 // reconstruction math, just redirection.
@@ -270,6 +351,38 @@ impl Geometry {
             }
             xor_bytes += rows * (self.disks as u64 - 1) * tracer_trace::SECTOR_BYTES;
             let _ = stripe;
+        }
+        IoPlan { pre_reads: Vec::new(), ops: merge_extents(ops), parity_xor_bytes: xor_bytes }
+    }
+
+    /// RAID-6 single-failure degraded read: lost rows are reconstructed from
+    /// P plus the surviving data strips. Q never participates in a
+    /// single-failure rebuild — plain XOR suffices, exactly as in RAID-5 —
+    /// which keeps the reconstruction brute-force checkable.
+    fn plan_raid6_degraded_read(&self, logical_sector: u64, sectors: u64, failed: usize) -> IoPlan {
+        let strip = self.strip_sectors;
+        let mut ops = Vec::new();
+        let mut xor_bytes = 0u64;
+        for ext in self.map_extent(logical_sector, sectors, OpKind::Read) {
+            if ext.disk != failed {
+                ops.push(ext);
+                continue;
+            }
+            let stripe = ext.sector / strip;
+            let q = self.q_disk(stripe).expect("raid6 has Q");
+            let rows = ext.sectors;
+            for disk in 0..self.disks {
+                if disk == failed || disk == q {
+                    continue;
+                }
+                ops.push(DiskExtent {
+                    disk,
+                    sector: ext.sector,
+                    sectors: rows,
+                    kind: OpKind::Read,
+                });
+            }
+            xor_bytes += rows * (self.disks as u64 - 2) * tracer_trace::SECTOR_BYTES;
         }
         IoPlan { pre_reads: Vec::new(), ops: merge_extents(ops), parity_xor_bytes: xor_bytes }
     }
@@ -431,6 +544,142 @@ impl Geometry {
                 sectors: rows,
                 kind: OpKind::Write,
             });
+            cur = seg_end;
+        }
+
+        IoPlan {
+            pre_reads: merge_extents(pre_reads),
+            ops: merge_extents(ops),
+            parity_xor_bytes: xor_bytes,
+        }
+    }
+
+    /// RAID-6 write planning. The structure mirrors [`Self::plan_raid5_write`]
+    /// with two parity strips per stripe: full-stripe writes compute P and Q
+    /// from the new data alone; partial writes choose read-modify-write
+    /// (touched strips + P + Q) or reconstruct-write (untouched strips) by
+    /// which reads less. Degraded, a failed parity member is simply skipped
+    /// (the survivor keeps the stripe recoverable) and a failed data member's
+    /// new data is folded into both parities.
+    fn plan_raid6_write(&self, logical_sector: u64, sectors: u64, failed: Option<usize>) -> IoPlan {
+        let strip = self.strip_sectors;
+        let data = self.data_disks() as u64;
+        let stripe_sectors = strip * data;
+        let mut pre_reads = Vec::new();
+        let mut ops = Vec::new();
+        let mut xor_bytes = 0u64;
+
+        let mut cur = logical_sector;
+        let end = logical_sector + sectors;
+        while cur < end {
+            let stripe = cur / stripe_sectors;
+            let stripe_start = stripe * stripe_sectors;
+            let stripe_end = stripe_start + stripe_sectors;
+            let seg_end = end.min(stripe_end);
+            let parity = self.parity_disk(stripe).expect("raid6 has parity");
+            let q = self.q_disk(stripe).expect("raid6 has Q");
+            // Parity members that survive and therefore must be maintained.
+            let live_parity: Vec<usize> =
+                [parity, q].into_iter().filter(|&d| failed != Some(d)).collect();
+
+            let mut writes = Vec::new();
+            let mut row_min = u64::MAX;
+            let mut row_max = 0u64;
+            let mut c = cur;
+            while c < seg_end {
+                let loc = self.locate(c);
+                let within = strip - (c % strip);
+                let take = within.min(seg_end - c);
+                let row0 = loc.disk_sector % strip;
+                row_min = row_min.min(row0);
+                row_max = row_max.max(row0 + take);
+                writes.push(DiskExtent {
+                    disk: loc.disk,
+                    sector: loc.disk_sector,
+                    sectors: take,
+                    kind: OpKind::Write,
+                });
+                c += take;
+            }
+            let rows = row_max - row_min;
+            let parity_sector = stripe * strip + row_min;
+            let touched = writes.len() as u64;
+            let full_stripe =
+                touched == data && rows == strip && writes.iter().all(|w| w.sectors == strip);
+            let lost_data = failed.is_some_and(|f| writes.iter().any(|w| w.disk == f));
+
+            if full_stripe {
+                // Each surviving parity strip is computed from the new data.
+                xor_bytes += live_parity.len() as u64 * stripe_sectors * tracer_trace::SECTOR_BYTES;
+            } else if lost_data {
+                // The lost strip's new data is folded into the surviving
+                // parities: read the untouched healthy data strips.
+                for idx in 0..data as usize {
+                    let disk = self.layout().expect("rotated layout").data_member(stripe, idx);
+                    if failed == Some(disk) || writes.iter().any(|w| w.disk == disk) {
+                        continue;
+                    }
+                    pre_reads.push(DiskExtent {
+                        disk,
+                        sector: parity_sector,
+                        sectors: rows,
+                        kind: OpKind::Read,
+                    });
+                }
+                xor_bytes += (data + live_parity.len() as u64) * rows * tracer_trace::SECTOR_BYTES;
+            } else {
+                // Small write: RMW reads touched strips + surviving parities;
+                // reconstruct reads the untouched strips. A failed untouched
+                // data member makes reconstruct impossible, forcing RMW.
+                let failed_data_member = failed.is_some_and(|f| f != parity && f != q);
+                let rmw_reads = touched + live_parity.len() as u64;
+                let reconstruct_reads = data - touched;
+                if rmw_reads <= reconstruct_reads || failed_data_member {
+                    for w in &writes {
+                        pre_reads.push(DiskExtent { kind: OpKind::Read, ..*w });
+                    }
+                    for &p in &live_parity {
+                        pre_reads.push(DiskExtent {
+                            disk: p,
+                            sector: parity_sector,
+                            sectors: rows,
+                            kind: OpKind::Read,
+                        });
+                    }
+                    xor_bytes += (2 * touched + 2 * live_parity.len() as u64)
+                        * rows
+                        * tracer_trace::SECTOR_BYTES;
+                } else {
+                    let touched_disks: Vec<usize> = writes.iter().map(|w| w.disk).collect();
+                    for idx in 0..data as usize {
+                        let disk = self.layout().expect("rotated layout").data_member(stripe, idx);
+                        if touched_disks.contains(&disk) {
+                            continue;
+                        }
+                        pre_reads.push(DiskExtent {
+                            disk,
+                            sector: parity_sector,
+                            sectors: rows,
+                            kind: OpKind::Read,
+                        });
+                    }
+                    xor_bytes +=
+                        (data + live_parity.len() as u64) * rows * tracer_trace::SECTOR_BYTES;
+                }
+            }
+
+            if let Some(f) = failed {
+                writes.retain(|w| w.disk != f);
+            }
+            ops.extend(writes);
+            for &p in &live_parity {
+                ops.push(DiskExtent {
+                    disk: p,
+                    sector: parity_sector,
+                    sectors: rows,
+                    kind: OpKind::Write,
+                });
+            }
             cur = seg_end;
         }
 
@@ -697,6 +946,264 @@ mod tests {
     #[should_panic(expected = "even disk count")]
     fn raid10_rejects_odd_disks() {
         Geometry::raid10(5);
+    }
+
+    #[test]
+    fn raid6_p_q_rotate_together() {
+        let g = Geometry::raid6(6);
+        assert_eq!(g.data_disks(), 4);
+        for stripe in 0..12u64 {
+            let p = g.parity_disk(stripe).unwrap();
+            let q = g.q_disk(stripe).unwrap();
+            assert_eq!((p + 1) % 6, q, "Q cyclically adjacent to P");
+        }
+        // P visits every member over one period, like RAID-5.
+        let seen: HashSet<_> = (0..6).map(|s| g.parity_disk(s).unwrap()).collect();
+        assert_eq!(seen.len(), 6);
+    }
+
+    #[test]
+    fn raid6_locate_never_hits_p_or_q() {
+        let g = Geometry::raid6(5);
+        for ls in (0..40_000).step_by(64) {
+            let loc = g.locate(ls);
+            assert_ne!(Some(loc.disk), g.parity_disk(loc.stripe), "sector {ls} on P");
+            assert_ne!(Some(loc.disk), g.q_disk(loc.stripe), "sector {ls} on Q");
+        }
+    }
+
+    #[test]
+    fn raid6_small_write_is_rmw_with_both_parities() {
+        let g = Geometry::raid6(6);
+        // One data strip touched: RMW reads data + P + Q (3) vs reconstruct
+        // reads the 3 untouched strips — RMW wins the tie.
+        let plan = g.plan(0, 8, OpKind::Write);
+        assert_eq!(plan.pre_reads.len(), 3);
+        assert_eq!(plan.ops.len(), 3);
+        let p = g.parity_disk(0).unwrap();
+        let q = g.q_disk(0).unwrap();
+        for parity in [p, q] {
+            assert!(plan.pre_reads.iter().any(|e| e.disk == parity));
+            assert!(plan.ops.iter().any(|e| e.disk == parity && e.kind == OpKind::Write));
+        }
+        assert!(plan.parity_xor_bytes > 0);
+    }
+
+    #[test]
+    fn raid6_full_stripe_write_needs_no_reads() {
+        let g = Geometry::raid6(6);
+        let stripe_sectors = 256 * 4;
+        let plan = g.plan(0, stripe_sectors, OpKind::Write);
+        assert!(plan.pre_reads.is_empty());
+        // 4 data strips + P + Q.
+        let total: u64 = plan.ops.iter().map(|e| e.sectors).sum();
+        assert_eq!(total, 256 * 6);
+    }
+
+    #[test]
+    fn raid6_degraded_write_with_failed_parity_keeps_survivor() {
+        let g = Geometry::raid6(6);
+        let p = g.parity_disk(0).unwrap();
+        let q = g.q_disk(0).unwrap();
+        // Fail Q: the write still maintains P like a RAID-5 small write.
+        let plan = g.plan_with_failure(0, 8, OpKind::Write, Some(q));
+        assert!(plan.ops.iter().chain(&plan.pre_reads).all(|e| e.disk != q));
+        assert!(plan.ops.iter().any(|e| e.disk == p && e.kind == OpKind::Write));
+        assert_eq!(plan.pre_reads.len(), 2, "RMW: old data + old P");
+    }
+
+    #[test]
+    fn raid6_degraded_write_to_lost_strip_folds_into_both_parities() {
+        let g = Geometry::raid6(6);
+        let lost = g.locate(0).disk;
+        let plan = g.plan_with_failure(0, 8, OpKind::Write, Some(lost));
+        let p = g.parity_disk(0).unwrap();
+        let q = g.q_disk(0).unwrap();
+        assert!(plan.ops.iter().chain(&plan.pre_reads).all(|e| e.disk != lost));
+        for parity in [p, q] {
+            assert!(plan.ops.iter().any(|e| e.disk == parity && e.kind == OpKind::Write));
+        }
+        // Untouched healthy data strips are read to fold the lost data in.
+        assert_eq!(plan.pre_reads.len(), g.data_disks() - 1);
+    }
+
+    #[test]
+    fn raid1_mirrors_every_write_and_rotates_reads() {
+        let g = Geometry::raid1(3);
+        assert_eq!(g.data_disks(), 1);
+        assert_eq!(g.data_capacity_sectors(256_000), 256_000);
+        // Primary copy rotates over the members stripe by stripe.
+        assert_eq!(g.locate(0).disk, 0);
+        assert_eq!(g.locate(256).disk, 1);
+        assert_eq!(g.locate(512).disk, 2);
+        assert_eq!(g.locate(768).disk, 0);
+        // A write fans out to all three copies at the same disk sector.
+        let plan = g.plan(0, 8, OpKind::Write);
+        assert_eq!(plan.ops.len(), 3);
+        assert!(plan.ops.iter().all(|e| e.sector == plan.ops[0].sector));
+        assert_eq!(plan.parity_xor_bytes, 0);
+        // A read is a single op on the primary.
+        assert_eq!(g.plan(0, 8, OpKind::Read).ops.len(), 1);
+    }
+
+    #[test]
+    fn raid1_degraded_hops_to_next_survivor() {
+        let g = Geometry::raid1(2);
+        let primary = g.locate(0).disk;
+        let plan = g.plan_with_failure(0, 8, OpKind::Read, Some(primary));
+        assert_eq!(plan.ops.len(), 1);
+        assert_eq!(plan.ops[0].disk, (primary + 1) % 2);
+        let plan = g.plan_with_failure(0, 8, OpKind::Write, Some(primary));
+        assert_eq!(plan.ops.len(), 1, "only the surviving copy is written");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4 disks")]
+    fn raid6_rejects_small_arrays() {
+        Geometry::raid6(3);
+    }
+
+    /// Deterministic synthetic content of a logical sector, for the
+    /// brute-force reconstruction oracle.
+    fn sector_value(ls: u64) -> u64 {
+        ls.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17) ^ 0xDEAD_BEEF
+    }
+
+    /// Brute-force content of `(disk, disk_sector)` under a RAID-6 geometry:
+    /// data strips carry [`sector_value`], P is the XOR of the stripe row,
+    /// and Q is a deliberately different mix so a plan that wrongly reads Q
+    /// fails the oracle instead of passing by luck.
+    fn raid6_disk_value(g: &Geometry, disk: usize, dsector: u64) -> u64 {
+        let strip = g.strip_sectors;
+        let stripe = dsector / strip;
+        let row = dsector % strip;
+        let data = g.data_disks() as u64;
+        let p = g.parity_disk(stripe).unwrap();
+        let q = g.q_disk(stripe).unwrap();
+        let logical_of = |index: u64| (stripe * data + index) * strip + row;
+        if disk == p {
+            (0..data).fold(0u64, |acc, i| acc ^ sector_value(logical_of(i)))
+        } else if disk == q {
+            (0..data).fold(0u64, |acc, i| acc ^ sector_value(logical_of(i)).wrapping_mul(i + 2))
+        } else {
+            let idx = (0..data)
+                .find(|&i| g.locate(logical_of(i)).disk == disk)
+                .expect("member holds a data strip of this stripe");
+            sector_value(logical_of(idx))
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_raid6_degraded_read_reconstructs_exact_content(
+            disks in 4usize..8,
+            failed in 0usize..8,
+            ls in 0u64..200_000,
+        ) {
+            prop_assume!(failed < disks);
+            let g = Geometry::raid6(disks);
+            let loc = g.locate(ls);
+            let plan = g.plan_with_failure(ls, 1, OpKind::Read, Some(failed));
+            if loc.disk != failed {
+                prop_assert_eq!(plan, g.plan(ls, 1, OpKind::Read),
+                    "failure elsewhere must not change the plan");
+            } else {
+                let mut acc = 0u64;
+                for e in &plan.ops {
+                    prop_assert_eq!(e.sectors, 1);
+                    prop_assert_eq!(e.kind, OpKind::Read);
+                    acc ^= raid6_disk_value(&g, e.disk, e.sector);
+                }
+                prop_assert_eq!(acc, sector_value(ls),
+                    "XOR of the surviving reads must reproduce the lost sector");
+            }
+        }
+
+        #[test]
+        fn prop_raid6_rotation_keeps_p_q_data_disjoint(
+            disks in 4usize..9,
+            stripe in 0u64..1_000,
+        ) {
+            let g = Geometry::raid6(disks);
+            let p = g.parity_disk(stripe).unwrap();
+            let q = g.q_disk(stripe).unwrap();
+            prop_assert_ne!(p, q);
+            prop_assert_eq!((p + 1) % disks, q);
+            let data = g.data_disks() as u64;
+            for index in 0..data {
+                let ls = (stripe * data + index) * g.strip_sectors;
+                let d = g.locate(ls).disk;
+                prop_assert_ne!(d, p);
+                prop_assert_ne!(d, q);
+            }
+        }
+
+        #[test]
+        fn prop_raid6_degraded_plans_never_touch_failed_disk(
+            disks in 4usize..8,
+            failed in 0usize..8,
+            start in 0u64..50_000,
+            len in 1u64..1_500,
+            write in proptest::bool::ANY,
+        ) {
+            prop_assume!(failed < disks);
+            let g = Geometry::raid6(disks);
+            let kind = if write { OpKind::Write } else { OpKind::Read };
+            let plan = g.plan_with_failure(start, len, kind, Some(failed));
+            for e in plan.ops.iter().chain(&plan.pre_reads) {
+                prop_assert_ne!(e.disk, failed, "plan touched the failed disk");
+            }
+            if !write {
+                let total: u64 = plan.ops.iter().map(|e| e.sectors).sum();
+                prop_assert!(total >= len);
+            }
+        }
+
+        #[test]
+        fn prop_raid1_plans_cover_and_respect_failures(
+            disks in 2usize..5,
+            failed in 0usize..5,
+            start in 0u64..50_000,
+            len in 1u64..1_500,
+            write in proptest::bool::ANY,
+        ) {
+            prop_assume!(failed < disks);
+            let g = Geometry::raid1(disks);
+            let kind = if write { OpKind::Write } else { OpKind::Read };
+            let plan = g.plan_with_failure(start, len, kind, Some(failed));
+            for e in plan.ops.iter().chain(&plan.pre_reads) {
+                prop_assert_ne!(e.disk, failed);
+            }
+            let total: u64 = plan.ops.iter().map(|e| e.sectors).sum();
+            if write {
+                // Every surviving copy receives the full data.
+                prop_assert_eq!(total, len * (disks as u64 - 1));
+            } else {
+                prop_assert_eq!(total, len);
+            }
+        }
+
+        #[test]
+        fn prop_raid6_write_volume_bounded(
+            disks in 4usize..8,
+            start in 0u64..100_000,
+            len in 1u64..2_000,
+        ) {
+            let g = Geometry::raid6(disks);
+            let plan = g.plan(start, len, OpKind::Write);
+            let writes: u64 = plan
+                .ops
+                .iter()
+                .filter(|e| e.kind == OpKind::Write)
+                .map(|e| e.sectors)
+                .sum();
+            prop_assert!(writes >= len, "data fully written");
+            // Every touched stripe writes at most P and Q on top of the data.
+            let stripe_sectors = g.strip_sectors * g.data_disks() as u64;
+            let stripes = (start + len - 1) / stripe_sectors - start / stripe_sectors + 1;
+            prop_assert!(writes <= len + stripes * 2 * g.strip_sectors);
+            prop_assert!(plan.pre_reads.iter().all(|e| e.kind == OpKind::Read));
+        }
     }
 
     proptest! {

@@ -1,0 +1,127 @@
+#![doc = "tracer-invariant: deterministic"]
+//! Generalised left-symmetric stripe layout.
+//!
+//! RAID-0, RAID-5 and RAID-6 are the same address arithmetic with a different
+//! number of parity strips per stripe (0, 1, 2). This module captures that
+//! arithmetic once: the first parity strip starts on the last member and
+//! rotates backwards one member per stripe (left-symmetric, the layout the
+//! paper's testbed array uses); further parity strips sit cyclically adjacent
+//! to it (RAID-6's Q next to P); data strips fill the remaining members in
+//! order starting after the last parity strip.
+//!
+//! [`crate::Geometry`] delegates its placement decisions here, which keeps
+//! the RAID-5 layout bit-identical to the original hand-rolled formulas while
+//! letting RAID-6 share the rotation proof burden.
+
+/// Rotated striping layout over `disks` members with `parity_strips` parity
+/// strips per stripe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StripeLayout {
+    /// Number of member disks.
+    pub disks: usize,
+    /// Parity strips per stripe: 0 = RAID-0, 1 = RAID-5, 2 = RAID-6.
+    pub parity_strips: usize,
+}
+
+impl StripeLayout {
+    /// Layout over `disks` members with `parity_strips` parity strips.
+    ///
+    /// # Panics
+    /// Panics unless at least one data strip remains per stripe.
+    pub fn new(disks: usize, parity_strips: usize) -> Self {
+        assert!(disks > parity_strips, "need at least one data strip per stripe");
+        Self { disks, parity_strips }
+    }
+
+    /// Data strips per stripe.
+    pub fn data_strips(&self) -> usize {
+        self.disks - self.parity_strips
+    }
+
+    /// Member disk of the `k`-th parity strip of `stripe` (`k = 0` is P,
+    /// `k = 1` is Q). P starts on the last disk and rotates backwards; the
+    /// later parity strips are cyclically adjacent.
+    ///
+    /// # Panics
+    /// Panics if `k` is not a valid parity index for this layout.
+    pub fn parity_member(&self, stripe: u64, k: usize) -> usize {
+        assert!(k < self.parity_strips, "parity index out of range");
+        let p = self.disks - 1 - (stripe % self.disks as u64) as usize;
+        (p + k) % self.disks
+    }
+
+    /// Member disk of the `index`-th data strip of `stripe`. Data strips fill
+    /// the members cyclically starting after the last parity strip.
+    pub fn data_member(&self, stripe: u64, index: usize) -> usize {
+        debug_assert!(index < self.data_strips());
+        if self.parity_strips == 0 {
+            return index;
+        }
+        (self.parity_member(stripe, 0) + self.parity_strips + index) % self.disks
+    }
+
+    /// Whether `disk` holds a parity strip of `stripe`.
+    pub fn is_parity_member(&self, stripe: u64, disk: usize) -> bool {
+        (0..self.parity_strips).any(|k| self.parity_member(stripe, k) == disk)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raid5_layout_matches_left_symmetric_formula() {
+        let l = StripeLayout::new(6, 1);
+        for stripe in 0..24u64 {
+            assert_eq!(l.parity_member(stripe, 0), 6 - 1 - (stripe % 6) as usize);
+            for index in 0..l.data_strips() {
+                assert_eq!(
+                    l.data_member(stripe, index),
+                    (l.parity_member(stripe, 0) + 1 + index) % 6
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn raid6_p_and_q_are_adjacent_and_distinct_from_data() {
+        let l = StripeLayout::new(5, 2);
+        for stripe in 0..25u64 {
+            let p = l.parity_member(stripe, 0);
+            let q = l.parity_member(stripe, 1);
+            assert_eq!((p + 1) % 5, q, "Q is cyclically adjacent to P");
+            for index in 0..l.data_strips() {
+                let d = l.data_member(stripe, index);
+                assert_ne!(d, p);
+                assert_ne!(d, q);
+            }
+        }
+    }
+
+    #[test]
+    fn parity_rotation_covers_every_member() {
+        for parity in 1..=2usize {
+            let l = StripeLayout::new(6, parity);
+            let seen: std::collections::BTreeSet<usize> =
+                (0..6u64).map(|s| l.parity_member(s, 0)).collect();
+            assert_eq!(seen.len(), 6, "P visits every member over one period");
+        }
+    }
+
+    #[test]
+    fn raid0_layout_is_plain_round_robin() {
+        let l = StripeLayout::new(4, 0);
+        for stripe in 0..8u64 {
+            for index in 0..4 {
+                assert_eq!(l.data_member(stripe, index), index);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one data strip")]
+    fn all_parity_layout_rejected() {
+        StripeLayout::new(2, 2);
+    }
+}

@@ -13,7 +13,7 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use tracer_sim::device::OpKind;
 use tracer_sim::{
-    presets, ArrayRequest, ArraySim, CacheConfig, QueueDiscipline, SimDuration, SimTime,
+    ArrayRequest, ArraySim, ArraySpec, CacheConfig, QueueDiscipline, SimDuration, SimTime,
 };
 
 /// Everything observable about a finished run, gathered for comparison.
@@ -82,13 +82,17 @@ fn random_mix(sim: &mut ArraySim, seed: u64, count: u64, read_ratio: f64) {
 
 #[test]
 fn hdd_fifo_random_mix_is_byte_identical() {
-    assert_identical("hdd fifo", || presets::hdd_raid5(6), |sim| random_mix(sim, 7, 300, 0.7));
+    assert_identical(
+        "hdd fifo",
+        || ArraySpec::hdd_raid5(6).build(),
+        |sim| random_mix(sim, 7, 300, 0.7),
+    );
 }
 
 #[test]
 fn hdd_elevator_random_mix_is_byte_identical() {
     let build = || {
-        let (mut cfg, devices) = presets::hdd_raid5_parts(8);
+        let (mut cfg, devices) = ArraySpec::hdd_raid5(8).parts();
         cfg.queue_discipline = QueueDiscipline::Elevator;
         ArraySim::new(cfg, devices)
     };
@@ -97,13 +101,17 @@ fn hdd_elevator_random_mix_is_byte_identical() {
 
 #[test]
 fn ssd_array_random_mix_is_byte_identical() {
-    assert_identical("ssd", || presets::ssd_raid5(5), |sim| random_mix(sim, 13, 300, 0.4));
+    assert_identical(
+        "ssd",
+        || ArraySpec::ssd_raid5(5).build(),
+        |sim| random_mix(sim, 13, 300, 0.4),
+    );
 }
 
 #[test]
 fn write_back_cache_destage_is_byte_identical() {
     let build = || {
-        let (mut cfg, devices) = presets::hdd_raid5_parts(6);
+        let (mut cfg, devices) = ArraySpec::hdd_raid5(6).parts();
         cfg.cache =
             Some(CacheConfig { size_bytes: 16 << 20, line_bytes: 64 * 1024, write_back: true });
         ArraySim::new(cfg, devices)
@@ -114,7 +122,7 @@ fn write_back_cache_destage_is_byte_identical() {
 #[test]
 fn degraded_array_is_byte_identical() {
     let build = || {
-        let mut sim = presets::hdd_raid5(6);
+        let mut sim = ArraySpec::hdd_raid5(6).build();
         sim.fail_disk(2);
         sim
     };
@@ -126,7 +134,7 @@ fn full_stripe_bursts_form_waves_and_stay_identical() {
     // Wide sequential reads fan a phase across every member: the densest
     // wave-forming workload. Verify waves actually happened, then that they
     // changed nothing observable.
-    let build = || presets::hdd_raid5(8);
+    let build = || ArraySpec::hdd_raid5(8).build();
     let workload = |sim: &mut ArraySim| {
         let mut at = SimTime::ZERO;
         for i in 0..200u64 {
@@ -165,12 +173,12 @@ fn run_until_boundaries_do_not_change_results() {
         }
     };
 
-    let mut oneshot = presets::hdd_raid5(6).with_parallelism(4);
+    let mut oneshot = ArraySpec::hdd_raid5(6).build().with_parallelism(4);
     submit_all(&mut oneshot);
     oneshot.run_to_idle();
     let expect = snapshot(&mut oneshot);
 
-    let mut chopped = presets::hdd_raid5(6).with_parallelism(4);
+    let mut chopped = ArraySpec::hdd_raid5(6).build().with_parallelism(4);
     submit_all(&mut chopped);
     for ms in 1..400u64 {
         chopped.run_until(SimTime::from_millis(ms));

@@ -151,7 +151,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tracer_sim::presets;
+    use tracer_sim::ArraySpec;
     use tracer_trace::TraceStats;
 
     fn tmp_repo(tag: &str) -> TraceRepository {
@@ -164,7 +164,7 @@ mod tests {
     #[test]
     fn collect_stores_named_trace() {
         let repo = tmp_repo("one");
-        let mut collector = TraceCollector::new(&repo, || presets::hdd_raid5(4));
+        let mut collector = TraceCollector::new(&repo, || ArraySpec::hdd_raid5(4).build());
         collector.duration = SimDuration::from_secs(1);
         let mode = WorkloadMode::peak(65536, 0, 100);
         let out = collector.collect(mode).unwrap();
@@ -181,7 +181,7 @@ mod tests {
         {
             let mut collector = TraceCollector::new(&repo, || {
                 builds += 1;
-                presets::hdd_raid5(4)
+                ArraySpec::hdd_raid5(4).build()
             });
             collector.duration = SimDuration::from_millis(200);
             let mode = WorkloadMode::peak(4096, 100, 0);
@@ -197,7 +197,7 @@ mod tests {
     #[test]
     fn collected_trace_matches_mode() {
         let repo = tmp_repo("mode");
-        let mut collector = TraceCollector::new(&repo, || presets::hdd_raid5(4));
+        let mut collector = TraceCollector::new(&repo, || ArraySpec::hdd_raid5(4).build());
         collector.duration = SimDuration::from_secs(2);
         let mode = WorkloadMode::peak(16384, 50, 50);
         let out = collector.collect(mode).unwrap();
@@ -211,10 +211,11 @@ mod tests {
     fn parallel_sweep_matches_sequential_output() {
         let repo_seq = tmp_repo("par_seq");
         let repo_par = tmp_repo("par_par");
-        collect_sweep(&repo_seq, || presets::hdd_raid5(3), SimDuration::from_millis(20)).unwrap();
+        collect_sweep(&repo_seq, || ArraySpec::hdd_raid5(3).build(), SimDuration::from_millis(20))
+            .unwrap();
         collect_sweep_parallel(
             &repo_par,
-            || presets::hdd_raid5(3),
+            || ArraySpec::hdd_raid5(3).build(),
             SimDuration::from_millis(20),
             4,
         )
@@ -237,7 +238,8 @@ mod tests {
         // short-duration full enumeration.
         let repo = tmp_repo("sweep");
         let modes =
-            collect_sweep(&repo, || presets::hdd_raid5(3), SimDuration::from_millis(50)).unwrap();
+            collect_sweep(&repo, || ArraySpec::hdd_raid5(3).build(), SimDuration::from_millis(50))
+                .unwrap();
         assert_eq!(modes.len(), 125);
         assert_eq!(repo.catalog().unwrap().len(), 125);
         std::fs::remove_dir_all(repo.root()).unwrap();

@@ -270,7 +270,7 @@ fn bunch_arrivals(device: &str, base: SimTime, arrivals: Vec<(SimTime, IoPackage
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tracer_sim::presets;
+    use tracer_sim::ArraySpec;
     use tracer_trace::TraceStats;
 
     fn quick_cfg(mode: WorkloadMode, secs: u64) -> IometerConfig {
@@ -334,7 +334,7 @@ mod tests {
 
     #[test]
     fn closed_loop_generates_peak_trace() {
-        let mut sim = presets::hdd_raid5(4);
+        let mut sim = ArraySpec::hdd_raid5(4).build();
         let cfg = quick_cfg(WorkloadMode::peak(65536, 0, 100), 2);
         let out = run_peak_workload(&mut sim, &cfg);
         assert!(!out.trace.is_empty());
@@ -350,9 +350,9 @@ mod tests {
 
     #[test]
     fn random_peak_is_much_lower_than_sequential_peak() {
-        let mut sim = presets::hdd_raid5(4);
+        let mut sim = ArraySpec::hdd_raid5(4).build();
         let seq = run_peak_workload(&mut sim, &quick_cfg(WorkloadMode::peak(4096, 0, 100), 2));
-        let mut sim = presets::hdd_raid5(4);
+        let mut sim = ArraySpec::hdd_raid5(4).build();
         let rnd = run_peak_workload(&mut sim, &quick_cfg(WorkloadMode::peak(4096, 100, 100), 2));
         assert!(
             seq.peak_iops > rnd.peak_iops * 3.0,
@@ -365,7 +365,7 @@ mod tests {
     #[test]
     fn generation_is_deterministic() {
         let run = || {
-            let mut sim = presets::hdd_raid5(4);
+            let mut sim = ArraySpec::hdd_raid5(4).build();
             run_peak_workload(&mut sim, &quick_cfg(WorkloadMode::peak(16384, 50, 50), 1)).trace
         };
         let a = run();
@@ -380,7 +380,7 @@ mod tests {
             (8, WorkloadMode::peak(4096, 100, 100)), // 80 %: 4K random read
             (2, WorkloadMode::peak(65536, 0, 0)),    // 20 %: 64K sequential write
         ]);
-        let mut sim = presets::hdd_raid5(4);
+        let mut sim = ArraySpec::hdd_raid5(4).build();
         let out = run_peak_workload_mixed(
             &mut sim,
             &spec,
@@ -408,7 +408,7 @@ mod tests {
 
     #[test]
     fn initial_bunch_holds_outstanding_ios() {
-        let mut sim = presets::hdd_raid5(4);
+        let mut sim = ArraySpec::hdd_raid5(4).build();
         let cfg = quick_cfg(WorkloadMode::peak(4096, 100, 50), 1);
         let out = run_peak_workload(&mut sim, &cfg);
         assert_eq!(out.trace.bunches[0].len(), cfg.outstanding);

@@ -21,13 +21,13 @@
 //! # Example
 //!
 //! ```
-//! use tracer_sim::{presets, SimDuration};
+//! use tracer_sim::{ArraySpec, SimDuration};
 //! use tracer_trace::WorkloadMode;
 //! use tracer_workload::iometer::{run_peak_workload, IometerConfig};
 //!
 //! // Drive the paper's array at peak with 8 KiB random reads for 2 s
 //! // (simulated) and record what blktrace would capture.
-//! let mut sim = presets::hdd_raid5(4);
+//! let mut sim = ArraySpec::hdd_raid5(4).build();
 //! let cfg = IometerConfig {
 //!     duration: SimDuration::from_secs(2),
 //!     ..IometerConfig::two_minutes(WorkloadMode::peak(8192, 100, 100), 1)

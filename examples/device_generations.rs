@@ -10,17 +10,17 @@
 //! Run with: `cargo run --release --example device_generations`
 
 use tracer_core::prelude::*;
-use tracer_sim::presets;
+use tracer_sim::ArraySpec;
 use tracer_workload::iometer::run_peak_workload;
 use tracer_workload::OltpTraceBuilder;
 
 type Builder = fn() -> ArraySim;
 
 const ARRAYS: [(&str, Builder); 4] = [
-    ("eco-5400", || presets::eco_raid5(4)),
-    ("desktop-7200", || presets::hdd_raid5(4)),
-    ("enterprise-15k", || presets::enterprise15k_raid5(4)),
-    ("mlc-ssd", || presets::mlc_raid5(4)),
+    ("eco-5400", || ArraySpec::eco_raid5(4).build()),
+    ("desktop-7200", || ArraySpec::hdd_raid5(4).build()),
+    ("enterprise-15k", || ArraySpec::enterprise15k_raid5(4).build()),
+    ("mlc-ssd", || ArraySpec::mlc_raid5(4).build()),
 ];
 
 fn main() {

@@ -39,7 +39,7 @@ fn main() {
         let mode = WorkloadMode::peak(22 * 1024, 50, 90).at_load(load);
         let outcomes = compare_policies(
             &mut host,
-            || tracer_sim::presets::hdd_raid5_parts(6),
+            || tracer_sim::ArraySpec::hdd_raid5(6).parts(),
             &trace,
             mode,
             &policies,
@@ -80,7 +80,7 @@ fn main() {
     println!("\n=== archival workload (reads every 2 min) ===");
     let outcomes = compare_policies(
         &mut host,
-        || tracer_sim::presets::hdd_raid5_parts(6),
+        || tracer_sim::ArraySpec::hdd_raid5(6).parts(),
         &archival,
         WorkloadMode::peak(65536, 50, 100),
         &policies,

@@ -15,7 +15,7 @@ use tracer_workload::iometer::run_peak_workload;
 
 fn main() {
     // --- 1. The storage system under test -------------------------------
-    let array = || presets::hdd_raid5(4);
+    let array = || ArraySpec::hdd_raid5(4).build();
     println!("array under test : {}", array().config().name);
     println!("idle power       : {:.1} W", array().power_log().total_watts_at(SimTime::ZERO));
 

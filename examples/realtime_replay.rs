@@ -36,7 +36,7 @@ fn main() {
     println!("  mean latency   : {:.3} ms", report.avg_latency_ms());
 
     // --- Target 2: the simulated RAID-5 array -------------------------------
-    let target = SimTarget::new(presets::hdd_raid5(6));
+    let target = SimTarget::new(ArraySpec::hdd_raid5(6).build());
     let report = replayer.replay(&target, &trace);
     let sim = target.into_inner();
     println!("\n[simulated raid5-hdd6 target]");

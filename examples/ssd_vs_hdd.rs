@@ -29,11 +29,11 @@ fn main() {
     println!("idle power:");
     println!(
         "  hdd raid5 (6 disks): {:.1} W",
-        presets::hdd_raid5(6).power_log().total_watts_at(SimTime::ZERO)
+        ArraySpec::hdd_raid5(6).build().power_log().total_watts_at(SimTime::ZERO)
     );
     println!(
         "  ssd raid5 (4 disks): {:.1} W",
-        presets::ssd_raid5(4).power_log().total_watts_at(SimTime::ZERO)
+        ArraySpec::ssd_raid5(4).build().power_log().total_watts_at(SimTime::ZERO)
     );
 
     // --- Random-ratio sweep (16 KiB, mixed read/write) --------------------
@@ -41,20 +41,20 @@ fn main() {
     println!("{:>8} {:>14} {:>14} {:>8}", "rand%", "hdd", "ssd", "ssd/hdd");
     for random in [0u8, 25, 50, 75, 100] {
         let mode = WorkloadMode::peak(16 * 1024, random, 50);
-        let hdd_trace = peak_trace(|| presets::hdd_raid5(6), mode, 5);
-        let ssd_trace = peak_trace(|| presets::ssd_raid5(4), mode, 5);
+        let hdd_trace = peak_trace(|| ArraySpec::hdd_raid5(6).build(), mode, 5);
+        let ssd_trace = peak_trace(|| ArraySpec::ssd_raid5(4).build(), mode, 5);
         let ids = run_parallel(
             &mut host,
             vec![
                 EvaluationJob::new(
                     format!("hdd-rn{random}"),
-                    || presets::hdd_raid5(6),
+                    || ArraySpec::hdd_raid5(6).build(),
                     hdd_trace,
                     mode,
                 ),
                 EvaluationJob::new(
                     format!("ssd-rn{random}"),
-                    || presets::ssd_raid5(4),
+                    || ArraySpec::ssd_raid5(4).build(),
                     ssd_trace,
                     mode,
                 ),
@@ -70,20 +70,20 @@ fn main() {
     println!("{:>8} {:>14} {:>14} {:>8}", "read%", "hdd", "ssd", "ssd/hdd");
     for read in [0u8, 25, 50, 75, 100] {
         let mode = WorkloadMode::peak(16 * 1024, 0, read);
-        let hdd_trace = peak_trace(|| presets::hdd_raid5(6), mode, 5);
-        let ssd_trace = peak_trace(|| presets::ssd_raid5(4), mode, 5);
+        let hdd_trace = peak_trace(|| ArraySpec::hdd_raid5(6).build(), mode, 5);
+        let ssd_trace = peak_trace(|| ArraySpec::ssd_raid5(4).build(), mode, 5);
         let ids = run_parallel(
             &mut host,
             vec![
                 EvaluationJob::new(
                     format!("hdd-rd{read}"),
-                    || presets::hdd_raid5(6),
+                    || ArraySpec::hdd_raid5(6).build(),
                     hdd_trace,
                     mode,
                 ),
                 EvaluationJob::new(
                     format!("ssd-rd{read}"),
-                    || presets::ssd_raid5(4),
+                    || ArraySpec::ssd_raid5(4).build(),
                     ssd_trace,
                     mode,
                 ),

@@ -46,7 +46,7 @@ fn main() {
     // Collect the peak traces into a repository first (paper §III-B step 2).
     let repo_dir = std::env::temp_dir().join("tracer_sweep_repo");
     let repo = TraceRepository::open(&repo_dir).expect("create repository");
-    let mut collector = TraceCollector::new(&repo, || presets::hdd_raid5(4));
+    let mut collector = TraceCollector::new(&repo, || ArraySpec::hdd_raid5(4).build());
     collector.duration = SimDuration::from_secs(seconds);
     for &mode in &cfg.modes {
         collector.collect(mode).expect("collect trace");
@@ -55,10 +55,10 @@ fn main() {
 
     // Replay each at every load level (paper §III-B step 3).
     let mut host = EvaluationHost::new();
-    let device = presets::hdd_raid5(4).config().name.clone();
+    let device = ArraySpec::hdd_raid5(4).build().config().name.clone();
     let results = run_sweep(
         &mut host,
-        || presets::hdd_raid5(4),
+        || ArraySpec::hdd_raid5(4).build(),
         |mode| repo.load(&device, mode).expect("trace collected above"),
         &cfg,
         |done, total| {

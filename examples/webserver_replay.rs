@@ -50,7 +50,14 @@ fn main() {
     let mut host = EvaluationHost::new();
     let mode = WorkloadMode::peak(22 * 1024, 50, 90);
     let loads: Vec<u32> = (1..=10).map(|i| i * 10).collect();
-    let result = load_sweep(&mut host, || presets::hdd_raid5(6), &trace, mode, &loads, "webserver");
+    let result = load_sweep(
+        &mut host,
+        || ArraySpec::hdd_raid5(6).build(),
+        &trace,
+        mode,
+        &loads,
+        "webserver",
+    );
 
     println!("\nTable IV analogue — load-control accuracy (web-server trace):");
     println!(
@@ -78,7 +85,7 @@ fn main() {
     println!();
     let mut series = Vec::new();
     for load in [20u32, 40, 60, 80, 100] {
-        let mut sim = presets::hdd_raid5(6);
+        let mut sim = ArraySpec::hdd_raid5(6).build();
         let cfg = ReplayConfig { load: LoadControl::proportion(load), ..Default::default() };
         let report = replay(&mut sim, &trace, &cfg);
         let monitor = PerformanceMonitor::with_cycle(SimDuration::from_secs(60));

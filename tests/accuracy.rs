@@ -6,7 +6,7 @@ use tracer_workload::iometer::run_peak_workload;
 
 /// Collect a peak trace for `mode` on a fresh 4-disk array.
 fn collect(mode: WorkloadMode, secs: u64) -> Trace {
-    let mut sim = presets::hdd_raid5(4);
+    let mut sim = ArraySpec::hdd_raid5(4).build();
     run_peak_workload(
         &mut sim,
         &IometerConfig {
@@ -25,8 +25,14 @@ fn fixed_size_trace_control_error_is_tiny() {
     let mode = WorkloadMode::peak(4096, 50, 0);
     let trace = collect(mode, 4);
     let mut host = EvaluationHost::new();
-    let result =
-        load_sweep(&mut host, || presets::hdd_raid5(4), &trace, mode, &sweep::LOAD_PCTS, "fig8");
+    let result = load_sweep(
+        &mut host,
+        || ArraySpec::hdd_raid5(4).build(),
+        &trace,
+        mode,
+        &sweep::LOAD_PCTS,
+        "fig8",
+    );
     assert_eq!(result.rows.len(), 10);
     assert!(result.max_error() < 0.03, "max error {}", result.max_error());
     // IOPS and MBPS accuracies agree for fixed-size requests.
@@ -45,8 +51,14 @@ fn web_trace_control_error_is_bounded_like_table_iv() {
         WebServerTraceBuilder { duration_s: 120.0, mean_iops: 200.0, ..Default::default() }.build();
     let mut host = EvaluationHost::new();
     let mode = WorkloadMode::peak(22 * 1024, 50, 90);
-    let result =
-        load_sweep(&mut host, || presets::hdd_raid5(6), &trace, mode, &sweep::LOAD_PCTS, "table4");
+    let result = load_sweep(
+        &mut host,
+        || ArraySpec::hdd_raid5(6).build(),
+        &trace,
+        mode,
+        &sweep::LOAD_PCTS,
+        "table4",
+    );
     assert!(result.max_error() < 0.08, "max error {}", result.max_error());
 }
 
@@ -60,7 +72,7 @@ fn uneven_sizes_degrade_mbps_accuracy_more_than_iops_accuracy() {
     let mode = WorkloadMode::peak(8192, 50, 58);
     let result = load_sweep(
         &mut host,
-        || presets::hdd_raid5(6),
+        || ArraySpec::hdd_raid5(6).build(),
         &cello,
         mode,
         &[10, 30, 50, 70, 90],
@@ -77,7 +89,7 @@ fn uneven_sizes_degrade_mbps_accuracy_more_than_iops_accuracy() {
     let fixed = collect(WorkloadMode::peak(8192, 50, 58), 3);
     let fixed_result = load_sweep(
         &mut host,
-        || presets::hdd_raid5(6),
+        || ArraySpec::hdd_raid5(6).build(),
         &fixed,
         mode,
         &[10, 30, 50, 70, 90],
@@ -99,7 +111,7 @@ fn efficiency_grows_with_load_across_request_sizes() {
     let mut eff_at = |size: u32, load: u32| {
         let mode = WorkloadMode::peak(size, 25, 25);
         let trace = collect(mode, 2);
-        let mut sim = presets::hdd_raid5(4);
+        let mut sim = ArraySpec::hdd_raid5(4).build();
         let measured = EvaluationHost::measure_test(
             host.meter_cycle_ms,
             &mut sim,
@@ -142,7 +154,7 @@ fn random_ratio_lowers_efficiency_monotonically_in_trend() {
     for random in [0u8, 25, 50, 75, 100] {
         let mode = WorkloadMode::peak(16384, random, 0);
         let trace = collect(mode, 2);
-        let mut sim = presets::hdd_raid5(4);
+        let mut sim = ArraySpec::hdd_raid5(4).build();
         let measured =
             EvaluationHost::measure_test(host.meter_cycle_ms, &mut sim, &trace, mode, 100, "fig10");
         let m = host.commit(measured).metrics;

@@ -22,7 +22,7 @@ fn workload(n: u64) -> Trace {
 
 #[test]
 fn degraded_lifecycle_end_to_end() {
-    let mut sim = presets::hdd_raid5(4);
+    let mut sim = ArraySpec::hdd_raid5(4).build();
 
     // Phase 1: healthy service.
     let healthy = replay(&mut sim, &workload(100), &ReplayConfig::default());
@@ -64,7 +64,7 @@ fn degraded_lifecycle_end_to_end() {
 fn degraded_array_draws_less_power_than_healthy() {
     let trace = workload(200);
     let run = |fail: Option<usize>| {
-        let mut sim = presets::hdd_raid5(4);
+        let mut sim = ArraySpec::hdd_raid5(4).build();
         if let Some(d) = fail {
             sim.fail_disk(d);
         }
@@ -83,11 +83,11 @@ fn degraded_array_draws_less_power_than_healthy() {
 
 #[test]
 fn rebuild_consumes_energy_and_disk_time() {
-    let mut idle_sim = presets::hdd_raid5(4);
+    let mut idle_sim = ArraySpec::hdd_raid5(4).build();
     idle_sim.run_until(SimTime::from_secs(30));
     let idle_joules = idle_sim.power_log().energy_joules(SimTime::ZERO, SimTime::from_secs(30));
 
-    let mut sim = presets::hdd_raid5(4);
+    let mut sim = ArraySpec::hdd_raid5(4).build();
     sim.fail_disk(1);
     sim.start_rebuild(RebuildConfig {
         delay_between: SimDuration::from_millis(1),
@@ -116,13 +116,13 @@ fn eraid_policy_uses_degraded_machinery_consistently() {
     let mut host = EvaluationHost::new();
     let outcomes = compare_policies(
         &mut host,
-        || tracer_sim::presets::hdd_raid5_parts(4),
+        || tracer_sim::ArraySpec::hdd_raid5(4).parts(),
         &trace,
         WorkloadMode::peak(16384, 50, 75),
         &[ConservationPolicy::DegradedParity { parked_disk: 1 }],
         "consistency",
     );
-    let mut sim = presets::hdd_raid5(4);
+    let mut sim = ArraySpec::hdd_raid5(4).build();
     sim.fail_disk(1);
     let raw = replay(&mut sim, &trace, &ReplayConfig::default());
     assert!((outcomes[1].avg_response_ms - raw.summary.avg_response_ms).abs() < 1e-9);

@@ -18,12 +18,12 @@ fn heterogeneous_fleet_evaluates_in_parallel() {
     let mut host = EvaluationHost::new();
     let mode = WorkloadMode::peak(8192, 50, 100);
     let jobs = vec![
-        EvaluationJob::new("hdd3", || presets::hdd_raid5(3), trace(60, 8192), mode),
-        EvaluationJob::new("hdd6", || presets::hdd_raid5(6), trace(60, 8192), mode),
-        EvaluationJob::new("ssd4", || presets::ssd_raid5(4), trace(60, 8192), mode),
+        EvaluationJob::new("hdd3", || ArraySpec::hdd_raid5(3).build(), trace(60, 8192), mode),
+        EvaluationJob::new("hdd6", || ArraySpec::hdd_raid5(6).build(), trace(60, 8192), mode),
+        EvaluationJob::new("ssd4", || ArraySpec::ssd_raid5(4).build(), trace(60, 8192), mode),
         EvaluationJob::new(
             "hdd6-half",
-            || presets::hdd_raid5(6),
+            || ArraySpec::hdd_raid5(6).build(),
             trace(60, 8192),
             mode.at_load(50),
         ),
@@ -59,8 +59,8 @@ fn distributed_results_match_sequential_bit_for_bit() {
     let ids = run_parallel(
         &mut host_par,
         vec![
-            EvaluationJob::new("a", || presets::hdd_raid5(4), trace(40, 16384), mode),
-            EvaluationJob::new("b", || presets::hdd_raid5(4), trace(40, 16384), mode),
+            EvaluationJob::new("a", || ArraySpec::hdd_raid5(4).build(), trace(40, 16384), mode),
+            EvaluationJob::new("b", || ArraySpec::hdd_raid5(4).build(), trace(40, 16384), mode),
         ],
     );
     let a = host_par.db.get(ids[0]).unwrap();
@@ -70,7 +70,7 @@ fn distributed_results_match_sequential_bit_for_bit() {
     assert_eq!(a.efficiency.iops.to_bits(), b.efficiency.iops.to_bits());
 
     let mut host_seq = EvaluationHost::new();
-    let mut sim = presets::hdd_raid5(4);
+    let mut sim = ArraySpec::hdd_raid5(4).build();
     let measured = EvaluationHost::measure_test(
         host_seq.meter_cycle_ms,
         &mut sim,
@@ -88,8 +88,8 @@ fn distributed_results_match_sequential_bit_for_bit() {
 #[test]
 fn multichannel_analyzer_reports_per_system_energy() {
     // Drive the analyzer API directly, as the distributed deployment wires it.
-    let mut hdd = presets::hdd_raid5(6);
-    let mut ssd = presets::ssd_raid5(4);
+    let mut hdd = ArraySpec::hdd_raid5(6).build();
+    let mut ssd = ArraySpec::ssd_raid5(4).build();
     let window = SimDuration::from_secs(30);
     hdd.run_until(SimTime::ZERO + window);
     ssd.run_until(SimTime::ZERO + window);
@@ -116,7 +116,12 @@ fn many_small_jobs_scale() {
     let mode = WorkloadMode::peak(4096, 0, 100);
     let jobs: Vec<EvaluationJob> = (0..16)
         .map(|i| {
-            EvaluationJob::new(format!("job{i}"), || presets::hdd_raid5(3), trace(20, 4096), mode)
+            EvaluationJob::new(
+                format!("job{i}"),
+                || ArraySpec::hdd_raid5(3).build(),
+                trace(20, 4096),
+                mode,
+            )
         })
         .collect();
     let ids = run_parallel(&mut host, jobs);

@@ -11,7 +11,7 @@ fn simultaneous_submissions_are_served_deterministically_in_order() {
     // Twenty requests at the same instant: completions must be reproducible
     // and the engine must not starve any of them.
     let run = || {
-        let mut sim = presets::hdd_raid5(4);
+        let mut sim = ArraySpec::hdd_raid5(4).build();
         let ids: Vec<_> = (0..20u64)
             .map(|i| {
                 sim.submit(
@@ -44,7 +44,7 @@ fn extreme_load_controls_compose() {
     let fast = scale_intensity(&trace, 1000);
     assert_eq!(fast.duration(), trace.duration() / 10);
     // Combined: replay completes and the engine stays consistent.
-    let mut sim = presets::hdd_raid5(4);
+    let mut sim = ArraySpec::hdd_raid5(4).build();
     let cfg = ReplayConfig {
         load: LoadControl { proportion_pct: 1, intensity_pct: 1000 },
         ..Default::default()
@@ -56,7 +56,7 @@ fn extreme_load_controls_compose() {
 
 #[test]
 fn noisy_quantized_meter_still_integrates_close_to_truth() {
-    let mut sim = presets::hdd_raid5(6);
+    let mut sim = ArraySpec::hdd_raid5(6).build();
     for i in 0..100u64 {
         sim.submit(
             SimTime::from_millis(i * 10),
@@ -106,7 +106,7 @@ fn sub_sector_and_multi_megabyte_requests_replay() {
             Bunch::new(2_000_000, vec![IoPackage::read(1024, 8 << 20)]), // 8 MiB
         ],
     );
-    let mut sim = presets::hdd_raid5(6);
+    let mut sim = ArraySpec::hdd_raid5(6).build();
     let report = replay_prepared(&mut sim, &trace, AddressPolicy::Wrap);
     assert_eq!(report.completions.len(), 3);
     // The 8 MiB read fans out over many strips and beats serial time.
@@ -129,7 +129,7 @@ fn single_disk_target_works_end_to_end() {
             })
             .collect(),
     );
-    let mut sim = presets::single_hdd();
+    let mut sim = ArraySpec::single_hdd().build();
     let report = replay_prepared(&mut sim, &trace, AddressPolicy::Wrap);
     assert_eq!(report.completions.len(), 100);
     assert!((sim.stats().write_amplification() - 1.0).abs() < 1e-9, "no parity on one disk");

@@ -6,7 +6,7 @@ use tracer_replay::MemTarget;
 use tracer_workload::iometer::run_peak_workload;
 
 fn collect_trace(mode: WorkloadMode, secs: u64) -> Trace {
-    let mut sim = presets::hdd_raid5(4);
+    let mut sim = ArraySpec::hdd_raid5(4).build();
     run_peak_workload(
         &mut sim,
         &IometerConfig {
@@ -25,7 +25,7 @@ fn generator_to_replay_to_database() {
 
     let mut host = EvaluationHost::new();
     for load in [30u32, 60, 100] {
-        let mut sim = presets::hdd_raid5(4);
+        let mut sim = ArraySpec::hdd_raid5(4).build();
         let measured = EvaluationHost::measure_test(
             host.meter_cycle_ms,
             &mut sim,
@@ -64,7 +64,7 @@ fn repository_round_trip_preserves_replay_results() {
     assert_eq!(loaded, trace);
 
     let run = |t: &Trace| {
-        let mut sim = presets::hdd_raid5(4);
+        let mut sim = ArraySpec::hdd_raid5(4).build();
         let report = replay(&mut sim, t, &ReplayConfig::default());
         (report.issued_ios, report.summary.total_bytes, report.finished)
     };
@@ -79,7 +79,7 @@ fn virtual_and_realtime_replayers_issue_identical_workloads() {
     let filtered = ProportionalFilter::default().filter(&trace, 40);
 
     // Virtual replay.
-    let mut sim = presets::hdd_raid5(4);
+    let mut sim = ArraySpec::hdd_raid5(4).build();
     let report = tracer_replay::replay_prepared(&mut sim, &filtered, AddressPolicy::Wrap);
 
     // Real-time replay of the same filtered trace against a memory target.
@@ -96,7 +96,7 @@ fn command_session_drives_full_test() {
     let mode = WorkloadMode::peak(8192, 0, 100);
     let trace = std::sync::Arc::new(collect_trace(mode, 1));
     let mut session = CommandSession::new(
-        |device: &str| (device == "raid5-hdd4").then(|| presets::hdd_raid5(4)),
+        |device: &str| (device == "raid5-hdd4").then(|| ArraySpec::hdd_raid5(4).build()),
         move |_: &str, _: &WorkloadMode| Some(std::sync::Arc::clone(&trace).into()),
     );
     session.handle_line("init-analyzer cycle=1000").unwrap();
@@ -118,7 +118,7 @@ fn spin_down_policy_saves_energy_on_idle_heavy_trace() {
             .collect(),
     );
     let energy = |spin_down: Option<SimDuration>| {
-        let template = presets::hdd_raid5(4);
+        let template = ArraySpec::hdd_raid5(4).build();
         let mut cfg = template.config().clone();
         cfg.spin_down_after = spin_down;
         let devices = (0..4)

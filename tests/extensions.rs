@@ -12,7 +12,7 @@ use tracer_workload::OltpTraceBuilder;
 fn thermal_metric_tracks_a_replayed_workload() {
     let trace =
         OltpTraceBuilder { duration_s: 120.0, mean_iops: 250.0, ..Default::default() }.build();
-    let mut sim = presets::hdd_raid5(6);
+    let mut sim = ArraySpec::hdd_raid5(6).build();
     let report = replay(&mut sim, &trace, &ReplayConfig::default());
 
     let model = ThermalModel::default();
@@ -24,7 +24,7 @@ fn thermal_metric_tracks_a_replayed_workload() {
         assert!(t < model.steady_state_c(12.0), "disk {i} beyond physical bound: {t}");
     }
     // An idle array over the same window stays cooler than the loaded one.
-    let mut idle = presets::hdd_raid5(6);
+    let mut idle = ArraySpec::hdd_raid5(6).build();
     idle.run_until(report.finished);
     let idle_peak = model.report(&idle.power_log().devices[0], report.finished).peak_c;
     let loaded_peak = temps.iter().cloned().fold(f64::MIN, f64::max);
@@ -41,7 +41,7 @@ fn cached_array_improves_oltp_latency_with_hot_index() {
     }
     .build();
     let build = |cache: Option<CacheConfig>| -> ArraySim {
-        let (mut cfg, devices): (_, Vec<Device>) = tracer_sim::presets::hdd_raid5_parts(6);
+        let (mut cfg, devices): (_, Vec<Device>) = tracer_sim::ArraySpec::hdd_raid5(6).parts();
         cfg.cache = cache;
         ArraySim::new(cfg, devices)
     };
@@ -62,7 +62,7 @@ fn cached_array_improves_oltp_latency_with_hot_index() {
 #[test]
 fn warmup_window_composes_with_host_measurement() {
     let trace = OltpTraceBuilder { duration_s: 30.0, ..Default::default() }.build();
-    let mut sim = presets::hdd_raid5(4);
+    let mut sim = ArraySpec::hdd_raid5(4).build();
     let cfg = ReplayConfig { warmup: SimDuration::from_secs(5), ..Default::default() };
     let report = replay(&mut sim, &trace, &cfg);
     assert!(report.summary.window_s < 26.0);
@@ -90,15 +90,15 @@ fn trace_surgery_flows_through_replay() {
     assert!(window.validate().is_ok());
     assert!(window.io_count() > 0);
 
-    let mut sim = presets::hdd_raid5(6);
+    let mut sim = ArraySpec::hdd_raid5(6).build();
     let report = replay(&mut sim, &window, &ReplayConfig::default());
     assert_eq!(report.issued_ios as usize, window.io_count());
 
     // Read/write halves replayed separately account for the same volume.
     let (reads, writes) = transform::split_by_kind(&window);
-    let mut sim_r = presets::hdd_raid5(6);
+    let mut sim_r = ArraySpec::hdd_raid5(6).build();
     let r = replay(&mut sim_r, &reads, &ReplayConfig::default());
-    let mut sim_w = presets::hdd_raid5(6);
+    let mut sim_w = ArraySpec::hdd_raid5(6).build();
     let w = replay(&mut sim_w, &writes, &ReplayConfig::default());
     assert_eq!(r.issued_bytes + w.issued_bytes, report.issued_bytes);
 }
@@ -112,7 +112,7 @@ fn analysis_helpers_certify_fig9_linearity_end_to_end() {
     let loads: Vec<f64> = vec![20.0, 40.0, 60.0, 80.0, 100.0];
     let mut effs = Vec::new();
     for &load in &loads {
-        let mut sim = presets::hdd_raid5(6);
+        let mut sim = ArraySpec::hdd_raid5(6).build();
         let mode = WorkloadMode::peak(4096, 80, 66).at_load(load as u32);
         let measured =
             EvaluationHost::measure_test(host.meter_cycle_ms, &mut sim, &trace, mode, 100, "lin");

@@ -19,13 +19,14 @@ fn parallel_load_sweep_matches_serial_bit_for_bit() {
     let loads = [10, 30, 50, 70, 90];
 
     let mut serial = EvaluationHost::new();
-    let want = load_sweep(&mut serial, || presets::hdd_raid5(4), &trace(80), mode, &loads, "ps");
+    let want =
+        load_sweep(&mut serial, || ArraySpec::hdd_raid5(4).build(), &trace(80), mode, &loads, "ps");
 
     for workers in [2usize, 4, 7] {
         let mut par = EvaluationHost::new();
         let got = SweepBuilder::new().workers(workers).loads(&loads).label("ps").load_sweep(
             &mut par,
-            || presets::hdd_raid5(4),
+            || ArraySpec::hdd_raid5(4).build(),
             &trace(80),
             mode,
         );
@@ -51,7 +52,7 @@ fn parallel_mode_sweep_matches_serial_bit_for_bit() {
         let mut host = EvaluationHost::new();
         let results = SweepBuilder::new().workers(workers).sweep(
             &mut host,
-            || presets::hdd_raid5(4),
+            || ArraySpec::hdd_raid5(4).build(),
             |mode| {
                 // Trace derived deterministically from the mode.
                 let n = 40 + u64::from(mode.request_bytes / 4096);
@@ -76,7 +77,7 @@ fn parallel_trials_match_serial_bit_for_bit() {
         let mut host = EvaluationHost::new();
         let summary = SweepBuilder::new().workers(workers).label("trial").trials(
             &mut host,
-            || presets::hdd_raid5(4),
+            || ArraySpec::hdd_raid5(4).build(),
             |seed| trace(30 + seed),
             mode,
             5,

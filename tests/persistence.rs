@@ -26,7 +26,7 @@ fn database_survives_save_load_cycle_with_live_records() {
     let mut host = EvaluationHost::new();
     let trace = tiny_trace();
     for load in [25u32, 50, 100] {
-        let mut sim = presets::hdd_raid5(4);
+        let mut sim = ArraySpec::hdd_raid5(4).build();
         let measured = EvaluationHost::measure_test(
             host.meter_cycle_ms,
             &mut sim,
@@ -109,14 +109,14 @@ fn sweep_results_replayed_from_repository_are_reproducible() {
     let dir = tmp("reproduce");
     let repo = TraceRepository::open(&dir).unwrap();
     let mode = WorkloadMode::peak(8192, 50, 50);
-    let mut collector = TraceCollector::new(&repo, || presets::hdd_raid5(4));
+    let mut collector = TraceCollector::new(&repo, || ArraySpec::hdd_raid5(4).build());
     collector.duration = SimDuration::from_secs(1);
     collector.collect(mode).unwrap();
 
     let run = || {
         let trace = repo.load("raid5-hdd4", &mode).unwrap();
         let mut host = EvaluationHost::new();
-        let mut sim = presets::hdd_raid5(4);
+        let mut sim = ArraySpec::hdd_raid5(4).build();
         let measured = EvaluationHost::measure_test(
             host.meter_cycle_ms,
             &mut sim,

@@ -139,7 +139,7 @@ fn blkparse_text_flows_into_the_replay_pipeline() {
     repo.store_named("imported", &trace).unwrap();
     let loaded = repo.load_named("imported").unwrap();
     assert_eq!(loaded, trace);
-    let mut sim = presets::hdd_raid5(4);
+    let mut sim = ArraySpec::hdd_raid5(4).build();
     let report = replay(&mut sim, &loaded, &ReplayConfig::default());
     assert_eq!(report.issued_ios, 200);
     assert_eq!(report.completions.len(), 200);
@@ -194,13 +194,13 @@ fn intensity_scaling_composes_with_filtering_through_replay() {
     );
     // 50 % of the bunches, twice the pacing: same data volume as 50 %, in
     // half the time.
-    let mut sim = presets::hdd_raid5(4);
+    let mut sim = ArraySpec::hdd_raid5(4).build();
     let normal = replay(
         &mut sim,
         &trace,
         &ReplayConfig { load: LoadControl::proportion(50), ..Default::default() },
     );
-    let mut sim = presets::hdd_raid5(4);
+    let mut sim = ArraySpec::hdd_raid5(4).build();
     let compressed = replay(
         &mut sim,
         &trace,

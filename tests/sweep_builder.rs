@@ -29,7 +29,7 @@ fn builder_load_sweep_matches_legacy_shim_bit_for_bit() {
         let legacy = load_sweep_with(
             &mut legacy_host,
             &SweepExecutor::new(workers),
-            || presets::hdd_raid5(4),
+            || ArraySpec::hdd_raid5(4).build(),
             &trace(60),
             mode,
             &loads,
@@ -38,7 +38,7 @@ fn builder_load_sweep_matches_legacy_shim_bit_for_bit() {
         let mut host = EvaluationHost::new();
         let built = SweepBuilder::new().workers(workers).loads(&loads).label("sb").load_sweep(
             &mut host,
-            || presets::hdd_raid5(4),
+            || ArraySpec::hdd_raid5(4).build(),
             &trace(60),
             mode,
         );
@@ -58,7 +58,7 @@ fn builder_sweep_matches_legacy_shim_bit_for_bit() {
         let legacy = run_sweep_with(
             &mut legacy_host,
             &SweepExecutor::new(workers),
-            || presets::hdd_raid5(4),
+            || ArraySpec::hdd_raid5(4).build(),
             |mode| trace(40 + u64::from(mode.request_bytes / 4096)),
             &cfg,
             |_, _| {},
@@ -66,7 +66,7 @@ fn builder_sweep_matches_legacy_shim_bit_for_bit() {
         let mut host = EvaluationHost::new();
         let built = SweepBuilder::new().workers(workers).sweep(
             &mut host,
-            || presets::hdd_raid5(4),
+            || ArraySpec::hdd_raid5(4).build(),
             |mode| trace(40 + u64::from(mode.request_bytes / 4096)),
             &cfg,
         );
@@ -83,7 +83,7 @@ fn builder_trials_match_legacy_shim_bit_for_bit() {
         let legacy = repeated_trials_with(
             &mut legacy_host,
             &SweepExecutor::new(workers),
-            || presets::hdd_raid5(4),
+            || ArraySpec::hdd_raid5(4).build(),
             |seed| trace(25 + seed),
             mode,
             4,
@@ -92,7 +92,7 @@ fn builder_trials_match_legacy_shim_bit_for_bit() {
         let mut host = EvaluationHost::new();
         let built = SweepBuilder::new().workers(workers).label("trial").trials(
             &mut host,
-            || presets::hdd_raid5(4),
+            || ArraySpec::hdd_raid5(4).build(),
             |seed| trace(25 + seed),
             mode,
             4,
@@ -109,7 +109,7 @@ fn builder_jobs_match_legacy_shim_bit_for_bit() {
             .map(|i| {
                 EvaluationJob::new(
                     format!("job{i}"),
-                    || presets::hdd_raid5(4),
+                    || ArraySpec::hdd_raid5(4).build(),
                     trace(30 + i),
                     WorkloadMode::peak(8192, 50, 100).at_load(100 - (i as u32) * 10),
                 )
@@ -136,7 +136,7 @@ fn obs_instrumentation_does_not_perturb_sweep_reports() {
         if let Some(sink) = sink {
             b = b.obs(sink);
         }
-        let result = b.load_sweep(&mut host, || presets::hdd_raid5(4), &trace(50), mode);
+        let result = b.load_sweep(&mut host, || ArraySpec::hdd_raid5(4).build(), &trace(50), mode);
         (result, host)
     };
 

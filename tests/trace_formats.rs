@@ -12,7 +12,7 @@ use tracer_core::executor::SweepExecutor;
 use tracer_core::host::EvaluationHost;
 use tracer_core::orchestrate::SweepBuilder;
 use tracer_replay::{replay, LoadControl, ReplayConfig};
-use tracer_sim::presets;
+use tracer_sim::ArraySpec;
 use tracer_trace::{
     bunch_materializations, replay_format, Bunch, IoPackage, Trace, TraceRepository, WorkloadMode,
 };
@@ -79,7 +79,7 @@ fn every_format_replays_bit_identically() {
         };
         let mut reports = Vec::new();
         for handle in [&v1, &v2, &v3] {
-            let mut sim = presets::hdd_raid5(4);
+            let mut sim = ArraySpec::hdd_raid5(4).build();
             let before = bunch_materializations();
             let report = replay(&mut sim, handle, &cfg);
             let delta = bunch_materializations() - before;
@@ -102,7 +102,7 @@ fn every_format_replays_bit_identically() {
                 .executor(SweepExecutor::new(workers))
                 .loads(&[30, 60, 100])
                 .label("formats")
-                .load_sweep(&mut host, || presets::hdd_raid5(4), handle, mode);
+                .load_sweep(&mut host, || ArraySpec::hdd_raid5(4).build(), handle, mode);
             serde_json::to_string(&result).unwrap()
         };
         let from_v2 = sweep(&v2);

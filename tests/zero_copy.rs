@@ -15,7 +15,7 @@ use tracer_core::orchestrate::{SweepBuilder, SweepConfig};
 use tracer_replay::{
     replay, replay_prepared, trace_materializations, AddressPolicy, LoadControl, ReplayConfig,
 };
-use tracer_sim::presets;
+use tracer_sim::ArraySpec;
 use tracer_trace::{Bunch, IoPackage, Trace, WorkloadMode};
 
 fn fixture(n: usize) -> Trace {
@@ -44,7 +44,7 @@ fn sweeps_replay_without_materializing_the_trace() {
     for (proportion_pct, intensity_pct) in
         [(100, 100), (10, 100), (37, 100), (100, 50), (100, 250), (73, 40), (1, 1000), (150, 100)]
     {
-        let mut sim = presets::hdd_raid5(4);
+        let mut sim = ArraySpec::hdd_raid5(4).build();
         let cfg = ReplayConfig {
             load: LoadControl { proportion_pct, intensity_pct },
             ..Default::default()
@@ -60,12 +60,12 @@ fn sweeps_replay_without_materializing_the_trace() {
         .executor(SweepExecutor::serial())
         .loads(&[20, 50, 80])
         .label("zc-serial")
-        .load_sweep(&mut host, || presets::hdd_raid5(4), &trace, mode);
+        .load_sweep(&mut host, || ArraySpec::hdd_raid5(4).build(), &trace, mode);
     SweepBuilder::new()
         .executor(SweepExecutor::new(4))
         .loads(&[20, 50, 80])
         .label("zc-pooled")
-        .load_sweep(&mut host, || presets::hdd_raid5(4), &trace, mode);
+        .load_sweep(&mut host, || ArraySpec::hdd_raid5(4).build(), &trace, mode);
 
     // A full mode × load sweep whose loader hands out one shared Arc —
     // the closure performs no clone and the plan performs no materialize.
@@ -75,7 +75,7 @@ fn sweeps_replay_without_materializing_the_trace() {
     };
     SweepBuilder::new().executor(SweepExecutor::new(4)).sweep(
         &mut host,
-        || presets::hdd_raid5(4),
+        || ArraySpec::hdd_raid5(4).build(),
         |_| Arc::clone(&shared),
         &cfg,
     );
@@ -97,9 +97,9 @@ fn sweeps_replay_without_materializing_the_trace() {
 
     // Bit-identical results: the zero-copy plan path and the materialized
     // path must produce byte-for-byte equal reports.
-    let mut sim_plan = presets::hdd_raid5(4);
+    let mut sim_plan = ArraySpec::hdd_raid5(4).build();
     let plan_report = replay(&mut sim_plan, &trace, &ReplayConfig { load, ..Default::default() });
-    let mut sim_mat = presets::hdd_raid5(4);
+    let mut sim_mat = ArraySpec::hdd_raid5(4).build();
     let mat_report = replay_prepared(&mut sim_mat, &materialized, AddressPolicy::default());
     assert_eq!(
         serde_json::to_string(&plan_report).unwrap(),
